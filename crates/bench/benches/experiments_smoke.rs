@@ -1,0 +1,48 @@
+//! Smoke benchmarks of the experiment harness itself: regenerate the
+//! cheaper tables/figures end-to-end (corpus → training → evaluation →
+//! report) so that `cargo bench` exercises the same code paths the
+//! `experiments` binary uses for the full reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use urlid_bench::experiments;
+use urlid_bench::ExperimentContext;
+use urlid::prelude::CorpusScale;
+
+fn bench_experiment_harness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment_harness");
+    group.sample_size(10);
+
+    group.bench_function("corpus_generation_tiny", |b| {
+        b.iter(|| ExperimentContext::new(1, CorpusScale::tiny()))
+    });
+
+    group.bench_function("table1_datasets", |b| {
+        let mut ctx = ExperimentContext::new(2, CorpusScale::tiny());
+        b.iter(|| experiments::table1(&mut ctx).len())
+    });
+
+    group.bench_function("table4_5_cctld_baseline", |b| {
+        let mut ctx = ExperimentContext::new(3, CorpusScale::tiny());
+        b.iter(|| experiments::table4_5(&mut ctx).len())
+    });
+
+    group.bench_function("table2_3_simulated_humans", |b| {
+        let mut ctx = ExperimentContext::new(4, CorpusScale::tiny());
+        b.iter(|| experiments::table2_3(&mut ctx).len())
+    });
+
+    group.bench_function("figure3_domain_memorization", |b| {
+        let mut ctx = ExperimentContext::new(5, CorpusScale::tiny());
+        b.iter(|| experiments::figure3(&mut ctx).len())
+    });
+
+    group.bench_function("table8_nb_words", |b| {
+        let mut ctx = ExperimentContext::new(6, CorpusScale::tiny());
+        b.iter(|| experiments::table8(&mut ctx).len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiment_harness);
+criterion_main!(benches);

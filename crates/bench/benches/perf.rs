@@ -1,0 +1,145 @@
+//! Criterion micro-benchmarks of the hot paths: tokenisation, feature
+//! extraction, classification and training. These measure the costs a
+//! crawler integrating `urlid` would actually pay per URL.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use urlid::prelude::*;
+use urlid::features::{CustomFeatureExtractor, TrigramFeatureExtractor, WordFeatureExtractor};
+
+fn sample_urls(n: usize) -> Vec<String> {
+    let mut generator = UrlGenerator::new(1);
+    let profile = urlid::corpus::DatasetProfile::web_crawl();
+    let mut urls = Vec::with_capacity(n);
+    for lang in ALL_LANGUAGES {
+        urls.extend(generator.generate_many(lang, &profile, n / 5));
+    }
+    urls
+}
+
+fn training_data() -> Dataset {
+    let mut generator = UrlGenerator::new(2);
+    odp_dataset(&mut generator, CorpusScale::tiny()).train
+}
+
+fn bench_tokenization(c: &mut Criterion) {
+    let urls = sample_urls(1000);
+    let mut group = c.benchmark_group("tokenize");
+    group.throughput(Throughput::Elements(urls.len() as u64));
+    group.bench_function("tokenize_url_1000", |b| {
+        b.iter(|| {
+            urls.iter()
+                .map(|u| urlid::tokenize::tokenize_url(u).len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("trigrams_1000", |b| {
+        b.iter(|| {
+            urls.iter()
+                .map(|u| urlid::tokenize::ngram::trigrams_of_url_tokens(u).len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("parse_url_1000", |b| {
+        b.iter(|| {
+            urls.iter()
+                .filter(|u| ParsedUrl::parse(u).tld().is_some())
+                .count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let train = training_data();
+    let urls = sample_urls(500);
+    let mut words = WordFeatureExtractor::default();
+    words.fit(&train.urls);
+    let mut trigrams = TrigramFeatureExtractor::default();
+    trigrams.fit(&train.urls);
+    let mut custom = CustomFeatureExtractor::default();
+    custom.fit(&train.urls);
+
+    let mut group = c.benchmark_group("feature_extraction");
+    group.throughput(Throughput::Elements(urls.len() as u64));
+    group.bench_function("word_features_500", |b| {
+        b.iter(|| urls.iter().map(|u| words.transform(u).nnz()).sum::<usize>())
+    });
+    group.bench_function("trigram_features_500", |b| {
+        b.iter(|| urls.iter().map(|u| trigrams.transform(u).nnz()).sum::<usize>())
+    });
+    group.bench_function("custom_features_500", |b| {
+        b.iter(|| urls.iter().map(|u| custom.transform(u).nnz()).sum::<usize>())
+    });
+    group.finish();
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let train = training_data();
+    let identifier = LanguageIdentifier::train_paper_best(&train);
+    let cctld = CcTldClassifier::cctld(Language::German);
+    let urls = sample_urls(500);
+
+    let mut group = c.benchmark_group("classification");
+    group.throughput(Throughput::Elements(urls.len() as u64));
+    group.bench_function("identify_nb_words_500", |b| {
+        b.iter(|| urls.iter().filter(|u| identifier.identify(u).is_some()).count())
+    });
+    group.bench_function("binary_decision_nb_words_500", |b| {
+        b.iter(|| {
+            urls.iter()
+                .filter(|u| identifier.is_language(u, Language::German))
+                .count()
+        })
+    });
+    group.bench_function("cctld_baseline_500", |b| {
+        b.iter(|| urls.iter().filter(|u| cctld.classify_url(u)).count())
+    });
+    group.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let train = training_data();
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    group.bench_function("nb_words_full_set", |b| {
+        b.iter_batched(
+            || train.clone(),
+            |t| train_classifier_set(&t, &TrainingConfig::paper_best()),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("re_trigrams_full_set", |b| {
+        b.iter_batched(
+            || train.clone(),
+            |t| {
+                train_classifier_set(
+                    &t,
+                    &TrainingConfig::new(FeatureSetKind::Trigrams, Algorithm::RelativeEntropy),
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("dt_custom_full_set", |b| {
+        b.iter_batched(
+            || train.clone(),
+            |t| {
+                train_classifier_set(
+                    &t,
+                    &TrainingConfig::new(FeatureSetKind::Custom, Algorithm::DecisionTree),
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tokenization,
+    bench_feature_extraction,
+    bench_classification,
+    bench_training
+);
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! The ccTLD and ccTLD+ baseline "algorithms".
+//!
+//! Section 3.2: "Our baseline algorithm takes the ccTLD of a URL, checks
+//! the official language for the ccTLD's country and assigns the
+//! corresponding language to the URL." The ccTLD+ variant additionally
+//! counts `.com` and `.org` as English TLDs. Neither needs any labelled
+//! training data.
+
+use crate::model::{Algorithm, UrlClassifier};
+use serde::{Deserialize, Serialize};
+use urlid_lexicon::{CcTldTable, Language};
+use urlid_tokenize::ParsedUrl;
+
+/// A binary ccTLD-based classifier for one language.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CcTldClassifier {
+    language: Language,
+    table: CcTldTable,
+}
+
+impl CcTldClassifier {
+    /// The plain ccTLD baseline for `language`.
+    pub fn cctld(language: Language) -> Self {
+        Self {
+            language,
+            table: CcTldTable::cctld(),
+        }
+    }
+
+    /// The ccTLD+ baseline (`.com`/`.org` count as English) for `language`.
+    pub fn cctld_plus(language: Language) -> Self {
+        Self {
+            language,
+            table: CcTldTable::cctld_plus(),
+        }
+    }
+
+    /// Build the baseline specified by `algorithm` for `language`.
+    ///
+    /// # Panics
+    /// Panics if `algorithm` is not `CcTld` or `CcTldPlus`.
+    pub fn for_algorithm(algorithm: Algorithm, language: Language) -> Self {
+        match algorithm {
+            Algorithm::CcTld => Self::cctld(language),
+            Algorithm::CcTldPlus => Self::cctld_plus(language),
+            other => panic!("{other} is not a ccTLD baseline"),
+        }
+    }
+
+    /// The language this classifier detects.
+    pub fn language(&self) -> Language {
+        self.language
+    }
+}
+
+impl UrlClassifier for CcTldClassifier {
+    fn classify_url(&self, url: &str) -> bool {
+        let parsed = ParsedUrl::parse(url);
+        match parsed.tld() {
+            Some(tld) => self.table.language_of(tld) == Some(self.language),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cctld_matches_country_domains() {
+        let de = CcTldClassifier::cctld(Language::German);
+        assert!(de.classify_url("http://www.beispiel.de/seite"));
+        assert!(de.classify_url("http://www.firma.at/"));
+        assert!(!de.classify_url("http://www.example.com/"));
+        assert!(!de.classify_url("http://www.exemple.fr/"));
+        assert_eq!(de.language(), Language::German);
+    }
+
+    #[test]
+    fn paper_example_wasserbett_test_com_is_missed_by_cctld() {
+        // The paper's motivating example: a German page in the .com domain
+        // is not detected by the TLD heuristic.
+        let de = CcTldClassifier::cctld(Language::German);
+        assert!(!de.classify_url("http://www.wasserbett-test.com"));
+        // ...and ccTLD+ even labels it English instead.
+        let en_plus = CcTldClassifier::cctld_plus(Language::English);
+        assert!(en_plus.classify_url("http://www.wasserbett-test.com"));
+    }
+
+    #[test]
+    fn cctld_plus_only_changes_english() {
+        let en = CcTldClassifier::cctld(Language::English);
+        let en_plus = CcTldClassifier::cctld_plus(Language::English);
+        assert!(!en.classify_url("http://www.example.com/"));
+        assert!(en_plus.classify_url("http://www.example.com/"));
+        assert!(en_plus.classify_url("http://www.example.org/"));
+        assert!(!en_plus.classify_url("http://www.example.net/"));
+        // Non-English classifiers are identical in both variants.
+        let it = CcTldClassifier::cctld(Language::Italian);
+        let it_plus = CcTldClassifier::cctld_plus(Language::Italian);
+        for url in ["http://www.esempio.it/", "http://www.example.com/"] {
+            assert_eq!(it.classify_url(url), it_plus.classify_url(url));
+        }
+    }
+
+    #[test]
+    fn english_cctlds_cover_paper_list() {
+        let en = CcTldClassifier::cctld(Language::English);
+        for url in [
+            "http://www.example.co.uk/",
+            "http://www.example.gov/",
+            "http://www.example.au/",
+            "http://www.example.ie/",
+            "http://www.example.nz/",
+            "http://www.example.us/",
+        ] {
+            assert!(en.classify_url(url), "{url}");
+        }
+    }
+
+    #[test]
+    fn spanish_latin_american_cctlds() {
+        let es = CcTldClassifier::cctld(Language::Spanish);
+        for url in [
+            "http://www.ejemplo.es/",
+            "http://www.ejemplo.mx/",
+            "http://www.ejemplo.ar/",
+            "http://www.ejemplo.cl/",
+        ] {
+            assert!(es.classify_url(url), "{url}");
+        }
+        assert!(!es.classify_url("http://www.example.pt/"));
+    }
+
+    #[test]
+    fn urls_without_tld_are_rejected() {
+        let fr = CcTldClassifier::cctld(Language::French);
+        assert!(!fr.classify_url("not a url"));
+        assert!(!fr.classify_url(""));
+        assert!(!fr.classify_url("http://192.168.0.1/page"));
+    }
+
+    #[test]
+    fn subdomain_country_codes_do_not_count() {
+        // The baseline looks only at the real TLD; fr.search.yahoo.com is
+        // a .com URL.
+        let fr = CcTldClassifier::cctld(Language::French);
+        assert!(!fr.classify_url("http://fr.search.yahoo.com/"));
+    }
+
+    #[test]
+    fn for_algorithm_dispatch() {
+        let c = CcTldClassifier::for_algorithm(Algorithm::CcTldPlus, Language::English);
+        assert!(c.classify_url("http://a.org/"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn for_algorithm_rejects_learning_algorithms() {
+        let _ = CcTldClassifier::for_algorithm(Algorithm::NaiveBayes, Language::English);
+    }
+}

@@ -1,0 +1,166 @@
+//! Pairwise classifier combination.
+//!
+//! Section 3.3: "We experimented with two ways of combining two different
+//! algorithms. One combination method tries to boost recall (while
+//! possibly sacrificing some precision) and the other tries to boost
+//! precision (while possibly sacrificing some recall)."
+//!
+//! * **Recall improvement**: output "yes" if *either* the main or the
+//!   helper classifier says "yes" (logical OR).
+//! * **Precision improvement**: output "yes" only if *both* say "yes"
+//!   (logical AND).
+//!
+//! Section 5.6 describes the best per-language combinations; those
+//! recipes live in `urlid::recipes` (the core crate), this module provides
+//! the combinator itself.
+
+use crate::model::UrlClassifier;
+use serde::{Deserialize, Serialize};
+
+/// Whether a combination boosts recall (OR) or precision (AND).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CombinationStrategy {
+    /// "We only output 'no' if and only if both algorithms say 'no'."
+    RecallImprovement,
+    /// "We only output 'yes' if both classifiers say 'yes'."
+    PrecisionImprovement,
+}
+
+impl CombinationStrategy {
+    /// Combine two binary decisions according to the strategy.
+    pub fn combine(self, main: bool, helper: bool) -> bool {
+        match self {
+            CombinationStrategy::RecallImprovement => main || helper,
+            CombinationStrategy::PrecisionImprovement => main && helper,
+        }
+    }
+}
+
+/// A pair of URL classifiers combined with a [`CombinationStrategy`].
+pub struct CombinedClassifier<A, B> {
+    main: A,
+    helper: B,
+    strategy: CombinationStrategy,
+}
+
+impl<A: UrlClassifier, B: UrlClassifier> CombinedClassifier<A, B> {
+    /// Combine `main` and `helper` with the given strategy.
+    pub fn new(main: A, helper: B, strategy: CombinationStrategy) -> Self {
+        Self {
+            main,
+            helper,
+            strategy,
+        }
+    }
+
+    /// Recall-boosting (OR) combination.
+    pub fn recall_boost(main: A, helper: B) -> Self {
+        Self::new(main, helper, CombinationStrategy::RecallImprovement)
+    }
+
+    /// Precision-boosting (AND) combination.
+    pub fn precision_boost(main: A, helper: B) -> Self {
+        Self::new(main, helper, CombinationStrategy::PrecisionImprovement)
+    }
+
+    /// The strategy in use.
+    pub fn strategy(&self) -> CombinationStrategy {
+        self.strategy
+    }
+}
+
+impl<A: UrlClassifier, B: UrlClassifier> UrlClassifier for CombinedClassifier<A, B> {
+    fn classify_url(&self, url: &str) -> bool {
+        match self.strategy {
+            // Short-circuit: the helper is only consulted when it can
+            // change the outcome (exactly the paper's description of
+            // asking for a "second opinion").
+            CombinationStrategy::RecallImprovement => {
+                self.main.classify_url(url) || self.helper.classify_url(url)
+            }
+            CombinationStrategy::PrecisionImprovement => {
+                self.main.classify_url(url) && self.helper.classify_url(url)
+            }
+        }
+    }
+
+    fn score_url(&self, url: &str) -> f64 {
+        let main = self.main.score_url(url);
+        let helper = self.helper.score_url(url);
+        match self.strategy {
+            CombinationStrategy::RecallImprovement => main.max(helper),
+            CombinationStrategy::PrecisionImprovement => main.min(helper),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A stub classifier that says "yes" iff the URL contains its keyword.
+    struct Contains(&'static str);
+    impl UrlClassifier for Contains {
+        fn classify_url(&self, url: &str) -> bool {
+            url.contains(self.0)
+        }
+        fn score_url(&self, url: &str) -> f64 {
+            if self.classify_url(url) {
+                2.0
+            } else {
+                -3.0
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_truth_tables() {
+        use CombinationStrategy::*;
+        assert!(RecallImprovement.combine(true, false));
+        assert!(RecallImprovement.combine(false, true));
+        assert!(RecallImprovement.combine(true, true));
+        assert!(!RecallImprovement.combine(false, false));
+
+        assert!(PrecisionImprovement.combine(true, true));
+        assert!(!PrecisionImprovement.combine(true, false));
+        assert!(!PrecisionImprovement.combine(false, true));
+        assert!(!PrecisionImprovement.combine(false, false));
+    }
+
+    #[test]
+    fn recall_boost_accepts_union() {
+        let c = CombinedClassifier::recall_boost(Contains(".de"), Contains("wetter"));
+        assert!(c.classify_url("http://www.wetter.com/"));
+        assert!(c.classify_url("http://www.beispiel.de/"));
+        assert!(c.classify_url("http://www.wetter.de/"));
+        assert!(!c.classify_url("http://www.example.com/"));
+        assert_eq!(c.strategy(), CombinationStrategy::RecallImprovement);
+    }
+
+    #[test]
+    fn precision_boost_accepts_intersection() {
+        let c = CombinedClassifier::precision_boost(Contains(".de"), Contains("wetter"));
+        assert!(c.classify_url("http://www.wetter.de/"));
+        assert!(!c.classify_url("http://www.wetter.com/"));
+        assert!(!c.classify_url("http://www.beispiel.de/"));
+    }
+
+    #[test]
+    fn scores_follow_max_min_semantics() {
+        let or = CombinedClassifier::recall_boost(Contains(".de"), Contains("wetter"));
+        assert_eq!(or.score_url("http://www.wetter.com/"), 2.0);
+        assert_eq!(or.score_url("http://www.example.com/"), -3.0);
+        let and = CombinedClassifier::precision_boost(Contains(".de"), Contains("wetter"));
+        assert_eq!(and.score_url("http://www.wetter.com/"), -3.0);
+        assert_eq!(and.score_url("http://www.wetter.de/"), 2.0);
+    }
+
+    #[test]
+    fn combinations_can_be_nested() {
+        let inner = CombinedClassifier::recall_boost(Contains(".de"), Contains(".at"));
+        let outer = CombinedClassifier::precision_boost(inner, Contains("nachrichten"));
+        assert!(outer.classify_url("http://nachrichten.example.at/"));
+        assert!(!outer.classify_url("http://nachrichten.example.com/"));
+        assert!(!outer.classify_url("http://www.beispiel.de/"));
+    }
+}

@@ -1,0 +1,254 @@
+//! Character Markov-model classifier.
+//!
+//! Section 2 of the paper: "Character-based Markov models for language
+//! classification [3] can be seen as a variant of the n-gram approach.
+//! This approach determines the probability that certain sequences of
+//! characters are generated. It is assumed that the next character only
+//! depends on a certain number of previous characters." The paper's
+//! authors compared Markov models against rank-order statistics and
+//! relative entropy in preliminary experiments and kept relative entropy;
+//! this implementation exists to reproduce that comparison (see the
+//! `ablations` experiment).
+//!
+//! Unlike the other classifiers in this crate, the Markov model works on
+//! the *token characters* directly rather than on a pre-extracted feature
+//! vector: it is trained on URL tokens and scores a URL by the average
+//! per-character log-likelihood ratio between the positive and negative
+//! character models (an order-2 model, i.e. trigram transition
+//! probabilities with Laplace smoothing).
+
+use crate::model::UrlClassifier;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use urlid_tokenize::Tokenizer;
+
+/// Alphabet: `a`–`z` plus the boundary marker.
+const ALPHABET_SIZE: usize = 27;
+
+/// Configuration for the character Markov model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarkovConfig {
+    /// Laplace smoothing strength for transition counts.
+    pub alpha: f64,
+}
+
+impl Default for MarkovConfig {
+    fn default() -> Self {
+        Self { alpha: 0.5 }
+    }
+}
+
+/// Character model of one class: counts of (context, next-char) where the
+/// context is the previous two characters of a padded token.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct CharModel {
+    // Keys are `context_key(a, b)`: serde_json requires integer (not
+    // tuple) map keys.
+    transitions: HashMap<u16, [f64; ALPHABET_SIZE]>,
+    context_totals: HashMap<u16, f64>,
+}
+
+/// Pack a two-character context into a map key.
+fn context_key(a: u8, b: u8) -> u16 {
+    a as u16 * ALPHABET_SIZE as u16 + b as u16
+}
+
+fn encode(c: char) -> u8 {
+    if c.is_ascii_lowercase() {
+        (c as u8) - b'a' + 1
+    } else {
+        0 // boundary / non-letter
+    }
+}
+
+impl CharModel {
+    fn observe_token(&mut self, token: &str) {
+        let chars: Vec<u8> = std::iter::once(0u8)
+            .chain(std::iter::once(0u8))
+            .chain(token.chars().map(encode))
+            .chain(std::iter::once(0u8))
+            .collect();
+        for w in chars.windows(3) {
+            let context = context_key(w[0], w[1]);
+            let next = w[2] as usize;
+            self.transitions.entry(context).or_insert([0.0; ALPHABET_SIZE])[next] += 1.0;
+            *self.context_totals.entry(context).or_insert(0.0) += 1.0;
+        }
+    }
+
+    /// Smoothed log P(next | context).
+    fn log_prob(&self, context: u16, next: u8, alpha: f64) -> f64 {
+        let count = self
+            .transitions
+            .get(&context)
+            .map(|t| t[next as usize])
+            .unwrap_or(0.0);
+        let total = self.context_totals.get(&context).copied().unwrap_or(0.0);
+        ((count + alpha) / (total + alpha * ALPHABET_SIZE as f64)).ln()
+    }
+
+    /// Total log-likelihood of a token plus its length in transitions.
+    fn token_log_likelihood(&self, token: &str, alpha: f64) -> (f64, usize) {
+        let chars: Vec<u8> = std::iter::once(0u8)
+            .chain(std::iter::once(0u8))
+            .chain(token.chars().map(encode))
+            .chain(std::iter::once(0u8))
+            .collect();
+        let mut ll = 0.0;
+        let mut n = 0;
+        for w in chars.windows(3) {
+            ll += self.log_prob(context_key(w[0], w[1]), w[2], alpha);
+            n += 1;
+        }
+        (ll, n)
+    }
+}
+
+/// A character Markov-model binary URL classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarkovClassifier {
+    positive: CharModel,
+    negative: CharModel,
+    config: MarkovConfig,
+    #[serde(skip, default)]
+    tokenizer: Tokenizer,
+}
+
+impl MarkovClassifier {
+    /// Train from positive and negative URL lists.
+    pub fn train<S: AsRef<str>>(
+        positive_urls: &[S],
+        negative_urls: &[S],
+        config: MarkovConfig,
+    ) -> Self {
+        assert!(
+            !positive_urls.is_empty() && !negative_urls.is_empty(),
+            "the Markov classifier needs URLs of both classes"
+        );
+        let tokenizer = Tokenizer::default();
+        let mut positive = CharModel::default();
+        let mut negative = CharModel::default();
+        for url in positive_urls {
+            for token in tokenizer.tokenize(url.as_ref()) {
+                positive.observe_token(&token);
+            }
+        }
+        for url in negative_urls {
+            for token in tokenizer.tokenize(url.as_ref()) {
+                negative.observe_token(&token);
+            }
+        }
+        Self {
+            positive,
+            negative,
+            config,
+            tokenizer,
+        }
+    }
+
+    /// Average per-transition log-likelihood ratio of a URL.
+    pub fn log_likelihood_ratio(&self, url: &str) -> f64 {
+        let mut ratio = 0.0;
+        let mut transitions = 0usize;
+        for token in self.tokenizer.tokenize(url) {
+            let (lp, n) = self.positive.token_log_likelihood(&token, self.config.alpha);
+            let (ln, _) = self.negative.token_log_likelihood(&token, self.config.alpha);
+            ratio += lp - ln;
+            transitions += n;
+        }
+        if transitions == 0 {
+            return -1.0;
+        }
+        ratio / transitions as f64
+    }
+}
+
+impl UrlClassifier for MarkovClassifier {
+    fn classify_url(&self, url: &str) -> bool {
+        self.log_likelihood_ratio(url) > 0.0
+    }
+
+    fn score_url(&self, url: &str) -> f64 {
+        self.log_likelihood_ratio(url)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn german_urls() -> Vec<String> {
+        vec![
+            "http://www.wetterbericht.de/nachrichten".into(),
+            "http://www.versicherung-vergleich.de/angebote".into(),
+            "http://www.wohnung-mieten.de/muenchen".into(),
+            "http://www.buecher-verlag.de/geschichte".into(),
+            "http://www.gesundheit-heute.de/krankenhaus".into(),
+            "http://www.schule-lernen.de/unterricht".into(),
+        ]
+    }
+
+    fn english_urls() -> Vec<String> {
+        vec![
+            "http://www.weather-report.co.uk/news".into(),
+            "http://www.insurance-compare.com/offers".into(),
+            "http://www.apartment-rentals.com/chicago".into(),
+            "http://www.book-publishing.com/history".into(),
+            "http://www.health-today.com/hospital".into(),
+            "http://www.school-learning.com/teaching".into(),
+        ]
+    }
+
+    #[test]
+    fn distinguishes_german_from_english_character_patterns() {
+        let m = MarkovClassifier::train(&german_urls(), &english_urls(), MarkovConfig::default());
+        // Unseen German-looking tokens: "zeitschrift", "verwaltung".
+        assert!(m.classify_url("http://www.zeitschrift-verwaltung.de/"));
+        // Unseen English-looking tokens.
+        assert!(!m.classify_url("http://www.washington-times.com/reporting"));
+    }
+
+    #[test]
+    fn generalizes_to_unseen_tokens_via_character_statistics() {
+        let m = MarkovClassifier::train(&german_urls(), &english_urls(), MarkovConfig::default());
+        // Invented words with German morphology vs English morphology.
+        let german_score = m.score_url("http://example.org/verschlungenheit");
+        let english_score = m.score_url("http://example.org/throughoutness");
+        assert!(
+            german_score > english_score,
+            "German-looking token should score higher: {german_score} vs {english_score}"
+        );
+    }
+
+    #[test]
+    fn urls_without_tokens_are_rejected() {
+        let m = MarkovClassifier::train(&german_urls(), &english_urls(), MarkovConfig::default());
+        assert!(!m.classify_url("12345"));
+        assert!(!m.classify_url(""));
+    }
+
+    #[test]
+    fn smoothing_keeps_scores_finite_for_exotic_input() {
+        let m = MarkovClassifier::train(&german_urls(), &english_urls(), MarkovConfig::default());
+        for url in ["http://xqzw.jp/qqqq", "http://zzz.ru/xxyyzz", "http://a-b-c.info/"] {
+            assert!(m.score_url(url).is_finite(), "{url}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_training_panics() {
+        let none: Vec<String> = Vec::new();
+        let _ = MarkovClassifier::train(&none, &english_urls(), MarkovConfig::default());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_decisions() {
+        let m = MarkovClassifier::train(&german_urls(), &english_urls(), MarkovConfig::default());
+        let json = serde_json::to_string(&m).unwrap();
+        let back: MarkovClassifier = serde_json::from_str(&json).unwrap();
+        for url in ["http://www.zeitschrift.de/", "http://www.reporting.com/"] {
+            assert_eq!(m.classify_url(url), back.classify_url(url), "{url}");
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Bundling five binary classifiers into the paper's multi-label setup.
+//!
+//! Section 4.2: "For each algorithm we created five separate binary
+//! classifiers, one for each language. Note that this allows a single web
+//! page to be classified as multiple languages simultaneously, as there
+//! are five independent (binary) decisions to be made."
+
+use crate::model::UrlClassifier;
+use std::collections::BTreeMap;
+use urlid_lexicon::{Language, ALL_LANGUAGES};
+
+/// Five per-language binary URL classifiers evaluated jointly.
+pub struct LanguageClassifierSet {
+    classifiers: BTreeMap<Language, Box<dyn UrlClassifier>>,
+}
+
+impl Default for LanguageClassifierSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LanguageClassifierSet {
+    /// An empty set (classifiers are added with [`LanguageClassifierSet::insert`]).
+    pub fn new() -> Self {
+        Self {
+            classifiers: BTreeMap::new(),
+        }
+    }
+
+    /// Build a set by calling `f` for every language.
+    pub fn build(mut f: impl FnMut(Language) -> Box<dyn UrlClassifier>) -> Self {
+        let mut set = Self::new();
+        for lang in ALL_LANGUAGES {
+            set.insert(lang, f(lang));
+        }
+        set
+    }
+
+    /// Insert (or replace) the classifier for a language.
+    pub fn insert(&mut self, lang: Language, classifier: Box<dyn UrlClassifier>) {
+        self.classifiers.insert(lang, classifier);
+    }
+
+    /// Number of languages with a classifier.
+    pub fn len(&self) -> usize {
+        self.classifiers.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.classifiers.is_empty()
+    }
+
+    /// Does the set have a classifier for `lang`?
+    pub fn contains(&self, lang: Language) -> bool {
+        self.classifiers.contains_key(&lang)
+    }
+
+    /// The classifier for `lang`, if present.
+    pub fn get(&self, lang: Language) -> Option<&dyn UrlClassifier> {
+        self.classifiers.get(&lang).map(|b| b.as_ref())
+    }
+
+    /// The five independent binary decisions for a URL, in canonical
+    /// language order. Missing classifiers answer `false`.
+    pub fn classify_all(&self, url: &str) -> [bool; 5] {
+        let mut out = [false; 5];
+        for (lang, clf) in &self.classifiers {
+            out[lang.index()] = clf.classify_url(url);
+        }
+        out
+    }
+
+    /// The set of languages whose binary classifier accepted the URL
+    /// (possibly empty, possibly more than one — exactly as in the paper).
+    pub fn languages_of(&self, url: &str) -> Vec<Language> {
+        let decisions = self.classify_all(url);
+        ALL_LANGUAGES
+            .iter()
+            .copied()
+            .filter(|l| decisions[l.index()])
+            .collect()
+    }
+
+    /// The single most likely language, decided by the highest score among
+    /// accepting classifiers (or among all classifiers if none accepts).
+    /// Returns `None` when the set is empty.
+    pub fn best_language(&self, url: &str) -> Option<Language> {
+        if self.classifiers.is_empty() {
+            return None;
+        }
+        let accepted = self.languages_of(url);
+        let candidates: Vec<Language> = if accepted.is_empty() {
+            self.classifiers.keys().copied().collect()
+        } else {
+            accepted
+        };
+        candidates
+            .into_iter()
+            .map(|l| (l, self.classifiers[&l].score_url(url)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(l, _)| l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cctld::CcTldClassifier;
+
+    fn cctld_set() -> LanguageClassifierSet {
+        LanguageClassifierSet::build(|lang| Box::new(CcTldClassifier::cctld(lang)))
+    }
+
+    #[test]
+    fn build_covers_all_languages() {
+        let set = cctld_set();
+        assert_eq!(set.len(), 5);
+        assert!(!set.is_empty());
+        for lang in ALL_LANGUAGES {
+            assert!(set.contains(lang));
+            assert!(set.get(lang).is_some());
+        }
+    }
+
+    #[test]
+    fn classify_all_gives_independent_decisions() {
+        let set = cctld_set();
+        let de = set.classify_all("http://www.beispiel.de/");
+        assert_eq!(de[Language::German.index()], true);
+        assert_eq!(de.iter().filter(|&&b| b).count(), 1);
+        let com = set.classify_all("http://www.example.com/");
+        assert_eq!(com, [false; 5]);
+    }
+
+    #[test]
+    fn languages_of_lists_accepting_classifiers() {
+        let set = cctld_set();
+        assert_eq!(
+            set.languages_of("http://www.esempio.it/"),
+            vec![Language::Italian]
+        );
+        assert!(set.languages_of("http://www.example.com/").is_empty());
+    }
+
+    #[test]
+    fn best_language_falls_back_to_scores() {
+        let set = cctld_set();
+        assert_eq!(
+            set.best_language("http://www.ejemplo.es/"),
+            Some(Language::Spanish)
+        );
+        // No classifier accepts .com; best_language still returns something.
+        assert!(set.best_language("http://www.example.com/").is_some());
+        assert_eq!(LanguageClassifierSet::new().best_language("http://x.de/"), None);
+    }
+
+    #[test]
+    fn empty_and_partial_sets() {
+        let mut set = LanguageClassifierSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.classify_all("http://a.de/"), [false; 5]);
+        set.insert(
+            Language::German,
+            Box::new(CcTldClassifier::cctld(Language::German)),
+        );
+        assert_eq!(set.len(), 1);
+        assert!(set.classify_all("http://a.de/")[Language::German.index()]);
+        assert!(!set.contains(Language::French));
+    }
+
+    #[test]
+    fn multiple_languages_can_accept_simultaneously() {
+        // Build a deliberately overlapping set: every language uses the
+        // ccTLD+ English table, so a .com URL is accepted by the English
+        // classifier only, while a .de URL is accepted by German only —
+        // then add an extra German classifier for English to force overlap.
+        let mut set = LanguageClassifierSet::new();
+        set.insert(
+            Language::English,
+            Box::new(CcTldClassifier::cctld(Language::German)),
+        );
+        set.insert(
+            Language::German,
+            Box::new(CcTldClassifier::cctld(Language::German)),
+        );
+        let langs = set.languages_of("http://www.beispiel.de/");
+        assert_eq!(langs.len(), 2);
+    }
+}

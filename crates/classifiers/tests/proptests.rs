@@ -1,0 +1,117 @@
+//! Property-based tests on classifier invariants.
+
+use proptest::prelude::*;
+use urlid_classifiers::{
+    CcTldClassifier, CombinationStrategy, CombinedClassifier, KNearestNeighbors, KnnConfig,
+    MaxEnt, MaxEntConfig, NaiveBayes, NaiveBayesConfig, RankOrder, RankOrderConfig,
+    RelativeEntropy, RelativeEntropyConfig, UrlClassifier, VectorClassifier,
+};
+use urlid_features::SparseVector;
+use urlid_lexicon::{Language, ALL_LANGUAGES};
+
+/// Strategy: a sparse vector with indices < 16 and small positive counts.
+fn sparse_vec() -> impl Strategy<Value = SparseVector> {
+    proptest::collection::vec((0u32..16, 1.0f64..5.0), 1..10).prop_map(SparseVector::from_pairs)
+}
+
+/// A linearly separable training set: positives live on indices 0..8,
+/// negatives on 8..16.
+fn separable_training(n: usize) -> (Vec<SparseVector>, Vec<SparseVector>) {
+    let positives = (0..n)
+        .map(|i| SparseVector::from_counts([(i % 8) as u32, ((i + 3) % 8) as u32]))
+        .collect();
+    let negatives = (0..n)
+        .map(|i| SparseVector::from_counts([8 + (i % 8) as u32, 8 + ((i + 5) % 8) as u32]))
+        .collect();
+    (positives, negatives)
+}
+
+proptest! {
+    /// Every vector-space classifier produces finite scores on arbitrary
+    /// sparse vectors (including unseen indices) and classifies its own
+    /// clearly separable training data correctly.
+    #[test]
+    fn classifiers_are_finite_and_fit_separable_data(v in sparse_vec(), n in 8usize..32) {
+        let (pos, neg) = separable_training(n);
+        let nb = NaiveBayes::train(&pos, &neg, NaiveBayesConfig::for_dim(16));
+        let re = RelativeEntropy::train(&pos, &neg, RelativeEntropyConfig::for_dim(16));
+        let me = MaxEnt::train(&pos, &neg, MaxEntConfig::with_iterations(16, 15));
+        let knn = KNearestNeighbors::train(&pos, &neg, KnnConfig { k: 3 });
+        let ro = RankOrder::train(&pos, &neg, RankOrderConfig::default());
+
+        for (name, score) in [
+            ("nb", nb.score(&v)),
+            ("re", re.score(&v)),
+            ("me", me.score(&v)),
+            ("knn", knn.score(&v)),
+            ("ro", ro.score(&v)),
+        ] {
+            prop_assert!(score.is_finite(), "{name} produced {score}");
+        }
+        // All of them must accept a clearly positive vector and reject a
+        // clearly negative one.
+        let clearly_pos = SparseVector::from_counts([0, 1, 2, 3]);
+        let clearly_neg = SparseVector::from_counts([8, 9, 10, 11]);
+        prop_assert!(nb.classify(&clearly_pos) && !nb.classify(&clearly_neg));
+        prop_assert!(re.classify(&clearly_pos) && !re.classify(&clearly_neg));
+        prop_assert!(me.classify(&clearly_pos) && !me.classify(&clearly_neg));
+        prop_assert!(knn.classify(&clearly_pos) && !knn.classify(&clearly_neg));
+        prop_assert!(ro.classify(&clearly_pos) && !ro.classify(&clearly_neg));
+    }
+
+    /// Naive Bayes scores are monotone in the evidence: adding one more
+    /// occurrence of a positively-associated feature never lowers the score.
+    #[test]
+    fn naive_bayes_is_monotone_in_positive_evidence(extra in 1.0f64..5.0) {
+        let (pos, neg) = separable_training(16);
+        let nb = NaiveBayes::train(&pos, &neg, NaiveBayesConfig::for_dim(16));
+        let base = SparseVector::from_pairs([(0, 1.0)]);
+        let more = SparseVector::from_pairs([(0, 1.0 + extra)]);
+        prop_assert!(nb.score(&more) >= nb.score(&base));
+    }
+
+    /// The ccTLD classifiers answer `true` for at most one language per
+    /// URL (the ccTLD tables are disjoint).
+    #[test]
+    fn cctld_classifiers_are_mutually_exclusive(host in "[a-z]{1,12}", tld in "[a-z]{2,4}") {
+        let url = format!("http://www.{host}.{tld}/page");
+        let accepted = ALL_LANGUAGES
+            .iter()
+            .filter(|&&lang| CcTldClassifier::cctld(lang).classify_url(&url))
+            .count();
+        prop_assert!(accepted <= 1, "{url} accepted by {accepted} classifiers");
+    }
+
+    /// Combination algebra: OR accepts whenever either constituent does,
+    /// AND only when both do — for arbitrary URL inputs.
+    #[test]
+    fn combination_truth_tables_hold(url in ".{0,60}") {
+        let de = CcTldClassifier::cctld(Language::German);
+        let fr = CcTldClassifier::cctld(Language::French);
+        let a = de.classify_url(&url);
+        let b = fr.classify_url(&url);
+        let or = CombinedClassifier::new(
+            CcTldClassifier::cctld(Language::German),
+            CcTldClassifier::cctld(Language::French),
+            CombinationStrategy::RecallImprovement,
+        );
+        let and = CombinedClassifier::new(
+            CcTldClassifier::cctld(Language::German),
+            CcTldClassifier::cctld(Language::French),
+            CombinationStrategy::PrecisionImprovement,
+        );
+        prop_assert_eq!(or.classify_url(&url), a || b);
+        prop_assert_eq!(and.classify_url(&url), a && b);
+    }
+
+    /// Swapping the roles of positive and negative training data flips the
+    /// Naive Bayes decision (scores negate up to the prior term, which is
+    /// zero for balanced sets).
+    #[test]
+    fn naive_bayes_is_symmetric_under_class_swap(v in sparse_vec()) {
+        let (pos, neg) = separable_training(12);
+        let ab = NaiveBayes::train(&pos, &neg, NaiveBayesConfig::for_dim(16));
+        let ba = NaiveBayes::train(&neg, &pos, NaiveBayesConfig::for_dim(16));
+        prop_assert!((ab.score(&v) + ba.score(&v)).abs() < 1e-6);
+    }
+}

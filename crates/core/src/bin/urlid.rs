@@ -1,0 +1,239 @@
+//! `urlid` — command-line interface to the URL-based language identifier.
+//!
+//! ```text
+//! urlid generate --seed 42 --scale 0.02 --out corpus/        write synthetic ODP/SER/WC data sets (JSON)
+//! urlid train --data corpus/odp-train.json --out model.json  train a model (default: NB + word features)
+//! urlid identify --model model.json <url> [<url> ...]        print the language of each URL
+//! urlid identify --model model.json                          ... or read URLs from stdin, one per line
+//! urlid evaluate --model model.json --data corpus/odp-test.json   paper metrics on a labelled test set
+//! ```
+//!
+//! The argument parser is hand-rolled (no extra dependencies); every
+//! subcommand prints usage on `--help`.
+
+use std::io::BufRead;
+use std::process::ExitCode;
+use urlid::prelude::*;
+
+const USAGE: &str = "\
+urlid — web page language identification based on URLs
+
+USAGE:
+  urlid generate --out <dir> [--seed <u64>] [--scale <f64>]
+  urlid train    --data <dataset.json> --out <model.json>
+                 [--features words|trigrams|custom] [--algorithm nb|re|me|dt|knn]
+                 [--seed <u64>]
+  urlid identify --model <model.json> [<url> ...]      (reads stdin when no URLs given)
+  urlid evaluate --model <model.json> --data <dataset.json>
+";
+
+/// A tiny `--key value` argument map.
+#[derive(Debug, Default)]
+struct Args {
+    flags: std::collections::HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(key) = a.strip_prefix("--") {
+                if key == "help" {
+                    return Err(USAGE.to_owned());
+                }
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("missing value for --{key}"))?;
+                out.flags.insert(key.to_owned(), value.clone());
+                i += 2;
+            } else {
+                out.positional.push(a.clone());
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required flag --{key}\n\n{USAGE}"))
+    }
+}
+
+fn parse_training_config(args: &Args) -> Result<TrainingConfig, String> {
+    let features = match args.get("features").unwrap_or("words") {
+        "words" => FeatureSetKind::Words,
+        "trigrams" => FeatureSetKind::Trigrams,
+        "custom" => FeatureSetKind::Custom,
+        other => return Err(format!("unknown feature set {other:?} (words|trigrams|custom)")),
+    };
+    let algorithm = match args.get("algorithm").unwrap_or("nb") {
+        "nb" | "naive-bayes" => Algorithm::NaiveBayes,
+        "re" | "relative-entropy" => Algorithm::RelativeEntropy,
+        "me" | "maxent" => Algorithm::MaxEnt,
+        "dt" | "decision-tree" => Algorithm::DecisionTree,
+        "knn" => Algorithm::KNearestNeighbors,
+        other => return Err(format!("unknown algorithm {other:?} (nb|re|me|dt|knn)")),
+    };
+    let mut config = TrainingConfig::new(features, algorithm);
+    if let Some(seed) = args.get("seed") {
+        config = config.with_seed(seed.parse().map_err(|_| format!("bad --seed {seed:?}"))?);
+    }
+    Ok(config)
+}
+
+fn load_dataset(path: &str) -> Result<Dataset, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn save_json<T: serde::Serialize>(path: &std::path::Path, value: &T) -> Result<(), String> {
+    let json = serde_json::to_string(value).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let out_dir = std::path::PathBuf::from(args.require("out")?);
+    let seed: u64 = args.get("seed").unwrap_or("42").parse().map_err(|_| "bad --seed")?;
+    let scale: f64 = args.get("scale").unwrap_or("0.02").parse().map_err(|_| "bad --scale")?;
+    std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
+    let corpus = PaperCorpus::generate(seed, CorpusScale(scale));
+    save_json(&out_dir.join("odp-train.json"), &corpus.odp.train)?;
+    save_json(&out_dir.join("odp-test.json"), &corpus.odp.test)?;
+    save_json(&out_dir.join("ser-train.json"), &corpus.ser.train)?;
+    save_json(&out_dir.join("ser-test.json"), &corpus.ser.test)?;
+    save_json(&out_dir.join("web-crawl.json"), &corpus.web_crawl)?;
+    save_json(&out_dir.join("combined-train.json"), &corpus.combined_training())?;
+    eprintln!(
+        "wrote 6 data sets to {} ({} training URLs in combined-train.json)",
+        out_dir.display(),
+        corpus.combined_training().len()
+    );
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let data = load_dataset(args.require("data")?)?;
+    let out = args.require("out")?;
+    let config = parse_training_config(args)?;
+    let bundle = ModelBundle::train(&data, &config).map_err(|e| e.to_string())?;
+    bundle.save(out).map_err(|e| e.to_string())?;
+    eprintln!(
+        "trained {} + {} on {} URLs -> {out}",
+        config.feature_set, config.algorithm, data.len()
+    );
+    Ok(())
+}
+
+fn cmd_identify(args: &Args) -> Result<(), String> {
+    let bundle = ModelBundle::load(args.require("model")?).map_err(|e| e.to_string())?;
+    let identifier = bundle.into_identifier();
+    let classify = |url: &str| {
+        let lang = identifier
+            .identify(url)
+            .map(|l| l.iso_code())
+            .unwrap_or("??");
+        println!("{lang}\t{url}");
+    };
+    if args.positional.is_empty() {
+        for line in std::io::stdin().lock().lines() {
+            let line = line.map_err(|e| e.to_string())?;
+            let url = line.trim();
+            if !url.is_empty() {
+                classify(url);
+            }
+        }
+    } else {
+        for url in &args.positional {
+            classify(url);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(args: &Args) -> Result<(), String> {
+    let bundle = ModelBundle::load(args.require("model")?).map_err(|e| e.to_string())?;
+    let test = load_dataset(args.require("data")?)?;
+    let identifier = bundle.into_identifier();
+    let result = identifier.evaluate(&test);
+    print!(
+        "{}",
+        urlid::eval::report::metrics_table(&format!("evaluation on {}", test.name), &result)
+    );
+    println!("\nconfusion matrix:\n{}", result.confusion.render());
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        return Err(USAGE.to_owned());
+    };
+    let args = Args::parse(&argv[1..])?;
+    match command.as_str() {
+        "generate" => cmd_generate(&args),
+        "train" => cmd_train(&args),
+        "identify" => cmd_identify(&args),
+        "evaluate" => cmd_evaluate(&args),
+        "--help" | "help" => Err(USAGE.to_owned()),
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args_of(parts: &[&str]) -> Args {
+        Args::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = args_of(&["--model", "m.json", "http://a.de/", "http://b.fr/"]);
+        assert_eq!(a.get("model"), Some("m.json"));
+        assert_eq!(a.positional.len(), 2);
+        assert!(a.require("model").is_ok());
+        assert!(a.require("data").is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let r = Args::parse(&["--seed".to_string()]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn training_config_parsing() {
+        let c = parse_training_config(&args_of(&["--features", "trigrams", "--algorithm", "re"]))
+            .unwrap();
+        assert_eq!(c.feature_set, FeatureSetKind::Trigrams);
+        assert_eq!(c.algorithm, Algorithm::RelativeEntropy);
+        let default = parse_training_config(&args_of(&[])).unwrap();
+        assert_eq!(default.algorithm, Algorithm::NaiveBayes);
+        assert!(parse_training_config(&args_of(&["--algorithm", "svm"])).is_err());
+        assert!(parse_training_config(&args_of(&["--features", "bigrams"])).is_err());
+    }
+
+    #[test]
+    fn help_flag_returns_usage() {
+        let r = Args::parse(&["--help".to_string()]);
+        assert!(r.unwrap_err().contains("USAGE"));
+    }
+}

@@ -1,0 +1,192 @@
+//! The high-level [`LanguageIdentifier`] API.
+//!
+//! This is the type a downstream user (the paper's motivating example: a
+//! web crawler that must satisfy language quotas without downloading
+//! pages) actually interacts with: train once on labelled URLs, then ask
+//! for the language of any URL — in a crawler loop, potentially from many
+//! threads, which is why the identifier is `Send + Sync` and exposes
+//! shared-reference classification only.
+
+use crate::trainer::{train_classifier_set, TrainingConfig};
+use urlid_classifiers::LanguageClassifierSet;
+use urlid_eval::{evaluate_classifier_set, EvaluationResult};
+use urlid_features::Dataset;
+use urlid_lexicon::{Language, ALL_LANGUAGES};
+
+/// A trained URL-based language identifier for the five paper languages.
+pub struct LanguageIdentifier {
+    set: LanguageClassifierSet,
+    config: TrainingConfig,
+}
+
+impl LanguageIdentifier {
+    /// Train an identifier on a labelled data set with the given
+    /// configuration.
+    pub fn train(training: &Dataset, config: &TrainingConfig) -> Self {
+        Self {
+            set: train_classifier_set(training, config),
+            config: *config,
+        }
+    }
+
+    /// Train the paper's best single configuration (Naive Bayes on word
+    /// features).
+    pub fn train_paper_best(training: &Dataset) -> Self {
+        Self::train(training, &TrainingConfig::paper_best())
+    }
+
+    /// Wrap an already-assembled classifier set (e.g. the combination
+    /// recipes of [`crate::recipes`]).
+    pub fn from_classifier_set(set: LanguageClassifierSet, config: TrainingConfig) -> Self {
+        Self { set, config }
+    }
+
+    /// The configuration the identifier was trained with.
+    pub fn config(&self) -> &TrainingConfig {
+        &self.config
+    }
+
+    /// The underlying per-language classifier set.
+    pub fn classifier_set(&self) -> &LanguageClassifierSet {
+        &self.set
+    }
+
+    /// The single binary decision "is this URL in `lang`?".
+    pub fn is_language(&self, url: &str, lang: Language) -> bool {
+        self.set
+            .get(lang)
+            .map(|c| c.classify_url(url))
+            .unwrap_or(false)
+    }
+
+    /// All languages whose binary classifier accepts the URL (possibly
+    /// empty, possibly several — the paper's multi-label setting).
+    pub fn languages_of(&self, url: &str) -> Vec<Language> {
+        self.set.languages_of(url)
+    }
+
+    /// The most likely language of the URL, or `None` if no classifier is
+    /// available.
+    pub fn identify(&self, url: &str) -> Option<Language> {
+        self.set.best_language(url)
+    }
+
+    /// Batch identification.
+    pub fn identify_all<'a, I>(&self, urls: I) -> Vec<Option<Language>>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        urls.into_iter().map(|u| self.identify(u)).collect()
+    }
+
+    /// Filter URLs to those (probably) written in `lang` — the crawler
+    /// quota use-case from the paper's introduction.
+    pub fn filter_by_language<'a>(&self, urls: &[&'a str], lang: Language) -> Vec<&'a str> {
+        urls.iter()
+            .copied()
+            .filter(|u| self.is_language(u, lang))
+            .collect()
+    }
+
+    /// Evaluate the identifier on a labelled test set with the paper's
+    /// metrics.
+    pub fn evaluate(&self, test: &Dataset) -> EvaluationResult {
+        evaluate_classifier_set(&self.set, test)
+    }
+
+    /// Per-language acceptance counts over a stream of URLs (useful for
+    /// monitoring a crawl frontier).
+    pub fn language_histogram<'a, I>(&self, urls: I) -> [usize; 5]
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut out = [0usize; 5];
+        for url in urls {
+            for lang in ALL_LANGUAGES {
+                if self.is_language(url, lang) {
+                    out[lang.index()] += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urlid_classifiers::{Algorithm, CcTldClassifier};
+    use urlid_corpus::{odp_dataset, CorpusScale, UrlGenerator};
+    use urlid_features::FeatureSetKind;
+
+    fn trained() -> LanguageIdentifier {
+        let mut g = UrlGenerator::new(5);
+        let odp = odp_dataset(&mut g, CorpusScale::tiny());
+        LanguageIdentifier::train_paper_best(&odp.train)
+    }
+
+    #[test]
+    fn identifies_clearly_marked_urls() {
+        let id = trained();
+        assert_eq!(
+            id.identify("http://www.nachrichten-wetter.de/berlin/heute"),
+            Some(Language::German)
+        );
+        assert_eq!(
+            id.identify("http://www.ricette-cucina.it/pasta"),
+            Some(Language::Italian)
+        );
+        assert!(id.is_language("http://www.recherche-produits.fr/", Language::French));
+    }
+
+    #[test]
+    fn filter_by_language_keeps_only_matches() {
+        let id = trained();
+        let urls = [
+            "http://www.wetterbericht.de/",
+            "http://www.weather-news.co.uk/",
+            "http://www.noticias-madrid.es/",
+        ];
+        let german = id.filter_by_language(&urls, Language::German);
+        assert!(german.contains(&"http://www.wetterbericht.de/"));
+        assert!(!german.contains(&"http://www.noticias-madrid.es/"));
+    }
+
+    #[test]
+    fn histogram_counts_acceptances() {
+        let id = trained();
+        let hist = id.language_histogram([
+            "http://www.wetterbericht.de/",
+            "http://www.anderes-wetter.de/",
+            "http://www.meteo-france.fr/",
+        ]);
+        assert!(hist[Language::German.index()] >= 2);
+        assert!(hist[Language::French.index()] >= 1);
+    }
+
+    #[test]
+    fn evaluate_reports_reasonable_quality() {
+        let mut g = UrlGenerator::new(5);
+        let odp = odp_dataset(&mut g, CorpusScale::tiny());
+        let id = LanguageIdentifier::train_paper_best(&odp.train);
+        let result = id.evaluate(&odp.test);
+        assert!(result.mean_f_measure() > 0.6);
+    }
+
+    #[test]
+    fn from_classifier_set_wraps_existing_sets() {
+        let set = urlid_classifiers::LanguageClassifierSet::build(|lang| {
+            Box::new(CcTldClassifier::cctld(lang))
+        });
+        let id = LanguageIdentifier::from_classifier_set(
+            set,
+            TrainingConfig::new(FeatureSetKind::Words, Algorithm::CcTld),
+        );
+        assert_eq!(id.identify("http://www.esempio.it/"), Some(Language::Italian));
+        assert_eq!(id.config().algorithm, Algorithm::CcTld);
+        assert!(id.classifier_set().contains(Language::Italian));
+        let batch = id.identify_all(["http://www.beispiel.de/", "http://www.exemple.fr/"]);
+        assert_eq!(batch[0], Some(Language::German));
+        assert_eq!(batch[1], Some(Language::French));
+    }
+}

@@ -1,0 +1,230 @@
+//! Model persistence.
+//!
+//! The paper's crawler scenario trains once on hundreds of thousands of
+//! labelled URLs and then classifies billions of frontier URLs; retraining
+//! at every crawler start-up would be wasteful. [`ModelBundle`] is the
+//! serialisable form of a trained identifier: the fitted feature extractor
+//! plus the five per-language models and the training configuration. It
+//! can be saved to / loaded from JSON and converted into a ready-to-use
+//! [`LanguageIdentifier`].
+//!
+//! Only single-configuration models are persistable (the ccTLD baselines
+//! need no persistence, and the Section 5.6 combinations can be rebuilt
+//! from two bundles).
+
+use crate::identifier::LanguageIdentifier;
+use crate::trainer::{sample_vectors, train_model, AnyExtractor, AnyModel, TrainedUrlClassifier, TrainingConfig};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+use urlid_classifiers::{Algorithm, LanguageClassifierSet, UrlClassifier, VectorClassifier};
+use urlid_features::{Dataset, FeatureExtractor};
+use urlid_lexicon::{Language, ALL_LANGUAGES};
+
+/// Errors that can occur when saving or loading a model bundle.
+#[derive(Debug)]
+pub enum PersistenceError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// (De)serialisation error.
+    Serde(serde_json::Error),
+    /// The configuration is not persistable (ccTLD baselines).
+    NotPersistable(Algorithm),
+}
+
+impl std::fmt::Display for PersistenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistenceError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistenceError::Serde(e) => write!(f, "serialisation error: {e}"),
+            PersistenceError::NotPersistable(a) => {
+                write!(f, "{a} needs no trained model and cannot be persisted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistenceError {}
+
+impl From<io::Error> for PersistenceError {
+    fn from(e: io::Error) -> Self {
+        PersistenceError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistenceError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistenceError::Serde(e)
+    }
+}
+
+/// A serialisable trained model: one fitted extractor + five binary models.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelBundle {
+    config: TrainingConfig,
+    extractor: AnyExtractor,
+    models: Vec<AnyModel>,
+}
+
+impl ModelBundle {
+    /// Train a bundle (same pipeline as [`crate::trainer::train_classifier_set`],
+    /// but keeping the concrete models so they can be serialised).
+    pub fn train(training: &Dataset, config: &TrainingConfig) -> Result<Self, PersistenceError> {
+        if matches!(config.algorithm, Algorithm::CcTld | Algorithm::CcTldPlus) {
+            return Err(PersistenceError::NotPersistable(config.algorithm));
+        }
+        let mut extractor = AnyExtractor::build(config);
+        extractor.fit(&training.urls);
+        let mut models = Vec::with_capacity(5);
+        for lang in ALL_LANGUAGES {
+            let (positives, negatives) = sample_vectors(training, &extractor, lang, config);
+            models.push(train_model(&positives, &negatives, extractor.dim(), config));
+        }
+        Ok(Self {
+            config: *config,
+            extractor,
+            models,
+        })
+    }
+
+    /// The training configuration stored in the bundle.
+    pub fn config(&self) -> &TrainingConfig {
+        &self.config
+    }
+
+    /// Binary decision for one URL and language straight from the bundle.
+    pub fn is_language(&self, url: &str, lang: Language) -> bool {
+        let v = self.extractor.transform(url);
+        self.models[lang.index()].classify(&v)
+    }
+
+    /// Convert into a ready-to-use [`LanguageIdentifier`].
+    pub fn into_identifier(self) -> LanguageIdentifier {
+        let extractor = Arc::new(self.extractor);
+        let mut models = self.models;
+        // Drain in reverse so we can pop per language index.
+        let mut per_lang: Vec<Option<AnyModel>> = models.drain(..).map(Some).collect();
+        let set = LanguageClassifierSet::build(|lang| {
+            let model = per_lang[lang.index()]
+                .take()
+                .expect("bundle has one model per language");
+            Box::new(TrainedUrlClassifier {
+                extractor: Arc::clone(&extractor),
+                model,
+            }) as Box<dyn UrlClassifier>
+        });
+        LanguageIdentifier::from_classifier_set(set, self.config)
+    }
+
+    /// Serialise to a JSON string.
+    pub fn to_json(&self) -> Result<String, PersistenceError> {
+        Ok(serde_json::to_string(self)?)
+    }
+
+    /// Deserialise from a JSON string.
+    pub fn from_json(json: &str) -> Result<Self, PersistenceError> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Save to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistenceError> {
+        std::fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Load from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistenceError> {
+        Self::from_json(&std::fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urlid_corpus::{odp_dataset, CorpusScale, UrlGenerator};
+    use urlid_features::FeatureSetKind;
+
+    fn tiny_training() -> Dataset {
+        let mut g = UrlGenerator::new(21);
+        odp_dataset(&mut g, CorpusScale::tiny()).train
+    }
+
+    #[test]
+    fn bundle_round_trips_through_json() {
+        let training = tiny_training();
+        let bundle = ModelBundle::train(&training, &TrainingConfig::paper_best()).unwrap();
+        let json = bundle.to_json().unwrap();
+        let restored = ModelBundle::from_json(&json).unwrap();
+        // Decisions are identical before and after the round trip.
+        let mut g = UrlGenerator::new(22);
+        let profile = urlid_corpus::DatasetProfile::web_crawl();
+        for lang in ALL_LANGUAGES {
+            for url in g.generate_many(lang, &profile, 20) {
+                for l in ALL_LANGUAGES {
+                    assert_eq!(
+                        bundle.is_language(&url, l),
+                        restored.is_language(&url, l),
+                        "{url} / {l}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bundle_agrees_with_directly_trained_identifier() {
+        let training = tiny_training();
+        let config = TrainingConfig::paper_best();
+        let bundle = ModelBundle::train(&training, &config).unwrap();
+        let direct = LanguageIdentifier::train(&training, &config);
+        let from_bundle = bundle.clone().into_identifier();
+        let mut g = UrlGenerator::new(23);
+        let profile = urlid_corpus::DatasetProfile::odp();
+        for lang in ALL_LANGUAGES {
+            for url in g.generate_many(lang, &profile, 15) {
+                assert_eq!(
+                    direct.languages_of(&url),
+                    from_bundle.languages_of(&url),
+                    "{url}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn save_and_load_files() {
+        let training = tiny_training();
+        let bundle = ModelBundle::train(
+            &training,
+            &TrainingConfig::new(FeatureSetKind::Custom, Algorithm::DecisionTree),
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join("urlid-persistence-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        bundle.save(&path).unwrap();
+        let loaded = ModelBundle::load(&path).unwrap();
+        assert_eq!(loaded.config().algorithm, Algorithm::DecisionTree);
+        assert!(ModelBundle::load(dir.join("missing.json")).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cctld_is_not_persistable() {
+        let training = tiny_training();
+        let err = ModelBundle::train(
+            &training,
+            &TrainingConfig::new(FeatureSetKind::Words, Algorithm::CcTld),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PersistenceError::NotPersistable(Algorithm::CcTld)));
+        assert!(err.to_string().contains("ccTLD"));
+    }
+
+    #[test]
+    fn corrupt_json_is_rejected() {
+        assert!(ModelBundle::from_json("{not json").is_err());
+        assert!(ModelBundle::from_json("{\"config\": 3}").is_err());
+    }
+}

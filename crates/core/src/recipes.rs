@@ -1,0 +1,127 @@
+//! The paper's best per-language classifier combinations (Section 5.6).
+//!
+//! "Specifically, the best performing algorithms for each language were
+//! the following. (1) English and German: Maximum Entropy and Relative
+//! Entropy both for word features using the recall improvement approach;
+//! (2) French: Relative Entropy on trigrams with Naive Bayes on word
+//! features using the recall improvement approach; (3) Spanish: Maximum
+//! Entropy on trigram features with Naive Bayes on word features using the
+//! precision improvement approach. (4) Italian: Relative Entropy for
+//! trigrams and for word features using the recall improvement approach."
+//!
+//! [`train_best_combination`] trains exactly those pairs (one combination
+//! per language, used for all three test sets, as in the paper) and wires
+//! them with [`urlid_classifiers::CombinedClassifier`].
+
+use crate::trainer::{train_language_classifier, TrainingConfig};
+use urlid_classifiers::{
+    Algorithm, CombinationStrategy, CombinedClassifier, LanguageClassifierSet,
+};
+use urlid_features::{Dataset, FeatureSetKind};
+use urlid_lexicon::Language;
+
+/// The recipe for one language: (main, helper, strategy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CombinationRecipe {
+    /// Feature set and algorithm of the main classifier.
+    pub main: (FeatureSetKind, Algorithm),
+    /// Feature set and algorithm of the helper classifier.
+    pub helper: (FeatureSetKind, Algorithm),
+    /// OR (recall) or AND (precision) combination.
+    pub strategy: CombinationStrategy,
+}
+
+/// The paper's per-language recipes (Section 5.6).
+pub fn paper_recipe(lang: Language) -> CombinationRecipe {
+    use Algorithm::*;
+    use CombinationStrategy::*;
+    use FeatureSetKind::*;
+    match lang {
+        Language::English | Language::German => CombinationRecipe {
+            main: (Words, MaxEnt),
+            helper: (Words, RelativeEntropy),
+            strategy: RecallImprovement,
+        },
+        Language::French => CombinationRecipe {
+            main: (Trigrams, RelativeEntropy),
+            helper: (Words, NaiveBayes),
+            strategy: RecallImprovement,
+        },
+        Language::Spanish => CombinationRecipe {
+            main: (Trigrams, MaxEnt),
+            helper: (Words, NaiveBayes),
+            strategy: PrecisionImprovement,
+        },
+        Language::Italian => CombinationRecipe {
+            main: (Trigrams, RelativeEntropy),
+            helper: (Words, RelativeEntropy),
+            strategy: RecallImprovement,
+        },
+    }
+}
+
+/// Train the full best-combination classifier set on `training`.
+///
+/// `seed` controls the negative sampling of every constituent classifier.
+pub fn train_best_combination(training: &Dataset, seed: u64) -> LanguageClassifierSet {
+    LanguageClassifierSet::build(|lang| {
+        let recipe = paper_recipe(lang);
+        let main = train_language_classifier(
+            training,
+            lang,
+            &TrainingConfig::new(recipe.main.0, recipe.main.1).with_seed(seed),
+        );
+        let helper = train_language_classifier(
+            training,
+            lang,
+            &TrainingConfig::new(recipe.helper.0, recipe.helper.1).with_seed(seed.wrapping_add(1)),
+        );
+        Box::new(CombinedClassifier::new(main, helper, recipe.strategy))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urlid_corpus::{odp_dataset, CorpusScale, UrlGenerator};
+    use urlid_eval::evaluate_classifier_set;
+    use urlid_lexicon::ALL_LANGUAGES;
+
+    #[test]
+    fn recipes_match_the_paper_text() {
+        assert_eq!(
+            paper_recipe(Language::English),
+            paper_recipe(Language::German),
+            "English and German share a recipe"
+        );
+        let fr = paper_recipe(Language::French);
+        assert_eq!(fr.main, (FeatureSetKind::Trigrams, Algorithm::RelativeEntropy));
+        assert_eq!(fr.helper, (FeatureSetKind::Words, Algorithm::NaiveBayes));
+        assert_eq!(fr.strategy, CombinationStrategy::RecallImprovement);
+        let sp = paper_recipe(Language::Spanish);
+        assert_eq!(sp.strategy, CombinationStrategy::PrecisionImprovement);
+        // Every recipe involves word features on at least one side
+        // ("in all combinations at least one algorithm used word features").
+        for lang in ALL_LANGUAGES {
+            let r = paper_recipe(lang);
+            assert!(
+                r.main.0 == FeatureSetKind::Words || r.helper.0 == FeatureSetKind::Words,
+                "{lang}"
+            );
+        }
+    }
+
+    #[test]
+    fn best_combination_trains_and_performs() {
+        let mut g = UrlGenerator::new(31);
+        let odp = odp_dataset(&mut g, CorpusScale::tiny());
+        let set = train_best_combination(&odp.train, 1);
+        let result = evaluate_classifier_set(&set, &odp.test);
+        assert!(
+            result.mean_f_measure() > 0.6,
+            "combined classifiers should work, got {:.3}",
+            result.mean_f_measure()
+        );
+        assert_eq!(set.len(), 5);
+    }
+}

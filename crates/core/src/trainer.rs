@@ -1,0 +1,433 @@
+//! The training pipeline of Section 4.1.
+//!
+//! "For each language we trained the classifiers on the set of all
+//! available positive training samples (about 250k) and a random subset of
+//! equal size of negative samples, i.e., of URLs belonging to the four
+//! other languages. Using all roughly 1.25M URLs to train each binary
+//! classifier would have led to too conservative classifiers as the
+//! negative samples (1M) would have dominated."
+//!
+//! [`train_classifier_set`] therefore:
+//!
+//! 1. fits one feature extractor of the requested family on the *whole*
+//!    training set (the vocabulary / trained dictionaries are shared by
+//!    the five binary classifiers);
+//! 2. for every language, collects the positive feature vectors and an
+//!    equal-sized random sample of negative ones;
+//! 3. trains the requested algorithm and wraps the result together with
+//!    the shared extractor into a [`urlid_classifiers::UrlClassifier`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use urlid_classifiers::{
+    Algorithm, CcTldClassifier, DecisionTree, DecisionTreeConfig, KNearestNeighbors, KnnConfig,
+    LanguageClassifierSet, MaxEnt, MaxEntConfig, NaiveBayes, NaiveBayesConfig, RelativeEntropy,
+    RelativeEntropyConfig, UrlClassifier, VectorClassifier,
+};
+use urlid_features::{
+    CustomFeatureExtractor, CustomFeatureSet, Dataset, FeatureExtractor, FeatureSetKind,
+    SparseVector, TrigramFeatureExtractor, WordFeatureExtractor,
+};
+use urlid_lexicon::Language;
+
+/// Configuration for training one (feature set, algorithm) combination.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingConfig {
+    /// Which feature family to use.
+    pub feature_set: FeatureSetKind,
+    /// Which learning algorithm to use.
+    pub algorithm: Algorithm,
+    /// Which custom feature subset to use when `feature_set` is `Custom`.
+    pub custom_features: CustomFeatureSet,
+    /// Ratio of negative to positive training samples (paper: 1.0).
+    pub negative_ratio: f64,
+    /// Seed for negative sampling.
+    pub seed: u64,
+    /// Iterations for Maximum Entropy training (paper: 40; 2 in the
+    /// Section 7 content experiment).
+    pub maxent_iterations: usize,
+    /// Use the page content of training examples when present (Section 7).
+    pub use_training_content: bool,
+}
+
+impl TrainingConfig {
+    /// A configuration with the paper's defaults for the given feature
+    /// set / algorithm combination.
+    pub fn new(feature_set: FeatureSetKind, algorithm: Algorithm) -> Self {
+        Self {
+            feature_set,
+            algorithm,
+            custom_features: CustomFeatureSet::Selected15,
+            negative_ratio: 1.0,
+            seed: 0xBA9_2008,
+            maxent_iterations: 40,
+            use_training_content: false,
+        }
+    }
+
+    /// The paper's overall best single configuration: Naive Bayes on word
+    /// features (Section 5.3).
+    pub fn paper_best() -> Self {
+        Self::new(FeatureSetKind::Words, Algorithm::NaiveBayes)
+    }
+
+    /// Builder-style: set the sampling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: train on page content too (Section 7).
+    pub fn with_training_content(mut self) -> Self {
+        self.use_training_content = true;
+        self
+    }
+
+    /// Builder-style: use the full 74 custom features instead of the
+    /// selected 15.
+    pub fn with_full_custom_features(mut self) -> Self {
+        self.custom_features = CustomFeatureSet::Full74;
+        self
+    }
+
+    /// Builder-style: set the Maximum Entropy iteration count.
+    pub fn with_maxent_iterations(mut self, iterations: usize) -> Self {
+        self.maxent_iterations = iterations;
+        self
+    }
+}
+
+/// The concrete extractor for a feature family.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) enum AnyExtractor {
+    Words(WordFeatureExtractor),
+    Trigrams(TrigramFeatureExtractor),
+    Custom(CustomFeatureExtractor),
+}
+
+impl AnyExtractor {
+    pub(crate) fn build(config: &TrainingConfig) -> Self {
+        match config.feature_set {
+            FeatureSetKind::Words => {
+                if config.use_training_content {
+                    AnyExtractor::Words(WordFeatureExtractor::with_training_content())
+                } else {
+                    AnyExtractor::Words(WordFeatureExtractor::default())
+                }
+            }
+            FeatureSetKind::Trigrams => {
+                if config.use_training_content {
+                    AnyExtractor::Trigrams(TrigramFeatureExtractor::with_training_content())
+                } else {
+                    AnyExtractor::Trigrams(TrigramFeatureExtractor::default())
+                }
+            }
+            FeatureSetKind::Custom => {
+                AnyExtractor::Custom(CustomFeatureExtractor::new(config.custom_features))
+            }
+        }
+    }
+}
+
+impl FeatureExtractor for AnyExtractor {
+    fn fit(&mut self, training: &[urlid_features::LabeledUrl]) {
+        match self {
+            AnyExtractor::Words(e) => e.fit(training),
+            AnyExtractor::Trigrams(e) => e.fit(training),
+            AnyExtractor::Custom(e) => e.fit(training),
+        }
+    }
+    fn transform(&self, url: &str) -> SparseVector {
+        match self {
+            AnyExtractor::Words(e) => e.transform(url),
+            AnyExtractor::Trigrams(e) => e.transform(url),
+            AnyExtractor::Custom(e) => e.transform(url),
+        }
+    }
+    fn transform_training(&self, example: &urlid_features::LabeledUrl) -> SparseVector {
+        match self {
+            AnyExtractor::Words(e) => e.transform_training(example),
+            AnyExtractor::Trigrams(e) => e.transform_training(example),
+            AnyExtractor::Custom(e) => e.transform_training(example),
+        }
+    }
+    fn dim(&self) -> usize {
+        match self {
+            AnyExtractor::Words(e) => e.dim(),
+            AnyExtractor::Trigrams(e) => e.dim(),
+            AnyExtractor::Custom(e) => e.dim(),
+        }
+    }
+    fn feature_name(&self, index: u32) -> Option<String> {
+        match self {
+            AnyExtractor::Words(e) => e.feature_name(index),
+            AnyExtractor::Trigrams(e) => e.feature_name(index),
+            AnyExtractor::Custom(e) => e.feature_name(index),
+        }
+    }
+    fn kind(&self) -> FeatureSetKind {
+        match self {
+            AnyExtractor::Words(e) => e.kind(),
+            AnyExtractor::Trigrams(e) => e.kind(),
+            AnyExtractor::Custom(e) => e.kind(),
+        }
+    }
+}
+
+/// The concrete trained model for any of the learning algorithms.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) enum AnyModel {
+    NaiveBayes(NaiveBayes),
+    RelativeEntropy(RelativeEntropy),
+    MaxEnt(MaxEnt),
+    DecisionTree(DecisionTree),
+    Knn(KNearestNeighbors),
+}
+
+impl VectorClassifier for AnyModel {
+    fn score(&self, features: &SparseVector) -> f64 {
+        match self {
+            AnyModel::NaiveBayes(m) => m.score(features),
+            AnyModel::RelativeEntropy(m) => m.score(features),
+            AnyModel::MaxEnt(m) => m.score(features),
+            AnyModel::DecisionTree(m) => m.score(features),
+            AnyModel::Knn(m) => m.score(features),
+        }
+    }
+}
+
+/// A shared fitted extractor paired with one trained model.
+pub(crate) struct TrainedUrlClassifier {
+    pub(crate) extractor: Arc<AnyExtractor>,
+    pub(crate) model: AnyModel,
+}
+
+impl UrlClassifier for TrainedUrlClassifier {
+    fn classify_url(&self, url: &str) -> bool {
+        self.model.classify(&self.extractor.transform(url))
+    }
+    fn score_url(&self, url: &str) -> f64 {
+        self.model.score(&self.extractor.transform(url))
+    }
+}
+
+/// Collect the positive vectors of `lang` and an equal-size (times
+/// `negative_ratio`) random sample of negative vectors.
+pub(crate) fn sample_vectors(
+    training: &Dataset,
+    extractor: &AnyExtractor,
+    lang: Language,
+    config: &TrainingConfig,
+) -> (Vec<SparseVector>, Vec<SparseVector>) {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ (lang.index() as u64 + 1) * 0x9E37_79B9);
+    let mut positives = Vec::new();
+    let mut negative_pool: Vec<&urlid_features::LabeledUrl> = Vec::new();
+    for example in &training.urls {
+        if example.language == lang {
+            positives.push(extractor.transform_training(example));
+        } else {
+            negative_pool.push(example);
+        }
+    }
+    let target = ((positives.len() as f64) * config.negative_ratio).round() as usize;
+    let negatives: Vec<SparseVector> = if negative_pool.len() <= target {
+        negative_pool
+            .iter()
+            .map(|e| extractor.transform_training(e))
+            .collect()
+    } else {
+        // Partial Fisher–Yates: draw `target` distinct indices.
+        let mut indices: Vec<usize> = (0..negative_pool.len()).collect();
+        for i in 0..target {
+            let j = rng.random_range(i..indices.len());
+            indices.swap(i, j);
+        }
+        indices[..target]
+            .iter()
+            .map(|&i| extractor.transform_training(negative_pool[i]))
+            .collect()
+    };
+    (positives, negatives)
+}
+
+pub(crate) fn train_model(
+    positives: &[SparseVector],
+    negatives: &[SparseVector],
+    dim: usize,
+    config: &TrainingConfig,
+) -> AnyModel {
+    match config.algorithm {
+        Algorithm::NaiveBayes => AnyModel::NaiveBayes(NaiveBayes::train(
+            positives,
+            negatives,
+            NaiveBayesConfig::for_dim(dim),
+        )),
+        Algorithm::RelativeEntropy => AnyModel::RelativeEntropy(RelativeEntropy::train(
+            positives,
+            negatives,
+            RelativeEntropyConfig::for_dim(dim),
+        )),
+        Algorithm::MaxEnt => AnyModel::MaxEnt(MaxEnt::train(
+            positives,
+            negatives,
+            MaxEntConfig::with_iterations(dim, config.maxent_iterations),
+        )),
+        Algorithm::DecisionTree => AnyModel::DecisionTree(DecisionTree::train(
+            positives,
+            negatives,
+            DecisionTreeConfig::for_dim(dim),
+        )),
+        Algorithm::KNearestNeighbors => AnyModel::Knn(KNearestNeighbors::train(
+            positives,
+            negatives,
+            KnnConfig::default(),
+        )),
+        Algorithm::CcTld | Algorithm::CcTldPlus => {
+            unreachable!("ccTLD baselines are handled before feature extraction")
+        }
+    }
+}
+
+/// Train the binary classifier for one language.
+pub fn train_language_classifier(
+    training: &Dataset,
+    lang: Language,
+    config: &TrainingConfig,
+) -> Box<dyn UrlClassifier> {
+    match config.algorithm {
+        Algorithm::CcTld | Algorithm::CcTldPlus => {
+            return Box::new(CcTldClassifier::for_algorithm(config.algorithm, lang));
+        }
+        _ => {}
+    }
+    let mut extractor = AnyExtractor::build(config);
+    extractor.fit(&training.urls);
+    let (positives, negatives) = sample_vectors(training, &extractor, lang, config);
+    let model = train_model(&positives, &negatives, extractor.dim(), config);
+    Box::new(TrainedUrlClassifier {
+        extractor: Arc::new(extractor),
+        model,
+    })
+}
+
+/// Train all five binary classifiers (sharing one fitted extractor).
+pub fn train_classifier_set(training: &Dataset, config: &TrainingConfig) -> LanguageClassifierSet {
+    match config.algorithm {
+        Algorithm::CcTld | Algorithm::CcTldPlus => {
+            return LanguageClassifierSet::build(|lang| {
+                Box::new(CcTldClassifier::for_algorithm(config.algorithm, lang))
+            });
+        }
+        _ => {}
+    }
+    let mut extractor = AnyExtractor::build(config);
+    extractor.fit(&training.urls);
+    let extractor = Arc::new(extractor);
+    LanguageClassifierSet::build(|lang| {
+        let (positives, negatives) = sample_vectors(training, &extractor, lang, config);
+        let model = train_model(&positives, &negatives, extractor.dim(), config);
+        Box::new(TrainedUrlClassifier {
+            extractor: Arc::clone(&extractor),
+            model,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urlid_corpus::{odp_dataset, CorpusScale, UrlGenerator};
+    use urlid_eval::evaluate_classifier_set;
+
+    fn tiny_corpus() -> (Dataset, Dataset) {
+        let mut g = UrlGenerator::new(11);
+        let odp = odp_dataset(&mut g, CorpusScale::tiny());
+        (odp.train, odp.test)
+    }
+
+    #[test]
+    fn naive_bayes_words_learns_the_task() {
+        let (train, test) = tiny_corpus();
+        let set = train_classifier_set(&train, &TrainingConfig::paper_best());
+        let result = evaluate_classifier_set(&set, &test);
+        assert!(
+            result.mean_f_measure() > 0.70,
+            "NB+words should reach a reasonable F even on a tiny corpus, got {:.3}",
+            result.mean_f_measure()
+        );
+    }
+
+    #[test]
+    fn every_algorithm_and_feature_set_trains_and_beats_chance() {
+        let (train, test) = tiny_corpus();
+        for feature_set in [FeatureSetKind::Words, FeatureSetKind::Trigrams, FeatureSetKind::Custom] {
+            for algorithm in [Algorithm::NaiveBayes, Algorithm::RelativeEntropy] {
+                let config = TrainingConfig::new(feature_set, algorithm);
+                let set = train_classifier_set(&train, &config);
+                let result = evaluate_classifier_set(&set, &test);
+                assert!(
+                    result.mean_f_measure() > 0.40,
+                    "{feature_set:?}/{algorithm:?} too weak: {:.3}",
+                    result.mean_f_measure()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cctld_configs_skip_feature_training() {
+        let (train, test) = tiny_corpus();
+        let set = train_classifier_set(
+            &train,
+            &TrainingConfig::new(FeatureSetKind::Words, Algorithm::CcTld),
+        );
+        let result = evaluate_classifier_set(&set, &test);
+        // High precision, poor recall for English (the paper's Table 4).
+        let en = result.metrics(Language::English);
+        assert!(en.precision > 0.8);
+        assert!(en.recall < 0.4);
+    }
+
+    #[test]
+    fn single_language_classifier_agrees_with_set() {
+        let (train, _test) = tiny_corpus();
+        let config = TrainingConfig::paper_best();
+        let set = train_classifier_set(&train, &config);
+        let single = train_language_classifier(&train, Language::German, &config);
+        // Same training data, same seed: decisions must agree.
+        for url in [
+            "http://www.wetter-nachrichten.de/berlin",
+            "http://www.weather-news.co.uk/london",
+        ] {
+            assert_eq!(
+                single.classify_url(url),
+                set.get(Language::German).unwrap().classify_url(url),
+                "{url}"
+            );
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let (train, test) = tiny_corpus();
+        let config = TrainingConfig::paper_best().with_seed(7);
+        let a = evaluate_classifier_set(&train_classifier_set(&train, &config), &test);
+        let b = evaluate_classifier_set(&train_classifier_set(&train, &config), &test);
+        assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn builder_methods_set_fields() {
+        let c = TrainingConfig::new(FeatureSetKind::Custom, Algorithm::DecisionTree)
+            .with_seed(9)
+            .with_full_custom_features()
+            .with_maxent_iterations(2)
+            .with_training_content();
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.custom_features, CustomFeatureSet::Full74);
+        assert_eq!(c.maxent_iterations, 2);
+        assert!(c.use_training_content);
+    }
+}

@@ -1,0 +1,153 @@
+//! Synthetic page content for the "training on content" experiment.
+//!
+//! Section 7 of the paper trains classifiers on the URL *plus* the text of
+//! the page and finds that the F-measure drops for every language. The
+//! mechanism the paper identifies: strong URL signals such as the token
+//! `it` (present in 67 % of Italian URLs, 99 % precise) are diluted
+//! because the same strings are ordinary, frequent words of *other*
+//! languages once page text enters the training data (`it` is a frequent
+//! English word, `de` is a frequent French/Spanish word, `es` is a
+//! frequent German word, ...).
+//!
+//! The [`ContentGenerator`] therefore produces page text consisting of the
+//! language's dictionary words *plus* frequent short function words, where
+//! the function-word lists deliberately contain the other languages' TLD
+//! strings exactly as natural language does.
+
+use crate::morphology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use urlid_lexicon::{wordlists, Language};
+
+/// Frequent short function words per language. Note the cross-language
+/// TLD collisions that drive the Section 7 effect: English "it"/"us",
+/// French/Spanish "de", German "es", Italian "no"/"due".
+fn function_words(lang: Language) -> &'static [&'static str] {
+    match lang {
+        Language::English => &["it", "is", "in", "to", "of", "on", "at", "as", "be", "us", "we", "a"],
+        Language::German => &["es", "im", "am", "zu", "an", "um", "so", "da", "wir", "ich", "er"],
+        Language::French => &["de", "le", "la", "et", "en", "du", "au", "il", "on", "ce", "se"],
+        Language::Spanish => &["de", "la", "el", "en", "es", "se", "un", "lo", "al", "su", "no"],
+        Language::Italian => &["di", "la", "il", "in", "un", "al", "si", "no", "da", "se", "lo"],
+    }
+}
+
+/// Deterministic generator of synthetic page text.
+#[derive(Debug, Clone)]
+pub struct ContentGenerator {
+    rng: StdRng,
+    /// Number of words per generated page (mean; actual length varies ±50%).
+    mean_words: usize,
+}
+
+impl ContentGenerator {
+    /// Create a generator producing pages of roughly `mean_words` words.
+    pub fn new(seed: u64, mean_words: usize) -> Self {
+        assert!(mean_words >= 10, "pages should have at least 10 words");
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            mean_words,
+        }
+    }
+
+    /// Create a generator with the default page length (120 words).
+    pub fn with_seed(seed: u64) -> Self {
+        Self::new(seed, 120)
+    }
+
+    /// Generate the text of one page in `lang` (lowercase, space-separated
+    /// words — the paper strips HTML before training, so we never generate
+    /// markup in the first place).
+    pub fn generate(&mut self, lang: Language) -> String {
+        let len = self.rng.random_range(self.mean_words / 2..=self.mean_words * 3 / 2);
+        let mut words = Vec::with_capacity(len);
+        for _ in 0..len {
+            let r: f64 = self.rng.random();
+            if r < 0.35 {
+                words.push((*morphology::pick(&mut self.rng, function_words(lang))).to_owned());
+            } else if r < 0.95 {
+                words.push(
+                    (*morphology::pick(&mut self.rng, wordlists::words_for(lang))).to_owned(),
+                );
+            } else {
+                words.push(morphology::invented_word(&mut self.rng, lang));
+            }
+        }
+        words.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urlid_lexicon::ALL_LANGUAGES;
+
+    #[test]
+    fn pages_have_roughly_the_requested_length() {
+        let mut g = ContentGenerator::new(1, 100);
+        for lang in ALL_LANGUAGES {
+            let text = g.generate(lang);
+            let n = text.split_whitespace().count();
+            assert!((50..=150).contains(&n), "{lang}: {n} words");
+        }
+    }
+
+    #[test]
+    fn content_is_lowercase_ascii_words() {
+        let mut g = ContentGenerator::with_seed(2);
+        let text = g.generate(Language::German);
+        for w in text.split_whitespace() {
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn english_content_contains_the_token_it() {
+        // The dilution mechanism of Section 7: "it" must be a frequent
+        // English content word.
+        let mut g = ContentGenerator::new(3, 400);
+        let mut hits = 0;
+        for _ in 0..20 {
+            if g.generate(Language::English).split_whitespace().any(|w| w == "it") {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 18, "'it' should appear in almost every English page, got {hits}/20");
+    }
+
+    #[test]
+    fn french_and_spanish_content_contains_de() {
+        let mut g = ContentGenerator::new(4, 400);
+        for lang in [Language::French, Language::Spanish] {
+            let text = g.generate(lang);
+            assert!(text.split_whitespace().any(|w| w == "de"), "{lang}");
+        }
+    }
+
+    #[test]
+    fn content_is_language_typical() {
+        // The dominant vocabulary of a German page should be German.
+        let mut g = ContentGenerator::new(5, 300);
+        let text = g.generate(Language::German);
+        let german: std::collections::HashSet<&str> =
+            wordlists::words_for(Language::German).iter().copied().collect();
+        let italian: std::collections::HashSet<&str> =
+            wordlists::words_for(Language::Italian).iter().copied().collect();
+        let de_hits = text.split_whitespace().filter(|w| german.contains(w)).count();
+        let it_hits = text.split_whitespace().filter(|w| italian.contains(w)).count();
+        assert!(de_hits > 5 * it_hits.max(1), "de {de_hits} vs it {it_hits}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = ContentGenerator::with_seed(9);
+        let mut b = ContentGenerator::with_seed(9);
+        assert_eq!(a.generate(Language::Italian), b.generate(Language::Italian));
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_pages_are_rejected() {
+        let _ = ContentGenerator::new(0, 3);
+    }
+}

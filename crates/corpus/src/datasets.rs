@@ -1,0 +1,281 @@
+//! Data-set builders mirroring Table 1 of the paper.
+//!
+//! | Data set | Language | Training size | Test size |
+//! |----------|----------|---------------|-----------|
+//! | ODP      | each     | ≈145,000      | ≈4,900    |
+//! | SER      | each     | ≈99,700       | ≈1,000    |
+//! | Web crawl| En/Ge/Fr/Sp/It | 0       | 1082/81/57/19/21 |
+//!
+//! The builders accept a [`CorpusScale`] so that laptop-scale experiments
+//! (the default for the benches) and full paper-scale runs use the same
+//! code path. The web-crawl test set is never scaled below its (already
+//! tiny) paper size unless an explicit factor < 1 is requested.
+
+use crate::content::ContentGenerator;
+use crate::generator::UrlGenerator;
+use crate::profiles::DatasetProfile;
+use serde::{Deserialize, Serialize};
+use urlid_features::{Dataset, LabeledUrl, TrainTestSplit};
+use urlid_lexicon::ALL_LANGUAGES;
+
+/// Paper-scale ODP training size per language.
+pub const ODP_TRAIN_PER_LANGUAGE: usize = 145_000;
+/// Paper-scale ODP test size per language.
+pub const ODP_TEST_PER_LANGUAGE: usize = 4_900;
+/// Paper-scale SER training size per language.
+pub const SER_TRAIN_PER_LANGUAGE: usize = 99_700;
+/// Paper-scale SER test size per language.
+pub const SER_TEST_PER_LANGUAGE: usize = 1_000;
+/// Paper web-crawl test sizes per language (En, Ge, Fr, Sp, It).
+pub const WEB_CRAWL_SIZES: [usize; 5] = [1_082, 81, 57, 19, 21];
+
+/// A scale factor applied to the paper's data-set sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorpusScale(pub f64);
+
+impl CorpusScale {
+    /// The paper's full sizes (≈1.2 M training URLs).
+    pub fn paper() -> Self {
+        Self(1.0)
+    }
+
+    /// A laptop-scale default (≈2 % of the paper's sizes — roughly 3,000
+    /// training URLs per language per set), small enough for seconds-long
+    /// experiments while keeping every distributional property.
+    pub fn small() -> Self {
+        Self(0.02)
+    }
+
+    /// A very small scale for unit tests.
+    pub fn tiny() -> Self {
+        Self(0.004)
+    }
+
+    /// Apply the scale to a paper-size count (at least 5 URLs survive).
+    pub fn apply(&self, paper_size: usize) -> usize {
+        ((paper_size as f64 * self.0).round() as usize).max(5)
+    }
+}
+
+impl Default for CorpusScale {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+/// Generate the ODP data set (training + test) at the given scale.
+pub fn odp_dataset(generator: &mut UrlGenerator, scale: CorpusScale) -> TrainTestSplit {
+    let profile = DatasetProfile::odp();
+    build_split(
+        generator,
+        &profile,
+        "odp",
+        scale.apply(ODP_TRAIN_PER_LANGUAGE),
+        scale.apply(ODP_TEST_PER_LANGUAGE),
+    )
+}
+
+/// Generate the search-engine-results data set (training + test).
+pub fn ser_dataset(generator: &mut UrlGenerator, scale: CorpusScale) -> TrainTestSplit {
+    let profile = DatasetProfile::ser();
+    build_split(
+        generator,
+        &profile,
+        "ser",
+        scale.apply(SER_TRAIN_PER_LANGUAGE),
+        scale.apply(SER_TEST_PER_LANGUAGE),
+    )
+}
+
+/// Generate the hand-labelled web-crawl test set (test only, strongly
+/// English-skewed: 1082/81/57/19/21 at paper scale).
+pub fn web_crawl_dataset(generator: &mut UrlGenerator, scale: CorpusScale) -> Dataset {
+    let profile = DatasetProfile::web_crawl();
+    let mut dataset = Dataset::new("web-crawl");
+    for lang in ALL_LANGUAGES {
+        let n = if scale.0 >= 1.0 {
+            WEB_CRAWL_SIZES[lang.index()]
+        } else {
+            // Keep the skew but never drop a language entirely.
+            ((WEB_CRAWL_SIZES[lang.index()] as f64 * scale.0.max(0.2)).round() as usize).max(4)
+        };
+        for url in generator.generate_many(lang, &profile, n) {
+            dataset.urls.push(LabeledUrl::new(url, lang));
+        }
+    }
+    dataset
+}
+
+fn build_split(
+    generator: &mut UrlGenerator,
+    profile: &DatasetProfile,
+    name: &str,
+    train_per_lang: usize,
+    test_per_lang: usize,
+) -> TrainTestSplit {
+    let mut train = Dataset::new(format!("{name}-train"));
+    let mut test = Dataset::new(format!("{name}-test"));
+    for lang in ALL_LANGUAGES {
+        for url in generator.generate_many(lang, profile, train_per_lang) {
+            train.urls.push(LabeledUrl::new(url, lang));
+        }
+        for url in generator.generate_many(lang, profile, test_per_lang) {
+            test.urls.push(LabeledUrl::new(url, lang));
+        }
+    }
+    TrainTestSplit { train, test }
+}
+
+/// All three data sets generated from one shared generator (so that domain
+/// pools — and hence domain memorisation across sets — behave like on the
+/// real web).
+#[derive(Debug, Clone)]
+pub struct PaperCorpus {
+    /// The ODP training/test split.
+    pub odp: TrainTestSplit,
+    /// The search-engine-results training/test split.
+    pub ser: TrainTestSplit,
+    /// The web-crawl test set.
+    pub web_crawl: Dataset,
+}
+
+impl PaperCorpus {
+    /// Generate the full corpus from a seed at the given scale.
+    pub fn generate(seed: u64, scale: CorpusScale) -> Self {
+        let mut generator = UrlGenerator::new(seed);
+        let odp = odp_dataset(&mut generator, scale);
+        let ser = ser_dataset(&mut generator, scale);
+        let web_crawl = web_crawl_dataset(&mut generator, scale);
+        Self {
+            odp,
+            ser,
+            web_crawl,
+        }
+    }
+
+    /// The combined training set (ODP train + SER train), which is what
+    /// the paper trains its classifiers on (≈245k positive URLs per
+    /// language at full scale).
+    pub fn combined_training(&self) -> Dataset {
+        let mut combined = Dataset::new("odp+ser-train");
+        combined.urls.extend(self.odp.train.urls.iter().cloned());
+        combined.urls.extend(self.ser.train.urls.iter().cloned());
+        combined
+    }
+
+    /// The three test sets, in paper order, with their display names.
+    pub fn test_sets(&self) -> [(&'static str, &Dataset); 3] {
+        [
+            ("ODP", &self.odp.test),
+            ("SER", &self.ser.test),
+            ("WC", &self.web_crawl),
+        ]
+    }
+}
+
+/// Attach synthetic page content to every URL of a training set
+/// (Section 7: content is only ever used for training, never for test).
+pub fn attach_content(dataset: &mut Dataset, content: &mut ContentGenerator) {
+    for url in &mut dataset.urls {
+        url.content = Some(content.generate(url.language));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urlid_lexicon::Language;
+
+    #[test]
+    fn scale_application() {
+        assert_eq!(CorpusScale::paper().apply(1000), 1000);
+        assert_eq!(CorpusScale(0.1).apply(1000), 100);
+        assert_eq!(CorpusScale(0.0001).apply(1000), 5, "floor of 5");
+        assert_eq!(CorpusScale::default().0, CorpusScale::small().0);
+    }
+
+    #[test]
+    fn odp_and_ser_splits_have_balanced_languages() {
+        let mut g = UrlGenerator::new(1);
+        let odp = odp_dataset(&mut g, CorpusScale::tiny());
+        let per_lang_train = CorpusScale::tiny().apply(ODP_TRAIN_PER_LANGUAGE);
+        let per_lang_test = CorpusScale::tiny().apply(ODP_TEST_PER_LANGUAGE);
+        assert_eq!(odp.train.language_counts(), [per_lang_train; 5]);
+        assert_eq!(odp.test.language_counts(), [per_lang_test; 5]);
+        let ser = ser_dataset(&mut g, CorpusScale::tiny());
+        assert_eq!(ser.train.len(), 5 * CorpusScale::tiny().apply(SER_TRAIN_PER_LANGUAGE));
+    }
+
+    #[test]
+    fn web_crawl_is_english_skewed() {
+        let mut g = UrlGenerator::new(2);
+        let wc = web_crawl_dataset(&mut g, CorpusScale::paper());
+        assert_eq!(wc.language_counts(), WEB_CRAWL_SIZES);
+        let wc_small = web_crawl_dataset(&mut g, CorpusScale::small());
+        let counts = wc_small.language_counts();
+        assert!(counts[Language::English.index()] > 10 * counts[Language::Spanish.index()] / 2);
+        assert!(counts.iter().all(|&c| c >= 4));
+    }
+
+    #[test]
+    fn paper_corpus_builds_all_three_sets() {
+        let corpus = PaperCorpus::generate(3, CorpusScale::tiny());
+        assert!(!corpus.odp.train.is_empty());
+        assert!(!corpus.ser.test.is_empty());
+        assert!(!corpus.web_crawl.is_empty());
+        let combined = corpus.combined_training();
+        assert_eq!(
+            combined.len(),
+            corpus.odp.train.len() + corpus.ser.train.len()
+        );
+        assert_eq!(corpus.test_sets()[2].0, "WC");
+    }
+
+    #[test]
+    fn corpus_generation_is_deterministic() {
+        let a = PaperCorpus::generate(7, CorpusScale::tiny());
+        let b = PaperCorpus::generate(7, CorpusScale::tiny());
+        assert_eq!(a.odp.train, b.odp.train);
+        assert_eq!(a.web_crawl, b.web_crawl);
+        let c = PaperCorpus::generate(8, CorpusScale::tiny());
+        assert_ne!(a.odp.train, c.odp.train);
+    }
+
+    #[test]
+    fn attach_content_adds_text_of_the_right_language() {
+        let mut g = UrlGenerator::new(4);
+        let mut split = odp_dataset(&mut g, CorpusScale::tiny());
+        let mut content = ContentGenerator::with_seed(5);
+        attach_content(&mut split.train, &mut content);
+        assert!(split.train.urls.iter().all(|u| u.content.is_some()));
+        // Test set stays content-free by construction.
+        assert!(split.test.urls.iter().all(|u| u.content.is_none()));
+    }
+
+    #[test]
+    fn training_and_test_sets_share_domains() {
+        // The domain-memorisation premise of Section 6.
+        let mut g = UrlGenerator::new(6);
+        let odp = odp_dataset(&mut g, CorpusScale::small());
+        let train_domains: std::collections::HashSet<String> = odp
+            .train
+            .urls
+            .iter()
+            .filter_map(|u| urlid_tokenize::ParsedUrl::parse(&u.url).registered_domain())
+            .collect();
+        let seen = odp
+            .test
+            .urls
+            .iter()
+            .filter(|u| {
+                urlid_tokenize::ParsedUrl::parse(&u.url)
+                    .registered_domain()
+                    .map(|d| train_domains.contains(&d))
+                    .unwrap_or(false)
+            })
+            .count();
+        let frac = seen as f64 / odp.test.len() as f64;
+        assert!(frac > 0.4, "expected substantial domain overlap, got {frac:.2}");
+        assert!(frac < 0.99, "but not total overlap, got {frac:.2}");
+    }
+}

@@ -1,0 +1,385 @@
+//! The synthetic URL generator.
+//!
+//! [`UrlGenerator`] owns the persistent per-language domain pools (so that
+//! the same registered domains recur across training and test URLs, as on
+//! the real web) and produces individual URLs according to a
+//! [`DatasetProfile`].
+//!
+//! Anatomy of a generated URL:
+//!
+//! ```text
+//! http://  [www.]  [sub.]  stem[-stem2]  .tld  /seg1/seg2/page.html  [?k=v]
+//! ```
+//!
+//! * the *lexical language* of stems and path segments is the URL's true
+//!   language, except for "English-looking" URLs of non-English pages,
+//!   whose lexical material is English (the paper's central difficulty);
+//! * the TLD is drawn from the per-language mix of the profile;
+//! * with probability `shared_domain` the host stem comes from a shared
+//!   multi-language provider pool (the `wordpress.com` effect);
+//! * otherwise the registered domain comes from the language's persistent
+//!   pool with probability `pool_domain`, and is freshly invented
+//!   otherwise.
+
+use crate::morphology;
+use crate::profiles::DatasetProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use urlid_lexicon::{cctld::CcTldTable, cities, wordlists, Language, ALL_LANGUAGES};
+
+/// TLDs assigned to none of the five languages (and not com/org/net).
+const OTHER_TLDS: &[&str] = &["ru", "jp", "ch", "nl", "se", "pl", "cz", "pt", "eu", "info", "biz"];
+
+/// Subdomain words occasionally prepended to hosts.
+const GENERIC_SUBDOMAINS: &[&str] = &["shop", "forum", "news", "blog", "mail", "web", "online", "home"];
+
+/// Path file extensions.
+const EXTENSIONS: &[&str] = &["html", "htm", "php", "asp", "shtml"];
+
+/// The stateful URL generator.
+#[derive(Debug, Clone)]
+pub struct UrlGenerator {
+    rng: StdRng,
+    /// Persistent per-language pools of host stems.
+    stem_pools: [Vec<String>; 5],
+    /// Persistent pool of shared provider host names (stem only).
+    shared_pool: Vec<String>,
+}
+
+impl UrlGenerator {
+    /// Default number of host stems per language pool.
+    pub const DEFAULT_POOL_SIZE: usize = 300;
+
+    /// Create a generator with the default pool size.
+    pub fn new(seed: u64) -> Self {
+        Self::with_pool_size(seed, Self::DEFAULT_POOL_SIZE)
+    }
+
+    /// Create a generator with a custom per-language pool size (smaller
+    /// pools mean more domain reuse / memorisation).
+    pub fn with_pool_size(seed: u64, pool_size: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stem_pools: [Vec<String>; 5] = Default::default();
+        for lang in ALL_LANGUAGES {
+            let pool = &mut stem_pools[lang.index()];
+            while pool.len() < pool_size {
+                pool.push(morphology::host_stem(&mut rng, lang));
+            }
+        }
+        let shared_pool = morphology::SHARED_HOST_STEMS
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        Self {
+            rng,
+            stem_pools,
+            shared_pool,
+        }
+    }
+
+    /// The persistent stem pool of a language (exposed for tests and for
+    /// the domain-memorisation analysis).
+    pub fn stem_pool(&self, lang: Language) -> &[String] {
+        &self.stem_pools[lang.index()]
+    }
+
+    /// Generate one URL of `lang` according to `profile`.
+    pub fn generate(&mut self, lang: Language, profile: &DatasetProfile) -> String {
+        let lp = *profile.language(lang);
+        // Lexical language: non-English URLs may "look English".
+        let english_looking =
+            lang != Language::English && self.rng.random_bool(lp.english_looking);
+        let lex = if english_looking {
+            Language::English
+        } else {
+            lang
+        };
+
+        let tld = self.sample_tld(lang, &lp);
+        let host = self.sample_host(lang, lex, &lp, profile, &tld);
+        let path = self.sample_path(lex, &lp, profile);
+        let query = if self.rng.random_bool(profile.query) {
+            format!("?{}={}", self.pick_word(lex), self.rng.random_range(1..500))
+        } else {
+            String::new()
+        };
+        let www = if self.rng.random_bool(0.55) { "www." } else { "" };
+        format!("http://{www}{host}{path}{query}")
+    }
+
+    /// Generate `n` URLs of `lang`.
+    pub fn generate_many(
+        &mut self,
+        lang: Language,
+        profile: &DatasetProfile,
+        n: usize,
+    ) -> Vec<String> {
+        (0..n).map(|_| self.generate(lang, profile)).collect()
+    }
+
+    fn sample_tld(&mut self, lang: Language, lp: &crate::profiles::LanguageProfile) -> String {
+        let r: f64 = self.rng.random();
+        let own = CcTldTable::cctlds_for(lang);
+        if r < lp.own_cctld {
+            // Primary ccTLD 75% of the time, any other of the language's
+            // ccTLDs otherwise.
+            if own.len() == 1 || self.rng.random_bool(0.75) {
+                own[0].to_owned()
+            } else {
+                own[self.rng.random_range(1..own.len())].to_owned()
+            }
+        } else if r < lp.own_cctld + lp.com {
+            "com".to_owned()
+        } else if r < lp.own_cctld + lp.com + lp.org {
+            "org".to_owned()
+        } else if r < lp.own_cctld + lp.com + lp.org + lp.net {
+            "net".to_owned()
+        } else {
+            (*morphology::pick(&mut self.rng, OTHER_TLDS)).to_owned()
+        }
+    }
+
+    fn sample_host(
+        &mut self,
+        lang: Language,
+        lex: Language,
+        lp: &crate::profiles::LanguageProfile,
+        profile: &DatasetProfile,
+        tld: &str,
+    ) -> String {
+        let shared = self.rng.random_bool(profile.shared_domain);
+        let stem = if shared {
+            morphology::pick(&mut self.rng, &self.shared_pool).clone()
+        } else if self.rng.random_bool(profile.pool_domain) {
+            // Pool stems always come from the URL's *true* language: a
+            // brand host such as splinder.com is not obviously Italian to
+            // a human, but word-feature classifiers can memorise it from
+            // the training data (Section 5.1 / Section 6 of the paper).
+            morphology::pick(&mut self.rng, &self.stem_pools[lang.index()]).clone()
+        } else if self.rng.random_bool(lp.hyphenation) {
+            format!(
+                "{}-{}",
+                self.pick_word(lex),
+                self.pick_word(lex)
+            )
+        } else {
+            morphology::host_stem(&mut self.rng, lex)
+        };
+        // Occasional subdomain; a small fraction uses a language-code
+        // subdomain (the de.wikipedia.org pattern).
+        let sub = if self.rng.random_bool(0.04) {
+            format!("{}.", lang.iso_code())
+        } else if self.rng.random_bool(0.08) {
+            format!("{}.", morphology::pick(&mut self.rng, GENERIC_SUBDOMAINS))
+        } else {
+            String::new()
+        };
+        // Shared providers host user areas as subpaths, not subdomains.
+        format!("{sub}{stem}.{tld}")
+    }
+
+    fn sample_path(
+        &mut self,
+        lex: Language,
+        lp: &crate::profiles::LanguageProfile,
+        profile: &DatasetProfile,
+    ) -> String {
+        // Geometric-ish path depth with the configured mean.
+        let p_continue = profile.mean_path_depth / (1.0 + profile.mean_path_depth);
+        let mut depth = 0;
+        while depth < 6 && self.rng.random_bool(p_continue) {
+            depth += 1;
+        }
+        if depth == 0 {
+            return if self.rng.random_bool(0.5) {
+                "/".to_owned()
+            } else {
+                String::new()
+            };
+        }
+        let mut segments = Vec::with_capacity(depth);
+        for i in 0..depth {
+            let last = i + 1 == depth;
+            let mut seg = self.sample_segment(lex, lp);
+            if last && self.rng.random_bool(0.45) {
+                let ext = morphology::pick(&mut self.rng, EXTENSIONS);
+                seg = format!("{seg}.{ext}");
+            }
+            segments.push(seg);
+        }
+        format!("/{}", segments.join("/"))
+    }
+
+    fn sample_segment(&mut self, lex: Language, lp: &crate::profiles::LanguageProfile) -> String {
+        let r: f64 = self.rng.random();
+        if r < 0.08 {
+            // index-style or numeric segment.
+            if self.rng.random_bool(0.5) {
+                format!("{}", self.rng.random_range(1..10_000))
+            } else {
+                format!("t-{}", self.rng.random_range(100..99_999))
+            }
+        } else if r < 0.15 {
+            (*morphology::pick(&mut self.rng, cities::cities_for(lex))).to_owned()
+        } else if r < 0.15 + lp.hyphenation {
+            format!("{}-{}", self.pick_word(lex), self.pick_word(lex))
+        } else if r < 0.75 {
+            self.pick_word(lex)
+        } else if r < 0.90 {
+            morphology::invented_word(&mut self.rng, lex)
+        } else {
+            format!("{}{}", self.pick_word(lex), self.rng.random_range(1..100))
+        }
+    }
+
+    fn pick_word(&mut self, lex: Language) -> String {
+        (*morphology::pick(&mut self.rng, wordlists::words_for(lex))).to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urlid_tokenize::ParsedUrl;
+
+    fn count_own_cctld(urls: &[String], lang: Language) -> usize {
+        let table = CcTldTable::cctld();
+        urls.iter()
+            .filter(|u| {
+                ParsedUrl::parse(u)
+                    .tld()
+                    .map(|t| table.language_of(t) == Some(lang))
+                    .unwrap_or(false)
+            })
+            .count()
+    }
+
+    #[test]
+    fn urls_are_parseable_and_well_formed() {
+        let mut g = UrlGenerator::new(1);
+        let profile = DatasetProfile::odp();
+        for lang in ALL_LANGUAGES {
+            for url in g.generate_many(lang, &profile, 200) {
+                assert!(url.starts_with("http://"), "{url}");
+                let parsed = ParsedUrl::parse(&url);
+                assert!(!parsed.host().is_empty(), "no host in {url}");
+                assert!(parsed.tld().is_some(), "no tld in {url}");
+                assert!(url.is_ascii(), "non-ascii URL {url}");
+                assert!(!url.contains(' '), "space in {url}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let profile = DatasetProfile::ser();
+        let mut a = UrlGenerator::new(99);
+        let mut b = UrlGenerator::new(99);
+        let ua = a.generate_many(Language::French, &profile, 50);
+        let ub = b.generate_many(Language::French, &profile, 50);
+        assert_eq!(ua, ub);
+        let mut c = UrlGenerator::new(100);
+        let uc = c.generate_many(Language::French, &profile, 50);
+        assert_ne!(ua, uc);
+    }
+
+    #[test]
+    fn cctld_rates_roughly_match_the_profile() {
+        let mut g = UrlGenerator::new(7);
+        let profile = DatasetProfile::odp();
+        let n = 3000;
+        for (lang, expected) in [
+            (Language::German, 0.80),
+            (Language::English, 0.13),
+            (Language::Italian, 0.62),
+        ] {
+            let urls = g.generate_many(lang, &profile, n);
+            let rate = count_own_cctld(&urls, lang) as f64 / n as f64;
+            assert!(
+                (rate - expected).abs() < 0.06,
+                "{lang}: rate {rate:.3} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn german_urls_hyphenate_much_more_than_english() {
+        let mut g = UrlGenerator::new(11);
+        let profile = DatasetProfile::odp();
+        let n = 2000;
+        let hyphens = |urls: &[String]| -> usize {
+            urls.iter().map(|u| u.matches('-').count()).sum()
+        };
+        let de = hyphens(&g.generate_many(Language::German, &profile, n));
+        let en = hyphens(&g.generate_many(Language::English, &profile, n));
+        assert!(
+            de as f64 > 2.5 * en as f64,
+            "German hyphens {de} should far exceed English {en}"
+        );
+    }
+
+    #[test]
+    fn domains_repeat_because_of_the_pool() {
+        let mut g = UrlGenerator::new(3);
+        let profile = DatasetProfile::odp();
+        let urls = g.generate_many(Language::Italian, &profile, 2000);
+        let mut domains = std::collections::HashSet::new();
+        for u in &urls {
+            domains.insert(ParsedUrl::parse(u).registered_domain().unwrap());
+        }
+        // Far fewer distinct domains than URLs -> reuse happens.
+        assert!(
+            domains.len() < urls.len() * 6 / 10,
+            "{} domains for {} urls",
+            domains.len(),
+            urls.len()
+        );
+    }
+
+    #[test]
+    fn some_non_english_urls_look_english() {
+        let mut g = UrlGenerator::new(5);
+        let profile = DatasetProfile::web_crawl();
+        let urls = g.generate_many(Language::Spanish, &profile, 1500);
+        let english_words: std::collections::HashSet<&str> =
+            wordlists::words_for(Language::English).iter().copied().collect();
+        let spanish_words: std::collections::HashSet<&str> =
+            wordlists::words_for(Language::Spanish).iter().copied().collect();
+        let mut english_looking = 0;
+        let mut spanish_looking = 0;
+        for u in &urls {
+            let tokens = urlid_tokenize::tokenize_url(u);
+            let en_hits = tokens.iter().filter(|t| english_words.contains(t.as_str())).count();
+            let es_hits = tokens.iter().filter(|t| spanish_words.contains(t.as_str())).count();
+            if en_hits > es_hits {
+                english_looking += 1;
+            } else if es_hits > en_hits {
+                spanish_looking += 1;
+            }
+        }
+        assert!(english_looking > urls.len() / 10, "too few English-looking Spanish URLs: {english_looking}");
+        assert!(spanish_looking > urls.len() / 4, "Spanish URLs should still usually look Spanish: {spanish_looking}");
+    }
+
+    #[test]
+    fn smaller_pools_mean_more_reuse() {
+        let profile = DatasetProfile::odp();
+        let distinct = |pool: usize| {
+            let mut g = UrlGenerator::with_pool_size(21, pool);
+            let urls = g.generate_many(Language::French, &profile, 1000);
+            urls.iter()
+                .map(|u| ParsedUrl::parse(u).registered_domain().unwrap())
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        assert!(distinct(50) < distinct(2000));
+    }
+
+    #[test]
+    fn stem_pools_have_the_requested_size() {
+        let g = UrlGenerator::with_pool_size(1, 123);
+        for lang in ALL_LANGUAGES {
+            assert_eq!(g.stem_pool(lang).len(), 123);
+        }
+    }
+}

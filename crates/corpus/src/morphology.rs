@@ -1,0 +1,137 @@
+//! Language-typical made-up words.
+//!
+//! Real URLs are full of tokens that appear in no dictionary: brand names,
+//! compounds, truncations. The paper's trigram features succeed precisely
+//! because such made-up tokens still *look like* their language ("the
+//! trigrams ' th' or 'ing' are very common in English, which can then be
+//! even applied to unknown tokens"). The corpus generator therefore needs
+//! a source of out-of-dictionary tokens whose character statistics are
+//! language-typical; this module provides it by combining dictionary stems
+//! with language-typical prefixes/suffixes and (for German) compounding.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use urlid_lexicon::{wordlists, Language};
+
+/// Language-typical suffixes attached to stems to create plausible
+/// out-of-dictionary tokens.
+fn suffixes(lang: Language) -> &'static [&'static str] {
+    match lang {
+        Language::English => &["ing", "tion", "ness", "ship", "land", "ville", "ware", "hub", "ly"],
+        Language::German => &["ung", "heit", "keit", "schaft", "haus", "werk", "markt", "welt", "stadt"],
+        Language::French => &["eux", "tion", "ment", "erie", "age", "aire", "eau", "ois"],
+        Language::Spanish => &["cion", "dad", "ero", "ista", "illo", "anza", "miento", "eria"],
+        Language::Italian => &["zione", "mente", "issimo", "eria", "etto", "aggio", "anza", "ino"],
+    }
+}
+
+/// A pool of "provider-style" host stems shared by all languages
+/// (international platforms hosting pages of many languages, such as the
+/// paper's `wordpress.com` example).
+pub const SHARED_HOST_STEMS: &[&str] = &[
+    "wordpress", "blogspot", "tripod", "geocities", "angelfire", "freehosting", "netfirms",
+    "homestead", "webnode", "jimdo", "weebly", "altervista", "lycos", "tiscali", "myblog",
+    "freeweb", "narod", "interfree", "chez", "ifrance",
+];
+
+/// Deterministically pick an element of a slice using the RNG.
+pub(crate) fn pick<'a, T>(rng: &mut StdRng, items: &'a [T]) -> &'a T {
+    &items[rng.random_range(0..items.len())]
+}
+
+/// A random dictionary word of the language.
+pub fn dictionary_word(rng: &mut StdRng, lang: Language) -> String {
+    (*pick(rng, wordlists::words_for(lang))).to_owned()
+}
+
+/// A made-up but language-typical token: a dictionary stem plus a
+/// language-typical suffix, or (for German, which compounds heavily) the
+/// concatenation of two stems.
+pub fn invented_word(rng: &mut StdRng, lang: Language) -> String {
+    let stem = dictionary_word(rng, lang);
+    match lang {
+        Language::German if rng.random_bool(0.5) => {
+            // Compound: "wetterbericht", "reiseangebote", ...
+            let second = dictionary_word(rng, lang);
+            format!("{stem}{second}")
+        }
+        _ => {
+            let suffix = pick(rng, suffixes(lang));
+            format!("{stem}{suffix}")
+        }
+    }
+}
+
+/// A brandable host stem: either an invented word or two dictionary words
+/// glued together (optionally hyphenated by the caller).
+pub fn host_stem(rng: &mut StdRng, lang: Language) -> String {
+    if rng.random_bool(0.4) {
+        invented_word(rng, lang)
+    } else {
+        let a = dictionary_word(rng, lang);
+        let b = dictionary_word(rng, lang);
+        format!("{a}{b}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use urlid_lexicon::ALL_LANGUAGES;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn invented_words_are_lowercase_ascii_and_nonempty() {
+        let mut r = rng();
+        for lang in ALL_LANGUAGES {
+            for _ in 0..200 {
+                let w = invented_word(&mut r, lang);
+                assert!(!w.is_empty());
+                assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{lang}: {w:?}");
+                assert!(w.len() >= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for lang in ALL_LANGUAGES {
+            assert_eq!(invented_word(&mut a, lang), invented_word(&mut b, lang));
+            assert_eq!(host_stem(&mut a, lang), host_stem(&mut b, lang));
+        }
+    }
+
+    #[test]
+    fn german_invented_words_often_compound() {
+        let mut r = rng();
+        let mut long = 0;
+        for _ in 0..200 {
+            if invented_word(&mut r, Language::German).len() >= 10 {
+                long += 1;
+            }
+        }
+        assert!(long > 80, "German should produce many long compounds, got {long}");
+    }
+
+    #[test]
+    fn dictionary_words_come_from_the_lists() {
+        let mut r = rng();
+        for lang in ALL_LANGUAGES {
+            for _ in 0..50 {
+                let w = dictionary_word(&mut r, lang);
+                assert!(wordlists::words_for(lang).contains(&w.as_str()));
+            }
+        }
+    }
+
+    #[test]
+    fn shared_host_stems_are_nonempty() {
+        assert!(SHARED_HOST_STEMS.len() >= 10);
+    }
+}

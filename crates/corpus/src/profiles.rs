@@ -1,0 +1,366 @@
+//! Generation profiles for the three data sets.
+//!
+//! A [`DatasetProfile`] captures, per data set and per language, the
+//! distributional knobs that the paper identifies as decisive and that the
+//! synthetic generator must reproduce:
+//!
+//! * the probability that a URL of the language carries one of the
+//!   language's own ccTLDs (calibrated against the ccTLD baseline recall
+//!   of Table 4);
+//! * the split of the remaining probability mass over `.com`, `.org`,
+//!   `.net` and other TLDs (Table 5: e.g. 79 % of the crawl's Spanish URLs
+//!   are in `.com`/`.org`);
+//! * the probability that a non-English URL "looks English" (all its
+//!   lexical material is English — the dominant confusion of Tables 3/6);
+//! * the probability that the URL lives on a shared multi-language
+//!   provider domain (Section 6: 48 % for ODP, ≈30 % otherwise);
+//! * the probability that the URL's registered domain is drawn from the
+//!   persistent per-language domain pool rather than freshly invented
+//!   (drives the domain-memorisation curve of Figure 3);
+//! * hyphenation rates (Section 3.1: hyphens are ≈5× more frequent in
+//!   German URLs than in English ones).
+
+use serde::{Deserialize, Serialize};
+use urlid_lexicon::Language;
+
+/// Which of the paper's three data sets a profile describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// Open Directory Project (Section 4.1, first data set).
+    Odp,
+    /// Search-engine results (second data set).
+    SearchEngineResults,
+    /// The hand-labelled 2005 web crawl (third data set).
+    WebCrawl,
+}
+
+impl DatasetKind {
+    /// All three data sets in paper order.
+    pub fn all() -> [DatasetKind; 3] {
+        [
+            DatasetKind::Odp,
+            DatasetKind::SearchEngineResults,
+            DatasetKind::WebCrawl,
+        ]
+    }
+
+    /// Short name used in reports ("ODP", "SER", "WC").
+    pub fn short_name(self) -> &'static str {
+        match self {
+            DatasetKind::Odp => "ODP",
+            DatasetKind::SearchEngineResults => "SER",
+            DatasetKind::WebCrawl => "WC",
+        }
+    }
+}
+
+/// Per-language generation knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LanguageProfile {
+    /// Probability that the URL's TLD is one of the language's own ccTLDs.
+    pub own_cctld: f64,
+    /// Probability of `.com`.
+    pub com: f64,
+    /// Probability of `.org`.
+    pub org: f64,
+    /// Probability of `.net`.
+    pub net: f64,
+    /// Probability that a URL of this (non-English) language uses English
+    /// lexical material throughout ("looks English"). Ignored for English.
+    pub english_looking: f64,
+    /// Probability that the host stem or a path segment is hyphenated.
+    pub hyphenation: f64,
+}
+
+impl LanguageProfile {
+    /// Probability of a TLD that belongs to none of the tracked classes.
+    pub fn other_tld(&self) -> f64 {
+        (1.0 - self.own_cctld - self.com - self.org - self.net).max(0.0)
+    }
+
+    /// Check the TLD probabilities form a (sub-)distribution.
+    pub fn is_valid(&self) -> bool {
+        let vals = [
+            self.own_cctld,
+            self.com,
+            self.org,
+            self.net,
+            self.english_looking,
+            self.hyphenation,
+        ];
+        vals.iter().all(|v| (0.0..=1.0).contains(v))
+            && self.own_cctld + self.com + self.org + self.net <= 1.0 + 1e-9
+    }
+}
+
+/// A full data-set generation profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetProfile {
+    /// Which data set this profile mimics.
+    pub kind: DatasetKind,
+    /// Per-language knobs (canonical language order).
+    pub languages: [LanguageProfile; 5],
+    /// Probability that a URL lives on a shared multi-language provider
+    /// domain (wordpress-style hosts).
+    pub shared_domain: f64,
+    /// Probability that the registered domain is drawn from the persistent
+    /// per-language pool (vs. freshly invented, never to be seen again).
+    pub pool_domain: f64,
+    /// Probability that the URL has a query string.
+    pub query: f64,
+    /// Expected number of path segments (geometric-ish).
+    pub mean_path_depth: f64,
+}
+
+impl DatasetProfile {
+    /// The per-language profile for `lang`.
+    pub fn language(&self, lang: Language) -> &LanguageProfile {
+        &self.languages[lang.index()]
+    }
+
+    /// The ODP profile. ccTLD rates are calibrated to Table 4 (ODP rows):
+    /// recall .13 / .83 / .25 / .30 / .62 for En/Ge/Fr/Sp/It.
+    pub fn odp() -> Self {
+        Self {
+            kind: DatasetKind::Odp,
+            languages: [
+                // English
+                LanguageProfile {
+                    own_cctld: 0.13,
+                    com: 0.60,
+                    org: 0.15,
+                    net: 0.05,
+                    english_looking: 0.0,
+                    hyphenation: 0.05,
+                },
+                // German
+                LanguageProfile {
+                    own_cctld: 0.80,
+                    com: 0.10,
+                    org: 0.03,
+                    net: 0.02,
+                    english_looking: 0.22,
+                    hyphenation: 0.25,
+                },
+                // French
+                LanguageProfile {
+                    own_cctld: 0.25,
+                    com: 0.50,
+                    org: 0.10,
+                    net: 0.05,
+                    english_looking: 0.35,
+                    hyphenation: 0.10,
+                },
+                // Spanish
+                LanguageProfile {
+                    own_cctld: 0.30,
+                    com: 0.50,
+                    org: 0.10,
+                    net: 0.03,
+                    english_looking: 0.40,
+                    hyphenation: 0.08,
+                },
+                // Italian
+                LanguageProfile {
+                    own_cctld: 0.62,
+                    com: 0.25,
+                    org: 0.05,
+                    net: 0.03,
+                    english_looking: 0.15,
+                    hyphenation: 0.08,
+                },
+            ],
+            shared_domain: 0.30,
+            pool_domain: 0.80,
+            query: 0.10,
+            mean_path_depth: 1.8,
+        }
+    }
+
+    /// The search-engine-results profile (Table 4, SER rows: recall .52 /
+    /// .67 / .60 / .64 / .75). The SER set was built partly via
+    /// ccTLD-restricted queries, hence the higher ccTLD rates and the
+    /// lower rate of English-looking URLs.
+    pub fn ser() -> Self {
+        Self {
+            kind: DatasetKind::SearchEngineResults,
+            languages: [
+                LanguageProfile {
+                    own_cctld: 0.52,
+                    com: 0.30,
+                    org: 0.08,
+                    net: 0.03,
+                    english_looking: 0.0,
+                    hyphenation: 0.05,
+                },
+                LanguageProfile {
+                    own_cctld: 0.67,
+                    com: 0.20,
+                    org: 0.04,
+                    net: 0.02,
+                    english_looking: 0.10,
+                    hyphenation: 0.25,
+                },
+                LanguageProfile {
+                    own_cctld: 0.60,
+                    com: 0.27,
+                    org: 0.05,
+                    net: 0.03,
+                    english_looking: 0.12,
+                    hyphenation: 0.10,
+                },
+                LanguageProfile {
+                    own_cctld: 0.64,
+                    com: 0.25,
+                    org: 0.04,
+                    net: 0.02,
+                    english_looking: 0.12,
+                    hyphenation: 0.08,
+                },
+                LanguageProfile {
+                    own_cctld: 0.75,
+                    com: 0.17,
+                    org: 0.03,
+                    net: 0.02,
+                    english_looking: 0.08,
+                    hyphenation: 0.08,
+                },
+            ],
+            shared_domain: 0.18,
+            pool_domain: 0.70,
+            query: 0.15,
+            mean_path_depth: 2.0,
+        }
+    }
+
+    /// The web-crawl profile (Table 4, WC rows: recall .10 / .61 / .23 /
+    /// .11 / .62; Table 5: 79 % of Spanish crawl URLs in .com/.org).
+    pub fn web_crawl() -> Self {
+        Self {
+            kind: DatasetKind::WebCrawl,
+            languages: [
+                LanguageProfile {
+                    own_cctld: 0.10,
+                    com: 0.62,
+                    org: 0.15,
+                    net: 0.06,
+                    english_looking: 0.0,
+                    hyphenation: 0.05,
+                },
+                LanguageProfile {
+                    own_cctld: 0.61,
+                    com: 0.22,
+                    org: 0.04,
+                    net: 0.03,
+                    english_looking: 0.25,
+                    hyphenation: 0.25,
+                },
+                LanguageProfile {
+                    own_cctld: 0.23,
+                    com: 0.50,
+                    org: 0.10,
+                    net: 0.05,
+                    english_looking: 0.40,
+                    hyphenation: 0.10,
+                },
+                LanguageProfile {
+                    own_cctld: 0.11,
+                    com: 0.65,
+                    org: 0.14,
+                    net: 0.03,
+                    english_looking: 0.50,
+                    hyphenation: 0.08,
+                },
+                LanguageProfile {
+                    own_cctld: 0.62,
+                    com: 0.24,
+                    org: 0.05,
+                    net: 0.03,
+                    english_looking: 0.20,
+                    hyphenation: 0.08,
+                },
+            ],
+            shared_domain: 0.20,
+            pool_domain: 0.55,
+            query: 0.20,
+            mean_path_depth: 2.4,
+        }
+    }
+
+    /// The profile for a given [`DatasetKind`].
+    pub fn for_kind(kind: DatasetKind) -> Self {
+        match kind {
+            DatasetKind::Odp => Self::odp(),
+            DatasetKind::SearchEngineResults => Self::ser(),
+            DatasetKind::WebCrawl => Self::web_crawl(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urlid_lexicon::ALL_LANGUAGES;
+
+    #[test]
+    fn all_profiles_are_valid_distributions() {
+        for kind in DatasetKind::all() {
+            let p = DatasetProfile::for_kind(kind);
+            assert_eq!(p.kind, kind);
+            for lang in ALL_LANGUAGES {
+                let lp = p.language(lang);
+                assert!(lp.is_valid(), "{kind:?}/{lang} profile invalid: {lp:?}");
+                assert!(lp.other_tld() >= 0.0);
+            }
+            assert!((0.0..=1.0).contains(&p.shared_domain));
+            assert!((0.0..=1.0).contains(&p.pool_domain));
+        }
+    }
+
+    #[test]
+    fn cctld_rates_match_table4_shape() {
+        // German and Italian are strongly bound to their ccTLDs; English
+        // and Spanish are not (especially in the crawl).
+        let odp = DatasetProfile::odp();
+        assert!(odp.language(Language::German).own_cctld > 0.7);
+        assert!(odp.language(Language::English).own_cctld < 0.2);
+        let wc = DatasetProfile::web_crawl();
+        assert!(wc.language(Language::Spanish).own_cctld < 0.15);
+        assert!(wc.language(Language::Italian).own_cctld > 0.5);
+        // SER is the "cleanest" set: every language has a higher ccTLD
+        // share than in the crawl.
+        let ser = DatasetProfile::ser();
+        for lang in ALL_LANGUAGES {
+            assert!(ser.language(lang).own_cctld >= wc.language(lang).own_cctld);
+        }
+    }
+
+    #[test]
+    fn english_urls_never_look_english_flagged() {
+        for kind in DatasetKind::all() {
+            let p = DatasetProfile::for_kind(kind);
+            assert_eq!(p.language(Language::English).english_looking, 0.0);
+        }
+    }
+
+    #[test]
+    fn german_hyphenates_about_five_times_more_than_english() {
+        let p = DatasetProfile::odp();
+        let ratio =
+            p.language(Language::German).hyphenation / p.language(Language::English).hyphenation;
+        assert!((4.0..=6.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn odp_has_the_largest_shared_domain_fraction() {
+        assert!(DatasetProfile::odp().shared_domain > DatasetProfile::ser().shared_domain);
+        assert!(DatasetProfile::odp().shared_domain > DatasetProfile::web_crawl().shared_domain);
+    }
+
+    #[test]
+    fn short_names() {
+        assert_eq!(DatasetKind::Odp.short_name(), "ODP");
+        assert_eq!(DatasetKind::SearchEngineResults.short_name(), "SER");
+        assert_eq!(DatasetKind::WebCrawl.short_name(), "WC");
+    }
+}

@@ -1,0 +1,178 @@
+//! Confusion matrices in the paper's format (Tables 3, 5 and 6).
+//!
+//! "This matrix has a row for each language in the test set and a column
+//! for each language of the classification algorithm. [...] All numbers
+//! are given in percent. The values along the diagonal are exactly the
+//! recall R = p(+|+). Note that the rows do not have to add up to 100%, as
+//! a URL can be classified as belonging to different languages
+//! simultaneously. Neither do the columns have to add up to 100%."
+
+use serde::{Deserialize, Serialize};
+use urlid_lexicon::{Language, ALL_LANGUAGES};
+
+/// A 5×5 confusion matrix over URL counts; percentages are derived.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// `accepted[test_lang][classifier_lang]` = number of URLs of
+    /// `test_lang` accepted by the binary classifier for `classifier_lang`.
+    accepted: [[usize; 5]; 5],
+    /// Number of test URLs per language.
+    totals: [usize; 5],
+}
+
+impl ConfusionMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the five binary decisions for one URL of `test_lang`.
+    pub fn record(&mut self, test_lang: Language, decisions: [bool; 5]) {
+        self.totals[test_lang.index()] += 1;
+        for lang in ALL_LANGUAGES {
+            if decisions[lang.index()] {
+                self.accepted[test_lang.index()][lang.index()] += 1;
+            }
+        }
+    }
+
+    /// The number of test URLs of `lang` seen so far.
+    pub fn total(&self, lang: Language) -> usize {
+        self.totals[lang.index()]
+    }
+
+    /// The raw accepted count for a (test language, classifier) cell.
+    pub fn count(&self, test_lang: Language, classifier_lang: Language) -> usize {
+        self.accepted[test_lang.index()][classifier_lang.index()]
+    }
+
+    /// The cell as a percentage of the test language's URLs (the paper's
+    /// presentation). Returns 0 for languages with no test URLs.
+    pub fn percentage(&self, test_lang: Language, classifier_lang: Language) -> f64 {
+        let total = self.totals[test_lang.index()];
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.count(test_lang, classifier_lang) as f64 / total as f64
+        }
+    }
+
+    /// The diagonal (recall per language), as fractions in [0, 1].
+    pub fn recalls(&self) -> [f64; 5] {
+        let mut out = [0.0; 5];
+        for lang in ALL_LANGUAGES {
+            out[lang.index()] = self.percentage(lang, lang) / 100.0;
+        }
+        out
+    }
+
+    /// For a non-English test language, how often it was (mis)labelled as
+    /// English — the paper's headline confusion.
+    pub fn confusion_with_english(&self, test_lang: Language) -> f64 {
+        self.percentage(test_lang, Language::English) / 100.0
+    }
+
+    /// Merge another matrix into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        for i in 0..5 {
+            self.totals[i] += other.totals[i];
+            for j in 0..5 {
+                self.accepted[i][j] += other.accepted[i][j];
+            }
+        }
+    }
+
+    /// Render the matrix as the paper prints it: one row per test
+    /// language, percentages, columns in canonical language order.
+    pub fn render(&self) -> String {
+        let mut out = String::from("test\\clf   En.   Ge.   Fr.   Sp.   It.\n");
+        for test_lang in ALL_LANGUAGES {
+            out.push_str(&format!("{:<9}", format!("{}.", test_lang.paper_abbrev())));
+            for clf_lang in ALL_LANGUAGES {
+                out.push_str(&format!(" {:>4.0}%", self.percentage(test_lang, clf_lang)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_hot(lang: Language) -> [bool; 5] {
+        let mut d = [false; 5];
+        d[lang.index()] = true;
+        d
+    }
+
+    #[test]
+    fn perfect_classifier_has_identity_diagonal() {
+        let mut m = ConfusionMatrix::new();
+        for lang in ALL_LANGUAGES {
+            for _ in 0..10 {
+                m.record(lang, one_hot(lang));
+            }
+        }
+        for lang in ALL_LANGUAGES {
+            assert_eq!(m.percentage(lang, lang), 100.0);
+            assert_eq!(m.total(lang), 10);
+        }
+        assert_eq!(m.recalls(), [1.0; 5]);
+        assert_eq!(m.confusion_with_english(Language::German), 0.0);
+    }
+
+    #[test]
+    fn multi_label_rows_exceed_100_percent() {
+        let mut m = ConfusionMatrix::new();
+        // Every German URL is labelled both German and English.
+        let mut d = one_hot(Language::German);
+        d[Language::English.index()] = true;
+        for _ in 0..4 {
+            m.record(Language::German, d);
+        }
+        assert_eq!(m.percentage(Language::German, Language::German), 100.0);
+        assert_eq!(m.percentage(Language::German, Language::English), 100.0);
+        assert_eq!(m.confusion_with_english(Language::German), 1.0);
+    }
+
+    #[test]
+    fn empty_languages_report_zero() {
+        let m = ConfusionMatrix::new();
+        assert_eq!(m.percentage(Language::Italian, Language::Italian), 0.0);
+        assert_eq!(m.total(Language::Italian), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ConfusionMatrix::new();
+        a.record(Language::French, one_hot(Language::French));
+        let mut b = ConfusionMatrix::new();
+        b.record(Language::French, one_hot(Language::English));
+        a.merge(&b);
+        assert_eq!(a.total(Language::French), 2);
+        assert_eq!(a.percentage(Language::French, Language::French), 50.0);
+        assert_eq!(a.percentage(Language::French, Language::English), 50.0);
+    }
+
+    #[test]
+    fn render_contains_all_languages() {
+        let mut m = ConfusionMatrix::new();
+        m.record(Language::Spanish, one_hot(Language::English));
+        let text = m.render();
+        for abbrev in ["En.", "Ge.", "Fr.", "Sp.", "It."] {
+            assert!(text.contains(abbrev), "{text}");
+        }
+        assert!(text.contains("100%"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut m = ConfusionMatrix::new();
+        m.record(Language::Italian, one_hot(Language::Italian));
+        let json = serde_json::to_string(&m).unwrap();
+        let back: ConfusionMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

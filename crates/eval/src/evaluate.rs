@@ -1,0 +1,167 @@
+//! Running classifiers (or pre-computed annotations) over a test set.
+
+use crate::confusion::ConfusionMatrix;
+use crate::metrics::{BinaryCounts, BinaryMetrics, MacroMetrics};
+use serde::{Deserialize, Serialize};
+use urlid_classifiers::LanguageClassifierSet;
+use urlid_features::Dataset;
+use urlid_lexicon::{Language, ALL_LANGUAGES};
+
+/// The complete result of evaluating five binary classifiers on one test
+/// set: per-language counts/metrics plus the confusion matrix.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationResult {
+    /// Name of the test set.
+    pub dataset: String,
+    /// Raw outcome counts per language (canonical order).
+    pub counts: [BinaryCounts; 5],
+    /// The confusion matrix.
+    pub confusion: ConfusionMatrix,
+}
+
+impl EvaluationResult {
+    /// The paper's metrics for one language.
+    pub fn metrics(&self, lang: Language) -> BinaryMetrics {
+        self.counts[lang.index()].metrics()
+    }
+
+    /// Metrics for all languages.
+    pub fn macro_metrics(&self) -> MacroMetrics {
+        let mut mm = MacroMetrics::default();
+        for lang in ALL_LANGUAGES {
+            mm.per_language[lang.index()] = self.metrics(lang);
+        }
+        mm
+    }
+
+    /// Average F-measure over the five languages.
+    pub fn mean_f_measure(&self) -> f64 {
+        self.macro_metrics().mean_f_measure()
+    }
+}
+
+/// Evaluate a [`LanguageClassifierSet`] on a labelled test set.
+pub fn evaluate_classifier_set(set: &LanguageClassifierSet, test: &Dataset) -> EvaluationResult {
+    let decisions: Vec<(Language, [bool; 5])> = test
+        .urls
+        .iter()
+        .map(|u| (u.language, set.classify_all(&u.url)))
+        .collect();
+    accumulate(&test.name, decisions)
+}
+
+/// Evaluate pre-computed per-URL decisions (e.g. the simulated human
+/// annotations) against the test set's labels. `annotations[i]` must
+/// correspond to `test.urls[i]`.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn evaluate_annotations(annotations: &[[bool; 5]], test: &Dataset) -> EvaluationResult {
+    assert_eq!(
+        annotations.len(),
+        test.urls.len(),
+        "one annotation per test URL is required"
+    );
+    let decisions: Vec<(Language, [bool; 5])> = test
+        .urls
+        .iter()
+        .zip(annotations)
+        .map(|(u, d)| (u.language, *d))
+        .collect();
+    accumulate(&test.name, decisions)
+}
+
+fn accumulate(name: &str, decisions: Vec<(Language, [bool; 5])>) -> EvaluationResult {
+    let mut result = EvaluationResult {
+        dataset: name.to_owned(),
+        ..EvaluationResult::default()
+    };
+    for (true_lang, decision) in decisions {
+        result.confusion.record(true_lang, decision);
+        for lang in ALL_LANGUAGES {
+            result.counts[lang.index()]
+                .record(true_lang == lang, decision[lang.index()]);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urlid_classifiers::CcTldClassifier;
+    use urlid_features::LabeledUrl;
+
+    fn cctld_set() -> LanguageClassifierSet {
+        LanguageClassifierSet::build(|lang| Box::new(CcTldClassifier::cctld(lang)))
+    }
+
+    fn tiny_test_set() -> Dataset {
+        let mut d = Dataset::new("tiny");
+        d.urls.push(LabeledUrl::new("http://www.beispiel.de/", Language::German));
+        d.urls.push(LabeledUrl::new("http://www.beispiel2.de/", Language::German));
+        d.urls.push(LabeledUrl::new("http://www.deutsch.com/", Language::German));
+        d.urls.push(LabeledUrl::new("http://www.exemple.fr/", Language::French));
+        d.urls.push(LabeledUrl::new("http://www.example.co.uk/", Language::English));
+        d.urls.push(LabeledUrl::new("http://www.example2.com/", Language::English));
+        d
+    }
+
+    #[test]
+    fn cctld_evaluation_matches_hand_computation() {
+        let result = evaluate_classifier_set(&cctld_set(), &tiny_test_set());
+        // German: 2 of 3 URLs have .de -> recall 2/3, no false positives.
+        let de = result.metrics(Language::German);
+        assert!((de.recall - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(de.negative_success, 1.0);
+        assert_eq!(de.precision, 1.0);
+        // French: 1/1.
+        assert_eq!(result.metrics(Language::French).recall, 1.0);
+        // English: only the .co.uk URL is found -> recall 0.5.
+        assert!((result.metrics(Language::English).recall - 0.5).abs() < 1e-9);
+        // Confusion diagonal matches recalls.
+        assert!((result.confusion.recalls()[Language::German.index()] - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(result.dataset, "tiny");
+    }
+
+    #[test]
+    fn macro_metrics_average_over_languages() {
+        let result = evaluate_classifier_set(&cctld_set(), &tiny_test_set());
+        let mm = result.macro_metrics();
+        assert!(mm.mean_f_measure() > 0.0);
+        assert!(mm.mean_f_measure() <= 1.0);
+        assert_eq!(result.mean_f_measure(), mm.mean_f_measure());
+        // Languages with no test URLs (Spanish, Italian) drag the average
+        // down because their recall is 0 — exactly like an absent class.
+        assert!(mm.per_language[Language::Spanish.index()].recall == 0.0);
+    }
+
+    #[test]
+    fn annotations_path_agrees_with_classifier_path() {
+        let set = cctld_set();
+        let test = tiny_test_set();
+        let annotations: Vec<[bool; 5]> = test
+            .urls
+            .iter()
+            .map(|u| set.classify_all(&u.url))
+            .collect();
+        let a = evaluate_annotations(&annotations, &test);
+        let b = evaluate_classifier_set(&set, &test);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.confusion, b.confusion);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_annotation_length_panics() {
+        let test = tiny_test_set();
+        let _ = evaluate_annotations(&[[false; 5]], &test);
+    }
+
+    #[test]
+    fn empty_test_set_is_harmless() {
+        let result = evaluate_classifier_set(&cctld_set(), &Dataset::new("empty"));
+        assert_eq!(result.mean_f_measure(), 0.0);
+        assert_eq!(result.counts[0].total(), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # urlid-eval
+//!
+//! Evaluation machinery for the experiments of Baykan, Henzinger, Weber
+//! (VLDB 2008):
+//!
+//! * [`metrics`] — the paper's evaluation measures (Section 4.2): recall
+//!   `R = p(+|+)`, negative success ratio `p(−|−)`, the *balanced*
+//!   precision `P` computed for `n₊ = n₋`, and the F-measure;
+//! * [`confusion`] — 5×5 confusion matrices in the paper's format (rows =
+//!   test-set language, columns = binary classifiers, cells = percentages,
+//!   rows and columns need not sum to 100 %);
+//! * [`evaluate`] — running a set of five binary URL classifiers (or
+//!   pre-computed annotations, e.g. from the simulated humans) over a
+//!   labelled test set;
+//! * [`sweep`] — the Section 6 training-size sweep (Figure 2) and the
+//!   domain-memorisation analysis (Figure 3);
+//! * [`feature_selection`] — greedy step-wise forward feature selection as
+//!   used in Section 3.1 to pick the 15 custom features;
+//! * [`report`] — plain-text renderings of the paper's tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod confusion;
+pub mod evaluate;
+pub mod feature_selection;
+pub mod metrics;
+pub mod report;
+pub mod sweep;
+
+pub use confusion::ConfusionMatrix;
+pub use evaluate::{evaluate_annotations, evaluate_classifier_set, EvaluationResult};
+pub use feature_selection::forward_selection;
+pub use metrics::{BinaryCounts, BinaryMetrics, MacroMetrics};
+pub use sweep::{domain_memorization_curve, training_curve, SweepPoint};

@@ -1,0 +1,281 @@
+//! The paper's evaluation measures (Section 4.2).
+//!
+//! For each binary classifier the paper reports:
+//!
+//! * **Recall** `R = p(+|+)`: correctly identified positive URLs divided
+//!   by all positive URLs;
+//! * **Negative success ratio** `p(−|−)`: correctly identified negative
+//!   URLs divided by all negative URLs;
+//! * **Precision** `P`, always reported *for a balanced setting* with
+//!   `n₊ = n₋`:
+//!   `P = p(+|+) / (p(+|+) + (1 − p(−|−)))` — the limit of the usual
+//!   precision when equally many positive and negative test URLs are
+//!   drawn, which removes the dependence of precision on the class skew of
+//!   the test set (important for the strongly English-skewed crawl set);
+//! * **F-measure** `F = 2 / (1/R + 1/P)`.
+
+use serde::{Deserialize, Serialize};
+
+/// Raw outcome counts of a binary classifier on a test set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinaryCounts {
+    /// Positive URLs classified as positive.
+    pub true_positives: usize,
+    /// Negative URLs classified as positive.
+    pub false_positives: usize,
+    /// Negative URLs classified as negative.
+    pub true_negatives: usize,
+    /// Positive URLs classified as negative.
+    pub false_negatives: usize,
+}
+
+impl BinaryCounts {
+    /// Record one classification outcome.
+    pub fn record(&mut self, is_positive: bool, predicted_positive: bool) {
+        match (is_positive, predicted_positive) {
+            (true, true) => self.true_positives += 1,
+            (true, false) => self.false_negatives += 1,
+            (false, true) => self.false_positives += 1,
+            (false, false) => self.true_negatives += 1,
+        }
+    }
+
+    /// Number of positive test URLs.
+    pub fn positives(&self) -> usize {
+        self.true_positives + self.false_negatives
+    }
+
+    /// Number of negative test URLs.
+    pub fn negatives(&self) -> usize {
+        self.false_positives + self.true_negatives
+    }
+
+    /// Total number of test URLs.
+    pub fn total(&self) -> usize {
+        self.positives() + self.negatives()
+    }
+
+    /// Merge another set of counts into this one.
+    pub fn merge(&mut self, other: &BinaryCounts) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.true_negatives += other.true_negatives;
+        self.false_negatives += other.false_negatives;
+    }
+
+    /// Derive the paper's metrics from the counts.
+    pub fn metrics(&self) -> BinaryMetrics {
+        let recall = if self.positives() == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / self.positives() as f64
+        };
+        let negative_success = if self.negatives() == 0 {
+            0.0
+        } else {
+            self.true_negatives as f64 / self.negatives() as f64
+        };
+        // Balanced precision (Section 4.2): P for n+ = n-.
+        let denom = recall + (1.0 - negative_success);
+        let precision = if denom == 0.0 { 0.0 } else { recall / denom };
+        let f_measure = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        BinaryMetrics {
+            precision,
+            recall,
+            negative_success,
+            f_measure,
+        }
+    }
+}
+
+/// The paper's four per-classifier numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BinaryMetrics {
+    /// Balanced precision `P`.
+    pub precision: f64,
+    /// Recall `R = p(+|+)`.
+    pub recall: f64,
+    /// Negative success ratio `p(−|−)`.
+    pub negative_success: f64,
+    /// F-measure `F = 2/(1/R + 1/P)`.
+    pub f_measure: f64,
+}
+
+impl BinaryMetrics {
+    /// Format as the paper's table cells: `P R p(−|−) F` with two decimals.
+    pub fn paper_row(&self) -> String {
+        format!(
+            "{:.2} {:.2} {:.2} {:.2}",
+            self.precision, self.recall, self.negative_success, self.f_measure
+        )
+    }
+}
+
+/// Per-language metrics plus their average (the paper averages F-measures
+/// over languages and over test sets).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MacroMetrics {
+    /// Metrics per language in canonical order.
+    pub per_language: [BinaryMetrics; 5],
+}
+
+impl MacroMetrics {
+    /// Average F-measure over the five languages.
+    pub fn mean_f_measure(&self) -> f64 {
+        self.per_language.iter().map(|m| m.f_measure).sum::<f64>() / 5.0
+    }
+
+    /// Average recall over the five languages.
+    pub fn mean_recall(&self) -> f64 {
+        self.per_language.iter().map(|m| m.recall).sum::<f64>() / 5.0
+    }
+
+    /// Average balanced precision over the five languages.
+    pub fn mean_precision(&self) -> f64 {
+        self.per_language.iter().map(|m| m.precision).sum::<f64>() / 5.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier_has_all_ones() {
+        let c = BinaryCounts {
+            true_positives: 50,
+            false_positives: 0,
+            true_negatives: 200,
+            false_negatives: 0,
+        };
+        let m = c.metrics();
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.negative_success, 1.0);
+        assert_eq!(m.f_measure, 1.0);
+    }
+
+    #[test]
+    fn always_positive_classifier_matches_paper_baseline() {
+        // Section 4.2: "An F-measure of F = 0.67 can be trivially obtained
+        // for the balanced setting by always classifying a URL as
+        // positive, as this will give R = 1 and P = 0.5."
+        let c = BinaryCounts {
+            true_positives: 30,
+            false_positives: 300,
+            true_negatives: 0,
+            false_negatives: 0,
+        };
+        let m = c.metrics();
+        assert_eq!(m.recall, 1.0);
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert!((m.f_measure - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn always_negative_classifier_scores_zero() {
+        let c = BinaryCounts {
+            true_positives: 0,
+            false_positives: 0,
+            true_negatives: 100,
+            false_negatives: 10,
+        };
+        let m = c.metrics();
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.negative_success, 1.0);
+        assert_eq!(m.f_measure, 0.0);
+    }
+
+    #[test]
+    fn balanced_precision_is_independent_of_class_skew() {
+        // Same per-class behaviour, very different class skew: the
+        // balanced precision must not change (this is exactly why the
+        // paper uses it).
+        let balanced = BinaryCounts {
+            true_positives: 90,
+            false_negatives: 10,
+            true_negatives: 95,
+            false_positives: 5,
+        };
+        let skewed = BinaryCounts {
+            true_positives: 900,
+            false_negatives: 100,
+            true_negatives: 19,
+            false_positives: 1,
+        };
+        let a = balanced.metrics();
+        let b = skewed.metrics();
+        assert!((a.precision - b.precision).abs() < 1e-9);
+        assert!((a.recall - b.recall).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_and_merge_accumulate() {
+        let mut a = BinaryCounts::default();
+        a.record(true, true);
+        a.record(true, false);
+        a.record(false, true);
+        a.record(false, false);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.positives(), 2);
+        assert_eq!(a.negatives(), 2);
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.total(), 8);
+        assert_eq!(b.true_positives, 2);
+    }
+
+    #[test]
+    fn empty_counts_do_not_divide_by_zero() {
+        let m = BinaryCounts::default().metrics();
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f_measure, 0.0);
+    }
+
+    #[test]
+    fn macro_metrics_average() {
+        let mut mm = MacroMetrics::default();
+        for i in 0..5 {
+            mm.per_language[i] = BinaryMetrics {
+                precision: 1.0,
+                recall: 0.5,
+                negative_success: 1.0,
+                f_measure: (i + 1) as f64 / 10.0,
+            };
+        }
+        assert!((mm.mean_f_measure() - 0.3).abs() < 1e-12);
+        assert!((mm.mean_recall() - 0.5).abs() < 1e-12);
+        assert!((mm.mean_precision() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_row_formatting() {
+        let m = BinaryMetrics {
+            precision: 0.816,
+            recall: 0.96,
+            negative_success: 0.79,
+            f_measure: 0.883,
+        };
+        assert_eq!(m.paper_row(), "0.82 0.96 0.79 0.88");
+    }
+
+    #[test]
+    fn f_measure_is_harmonic_mean() {
+        let c = BinaryCounts {
+            true_positives: 80,
+            false_negatives: 20,
+            true_negatives: 60,
+            false_positives: 40,
+        };
+        let m = c.metrics();
+        let expected_p = 0.8 / (0.8 + 0.4);
+        assert!((m.precision - expected_p).abs() < 1e-12);
+        let expected_f = 2.0 * expected_p * 0.8 / (expected_p + 0.8);
+        assert!((m.f_measure - expected_f).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,158 @@
+//! Plain-text renderings of the paper's tables.
+//!
+//! The benchmark binaries regenerate every table of the paper; this module
+//! provides the shared formatting so that their output lines up with the
+//! layout of the original tables (Table 2, 4, 7, 8, 9, 10).
+
+use crate::evaluate::EvaluationResult;
+use crate::metrics::BinaryMetrics;
+use urlid_lexicon::{Language, ALL_LANGUAGES};
+
+/// Render one test set's per-language metrics in the style of Tables 2
+/// and 4: `language  P  R  p(−|−)  F`.
+pub fn metrics_table(title: &str, result: &EvaluationResult) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str("language   P     R     p(-|-) F\n");
+    for lang in ALL_LANGUAGES {
+        let m = result.metrics(lang);
+        out.push_str(&format!(
+            "{:<10} {:.2}  {:.2}  {:.2}   {:.2}\n",
+            lang.name(),
+            m.precision,
+            m.recall,
+            m.negative_success,
+            m.f_measure
+        ));
+    }
+    out.push_str(&format!(
+        "{:<10} {:.2}  {:.2}  -      {:.2}\n",
+        "average",
+        result.macro_metrics().mean_precision(),
+        result.macro_metrics().mean_recall(),
+        result.mean_f_measure()
+    ));
+    out
+}
+
+/// Render an F-measure grid in the style of Tables 8 and 9: rows are
+/// languages, columns are test sets, the last column and row are averages.
+pub fn f_measure_grid(
+    title: &str,
+    column_names: &[&str],
+    per_language_per_set: &[[f64; 5]],
+) -> String {
+    assert_eq!(column_names.len(), per_language_per_set.len());
+    let mut out = format!("{title}\n");
+    out.push_str(&format!("{:<10}", "language"));
+    for name in column_names {
+        out.push_str(&format!(" {name:>6}"));
+    }
+    out.push_str("    avg\n");
+    let mut column_sums = vec![0.0; column_names.len()];
+    for lang in ALL_LANGUAGES {
+        out.push_str(&format!("{:<10}", lang.name()));
+        let mut row_sum = 0.0;
+        for (c, column) in per_language_per_set.iter().enumerate() {
+            let f = column[lang.index()];
+            row_sum += f;
+            column_sums[c] += f;
+            out.push_str(&format!(" {f:>6.2}"));
+        }
+        out.push_str(&format!(" {:>6.2}\n", row_sum / column_names.len() as f64));
+    }
+    out.push_str(&format!("{:<10}", "average"));
+    let mut total = 0.0;
+    for sum in &column_sums {
+        total += sum / 5.0;
+        out.push_str(&format!(" {:>6.2}", sum / 5.0));
+    }
+    out.push_str(&format!(" {:>6.2}\n", total / column_names.len() as f64));
+    out
+}
+
+/// A single Table 7 row fragment: `P R p(−|−) F` for one
+/// feature-set/algorithm/language/test-set combination.
+pub fn table7_cell(metrics: &BinaryMetrics) -> String {
+    metrics.paper_row()
+}
+
+/// Render a comparison row for Table 10 (URL-only vs content training).
+pub fn url_vs_content_row(lang: Language, url_f: f64, content_f: f64) -> String {
+    format!(
+        "{:<10} URL: {:.2}   URL+content: {:.2}   delta: {:+.2}",
+        lang.name(),
+        url_f,
+        content_f,
+        content_f - url_f
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::BinaryCounts;
+
+    fn fake_result() -> EvaluationResult {
+        let mut r = EvaluationResult {
+            dataset: "fake".into(),
+            ..Default::default()
+        };
+        for i in 0..5 {
+            r.counts[i] = BinaryCounts {
+                true_positives: 80 + i,
+                false_negatives: 20 - i,
+                true_negatives: 90,
+                false_positives: 10,
+            };
+        }
+        r
+    }
+
+    #[test]
+    fn metrics_table_lists_all_languages_and_average() {
+        let text = metrics_table("Table X", &fake_result());
+        for lang in ALL_LANGUAGES {
+            assert!(text.contains(lang.name()), "{text}");
+        }
+        assert!(text.contains("average"));
+        assert!(text.lines().count() >= 7);
+    }
+
+    #[test]
+    fn f_measure_grid_has_rows_columns_and_averages() {
+        let grid = f_measure_grid(
+            "Table 8",
+            &["ODP", "SER", "WC"],
+            &[[0.88, 0.94, 0.86, 0.88, 0.86], [0.94, 0.97, 0.94, 0.96, 0.97], [0.87, 0.86, 0.92, 0.88, 0.97]],
+        );
+        assert!(grid.contains("ODP"));
+        assert!(grid.contains("English"));
+        assert!(grid.contains("average"));
+        // Title + header + 5 language rows + average row.
+        assert_eq!(grid.trim_end().lines().count(), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn f_measure_grid_checks_dimensions() {
+        let _ = f_measure_grid("bad", &["ODP"], &[]);
+    }
+
+    #[test]
+    fn url_vs_content_row_shows_delta() {
+        let row = url_vs_content_row(Language::German, 0.94, 0.77);
+        assert!(row.contains("German"));
+        assert!(row.contains("-0.17"));
+    }
+
+    #[test]
+    fn table7_cell_is_the_paper_row() {
+        let m = BinaryMetrics {
+            precision: 0.9,
+            recall: 0.8,
+            negative_success: 0.95,
+            f_measure: 0.85,
+        };
+        assert_eq!(table7_cell(&m), "0.90 0.80 0.95 0.85");
+    }
+}

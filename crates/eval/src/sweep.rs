@@ -1,0 +1,167 @@
+//! Training-size sweeps (Figure 2) and domain-memorisation analysis
+//! (Figure 3).
+//!
+//! Section 6 of the paper varies the amount of training data from 0.1 %
+//! to 100 % of the ≈1.2 M available URLs and shows (1) that the choice of
+//! feature set matters more than the choice of algorithm, (2) that
+//! trigrams win in the low-data regime while words win once enough data is
+//! available, and (3) how much of the word-feature advantage is explained
+//! by memorising domain names.
+
+use crate::evaluate::EvaluationResult;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use urlid_features::Dataset;
+use urlid_tokenize::ParsedUrl;
+
+/// The fractions of training data used by Figure 2 of the paper
+/// (0.1 %, 1 %, 10 %, 100 %).
+pub const PAPER_TRAINING_FRACTIONS: [f64; 4] = [0.001, 0.01, 0.1, 1.0];
+
+/// One point of a training-size sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Fraction of the training data used (0, 1].
+    pub fraction: f64,
+    /// Number of training URLs actually used.
+    pub training_urls: usize,
+    /// Evaluation on the test set with a model trained on that fraction.
+    pub result: EvaluationResult,
+}
+
+impl SweepPoint {
+    /// Convenience: the macro-averaged F-measure of this point.
+    pub fn mean_f_measure(&self) -> f64 {
+        self.result.mean_f_measure()
+    }
+}
+
+/// Run a training-size sweep: for each fraction, take that fraction of the
+/// (per-language stratified) training set, train via `trainer`, and
+/// evaluate on `test`.
+///
+/// `trainer` receives the reduced training set and must return the five
+/// binary classifiers wrapped in an [`EvaluationResult`]-producing closure
+/// — in practice a [`urlid_classifiers::LanguageClassifierSet`], evaluated
+/// here with [`crate::evaluate::evaluate_classifier_set`]. It is a closure
+/// rather than a trait object so that callers can capture whatever
+/// feature-set/algorithm configuration they want.
+pub fn training_curve<F>(
+    train: &Dataset,
+    test: &Dataset,
+    fractions: &[f64],
+    mut trainer: F,
+) -> Vec<SweepPoint>
+where
+    F: FnMut(&Dataset) -> urlid_classifiers::LanguageClassifierSet,
+{
+    let mut points = Vec::with_capacity(fractions.len());
+    for &fraction in fractions {
+        let reduced = train.take_fraction(fraction);
+        let set = trainer(&reduced);
+        let result = crate::evaluate::evaluate_classifier_set(&set, test);
+        points.push(SweepPoint {
+            fraction,
+            training_urls: reduced.len(),
+            result,
+        });
+    }
+    points
+}
+
+/// The registered domains present in a data set.
+fn domains_of(dataset: &Dataset) -> HashSet<String> {
+    dataset
+        .urls
+        .iter()
+        .filter_map(|u| ParsedUrl::parse(&u.url).registered_domain())
+        .collect()
+}
+
+/// Figure 3: for each training fraction, the percentage of test URLs whose
+/// registered domain occurs in the (reduced) training set, averaged over
+/// the whole test set.
+pub fn domain_memorization_curve(
+    train: &Dataset,
+    test: &Dataset,
+    fractions: &[f64],
+) -> Vec<(f64, f64)> {
+    fractions
+        .iter()
+        .map(|&fraction| {
+            let reduced = train.take_fraction(fraction);
+            let train_domains = domains_of(&reduced);
+            let seen = test
+                .urls
+                .iter()
+                .filter(|u| {
+                    ParsedUrl::parse(&u.url)
+                        .registered_domain()
+                        .map(|d| train_domains.contains(&d))
+                        .unwrap_or(false)
+                })
+                .count();
+            let pct = if test.is_empty() {
+                0.0
+            } else {
+                100.0 * seen as f64 / test.len() as f64
+            };
+            (fraction, pct)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urlid_classifiers::{CcTldClassifier, LanguageClassifierSet};
+    use urlid_corpus::{odp_dataset, CorpusScale, UrlGenerator};
+    use urlid_features::LabeledUrl;
+    use urlid_lexicon::Language;
+
+    #[test]
+    fn training_curve_runs_every_fraction() {
+        let mut g = UrlGenerator::new(1);
+        let odp = odp_dataset(&mut g, CorpusScale::tiny());
+        let points = training_curve(&odp.train, &odp.test, &[0.1, 1.0], |_reduced| {
+            // A trainer that ignores the data: the ccTLD baseline.
+            LanguageClassifierSet::build(|lang| Box::new(CcTldClassifier::cctld(lang)))
+        });
+        assert_eq!(points.len(), 2);
+        assert!(points[0].training_urls < points[1].training_urls);
+        // The ccTLD baseline does not depend on training data, so the
+        // F-measure is identical at both points.
+        assert!((points[0].mean_f_measure() - points[1].mean_f_measure()).abs() < 1e-9);
+        assert!(points[1].mean_f_measure() > 0.3);
+    }
+
+    #[test]
+    fn memorization_grows_with_training_fraction() {
+        let mut g = UrlGenerator::new(2);
+        let odp = odp_dataset(&mut g, CorpusScale::small());
+        let curve = domain_memorization_curve(&odp.train, &odp.test, &[0.01, 0.1, 1.0]);
+        assert_eq!(curve.len(), 3);
+        assert!(curve[0].1 <= curve[1].1 + 1e-9);
+        assert!(curve[1].1 <= curve[2].1 + 1e-9);
+        assert!(curve[2].1 > 30.0, "full training should cover many domains: {:?}", curve);
+        assert!(curve[2].1 <= 100.0);
+    }
+
+    #[test]
+    fn memorization_of_disjoint_sets_is_zero() {
+        let mut train = Dataset::new("train");
+        train.urls.push(LabeledUrl::new("http://only-in-train.de/", Language::German));
+        let mut test = Dataset::new("test");
+        test.urls.push(LabeledUrl::new("http://only-in-test.de/", Language::German));
+        let curve = domain_memorization_curve(&train, &test, &[1.0]);
+        assert_eq!(curve[0].1, 0.0);
+    }
+
+    #[test]
+    fn paper_fractions_constant_is_sorted() {
+        let mut sorted = PAPER_TRAINING_FRACTIONS;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(sorted, PAPER_TRAINING_FRACTIONS);
+        assert_eq!(PAPER_TRAINING_FRACTIONS[3], 1.0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Shared data-model types: labelled URLs, data sets and train/test splits.
+//!
+//! Section 4.1 of the paper: each data set is a collection of URLs
+//! labelled with one of the five languages; the ODP and search-engine
+//! sets are split into training and test parts by randomly selecting a
+//! fixed percentage of URLs as test URLs, while the web-crawl set is used
+//! for testing only. For the "training on content" experiments of
+//! Section 7, training URLs additionally carry the text of the page.
+
+use serde::{Deserialize, Serialize};
+use urlid_lexicon::Language;
+
+/// A URL labelled with its page language, optionally carrying the page
+/// content (used only for the Section 7 "training on content" experiment,
+/// and only ever for training — never for test URLs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledUrl {
+    /// The URL.
+    pub url: String,
+    /// Ground-truth language of the page behind the URL.
+    pub language: Language,
+    /// Page text (HTML stripped), if downloaded.
+    pub content: Option<String>,
+}
+
+impl LabeledUrl {
+    /// Create a labelled URL without content.
+    pub fn new(url: impl Into<String>, language: Language) -> Self {
+        Self {
+            url: url.into(),
+            language,
+            content: None,
+        }
+    }
+
+    /// Create a labelled URL with page content.
+    pub fn with_content(
+        url: impl Into<String>,
+        language: Language,
+        content: impl Into<String>,
+    ) -> Self {
+        Self {
+            url: url.into(),
+            language,
+            content: Some(content.into()),
+        }
+    }
+}
+
+/// A collection of labelled URLs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Name of the data set (e.g. "odp", "ser", "web-crawl").
+    pub name: String,
+    /// The labelled URLs.
+    pub urls: Vec<LabeledUrl>,
+}
+
+impl Dataset {
+    /// Create an empty data set with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            urls: Vec::new(),
+        }
+    }
+
+    /// Create a data set from parts.
+    pub fn from_urls(name: impl Into<String>, urls: Vec<LabeledUrl>) -> Self {
+        Self {
+            name: name.into(),
+            urls,
+        }
+    }
+
+    /// Number of URLs.
+    pub fn len(&self) -> usize {
+        self.urls.len()
+    }
+
+    /// Is the data set empty?
+    pub fn is_empty(&self) -> bool {
+        self.urls.is_empty()
+    }
+
+    /// Number of URLs labelled with `lang`.
+    pub fn count_language(&self, lang: Language) -> usize {
+        self.urls.iter().filter(|u| u.language == lang).count()
+    }
+
+    /// Per-language counts in canonical language order.
+    pub fn language_counts(&self) -> [usize; 5] {
+        let mut out = [0usize; 5];
+        for u in &self.urls {
+            out[u.language.index()] += 1;
+        }
+        out
+    }
+
+    /// Iterate over `(url, language)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Language)> {
+        self.urls.iter().map(|u| (u.url.as_str(), u.language))
+    }
+
+    /// The subset of URLs labelled with `lang` (cloned).
+    pub fn filter_language(&self, lang: Language) -> Dataset {
+        Dataset {
+            name: format!("{}-{}", self.name, lang.iso_code()),
+            urls: self
+                .urls
+                .iter()
+                .filter(|u| u.language == lang)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Split deterministically into a training and a test part: every
+    /// `k`-th URL (per language, to keep the split stratified) goes to the
+    /// test set, where `k = round(1 / test_fraction)`.
+    ///
+    /// The paper randomly samples a fixed percentage; a stratified
+    /// deterministic split keeps experiments reproducible without a seed
+    /// while preserving the per-language proportions.
+    ///
+    /// # Panics
+    /// Panics if `test_fraction` is not in `(0, 1)`.
+    pub fn split(&self, test_fraction: f64) -> TrainTestSplit {
+        assert!(
+            test_fraction > 0.0 && test_fraction < 1.0,
+            "test_fraction must be in (0, 1), got {test_fraction}"
+        );
+        let k = (1.0 / test_fraction).round().max(1.0) as usize;
+        let mut train = Dataset::new(format!("{}-train", self.name));
+        let mut test = Dataset::new(format!("{}-test", self.name));
+        let mut per_lang_counter = [0usize; 5];
+        for u in &self.urls {
+            let c = &mut per_lang_counter[u.language.index()];
+            if *c % k == k - 1 {
+                test.urls.push(u.clone());
+            } else {
+                train.urls.push(u.clone());
+            }
+            *c += 1;
+        }
+        TrainTestSplit { train, test }
+    }
+
+    /// Keep only the first `fraction` of each language's URLs (used by the
+    /// Section 6 training-size sweep, where the amount of training data is
+    /// varied from 0.1 % to 100 %).
+    ///
+    /// # Panics
+    /// Panics if `fraction` is not in `(0, 1]`.
+    pub fn take_fraction(&self, fraction: f64) -> Dataset {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1], got {fraction}"
+        );
+        let counts = self.language_counts();
+        let mut budgets: [usize; 5] = [0; 5];
+        for (i, &c) in counts.iter().enumerate() {
+            budgets[i] = ((c as f64) * fraction).round().max(1.0) as usize;
+        }
+        let mut taken = [0usize; 5];
+        let urls = self
+            .urls
+            .iter()
+            .filter(|u| {
+                let i = u.language.index();
+                if taken[i] < budgets[i] {
+                    taken[i] += 1;
+                    true
+                } else {
+                    false
+                }
+            })
+            .cloned()
+            .collect();
+        Dataset {
+            name: format!("{}-{:.4}", self.name, fraction),
+            urls,
+        }
+    }
+
+    /// Drop all page content (the paper never uses content for test URLs).
+    pub fn without_content(&self) -> Dataset {
+        Dataset {
+            name: self.name.clone(),
+            urls: self
+                .urls
+                .iter()
+                .map(|u| LabeledUrl::new(u.url.clone(), u.language))
+                .collect(),
+        }
+    }
+}
+
+/// A training/test split of a [`Dataset`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainTestSplit {
+    /// The training part.
+    pub train: Dataset,
+    /// The test part.
+    pub test: Dataset,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dataset(n_per_lang: usize) -> Dataset {
+        let mut d = Dataset::new("sample");
+        for lang in Language::all() {
+            for i in 0..n_per_lang {
+                d.urls.push(LabeledUrl::new(
+                    format!("http://site{i}.{}/page{i}", lang.iso_code()),
+                    lang,
+                ));
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn counts_per_language() {
+        let d = sample_dataset(7);
+        assert_eq!(d.len(), 35);
+        assert_eq!(d.language_counts(), [7; 5]);
+        assert_eq!(d.count_language(Language::German), 7);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn split_is_stratified_and_disjoint() {
+        let d = sample_dataset(100);
+        let split = d.split(0.1);
+        assert_eq!(split.train.len() + split.test.len(), d.len());
+        for lang in Language::all() {
+            assert_eq!(split.test.count_language(lang), 10);
+            assert_eq!(split.train.count_language(lang), 90);
+        }
+        // No URL in both parts.
+        for u in &split.test.urls {
+            assert!(!split.train.urls.contains(u));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn split_rejects_bad_fraction() {
+        sample_dataset(5).split(1.5);
+    }
+
+    #[test]
+    fn take_fraction_scales_each_language() {
+        let d = sample_dataset(50);
+        let small = d.take_fraction(0.1);
+        assert_eq!(small.language_counts(), [5; 5]);
+        // Always keeps at least one URL per language.
+        let tiny = d.take_fraction(0.001);
+        assert_eq!(tiny.language_counts(), [1; 5]);
+        // Full fraction keeps everything.
+        assert_eq!(d.take_fraction(1.0).len(), d.len());
+    }
+
+    #[test]
+    fn filter_language_keeps_only_that_language() {
+        let d = sample_dataset(3);
+        let it = d.filter_language(Language::Italian);
+        assert_eq!(it.len(), 3);
+        assert!(it.urls.iter().all(|u| u.language == Language::Italian));
+    }
+
+    #[test]
+    fn without_content_strips_content() {
+        let mut d = Dataset::new("c");
+        d.urls.push(LabeledUrl::with_content(
+            "http://a.de/",
+            Language::German,
+            "hallo welt",
+        ));
+        assert!(d.urls[0].content.is_some());
+        let stripped = d.without_content();
+        assert!(stripped.urls[0].content.is_none());
+        assert_eq!(stripped.urls[0].url, "http://a.de/");
+    }
+
+    #[test]
+    fn iter_yields_pairs() {
+        let d = sample_dataset(1);
+        let pairs: Vec<(&str, Language)> = d.iter().collect();
+        assert_eq!(pairs.len(), 5);
+        assert_eq!(pairs[0].1, Language::English);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = sample_dataset(2);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

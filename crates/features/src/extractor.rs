@@ -1,0 +1,102 @@
+//! The [`FeatureExtractor`] trait: the fit–transform protocol shared by
+//! all three feature families.
+
+use crate::dataset::LabeledUrl;
+use crate::vector::SparseVector;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which of the paper's three feature families an extractor implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureSetKind {
+    /// Word (token) features — Section 5.3.
+    Words,
+    /// Within-token character trigram features — Section 5.4.
+    Trigrams,
+    /// The 74 (or selected 15) custom-made features — Section 5.5.
+    Custom,
+}
+
+impl FeatureSetKind {
+    /// All three feature families in paper order.
+    pub fn all() -> [FeatureSetKind; 3] {
+        [
+            FeatureSetKind::Words,
+            FeatureSetKind::Trigrams,
+            FeatureSetKind::Custom,
+        ]
+    }
+
+    /// Short label used in reports and plots ("WF", "TF", "CF" in Figure 2).
+    pub fn short_label(self) -> &'static str {
+        match self {
+            FeatureSetKind::Words => "WF",
+            FeatureSetKind::Trigrams => "TF",
+            FeatureSetKind::Custom => "CF",
+        }
+    }
+}
+
+impl fmt::Display for FeatureSetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FeatureSetKind::Words => "word features",
+            FeatureSetKind::Trigrams => "trigram features",
+            FeatureSetKind::Custom => "custom-made features",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A feature extractor that is fitted on labelled training URLs and then
+/// maps any URL to a [`SparseVector`].
+///
+/// * For word/trigram features, fitting builds the vocabulary (and hence
+///   fixes the dimensionality of the feature space).
+/// * For the custom features, fitting builds the trained dictionaries of
+///   Section 3.1; the dimensionality is fixed (74 or 15).
+///
+/// When a training URL carries page `content`, extractors that support
+/// the Section 7 "training on content" setting incorporate the content
+/// *during fitting and when transforming training examples*, but
+/// [`FeatureExtractor::transform`] (used at test time) only ever sees the
+/// URL.
+pub trait FeatureExtractor: Send + Sync {
+    /// Fit the extractor on labelled training data.
+    fn fit(&mut self, training: &[LabeledUrl]);
+
+    /// Map a URL to its feature vector. Must only be called after
+    /// [`FeatureExtractor::fit`]; unfitted extractors return empty or
+    /// degenerate vectors depending on the implementation.
+    fn transform(&self, url: &str) -> SparseVector;
+
+    /// Map a *training* example (URL plus optional page content) to its
+    /// feature vector. The default implementation ignores content.
+    fn transform_training(&self, example: &LabeledUrl) -> SparseVector {
+        let _ = &example.content;
+        self.transform(&example.url)
+    }
+
+    /// Dimensionality of the feature space after fitting.
+    fn dim(&self) -> usize;
+
+    /// Human-readable name of a feature index, if known.
+    fn feature_name(&self, index: u32) -> Option<String>;
+
+    /// Which feature family this extractor belongs to.
+    fn kind(&self) -> FeatureSetKind;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_display() {
+        assert_eq!(FeatureSetKind::Words.short_label(), "WF");
+        assert_eq!(FeatureSetKind::Trigrams.short_label(), "TF");
+        assert_eq!(FeatureSetKind::Custom.short_label(), "CF");
+        assert_eq!(FeatureSetKind::Words.to_string(), "word features");
+        assert_eq!(FeatureSetKind::all().len(), 3);
+    }
+}

@@ -1,0 +1,43 @@
+//! # urlid-features
+//!
+//! Feature extraction for URL-based language identification, implementing
+//! the three feature families of Section 3.1 of Baykan, Henzinger, Weber
+//! (VLDB 2008):
+//!
+//! * **Word features** ([`words::WordFeatureExtractor`]): each distinct
+//!   URL token becomes one dimension; the value is the number of times it
+//!   occurs in the URL.
+//! * **Trigram features** ([`trigrams::TrigramFeatureExtractor`]): padded
+//!   within-token character trigrams become the dimensions.
+//! * **Custom-made features** ([`custom::CustomFeatureExtractor`]): a fixed
+//!   set of 74 hand-designed features (ccTLD indicators, dictionary hit
+//!   counts, hyphen counts, ...), plus the 15-feature subset selected by
+//!   the paper's greedy forward selection.
+//!
+//! Both the dimensionality of the word/trigram spaces and the trained
+//! dictionaries used by the custom features depend on the training data,
+//! so every extractor follows a *fit–transform* protocol, captured by the
+//! [`FeatureExtractor`] trait.
+//!
+//! The crate also defines the shared data-model types [`LabeledUrl`] and
+//! [`Dataset`] used by the corpus generators, classifiers and evaluation
+//! harness, and the [`SparseVector`] type all extractors produce.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod custom;
+pub mod dataset;
+pub mod extractor;
+pub mod trigrams;
+pub mod vector;
+pub mod vocabulary;
+pub mod words;
+
+pub use custom::{CustomFeatureExtractor, CustomFeatureSet};
+pub use dataset::{Dataset, LabeledUrl, TrainTestSplit};
+pub use extractor::{FeatureExtractor, FeatureSetKind};
+pub use trigrams::TrigramFeatureExtractor;
+pub use vector::SparseVector;
+pub use vocabulary::Vocabulary;
+pub use words::WordFeatureExtractor;

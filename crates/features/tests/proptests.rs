@@ -1,0 +1,125 @@
+//! Property-based tests for feature extraction invariants.
+
+use proptest::prelude::*;
+use urlid_features::{
+    custom::NUM_CUSTOM_FEATURES, CustomFeatureExtractor, Dataset, FeatureExtractor, LabeledUrl,
+    SparseVector, TrigramFeatureExtractor, WordFeatureExtractor,
+};
+use urlid_lexicon::Language;
+
+fn small_training() -> Vec<LabeledUrl> {
+    vec![
+        LabeledUrl::new("http://www.wetter-bericht.de/berlin/nachrichten", Language::German),
+        LabeledUrl::new("http://www.weather-report.co.uk/london/news", Language::English),
+        LabeledUrl::new("http://www.meteo-prevision.fr/paris/infos", Language::French),
+        LabeledUrl::new("http://www.tiempo-noticias.es/madrid", Language::Spanish),
+        LabeledUrl::new("http://www.previsioni-meteo.it/roma", Language::Italian),
+    ]
+}
+
+proptest! {
+    /// Every extractor produces finite, non-negative feature values with
+    /// indices inside the declared dimensionality, for arbitrary inputs.
+    #[test]
+    fn extractors_produce_valid_vectors(url in ".{0,150}") {
+        let training = small_training();
+        let mut words = WordFeatureExtractor::default();
+        words.fit(&training);
+        let mut trigrams = TrigramFeatureExtractor::default();
+        trigrams.fit(&training);
+        let mut custom = CustomFeatureExtractor::default();
+        custom.fit(&training);
+
+        for (extractor, dim) in [
+            (&words as &dyn FeatureExtractor, words.dim()),
+            (&trigrams as &dyn FeatureExtractor, trigrams.dim()),
+            (&custom as &dyn FeatureExtractor, custom.dim()),
+        ] {
+            let v = extractor.transform(&url);
+            for (i, x) in v.iter() {
+                prop_assert!(x.is_finite() && x >= 0.0, "bad value {x} at {i}");
+                prop_assert!((i as usize) < dim, "index {i} outside dim {dim}");
+                prop_assert!(extractor.feature_name(i).is_some());
+            }
+        }
+    }
+
+    /// Word feature counts sum to at most the number of tokens of the URL
+    /// (out-of-vocabulary tokens are dropped, never duplicated).
+    #[test]
+    fn word_counts_are_bounded_by_token_count(url in "[a-z0-9./-]{0,100}") {
+        let mut words = WordFeatureExtractor::default();
+        words.fit(&small_training());
+        let v = words.transform(&url);
+        let tokens = urlid_tokenize::tokenize_url(&url);
+        prop_assert!(v.sum() <= tokens.len() as f64 + 1e-9);
+    }
+
+    /// Transforming is insensitive to URL case.
+    #[test]
+    fn transform_is_case_insensitive(url in "[a-zA-Z0-9./-]{0,80}") {
+        let mut words = WordFeatureExtractor::default();
+        words.fit(&small_training());
+        prop_assert_eq!(words.transform(&url), words.transform(&url.to_ascii_lowercase()));
+        let mut tri = TrigramFeatureExtractor::default();
+        tri.fit(&small_training());
+        prop_assert_eq!(tri.transform(&url), tri.transform(&url.to_uppercase()));
+    }
+
+    /// The custom extractor's full vector always has exactly 74 finite
+    /// entries and the selected-15 projection is consistent with it.
+    #[test]
+    fn custom_full_and_selected_are_consistent(url in ".{0,120}") {
+        let full = CustomFeatureExtractor::full();
+        let selected = CustomFeatureExtractor::default();
+        let f = full.extract_full(&url);
+        prop_assert_eq!(f.len(), NUM_CUSTOM_FEATURES);
+        prop_assert!(f.iter().all(|v| v.is_finite() && *v >= 0.0));
+        let s = selected.extract(&url);
+        for (k, &full_idx) in CustomFeatureExtractor::selected_indices().iter().enumerate() {
+            prop_assert_eq!(s[k], f[full_idx]);
+        }
+    }
+
+    /// SparseVector::from_pairs is order-independent and merge-consistent.
+    #[test]
+    fn sparse_vector_from_pairs_is_canonical(
+        pairs in proptest::collection::vec((0u32..64, 0.0f64..10.0), 0..40)
+    ) {
+        let a = SparseVector::from_pairs(pairs.clone());
+        let mut reversed = pairs.clone();
+        reversed.reverse();
+        let b = SparseVector::from_pairs(reversed);
+        // Same support and (up to floating-point summation order) the same
+        // values regardless of input order.
+        prop_assert_eq!(a.nnz(), b.nnz());
+        for (i, v) in a.iter() {
+            prop_assert!((v - b.get(i)).abs() < 1e-9, "index {i}: {v} vs {}", b.get(i));
+        }
+        // Sum is preserved (up to fp error).
+        let expected: f64 = pairs.iter().map(|(_, v)| v).sum();
+        prop_assert!((a.sum() - expected).abs() < 1e-9);
+        // L1 normalisation yields a distribution when non-empty.
+        if !a.is_empty() && a.sum() > 0.0 {
+            prop_assert!((a.l1_normalized().sum() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Dataset splitting never loses or duplicates URLs, for any valid
+    /// fraction.
+    #[test]
+    fn dataset_split_partitions(n in 1usize..60, denom in 2usize..10) {
+        let mut d = Dataset::new("prop");
+        for i in 0..n {
+            let lang = Language::from_index(i % 5);
+            d.urls.push(LabeledUrl::new(format!("http://site{i}.{}/p", lang.iso_code()), lang));
+        }
+        let split = d.split(1.0 / denom as f64);
+        prop_assert_eq!(split.train.len() + split.test.len(), d.len());
+        let mut all: Vec<&LabeledUrl> = split.train.urls.iter().chain(&split.test.urls).collect();
+        all.sort_by(|a, b| a.url.cmp(&b.url));
+        let mut orig: Vec<&LabeledUrl> = d.urls.iter().collect();
+        orig.sort_by(|a, b| a.url.cmp(&b.url));
+        prop_assert_eq!(all, orig);
+    }
+}

@@ -1,0 +1,182 @@
+//! Country-code top-level domain tables.
+//!
+//! Section 3.2 of the paper defines the ccTLD baseline:
+//!
+//! > Concretely, for French it uses the ccTLDs fr (France), tn (Tunisia),
+//! > dz (Algeria), and mg (Madagascar). For German it uses de (Germany)
+//! > and at (Austria). For Italian it uses only it (Italy). For Spanish it
+//! > uses es (Spain), cl (Chile), mx (Mexico), ar (Argentina), co
+//! > (Colombia), pe (Peru), and ve (Venezuela). For English it uses au
+//! > (Australia), ie (Ireland), nz (New Zealand), us, gov, mil (United
+//! > States), and gb and uk (United Kingdom).
+//!
+//! The ccTLD+ variant additionally counts `.com` and `.org` as English.
+//! This module provides the table as data; the baseline *classifiers*
+//! built on top of it live in `urlid-classifiers::cctld`.
+
+use crate::language::{Language, ALL_LANGUAGES};
+use serde::{Deserialize, Serialize};
+
+/// ccTLDs assigned to English by the paper.
+pub const ENGLISH_CCTLDS: &[&str] = &["au", "ie", "nz", "us", "gov", "mil", "gb", "uk"];
+/// ccTLDs assigned to German by the paper.
+pub const GERMAN_CCTLDS: &[&str] = &["de", "at"];
+/// ccTLDs assigned to French by the paper.
+pub const FRENCH_CCTLDS: &[&str] = &["fr", "tn", "dz", "mg"];
+/// ccTLDs assigned to Spanish by the paper.
+pub const SPANISH_CCTLDS: &[&str] = &["es", "cl", "mx", "ar", "co", "pe", "ve"];
+/// ccTLDs assigned to Italian by the paper.
+pub const ITALIAN_CCTLDS: &[&str] = &["it"];
+
+/// Generic TLDs tracked separately by the custom feature set (binary
+/// features for `.net`, `.org`, `.com`); `.com` and `.org` are added to the
+/// English set by the ccTLD+ heuristic.
+pub const GENERIC_TLDS: &[&str] = &["com", "org", "net"];
+
+/// How a TLD relates to the languages under study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TldClass {
+    /// A country-code TLD assigned to one of the five languages.
+    CountryCode(Language),
+    /// `.com`, `.org` or `.net`.
+    Generic,
+    /// Any other TLD (e.g. `.ru`, `.jp`, `.info`) — assigned to no language.
+    Other,
+}
+
+/// The ccTLD → language table of Section 3.2.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CcTldTable {
+    /// When true, `.com` and `.org` are counted as English (the ccTLD+
+    /// heuristic).
+    pub com_org_as_english: bool,
+}
+
+impl CcTldTable {
+    /// The plain ccTLD table (no `.com`/`.org` mapping).
+    pub fn cctld() -> Self {
+        Self {
+            com_org_as_english: false,
+        }
+    }
+
+    /// The ccTLD+ table: `.com` and `.org` count as English.
+    pub fn cctld_plus() -> Self {
+        Self {
+            com_org_as_english: true,
+        }
+    }
+
+    /// The ccTLDs the paper assigns to `lang` (not including the
+    /// `.com`/`.org` extension of ccTLD+).
+    pub fn cctlds_for(lang: Language) -> &'static [&'static str] {
+        match lang {
+            Language::English => ENGLISH_CCTLDS,
+            Language::German => GERMAN_CCTLDS,
+            Language::French => FRENCH_CCTLDS,
+            Language::Spanish => SPANISH_CCTLDS,
+            Language::Italian => ITALIAN_CCTLDS,
+        }
+    }
+
+    /// Classify a TLD string (without leading dot, case-insensitive).
+    pub fn classify(&self, tld: &str) -> TldClass {
+        let tld = tld.trim_start_matches('.').to_ascii_lowercase();
+        for lang in ALL_LANGUAGES {
+            if Self::cctlds_for(lang).contains(&tld.as_str()) {
+                return TldClass::CountryCode(lang);
+            }
+        }
+        if GENERIC_TLDS.contains(&tld.as_str()) {
+            if self.com_org_as_english && (tld == "com" || tld == "org") {
+                return TldClass::CountryCode(Language::English);
+            }
+            return TldClass::Generic;
+        }
+        TldClass::Other
+    }
+
+    /// The language this table assigns to a TLD, if any.
+    pub fn language_of(&self, tld: &str) -> Option<Language> {
+        match self.classify(tld) {
+            TldClass::CountryCode(lang) => Some(lang),
+            _ => None,
+        }
+    }
+
+    /// Does `token` (e.g. a host label such as the `de` in
+    /// `de.wikipedia.org`) match a ccTLD of `lang`? Used by the
+    /// "generalised" custom features that look for country codes anywhere
+    /// before the first slash.
+    pub fn token_matches_language(token: &str, lang: Language) -> bool {
+        let token = token.to_ascii_lowercase();
+        Self::cctlds_for(lang).contains(&token.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cctld_lists_are_complete() {
+        assert_eq!(ENGLISH_CCTLDS.len(), 8);
+        assert_eq!(GERMAN_CCTLDS.len(), 2);
+        assert_eq!(FRENCH_CCTLDS.len(), 4);
+        assert_eq!(SPANISH_CCTLDS.len(), 7);
+        assert_eq!(ITALIAN_CCTLDS.len(), 1);
+    }
+
+    #[test]
+    fn classify_country_codes() {
+        let t = CcTldTable::cctld();
+        assert_eq!(t.classify("de"), TldClass::CountryCode(Language::German));
+        assert_eq!(t.classify(".AT"), TldClass::CountryCode(Language::German));
+        assert_eq!(t.classify("fr"), TldClass::CountryCode(Language::French));
+        assert_eq!(t.classify("mx"), TldClass::CountryCode(Language::Spanish));
+        assert_eq!(t.classify("it"), TldClass::CountryCode(Language::Italian));
+        assert_eq!(t.classify("uk"), TldClass::CountryCode(Language::English));
+        assert_eq!(t.classify("gov"), TldClass::CountryCode(Language::English));
+    }
+
+    #[test]
+    fn generic_and_other_tlds() {
+        let t = CcTldTable::cctld();
+        assert_eq!(t.classify("com"), TldClass::Generic);
+        assert_eq!(t.classify("org"), TldClass::Generic);
+        assert_eq!(t.classify("net"), TldClass::Generic);
+        assert_eq!(t.classify("ru"), TldClass::Other);
+        assert_eq!(t.classify("jp"), TldClass::Other);
+        assert_eq!(t.classify("info"), TldClass::Other);
+        assert_eq!(t.language_of("com"), None);
+    }
+
+    #[test]
+    fn cctld_plus_maps_com_org_to_english() {
+        let t = CcTldTable::cctld_plus();
+        assert_eq!(t.language_of("com"), Some(Language::English));
+        assert_eq!(t.language_of("org"), Some(Language::English));
+        // .net stays generic even under ccTLD+.
+        assert_eq!(t.classify("net"), TldClass::Generic);
+        // Country codes are unaffected.
+        assert_eq!(t.language_of("de"), Some(Language::German));
+    }
+
+    #[test]
+    fn no_tld_is_assigned_to_two_languages() {
+        let mut seen = std::collections::HashSet::new();
+        for lang in ALL_LANGUAGES {
+            for tld in CcTldTable::cctlds_for(lang) {
+                assert!(seen.insert(*tld), "tld {tld} assigned twice");
+            }
+        }
+    }
+
+    #[test]
+    fn token_matching_is_case_insensitive() {
+        assert!(CcTldTable::token_matches_language("DE", Language::German));
+        assert!(CcTldTable::token_matches_language("fr", Language::French));
+        assert!(!CcTldTable::token_matches_language("de", Language::French));
+        assert!(!CcTldTable::token_matches_language("wiki", Language::German));
+    }
+}

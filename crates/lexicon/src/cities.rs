@@ -1,0 +1,156 @@
+//! Embedded city-name dictionaries.
+//!
+//! The paper builds per-language city dictionaries from Wikipedia lists
+//! because the OpenOffice dictionaries "tend to have large cities (Paris,
+//! London, Berlin, ...) in all the languages, and miss smaller towns".
+//! Here we embed hand-curated lists of cities and towns located in
+//! countries where each language is spoken. Ambiguous, internationally
+//! famous capitals are deliberately kept in every relevant list (as in the
+//! OpenOffice dictionaries) while the bulk of each list consists of smaller
+//! places that are distinctive for the language.
+//!
+//! All names are lowercase ASCII, the form in which they appear in URLs.
+
+use crate::language::Language;
+
+/// Cities in English-speaking countries (US, UK, Ireland, Australia, NZ).
+pub const ENGLISH_CITIES: &[&str] = &[
+    "london", "manchester", "birmingham", "liverpool", "leeds", "sheffield", "bristol",
+    "nottingham", "leicester", "coventry", "bradford", "cardiff", "belfast", "glasgow",
+    "edinburgh", "aberdeen", "dundee", "newcastle", "sunderland", "portsmouth", "southampton",
+    "brighton", "plymouth", "oxford", "cambridge", "york", "bath", "exeter", "norwich",
+    "ipswich", "dublin", "cork", "galway", "limerick", "newyork", "losangeles", "chicago",
+    "houston", "phoenix", "philadelphia", "sanantonio", "sandiego", "dallas", "austin",
+    "seattle", "denver", "boston", "nashville", "memphis", "portland", "baltimore",
+    "milwaukee", "albuquerque", "tucson", "sacramento", "kansascity", "atlanta", "omaha",
+    "raleigh", "miami", "oakland", "minneapolis", "cleveland", "pittsburgh", "cincinnati",
+    "tampa", "orlando", "sydney", "melbourne", "brisbane", "perth", "adelaide", "canberra",
+    "hobart", "darwin", "auckland", "wellington", "christchurch", "hamilton", "dunedin",
+    "toronto", "vancouver", "calgary", "ottawa", "montrealen", "winnipeg", "halifax",
+];
+
+/// Cities and towns in German-speaking countries (Germany, Austria).
+pub const GERMAN_CITIES: &[&str] = &[
+    "berlin", "hamburg", "muenchen", "munich", "koeln", "frankfurt", "stuttgart",
+    "duesseldorf", "dortmund", "essen", "leipzig", "bremen", "dresden", "hannover",
+    "nuernberg", "duisburg", "bochum", "wuppertal", "bielefeld", "bonn", "muenster",
+    "karlsruhe", "mannheim", "augsburg", "wiesbaden", "gelsenkirchen", "moenchengladbach",
+    "braunschweig", "chemnitz", "kiel", "aachen", "halle", "magdeburg", "freiburg",
+    "krefeld", "luebeck", "oberhausen", "erfurt", "mainz", "rostock", "kassel", "hagen",
+    "hamm", "saarbruecken", "muelheim", "potsdam", "ludwigshafen", "oldenburg",
+    "leverkusen", "osnabrueck", "solingen", "heidelberg", "herne", "neuss", "darmstadt",
+    "paderborn", "regensburg", "ingolstadt", "wuerzburg", "fuerth", "wolfsburg", "offenbach",
+    "ulm", "heilbronn", "pforzheim", "goettingen", "bottrop", "trier", "recklinghausen",
+    "reutlingen", "bremerhaven", "koblenz", "bergisch", "jena", "remscheid", "erlangen",
+    "moers", "siegen", "hildesheim", "salzgitter", "wien", "graz", "linz", "salzburg",
+    "innsbruck", "klagenfurt", "villach", "wels", "dornbirn", "steyr", "bregenz",
+];
+
+/// Cities and towns in French-speaking countries (France, plus francophone
+/// north Africa per the paper's ccTLD list).
+pub const FRENCH_CITIES: &[&str] = &[
+    "paris", "marseille", "lyon", "toulouse", "nice", "nantes", "strasbourg", "montpellier",
+    "bordeaux", "lille", "rennes", "reims", "lehavre", "saintetienne", "toulon", "grenoble",
+    "dijon", "angers", "nimes", "villeurbanne", "clermont", "ferrand", "aixenprovence",
+    "brest", "limoges", "tours", "amiens", "perpignan", "metz", "besancon", "orleans",
+    "rouen", "mulhouse", "caen", "nancy", "argenteuil", "montreuil", "roubaix", "tourcoing",
+    "avignon", "poitiers", "versailles", "courbevoie", "creteil", "pau", "colombes",
+    "aulnay", "asnieres", "rueil", "antibes", "calais", "cannes", "dunkerque",
+    "bourges", "lorient", "chambery", "annecy", "quimper", "valence", "troyes", "montauban",
+    "niort", "chartres", "beauvais", "cholet", "laval", "vannes", "frejus", "arles",
+    "bayonne", "carcassonne", "albi", "biarritz", "tunis", "sfax", "sousse", "alger",
+    "oran", "constantine", "antananarivo", "tananarive",
+];
+
+/// Cities and towns in Spanish-speaking countries (Spain and Latin America
+/// per the paper's ccTLD list).
+pub const SPANISH_CITIES: &[&str] = &[
+    "madrid", "barcelona", "valencia", "sevilla", "zaragoza", "malaga", "murcia", "palma",
+    "bilbao", "alicante", "cordoba", "valladolid", "vigo", "gijon", "hospitalet", "vitoria",
+    "granada", "elche", "oviedo", "badalona", "cartagena", "terrassa", "jerez", "sabadell",
+    "mostoles", "alcala", "pamplona", "fuenlabrada", "almeria", "leganes", "santander",
+    "burgos", "castellon", "albacete", "getafe", "salamanca", "huelva", "logrono", "badajoz",
+    "tarragona", "leon", "cadiz", "lleida", "marbella", "dosbermanas", "mataro", "torrejon",
+    "parla", "algeciras", "santiagodecompostela", "alcorcon", "toledo", "jaen", "ourense",
+    "reus", "lugo", "girona", "caceres", "segovia", "avila", "cuenca", "zamora", "teruel",
+    "soria", "mexico", "guadalajara", "monterrey", "puebla", "tijuana", "cancun", "merida",
+    "bogota", "medellin", "cali", "barranquilla", "cartagenadeindias", "buenosaires",
+    "rosario", "mendoza", "laplata", "cordobaargentina", "santiago", "valparaiso",
+    "concepcion", "lima", "arequipa", "trujillo", "cusco", "caracas", "maracaibo",
+];
+
+/// Cities and towns in Italy.
+pub const ITALIAN_CITIES: &[&str] = &[
+    "roma", "milano", "napoli", "torino", "palermo", "genova", "bologna", "firenze",
+    "bari", "catania", "venezia", "verona", "messina", "padova", "trieste", "taranto",
+    "brescia", "prato", "parma", "modena", "reggiocalabria", "reggioemilia", "perugia",
+    "ravenna", "livorno", "cagliari", "foggia", "rimini", "salerno", "ferrara", "sassari",
+    "latina", "giugliano", "monza", "siracusa", "pescara", "bergamo", "forli", "trento",
+    "vicenza", "terni", "bolzano", "novara", "piacenza", "ancona", "andria", "arezzo",
+    "udine", "cesena", "lecce", "pesaro", "barletta", "alessandria", "spezia", "pisa",
+    "pistoia", "guidonia", "lucca", "catanzaro", "brindisi", "treviso", "busto", "como",
+    "grosseto", "sesto", "varese", "fiumicino", "casoria", "asti", "cinisello", "caserta",
+    "gela", "aprilia", "ragusa", "pavia", "cremona", "carpi", "quartu", "lamezia",
+    "altamura", "imola", "massa", "trapani", "viterbo", "cosenza", "potenza", "crotone",
+    "matera", "agrigento", "faenza", "savona", "siena", "assisi", "amalfi", "portofino",
+];
+
+/// The embedded city list for a language.
+pub fn cities_for(lang: Language) -> &'static [&'static str] {
+    match lang {
+        Language::English => ENGLISH_CITIES,
+        Language::German => GERMAN_CITIES,
+        Language::French => FRENCH_CITIES,
+        Language::Spanish => SPANISH_CITIES,
+        Language::Italian => ITALIAN_CITIES,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::language::ALL_LANGUAGES;
+
+    #[test]
+    fn every_language_has_enough_cities() {
+        for lang in ALL_LANGUAGES {
+            assert!(
+                cities_for(lang).len() >= 60,
+                "{lang}: only {} cities",
+                cities_for(lang).len()
+            );
+        }
+    }
+
+    #[test]
+    fn city_names_are_lowercase_ascii() {
+        for lang in ALL_LANGUAGES {
+            for c in cities_for(lang) {
+                assert!(
+                    c.chars().all(|ch| ch.is_ascii_lowercase()),
+                    "{lang}: {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_berlin_is_german() {
+        // "This way we can, e.g., tell that Berlin is a city in a
+        // German-speaking country."
+        assert!(GERMAN_CITIES.contains(&"berlin"));
+        assert!(!FRENCH_CITIES.contains(&"berlin"));
+        assert!(!SPANISH_CITIES.contains(&"berlin"));
+    }
+
+    #[test]
+    fn no_intra_list_duplicates() {
+        for lang in ALL_LANGUAGES {
+            let mut v: Vec<_> = cities_for(lang).to_vec();
+            let before = v.len();
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(before, v.len(), "{lang} city list has duplicates");
+        }
+    }
+}

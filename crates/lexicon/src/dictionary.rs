@@ -1,0 +1,217 @@
+//! Dictionary types: membership sets of lowercase tokens with counting
+//! helpers used by the custom feature extractor.
+
+use crate::cities::cities_for;
+use crate::language::{Language, ALL_LANGUAGES};
+use crate::wordlists::words_for;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A set of lowercase tokens with O(1) membership checks.
+///
+/// Dictionaries are the substrate for the paper's custom features
+/// "token counts in OpenOffice dictionary", "token counts in the city
+/// dictionary" and "token counts in the trained dictionary".
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dictionary {
+    words: HashSet<String>,
+}
+
+impl Dictionary {
+    /// Create an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a dictionary from an iterator of words (lowercased on insert).
+    pub fn from_words<I, S>(words: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut d = Self::new();
+        for w in words {
+            d.insert(w.as_ref());
+        }
+        d
+    }
+
+    /// The embedded frequent-word ("OpenOffice substitute") dictionary for
+    /// a language.
+    pub fn builtin_words(lang: Language) -> Self {
+        Self::from_words(words_for(lang).iter().copied())
+    }
+
+    /// The embedded city-name dictionary for a language.
+    pub fn builtin_cities(lang: Language) -> Self {
+        Self::from_words(cities_for(lang).iter().copied())
+    }
+
+    /// Insert a word (lowercased). Returns true if it was new.
+    pub fn insert(&mut self, word: &str) -> bool {
+        self.words.insert(word.to_ascii_lowercase())
+    }
+
+    /// Does the dictionary contain `word` (case-insensitive)?
+    pub fn contains(&self, word: &str) -> bool {
+        if word.chars().any(|c| c.is_ascii_uppercase()) {
+            self.words.contains(&word.to_ascii_lowercase())
+        } else {
+            self.words.contains(word)
+        }
+    }
+
+    /// Number of words in the dictionary.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Is the dictionary empty?
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Count how many of the given tokens are contained in the dictionary
+    /// (each occurrence counts; duplicates are not collapsed — the paper
+    /// "counted the number of tokens present" in the dictionary).
+    pub fn count_hits<S: AsRef<str>>(&self, tokens: &[S]) -> usize {
+        tokens.iter().filter(|t| self.contains(t.as_ref())).count()
+    }
+
+    /// Iterate over the words (in arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.words.iter().map(|s| s.as_str())
+    }
+
+    /// Merge another dictionary into this one.
+    pub fn merge(&mut self, other: &Dictionary) {
+        for w in &other.words {
+            self.words.insert(w.clone());
+        }
+    }
+}
+
+impl FromIterator<String> for Dictionary {
+    fn from_iter<T: IntoIterator<Item = String>>(iter: T) -> Self {
+        Self::from_words(iter)
+    }
+}
+
+/// A per-language set of dictionaries of one kind (e.g. the five word
+/// dictionaries, or the five city dictionaries).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DictionarySet {
+    dicts: Vec<Dictionary>,
+}
+
+impl DictionarySet {
+    /// Build a set from a function producing one dictionary per language.
+    pub fn build(mut f: impl FnMut(Language) -> Dictionary) -> Self {
+        Self {
+            dicts: ALL_LANGUAGES.iter().map(|&l| f(l)).collect(),
+        }
+    }
+
+    /// The built-in frequent-word dictionaries for all five languages.
+    pub fn builtin_words() -> Self {
+        Self::build(Dictionary::builtin_words)
+    }
+
+    /// The built-in city dictionaries for all five languages.
+    pub fn builtin_cities() -> Self {
+        Self::build(Dictionary::builtin_cities)
+    }
+
+    /// The dictionary for `lang`.
+    pub fn get(&self, lang: Language) -> &Dictionary {
+        &self.dicts[lang.index()]
+    }
+
+    /// Mutable access to the dictionary for `lang`.
+    pub fn get_mut(&mut self, lang: Language) -> &mut Dictionary {
+        &mut self.dicts[lang.index()]
+    }
+
+    /// Per-language hit counts for a token sequence, in canonical language
+    /// order.
+    pub fn count_hits_all<S: AsRef<str>>(&self, tokens: &[S]) -> [usize; 5] {
+        let mut out = [0usize; 5];
+        for lang in ALL_LANGUAGES {
+            out[lang.index()] = self.get(lang).count_hits(tokens);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains_are_case_insensitive() {
+        let mut d = Dictionary::new();
+        assert!(d.insert("Berlin"));
+        assert!(!d.insert("berlin"));
+        assert!(d.contains("BERLIN"));
+        assert!(d.contains("berlin"));
+        assert!(!d.contains("paris"));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn count_hits_counts_occurrences() {
+        let d = Dictionary::from_words(["haus", "garten"]);
+        let tokens = vec!["haus", "haus", "garten", "auto"];
+        assert_eq!(d.count_hits(&tokens), 3);
+        let empty: Vec<&str> = vec![];
+        assert_eq!(d.count_hits(&empty), 0);
+    }
+
+    #[test]
+    fn builtin_word_dictionaries_contain_signature_words() {
+        assert!(Dictionary::builtin_words(Language::German).contains("strasse"));
+        assert!(Dictionary::builtin_words(Language::French).contains("recherche"));
+        assert!(Dictionary::builtin_words(Language::English).contains("weather"));
+        assert!(!Dictionary::builtin_words(Language::Italian).contains("weather"));
+    }
+
+    #[test]
+    fn builtin_city_dictionaries() {
+        assert!(Dictionary::builtin_cities(Language::German).contains("heidelberg"));
+        assert!(Dictionary::builtin_cities(Language::Italian).contains("firenze"));
+        assert!(!Dictionary::builtin_cities(Language::English).contains("firenze"));
+    }
+
+    #[test]
+    fn merge_unions_word_sets() {
+        let mut a = Dictionary::from_words(["uno", "due"]);
+        let b = Dictionary::from_words(["due", "tre"]);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains("tre"));
+    }
+
+    #[test]
+    fn dictionary_set_counts_per_language() {
+        let set = DictionarySet::builtin_words();
+        let tokens = vec!["wasserbett", "kaufen", "the", "weather"];
+        let counts = set.count_hits_all(&tokens);
+        assert!(counts[Language::German.index()] >= 1, "german should hit 'kaufen'");
+        assert!(counts[Language::English.index()] >= 2, "english should hit 'the' and 'weather'");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = Dictionary::from_words(["alpha", "beta"]);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dictionary = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let d: Dictionary = ["One".to_string(), "two".to_string()].into_iter().collect();
+        assert!(d.contains("one"));
+        assert_eq!(d.len(), 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! The [`Language`] enum and helpers.
+//!
+//! The paper studies five languages: English, German, French, Spanish and
+//! Italian, each handled by an independent binary classifier ("is it
+//! language X or not?", Section 3.2). The enum is deliberately closed: the
+//! whole pipeline (lexicons, corpus generators, evaluation tables) is
+//! organised around these five classes, matching the paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the five languages studied in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Language {
+    /// English.
+    English,
+    /// German.
+    German,
+    /// French.
+    French,
+    /// Spanish.
+    Spanish,
+    /// Italian.
+    Italian,
+}
+
+/// All five languages in the canonical order used throughout the paper's
+/// tables (English, German, French, Spanish, Italian).
+pub const ALL_LANGUAGES: [Language; 5] = [
+    Language::English,
+    Language::German,
+    Language::French,
+    Language::Spanish,
+    Language::Italian,
+];
+
+impl Language {
+    /// All five languages in canonical paper order.
+    pub fn all() -> [Language; 5] {
+        ALL_LANGUAGES
+    }
+
+    /// A stable index in `0..5`, usable for array-backed per-language data.
+    pub fn index(self) -> usize {
+        match self {
+            Language::English => 0,
+            Language::German => 1,
+            Language::French => 2,
+            Language::Spanish => 3,
+            Language::Italian => 4,
+        }
+    }
+
+    /// The language at the given index (inverse of [`Language::index`]).
+    ///
+    /// # Panics
+    /// Panics if `idx >= 5`.
+    pub fn from_index(idx: usize) -> Language {
+        ALL_LANGUAGES[idx]
+    }
+
+    /// ISO 639-1 code (`en`, `de`, `fr`, `es`, `it`).
+    pub fn iso_code(self) -> &'static str {
+        match self {
+            Language::English => "en",
+            Language::German => "de",
+            Language::French => "fr",
+            Language::Spanish => "es",
+            Language::Italian => "it",
+        }
+    }
+
+    /// English name of the language.
+    pub fn name(self) -> &'static str {
+        match self {
+            Language::English => "English",
+            Language::German => "German",
+            Language::French => "French",
+            Language::Spanish => "Spanish",
+            Language::Italian => "Italian",
+        }
+    }
+
+    /// Two-letter abbreviation used in the paper's tables
+    /// (`En.`, `Ge.`, `Fr.`, `Sp.`, `It.`), without the trailing dot.
+    pub fn paper_abbrev(self) -> &'static str {
+        match self {
+            Language::English => "En",
+            Language::German => "Ge",
+            Language::French => "Fr",
+            Language::Spanish => "Sp",
+            Language::Italian => "It",
+        }
+    }
+
+    /// The other four languages (useful for negative sampling).
+    pub fn others(self) -> Vec<Language> {
+        ALL_LANGUAGES.iter().copied().filter(|l| *l != self).collect()
+    }
+}
+
+impl fmt::Display for Language {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing a [`Language`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LanguageParseError(pub String);
+
+impl fmt::Display for LanguageParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown language: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for LanguageParseError {}
+
+impl FromStr for Language {
+    type Err = LanguageParseError;
+
+    /// Parses ISO codes (`en`), full names (`English`, case-insensitive)
+    /// and the paper's abbreviations (`En`, `Ge`, ...).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.trim().trim_end_matches('.').to_lowercase();
+        match lower.as_str() {
+            "en" | "english" | "eng" => Ok(Language::English),
+            "de" | "ge" | "german" | "deutsch" | "ger" => Ok(Language::German),
+            "fr" | "french" | "francais" | "français" | "fra" => Ok(Language::French),
+            "es" | "sp" | "spanish" | "espanol" | "español" | "spa" => Ok(Language::Spanish),
+            "it" | "italian" | "italiano" | "ita" => Ok(Language::Italian),
+            _ => Err(LanguageParseError(s.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for (i, lang) in ALL_LANGUAGES.iter().enumerate() {
+            assert_eq!(lang.index(), i);
+            assert_eq!(Language::from_index(i), *lang);
+        }
+    }
+
+    #[test]
+    fn iso_codes_are_unique_and_lowercase() {
+        let codes: Vec<_> = ALL_LANGUAGES.iter().map(|l| l.iso_code()).collect();
+        let mut dedup = codes.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 5);
+        assert!(codes.iter().all(|c| c.len() == 2 && c.chars().all(|ch| ch.is_ascii_lowercase())));
+    }
+
+    #[test]
+    fn parsing_accepts_many_spellings() {
+        assert_eq!("en".parse::<Language>().unwrap(), Language::English);
+        assert_eq!("German".parse::<Language>().unwrap(), Language::German);
+        assert_eq!("Ge.".parse::<Language>().unwrap(), Language::German);
+        assert_eq!("FRANÇAIS".parse::<Language>().unwrap(), Language::French);
+        assert_eq!("sp".parse::<Language>().unwrap(), Language::Spanish);
+        assert_eq!("italiano".parse::<Language>().unwrap(), Language::Italian);
+        assert!("klingon".parse::<Language>().is_err());
+        assert!("".parse::<Language>().is_err());
+    }
+
+    #[test]
+    fn display_and_name_agree() {
+        for lang in ALL_LANGUAGES {
+            assert_eq!(lang.to_string(), lang.name());
+            // Round trip through Display.
+            assert_eq!(lang.to_string().parse::<Language>().unwrap(), lang);
+        }
+    }
+
+    #[test]
+    fn others_excludes_self() {
+        for lang in ALL_LANGUAGES {
+            let others = lang.others();
+            assert_eq!(others.len(), 4);
+            assert!(!others.contains(&lang));
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for lang in ALL_LANGUAGES {
+            let json = serde_json::to_string(&lang).unwrap();
+            let back: Language = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, lang);
+        }
+    }
+
+    #[test]
+    fn ordering_matches_paper_table_order() {
+        let mut langs = vec![
+            Language::Italian,
+            Language::English,
+            Language::Spanish,
+            Language::German,
+            Language::French,
+        ];
+        langs.sort();
+        assert_eq!(langs, ALL_LANGUAGES.to_vec());
+    }
+}

@@ -1,0 +1,40 @@
+//! # urlid-lexicon
+//!
+//! Language definitions and lexical resources for URL-based language
+//! identification (Baykan, Henzinger, Weber — VLDB 2008).
+//!
+//! The paper's custom feature set (Section 3.1) relies on a handful of
+//! lexical resources:
+//!
+//! * **country-code top-level domain (ccTLD) tables** mapping TLDs to the
+//!   official language of the corresponding country (Section 3.2) —
+//!   [`cctld`];
+//! * **spelling dictionaries** (the paper uses OpenOffice dictionaries) —
+//!   here substituted by embedded frequent-word lists per language —
+//!   [`dictionary`] / [`wordlists`];
+//! * **city-name dictionaries** built from Wikipedia lists — [`cities`];
+//! * **language-specific stop words** used by the paper to construct the
+//!   search-engine-result data set — [`stopwords`];
+//! * **trained dictionaries** learnt from the training URLs themselves
+//!   (a token is added for language *X* if it occurs in ≥ 0.01 % of *X*'s
+//!   URLs and ≥ 80 % of the URLs containing it are in *X*) — [`trained`].
+//!
+//! The central type is [`Language`], a five-variant enum covering the
+//! languages studied in the paper: English, German, French, Spanish and
+//! Italian.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cctld;
+pub mod cities;
+pub mod dictionary;
+pub mod language;
+pub mod stopwords;
+pub mod trained;
+pub mod wordlists;
+
+pub use cctld::{CcTldTable, TldClass};
+pub use dictionary::{Dictionary, DictionarySet};
+pub use language::{Language, LanguageParseError, ALL_LANGUAGES};
+pub use trained::{TrainedDictionary, TrainedDictionaryBuilder, TrainedDictionaryConfig};

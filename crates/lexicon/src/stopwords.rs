@@ -1,0 +1,98 @@
+//! Language-specific stop-word lists.
+//!
+//! Section 4.1 of the paper: to build the search-engine-result data set
+//! without a ccTLD restriction, the authors "used lists of the most
+//! frequent words in each language to compile lists of 10 stop words
+//! specific to each language. Words common to multiple lists, such as
+//! 'la', were removed."
+//!
+//! These lists are used by the synthetic SER corpus generator and exposed
+//! here for completeness. They intentionally contain words that are
+//! *unambiguous* for their language.
+
+use crate::language::Language;
+
+/// Ten language-specific stop words for English.
+pub const ENGLISH_STOPWORDS: &[&str] = &[
+    "the", "and", "with", "from", "that", "have", "this", "which", "their", "would",
+];
+
+/// Ten language-specific stop words for German.
+pub const GERMAN_STOPWORDS: &[&str] = &[
+    "und", "der", "nicht", "das", "ist", "sich", "auch", "werden", "eine", "einer",
+];
+
+/// Ten language-specific stop words for French.
+pub const FRENCH_STOPWORDS: &[&str] = &[
+    "les", "des", "est", "dans", "pour", "qui", "une", "pas", "avec", "sur",
+];
+
+/// Ten language-specific stop words for Spanish.
+pub const SPANISH_STOPWORDS: &[&str] = &[
+    "que", "los", "del", "las", "por", "con", "una", "para", "como", "pero",
+];
+
+/// Ten language-specific stop words for Italian.
+pub const ITALIAN_STOPWORDS: &[&str] = &[
+    "che", "della", "per", "nel", "sono", "anche", "gli", "degli", "delle", "piu",
+];
+
+/// The stop-word list for a language.
+pub fn stopwords_for(lang: Language) -> &'static [&'static str] {
+    match lang {
+        Language::English => ENGLISH_STOPWORDS,
+        Language::German => GERMAN_STOPWORDS,
+        Language::French => FRENCH_STOPWORDS,
+        Language::Spanish => SPANISH_STOPWORDS,
+        Language::Italian => ITALIAN_STOPWORDS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::language::ALL_LANGUAGES;
+
+    #[test]
+    fn each_list_has_exactly_ten_words() {
+        for lang in ALL_LANGUAGES {
+            assert_eq!(stopwords_for(lang).len(), 10, "{lang}");
+        }
+    }
+
+    #[test]
+    fn ambiguous_words_like_la_are_absent() {
+        // The paper explicitly removed "la" because it is common to several
+        // languages' frequent-word lists.
+        for lang in ALL_LANGUAGES {
+            assert!(!stopwords_for(lang).contains(&"la"), "{lang} contains 'la'");
+        }
+    }
+
+    #[test]
+    fn lists_are_pairwise_disjoint() {
+        // "Words common to multiple lists, such as 'la', were removed."
+        for a in ALL_LANGUAGES {
+            for b in ALL_LANGUAGES {
+                if a == b {
+                    continue;
+                }
+                for w in stopwords_for(a) {
+                    assert!(
+                        !stopwords_for(b).contains(w),
+                        "{w:?} appears in both {a} and {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stopwords_are_lowercase_ascii() {
+        for lang in ALL_LANGUAGES {
+            for w in stopwords_for(lang) {
+                assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+    }
+}

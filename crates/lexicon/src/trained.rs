@@ -1,0 +1,316 @@
+//! Trained dictionaries.
+//!
+//! Section 3.1 of the paper ("Trained dictionary"):
+//!
+//! > We also trained dictionaries on all the URLs in the training set.
+//! > Here we automatically added tokens to the dictionary for a language X
+//! > if this token (i) appeared in at least .01% of the URLs of language X,
+//! > and (ii) at least 80% of the URLs in which the token appeared belong
+//! > to X. [...] Only tokens of minimum length 3 were included in the
+//! > dictionary.
+//!
+//! The builder counts, per token, in how many URLs of each language it
+//! occurs (document frequency, not term frequency — "appeared in" is a
+//! per-URL notion), then applies the two thresholds.
+
+use crate::dictionary::Dictionary;
+use crate::language::{Language, ALL_LANGUAGES};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use urlid_tokenize::Tokenizer;
+
+/// Thresholds controlling trained-dictionary construction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainedDictionaryConfig {
+    /// Minimum fraction of the language's URLs a token must appear in
+    /// (paper: 0.0001, i.e. 0.01 %).
+    pub min_language_fraction: f64,
+    /// Minimum fraction of the URLs containing the token that must belong
+    /// to the language (paper: 0.8).
+    pub min_purity: f64,
+    /// Minimum token length (paper: 3).
+    pub min_token_len: usize,
+}
+
+impl Default for TrainedDictionaryConfig {
+    fn default() -> Self {
+        Self {
+            min_language_fraction: 0.0001,
+            min_purity: 0.8,
+            min_token_len: 3,
+        }
+    }
+}
+
+/// Incremental builder for per-language trained dictionaries.
+///
+/// ```
+/// use urlid_lexicon::{Language, TrainedDictionaryBuilder};
+///
+/// let mut builder = TrainedDictionaryBuilder::default();
+/// for _ in 0..10 {
+///     builder.add_url("http://home.arcor.de/hans/", Language::German);
+///     builder.add_url("http://www.galeon.com/juan/", Language::Spanish);
+/// }
+/// let trained = builder.build();
+/// assert!(trained.dictionary(Language::German).contains("arcor"));
+/// assert!(trained.dictionary(Language::Spanish).contains("galeon"));
+/// assert!(!trained.dictionary(Language::German).contains("galeon"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrainedDictionaryBuilder {
+    config: TrainedDictionaryConfig,
+    tokenizer: Tokenizer,
+    /// token -> per-language document frequency.
+    doc_freq: HashMap<String, [u64; 5]>,
+    /// number of URLs seen per language.
+    url_counts: [u64; 5],
+}
+
+impl Default for TrainedDictionaryBuilder {
+    fn default() -> Self {
+        Self::new(TrainedDictionaryConfig::default())
+    }
+}
+
+impl TrainedDictionaryBuilder {
+    /// Create a builder with the given thresholds.
+    pub fn new(config: TrainedDictionaryConfig) -> Self {
+        Self {
+            config,
+            tokenizer: Tokenizer::default(),
+            doc_freq: HashMap::new(),
+            url_counts: [0; 5],
+        }
+    }
+
+    /// Register one labelled training URL.
+    pub fn add_url(&mut self, url: &str, lang: Language) {
+        self.url_counts[lang.index()] += 1;
+        // Per-URL de-duplication: a token occurring twice in one URL still
+        // counts as one "URL in which the token appeared".
+        let mut seen: HashSet<String> = HashSet::new();
+        for token in self.tokenizer.tokenize(url) {
+            if token.len() < self.config.min_token_len {
+                continue;
+            }
+            seen.insert(token);
+        }
+        for token in seen {
+            self.doc_freq.entry(token).or_insert([0; 5])[lang.index()] += 1;
+        }
+    }
+
+    /// Register a batch of labelled URLs.
+    pub fn add_urls<'a, I>(&mut self, urls: I)
+    where
+        I: IntoIterator<Item = (&'a str, Language)>,
+    {
+        for (url, lang) in urls {
+            self.add_url(url, lang);
+        }
+    }
+
+    /// Number of URLs seen for each language so far.
+    pub fn url_counts(&self) -> [u64; 5] {
+        self.url_counts
+    }
+
+    /// Apply the thresholds and produce the per-language dictionaries.
+    pub fn build(&self) -> TrainedDictionary {
+        let mut dicts: Vec<Dictionary> = (0..5).map(|_| Dictionary::new()).collect();
+        for (token, freqs) in &self.doc_freq {
+            let total: u64 = freqs.iter().sum();
+            if total == 0 {
+                continue;
+            }
+            for lang in ALL_LANGUAGES {
+                let in_lang = freqs[lang.index()];
+                let lang_urls = self.url_counts[lang.index()];
+                if lang_urls == 0 || in_lang == 0 {
+                    continue;
+                }
+                let fraction = in_lang as f64 / lang_urls as f64;
+                let purity = in_lang as f64 / total as f64;
+                if fraction >= self.config.min_language_fraction
+                    && purity >= self.config.min_purity
+                {
+                    dicts[lang.index()].insert(token);
+                }
+            }
+        }
+        TrainedDictionary {
+            config: self.config,
+            dicts,
+        }
+    }
+}
+
+/// The result of trained-dictionary construction: one [`Dictionary`] per
+/// language.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainedDictionary {
+    config: TrainedDictionaryConfig,
+    dicts: Vec<Dictionary>,
+}
+
+impl TrainedDictionary {
+    /// An empty trained dictionary (used before any training has happened).
+    pub fn empty() -> Self {
+        Self {
+            config: TrainedDictionaryConfig::default(),
+            dicts: (0..5).map(|_| Dictionary::new()).collect(),
+        }
+    }
+
+    /// The dictionary learnt for `lang`.
+    pub fn dictionary(&self, lang: Language) -> &Dictionary {
+        &self.dicts[lang.index()]
+    }
+
+    /// The configuration the dictionary was built with.
+    pub fn config(&self) -> TrainedDictionaryConfig {
+        self.config
+    }
+
+    /// Total number of entries across all five languages.
+    pub fn total_entries(&self) -> usize {
+        self.dicts.iter().map(|d| d.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn builder_with(urls: &[(&str, Language)]) -> TrainedDictionaryBuilder {
+        let mut b = TrainedDictionaryBuilder::default();
+        for (u, l) in urls {
+            b.add_url(u, *l);
+        }
+        b
+    }
+
+    #[test]
+    fn paper_examples_arcor_and_galeon() {
+        // "the token 'arcor' gets added to the trained German dictionary and
+        //  the token 'galeon' to the Spanish one"
+        let mut b = TrainedDictionaryBuilder::default();
+        for i in 0..50 {
+            b.add_url(&format!("http://home.arcor.de/user{i}/seite"), Language::German);
+            b.add_url(&format!("http://www.galeon.com/usuario{i}/pagina"), Language::Spanish);
+            b.add_url(&format!("http://example{i}.co.uk/page"), Language::English);
+        }
+        let t = b.build();
+        assert!(t.dictionary(Language::German).contains("arcor"));
+        assert!(t.dictionary(Language::Spanish).contains("galeon"));
+        assert!(!t.dictionary(Language::Spanish).contains("arcor"));
+        assert!(!t.dictionary(Language::English).contains("galeon"));
+    }
+
+    #[test]
+    fn purity_threshold_excludes_shared_tokens() {
+        // "blog" appears in 50% German / 50% French URLs -> purity 0.5 < 0.8
+        // for both, so neither dictionary contains it.
+        let mut urls = Vec::new();
+        for i in 0..20 {
+            urls.push((format!("http://site{i}.de/blog/artikel"), Language::German));
+            urls.push((format!("http://site{i}.fr/blog/article"), Language::French));
+        }
+        let refs: Vec<(&str, Language)> = urls.iter().map(|(u, l)| (u.as_str(), *l)).collect();
+        let t = builder_with(&refs).build();
+        assert!(!t.dictionary(Language::German).contains("blog"));
+        assert!(!t.dictionary(Language::French).contains("blog"));
+        // But "artikel" is pure German and "article" pure French.
+        assert!(t.dictionary(Language::German).contains("artikel"));
+        assert!(t.dictionary(Language::French).contains("article"));
+    }
+
+    #[test]
+    fn purity_threshold_boundary_at_80_percent() {
+        // Token in 4 German URLs and 1 French URL: purity 0.8 -> included
+        // for German (>= 0.8), excluded for French (0.2).
+        let urls = vec![
+            ("http://a.de/probe", Language::German),
+            ("http://b.de/probe", Language::German),
+            ("http://c.de/probe", Language::German),
+            ("http://d.de/probe", Language::German),
+            ("http://e.fr/probe", Language::French),
+        ];
+        let t = builder_with(&urls).build();
+        assert!(t.dictionary(Language::German).contains("probe"));
+        assert!(!t.dictionary(Language::French).contains("probe"));
+    }
+
+    #[test]
+    fn short_tokens_are_excluded() {
+        let urls = vec![
+            ("http://ab.de/xy/zz", Language::German),
+            ("http://ab.de/xy/zz", Language::German),
+        ];
+        let t = builder_with(&urls).build();
+        // "ab", "xy", "zz" all have length 2 < 3.
+        assert_eq!(t.dictionary(Language::German).len(), 0);
+    }
+
+    #[test]
+    fn min_language_fraction_filters_rare_tokens() {
+        let config = TrainedDictionaryConfig {
+            min_language_fraction: 0.5, // token must appear in >= 50% of URLs
+            min_purity: 0.8,
+            min_token_len: 3,
+        };
+        let mut b = TrainedDictionaryBuilder::new(config);
+        b.add_url("http://common.de/haus", Language::German);
+        b.add_url("http://common.de/haus", Language::German);
+        b.add_url("http://common.de/garten", Language::German);
+        b.add_url("http://other.de/keller", Language::German);
+        let t = b.build();
+        // "common" appears in 3/4 = 75% >= 50% -> in; "garten" 1/4 -> out.
+        assert!(t.dictionary(Language::German).contains("common"));
+        assert!(t.dictionary(Language::German).contains("haus"));
+        assert!(!t.dictionary(Language::German).contains("garten"));
+        assert!(!t.dictionary(Language::German).contains("keller"));
+    }
+
+    #[test]
+    fn duplicate_tokens_within_one_url_count_once() {
+        let mut b = TrainedDictionaryBuilder::default();
+        // "wort" twice in one URL, once in another language's URL.
+        b.add_url("http://wort.de/wort/wort", Language::German);
+        b.add_url("http://wort.fr/page", Language::French);
+        // doc freq: de=1, fr=1 -> purity 0.5 for both.
+        let t = b.build();
+        assert!(!t.dictionary(Language::German).contains("wort"));
+        assert!(!t.dictionary(Language::French).contains("wort"));
+    }
+
+    #[test]
+    fn empty_builder_produces_empty_dictionaries() {
+        let t = TrainedDictionaryBuilder::default().build();
+        assert_eq!(t.total_entries(), 0);
+        let e = TrainedDictionary::empty();
+        assert_eq!(e.total_entries(), 0);
+    }
+
+    #[test]
+    fn url_counts_track_languages() {
+        let mut b = TrainedDictionaryBuilder::default();
+        b.add_url("http://a.de/", Language::German);
+        b.add_url("http://b.de/", Language::German);
+        b.add_url("http://c.it/", Language::Italian);
+        let c = b.url_counts();
+        assert_eq!(c[Language::German.index()], 2);
+        assert_eq!(c[Language::Italian.index()], 1);
+        assert_eq!(c[Language::English.index()], 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let urls = vec![("http://home.arcor.de/x/seite", Language::German)];
+        let t = builder_with(&urls).build();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: TrainedDictionary = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,337 @@
+//! Embedded per-language frequent-word lists.
+//!
+//! The paper uses OpenOffice spelling dictionaries (English/United States,
+//! German/Germany, French/France Classique, Spanish/Spain-etal, Italian/
+//! Dizionario Italiano) to count, per URL, how many tokens are present in
+//! each language's dictionary. Those dictionaries are not redistributable
+//! here, so this module embeds hand-curated lists of frequent words for
+//! each language instead (see DESIGN.md, substitution table). Only set
+//! *membership* is ever used by the feature extractors, so a few hundred
+//! frequent words per language capture the same signal; the same lists
+//! also seed the synthetic corpus generator in `urlid-corpus`.
+//!
+//! All entries are lowercase ASCII (accents/umlauts transliterated or
+//! dropped), because that is the alphabet URLs are written in.
+
+use crate::language::Language;
+
+/// Frequent English words (content + function words typical of URLs).
+pub const ENGLISH_WORDS: &[&str] = &[
+    "the", "and", "for", "you", "that", "with", "this", "have", "from", "they", "will", "would",
+    "there", "their", "what", "about", "which", "when", "make", "like", "time", "just", "know",
+    "people", "year", "your", "good", "some", "could", "them", "other", "than", "then", "look",
+    "only", "come", "over", "think", "also", "back", "after", "work", "first", "well", "even",
+    "want", "because", "these", "give", "most", "news", "home", "page", "search", "free", "site",
+    "online", "world", "weather", "sports", "games", "music", "movies", "books", "travel",
+    "health", "business", "finance", "shopping", "store", "shop", "price", "cheap", "best",
+    "review", "reviews", "guide", "help", "support", "contact", "services", "products",
+    "software", "download", "community", "forum", "blog", "article", "articles", "library",
+    "school", "university", "college", "student", "students", "research", "science", "history",
+    "english", "language", "dictionary", "learning", "education", "teacher", "course", "courses",
+    "company", "jobs", "career", "careers", "employment", "estate", "property", "house", "garden",
+    "kitchen", "food", "recipes", "cooking", "restaurant", "hotel", "hotels", "flights", "flight",
+    "airport", "holiday", "holidays", "vacation", "insurance", "bank", "banking", "credit",
+    "money", "market", "stock", "stocks", "trading", "investment", "report", "reports", "data",
+    "technology", "computer", "computers", "internet", "network", "security", "mobile", "phone",
+    "phones", "camera", "video", "videos", "photo", "photos", "pictures", "gallery", "design",
+    "fashion", "clothing", "shoes", "jewelry", "gifts", "cards", "wedding", "baby", "kids",
+    "children", "family", "parents", "women", "men", "girls", "boys", "love", "life", "style",
+    "living", "events", "event", "tickets", "club", "clubs", "team", "league", "football",
+    "soccer", "baseball", "basketball", "golf", "tennis", "fishing", "hunting", "outdoor",
+    "nature", "park", "parks", "museum", "gallery", "theatre", "theater", "cinema", "radio",
+    "television", "press", "media", "newspaper", "magazine", "journal", "letters", "stories",
+    "poetry", "writers", "author", "authors", "church", "ministry", "faith", "government",
+    "county", "city", "state", "national", "international", "center", "centre", "office",
+    "department", "association", "society", "foundation", "institute", "project", "projects",
+    "program", "programs", "development", "management", "solutions", "systems", "group",
+    "partners", "consulting", "marketing", "advertising", "printing", "publishing", "records",
+    "directory", "resources", "links", "list", "lists", "maps", "map", "weather", "today",
+    "daily", "weekly", "monthly", "archive", "archives", "search", "find", "compare", "buy",
+    "sell", "sale", "sales", "auction", "auctions", "deals", "coupons", "discount", "order",
+    "shipping", "delivery", "account", "login", "register", "members", "member", "profile",
+    "user", "users", "about", "privacy", "terms", "policy", "sitemap", "faq", "questions",
+    "answers", "welcome", "official", "information", "details", "general", "public", "special",
+    "popular", "featured", "latest", "update", "updates", "version", "english", "united",
+    "kingdom", "america", "american", "british", "australia", "canada", "street", "road",
+    "avenue", "north", "south", "east", "west", "green", "white", "black", "blue", "red",
+    "golden", "silver", "little", "great", "grand", "royal", "classic", "modern", "digital",
+    "global", "local", "express", "direct", "plus", "pro", "net", "web", "tech", "soft", "ware",
+    "link", "click", "view", "read", "watch", "play", "player", "game", "fun", "cool", "easy",
+    "fast", "quick", "smart", "simple", "real", "true", "open", "live", "now", "new", "old",
+    "big", "small", "high", "low", "long", "short", "full", "top", "hot",
+];
+
+/// Frequent German words.
+pub const GERMAN_WORDS: &[&str] = &[
+    "der", "die", "das", "und", "ist", "nicht", "ein", "eine", "einer", "sich", "mit", "auch",
+    "auf", "fuer", "von", "dem", "den", "des", "werden", "wird", "sind", "oder", "aber", "wenn",
+    "nach", "wie", "noch", "nur", "schon", "mehr", "ueber", "unter", "zwischen", "durch",
+    "gegen", "ohne", "beim", "zum", "zur", "haben", "hatte", "kann", "koennen", "muss",
+    "muessen", "soll", "sollen", "machen", "geben", "gibt", "jahr", "jahre", "zeit", "neue",
+    "neues", "neuen", "gross", "grosse", "klein", "kleine", "gut", "gute", "guten", "deutsch",
+    "deutsche", "deutschland", "willkommen", "startseite", "seite", "seiten", "impressum",
+    "kontakt", "datenschutz", "anfahrt", "ueber", "uns", "unser", "unsere", "angebot",
+    "angebote", "leistungen", "produkte", "preise", "preis", "guenstig", "billig", "kaufen",
+    "verkauf", "verkaufen", "bestellen", "bestellung", "versand", "lieferung", "shop", "laden",
+    "geschaeft", "firma", "unternehmen", "gesellschaft", "verein", "verband", "gemeinde",
+    "stadt", "staedte", "land", "landkreis", "bezirk", "strasse", "platz", "haus", "haeuser",
+    "wohnung", "wohnungen", "immobilien", "miete", "mieten", "garten", "kueche", "zimmer",
+    "hotel", "hotels", "ferien", "ferienwohnung", "urlaub", "reise", "reisen", "flug", "fluege",
+    "bahn", "auto", "autos", "fahrrad", "werkstatt", "handwerk", "bau", "bauen", "technik",
+    "maschinen", "werkzeug", "wasser", "wasserbett", "energie", "strom", "heizung", "umwelt",
+    "natur", "wald", "berg", "berge", "see", "fluss", "wetter", "nachrichten", "zeitung",
+    "presse", "aktuell", "aktuelles", "neuigkeiten", "termine", "veranstaltung",
+    "veranstaltungen", "verein", "mitglied", "mitglieder", "anmeldung", "anmelden", "suche",
+    "suchen", "finden", "hilfe", "fragen", "antworten", "forum", "gaestebuch", "bilder", "bild",
+    "foto", "fotos", "galerie", "musik", "lieder", "kunst", "kultur", "geschichte", "museum",
+    "theater", "kino", "buch", "buecher", "verlag", "literatur", "sprache", "sprachen",
+    "woerterbuch", "lernen", "schule", "schulen", "hochschule", "universitaet", "studium",
+    "studenten", "ausbildung", "beruf", "berufe", "arbeit", "arbeiten", "stellen",
+    "stellenangebote", "jobs", "karriere", "bewerbung", "gesundheit", "arzt", "aerzte",
+    "apotheke", "krankenhaus", "klinik", "pflege", "medizin", "recht", "anwalt", "steuern",
+    "steuer", "versicherung", "versicherungen", "bank", "banken", "geld", "finanzen", "kredit",
+    "sparen", "essen", "trinken", "rezepte", "kochen", "baecker", "metzger", "restaurant",
+    "gasthof", "gasthaus", "biergarten", "wein", "bier", "sport", "fussball", "verein",
+    "turnier", "spiel", "spiele", "spielen", "freizeit", "familie", "kinder", "jugend",
+    "senioren", "frauen", "maenner", "hochzeit", "geschenke", "weihnachten", "ostern", "advent",
+    "kirche", "evangelisch", "katholisch", "pfarrei", "gottesdienst", "politik", "wahl",
+    "regierung", "verwaltung", "amt", "behoerde", "buergermeister", "rathaus", "polizei",
+    "feuerwehr", "rettung", "notdienst", "oeffnungszeiten", "anzeigen", "kleinanzeigen",
+    "gebraucht", "kostenlos", "gratis", "download", "herunterladen", "startseite", "uebersicht",
+    "inhalt", "weiter", "zurueck", "mehr", "alle", "hier", "heute", "morgen", "gestern",
+    "montag", "dienstag", "mittwoch", "donnerstag", "freitag", "samstag", "sonntag", "januar",
+    "februar", "maerz", "april", "mai", "juni", "juli", "august", "september", "oktober",
+    "november", "dezember", "nord", "sued", "ost", "west", "ober", "unter", "neu", "alt",
+    "gross", "klein", "schnell", "einfach", "direkt", "online", "digital", "service",
+    "dienstleistung", "loesungen", "beratung", "planung", "entwicklung", "forschung",
+    "wissenschaft", "institut", "zentrum", "haus", "hof", "muehle", "burg", "schloss",
+];
+
+/// Frequent French words.
+pub const FRENCH_WORDS: &[&str] = &[
+    "les", "des", "une", "est", "pour", "que", "qui", "dans", "pas", "sur", "par", "plus",
+    "avec", "tout", "tous", "toute", "toutes", "mais", "comme", "faire", "fait", "sont", "ont",
+    "aux", "ces", "son", "ses", "leur", "leurs", "notre", "nos", "votre", "vos", "cette",
+    "bien", "sans", "sous", "entre", "apres", "avant", "chez", "vers", "depuis", "pendant",
+    "contre", "encore", "aussi", "autre", "autres", "meme", "tres", "peu", "beaucoup",
+    "nouveau", "nouvelle", "nouvelles", "nouveaux", "premier", "premiere", "dernier",
+    "derniere", "grand", "grande", "grands", "grandes", "petit", "petite", "petits", "petites",
+    "bon", "bonne", "beau", "belle", "jeune", "vieux", "francais", "francaise", "france",
+    "bienvenue", "accueil", "site", "page", "pages", "recherche", "rechercher", "trouver",
+    "produits", "produit", "services", "service", "prix", "achat", "acheter", "vente", "vendre",
+    "boutique", "magasin", "commande", "commander", "livraison", "gratuit", "gratuite",
+    "promotion", "promotions", "offre", "offres", "annonces", "annonce", "immobilier",
+    "location", "louer", "maison", "maisons", "appartement", "appartements", "jardin",
+    "cuisine", "chambre", "chambres", "hotel", "hotels", "vacances", "voyage", "voyages",
+    "sejour", "camping", "gite", "gites", "tourisme", "office", "region", "regions",
+    "departement", "ville", "villes", "village", "villages", "commune", "communes", "mairie",
+    "conseil", "municipal", "prefecture", "rue", "place", "avenue", "quartier", "centre",
+    "nord", "sud", "est", "ouest", "haute", "haut", "basse", "bas", "saint", "sainte",
+    "eglise", "chateau", "musee", "musees", "exposition", "expositions", "culture",
+    "culturel", "patrimoine", "histoire", "historique", "art", "arts", "artiste", "artistes",
+    "peinture", "photographie", "photos", "galerie", "musique", "concert", "concerts",
+    "festival", "spectacle", "spectacles", "theatre", "cinema", "films", "film", "livre",
+    "livres", "lecture", "bibliotheque", "librairie", "edition", "editions", "presse",
+    "journal", "actualites", "actualite", "informations", "information", "infos", "nouvelles",
+    "meteo", "sante", "medecin", "medecins", "pharmacie", "hopital", "clinique", "soins",
+    "beaute", "bienetre", "cheveux", "mode", "vetements", "chaussures", "bijoux", "cadeaux",
+    "mariage", "enfants", "enfant", "famille", "femmes", "femme", "hommes", "homme", "jeunesse",
+    "etudiants", "etudiant", "ecole", "ecoles", "college", "lycee", "universite", "formation",
+    "formations", "cours", "apprendre", "langue", "langues", "dictionnaire", "traduction",
+    "emploi", "emplois", "travail", "recrutement", "entreprise", "entreprises", "societe",
+    "societes", "association", "associations", "federation", "syndicat", "chambre", "commerce",
+    "industrie", "agriculture", "artisanat", "batiment", "construction", "travaux",
+    "renovation", "plomberie", "electricite", "chauffage", "energie", "environnement",
+    "nature", "montagne", "mer", "plage", "riviere", "foret", "parc", "parcs", "animaux",
+    "chiens", "chats", "chevaux", "peche", "chasse", "sport", "sports", "football", "rugby",
+    "cyclisme", "randonnee", "ski", "club", "clubs", "equipe", "championnat", "resultats",
+    "calendrier", "agenda", "evenements", "fetes", "noel", "paques", "cuisine", "recettes",
+    "recette", "restaurant", "restaurants", "gastronomie", "vin", "vins", "fromage",
+    "boulangerie", "patisserie", "droit", "avocat", "avocats", "juridique", "notaire",
+    "assurance", "assurances", "banque", "banques", "credit", "finances", "impots", "argent",
+    "economie", "politique", "gouvernement", "ministere", "republique", "elections", "conseil",
+    "contact", "contactez", "mentions", "legales", "plan", "partenaires", "liens", "telecharger",
+    "telechargement", "inscription", "inscrire", "connexion", "compte", "membre", "membres",
+    "forum", "forums", "discussion", "aide", "questions", "reponses", "guide", "conseils",
+    "astuces", "dossiers", "articles", "article", "rubrique", "rubriques", "sommaire", "suite",
+    "lire", "voir", "ici", "aujourd", "demain", "hier", "lundi", "mardi", "mercredi", "jeudi",
+    "vendredi", "samedi", "dimanche", "janvier", "fevrier", "mars", "avril", "juin", "juillet",
+    "aout", "septembre", "octobre", "novembre", "decembre",
+];
+
+/// Frequent Spanish words.
+pub const SPANISH_WORDS: &[&str] = &[
+    "los", "las", "una", "del", "que", "con", "por", "para", "como", "mas", "pero", "sus",
+    "este", "esta", "estos", "estas", "ese", "esa", "eso", "hay", "son", "ser", "estar", "fue",
+    "muy", "todo", "todos", "toda", "todas", "tambien", "cuando", "donde", "entre", "desde",
+    "hasta", "sobre", "sin", "tras", "durante", "mediante", "segun", "cada", "otro", "otros",
+    "otra", "otras", "mismo", "misma", "nuevo", "nueva", "nuevos", "nuevas", "primero",
+    "primera", "ultimo", "ultima", "gran", "grande", "grandes", "pequeno", "pequena", "mejor",
+    "mejores", "bueno", "buena", "buenos", "buenas", "espanol", "espanola", "espana",
+    "bienvenido", "bienvenidos", "inicio", "principal", "pagina", "paginas", "buscar",
+    "busqueda", "buscador", "encontrar", "productos", "producto", "servicios", "servicio",
+    "precio", "precios", "comprar", "compra", "compras", "venta", "ventas", "vender", "tienda",
+    "tiendas", "ofertas", "oferta", "pedido", "envio", "gratis", "rebajas", "descuento",
+    "anuncios", "anuncio", "inmobiliaria", "alquiler", "alquilar", "casa", "casas", "piso",
+    "pisos", "apartamento", "apartamentos", "jardin", "cocina", "habitacion", "habitaciones",
+    "hotel", "hoteles", "vacaciones", "viaje", "viajes", "turismo", "turistico", "playa",
+    "playas", "rural", "casa", "region", "provincia", "provincias", "ciudad", "ciudades",
+    "pueblo", "pueblos", "municipio", "ayuntamiento", "comunidad", "calle", "plaza", "avenida",
+    "barrio", "centro", "norte", "sur", "este", "oeste", "alto", "alta", "bajo", "baja", "san",
+    "santa", "santo", "iglesia", "catedral", "castillo", "museo", "museos", "exposicion",
+    "cultura", "cultural", "patrimonio", "historia", "historico", "arte", "artes", "artista",
+    "artistas", "pintura", "fotografia", "fotos", "galeria", "musica", "concierto",
+    "conciertos", "festival", "espectaculo", "teatro", "cine", "peliculas", "pelicula",
+    "libro", "libros", "lectura", "biblioteca", "libreria", "editorial", "prensa", "periodico",
+    "noticias", "noticia", "informacion", "informaciones", "actualidad", "tiempo", "salud",
+    "medico", "medicos", "farmacia", "hospital", "clinica", "belleza", "moda", "ropa",
+    "zapatos", "joyas", "regalos", "boda", "bodas", "ninos", "nino", "nina", "familia",
+    "mujeres", "mujer", "hombres", "hombre", "juventud", "estudiantes", "estudiante",
+    "escuela", "escuelas", "colegio", "colegios", "instituto", "universidad", "universidades",
+    "formacion", "cursos", "curso", "aprender", "idioma", "idiomas", "diccionario",
+    "traduccion", "empleo", "empleos", "trabajo", "trabajos", "empresa", "empresas",
+    "sociedad", "asociacion", "asociaciones", "federacion", "sindicato", "camara", "comercio",
+    "industria", "agricultura", "construccion", "obras", "reforma", "fontaneria",
+    "electricidad", "calefaccion", "energia", "medio", "ambiente", "naturaleza", "montana",
+    "mar", "rio", "bosque", "parque", "parques", "animales", "perros", "gatos", "caballos",
+    "pesca", "caza", "deporte", "deportes", "futbol", "baloncesto", "ciclismo", "senderismo",
+    "esqui", "club", "clubes", "equipo", "equipos", "liga", "campeonato", "resultados",
+    "calendario", "agenda", "eventos", "fiestas", "fiesta", "navidad", "semana", "cocina",
+    "recetas", "receta", "restaurante", "restaurantes", "gastronomia", "vino", "vinos",
+    "queso", "tapas", "derecho", "abogado", "abogados", "juridico", "notario", "seguros",
+    "seguro", "banco", "bancos", "credito", "finanzas", "impuestos", "dinero", "economia",
+    "politica", "gobierno", "ministerio", "elecciones", "consejo", "contacto", "contactar",
+    "aviso", "legal", "mapa", "enlaces", "descargar", "descargas", "registro", "registrarse",
+    "entrar", "cuenta", "usuario", "usuarios", "miembros", "foro", "foros", "ayuda",
+    "preguntas", "respuestas", "guia", "consejos", "articulos", "articulo", "seccion",
+    "secciones", "indice", "siguiente", "anterior", "leer", "ver", "aqui", "hoy", "manana",
+    "ayer", "lunes", "martes", "miercoles", "jueves", "viernes", "sabado", "domingo", "enero",
+    "febrero", "marzo", "abril", "mayo", "junio", "julio", "agosto", "septiembre", "octubre",
+    "noviembre", "diciembre", "galeon", "portal", "web", "red", "linea", "gratis", "nuevo",
+];
+
+/// Frequent Italian words.
+pub const ITALIAN_WORDS: &[&str] = &[
+    "del", "della", "dei", "delle", "dello", "degli", "che", "con", "per", "una", "uno", "gli",
+    "nel", "nella", "alla", "alle", "dal", "dalla", "sul", "sulla", "come", "anche", "sono",
+    "essere", "stato", "stata", "hanno", "questo", "questa", "questi", "queste", "quello",
+    "quella", "tutto", "tutti", "tutta", "tutte", "molto", "piu", "meno", "dove", "quando",
+    "dopo", "prima", "senza", "sotto", "sopra", "tra", "fra", "verso", "presso", "durante",
+    "ogni", "altro", "altri", "altra", "altre", "stesso", "nuovo", "nuova", "nuovi", "nuove",
+    "primo", "prima", "ultimo", "ultima", "grande", "grandi", "piccolo", "piccola", "buono",
+    "buona", "bella", "bello", "italiano", "italiana", "italiani", "italia", "benvenuto",
+    "benvenuti", "home", "pagina", "pagine", "cerca", "ricerca", "cercare", "trovare",
+    "prodotti", "prodotto", "servizi", "servizio", "prezzo", "prezzi", "acquista",
+    "acquistare", "vendita", "vendere", "negozio", "negozi", "offerte", "offerta", "ordine",
+    "spedizione", "gratis", "gratuito", "sconto", "sconti", "annunci", "annuncio",
+    "immobiliare", "affitto", "affittare", "casa", "case", "appartamento", "appartamenti",
+    "giardino", "cucina", "camera", "camere", "albergo", "alberghi", "hotel", "vacanze",
+    "vacanza", "viaggio", "viaggi", "turismo", "turistico", "agriturismo", "spiaggia", "mare",
+    "regione", "regioni", "provincia", "province", "citta", "paese", "paesi", "comune",
+    "comuni", "municipio", "via", "piazza", "corso", "viale", "quartiere", "centro", "nord",
+    "sud", "est", "ovest", "alto", "alta", "basso", "bassa", "san", "santa", "santo", "chiesa",
+    "duomo", "castello", "museo", "musei", "mostra", "mostre", "cultura", "culturale",
+    "patrimonio", "storia", "storico", "arte", "arti", "artista", "artisti", "pittura",
+    "fotografia", "foto", "galleria", "musica", "concerto", "concerti", "festival",
+    "spettacolo", "spettacoli", "teatro", "cinema", "film", "libro", "libri", "lettura",
+    "biblioteca", "libreria", "editore", "edizioni", "stampa", "giornale", "notizie",
+    "notizia", "informazioni", "informazione", "attualita", "tempo", "meteo", "salute",
+    "medico", "medici", "farmacia", "ospedale", "clinica", "bellezza", "moda", "abbigliamento",
+    "scarpe", "gioielli", "regali", "matrimonio", "bambini", "bambino", "bambina", "famiglia",
+    "donne", "donna", "uomini", "uomo", "giovani", "studenti", "studente", "scuola", "scuole",
+    "liceo", "istituto", "universita", "formazione", "corsi", "corso", "imparare", "lingua",
+    "lingue", "dizionario", "traduzione", "lavoro", "lavori", "impiego", "azienda", "aziende",
+    "impresa", "imprese", "societa", "associazione", "associazioni", "federazione",
+    "sindacato", "camera", "commercio", "industria", "agricoltura", "costruzioni", "edilizia",
+    "ristrutturazione", "idraulico", "elettricista", "riscaldamento", "energia", "ambiente",
+    "natura", "montagna", "lago", "fiume", "bosco", "parco", "parchi", "animali", "cani",
+    "gatti", "cavalli", "pesca", "caccia", "sport", "calcio", "pallacanestro", "ciclismo",
+    "escursionismo", "sci", "club", "squadra", "squadre", "campionato", "risultati",
+    "calendario", "agenda", "eventi", "evento", "feste", "festa", "natale", "pasqua", "cucina",
+    "ricette", "ricetta", "ristorante", "ristoranti", "gastronomia", "vino", "vini",
+    "formaggio", "pizza", "pasta", "diritto", "avvocato", "avvocati", "giuridico", "notaio",
+    "assicurazioni", "assicurazione", "banca", "banche", "credito", "finanza", "tasse",
+    "soldi", "economia", "politica", "governo", "ministero", "elezioni", "consiglio",
+    "contatto", "contatti", "note", "legali", "mappa", "collegamenti", "scaricare",
+    "iscrizione", "iscriversi", "accedi", "account", "utente", "utenti", "membri", "forum",
+    "aiuto", "domande", "risposte", "guida", "consigli", "articoli", "articolo", "sezione",
+    "sezioni", "indice", "avanti", "indietro", "leggere", "vedere", "qui", "oggi", "domani",
+    "ieri", "lunedi", "martedi", "mercoledi", "giovedi", "venerdi", "sabato", "domenica",
+    "gennaio", "febbraio", "marzo", "aprile", "maggio", "giugno", "luglio", "agosto",
+    "settembre", "ottobre", "novembre", "dicembre", "benessere", "azzurro", "verde", "rosso",
+];
+
+/// The embedded word list for a language.
+pub fn words_for(lang: Language) -> &'static [&'static str] {
+    match lang {
+        Language::English => ENGLISH_WORDS,
+        Language::German => GERMAN_WORDS,
+        Language::French => FRENCH_WORDS,
+        Language::Spanish => SPANISH_WORDS,
+        Language::Italian => ITALIAN_WORDS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::language::ALL_LANGUAGES;
+    use std::collections::HashSet;
+
+    #[test]
+    fn every_language_has_a_substantial_list() {
+        for lang in ALL_LANGUAGES {
+            assert!(
+                words_for(lang).len() >= 250,
+                "{lang} word list too small: {}",
+                words_for(lang).len()
+            );
+        }
+    }
+
+    #[test]
+    fn all_entries_are_lowercase_ascii_letters() {
+        for lang in ALL_LANGUAGES {
+            for w in words_for(lang) {
+                assert!(
+                    w.chars().all(|c| c.is_ascii_lowercase()),
+                    "{lang}: {w:?} is not lowercase ascii"
+                );
+                assert!(w.len() >= 2, "{lang}: {w:?} too short");
+            }
+        }
+    }
+
+    #[test]
+    fn lists_are_sufficiently_distinct() {
+        // Some overlap is natural (cognates, "hotel", "forum"), but each
+        // pair of languages must have a large disjoint part for the
+        // dictionary features to carry signal.
+        for a in ALL_LANGUAGES {
+            let sa: HashSet<_> = words_for(a).iter().collect();
+            for b in ALL_LANGUAGES {
+                if a == b {
+                    continue;
+                }
+                let sb: HashSet<_> = words_for(b).iter().collect();
+                let overlap = sa.intersection(&sb).count();
+                let frac = overlap as f64 / sa.len().min(sb.len()) as f64;
+                assert!(
+                    frac < 0.25,
+                    "{a} and {b} overlap too much: {overlap} shared ({frac:.2})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn signature_words_are_present() {
+        assert!(ENGLISH_WORDS.contains(&"the"));
+        assert!(GERMAN_WORDS.contains(&"und"));
+        assert!(FRENCH_WORDS.contains(&"recherche"));
+        assert!(SPANISH_WORDS.contains(&"ciudad"));
+        assert!(ITALIAN_WORDS.contains(&"citta"));
+        // Paper examples: "produits"/"recherche" indicative of French.
+        assert!(FRENCH_WORDS.contains(&"produits"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Character n-gram extraction.
+//!
+//! Section 3.1 of the paper ("Trigrams as features"):
+//!
+//! > This approach starts with the same tokens as the method above. That
+//! > is, a URL is first split into tokens. Then trigrams, i.e., sequences
+//! > of exactly three letters, are derived from them. For example, the
+//! > token `weather` gives rise to the trigrams " we", "wea", "eat",
+//! > "ath", "the", "her" and "er ".
+//!
+//! The token is padded with a single leading and trailing space so that
+//! word-boundary information ("starts with *we*", "ends with *er*") is
+//! preserved — exactly the classical n-gram scheme of Cavnar & Trenkle.
+//!
+//! The paper also discusses (and rejects, but lists as future work) the
+//! alternative of computing trigrams over the raw URL instead of over
+//! tokens; [`url_trigrams`] implements that variant so the ablation bench
+//! `ablation_trigram_scope` can compare the two.
+
+use crate::token::Tokenizer;
+
+/// Boundary padding character used for n-grams.
+pub const PAD: char = ' ';
+
+/// Extract padded n-grams of length `n` from a single token.
+///
+/// The token is lowercased and padded with one space on each side. Tokens
+/// shorter than `n - 2` still produce at least one n-gram as long as the
+/// padded form is at least `n` characters long; an empty token produces no
+/// n-grams.
+///
+/// ```
+/// use urlid_tokenize::token_ngrams;
+/// assert_eq!(token_ngrams("de", 3), vec![" de", "de "]);
+/// assert_eq!(token_ngrams("a", 3), vec![" a "]);
+/// assert!(token_ngrams("", 3).is_empty());
+/// ```
+pub fn token_ngrams(token: &str, n: usize) -> Vec<String> {
+    assert!(n >= 1, "n-gram length must be at least 1");
+    if token.is_empty() {
+        return Vec::new();
+    }
+    let padded: Vec<char> = std::iter::once(PAD)
+        .chain(token.chars().map(|c| c.to_ascii_lowercase()))
+        .chain(std::iter::once(PAD))
+        .collect();
+    if padded.len() < n {
+        // e.g. a 1-char token with n = 4: emit the whole padded form once.
+        return vec![padded.iter().collect()];
+    }
+    padded
+        .windows(n)
+        .map(|w| w.iter().collect::<String>())
+        .collect()
+}
+
+/// Extract padded trigrams from a single token (the paper's setting).
+///
+/// ```
+/// use urlid_tokenize::token_trigrams;
+/// assert_eq!(
+///     token_trigrams("weather"),
+///     vec![" we", "wea", "eat", "ath", "the", "her", "er "]
+/// );
+/// ```
+pub fn token_trigrams(token: &str) -> Vec<String> {
+    token_ngrams(token, 3)
+}
+
+/// Extract trigrams for a whole URL by first tokenising it (the paper's
+/// approach: trigrams never cross token boundaries).
+///
+/// ```
+/// use urlid_tokenize::ngram::trigrams_of_url_tokens;
+/// let tris = trigrams_of_url_tokens("http://www.hi-fly.de");
+/// // "hi" and "fly" are separate tokens, so the trigram "hi-" / "ifl" is
+/// // never produced.
+/// assert!(tris.contains(&" hi".to_string()));
+/// assert!(tris.contains(&" fl".to_string()));
+/// assert!(!tris.iter().any(|t| t.contains('-')));
+/// ```
+pub fn trigrams_of_url_tokens(url: &str) -> Vec<String> {
+    let tokenizer = Tokenizer::default();
+    let mut out = Vec::new();
+    for token in tokenizer.iter(url) {
+        out.extend(token_trigrams(token));
+    }
+    out
+}
+
+/// Extract trigrams over the *raw URL* (the alternative scheme the paper
+/// mentions as future work): punctuation is kept, only the scheme prefix
+/// (`http://`, `https://`) and a leading `www.` are removed, and trigrams
+/// may span what the tokenizer would consider separate tokens.
+///
+/// ```
+/// use urlid_tokenize::url_trigrams;
+/// let tris = url_trigrams("http://www.hi-fly.de");
+/// assert!(tris.contains(&"hi-".to_string()));
+/// ```
+pub fn url_trigrams(url: &str) -> Vec<String> {
+    let stripped = strip_scheme_and_www(url).to_ascii_lowercase();
+    if stripped.is_empty() {
+        return Vec::new();
+    }
+    let padded: Vec<char> = std::iter::once(PAD)
+        .chain(stripped.chars())
+        .chain(std::iter::once(PAD))
+        .collect();
+    if padded.len() < 3 {
+        return vec![padded.iter().collect()];
+    }
+    padded.windows(3).map(|w| w.iter().collect()).collect()
+}
+
+/// Remove a leading URL scheme and a leading `www.` host label.
+fn strip_scheme_and_www(url: &str) -> &str {
+    let without_scheme = url
+        .strip_prefix("https://")
+        .or_else(|| url.strip_prefix("http://"))
+        .unwrap_or(url);
+    without_scheme
+        .strip_prefix("www.")
+        .unwrap_or(without_scheme)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_weather_example() {
+        assert_eq!(
+            token_trigrams("weather"),
+            vec![" we", "wea", "eat", "ath", "the", "her", "er "]
+        );
+    }
+
+    #[test]
+    fn short_tokens_produce_boundary_grams() {
+        assert_eq!(token_trigrams("de"), vec![" de", "de "]);
+        assert_eq!(token_trigrams("a"), vec![" a "]);
+        assert_eq!(token_trigrams("th"), vec![" th", "th "]);
+    }
+
+    #[test]
+    fn empty_token_produces_nothing() {
+        assert!(token_trigrams("").is_empty());
+        assert!(token_ngrams("", 2).is_empty());
+    }
+
+    #[test]
+    fn trigram_count_matches_length_plus_padding() {
+        // |padded| = len + 2, number of trigrams = len + 2 - 3 + 1 = len.
+        for token in ["abc", "abcd", "recherche", "wasserbett"] {
+            assert_eq!(token_trigrams(token).len(), token.len());
+        }
+    }
+
+    #[test]
+    fn ngrams_are_lowercased() {
+        assert_eq!(token_trigrams("NewYork")[0], " ne");
+        assert!(token_trigrams("BERLIN").iter().all(|g| g
+            .chars()
+            .all(|c| !c.is_ascii_uppercase())));
+    }
+
+    #[test]
+    fn bigrams_and_quadgrams() {
+        assert_eq!(token_ngrams("abc", 2), vec![" a", "ab", "bc", "c "]);
+        assert_eq!(token_ngrams("abc", 4), vec![" abc", "abc ", ]
+            .into_iter().map(String::from).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn url_level_trigrams_keep_punctuation() {
+        let tris = url_trigrams("http://www.hi-fly.de");
+        assert!(tris.contains(&"hi-".to_string()));
+        assert!(tris.contains(&"-fl".to_string()));
+        assert!(tris.contains(&"y.d".to_string()));
+    }
+
+    #[test]
+    fn token_level_trigrams_never_contain_punctuation() {
+        let tris = trigrams_of_url_tokens("http://www.hi-fly.de/a_b-c.html?q=1");
+        assert!(tris.iter().all(|t| t
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c == ' ')));
+    }
+
+    #[test]
+    fn strip_scheme_and_www_variants() {
+        assert_eq!(strip_scheme_and_www("http://www.a.de"), "a.de");
+        assert_eq!(strip_scheme_and_www("https://a.de"), "a.de");
+        assert_eq!(strip_scheme_and_www("www.a.de"), "a.de");
+        assert_eq!(strip_scheme_and_www("a.de/path"), "a.de/path");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_length_ngrams_panic() {
+        let _ = token_ngrams("abc", 0);
+    }
+}

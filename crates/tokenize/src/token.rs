@@ -1,0 +1,293 @@
+//! URL tokenisation.
+//!
+//! Section 3.1 of the paper ("Words as features"):
+//!
+//! > Each URL is split into a sequence of strings of letters at any
+//! > punctuation marks, numbers or other non-letter characters. Resulting
+//! > strings of length less than 2 and special words, namely, "www",
+//! > "index", "html", "htm", "http" and "https" are removed. We refer to a
+//! > single valid string as a token.
+//!
+//! This module implements exactly that transformation, plus a configurable
+//! [`Tokenizer`] used by the feature extractors when a variant behaviour
+//! (e.g. keeping the special words, or a different minimum length) is
+//! wanted for ablation experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// Special words removed from the token stream by the paper.
+pub const SPECIAL_WORDS: &[&str] = &["www", "index", "html", "htm", "http", "https"];
+
+/// Default minimum token length (tokens shorter than this are dropped).
+pub const MIN_TOKEN_LEN: usize = 2;
+
+/// Configuration for a [`Tokenizer`].
+///
+/// The defaults reproduce the paper's setting; the knobs exist so that the
+/// ablation benches can quantify how much each filtering rule matters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenizerConfig {
+    /// Minimum length of a kept token (paper: 2).
+    pub min_len: usize,
+    /// Whether to drop the special words `www`, `index`, `html`, `htm`,
+    /// `http`, `https` (paper: true).
+    pub drop_special_words: bool,
+    /// Whether to lowercase tokens (paper: implicit, URLs are treated
+    /// case-insensitively).
+    pub lowercase: bool,
+}
+
+impl Default for TokenizerConfig {
+    fn default() -> Self {
+        Self {
+            min_len: MIN_TOKEN_LEN,
+            drop_special_words: true,
+            lowercase: true,
+        }
+    }
+}
+
+/// A reusable URL tokenizer.
+///
+/// ```
+/// use urlid_tokenize::Tokenizer;
+/// let t = Tokenizer::default();
+/// let tokens = t.tokenize("http://www.jazzpages.com/NewYork/");
+/// assert_eq!(tokens, vec!["jazzpages", "com", "newyork"]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tokenizer {
+    config: TokenizerConfig,
+}
+
+impl Tokenizer {
+    /// Create a tokenizer with the given configuration.
+    pub fn new(config: TokenizerConfig) -> Self {
+        Self { config }
+    }
+
+    /// Create the tokenizer used throughout the paper.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &TokenizerConfig {
+        &self.config
+    }
+
+    /// Tokenize a URL into owned, lowercased tokens.
+    pub fn tokenize(&self, url: &str) -> Vec<String> {
+        self.iter(url).map(|t| self.normalize(t)).collect()
+    }
+
+    /// Iterate over raw (not yet lowercased) token slices of `url`.
+    ///
+    /// This is the zero-copy path; filtering by length and special words is
+    /// applied, but no allocation happens until the caller normalises.
+    pub fn iter<'a>(&'a self, url: &'a str) -> TokenIter<'a> {
+        TokenIter {
+            rest: url,
+            config: &self.config,
+        }
+    }
+
+    fn normalize(&self, token: &str) -> String {
+        if self.config.lowercase {
+            token.to_ascii_lowercase()
+        } else {
+            token.to_owned()
+        }
+    }
+}
+
+/// Iterator over the letter-run tokens of a URL.
+///
+/// Produced by [`Tokenizer::iter`]. Yields `&str` slices of the original
+/// input (not lowercased; callers that need canonical tokens should
+/// lowercase themselves or use [`Tokenizer::tokenize`]).
+#[derive(Debug, Clone)]
+pub struct TokenIter<'a> {
+    rest: &'a str,
+    config: &'a TokenizerConfig,
+}
+
+impl<'a> Iterator for TokenIter<'a> {
+    type Item = &'a str;
+
+    fn next(&mut self) -> Option<&'a str> {
+        loop {
+            // Skip non-letter bytes. URLs are ASCII in practice (IDNs are
+            // punycoded), but we are careful to operate on char boundaries
+            // so that raw UTF-8 input cannot panic.
+            let start = self
+                .rest
+                .char_indices()
+                .find(|(_, c)| c.is_ascii_alphabetic())
+                .map(|(i, _)| i);
+            let Some(start) = start else {
+                self.rest = "";
+                return None;
+            };
+            let after = &self.rest[start..];
+            let end = after
+                .char_indices()
+                .find(|(_, c)| !c.is_ascii_alphabetic())
+                .map(|(i, _)| i)
+                .unwrap_or(after.len());
+            let token = &after[..end];
+            self.rest = &after[end..];
+
+            if token.len() < self.config.min_len {
+                continue;
+            }
+            if self.config.drop_special_words && is_special_word(token) {
+                continue;
+            }
+            return Some(token);
+        }
+    }
+}
+
+/// Is `token` (case-insensitively) one of the paper's special words?
+pub fn is_special_word(token: &str) -> bool {
+    SPECIAL_WORDS
+        .iter()
+        .any(|w| token.eq_ignore_ascii_case(w))
+}
+
+/// Tokenize a URL with the paper's default settings.
+///
+/// ```
+/// use urlid_tokenize::tokenize_url;
+/// assert_eq!(
+///     tokenize_url("http://www.internetwordstats.com/africa2.htm"),
+///     vec!["internetwordstats", "com", "africa"]
+/// );
+/// ```
+pub fn tokenize_url(url: &str) -> Vec<String> {
+    Tokenizer::default().tokenize(url)
+}
+
+/// Tokenize a URL keeping *all* letter runs (no length or stop-word
+/// filtering). Used by the custom feature extractor, which needs to see
+/// two-letter country codes such as `de` or `fr` anywhere in the URL, and
+/// by the corpus statistics code.
+pub fn tokenize_url_lossless(url: &str) -> Vec<String> {
+    Tokenizer::new(TokenizerConfig {
+        min_len: 1,
+        drop_special_words: false,
+        lowercase: true,
+    })
+    .tokenize(url)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_is_reproduced() {
+        // The exact example from Section 3.1 of the paper.
+        let tokens = tokenize_url("http://www.internetwordstats.com/africa2.htm");
+        assert_eq!(tokens, vec!["internetwordstats", "com", "africa"]);
+    }
+
+    #[test]
+    fn splits_on_every_non_letter() {
+        let tokens = tokenize_url("https://foo-bar.example.org/baz_qux/2020/01/page.html?x=1&y=deux");
+        assert_eq!(
+            tokens,
+            vec!["foo", "bar", "example", "org", "baz", "qux", "page", "deux"]
+        );
+    }
+
+    #[test]
+    fn removes_short_tokens() {
+        let tokens = tokenize_url("http://a.b.cd/e/f1g");
+        // "a", "b", "e", "f", "g" are length-1 and dropped; "cd" stays.
+        assert_eq!(tokens, vec!["cd"]);
+    }
+
+    #[test]
+    fn removes_special_words_case_insensitively() {
+        let tokens = tokenize_url("HTTP://WWW.Example.COM/INDEX.HTML");
+        assert_eq!(tokens, vec!["example", "com"]);
+    }
+
+    #[test]
+    fn empty_and_garbage_inputs() {
+        assert!(tokenize_url("").is_empty());
+        assert!(tokenize_url("12345/&%$#@!").is_empty());
+        assert!(tokenize_url("http://www./index.html").is_empty());
+    }
+
+    #[test]
+    fn lossless_keeps_country_codes_and_special_words() {
+        let tokens = tokenize_url_lossless("http://de.wikipedia.org/wiki/Berlin");
+        assert_eq!(tokens, vec!["http", "de", "wikipedia", "org", "wiki", "berlin"]);
+    }
+
+    #[test]
+    fn hyphenated_host_splits_into_two_tokens() {
+        // Paper Section 3.1 discusses http://www.hi-fly.de; with token-level
+        // trigrams the hyphen acts as a separator.
+        let tokens = tokenize_url("http://www.hi-fly.de");
+        assert_eq!(tokens, vec!["hi", "fly", "de"]);
+    }
+
+    #[test]
+    fn non_ascii_input_does_not_panic_and_is_ignored() {
+        let tokens = tokenize_url("http://münchen.de/straße");
+        // Only ASCII letter runs are produced; the umlaut splits them.
+        assert_eq!(tokens, vec!["nchen", "de", "stra", "e"].into_iter()
+            .filter(|t| t.len() >= 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn iterator_yields_slices_of_input() {
+        let url = "http://www.example.com/page";
+        let t = Tokenizer::default();
+        let slices: Vec<&str> = t.iter(url).collect();
+        assert_eq!(slices, vec!["example", "com", "page"]);
+        // Slices point into the original buffer.
+        for s in slices {
+            let start = s.as_ptr() as usize - url.as_ptr() as usize;
+            assert!(start < url.len());
+        }
+    }
+
+    #[test]
+    fn custom_config_keeps_special_words() {
+        let t = Tokenizer::new(TokenizerConfig {
+            min_len: 2,
+            drop_special_words: false,
+            lowercase: true,
+        });
+        assert_eq!(
+            t.tokenize("http://www.example.com"),
+            vec!["http", "www", "example", "com"]
+        );
+    }
+
+    #[test]
+    fn min_len_is_respected() {
+        let t = Tokenizer::new(TokenizerConfig {
+            min_len: 4,
+            drop_special_words: true,
+            lowercase: true,
+        });
+        assert_eq!(t.tokenize("http://abc.example.com/de"), vec!["example"]);
+    }
+
+    #[test]
+    fn is_special_word_matches_exactly_the_paper_list() {
+        for w in ["www", "index", "html", "htm", "http", "https"] {
+            assert!(is_special_word(w));
+            assert!(is_special_word(&w.to_uppercase()));
+        }
+        assert!(!is_special_word("web"));
+        assert!(!is_special_word("xhtml"));
+        assert!(!is_special_word(""));
+    }
+}

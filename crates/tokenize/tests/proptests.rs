@@ -1,0 +1,106 @@
+//! Property-based tests for the tokenizer, n-gram extraction and URL parser.
+
+use proptest::prelude::*;
+use urlid_tokenize::{
+    ngram::{token_ngrams, token_trigrams, trigrams_of_url_tokens, url_trigrams},
+    token::is_special_word,
+    tokenize_url, ParsedUrl, Tokenizer,
+};
+
+proptest! {
+    /// The tokenizer never panics and every produced token obeys the filter
+    /// rules, for arbitrary (including non-URL) input.
+    #[test]
+    fn tokenizer_output_obeys_invariants(input in ".{0,200}") {
+        let tokens = tokenize_url(&input);
+        for t in &tokens {
+            prop_assert!(t.len() >= 2, "token too short: {t:?}");
+            prop_assert!(t.chars().all(|c| c.is_ascii_lowercase()), "token not lowercase ascii: {t:?}");
+            prop_assert!(!is_special_word(t), "special word leaked: {t:?}");
+        }
+    }
+
+    /// Tokenisation is idempotent: tokenising the concatenation of the
+    /// tokens (joined with '/') gives back the same tokens.
+    #[test]
+    fn tokenization_is_idempotent(input in "[a-zA-Z0-9./_-]{0,120}") {
+        let tokens = tokenize_url(&input);
+        let rejoined = tokens.join("/");
+        let again = tokenize_url(&rejoined);
+        prop_assert_eq!(tokens, again);
+    }
+
+    /// Every trigram of a non-empty ASCII token has length exactly 3 and the
+    /// number of trigrams equals the token length.
+    #[test]
+    fn trigram_shape(token in "[a-zA-Z]{1,40}") {
+        let tris = token_trigrams(&token);
+        prop_assert_eq!(tris.len(), token.len());
+        for t in &tris {
+            prop_assert_eq!(t.chars().count(), 3);
+        }
+        // First gram starts with a pad, last ends with a pad.
+        prop_assert!(tris.first().unwrap().starts_with(' '));
+        prop_assert!(tris.last().unwrap().ends_with(' '));
+    }
+
+    /// n-gram extraction never panics for arbitrary n in 1..=6 and arbitrary
+    /// ASCII tokens, and all produced grams have length n (or the padded
+    /// token length if shorter).
+    #[test]
+    fn ngram_lengths(token in "[a-z]{0,20}", n in 1usize..=6) {
+        let grams = token_ngrams(&token, n);
+        if token.is_empty() {
+            prop_assert!(grams.is_empty());
+        } else {
+            for g in &grams {
+                prop_assert!(g.chars().count() == n || g.chars().count() == token.len() + 2);
+            }
+        }
+    }
+
+    /// URL-level trigrams and token-level trigrams never panic and are
+    /// consistent: every token-level trigram's letters appear in the URL.
+    #[test]
+    fn url_trigram_consistency(input in "[a-z0-9./-]{0,100}") {
+        let _ = url_trigrams(&input);
+        let tris = trigrams_of_url_tokens(&input);
+        let lower = input.to_ascii_lowercase();
+        for t in tris {
+            let letters: String = t.chars().filter(|c| *c != ' ').collect();
+            prop_assert!(lower.contains(&letters), "{letters:?} not in {lower:?}");
+        }
+    }
+
+    /// The URL parser never panics, and host/path decomposition loses no
+    /// slash-separated structure for well-formed http URLs.
+    #[test]
+    fn url_parser_never_panics(input in ".{0,200}") {
+        let _ = ParsedUrl::parse(&input);
+    }
+
+    /// For canonical synthetic URLs, the parser reconstructs host and path
+    /// faithfully.
+    #[test]
+    fn url_parser_roundtrip(
+        host in "[a-z]{1,10}(\\.[a-z]{1,10}){1,3}",
+        path in "(/[a-z0-9-]{1,8}){0,4}",
+    ) {
+        let url = format!("http://{host}{path}");
+        let parsed = ParsedUrl::parse(&url);
+        prop_assert_eq!(parsed.host(), host.as_str());
+        prop_assert_eq!(parsed.path(), path.as_str());
+        prop_assert!(parsed.tld().is_some());
+        let reg = parsed.registered_domain().unwrap();
+        prop_assert!(host.ends_with(&reg));
+    }
+
+    /// The zero-copy iterator and the allocating API agree.
+    #[test]
+    fn iter_and_tokenize_agree(input in ".{0,150}") {
+        let t = Tokenizer::default();
+        let a: Vec<String> = t.iter(&input).map(|s| s.to_ascii_lowercase()).collect();
+        let b = t.tokenize(&input);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,96 @@
+//! The paper's motivating scenario (Section 1): a crawler of a
+//! language-specific search engine must fill a download quota for one
+//! language without wasting bandwidth on pages in other languages.
+//!
+//! This example simulates a crawl frontier (a queue of uncrawled URLs of
+//! mixed languages), uses a trained [`urlid::LanguageIdentifier`] to decide
+//! which URLs to download, and compares the bandwidth waste against the
+//! ccTLD baseline and against downloading blindly.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example crawler_quota
+//! ```
+
+use std::collections::VecDeque;
+use urlid::prelude::*;
+
+/// How many pages of the target language the crawler must download.
+const QUOTA: usize = 300;
+
+fn simulate_crawl(
+    name: &str,
+    frontier: &[(String, Language)],
+    target: Language,
+    accept: impl Fn(&str) -> bool,
+) {
+    let mut queue: VecDeque<&(String, Language)> = frontier.iter().collect();
+    let mut downloaded = 0usize;
+    let mut useful = 0usize;
+    while useful < QUOTA {
+        let Some((url, true_lang)) = queue.pop_front() else {
+            break;
+        };
+        if !accept(url) {
+            continue;
+        }
+        downloaded += 1;
+        if *true_lang == target {
+            useful += 1;
+        }
+    }
+    let wasted = downloaded.saturating_sub(useful);
+    println!(
+        "  {:<22} downloaded {:>5} pages, {:>4} useful, {:>4} wasted ({:.0}% waste)",
+        name,
+        downloaded,
+        useful,
+        wasted,
+        100.0 * wasted as f64 / downloaded.max(1) as f64
+    );
+}
+
+fn main() {
+    let target = Language::German;
+    println!("crawler quota simulation: fill a quota of {QUOTA} German pages\n");
+
+    // Train on ODP + SER, build a mixed crawl frontier from the web-crawl
+    // profile (heavily English, like the real web).
+    let corpus = PaperCorpus::generate(7, CorpusScale::small());
+    let training = corpus.combined_training();
+    let identifier = LanguageIdentifier::train_paper_best(&training);
+    let cctld = CcTldClassifier::cctld(target);
+
+    let mut generator = UrlGenerator::new(99);
+    let mut frontier: Vec<(String, Language)> = Vec::new();
+    let profile = urlid::corpus::DatasetProfile::web_crawl();
+    // A frontier that is ~20% German and 80% other languages.
+    for (lang, n) in [
+        (Language::English, 4000),
+        (Language::German, 1200),
+        (Language::French, 400),
+        (Language::Spanish, 300),
+        (Language::Italian, 300),
+    ] {
+        for url in generator.generate_many(lang, &profile, n) {
+            frontier.push((url, lang));
+        }
+    }
+    // Deterministic interleave so the crawler sees a mixed stream.
+    frontier.sort_by_key(|(url, _)| url.len() ^ (url.as_bytes()[7] as usize) << 4);
+
+    println!("frontier: {} uncrawled URLs, target language {}\n", frontier.len(), target);
+    simulate_crawl("download everything", &frontier, target, |_| true);
+    simulate_crawl("ccTLD baseline", &frontier, target, |url| {
+        cctld.classify_url(url)
+    });
+    simulate_crawl("urlid (NB + words)", &frontier, target, |url| {
+        identifier.is_language(url, target)
+    });
+
+    println!(
+        "\nThe URL-based classifier fills the quota with far less wasted bandwidth than\n\
+         downloading blindly, and finds far more of the available German pages than the\n\
+         ccTLD heuristic (which misses German pages on .com/.org domains)."
+    );
+}

@@ -1,0 +1,61 @@
+//! Quickstart: train the paper's best configuration (Naive Bayes on word
+//! features) on a synthetic ODP corpus and identify the language of a few
+//! URLs.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use urlid::prelude::*;
+
+fn main() {
+    // 1. Build a small synthetic ODP-style corpus (deterministic seed).
+    let mut generator = UrlGenerator::new(42);
+    let odp = odp_dataset(&mut generator, CorpusScale::small());
+    println!(
+        "training on {} labelled URLs, testing on {}",
+        odp.train.len(),
+        odp.test.len()
+    );
+
+    // 2. Train the paper's best single configuration: NB + word features.
+    let identifier = LanguageIdentifier::train_paper_best(&odp.train);
+
+    // 3. Identify a few URLs the model has never seen.
+    let urls = [
+        "http://www.wetterbericht-heute.de/berlin",
+        "http://www.weather-forecast.co.uk/london",
+        "http://www.recherche-produits.fr/paris",
+        "http://www.recetas-cocina.es/madrid",
+        "http://www.ricette-cucina.it/roma",
+        "http://www.wasserbett-test.com/angebote",
+    ];
+    println!("\nper-URL identification:");
+    for url in urls {
+        let lang = identifier.identify(url);
+        let all = identifier.languages_of(url);
+        println!(
+            "  {:<50} -> {:<8} (accepted by: {:?})",
+            url,
+            lang.map(|l| l.name()).unwrap_or("unknown"),
+            all.iter().map(|l| l.iso_code()).collect::<Vec<_>>()
+        );
+    }
+
+    // 4. Evaluate on the held-out test set with the paper's metrics.
+    let result = identifier.evaluate(&odp.test);
+    println!("\nheld-out evaluation (ODP test):");
+    for lang in ALL_LANGUAGES {
+        let m = result.metrics(lang);
+        println!(
+            "  {:<8} P={:.2} R={:.2} p(-|-)={:.2} F={:.2}",
+            lang.name(),
+            m.precision,
+            m.recall,
+            m.negative_success,
+            m.f_measure
+        );
+    }
+    println!("  average F = {:.3}", result.mean_f_measure());
+}

@@ -1,0 +1,75 @@
+//! Regrouping web-search results by language (Section 1: "regrouping/
+//! filtering the results for a web search, even if the underlying search
+//! engine does not provide the language of the URLs presented").
+//!
+//! The example trains the best per-language combination classifiers
+//! (Section 5.6 recipes) and groups a page of mixed-language search
+//! results by the predicted language, comparing against two simulated
+//! human annotators.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example search_results
+//! ```
+
+use urlid::prelude::*;
+
+fn main() {
+    // Train the best-combination classifiers on a small ODP corpus.
+    let mut generator = UrlGenerator::new(2024);
+    let odp = odp_dataset(&mut generator, CorpusScale::small());
+    let set = recipes::train_best_combination(&odp.train, 3);
+    let identifier = LanguageIdentifier::from_classifier_set(
+        set,
+        TrainingConfig::new(FeatureSetKind::Words, Algorithm::NaiveBayes),
+    );
+
+    // A "page of search results" of mixed languages (SER profile).
+    let profile = urlid::corpus::DatasetProfile::ser();
+    let mut results: Vec<(String, Language)> = Vec::new();
+    for lang in ALL_LANGUAGES {
+        for url in generator.generate_many(lang, &profile, 6) {
+            results.push((url, lang));
+        }
+    }
+
+    println!("grouping {} search results by predicted language\n", results.len());
+    for lang in ALL_LANGUAGES {
+        let group: Vec<&(String, Language)> = results
+            .iter()
+            .filter(|(url, _)| identifier.identify(url) == Some(lang))
+            .collect();
+        println!("== {} ({} results)", lang.name(), group.len());
+        for (url, true_lang) in group {
+            let marker = if *true_lang == lang {
+                "✓".to_string()
+            } else {
+                format!("✗ actually {}", true_lang.iso_code())
+            };
+            println!("   {marker} {url}");
+        }
+        println!();
+    }
+
+    // How well would a human do with only the URLs? (Section 5.1.)
+    let urls: Vec<String> = results.iter().map(|(u, _)| u.clone()).collect();
+    let mut human = SimulatedHuman::evaluator_one(1);
+    let annotations = human.annotate_all(&urls);
+    let mut human_correct = 0;
+    let mut machine_correct = 0;
+    for (i, (url, true_lang)) in results.iter().enumerate() {
+        if annotations[i][true_lang.index()] {
+            human_correct += 1;
+        }
+        if identifier.identify(url) == Some(*true_lang) {
+            machine_correct += 1;
+        }
+    }
+    println!(
+        "correctly grouped: machine {}/{}  vs  simulated human {}/{}",
+        machine_correct,
+        results.len(),
+        human_correct,
+        results.len()
+    );
+}

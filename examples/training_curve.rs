@@ -1,0 +1,56 @@
+//! A quick look at the Section 6 question: how much training data do the
+//! different feature sets need? (Figure 2 in the paper; the full sweep
+//! over all algorithm/feature combinations is produced by the experiment
+//! harness in `urlid-bench`.)
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example training_curve
+//! ```
+
+use urlid::eval::{domain_memorization_curve, training_curve};
+use urlid::prelude::*;
+
+fn main() {
+    let corpus = PaperCorpus::generate(5, CorpusScale::small());
+    let training = corpus.combined_training();
+    let test = &corpus.web_crawl;
+    let fractions = [0.01, 0.1, 1.0];
+
+    println!(
+        "training-size sweep on the crawl test set ({} training URLs at 100%)\n",
+        training.len()
+    );
+    println!("{:<10} {:>12} {:>12} {:>12}", "fraction", "words F", "trigrams F", "ccTLD+ F");
+
+    let words = training_curve(&training, test, &fractions, |reduced| {
+        train_classifier_set(reduced, &TrainingConfig::new(FeatureSetKind::Words, Algorithm::NaiveBayes))
+    });
+    let trigrams = training_curve(&training, test, &fractions, |reduced| {
+        train_classifier_set(reduced, &TrainingConfig::new(FeatureSetKind::Trigrams, Algorithm::NaiveBayes))
+    });
+    let cctld = training_curve(&training, test, &fractions, |reduced| {
+        train_classifier_set(reduced, &TrainingConfig::new(FeatureSetKind::Words, Algorithm::CcTldPlus))
+    });
+
+    for (i, &f) in fractions.iter().enumerate() {
+        println!(
+            "{:<10} {:>12.3} {:>12.3} {:>12.3}",
+            format!("{:.1}%", f * 100.0),
+            words[i].mean_f_measure(),
+            trigrams[i].mean_f_measure(),
+            cctld[i].mean_f_measure(),
+        );
+    }
+
+    println!("\ndomain memorisation (Figure 3): % of crawl-test URLs whose domain was seen");
+    for (f, pct) in domain_memorization_curve(&training, test, &fractions) {
+        println!("  {:>6.1}% of training data -> {:>5.1}% of test domains seen", f * 100.0, pct);
+    }
+
+    println!(
+        "\nExpected shape (paper): trigrams beat words when little training data is\n\
+         available; words win once the training set is large enough to memorise hosts;\n\
+         the TLD heuristic is flat because it uses no training data at all."
+    );
+}

@@ -1,0 +1,146 @@
+//! End-to-end integration tests spanning every crate: corpus generation →
+//! feature extraction → training → evaluation, exercised through the
+//! public `urlid` facade.
+
+use urlid::eval::report::metrics_table;
+use urlid::prelude::*;
+
+/// A shared small corpus for the whole test file (regenerated per test —
+/// generation is deterministic and cheap at tiny scale).
+fn corpus() -> PaperCorpus {
+    PaperCorpus::generate(12345, CorpusScale::tiny())
+}
+
+#[test]
+fn full_pipeline_naive_bayes_words() {
+    let corpus = corpus();
+    let training = corpus.combined_training();
+    let identifier = LanguageIdentifier::train_paper_best(&training);
+
+    for (name, test) in corpus.test_sets() {
+        let result = identifier.evaluate(test);
+        assert!(
+            result.mean_f_measure() > 0.6,
+            "{name}: F too low: {:.3}",
+            result.mean_f_measure()
+        );
+        // The report renders without panicking and mentions every language.
+        let table = metrics_table(name, &result);
+        assert!(table.contains("Italian"));
+    }
+}
+
+#[test]
+fn classifier_beats_the_cctld_baseline_on_odp() {
+    let corpus = corpus();
+    let nb = LanguageIdentifier::train_paper_best(&corpus.odp.train);
+    let cctld = LanguageIdentifier::train(
+        &corpus.odp.train,
+        &TrainingConfig::new(FeatureSetKind::Words, Algorithm::CcTld),
+    );
+    let nb_f = nb.evaluate(&corpus.odp.test).mean_f_measure();
+    let cctld_f = cctld.evaluate(&corpus.odp.test).mean_f_measure();
+    assert!(
+        nb_f > cctld_f,
+        "NB+words ({nb_f:.3}) must beat ccTLD ({cctld_f:.3})"
+    );
+}
+
+#[test]
+fn every_learning_algorithm_runs_end_to_end() {
+    let corpus = corpus();
+    let training = &corpus.odp.train;
+    let test = &corpus.odp.test;
+    for algorithm in [
+        Algorithm::NaiveBayes,
+        Algorithm::RelativeEntropy,
+        Algorithm::MaxEnt,
+        Algorithm::KNearestNeighbors,
+    ] {
+        let config = TrainingConfig::new(FeatureSetKind::Words, algorithm).with_maxent_iterations(10);
+        let id = LanguageIdentifier::train(training, &config);
+        let f = id.evaluate(test).mean_f_measure();
+        assert!(f > 0.4, "{algorithm}: F = {f:.3}");
+    }
+    // The decision tree is only meant for the custom feature set.
+    let dt = LanguageIdentifier::train(
+        training,
+        &TrainingConfig::new(FeatureSetKind::Custom, Algorithm::DecisionTree),
+    );
+    assert!(dt.evaluate(test).mean_f_measure() > 0.4);
+}
+
+#[test]
+fn combined_classifiers_change_precision_recall_tradeoff() {
+    let corpus = corpus();
+    let training = corpus.combined_training();
+    let test = &corpus.odp.test;
+
+    let base = train_classifier_set(&training, &TrainingConfig::paper_best());
+    let combined = recipes::train_best_combination(&training, 1);
+
+    let base_result = evaluate_classifier_set(&base, test);
+    let combined_result = evaluate_classifier_set(&combined, test);
+    // Both are reasonable classifiers.
+    assert!(base_result.mean_f_measure() > 0.6);
+    assert!(combined_result.mean_f_measure() > 0.6);
+    // The Spanish recipe is a precision improvement: its precision should
+    // not be (much) worse than the single classifier's.
+    let base_sp = base_result.metrics(Language::Spanish);
+    let comb_sp = combined_result.metrics(Language::Spanish);
+    assert!(comb_sp.precision >= base_sp.precision - 0.05);
+}
+
+#[test]
+fn content_training_reduces_quality_as_in_section7() {
+    let corpus = corpus();
+    let mut with_content = corpus.odp.train.clone();
+    attach_content(&mut with_content, &mut ContentGenerator::with_seed(9));
+
+    let url_only = LanguageIdentifier::train_paper_best(&corpus.odp.train);
+    let content_trained = LanguageIdentifier::train(
+        &with_content,
+        &TrainingConfig::paper_best().with_training_content(),
+    );
+
+    let f_url = url_only.evaluate(&corpus.odp.test).mean_f_measure();
+    let f_content = content_trained.evaluate(&corpus.odp.test).mean_f_measure();
+    assert!(
+        f_content < f_url + 0.02,
+        "content training should not help (paper Section 7): URL-only {f_url:.3} vs content {f_content:.3}"
+    );
+}
+
+#[test]
+fn simulated_humans_are_worse_than_the_machine() {
+    let corpus = corpus();
+    let training = corpus.combined_training();
+    let test = &corpus.web_crawl;
+    let machine = LanguageIdentifier::train_paper_best(&training)
+        .evaluate(test)
+        .mean_f_measure();
+    let urls: Vec<String> = test.urls.iter().map(|u| u.url.clone()).collect();
+    let human = evaluate_annotations(&SimulatedHuman::evaluator_one(1).annotate_all(&urls), test)
+        .mean_f_measure();
+    assert!(
+        machine > human,
+        "machine ({machine:.3}) should beat the simulated human ({human:.3})"
+    );
+}
+
+#[test]
+fn identifier_is_usable_from_multiple_threads() {
+    let corpus = corpus();
+    let identifier = std::sync::Arc::new(LanguageIdentifier::train_paper_best(&corpus.odp.train));
+    let urls: Vec<String> = corpus.odp.test.urls.iter().take(200).map(|u| u.url.clone()).collect();
+    let mut handles = Vec::new();
+    for chunk in urls.chunks(50) {
+        let id = std::sync::Arc::clone(&identifier);
+        let chunk: Vec<String> = chunk.to_vec();
+        handles.push(std::thread::spawn(move || {
+            chunk.iter().filter(|u| id.identify(u).is_some()).count()
+        }));
+    }
+    let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(total > 0);
+}

@@ -1,0 +1,80 @@
+//! Property-based integration tests on the trained models and the public
+//! API, using proptest over arbitrary (including adversarial) URLs.
+
+use proptest::prelude::*;
+use urlid::prelude::*;
+
+fn tiny_identifier() -> LanguageIdentifier {
+    let mut generator = UrlGenerator::new(8);
+    let odp = odp_dataset(&mut generator, CorpusScale::tiny());
+    LanguageIdentifier::train_paper_best(&odp.train)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The identifier never panics, whatever bytes are thrown at it, and
+    /// `identify` is consistent with `languages_of` / `is_language`.
+    #[test]
+    fn identifier_is_total_and_consistent(url in ".{0,120}") {
+        let id = tiny_identifier();
+        let langs = id.languages_of(&url);
+        for lang in ALL_LANGUAGES {
+            prop_assert_eq!(langs.contains(&lang), id.is_language(&url, lang));
+        }
+        if let Some(best) = id.identify(&url) {
+            // The best language is either accepted by its own classifier or
+            // chosen as the least-bad fallback when nothing accepts.
+            prop_assert!(langs.is_empty() || langs.contains(&best));
+        }
+    }
+
+    /// Classification is a pure function of the URL string.
+    #[test]
+    fn classification_is_deterministic(url in "[a-z0-9./:-]{0,80}") {
+        let id = tiny_identifier();
+        prop_assert_eq!(id.identify(&url), id.identify(&url));
+        prop_assert_eq!(id.languages_of(&url), id.languages_of(&url));
+    }
+
+    /// Feature extraction + tokenisation agree through the public facade:
+    /// a URL with no letters has no tokens and is accepted by nothing that
+    /// relies on word features.
+    #[test]
+    fn letterless_urls_have_no_tokens(url in "[0-9/._?&=-]{0,60}") {
+        prop_assert!(urlid::tokenize::tokenize_url(&url).is_empty());
+    }
+
+    /// Synthetic URLs of a given language are valid inputs everywhere:
+    /// parseable, tokenizable, classifiable.
+    #[test]
+    fn generated_urls_flow_through_the_whole_stack(seed in 0u64..500, lang_idx in 0usize..5) {
+        let lang = Language::from_index(lang_idx);
+        let mut generator = UrlGenerator::new(seed);
+        let profile = urlid::corpus::DatasetProfile::web_crawl();
+        let url = generator.generate(lang, &profile);
+        let parsed = ParsedUrl::parse(&url);
+        prop_assert!(parsed.tld().is_some());
+        prop_assert!(!urlid::tokenize::tokenize_url(&url).is_empty());
+        let id = tiny_identifier();
+        // Must produce *some* decision without panicking.
+        let _ = id.identify(&url);
+    }
+}
+
+#[test]
+fn evaluation_metrics_are_bounded() {
+    let mut generator = UrlGenerator::new(3);
+    let odp = odp_dataset(&mut generator, CorpusScale::tiny());
+    let id = LanguageIdentifier::train_paper_best(&odp.train);
+    let result = id.evaluate(&odp.test);
+    for lang in ALL_LANGUAGES {
+        let m = result.metrics(lang);
+        for v in [m.precision, m.recall, m.negative_success, m.f_measure] {
+            assert!((0.0..=1.0).contains(&v), "{lang}: {v}");
+        }
+        // Recall equals the confusion-matrix diagonal (Section 4.2).
+        let diag = result.confusion.recalls()[lang.index()];
+        assert!((m.recall - diag).abs() < 1e-9);
+    }
+}
