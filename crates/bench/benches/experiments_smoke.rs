@@ -4,9 +4,9 @@
 //! `experiments` binary uses for the full reproduction.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use urlid::prelude::CorpusScale;
 use urlid_bench::experiments;
 use urlid_bench::ExperimentContext;
-use urlid::prelude::CorpusScale;
 
 fn bench_experiment_harness(c: &mut Criterion) {
     let mut group = c.benchmark_group("experiment_harness");

@@ -3,8 +3,8 @@
 //! crawler integrating `urlid` would actually pay per URL.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use urlid::prelude::*;
 use urlid::features::{CustomFeatureExtractor, TrigramFeatureExtractor, WordFeatureExtractor};
+use urlid::prelude::*;
 
 fn sample_urls(n: usize) -> Vec<String> {
     let mut generator = UrlGenerator::new(1);
@@ -65,10 +65,18 @@ fn bench_feature_extraction(c: &mut Criterion) {
         b.iter(|| urls.iter().map(|u| words.transform(u).nnz()).sum::<usize>())
     });
     group.bench_function("trigram_features_500", |b| {
-        b.iter(|| urls.iter().map(|u| trigrams.transform(u).nnz()).sum::<usize>())
+        b.iter(|| {
+            urls.iter()
+                .map(|u| trigrams.transform(u).nnz())
+                .sum::<usize>()
+        })
     });
     group.bench_function("custom_features_500", |b| {
-        b.iter(|| urls.iter().map(|u| custom.transform(u).nnz()).sum::<usize>())
+        b.iter(|| {
+            urls.iter()
+                .map(|u| custom.transform(u).nnz())
+                .sum::<usize>()
+        })
     });
     group.finish();
 }
@@ -82,7 +90,21 @@ fn bench_classification(c: &mut Criterion) {
     let mut group = c.benchmark_group("classification");
     group.throughput(Throughput::Elements(urls.len() as u64));
     group.bench_function("identify_nb_words_500", |b| {
-        b.iter(|| urls.iter().filter(|u| identifier.identify(u).is_some()).count())
+        b.iter(|| {
+            urls.iter()
+                .filter(|u| identifier.identify(u).is_some())
+                .count()
+        })
+    });
+    group.bench_function("identify_batch_nb_words_500", |b| {
+        let refs: Vec<&str> = urls.iter().map(|u| u.as_str()).collect();
+        b.iter(|| {
+            identifier
+                .identify_batch(&refs)
+                .iter()
+                .filter(|l| l.is_some())
+                .count()
+        })
     });
     group.bench_function("binary_decision_nb_words_500", |b| {
         b.iter(|| {

@@ -1,0 +1,102 @@
+//! Benchmarks of the single-extraction scoring pipeline against the
+//! naive pre-refactor baseline (each of the five per-language classifiers
+//! extracting features for itself), on a single URL and on a 10k-URL
+//! batch. The batch bench also prints the measured speed-up so the ≥3×
+//! acceptance bar of the refactor is visible directly in the bench
+//! output.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use urlid::features::ExtractScratch;
+use urlid::prelude::*;
+
+const BATCH: usize = 10_000;
+
+fn sample_urls(n: usize) -> Vec<String> {
+    let mut generator = UrlGenerator::new(1);
+    let profile = urlid::corpus::DatasetProfile::web_crawl();
+    let mut urls = Vec::with_capacity(n);
+    for lang in ALL_LANGUAGES {
+        urls.extend(generator.generate_many(lang, &profile, n / 5));
+    }
+    urls
+}
+
+fn trained_set() -> LanguageClassifierSet {
+    let mut generator = UrlGenerator::new(2);
+    let odp = odp_dataset(&mut generator, CorpusScale::tiny());
+    train_classifier_set(&odp.train, &TrainingConfig::paper_best())
+}
+
+/// The naive baseline kept for reference: five models, five extractions —
+/// what `FeatureUrlClassifier`-per-language did before the refactor. The
+/// definition lives on `LanguageClassifierSet` so this bench and the
+/// pipeline equivalence test measure/verify the *same* baseline.
+fn naive_score_all(set: &LanguageClassifierSet, url: &str) -> [Option<f64>; 5] {
+    set.score_all_multi_extract(url)
+}
+
+fn bench_single_url(c: &mut Criterion) {
+    let set = trained_set();
+    let url = "http://www.wetterbericht-nachrichten.de/berlin/heute/vorhersage";
+    let mut group = c.benchmark_group("single_url");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("naive_5_extractions", |b| {
+        b.iter(|| naive_score_all(&set, url))
+    });
+    group.bench_function("single_pass_score_all", |b| b.iter(|| set.score_all(url)));
+    group.bench_function("single_pass_with_scratch", |b| {
+        let mut scratch = ExtractScratch::new();
+        b.iter(|| set.score_all_with(url, &mut scratch))
+    });
+    group.finish();
+}
+
+fn bench_batch_10k(c: &mut Criterion) {
+    let set = trained_set();
+    let owned = sample_urls(BATCH);
+    let urls: Vec<&str> = owned.iter().map(|s| s.as_str()).collect();
+
+    let mut group = c.benchmark_group("batch_10k");
+    group.throughput(Throughput::Elements(urls.len() as u64));
+    group.sample_size(10);
+    group.bench_function("naive_5_extractions", |b| {
+        b.iter(|| {
+            urls.iter()
+                .map(|u| naive_score_all(&set, u))
+                .filter(|s| s[0].unwrap_or(-1.0) > 0.0)
+                .count()
+        })
+    });
+    group.bench_function("single_pass_sequential", |b| {
+        let mut scratch = ExtractScratch::new();
+        b.iter(|| {
+            urls.iter()
+                .map(|u| set.score_all_with(u, &mut scratch))
+                .filter(|s| s[0].unwrap_or(-1.0) > 0.0)
+                .count()
+        })
+    });
+    group.bench_function("single_pass_parallel_batch", |b| {
+        b.iter(|| set.score_batch(&urls).len())
+    });
+    group.finish();
+
+    // Headline comparison from the warmed, multi-sample criterion
+    // medians measured above (the refactor's acceptance bar is ≥3×).
+    let naive_ns = c
+        .median_ns("batch_10k/naive_5_extractions")
+        .expect("naive bench ran");
+    let batch_ns = c
+        .median_ns("batch_10k/single_pass_parallel_batch")
+        .expect("batch bench ran");
+    println!(
+        "single-pass parallel batch vs naive 5-extraction baseline: {:.1}x \
+         ({:.0} vs {:.0} URLs/s over {BATCH} URLs, criterion medians)",
+        naive_ns / batch_ns,
+        urls.len() as f64 / (batch_ns / 1e9),
+        urls.len() as f64 / (naive_ns / 1e9),
+    );
+}
+
+criterion_group!(benches, bench_single_url, bench_batch_10k);
+criterion_main!(benches);

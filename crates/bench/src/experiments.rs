@@ -5,18 +5,30 @@
 //! EXPERIMENTS.md records a reference run.
 
 use std::collections::HashMap;
-use urlid::eval::report::{f_measure_grid, metrics_table, url_vs_content_row};
-use urlid::eval::{domain_memorization_curve, evaluate_annotations, evaluate_classifier_set};
-use urlid::features::{CustomFeatureExtractor, TrigramFeatureExtractor};
 use urlid::classifiers::{
     DecisionTree, DecisionTreeConfig, NaiveBayes, NaiveBayesConfig, VectorClassifier,
 };
+use urlid::eval::report::{f_measure_grid, metrics_table, url_vs_content_row};
+use urlid::eval::{domain_memorization_curve, evaluate_annotations, evaluate_classifier_set};
+use urlid::features::{CustomFeatureExtractor, TrigramFeatureExtractor};
 use urlid::prelude::*;
 
 /// The experiments that can be run, in paper order.
 pub const EXPERIMENT_NAMES: &[&str] = &[
-    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
-    "table10", "figure1", "figure2", "figure3", "ablations",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+    "figure1",
+    "figure2",
+    "figure3",
+    "ablations",
 ];
 
 /// The corpus scale, read from `URLID_SCALE` (default 0.02 ≈ laptop scale).
@@ -59,7 +71,11 @@ impl ExperimentContext {
     }
 
     /// Train (or fetch from cache) the classifier set for a configuration.
-    pub fn set(&mut self, feature_set: FeatureSetKind, algorithm: Algorithm) -> &LanguageClassifierSet {
+    pub fn set(
+        &mut self,
+        feature_set: FeatureSetKind,
+        algorithm: Algorithm,
+    ) -> &LanguageClassifierSet {
         let key = (feature_set, algorithm);
         if !self.cache.contains_key(&key) {
             let config = TrainingConfig::new(feature_set, algorithm).with_seed(self.seed);
@@ -192,10 +208,14 @@ pub fn table4_5(ctx: &mut ExperimentContext) -> String {
 /// test set.
 pub fn table6(ctx: &mut ExperimentContext) -> String {
     let result = ctx.evaluate(FeatureSetKind::Words, Algorithm::NaiveBayes, 2);
-    let mut out =
-        String::from("== Table 6: confusion matrix, Naive Bayes + word features, crawl test set ==\n");
+    let mut out = String::from(
+        "== Table 6: confusion matrix, Naive Bayes + word features, crawl test set ==\n",
+    );
     out.push_str(&result.confusion.render());
-    out.push_str(&format!("mean F on crawl: {:.3}\n", result.mean_f_measure()));
+    out.push_str(&format!(
+        "mean F on crawl: {:.3}\n",
+        result.mean_f_measure()
+    ));
     out
 }
 
@@ -213,9 +233,7 @@ pub fn table7(ctx: &mut ExperimentContext) -> String {
     ];
     for (t, test_name) in ["ODP", "SER", "WC"].iter().enumerate() {
         out.push_str(&format!("\n--- test set: {test_name} ---\n"));
-        out.push_str(
-            "lang  alg |        words        |       trigrams      |       custom\n",
-        );
+        out.push_str("lang  alg |        words        |       trigrams      |       custom\n");
         for lang in ALL_LANGUAGES {
             for algorithm in [
                 Algorithm::NaiveBayes,
@@ -309,7 +327,11 @@ pub fn table10(ctx: &mut ExperimentContext) -> String {
         let url_result = evaluate_classifier_set(&url_set, &test);
 
         // Content training: ME gets only 2 iterations, as in the paper.
-        let content_iters = if alg == Algorithm::MaxEnt { 2 } else { iterations };
+        let content_iters = if alg == Algorithm::MaxEnt {
+            2
+        } else {
+            iterations
+        };
         let content_cfg = TrainingConfig::new(FeatureSetKind::Words, alg)
             .with_seed(ctx.seed)
             .with_maxent_iterations(content_iters)
@@ -364,7 +386,8 @@ pub fn figure1(ctx: &mut ExperimentContext) -> String {
             ..DecisionTreeConfig::for_dim(extractor.dim())
         },
     );
-    let mut out = String::from("== Figure 1: pruned decision tree for German (custom features) ==\n");
+    let mut out =
+        String::from("== Figure 1: pruned decision tree for German (custom features) ==\n");
     out.push_str(&tree.render(&|f| {
         extractor
             .feature_name(f as u32)
@@ -392,7 +415,11 @@ pub fn figure2(ctx: &mut ExperimentContext) -> String {
         ("WF RE", FeatureSetKind::Words, Algorithm::RelativeEntropy),
         ("WF ME", FeatureSetKind::Words, Algorithm::MaxEnt),
         ("TF NB", FeatureSetKind::Trigrams, Algorithm::NaiveBayes),
-        ("TF RE", FeatureSetKind::Trigrams, Algorithm::RelativeEntropy),
+        (
+            "TF RE",
+            FeatureSetKind::Trigrams,
+            Algorithm::RelativeEntropy,
+        ),
         ("CF NB", FeatureSetKind::Custom, Algorithm::NaiveBayes),
         ("CF DT", FeatureSetKind::Custom, Algorithm::DecisionTree),
         ("ccTLD", FeatureSetKind::Words, Algorithm::CcTld),
@@ -440,9 +467,8 @@ pub fn figure2(ctx: &mut ExperimentContext) -> String {
 /// training data, as a function of the training fraction.
 pub fn figure3(ctx: &mut ExperimentContext) -> String {
     let fractions = [0.001, 0.01, 0.1, 1.0];
-    let mut out = String::from(
-        "== Figure 3: % of test URLs with a domain seen in the training data ==\n",
-    );
+    let mut out =
+        String::from("== Figure 3: % of test URLs with a domain seen in the training data ==\n");
     out.push_str(&format!("{:<12}", "test set"));
     for f in fractions {
         out.push_str(&format!(" {:>7}", format!("{}%", f * 100.0)));
@@ -488,8 +514,11 @@ pub fn ablations(ctx: &mut ExperimentContext) -> String {
                     .take(positives.len())
                     .map(|u| extractor.transform(&u.url))
                     .collect();
-                let model =
-                    NaiveBayes::train(&positives, &negatives, NaiveBayesConfig::for_dim(extractor.dim()));
+                let model = NaiveBayes::train(
+                    &positives,
+                    &negatives,
+                    NaiveBayesConfig::for_dim(extractor.dim()),
+                );
                 struct C(TrigramFeatureExtractor, NaiveBayes);
                 impl UrlClassifier for C {
                     fn classify_url(&self, url: &str) -> bool {
@@ -503,7 +532,8 @@ pub fn ablations(ctx: &mut ExperimentContext) -> String {
         within.fit(&ctx.training.urls);
         let mut raw = TrigramFeatureExtractor::raw_url_scope();
         raw.fit(&ctx.training.urls);
-        let f_within = evaluate_classifier_set(&nb_for(&within, &ctx.training), &test).mean_f_measure();
+        let f_within =
+            evaluate_classifier_set(&nb_for(&within, &ctx.training), &test).mean_f_measure();
         let f_raw = evaluate_classifier_set(&nb_for(&raw, &ctx.training), &test).mean_f_measure();
         out.push_str(&format!(
             "1. trigram scope (NB, ODP test): within-token F={f_within:.3} vs raw-URL F={f_raw:.3}\n"
@@ -515,13 +545,15 @@ pub fn ablations(ctx: &mut ExperimentContext) -> String {
         let f15 = {
             let cfg = TrainingConfig::new(FeatureSetKind::Custom, Algorithm::DecisionTree)
                 .with_seed(ctx.seed);
-            evaluate_classifier_set(&train_classifier_set(&ctx.training, &cfg), &test).mean_f_measure()
+            evaluate_classifier_set(&train_classifier_set(&ctx.training, &cfg), &test)
+                .mean_f_measure()
         };
         let f74 = {
             let cfg = TrainingConfig::new(FeatureSetKind::Custom, Algorithm::DecisionTree)
                 .with_seed(ctx.seed)
                 .with_full_custom_features();
-            evaluate_classifier_set(&train_classifier_set(&ctx.training, &cfg), &test).mean_f_measure()
+            evaluate_classifier_set(&train_classifier_set(&ctx.training, &cfg), &test)
+                .mean_f_measure()
         };
         out.push_str(&format!(
             "2. custom features (DT, ODP test): selected-15 F={f15:.3} vs full-74 F={f74:.3} (paper: difference <= .03)\n"
@@ -533,8 +565,8 @@ pub fn ablations(ctx: &mut ExperimentContext) -> String {
         let balanced = TrainingConfig::paper_best().with_seed(ctx.seed);
         let mut all_neg = TrainingConfig::paper_best().with_seed(ctx.seed);
         all_neg.negative_ratio = 4.0;
-        let f_bal =
-            evaluate_classifier_set(&train_classifier_set(&ctx.training, &balanced), &test).mean_f_measure();
+        let f_bal = evaluate_classifier_set(&train_classifier_set(&ctx.training, &balanced), &test)
+            .mean_f_measure();
         let r_bal = evaluate_classifier_set(&train_classifier_set(&ctx.training, &balanced), &test)
             .macro_metrics()
             .mean_recall();
@@ -610,7 +642,11 @@ pub fn ablations(ctx: &mut ExperimentContext) -> String {
                         if which == "rank-order" {
                             Box::new(C(
                                 trigrams.clone(),
-                                RankOrder::train(&positives, &negatives, RankOrderConfig::default()),
+                                RankOrder::train(
+                                    &positives,
+                                    &negatives,
+                                    RankOrderConfig::default(),
+                                ),
                             ))
                         } else {
                             Box::new(C(
@@ -626,7 +662,8 @@ pub fn ablations(ctx: &mut ExperimentContext) -> String {
                 }
             })
         };
-        let mut row = String::from("6. preliminary n-gram comparison (trigram features, ODP test): ");
+        let mut row =
+            String::from("6. preliminary n-gram comparison (trigram features, ODP test): ");
         for which in ["relative-entropy", "rank-order", "markov"] {
             let f = evaluate_classifier_set(&build_set(which), &test).mean_f_measure();
             row.push_str(&format!("{which} F={f:.3}  "));
@@ -641,8 +678,8 @@ pub fn ablations(ctx: &mut ExperimentContext) -> String {
             .with_seed(ctx.seed);
         // k-NN is O(train × test); evaluate on a reduced training set.
         let reduced = ctx.training.take_fraction(0.05_f64.min(1.0));
-        let f_knn =
-            evaluate_classifier_set(&train_classifier_set(&reduced, &knn_cfg), &test).mean_f_measure();
+        let f_knn = evaluate_classifier_set(&train_classifier_set(&reduced, &knn_cfg), &test)
+            .mean_f_measure();
         let f_nb = evaluate_classifier_set(
             &train_classifier_set(&reduced, &TrainingConfig::paper_best().with_seed(ctx.seed)),
             &test,

@@ -14,8 +14,9 @@
 //! recipes live in `urlid::recipes` (the core crate), this module provides
 //! the combinator itself.
 
-use crate::model::UrlClassifier;
+use crate::model::{HybridClassifier, UrlClassifier, VectorClassifier};
 use serde::{Deserialize, Serialize};
+use urlid_features::SparseVector;
 
 /// Whether a combination boosts recall (OR) or precision (AND).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -32,6 +33,16 @@ impl CombinationStrategy {
         match self {
             CombinationStrategy::RecallImprovement => main || helper,
             CombinationStrategy::PrecisionImprovement => main && helper,
+        }
+    }
+
+    /// Combine two scores so that the sign of the result is the combined
+    /// decision (max for OR, min for AND — a positive max means at least
+    /// one constituent accepted; a positive min means both did).
+    pub fn combine_scores(self, main: f64, helper: f64) -> f64 {
+        match self {
+            CombinationStrategy::RecallImprovement => main.max(helper),
+            CombinationStrategy::PrecisionImprovement => main.min(helper),
         }
     }
 }
@@ -69,6 +80,81 @@ impl<A: UrlClassifier, B: UrlClassifier> CombinedClassifier<A, B> {
     }
 }
 
+/// A pair of *vector-space* classifiers over the **same feature space**,
+/// combined with a [`CombinationStrategy`]. Both constituents score the
+/// same pre-extracted [`SparseVector`], so a
+/// [`crate::set::LanguageClassifierSet`] holding this classifier keeps
+/// the single-extraction invariant even for combined languages (the
+/// Section 5.6 English and German recipes pair two word-feature models).
+///
+/// Combinations mixing feature spaces (French, Spanish, Italian) cannot
+/// share a vector and use the URL-level [`CombinedClassifier`] instead.
+pub struct CombinedVectorClassifier<A, B> {
+    main: A,
+    helper: B,
+    strategy: CombinationStrategy,
+}
+
+impl<A: VectorClassifier, B: VectorClassifier> CombinedVectorClassifier<A, B> {
+    /// Combine `main` and `helper` with the given strategy.
+    pub fn new(main: A, helper: B, strategy: CombinationStrategy) -> Self {
+        Self {
+            main,
+            helper,
+            strategy,
+        }
+    }
+
+    /// The strategy in use.
+    pub fn strategy(&self) -> CombinationStrategy {
+        self.strategy
+    }
+}
+
+impl<A: VectorClassifier, B: VectorClassifier> VectorClassifier for CombinedVectorClassifier<A, B> {
+    fn score(&self, features: &SparseVector) -> f64 {
+        self.strategy
+            .combine_scores(self.main.score(features), self.helper.score(features))
+    }
+}
+
+/// A URL-side main classifier combined with a vector-side helper that
+/// scores the owning set's **shared** pre-extracted vector.
+///
+/// This is the Section 5.6 mixed-feature-space shape (French, Spanish,
+/// Italian: a trigram-space main plus a word-feature helper): the main
+/// constituent performs its own second-space extraction from the URL,
+/// while the helper reuses the word vector the set already extracted —
+/// so the set never extracts word features more than once per URL.
+pub struct CombinedHybridClassifier<A, B> {
+    main: A,
+    helper: B,
+    strategy: CombinationStrategy,
+}
+
+impl<A: UrlClassifier, B: VectorClassifier> CombinedHybridClassifier<A, B> {
+    /// Combine a URL-side `main` with a shared-vector `helper`.
+    pub fn new(main: A, helper: B, strategy: CombinationStrategy) -> Self {
+        Self {
+            main,
+            helper,
+            strategy,
+        }
+    }
+
+    /// The strategy in use.
+    pub fn strategy(&self) -> CombinationStrategy {
+        self.strategy
+    }
+}
+
+impl<A: UrlClassifier, B: VectorClassifier> HybridClassifier for CombinedHybridClassifier<A, B> {
+    fn score_hybrid(&self, url: &str, shared: &SparseVector) -> f64 {
+        self.strategy
+            .combine_scores(self.main.score_url(url), self.helper.score(shared))
+    }
+}
+
 impl<A: UrlClassifier, B: UrlClassifier> UrlClassifier for CombinedClassifier<A, B> {
     fn classify_url(&self, url: &str) -> bool {
         match self.strategy {
@@ -85,12 +171,8 @@ impl<A: UrlClassifier, B: UrlClassifier> UrlClassifier for CombinedClassifier<A,
     }
 
     fn score_url(&self, url: &str) -> f64 {
-        let main = self.main.score_url(url);
-        let helper = self.helper.score_url(url);
-        match self.strategy {
-            CombinationStrategy::RecallImprovement => main.max(helper),
-            CombinationStrategy::PrecisionImprovement => main.min(helper),
-        }
+        self.strategy
+            .combine_scores(self.main.score_url(url), self.helper.score_url(url))
     }
 }
 

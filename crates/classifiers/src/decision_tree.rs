@@ -132,10 +132,7 @@ impl DecisionTree {
         let n_neg = indices.len() - n_pos;
 
         let pure = n_pos == 0 || n_neg == 0;
-        if pure
-            || depth >= self.config.max_depth
-            || indices.len() < self.config.min_samples_split
-        {
+        if pure || depth >= self.config.max_depth || indices.len() < self.config.min_samples_split {
             return self.leaf(n_pos, n_neg);
         }
 
@@ -157,7 +154,11 @@ impl DecisionTree {
                 let mut hi = (0usize, 0usize);
                 for &i in indices {
                     let (row, label) = &rows[i];
-                    let bucket = if row[feature] >= threshold { &mut hi } else { &mut lo };
+                    let bucket = if row[feature] >= threshold {
+                        &mut hi
+                    } else {
+                        &mut lo
+                    };
                     if *label {
                         bucket.0 += 1;
                     } else {
@@ -286,7 +287,11 @@ impl VectorClassifier for DecisionTree {
                     // majority class at the leaf, in (−1, 1].
                     let total = (n_pos + n_neg).max(1) as f64;
                     let p = *n_pos as f64 / total;
-                    return if *positive { p.max(1e-9) } else { -(1.0 - p).max(1e-9) };
+                    return if *positive {
+                        p.max(1e-9)
+                    } else {
+                        -(1.0 - p).max(1e-9)
+                    };
                 }
                 Node::Split {
                     feature,
@@ -310,12 +315,7 @@ mod tests {
     use super::*;
 
     fn dense(values: &[f64]) -> SparseVector {
-        SparseVector::from_pairs(
-            values
-                .iter()
-                .enumerate()
-                .map(|(i, v)| (i as u32, *v)),
-        )
+        SparseVector::from_pairs(values.iter().enumerate().map(|(i, v)| (i as u32, *v)))
     }
 
     /// Feature 0 is a binary "German TLD" flag, feature 1 a dictionary
@@ -443,7 +443,7 @@ mod tests {
         let s_pos = dt.score(&dense(&[1.0, 3.0]));
         let s_neg = dt.score(&dense(&[0.0, 0.0]));
         assert!(s_pos > 0.0 && s_pos <= 1.0);
-        assert!(s_neg < 0.0 && s_neg >= -1.0);
+        assert!((-1.0..0.0).contains(&s_neg));
     }
 
     #[test]

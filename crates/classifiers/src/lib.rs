@@ -43,13 +43,17 @@ pub mod relative_entropy;
 pub mod set;
 
 pub use cctld::CcTldClassifier;
-pub use combine::{CombinationStrategy, CombinedClassifier};
+pub use combine::{
+    CombinationStrategy, CombinedClassifier, CombinedHybridClassifier, CombinedVectorClassifier,
+};
 pub use decision_tree::{DecisionTree, DecisionTreeConfig};
 pub use knn::{KNearestNeighbors, KnnConfig};
 pub use markov::{MarkovClassifier, MarkovConfig};
 pub use maxent::{MaxEnt, MaxEntConfig};
-pub use model::{Algorithm, FeatureUrlClassifier, UrlClassifier, VectorClassifier};
+pub use model::{
+    Algorithm, FeatureUrlClassifier, HybridClassifier, UrlClassifier, VectorClassifier,
+};
 pub use naive_bayes::{NaiveBayes, NaiveBayesConfig};
 pub use rank_order::{RankOrder, RankOrderConfig};
 pub use relative_entropy::{RelativeEntropy, RelativeEntropyConfig};
-pub use set::LanguageClassifierSet;
+pub use set::{LanguageClassifierSet, LanguageScorer};

@@ -1,7 +1,7 @@
 //! Character Markov-model classifier.
 //!
 //! Section 2 of the paper: "Character-based Markov models for language
-//! classification [3] can be seen as a variant of the n-gram approach.
+//! classification \[3\] can be seen as a variant of the n-gram approach.
 //! This approach determines the probability that certain sequences of
 //! characters are generated. It is assumed that the next character only
 //! depends on a certain number of previous characters." The paper's
@@ -71,7 +71,9 @@ impl CharModel {
         for w in chars.windows(3) {
             let context = context_key(w[0], w[1]);
             let next = w[2] as usize;
-            self.transitions.entry(context).or_insert([0.0; ALPHABET_SIZE])[next] += 1.0;
+            self.transitions
+                .entry(context)
+                .or_insert([0.0; ALPHABET_SIZE])[next] += 1.0;
             *self.context_totals.entry(context).or_insert(0.0) += 1.0;
         }
     }
@@ -151,8 +153,12 @@ impl MarkovClassifier {
         let mut ratio = 0.0;
         let mut transitions = 0usize;
         for token in self.tokenizer.tokenize(url) {
-            let (lp, n) = self.positive.token_log_likelihood(&token, self.config.alpha);
-            let (ln, _) = self.negative.token_log_likelihood(&token, self.config.alpha);
+            let (lp, n) = self
+                .positive
+                .token_log_likelihood(&token, self.config.alpha);
+            let (ln, _) = self
+                .negative
+                .token_log_likelihood(&token, self.config.alpha);
             ratio += lp - ln;
             transitions += n;
         }
@@ -230,7 +236,11 @@ mod tests {
     #[test]
     fn smoothing_keeps_scores_finite_for_exotic_input() {
         let m = MarkovClassifier::train(&german_urls(), &english_urls(), MarkovConfig::default());
-        for url in ["http://xqzw.jp/qqqq", "http://zzz.ru/xxyyzz", "http://a-b-c.info/"] {
+        for url in [
+            "http://xqzw.jp/qqqq",
+            "http://zzz.ru/xxyyzz",
+            "http://a-b-c.info/",
+        ] {
             assert!(m.score_url(url).is_finite(), "{url}");
         }
     }

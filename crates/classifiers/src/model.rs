@@ -59,22 +59,52 @@ impl fmt::Display for Algorithm {
 
 /// A trained binary classifier over feature vectors: "does this feature
 /// vector belong to the positive class (language X)?"
+///
+/// # Sign convention
+/// The score's sign *is* the decision: `classify(v) == (score(v) > 0.0)`.
+/// Implementations must not override [`VectorClassifier::classify`] with
+/// anything that breaks this — the single-pass scoring pipeline
+/// ([`crate::set::LanguageClassifierSet`]) derives decisions from scores,
+/// and the classifiers proptests assert the invariant for every
+/// algorithm.
 pub trait VectorClassifier: Send + Sync {
     /// A real-valued decision score; positive means "yes, language X".
     /// The magnitude is algorithm-specific and only the sign is
     /// interpreted by default.
     fn score(&self, features: &SparseVector) -> f64;
 
-    /// The binary decision.
+    /// The binary decision (the sign of [`VectorClassifier::score`]).
     fn classify(&self, features: &SparseVector) -> bool {
         self.score(features) > 0.0
     }
+}
+
+/// A binary classifier that needs *both* the raw URL and the
+/// [`crate::set::LanguageClassifierSet`]'s shared pre-extracted vector.
+///
+/// This is the seam for the Section 5.6 combinations that pair a
+/// classifier over a second feature space (scored from the URL) with a
+/// word-feature model (scored from the set's shared word vector): the
+/// shared extraction is reused instead of re-extracted per language.
+///
+/// # Sign convention
+/// As for [`VectorClassifier`]: the decision is `score_hybrid(..) > 0`.
+pub trait HybridClassifier: Send + Sync {
+    /// Score from the URL plus the set's shared feature vector.
+    fn score_hybrid(&self, url: &str, shared: &SparseVector) -> f64;
 }
 
 /// A binary classifier operating directly on URLs.
 ///
 /// Feature-based classifiers are lifted to this trait via
 /// [`FeatureUrlClassifier`]; the ccTLD baselines implement it natively.
+///
+/// # Sign convention
+/// As for [`VectorClassifier`]: `classify_url(u) == (score_url(u) > 0.0)`
+/// must hold. The default `score_url` (±1 from the decision) satisfies
+/// this, as does any implementation deriving the decision from its own
+/// score; the classifiers proptests assert it for every shipped
+/// implementation, including the pairwise combinations.
 pub trait UrlClassifier: Send + Sync {
     /// Does the page behind `url` belong to the classifier's language?
     fn classify_url(&self, url: &str) -> bool;
@@ -183,7 +213,10 @@ mod tests {
     #[test]
     fn feature_url_classifier_composes() {
         let mut ex = WordFeatureExtractor::default();
-        ex.fit(&[LabeledUrl::new("http://a.de/wetter/bericht", Language::German)]);
+        ex.fit(&[LabeledUrl::new(
+            "http://a.de/wetter/bericht",
+            Language::German,
+        )]);
         let clf = FeatureUrlClassifier::new(Arc::new(ex), Threshold(0.5));
         // Two in-vocabulary tokens -> sum 2 > 0.5.
         assert!(clf.classify_url("http://b.de/wetter/bericht"));

@@ -220,7 +220,14 @@ mod tests {
     fn smoothing_strength_affects_confidence_not_sign() {
         let (pos, neg) = toy_training();
         let sharp = NaiveBayes::train(&pos, &neg, NaiveBayesConfig { alpha: 0.1, dim: 8 });
-        let smooth = NaiveBayes::train(&pos, &neg, NaiveBayesConfig { alpha: 10.0, dim: 8 });
+        let smooth = NaiveBayes::train(
+            &pos,
+            &neg,
+            NaiveBayesConfig {
+                alpha: 10.0,
+                dim: 8,
+            },
+        );
         let x = vec_of(&[0, 1]);
         assert!(sharp.score(&x) > smooth.score(&x));
         assert!(sharp.classify(&x) && smooth.classify(&x));

@@ -1,6 +1,6 @@
 //! Cavnar–Trenkle rank-order classifier.
 //!
-//! Section 2 of the paper: "Cavnar and Trenkle [2] use the aforementioned
+//! Section 2 of the paper: "Cavnar and Trenkle \[2\] use the aforementioned
 //! rank-order statistic, which compares the different frequency ranks."
 //! The paper's authors compared Markov models, rank-order statistics and
 //! relative entropy in preliminary experiments and kept relative entropy

@@ -35,10 +35,7 @@ pub struct RelativeEntropyConfig {
 impl RelativeEntropyConfig {
     /// Default configuration for a feature space of the given size.
     pub fn for_dim(dim: usize) -> Self {
-        Self {
-            epsilon: 1e-6,
-            dim,
-        }
+        Self { epsilon: 1e-6, dim }
     }
 }
 
@@ -124,7 +121,11 @@ impl RelativeEntropy {
             if pj <= 0.0 {
                 continue;
             }
-            let qj = q.get(j as usize).copied().unwrap_or(default_q).max(f64::MIN_POSITIVE);
+            let qj = q
+                .get(j as usize)
+                .copied()
+                .unwrap_or(default_q)
+                .max(f64::MIN_POSITIVE);
             d += pj * (pj / qj).ln();
         }
         d
@@ -162,8 +163,18 @@ mod tests {
     }
 
     fn toy_training() -> (Vec<SparseVector>, Vec<SparseVector>) {
-        let positives = vec![vec_of(&[0, 1]), vec_of(&[0, 2]), vec_of(&[1, 2]), vec_of(&[0, 1, 2])];
-        let negatives = vec![vec_of(&[3, 4]), vec_of(&[4, 5]), vec_of(&[3, 5]), vec_of(&[3, 4, 5])];
+        let positives = vec![
+            vec_of(&[0, 1]),
+            vec_of(&[0, 2]),
+            vec_of(&[1, 2]),
+            vec_of(&[0, 1, 2]),
+        ];
+        let negatives = vec![
+            vec_of(&[3, 4]),
+            vec_of(&[4, 5]),
+            vec_of(&[3, 5]),
+            vec_of(&[3, 4, 5]),
+        ];
         (positives, negatives)
     }
 

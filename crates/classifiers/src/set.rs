@@ -1,34 +1,73 @@
-//! Bundling five binary classifiers into the paper's multi-label setup.
+//! Bundling five binary classifiers into the paper's multi-label setup —
+//! with **single-pass feature extraction**.
 //!
 //! Section 4.2: "For each algorithm we created five separate binary
 //! classifiers, one for each language. Note that this allows a single web
 //! page to be classified as multiple languages simultaneously, as there
 //! are five independent (binary) decisions to be made."
+//!
+//! All five binary classifiers of a trained set share the same fitted
+//! feature extractor, so the set extracts the feature vector **exactly
+//! once per URL** and hands the same [`SparseVector`] to every
+//! per-language model ([`LanguageScorer::Vector`]). Classifiers that
+//! need the raw URL — the ccTLD baselines — plug in through the thin
+//! [`LanguageScorer::Url`] adapter; Section 5.6 combinations that mix
+//! feature spaces use [`LanguageScorer::Hybrid`], which hands them the
+//! URL *and* the shared vector so the word-feature side never
+//! re-extracts.
+//!
+//! Batch classification ([`LanguageClassifierSet::classify_batch`] and
+//! friends) additionally fans the URLs out over all CPU cores with one
+//! reusable [`ExtractScratch`] per worker, so tokenisation allocates no
+//! per-URL strings.
 
-use crate::model::UrlClassifier;
-use std::collections::BTreeMap;
+use crate::model::{HybridClassifier, UrlClassifier, VectorClassifier};
+use std::sync::Arc;
+use urlid_features::{ExtractScratch, FeatureExtractor, SparseVector};
 use urlid_lexicon::{Language, ALL_LANGUAGES};
 
-/// Five per-language binary URL classifiers evaluated jointly.
-pub struct LanguageClassifierSet {
-    classifiers: BTreeMap<Language, Box<dyn UrlClassifier>>,
+/// How one language's score is produced from a URL.
+pub enum LanguageScorer {
+    /// A vector-space model scoring the set's shared, pre-extracted
+    /// feature vector. Decision contract: positive score ⇔ "yes".
+    Vector(Box<dyn VectorClassifier>),
+    /// A classifier that needs the raw URL only (ccTLD baselines,
+    /// ad-hoc classifiers).
+    Url(Box<dyn UrlClassifier>),
+    /// A classifier that needs the raw URL *and* reuses the set's shared
+    /// vector (mixed-feature-space combinations whose word-feature
+    /// constituent scores the shared word vector).
+    Hybrid(Box<dyn HybridClassifier>),
 }
 
-impl Default for LanguageClassifierSet {
-    fn default() -> Self {
-        Self::new()
-    }
+/// Five per-language binary URL classifiers evaluated jointly over one
+/// shared feature extraction.
+#[derive(Default)]
+pub struct LanguageClassifierSet {
+    extractor: Option<Arc<dyn FeatureExtractor>>,
+    scorers: [Option<LanguageScorer>; 5],
 }
 
 impl LanguageClassifierSet {
-    /// An empty set (classifiers are added with [`LanguageClassifierSet::insert`]).
+    /// An empty set (classifiers are added with
+    /// [`LanguageClassifierSet::insert`] /
+    /// [`LanguageClassifierSet::insert_model`]).
     pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty set whose vector-space classifiers will score vectors
+    /// produced by `extractor` (shared by all five languages — the
+    /// single-extraction invariant).
+    pub fn with_extractor(extractor: Arc<dyn FeatureExtractor>) -> Self {
         Self {
-            classifiers: BTreeMap::new(),
+            extractor: Some(extractor),
+            scorers: Default::default(),
         }
     }
 
-    /// Build a set by calling `f` for every language.
+    /// Build a set of raw-URL classifiers by calling `f` for every
+    /// language (ccTLD baselines, combinations, ad-hoc classifiers).
     pub fn build(mut f: impl FnMut(Language) -> Box<dyn UrlClassifier>) -> Self {
         let mut set = Self::new();
         for lang in ALL_LANGUAGES {
@@ -37,39 +76,197 @@ impl LanguageClassifierSet {
         set
     }
 
-    /// Insert (or replace) the classifier for a language.
+    /// Build a set of vector-space classifiers sharing `extractor` by
+    /// calling `f` for every language.
+    pub fn build_vector(
+        extractor: Arc<dyn FeatureExtractor>,
+        mut f: impl FnMut(Language) -> Box<dyn VectorClassifier>,
+    ) -> Self {
+        let mut set = Self::with_extractor(extractor);
+        for lang in ALL_LANGUAGES {
+            set.insert_model(lang, f(lang));
+        }
+        set
+    }
+
+    /// Insert (or replace) a raw-URL classifier for a language.
     pub fn insert(&mut self, lang: Language, classifier: Box<dyn UrlClassifier>) {
-        self.classifiers.insert(lang, classifier);
+        self.scorers[lang.index()] = Some(LanguageScorer::Url(classifier));
+    }
+
+    /// Insert (or replace) a vector-space model for a language. The model
+    /// scores vectors from the set's shared extractor.
+    ///
+    /// # Panics
+    /// Panics if the set has no extractor (see
+    /// [`LanguageClassifierSet::with_extractor`]).
+    pub fn insert_model(&mut self, lang: Language, model: Box<dyn VectorClassifier>) {
+        assert!(
+            self.extractor.is_some(),
+            "insert_model requires a shared extractor (use with_extractor)"
+        );
+        self.scorers[lang.index()] = Some(LanguageScorer::Vector(model));
+    }
+
+    /// Insert (or replace) a hybrid classifier for a language: it
+    /// receives both the raw URL and the set's shared vector (see
+    /// [`HybridClassifier`]).
+    ///
+    /// # Panics
+    /// Panics if the set has no extractor (see
+    /// [`LanguageClassifierSet::with_extractor`]).
+    pub fn insert_hybrid(&mut self, lang: Language, classifier: Box<dyn HybridClassifier>) {
+        assert!(
+            self.extractor.is_some(),
+            "insert_hybrid requires a shared extractor (use with_extractor)"
+        );
+        self.scorers[lang.index()] = Some(LanguageScorer::Hybrid(classifier));
+    }
+
+    /// The shared feature extractor, if the set scores vectors.
+    pub fn extractor(&self) -> Option<&Arc<dyn FeatureExtractor>> {
+        self.extractor.as_ref()
+    }
+
+    /// The scorer for `lang`, if present.
+    pub fn scorer(&self, lang: Language) -> Option<&LanguageScorer> {
+        self.scorers[lang.index()].as_ref()
+    }
+
+    /// The vector-space model for `lang`, if that language uses one.
+    pub fn vector_model(&self, lang: Language) -> Option<&dyn VectorClassifier> {
+        match self.scorers[lang.index()].as_ref() {
+            Some(LanguageScorer::Vector(m)) => Some(m.as_ref()),
+            _ => None,
+        }
     }
 
     /// Number of languages with a classifier.
     pub fn len(&self) -> usize {
-        self.classifiers.len()
+        self.scorers.iter().flatten().count()
     }
 
     /// Is the set empty?
     pub fn is_empty(&self) -> bool {
-        self.classifiers.is_empty()
+        self.len() == 0
     }
 
     /// Does the set have a classifier for `lang`?
     pub fn contains(&self, lang: Language) -> bool {
-        self.classifiers.contains_key(&lang)
+        self.scorers[lang.index()].is_some()
     }
 
-    /// The classifier for `lang`, if present.
-    pub fn get(&self, lang: Language) -> Option<&dyn UrlClassifier> {
-        self.classifiers.get(&lang).map(|b| b.as_ref())
+    /// Does any language score the shared feature vector?
+    fn needs_vector(&self) -> bool {
+        self.scorers
+            .iter()
+            .flatten()
+            .any(|s| matches!(s, LanguageScorer::Vector(_) | LanguageScorer::Hybrid(_)))
+    }
+
+    /// Extract the shared feature vector — the *only* extraction the set
+    /// ever performs for one URL.
+    fn extract_once(&self, url: &str, scratch: &mut ExtractScratch) -> Option<SparseVector> {
+        if !self.needs_vector() {
+            return None;
+        }
+        let extractor = self
+            .extractor
+            .as_ref()
+            .expect("invariant: vector scorers imply a shared extractor");
+        Some(extractor.transform_with(url, scratch))
+    }
+
+    /// The five per-language scores for one URL (`None` for languages
+    /// without a classifier), extracting features exactly once.
+    pub fn score_all(&self, url: &str) -> [Option<f64>; 5] {
+        self.score_all_with(url, &mut ExtractScratch::new())
+    }
+
+    /// [`LanguageClassifierSet::score_all`] with a caller-owned scratch
+    /// (the zero-allocation batch path).
+    pub fn score_all_with(&self, url: &str, scratch: &mut ExtractScratch) -> [Option<f64>; 5] {
+        let vector = self.extract_once(url, scratch);
+        let mut out = [None; 5];
+        for (i, scorer) in self.scorers.iter().enumerate() {
+            if let Some(scorer) = scorer {
+                out[i] = Some(match scorer {
+                    LanguageScorer::Vector(model) => {
+                        model.score(vector.as_ref().expect("vector extracted above"))
+                    }
+                    LanguageScorer::Url(classifier) => classifier.score_url(url),
+                    LanguageScorer::Hybrid(classifier) => classifier
+                        .score_hybrid(url, vector.as_ref().expect("vector extracted above")),
+                });
+            }
+        }
+        out
     }
 
     /// The five independent binary decisions for a URL, in canonical
-    /// language order. Missing classifiers answer `false`.
+    /// language order, extracting features exactly once. Missing
+    /// classifiers answer `false`.
     pub fn classify_all(&self, url: &str) -> [bool; 5] {
+        self.classify_all_with(url, &mut ExtractScratch::new())
+    }
+
+    /// [`LanguageClassifierSet::classify_all`] with a caller-owned scratch.
+    pub fn classify_all_with(&self, url: &str, scratch: &mut ExtractScratch) -> [bool; 5] {
+        let vector = self.extract_once(url, scratch);
         let mut out = [false; 5];
-        for (lang, clf) in &self.classifiers {
-            out[lang.index()] = clf.classify_url(url);
+        for (i, scorer) in self.scorers.iter().enumerate() {
+            if let Some(scorer) = scorer {
+                out[i] = match scorer {
+                    LanguageScorer::Vector(model) => {
+                        model.classify(vector.as_ref().expect("vector extracted above"))
+                    }
+                    LanguageScorer::Url(classifier) => classifier.classify_url(url),
+                    LanguageScorer::Hybrid(classifier) => {
+                        classifier
+                            .score_hybrid(url, vector.as_ref().expect("vector extracted above"))
+                            > 0.0
+                    }
+                };
+            }
         }
         out
+    }
+
+    /// The single binary decision "is this URL in `lang`?" (extracts at
+    /// most once; `false` when no classifier is present).
+    pub fn classify(&self, url: &str, lang: Language) -> bool {
+        match self.scorers[lang.index()].as_ref() {
+            None => false,
+            Some(LanguageScorer::Url(classifier)) => classifier.classify_url(url),
+            Some(LanguageScorer::Vector(model)) => {
+                model.classify(&self.shared_extractor().transform(url))
+            }
+            Some(LanguageScorer::Hybrid(classifier)) => {
+                classifier.score_hybrid(url, &self.shared_extractor().transform(url)) > 0.0
+            }
+        }
+    }
+
+    /// The real-valued score of `lang` for the URL, if a classifier is
+    /// present (extracts at most once).
+    pub fn score(&self, url: &str, lang: Language) -> Option<f64> {
+        match self.scorers[lang.index()].as_ref() {
+            None => None,
+            Some(LanguageScorer::Url(classifier)) => Some(classifier.score_url(url)),
+            Some(LanguageScorer::Vector(model)) => {
+                Some(model.score(&self.shared_extractor().transform(url)))
+            }
+            Some(LanguageScorer::Hybrid(classifier)) => {
+                Some(classifier.score_hybrid(url, &self.shared_extractor().transform(url)))
+            }
+        }
+    }
+
+    fn shared_extractor(&self) -> &dyn FeatureExtractor {
+        self.extractor
+            .as_ref()
+            .expect("invariant: vector/hybrid scorers imply a shared extractor")
+            .as_ref()
     }
 
     /// The set of languages whose binary classifier accepted the URL
@@ -83,34 +280,143 @@ impl LanguageClassifierSet {
             .collect()
     }
 
-    /// The single most likely language, decided by the highest score among
-    /// accepting classifiers (or among all classifiers if none accepts).
-    /// Returns `None` when the set is empty.
+    /// The single most likely language: the highest score over all
+    /// classifiers. Because scores obey the sign convention (positive ⇔
+    /// accepted), this is the highest-scoring *accepting* classifier
+    /// whenever any accepts, and the least-bad fallback otherwise —
+    /// exactly the paper's rule. Returns `None` for an empty set.
     pub fn best_language(&self, url: &str) -> Option<Language> {
-        if self.classifiers.is_empty() {
-            return None;
-        }
-        let accepted = self.languages_of(url);
-        let candidates: Vec<Language> = if accepted.is_empty() {
-            self.classifiers.keys().copied().collect()
-        } else {
-            accepted
-        };
-        candidates
-            .into_iter()
-            .map(|l| (l, self.classifiers[&l].score_url(url)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .map(|(l, _)| l)
+        Self::best_of(&self.score_all(url))
     }
+
+    /// Pick the best language from a score array (ties resolve to the
+    /// later language in canonical order, matching the historical
+    /// `max_by` behaviour).
+    pub fn best_of(scores: &[Option<f64>; 5]) -> Option<Language> {
+        let mut best: Option<(Language, f64)> = None;
+        for lang in ALL_LANGUAGES {
+            if let Some(score) = scores[lang.index()] {
+                match best {
+                    Some((_, incumbent)) if incumbent > score => {}
+                    _ => best = Some((lang, score)),
+                }
+            }
+        }
+        best.map(|(lang, _)| lang)
+    }
+
+    /// The **naive pre-refactor reference path**: every language
+    /// extracts the feature vector for itself — five extractions per
+    /// URL. Kept only so the `single_pass` bench and the pipeline
+    /// equivalence test can compare the single-pass path against the
+    /// historical baseline; production code should use
+    /// [`LanguageClassifierSet::score_all`].
+    pub fn score_all_multi_extract(&self, url: &str) -> [Option<f64>; 5] {
+        let mut out = [None; 5];
+        for (i, scorer) in self.scorers.iter().enumerate() {
+            if let Some(scorer) = scorer {
+                out[i] = Some(match scorer {
+                    // A fresh extraction per language — what the old
+                    // per-language FeatureUrlClassifier wrappers did.
+                    LanguageScorer::Vector(model) => {
+                        model.score(&self.shared_extractor().transform(url))
+                    }
+                    LanguageScorer::Url(classifier) => classifier.score_url(url),
+                    LanguageScorer::Hybrid(classifier) => {
+                        classifier.score_hybrid(url, &self.shared_extractor().transform(url))
+                    }
+                });
+            }
+        }
+        out
+    }
+
+    /// Batch [`LanguageClassifierSet::classify_all`]: one extraction per
+    /// URL, URLs fanned out over all CPU cores, zero per-URL tokenisation
+    /// allocations.
+    pub fn classify_batch(&self, urls: &[&str]) -> Vec<[bool; 5]> {
+        par_map(urls, |url, scratch| self.classify_all_with(url, scratch))
+    }
+
+    /// Batch [`LanguageClassifierSet::score_all`].
+    pub fn score_batch(&self, urls: &[&str]) -> Vec<[Option<f64>; 5]> {
+        par_map(urls, |url, scratch| self.score_all_with(url, scratch))
+    }
+
+    /// Batch [`LanguageClassifierSet::best_language`].
+    pub fn best_language_batch(&self, urls: &[&str]) -> Vec<Option<Language>> {
+        par_map(urls, |url, scratch| {
+            Self::best_of(&self.score_all_with(url, scratch))
+        })
+    }
+}
+
+/// Below this many URLs a sequential loop beats thread start-up.
+const PARALLEL_THRESHOLD: usize = 256;
+
+/// Map `f` over the URLs with one scratch per worker thread, preserving
+/// input order. Uses scoped threads (the workspace has no rayon — the
+/// build container lacks crates.io access).
+fn par_map<T, F>(urls: &[&str], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&str, &mut ExtractScratch) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(urls.len().max(1));
+    if threads <= 1 || urls.len() < PARALLEL_THRESHOLD {
+        let mut scratch = ExtractScratch::new();
+        return urls.iter().map(|url| f(url, &mut scratch)).collect();
+    }
+    let chunk_size = urls.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = urls
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut scratch = ExtractScratch::new();
+                    chunk
+                        .iter()
+                        .map(|url| f(url, &mut scratch))
+                        .collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("classification worker panicked"))
+            .collect()
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cctld::CcTldClassifier;
+    use urlid_features::{LabeledUrl, WordFeatureExtractor};
 
     fn cctld_set() -> LanguageClassifierSet {
         LanguageClassifierSet::build(|lang| Box::new(CcTldClassifier::cctld(lang)))
+    }
+
+    /// A trivial vector model accepting any non-empty vector.
+    struct NonEmpty;
+    impl VectorClassifier for NonEmpty {
+        fn score(&self, features: &SparseVector) -> f64 {
+            features.sum() - 0.5
+        }
+    }
+
+    fn fitted_extractor() -> Arc<dyn FeatureExtractor> {
+        let mut ex = WordFeatureExtractor::default();
+        ex.fit(&[LabeledUrl::new(
+            "http://a.de/wetter/bericht",
+            Language::German,
+        )]);
+        Arc::new(ex)
     }
 
     #[test]
@@ -120,7 +426,7 @@ mod tests {
         assert!(!set.is_empty());
         for lang in ALL_LANGUAGES {
             assert!(set.contains(lang));
-            assert!(set.get(lang).is_some());
+            assert!(set.scorer(lang).is_some());
         }
     }
 
@@ -128,7 +434,7 @@ mod tests {
     fn classify_all_gives_independent_decisions() {
         let set = cctld_set();
         let de = set.classify_all("http://www.beispiel.de/");
-        assert_eq!(de[Language::German.index()], true);
+        assert!(de[Language::German.index()]);
         assert_eq!(de.iter().filter(|&&b| b).count(), 1);
         let com = set.classify_all("http://www.example.com/");
         assert_eq!(com, [false; 5]);
@@ -153,7 +459,10 @@ mod tests {
         );
         // No classifier accepts .com; best_language still returns something.
         assert!(set.best_language("http://www.example.com/").is_some());
-        assert_eq!(LanguageClassifierSet::new().best_language("http://x.de/"), None);
+        assert_eq!(
+            LanguageClassifierSet::new().best_language("http://x.de/"),
+            None
+        );
     }
 
     #[test]
@@ -172,10 +481,7 @@ mod tests {
 
     #[test]
     fn multiple_languages_can_accept_simultaneously() {
-        // Build a deliberately overlapping set: every language uses the
-        // ccTLD+ English table, so a .com URL is accepted by the English
-        // classifier only, while a .de URL is accepted by German only —
-        // then add an extra German classifier for English to force overlap.
+        // Deliberate overlap: English uses the German ccTLD table too.
         let mut set = LanguageClassifierSet::new();
         set.insert(
             Language::English,
@@ -187,5 +493,135 @@ mod tests {
         );
         let langs = set.languages_of("http://www.beispiel.de/");
         assert_eq!(langs.len(), 2);
+    }
+
+    #[test]
+    fn vector_and_url_scorers_mix_in_one_set() {
+        let mut set = LanguageClassifierSet::with_extractor(fitted_extractor());
+        set.insert_model(Language::German, Box::new(NonEmpty));
+        set.insert(
+            Language::Italian,
+            Box::new(CcTldClassifier::cctld(Language::Italian)),
+        );
+        // "wetter" is in the vocabulary -> German accepts.
+        let d = set.classify_all("http://x.com/wetter");
+        assert!(d[Language::German.index()]);
+        assert!(!d[Language::Italian.index()]);
+        let d = set.classify_all("http://www.esempio.it/");
+        assert!(!d[Language::German.index()]);
+        assert!(d[Language::Italian.index()]);
+        assert!(set.vector_model(Language::German).is_some());
+        assert!(set.vector_model(Language::Italian).is_none());
+        assert!(set.extractor().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "insert_model requires a shared extractor")]
+    fn insert_model_without_extractor_panics() {
+        let mut set = LanguageClassifierSet::new();
+        set.insert_model(Language::German, Box::new(NonEmpty));
+    }
+
+    /// Accepts when the URL has a ".de" TLD *or* the shared word vector
+    /// is non-empty — exercises both halves of the hybrid seam.
+    struct TldOrVector;
+    impl HybridClassifier for TldOrVector {
+        fn score_hybrid(&self, url: &str, shared: &SparseVector) -> f64 {
+            let tld: f64 = if url.contains(".de") { 1.0 } else { -1.0 };
+            tld.max(shared.sum() - 0.5)
+        }
+    }
+
+    #[test]
+    fn hybrid_scorers_see_url_and_shared_vector() {
+        let mut set = LanguageClassifierSet::with_extractor(fitted_extractor());
+        set.insert_hybrid(Language::German, Box::new(TldOrVector));
+        // Accepted via the URL half (no vocabulary words).
+        assert!(set.classify_all("http://unknown.de/xyz")[Language::German.index()]);
+        // Accepted via the vector half ("wetter" is in the vocabulary).
+        assert!(set.classify_all("http://other.com/wetter")[Language::German.index()]);
+        // Neither half fires.
+        assert!(!set.classify_all("http://other.com/xyz")[Language::German.index()]);
+        // Single-language queries and scores agree with the multi-label
+        // path, and the sign convention holds.
+        for url in ["http://unknown.de/xyz", "http://other.com/wetter"] {
+            assert_eq!(
+                set.classify(url, Language::German),
+                set.classify_all(url)[Language::German.index()]
+            );
+            assert_eq!(
+                set.score(url, Language::German),
+                set.score_all(url)[Language::German.index()]
+            );
+            assert!(set.score(url, Language::German).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "insert_hybrid requires a shared extractor")]
+    fn insert_hybrid_without_extractor_panics() {
+        let mut set = LanguageClassifierSet::new();
+        set.insert_hybrid(Language::German, Box::new(TldOrVector));
+    }
+
+    #[test]
+    fn single_language_queries_agree_with_classify_all() {
+        let mut set = LanguageClassifierSet::with_extractor(fitted_extractor());
+        set.insert_model(Language::German, Box::new(NonEmpty));
+        for url in ["http://a.de/wetter", "http://b.xyz/nothing"] {
+            let all = set.classify_all(url);
+            let scores = set.score_all(url);
+            for lang in ALL_LANGUAGES {
+                assert_eq!(set.classify(url, lang), all[lang.index()], "{url} {lang}");
+                assert_eq!(set.score(url, lang), scores[lang.index()], "{url} {lang}");
+            }
+        }
+    }
+
+    #[test]
+    fn scores_obey_sign_convention() {
+        let set = cctld_set();
+        for url in [
+            "http://www.beispiel.de/",
+            "http://www.example.com/",
+            "http://www.esempio.it/pagina",
+        ] {
+            let decisions = set.classify_all(url);
+            let scores = set.score_all(url);
+            for lang in ALL_LANGUAGES {
+                assert_eq!(
+                    decisions[lang.index()],
+                    scores[lang.index()].unwrap() > 0.0,
+                    "{url} {lang}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_agrees_with_sequential_and_preserves_order() {
+        let mut set = LanguageClassifierSet::with_extractor(fitted_extractor());
+        set.insert_model(Language::German, Box::new(NonEmpty));
+        // More URLs than the parallel threshold to exercise the threaded
+        // path.
+        let owned: Vec<String> = (0..600)
+            .map(|i| {
+                if i % 3 == 0 {
+                    format!("http://site{i}.de/wetter")
+                } else {
+                    format!("http://site{i}.com/page")
+                }
+            })
+            .collect();
+        let urls: Vec<&str> = owned.iter().map(|s| s.as_str()).collect();
+        let batch = set.classify_batch(&urls);
+        let best = set.best_language_batch(&urls);
+        let scores = set.score_batch(&urls);
+        assert_eq!(batch.len(), urls.len());
+        for (i, url) in urls.iter().enumerate() {
+            assert_eq!(batch[i], set.classify_all(url), "{url}");
+            assert_eq!(best[i], set.best_language(url), "{url}");
+            assert_eq!(scores[i], set.score_all(url), "{url}");
+        }
     }
 }

@@ -2,9 +2,9 @@
 
 use proptest::prelude::*;
 use urlid_classifiers::{
-    CcTldClassifier, CombinationStrategy, CombinedClassifier, KNearestNeighbors, KnnConfig,
-    MaxEnt, MaxEntConfig, NaiveBayes, NaiveBayesConfig, RankOrder, RankOrderConfig,
-    RelativeEntropy, RelativeEntropyConfig, UrlClassifier, VectorClassifier,
+    CcTldClassifier, CombinationStrategy, CombinedClassifier, DecisionTree, DecisionTreeConfig,
+    KNearestNeighbors, KnnConfig, MaxEnt, MaxEntConfig, NaiveBayes, NaiveBayesConfig, RankOrder,
+    RankOrderConfig, RelativeEntropy, RelativeEntropyConfig, UrlClassifier, VectorClassifier,
 };
 use urlid_features::SparseVector;
 use urlid_lexicon::{Language, ALL_LANGUAGES};
@@ -113,5 +113,59 @@ proptest! {
         let ab = NaiveBayes::train(&pos, &neg, NaiveBayesConfig::for_dim(16));
         let ba = NaiveBayes::train(&neg, &pos, NaiveBayesConfig::for_dim(16));
         prop_assert!((ab.score(&v) + ba.score(&v)).abs() < 1e-6);
+    }
+
+    /// The sign convention every scorer must obey for the single-pass
+    /// pipeline: the binary decision is exactly "score > 0", for every
+    /// vector-space algorithm on arbitrary vectors.
+    #[test]
+    fn vector_classifiers_decide_by_score_sign(v in sparse_vec(), n in 8usize..24) {
+        let (pos, neg) = separable_training(n);
+        let nb = NaiveBayes::train(&pos, &neg, NaiveBayesConfig::for_dim(16));
+        let re = RelativeEntropy::train(&pos, &neg, RelativeEntropyConfig::for_dim(16));
+        let me = MaxEnt::train(&pos, &neg, MaxEntConfig::with_iterations(16, 10));
+        let knn = KNearestNeighbors::train(&pos, &neg, KnnConfig { k: 3 });
+        let ro = RankOrder::train(&pos, &neg, RankOrderConfig::default());
+        let dt = DecisionTree::train(&pos, &neg, DecisionTreeConfig::for_dim(16));
+        let classifiers: [(&str, &dyn VectorClassifier); 6] = [
+            ("nb", &nb),
+            ("re", &re),
+            ("me", &me),
+            ("knn", &knn),
+            ("ro", &ro),
+            ("dt", &dt),
+        ];
+        for (name, classifier) in classifiers {
+            prop_assert_eq!(
+                classifier.classify(&v),
+                classifier.score(&v) > 0.0,
+                "{} breaks the sign convention",
+                name
+            );
+        }
+    }
+
+    /// The same convention on the raw-URL adapter path: `classify_url`
+    /// must equal `score_url > 0` for the ccTLD baselines and for both
+    /// pairwise combination strategies, on arbitrary URL inputs.
+    #[test]
+    fn url_classifiers_decide_by_score_sign(url in ".{0,80}") {
+        for lang in ALL_LANGUAGES {
+            for clf in [CcTldClassifier::cctld(lang), CcTldClassifier::cctld_plus(lang)] {
+                prop_assert_eq!(clf.classify_url(&url), clf.score_url(&url) > 0.0, "{}", lang);
+            }
+        }
+        let or = CombinedClassifier::new(
+            CcTldClassifier::cctld(Language::German),
+            CcTldClassifier::cctld_plus(Language::English),
+            CombinationStrategy::RecallImprovement,
+        );
+        let and = CombinedClassifier::new(
+            CcTldClassifier::cctld(Language::German),
+            CcTldClassifier::cctld_plus(Language::English),
+            CombinationStrategy::PrecisionImprovement,
+        );
+        prop_assert_eq!(or.classify_url(&url), or.score_url(&url) > 0.0);
+        prop_assert_eq!(and.classify_url(&url), and.score_url(&url) > 0.0);
     }
 }

@@ -62,7 +62,8 @@ impl Args {
     }
 
     fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required flag --{key}\n\n{USAGE}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required flag --{key}\n\n{USAGE}"))
     }
 }
 
@@ -71,7 +72,11 @@ fn parse_training_config(args: &Args) -> Result<TrainingConfig, String> {
         "words" => FeatureSetKind::Words,
         "trigrams" => FeatureSetKind::Trigrams,
         "custom" => FeatureSetKind::Custom,
-        other => return Err(format!("unknown feature set {other:?} (words|trigrams|custom)")),
+        other => {
+            return Err(format!(
+                "unknown feature set {other:?} (words|trigrams|custom)"
+            ))
+        }
     };
     let algorithm = match args.get("algorithm").unwrap_or("nb") {
         "nb" | "naive-bayes" => Algorithm::NaiveBayes,
@@ -100,8 +105,16 @@ fn save_json<T: serde::Serialize>(path: &std::path::Path, value: &T) -> Result<(
 
 fn cmd_generate(args: &Args) -> Result<(), String> {
     let out_dir = std::path::PathBuf::from(args.require("out")?);
-    let seed: u64 = args.get("seed").unwrap_or("42").parse().map_err(|_| "bad --seed")?;
-    let scale: f64 = args.get("scale").unwrap_or("0.02").parse().map_err(|_| "bad --scale")?;
+    let seed: u64 = args
+        .get("seed")
+        .unwrap_or("42")
+        .parse()
+        .map_err(|_| "bad --seed")?;
+    let scale: f64 = args
+        .get("scale")
+        .unwrap_or("0.02")
+        .parse()
+        .map_err(|_| "bad --scale")?;
     std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
     let corpus = PaperCorpus::generate(seed, CorpusScale(scale));
     save_json(&out_dir.join("odp-train.json"), &corpus.odp.train)?;
@@ -109,7 +122,10 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     save_json(&out_dir.join("ser-train.json"), &corpus.ser.train)?;
     save_json(&out_dir.join("ser-test.json"), &corpus.ser.test)?;
     save_json(&out_dir.join("web-crawl.json"), &corpus.web_crawl)?;
-    save_json(&out_dir.join("combined-train.json"), &corpus.combined_training())?;
+    save_json(
+        &out_dir.join("combined-train.json"),
+        &corpus.combined_training(),
+    )?;
     eprintln!(
         "wrote 6 data sets to {} ({} training URLs in combined-train.json)",
         out_dir.display(),
@@ -126,7 +142,9 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     bundle.save(out).map_err(|e| e.to_string())?;
     eprintln!(
         "trained {} + {} on {} URLs -> {out}",
-        config.feature_set, config.algorithm, data.len()
+        config.feature_set,
+        config.algorithm,
+        data.len()
     );
     Ok(())
 }

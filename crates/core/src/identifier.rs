@@ -51,27 +51,28 @@ impl LanguageIdentifier {
         &self.set
     }
 
-    /// The single binary decision "is this URL in `lang`?".
+    /// The single binary decision "is this URL in `lang`?" (one feature
+    /// extraction at most).
     pub fn is_language(&self, url: &str, lang: Language) -> bool {
-        self.set
-            .get(lang)
-            .map(|c| c.classify_url(url))
-            .unwrap_or(false)
+        self.set.classify(url, lang)
     }
 
     /// All languages whose binary classifier accepts the URL (possibly
-    /// empty, possibly several — the paper's multi-label setting).
+    /// empty, possibly several — the paper's multi-label setting). One
+    /// feature extraction for all five decisions.
     pub fn languages_of(&self, url: &str) -> Vec<Language> {
         self.set.languages_of(url)
     }
 
     /// The most likely language of the URL, or `None` if no classifier is
-    /// available.
+    /// available. One feature extraction for all five scores.
     pub fn identify(&self, url: &str) -> Option<Language> {
         self.set.best_language(url)
     }
 
-    /// Batch identification.
+    /// Batch identification over any URL iterator (sequential; one
+    /// extraction per URL). For large slices prefer
+    /// [`LanguageIdentifier::identify_batch`], which also parallelises.
     pub fn identify_all<'a, I>(&self, urls: I) -> Vec<Option<Language>>
     where
         I: IntoIterator<Item = &'a str>,
@@ -79,12 +80,23 @@ impl LanguageIdentifier {
         urls.into_iter().map(|u| self.identify(u)).collect()
     }
 
+    /// High-throughput batch identification: one feature extraction per
+    /// URL, URLs fanned out over all CPU cores, reusable per-thread
+    /// scratch buffers (zero per-URL tokenisation allocations). This is
+    /// the crawler-frontier entry point.
+    pub fn identify_batch(&self, urls: &[&str]) -> Vec<Option<Language>> {
+        self.set.best_language_batch(urls)
+    }
+
     /// Filter URLs to those (probably) written in `lang` — the crawler
-    /// quota use-case from the paper's introduction.
+    /// quota use-case from the paper's introduction. Uses the parallel
+    /// batch path.
     pub fn filter_by_language<'a>(&self, urls: &[&'a str], lang: Language) -> Vec<&'a str> {
+        let decisions = self.set.classify_batch(urls);
         urls.iter()
-            .copied()
-            .filter(|u| self.is_language(u, lang))
+            .zip(&decisions)
+            .filter(|(_, d)| d[lang.index()])
+            .map(|(u, _)| *u)
             .collect()
     }
 
@@ -95,15 +107,16 @@ impl LanguageIdentifier {
     }
 
     /// Per-language acceptance counts over a stream of URLs (useful for
-    /// monitoring a crawl frontier).
+    /// monitoring a crawl frontier). One extraction per URL.
     pub fn language_histogram<'a, I>(&self, urls: I) -> [usize; 5]
     where
         I: IntoIterator<Item = &'a str>,
     {
         let mut out = [0usize; 5];
         for url in urls {
+            let decisions = self.set.classify_all(url);
             for lang in ALL_LANGUAGES {
-                if self.is_language(url, lang) {
+                if decisions[lang.index()] {
                     out[lang.index()] += 1;
                 }
             }
@@ -182,7 +195,10 @@ mod tests {
             set,
             TrainingConfig::new(FeatureSetKind::Words, Algorithm::CcTld),
         );
-        assert_eq!(id.identify("http://www.esempio.it/"), Some(Language::Italian));
+        assert_eq!(
+            id.identify("http://www.esempio.it/"),
+            Some(Language::Italian)
+        );
         assert_eq!(id.config().algorithm, Algorithm::CcTld);
         assert!(id.classifier_set().contains(Language::Italian));
         let batch = id.identify_all(["http://www.beispiel.de/", "http://www.exemple.fr/"]);

@@ -68,8 +68,8 @@ pub mod prelude {
         Algorithm, CcTldClassifier, CombinationStrategy, LanguageClassifierSet, UrlClassifier,
     };
     pub use urlid_corpus::{
-        attach_content, odp_dataset, ser_dataset, web_crawl_dataset, ContentGenerator,
-        CorpusScale, PaperCorpus, SimulatedHuman, UrlGenerator,
+        attach_content, odp_dataset, ser_dataset, web_crawl_dataset, ContentGenerator, CorpusScale,
+        PaperCorpus, SimulatedHuman, UrlGenerator,
     };
     pub use urlid_eval::{
         evaluate_annotations, evaluate_classifier_set, ConfusionMatrix, EvaluationResult,

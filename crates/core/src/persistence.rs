@@ -13,12 +13,12 @@
 //! from two bundles).
 
 use crate::identifier::LanguageIdentifier;
-use crate::trainer::{sample_vectors, train_model, AnyExtractor, AnyModel, TrainedUrlClassifier, TrainingConfig};
+use crate::trainer::{sample_vectors, train_model, AnyExtractor, AnyModel, TrainingConfig};
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::Path;
 use std::sync::Arc;
-use urlid_classifiers::{Algorithm, LanguageClassifierSet, UrlClassifier, VectorClassifier};
+use urlid_classifiers::{Algorithm, LanguageClassifierSet, VectorClassifier};
 use urlid_features::{Dataset, FeatureExtractor};
 use urlid_lexicon::{Language, ALL_LANGUAGES};
 
@@ -99,20 +99,17 @@ impl ModelBundle {
         self.models[lang.index()].classify(&v)
     }
 
-    /// Convert into a ready-to-use [`LanguageIdentifier`].
+    /// Convert into a ready-to-use [`LanguageIdentifier`] on the
+    /// single-pass scoring pipeline (one shared extractor, five vector
+    /// models).
     pub fn into_identifier(self) -> LanguageIdentifier {
         let extractor = Arc::new(self.extractor);
-        let mut models = self.models;
-        // Drain in reverse so we can pop per language index.
-        let mut per_lang: Vec<Option<AnyModel>> = models.drain(..).map(Some).collect();
-        let set = LanguageClassifierSet::build(|lang| {
+        let mut per_lang: Vec<Option<AnyModel>> = self.models.into_iter().map(Some).collect();
+        let set = LanguageClassifierSet::build_vector(Arc::clone(&extractor) as _, |lang| {
             let model = per_lang[lang.index()]
                 .take()
                 .expect("bundle has one model per language");
-            Box::new(TrainedUrlClassifier {
-                extractor: Arc::clone(&extractor),
-                model,
-            }) as Box<dyn UrlClassifier>
+            Box::new(model) as Box<dyn VectorClassifier>
         });
         LanguageIdentifier::from_classifier_set(set, self.config)
     }
@@ -218,7 +215,10 @@ mod tests {
             &TrainingConfig::new(FeatureSetKind::Words, Algorithm::CcTld),
         )
         .unwrap_err();
-        assert!(matches!(err, PersistenceError::NotPersistable(Algorithm::CcTld)));
+        assert!(matches!(
+            err,
+            PersistenceError::NotPersistable(Algorithm::CcTld)
+        ));
         assert!(err.to_string().contains("ccTLD"));
     }
 

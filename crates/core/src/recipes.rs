@@ -11,14 +11,21 @@
 //!
 //! [`train_best_combination`] trains exactly those pairs (one combination
 //! per language, used for all three test sets, as in the paper) and wires
-//! them with [`urlid_classifiers::CombinedClassifier`].
+//! them with [`urlid_classifiers::CombinedVectorClassifier`] (same
+//! feature space on both sides) or
+//! [`urlid_classifiers::CombinedHybridClassifier`] (mixed feature
+//! spaces), so the word extraction is shared across all five languages.
 
-use crate::trainer::{train_language_classifier, TrainingConfig};
-use urlid_classifiers::{
-    Algorithm, CombinationStrategy, CombinedClassifier, LanguageClassifierSet,
+use crate::trainer::{
+    sample_vectors, train_language_classifier, train_model, AnyExtractor, TrainingConfig,
 };
-use urlid_features::{Dataset, FeatureSetKind};
-use urlid_lexicon::Language;
+use std::sync::Arc;
+use urlid_classifiers::{
+    Algorithm, CombinationStrategy, CombinedHybridClassifier, CombinedVectorClassifier,
+    LanguageClassifierSet,
+};
+use urlid_features::{Dataset, FeatureExtractor, FeatureSetKind};
+use urlid_lexicon::{Language, ALL_LANGUAGES};
 
 /// The recipe for one language: (main, helper, strategy).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,21 +70,68 @@ pub fn paper_recipe(lang: Language) -> CombinationRecipe {
 /// Train the full best-combination classifier set on `training`.
 ///
 /// `seed` controls the negative sampling of every constituent classifier.
+///
+/// Every recipe has a word-feature constituent ("in all combinations at
+/// least one algorithm used word features"), so the returned set's
+/// shared extractor is the word extractor and **word features are
+/// extracted exactly once per URL**:
+///
+/// * English and German pair two word-feature models and combine at the
+///   vector level ([`CombinedVectorClassifier`]);
+/// * French, Spanish and Italian pair a second-feature-space main
+///   (which performs its own trigram extraction from the URL) with a
+///   word-feature helper that reuses the shared word vector
+///   ([`CombinedHybridClassifier`]).
 pub fn train_best_combination(training: &Dataset, seed: u64) -> LanguageClassifierSet {
-    LanguageClassifierSet::build(|lang| {
+    let mut word_extractor = AnyExtractor::build(&TrainingConfig::new(
+        FeatureSetKind::Words,
+        Algorithm::MaxEnt,
+    ));
+    word_extractor.fit(&training.urls);
+    let word_extractor = Arc::new(word_extractor);
+    let mut set = LanguageClassifierSet::with_extractor(Arc::clone(&word_extractor) as _);
+    for lang in ALL_LANGUAGES {
         let recipe = paper_recipe(lang);
-        let main = train_language_classifier(
-            training,
-            lang,
-            &TrainingConfig::new(recipe.main.0, recipe.main.1).with_seed(seed),
-        );
-        let helper = train_language_classifier(
-            training,
-            lang,
-            &TrainingConfig::new(recipe.helper.0, recipe.helper.1).with_seed(seed.wrapping_add(1)),
-        );
-        Box::new(CombinedClassifier::new(main, helper, recipe.strategy))
-    })
+        let main_config = TrainingConfig::new(recipe.main.0, recipe.main.1).with_seed(seed);
+        let helper_config =
+            TrainingConfig::new(recipe.helper.0, recipe.helper.1).with_seed(seed.wrapping_add(1));
+        if recipe.main.0 == FeatureSetKind::Words && recipe.helper.0 == FeatureSetKind::Words {
+            // Same feature space: train both models against the shared
+            // extractor and combine their scores.
+            let dim = word_extractor.dim();
+            let (positives, negatives) =
+                sample_vectors(training, &word_extractor, lang, &main_config);
+            let main = train_model(&positives, &negatives, dim, &main_config);
+            let (positives, negatives) =
+                sample_vectors(training, &word_extractor, lang, &helper_config);
+            let helper = train_model(&positives, &negatives, dim, &helper_config);
+            set.insert_model(
+                lang,
+                Box::new(CombinedVectorClassifier::new(main, helper, recipe.strategy)),
+            );
+        } else {
+            // Mixed feature spaces: the main constituent extracts its own
+            // (trigram) features from the URL; the word-feature helper
+            // scores the set's shared word vector instead of
+            // re-extracting (the paper guarantees the helper side is
+            // always word features, asserted by the recipe tests).
+            assert_eq!(
+                recipe.helper.0,
+                FeatureSetKind::Words,
+                "mixed recipes keep word features on the helper side"
+            );
+            let main = train_language_classifier(training, lang, &main_config);
+            let dim = word_extractor.dim();
+            let (positives, negatives) =
+                sample_vectors(training, &word_extractor, lang, &helper_config);
+            let helper = train_model(&positives, &negatives, dim, &helper_config);
+            set.insert_hybrid(
+                lang,
+                Box::new(CombinedHybridClassifier::new(main, helper, recipe.strategy)),
+            );
+        }
+    }
+    set
 }
 
 #[cfg(test)]
@@ -95,7 +149,10 @@ mod tests {
             "English and German share a recipe"
         );
         let fr = paper_recipe(Language::French);
-        assert_eq!(fr.main, (FeatureSetKind::Trigrams, Algorithm::RelativeEntropy));
+        assert_eq!(
+            fr.main,
+            (FeatureSetKind::Trigrams, Algorithm::RelativeEntropy)
+        );
         assert_eq!(fr.helper, (FeatureSetKind::Words, Algorithm::NaiveBayes));
         assert_eq!(fr.strategy, CombinationStrategy::RecallImprovement);
         let sp = paper_recipe(Language::Spanish);

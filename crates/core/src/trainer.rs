@@ -146,6 +146,17 @@ impl FeatureExtractor for AnyExtractor {
             AnyExtractor::Custom(e) => e.transform(url),
         }
     }
+    fn transform_with(
+        &self,
+        url: &str,
+        scratch: &mut urlid_features::ExtractScratch,
+    ) -> SparseVector {
+        match self {
+            AnyExtractor::Words(e) => e.transform_with(url, scratch),
+            AnyExtractor::Trigrams(e) => e.transform_with(url, scratch),
+            AnyExtractor::Custom(e) => e.transform_with(url, scratch),
+        }
+    }
     fn transform_training(&self, example: &urlid_features::LabeledUrl) -> SparseVector {
         match self {
             AnyExtractor::Words(e) => e.transform_training(example),
@@ -221,7 +232,7 @@ pub(crate) fn sample_vectors(
     lang: Language,
     config: &TrainingConfig,
 ) -> (Vec<SparseVector>, Vec<SparseVector>) {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ (lang.index() as u64 + 1) * 0x9E37_79B9);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ ((lang.index() as u64 + 1) * 0x9E37_79B9));
     let mut positives = Vec::new();
     let mut negative_pool: Vec<&urlid_features::LabeledUrl> = Vec::new();
     for example in &training.urls {
@@ -313,6 +324,11 @@ pub fn train_language_classifier(
 }
 
 /// Train all five binary classifiers (sharing one fitted extractor).
+///
+/// The returned set holds the extractor *once* and five
+/// [`VectorClassifier`] models, so classification extracts features
+/// exactly once per URL and scores all languages from the same vector
+/// (the single-pass pipeline).
 pub fn train_classifier_set(training: &Dataset, config: &TrainingConfig) -> LanguageClassifierSet {
     match config.algorithm {
         Algorithm::CcTld | Algorithm::CcTldPlus => {
@@ -325,13 +341,9 @@ pub fn train_classifier_set(training: &Dataset, config: &TrainingConfig) -> Lang
     let mut extractor = AnyExtractor::build(config);
     extractor.fit(&training.urls);
     let extractor = Arc::new(extractor);
-    LanguageClassifierSet::build(|lang| {
+    LanguageClassifierSet::build_vector(Arc::clone(&extractor) as _, |lang| {
         let (positives, negatives) = sample_vectors(training, &extractor, lang, config);
-        let model = train_model(&positives, &negatives, extractor.dim(), config);
-        Box::new(TrainedUrlClassifier {
-            extractor: Arc::clone(&extractor),
-            model,
-        })
+        Box::new(train_model(&positives, &negatives, extractor.dim(), config))
     })
 }
 
@@ -362,7 +374,11 @@ mod tests {
     #[test]
     fn every_algorithm_and_feature_set_trains_and_beats_chance() {
         let (train, test) = tiny_corpus();
-        for feature_set in [FeatureSetKind::Words, FeatureSetKind::Trigrams, FeatureSetKind::Custom] {
+        for feature_set in [
+            FeatureSetKind::Words,
+            FeatureSetKind::Trigrams,
+            FeatureSetKind::Custom,
+        ] {
             for algorithm in [Algorithm::NaiveBayes, Algorithm::RelativeEntropy] {
                 let config = TrainingConfig::new(feature_set, algorithm);
                 let set = train_classifier_set(&train, &config);
@@ -403,7 +419,7 @@ mod tests {
         ] {
             assert_eq!(
                 single.classify_url(url),
-                set.get(Language::German).unwrap().classify_url(url),
+                set.classify(url, Language::German),
                 "{url}"
             );
         }

@@ -24,11 +24,21 @@ use urlid_lexicon::{wordlists, Language};
 /// French/Spanish "de", German "es", Italian "no"/"due".
 fn function_words(lang: Language) -> &'static [&'static str] {
     match lang {
-        Language::English => &["it", "is", "in", "to", "of", "on", "at", "as", "be", "us", "we", "a"],
-        Language::German => &["es", "im", "am", "zu", "an", "um", "so", "da", "wir", "ich", "er"],
-        Language::French => &["de", "le", "la", "et", "en", "du", "au", "il", "on", "ce", "se"],
-        Language::Spanish => &["de", "la", "el", "en", "es", "se", "un", "lo", "al", "su", "no"],
-        Language::Italian => &["di", "la", "il", "in", "un", "al", "si", "no", "da", "se", "lo"],
+        Language::English => &[
+            "it", "is", "in", "to", "of", "on", "at", "as", "be", "us", "we", "a",
+        ],
+        Language::German => &[
+            "es", "im", "am", "zu", "an", "um", "so", "da", "wir", "ich", "er",
+        ],
+        Language::French => &[
+            "de", "le", "la", "et", "en", "du", "au", "il", "on", "ce", "se",
+        ],
+        Language::Spanish => &[
+            "de", "la", "el", "en", "es", "se", "un", "lo", "al", "su", "no",
+        ],
+        Language::Italian => &[
+            "di", "la", "il", "in", "un", "al", "si", "no", "da", "se", "lo",
+        ],
     }
 }
 
@@ -59,7 +69,9 @@ impl ContentGenerator {
     /// words — the paper strips HTML before training, so we never generate
     /// markup in the first place).
     pub fn generate(&mut self, lang: Language) -> String {
-        let len = self.rng.random_range(self.mean_words / 2..=self.mean_words * 3 / 2);
+        let len = self
+            .rng
+            .random_range(self.mean_words / 2..=self.mean_words * 3 / 2);
         let mut words = Vec::with_capacity(len);
         for _ in 0..len {
             let r: f64 = self.rng.random();
@@ -108,11 +120,17 @@ mod tests {
         let mut g = ContentGenerator::new(3, 400);
         let mut hits = 0;
         for _ in 0..20 {
-            if g.generate(Language::English).split_whitespace().any(|w| w == "it") {
+            if g.generate(Language::English)
+                .split_whitespace()
+                .any(|w| w == "it")
+            {
                 hits += 1;
             }
         }
-        assert!(hits >= 18, "'it' should appear in almost every English page, got {hits}/20");
+        assert!(
+            hits >= 18,
+            "'it' should appear in almost every English page, got {hits}/20"
+        );
     }
 
     #[test]
@@ -129,12 +147,22 @@ mod tests {
         // The dominant vocabulary of a German page should be German.
         let mut g = ContentGenerator::new(5, 300);
         let text = g.generate(Language::German);
-        let german: std::collections::HashSet<&str> =
-            wordlists::words_for(Language::German).iter().copied().collect();
-        let italian: std::collections::HashSet<&str> =
-            wordlists::words_for(Language::Italian).iter().copied().collect();
-        let de_hits = text.split_whitespace().filter(|w| german.contains(w)).count();
-        let it_hits = text.split_whitespace().filter(|w| italian.contains(w)).count();
+        let german: std::collections::HashSet<&str> = wordlists::words_for(Language::German)
+            .iter()
+            .copied()
+            .collect();
+        let italian: std::collections::HashSet<&str> = wordlists::words_for(Language::Italian)
+            .iter()
+            .copied()
+            .collect();
+        let de_hits = text
+            .split_whitespace()
+            .filter(|w| german.contains(w))
+            .count();
+        let it_hits = text
+            .split_whitespace()
+            .filter(|w| italian.contains(w))
+            .count();
         assert!(de_hits > 5 * it_hits.max(1), "de {de_hits} vs it {it_hits}");
     }
 

@@ -203,7 +203,10 @@ mod tests {
         assert_eq!(odp.train.language_counts(), [per_lang_train; 5]);
         assert_eq!(odp.test.language_counts(), [per_lang_test; 5]);
         let ser = ser_dataset(&mut g, CorpusScale::tiny());
-        assert_eq!(ser.train.len(), 5 * CorpusScale::tiny().apply(SER_TRAIN_PER_LANGUAGE));
+        assert_eq!(
+            ser.train.len(),
+            5 * CorpusScale::tiny().apply(SER_TRAIN_PER_LANGUAGE)
+        );
     }
 
     #[test]
@@ -275,7 +278,10 @@ mod tests {
             })
             .count();
         let frac = seen as f64 / odp.test.len() as f64;
-        assert!(frac > 0.4, "expected substantial domain overlap, got {frac:.2}");
+        assert!(
+            frac > 0.4,
+            "expected substantial domain overlap, got {frac:.2}"
+        );
         assert!(frac < 0.99, "but not total overlap, got {frac:.2}");
     }
 }

@@ -28,10 +28,14 @@ use rand::{Rng, SeedableRng};
 use urlid_lexicon::{cctld::CcTldTable, cities, wordlists, Language, ALL_LANGUAGES};
 
 /// TLDs assigned to none of the five languages (and not com/org/net).
-const OTHER_TLDS: &[&str] = &["ru", "jp", "ch", "nl", "se", "pl", "cz", "pt", "eu", "info", "biz"];
+const OTHER_TLDS: &[&str] = &[
+    "ru", "jp", "ch", "nl", "se", "pl", "cz", "pt", "eu", "info", "biz",
+];
 
 /// Subdomain words occasionally prepended to hosts.
-const GENERIC_SUBDOMAINS: &[&str] = &["shop", "forum", "news", "blog", "mail", "web", "online", "home"];
+const GENERIC_SUBDOMAINS: &[&str] = &[
+    "shop", "forum", "news", "blog", "mail", "web", "online", "home",
+];
 
 /// Path file extensions.
 const EXTENSIONS: &[&str] = &["html", "htm", "php", "asp", "shtml"];
@@ -87,8 +91,7 @@ impl UrlGenerator {
     pub fn generate(&mut self, lang: Language, profile: &DatasetProfile) -> String {
         let lp = *profile.language(lang);
         // Lexical language: non-English URLs may "look English".
-        let english_looking =
-            lang != Language::English && self.rng.random_bool(lp.english_looking);
+        let english_looking = lang != Language::English && self.rng.random_bool(lp.english_looking);
         let lex = if english_looking {
             Language::English
         } else {
@@ -103,7 +106,11 @@ impl UrlGenerator {
         } else {
             String::new()
         };
-        let www = if self.rng.random_bool(0.55) { "www." } else { "" };
+        let www = if self.rng.random_bool(0.55) {
+            "www."
+        } else {
+            ""
+        };
         format!("http://{www}{host}{path}{query}")
     }
 
@@ -157,11 +164,7 @@ impl UrlGenerator {
             // the training data (Section 5.1 / Section 6 of the paper).
             morphology::pick(&mut self.rng, &self.stem_pools[lang.index()]).clone()
         } else if self.rng.random_bool(lp.hyphenation) {
-            format!(
-                "{}-{}",
-                self.pick_word(lex),
-                self.pick_word(lex)
-            )
+            format!("{}-{}", self.pick_word(lex), self.pick_word(lex))
         } else {
             morphology::host_stem(&mut self.rng, lex)
         };
@@ -307,9 +310,8 @@ mod tests {
         let mut g = UrlGenerator::new(11);
         let profile = DatasetProfile::odp();
         let n = 2000;
-        let hyphens = |urls: &[String]| -> usize {
-            urls.iter().map(|u| u.matches('-').count()).sum()
-        };
+        let hyphens =
+            |urls: &[String]| -> usize { urls.iter().map(|u| u.matches('-').count()).sum() };
         let de = hyphens(&g.generate_many(Language::German, &profile, n));
         let en = hyphens(&g.generate_many(Language::English, &profile, n));
         assert!(
@@ -342,23 +344,41 @@ mod tests {
         let profile = DatasetProfile::web_crawl();
         let urls = g.generate_many(Language::Spanish, &profile, 1500);
         let english_words: std::collections::HashSet<&str> =
-            wordlists::words_for(Language::English).iter().copied().collect();
+            wordlists::words_for(Language::English)
+                .iter()
+                .copied()
+                .collect();
         let spanish_words: std::collections::HashSet<&str> =
-            wordlists::words_for(Language::Spanish).iter().copied().collect();
+            wordlists::words_for(Language::Spanish)
+                .iter()
+                .copied()
+                .collect();
         let mut english_looking = 0;
         let mut spanish_looking = 0;
         for u in &urls {
             let tokens = urlid_tokenize::tokenize_url(u);
-            let en_hits = tokens.iter().filter(|t| english_words.contains(t.as_str())).count();
-            let es_hits = tokens.iter().filter(|t| spanish_words.contains(t.as_str())).count();
+            let en_hits = tokens
+                .iter()
+                .filter(|t| english_words.contains(t.as_str()))
+                .count();
+            let es_hits = tokens
+                .iter()
+                .filter(|t| spanish_words.contains(t.as_str()))
+                .count();
             if en_hits > es_hits {
                 english_looking += 1;
             } else if es_hits > en_hits {
                 spanish_looking += 1;
             }
         }
-        assert!(english_looking > urls.len() / 10, "too few English-looking Spanish URLs: {english_looking}");
-        assert!(spanish_looking > urls.len() / 4, "Spanish URLs should still usually look Spanish: {spanish_looking}");
+        assert!(
+            english_looking > urls.len() / 10,
+            "too few English-looking Spanish URLs: {english_looking}"
+        );
+        assert!(
+            spanish_looking > urls.len() / 4,
+            "Spanish URLs should still usually look Spanish: {spanish_looking}"
+        );
     }
 
     #[test]

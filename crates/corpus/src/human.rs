@@ -222,7 +222,11 @@ mod tests {
         let a1 = h1.annotate_all(&urls);
         let a2 = h2.annotate_all(&urls);
         let agree = a1.iter().zip(&a2).filter(|(x, y)| x == y).count();
-        assert!(agree > urls.len() / 2, "evaluators agree on most URLs ({agree}/{})", urls.len());
+        assert!(
+            agree > urls.len() / 2,
+            "evaluators agree on most URLs ({agree}/{})",
+            urls.len()
+        );
         assert!(agree < urls.len(), "but not on every URL");
     }
 }

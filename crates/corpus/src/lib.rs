@@ -40,7 +40,9 @@ pub mod morphology;
 pub mod profiles;
 
 pub use content::ContentGenerator;
-pub use datasets::{attach_content, odp_dataset, ser_dataset, web_crawl_dataset, CorpusScale, PaperCorpus};
+pub use datasets::{
+    attach_content, odp_dataset, ser_dataset, web_crawl_dataset, CorpusScale, PaperCorpus,
+};
 pub use generator::UrlGenerator;
 pub use human::SimulatedHuman;
 pub use profiles::{DatasetKind, DatasetProfile, LanguageProfile};

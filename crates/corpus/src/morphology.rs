@@ -17,11 +17,19 @@ use urlid_lexicon::{wordlists, Language};
 /// out-of-dictionary tokens.
 fn suffixes(lang: Language) -> &'static [&'static str] {
     match lang {
-        Language::English => &["ing", "tion", "ness", "ship", "land", "ville", "ware", "hub", "ly"],
-        Language::German => &["ung", "heit", "keit", "schaft", "haus", "werk", "markt", "welt", "stadt"],
+        Language::English => &[
+            "ing", "tion", "ness", "ship", "land", "ville", "ware", "hub", "ly",
+        ],
+        Language::German => &[
+            "ung", "heit", "keit", "schaft", "haus", "werk", "markt", "welt", "stadt",
+        ],
         Language::French => &["eux", "tion", "ment", "erie", "age", "aire", "eau", "ois"],
-        Language::Spanish => &["cion", "dad", "ero", "ista", "illo", "anza", "miento", "eria"],
-        Language::Italian => &["zione", "mente", "issimo", "eria", "etto", "aggio", "anza", "ino"],
+        Language::Spanish => &[
+            "cion", "dad", "ero", "ista", "illo", "anza", "miento", "eria",
+        ],
+        Language::Italian => &[
+            "zione", "mente", "issimo", "eria", "etto", "aggio", "anza", "ino",
+        ],
     }
 }
 
@@ -29,9 +37,26 @@ fn suffixes(lang: Language) -> &'static [&'static str] {
 /// (international platforms hosting pages of many languages, such as the
 /// paper's `wordpress.com` example).
 pub const SHARED_HOST_STEMS: &[&str] = &[
-    "wordpress", "blogspot", "tripod", "geocities", "angelfire", "freehosting", "netfirms",
-    "homestead", "webnode", "jimdo", "weebly", "altervista", "lycos", "tiscali", "myblog",
-    "freeweb", "narod", "interfree", "chez", "ifrance",
+    "wordpress",
+    "blogspot",
+    "tripod",
+    "geocities",
+    "angelfire",
+    "freehosting",
+    "netfirms",
+    "homestead",
+    "webnode",
+    "jimdo",
+    "weebly",
+    "altervista",
+    "lycos",
+    "tiscali",
+    "myblog",
+    "freeweb",
+    "narod",
+    "interfree",
+    "chez",
+    "ifrance",
 ];
 
 /// Deterministically pick an element of a slice using the RNG.
@@ -116,7 +141,10 @@ mod tests {
                 long += 1;
             }
         }
-        assert!(long > 80, "German should produce many long compounds, got {long}");
+        assert!(
+            long > 80,
+            "German should produce many long compounds, got {long}"
+        );
     }
 
     #[test]

@@ -41,11 +41,16 @@ impl EvaluationResult {
 }
 
 /// Evaluate a [`LanguageClassifierSet`] on a labelled test set.
+///
+/// Runs on the single-pass batch pipeline: one feature extraction per
+/// test URL, URLs fanned out over all CPU cores.
 pub fn evaluate_classifier_set(set: &LanguageClassifierSet, test: &Dataset) -> EvaluationResult {
+    let urls: Vec<&str> = test.urls.iter().map(|u| u.url.as_str()).collect();
     let decisions: Vec<(Language, [bool; 5])> = test
         .urls
         .iter()
-        .map(|u| (u.language, set.classify_all(&u.url)))
+        .map(|u| u.language)
+        .zip(set.classify_batch(&urls))
         .collect();
     accumulate(&test.name, decisions)
 }
@@ -79,8 +84,7 @@ fn accumulate(name: &str, decisions: Vec<(Language, [bool; 5])>) -> EvaluationRe
     for (true_lang, decision) in decisions {
         result.confusion.record(true_lang, decision);
         for lang in ALL_LANGUAGES {
-            result.counts[lang.index()]
-                .record(true_lang == lang, decision[lang.index()]);
+            result.counts[lang.index()].record(true_lang == lang, decision[lang.index()]);
         }
     }
     result
@@ -98,12 +102,24 @@ mod tests {
 
     fn tiny_test_set() -> Dataset {
         let mut d = Dataset::new("tiny");
-        d.urls.push(LabeledUrl::new("http://www.beispiel.de/", Language::German));
-        d.urls.push(LabeledUrl::new("http://www.beispiel2.de/", Language::German));
-        d.urls.push(LabeledUrl::new("http://www.deutsch.com/", Language::German));
-        d.urls.push(LabeledUrl::new("http://www.exemple.fr/", Language::French));
-        d.urls.push(LabeledUrl::new("http://www.example.co.uk/", Language::English));
-        d.urls.push(LabeledUrl::new("http://www.example2.com/", Language::English));
+        d.urls
+            .push(LabeledUrl::new("http://www.beispiel.de/", Language::German));
+        d.urls.push(LabeledUrl::new(
+            "http://www.beispiel2.de/",
+            Language::German,
+        ));
+        d.urls
+            .push(LabeledUrl::new("http://www.deutsch.com/", Language::German));
+        d.urls
+            .push(LabeledUrl::new("http://www.exemple.fr/", Language::French));
+        d.urls.push(LabeledUrl::new(
+            "http://www.example.co.uk/",
+            Language::English,
+        ));
+        d.urls.push(LabeledUrl::new(
+            "http://www.example2.com/",
+            Language::English,
+        ));
         d
     }
 
@@ -140,11 +156,8 @@ mod tests {
     fn annotations_path_agrees_with_classifier_path() {
         let set = cctld_set();
         let test = tiny_test_set();
-        let annotations: Vec<[bool; 5]> = test
-            .urls
-            .iter()
-            .map(|u| set.classify_all(&u.url))
-            .collect();
+        let annotations: Vec<[bool; 5]> =
+            test.urls.iter().map(|u| set.classify_all(&u.url)).collect();
         let a = evaluate_annotations(&annotations, &test);
         let b = evaluate_classifier_set(&set, &test);
         assert_eq!(a.counts, b.counts);

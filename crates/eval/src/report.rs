@@ -123,7 +123,11 @@ mod tests {
         let grid = f_measure_grid(
             "Table 8",
             &["ODP", "SER", "WC"],
-            &[[0.88, 0.94, 0.86, 0.88, 0.86], [0.94, 0.97, 0.94, 0.96, 0.97], [0.87, 0.86, 0.92, 0.88, 0.97]],
+            &[
+                [0.88, 0.94, 0.86, 0.88, 0.86],
+                [0.94, 0.97, 0.94, 0.96, 0.97],
+                [0.87, 0.86, 0.92, 0.88, 0.97],
+            ],
         );
         assert!(grid.contains("ODP"));
         assert!(grid.contains("English"));

@@ -143,16 +143,24 @@ mod tests {
         assert_eq!(curve.len(), 3);
         assert!(curve[0].1 <= curve[1].1 + 1e-9);
         assert!(curve[1].1 <= curve[2].1 + 1e-9);
-        assert!(curve[2].1 > 30.0, "full training should cover many domains: {:?}", curve);
+        assert!(
+            curve[2].1 > 30.0,
+            "full training should cover many domains: {:?}",
+            curve
+        );
         assert!(curve[2].1 <= 100.0);
     }
 
     #[test]
     fn memorization_of_disjoint_sets_is_zero() {
         let mut train = Dataset::new("train");
-        train.urls.push(LabeledUrl::new("http://only-in-train.de/", Language::German));
+        train.urls.push(LabeledUrl::new(
+            "http://only-in-train.de/",
+            Language::German,
+        ));
         let mut test = Dataset::new("test");
-        test.urls.push(LabeledUrl::new("http://only-in-test.de/", Language::German));
+        test.urls
+            .push(LabeledUrl::new("http://only-in-test.de/", Language::German));
         let curve = domain_memorization_curve(&train, &test, &[1.0]);
         assert_eq!(curve[0].1, 0.0);
     }

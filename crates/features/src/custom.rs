@@ -130,7 +130,9 @@ pub struct CustomFeatureExtractor {
 }
 
 fn default_stopword_dicts() -> DictionarySet {
-    DictionarySet::build(|lang| Dictionary::from_words(stopwords::stopwords_for(lang).iter().copied()))
+    DictionarySet::build(|lang| {
+        Dictionary::from_words(stopwords::stopwords_for(lang).iter().copied())
+    })
 }
 
 fn lossless_tokenizer() -> Tokenizer {
@@ -215,8 +217,7 @@ impl CustomFeatureExtractor {
             let wd = self.word_dicts.get(lang);
             f[base + slot::WORDS_HOST] = wd.count_hits(&host_words) as f64;
             f[base + slot::WORDS_PATH] = wd.count_hits(&path_words) as f64;
-            f[base + slot::WORDS_TOTAL] =
-                f[base + slot::WORDS_HOST] + f[base + slot::WORDS_PATH];
+            f[base + slot::WORDS_TOTAL] = f[base + slot::WORDS_HOST] + f[base + slot::WORDS_PATH];
             // City dictionary counts.
             let cd = self.city_dicts.get(lang);
             f[base + slot::CITIES_HOST] = cd.count_hits(&host_words) as f64;
@@ -285,7 +286,10 @@ impl CustomFeatureExtractor {
             let slot = index % PER_LANGUAGE_FEATURES;
             Some(format!("{}:{}", lang.iso_code(), SLOT_NAMES[slot]))
         } else if index < NUM_CUSTOM_FEATURES {
-            Some(format!("global:{}", GLOBAL_NAMES[index - 5 * PER_LANGUAGE_FEATURES]))
+            Some(format!(
+                "global:{}",
+                GLOBAL_NAMES[index - 5 * PER_LANGUAGE_FEATURES]
+            ))
         } else {
             None
         }
@@ -294,10 +298,9 @@ impl CustomFeatureExtractor {
     fn project(&self, full: Vec<f64>) -> Vec<f64> {
         match self.feature_set {
             CustomFeatureSet::Full74 => full,
-            CustomFeatureSet::Selected15 => Self::selected_indices()
-                .iter()
-                .map(|&i| full[i])
-                .collect(),
+            CustomFeatureSet::Selected15 => {
+                Self::selected_indices().iter().map(|&i| full[i]).collect()
+            }
         }
     }
 
@@ -379,7 +382,10 @@ mod tests {
     #[test]
     fn every_full_feature_has_a_name() {
         for i in 0..NUM_CUSTOM_FEATURES {
-            assert!(CustomFeatureExtractor::full_feature_name(i).is_some(), "index {i}");
+            assert!(
+                CustomFeatureExtractor::full_feature_name(i).is_some(),
+                "index {i}"
+            );
         }
         assert!(CustomFeatureExtractor::full_feature_name(NUM_CUSTOM_FEATURES).is_none());
     }
@@ -393,11 +399,26 @@ mod tests {
             .map(|&i| CustomFeatureExtractor::full_feature_name(i).unwrap())
             .collect();
         assert_eq!(
-            names.iter().filter(|n| n.contains("cctld_token_before_first_slash")).count(),
+            names
+                .iter()
+                .filter(|n| n.contains("cctld_token_before_first_slash"))
+                .count(),
             5
         );
-        assert_eq!(names.iter().filter(|n| n.contains("word_dict_hits_total")).count(), 5);
-        assert_eq!(names.iter().filter(|n| n.contains("trained_dict_hits_total")).count(), 5);
+        assert_eq!(
+            names
+                .iter()
+                .filter(|n| n.contains("word_dict_hits_total"))
+                .count(),
+            5
+        );
+        assert_eq!(
+            names
+                .iter()
+                .filter(|n| n.contains("trained_dict_hits_total"))
+                .count(),
+            5
+        );
     }
 
     #[test]
@@ -418,7 +439,11 @@ mod tests {
         let f = ex.extract_full("http://fr.search.yahoo.com/");
         let fr = Language::French.index() * PER_LANGUAGE_FEATURES;
         assert_eq!(f[fr + slot::TLD_SIMPLE], 0.0, "TLD is .com, not .fr");
-        assert_eq!(f[fr + slot::TLD_BEFORE_SLASH], 1.0, "fr label before first slash");
+        assert_eq!(
+            f[fr + slot::TLD_BEFORE_SLASH],
+            1.0,
+            "fr label before first slash"
+        );
         // And http://de.wikipedia.org counts as German before-slash.
         let f2 = ex.extract_full("http://de.wikipedia.org/wiki/Berlin");
         let de = Language::German.index() * PER_LANGUAGE_FEATURES;
@@ -430,7 +455,10 @@ mod tests {
         let ex = CustomFeatureExtractor::full();
         let f = ex.extract_full("http://www.wasserbett-kaufen.com/angebote");
         let de = Language::German.index() * PER_LANGUAGE_FEATURES;
-        assert!(f[de + slot::WORDS_TOTAL] >= 2.0, "wasserbett, kaufen, angebote are German words");
+        assert!(
+            f[de + slot::WORDS_TOTAL] >= 2.0,
+            "wasserbett, kaufen, angebote are German words"
+        );
         let en = Language::English.index() * PER_LANGUAGE_FEATURES;
         assert_eq!(f[en + slot::WORDS_TOTAL], 0.0);
     }
@@ -451,7 +479,10 @@ mod tests {
         assert_eq!(before[de + slot::TRAINED_TOTAL], 0.0);
         ex.fit(&training());
         let after = ex.extract_full("http://home.arcor.de/jemand");
-        assert!(after[de + slot::TRAINED_TOTAL] >= 1.0, "arcor learnt as German");
+        assert!(
+            after[de + slot::TRAINED_TOTAL] >= 1.0,
+            "arcor learnt as German"
+        );
     }
 
     #[test]

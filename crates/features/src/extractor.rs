@@ -2,6 +2,7 @@
 //! all three feature families.
 
 use crate::dataset::LabeledUrl;
+use crate::scratch::ExtractScratch;
 use crate::vector::SparseVector;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -69,6 +70,18 @@ pub trait FeatureExtractor: Send + Sync {
     /// [`FeatureExtractor::fit`]; unfitted extractors return empty or
     /// degenerate vectors depending on the implementation.
     fn transform(&self, url: &str) -> SparseVector;
+
+    /// Like [`FeatureExtractor::transform`], but reusing caller-owned
+    /// scratch buffers so that the batch-classification hot path performs
+    /// zero per-URL `String` allocation during tokenisation. Must return
+    /// exactly the same vector as `transform` on the same URL.
+    ///
+    /// The default implementation ignores the scratch and delegates to
+    /// `transform`; the word and trigram extractors override it.
+    fn transform_with(&self, url: &str, scratch: &mut ExtractScratch) -> SparseVector {
+        let _ = scratch;
+        self.transform(url)
+    }
 
     /// Map a *training* example (URL plus optional page content) to its
     /// feature vector. The default implementation ignores content.

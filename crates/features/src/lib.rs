@@ -29,6 +29,7 @@
 pub mod custom;
 pub mod dataset;
 pub mod extractor;
+pub mod scratch;
 pub mod trigrams;
 pub mod vector;
 pub mod vocabulary;
@@ -37,6 +38,7 @@ pub mod words;
 pub use custom::{CustomFeatureExtractor, CustomFeatureSet};
 pub use dataset::{Dataset, LabeledUrl, TrainTestSplit};
 pub use extractor::{FeatureExtractor, FeatureSetKind};
+pub use scratch::ExtractScratch;
 pub use trigrams::TrigramFeatureExtractor;
 pub use vector::SparseVector;
 pub use vocabulary::Vocabulary;

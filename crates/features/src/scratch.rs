@@ -1,0 +1,46 @@
+//! Reusable per-thread scratch buffers for allocation-free extraction.
+//!
+//! The classification hot path (a crawler filtering millions of frontier
+//! URLs) extracts features from every URL. The naive path allocates one
+//! `String` per token (or per n-gram) per URL; with a scratch buffer the
+//! tokenizer lowercases into a single reusable buffer and the vocabulary
+//! hits are collected into a reusable index buffer, so tokenisation does
+//! **zero per-URL `String` allocation**. Only the resulting
+//! [`crate::SparseVector`] is allocated (it is the returned value).
+//!
+//! One `ExtractScratch` per thread is enough; the batch classification
+//! API in `urlid-classifiers` creates one per worker thread.
+
+/// Reusable buffers threaded through [`crate::FeatureExtractor::transform_with`].
+#[derive(Debug, Default)]
+pub struct ExtractScratch {
+    /// Lowercased-token buffer (reused across tokens and URLs).
+    pub token: String,
+    /// Padded-token buffer for n-gram windows.
+    pub padded: String,
+    /// Vocabulary-index hits of the current URL.
+    pub indices: Vec<u32>,
+}
+
+impl ExtractScratch {
+    /// A fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_start_empty_and_are_reusable() {
+        let mut s = ExtractScratch::new();
+        assert!(s.token.is_empty() && s.padded.is_empty() && s.indices.is_empty());
+        s.token.push_str("abc");
+        s.indices.push(3);
+        s.indices.clear();
+        assert!(s.indices.is_empty());
+        assert!(s.indices.capacity() >= 1, "capacity is retained");
+    }
+}

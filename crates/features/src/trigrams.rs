@@ -15,6 +15,7 @@
 
 use crate::dataset::LabeledUrl;
 use crate::extractor::{FeatureExtractor, FeatureSetKind};
+use crate::scratch::ExtractScratch;
 use crate::vector::SparseVector;
 use crate::vocabulary::{Vocabulary, VocabularyBuilder};
 use serde::{Deserialize, Serialize};
@@ -116,7 +117,10 @@ impl TrigramFeatureExtractor {
             TrigramScope::WithinTokens => {
                 let mut out = Vec::new();
                 for token in self.tokenizer.iter(text) {
-                    out.extend(ngram::token_ngrams(&token.to_ascii_lowercase(), self.config.n));
+                    out.extend(ngram::token_ngrams(
+                        &token.to_ascii_lowercase(),
+                        self.config.n,
+                    ));
                 }
                 out
             }
@@ -158,6 +162,25 @@ impl FeatureExtractor for TrigramFeatureExtractor {
     fn transform(&self, url: &str) -> SparseVector {
         let grams = self.grams_of_text(url);
         self.vector_of_grams(&grams)
+    }
+
+    fn transform_with(&self, url: &str, scratch: &mut ExtractScratch) -> SparseVector {
+        if self.config.scope != TrigramScope::WithinTokens {
+            // The raw-URL ablation variant is not on the hot path.
+            return self.transform(url);
+        }
+        let ExtractScratch {
+            padded, indices, ..
+        } = scratch;
+        indices.clear();
+        for token in self.tokenizer.iter(url) {
+            ngram::for_each_token_ngram(token, self.config.n, padded, |gram| {
+                if let Some(i) = self.vocabulary.get(gram) {
+                    indices.push(i);
+                }
+            });
+        }
+        SparseVector::from_index_buffer(indices)
     }
 
     fn transform_training(&self, example: &LabeledUrl) -> SparseVector {
@@ -218,7 +241,10 @@ mod tests {
         let mut ex = TrigramFeatureExtractor::default();
         ex.fit(&training());
         let v = ex.transform("http://example.com/leather"); // unseen token "leather"
-        assert!(v.sum() > 0.0, "shared trigrams like 'the', 'her' should fire");
+        assert!(
+            v.sum() > 0.0,
+            "shared trigrams like 'the', 'her' should fire"
+        );
     }
 
     #[test]

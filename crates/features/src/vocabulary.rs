@@ -60,7 +60,10 @@ impl Vocabulary {
 
     /// Iterate over `(index, name)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
-        self.names.iter().enumerate().map(|(i, n)| (i as u32, n.as_str()))
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u32, n.as_str()))
     }
 }
 

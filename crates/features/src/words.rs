@@ -15,6 +15,7 @@
 
 use crate::dataset::LabeledUrl;
 use crate::extractor::{FeatureExtractor, FeatureSetKind};
+use crate::scratch::ExtractScratch;
 use crate::vector::SparseVector;
 use crate::vocabulary::{Vocabulary, VocabularyBuilder};
 use serde::{Deserialize, Serialize};
@@ -99,11 +100,7 @@ impl WordFeatureExtractor {
     }
 
     fn vector_of_tokens(&self, tokens: &[String]) -> SparseVector {
-        SparseVector::from_counts(
-            tokens
-                .iter()
-                .filter_map(|t| self.vocabulary.get(t)),
-        )
+        SparseVector::from_counts(tokens.iter().filter_map(|t| self.vocabulary.get(t)))
     }
 }
 
@@ -119,6 +116,17 @@ impl FeatureExtractor for WordFeatureExtractor {
     fn transform(&self, url: &str) -> SparseVector {
         let tokens = self.tokenizer.tokenize(url);
         self.vector_of_tokens(&tokens)
+    }
+
+    fn transform_with(&self, url: &str, scratch: &mut ExtractScratch) -> SparseVector {
+        let ExtractScratch { token, indices, .. } = scratch;
+        indices.clear();
+        self.tokenizer.for_each_token(url, token, |tok| {
+            if let Some(i) = self.vocabulary.get(tok) {
+                indices.push(i);
+            }
+        });
+        SparseVector::from_index_buffer(indices)
     }
 
     fn transform_training(&self, example: &LabeledUrl) -> SparseVector {

@@ -9,9 +9,18 @@ use urlid_lexicon::Language;
 
 fn small_training() -> Vec<LabeledUrl> {
     vec![
-        LabeledUrl::new("http://www.wetter-bericht.de/berlin/nachrichten", Language::German),
-        LabeledUrl::new("http://www.weather-report.co.uk/london/news", Language::English),
-        LabeledUrl::new("http://www.meteo-prevision.fr/paris/infos", Language::French),
+        LabeledUrl::new(
+            "http://www.wetter-bericht.de/berlin/nachrichten",
+            Language::German,
+        ),
+        LabeledUrl::new(
+            "http://www.weather-report.co.uk/london/news",
+            Language::English,
+        ),
+        LabeledUrl::new(
+            "http://www.meteo-prevision.fr/paris/infos",
+            Language::French,
+        ),
         LabeledUrl::new("http://www.tiempo-noticias.es/madrid", Language::Spanish),
         LabeledUrl::new("http://www.previsioni-meteo.it/roma", Language::Italian),
     ]

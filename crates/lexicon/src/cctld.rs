@@ -177,6 +177,9 @@ mod tests {
         assert!(CcTldTable::token_matches_language("DE", Language::German));
         assert!(CcTldTable::token_matches_language("fr", Language::French));
         assert!(!CcTldTable::token_matches_language("de", Language::French));
-        assert!(!CcTldTable::token_matches_language("wiki", Language::German));
+        assert!(!CcTldTable::token_matches_language(
+            "wiki",
+            Language::German
+        ));
     }
 }

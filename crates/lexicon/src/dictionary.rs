@@ -196,8 +196,14 @@ mod tests {
         let set = DictionarySet::builtin_words();
         let tokens = vec!["wasserbett", "kaufen", "the", "weather"];
         let counts = set.count_hits_all(&tokens);
-        assert!(counts[Language::German.index()] >= 1, "german should hit 'kaufen'");
-        assert!(counts[Language::English.index()] >= 2, "english should hit 'the' and 'weather'");
+        assert!(
+            counts[Language::German.index()] >= 1,
+            "german should hit 'kaufen'"
+        );
+        assert!(
+            counts[Language::English.index()] >= 2,
+            "english should hit 'the' and 'weather'"
+        );
     }
 
     #[test]

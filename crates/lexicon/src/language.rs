@@ -96,7 +96,11 @@ impl Language {
 
     /// The other four languages (useful for negative sampling).
     pub fn others(self) -> Vec<Language> {
-        ALL_LANGUAGES.iter().copied().filter(|l| *l != self).collect()
+        ALL_LANGUAGES
+            .iter()
+            .copied()
+            .filter(|l| *l != self)
+            .collect()
     }
 }
 
@@ -155,7 +159,9 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), 5);
-        assert!(codes.iter().all(|c| c.len() == 2 && c.chars().all(|ch| ch.is_ascii_lowercase())));
+        assert!(codes
+            .iter()
+            .all(|c| c.len() == 2 && c.chars().all(|ch| ch.is_ascii_lowercase())));
     }
 
     #[test]

@@ -132,8 +132,7 @@ impl TrainedDictionaryBuilder {
                 }
                 let fraction = in_lang as f64 / lang_urls as f64;
                 let purity = in_lang as f64 / total as f64;
-                if fraction >= self.config.min_language_fraction
-                    && purity >= self.config.min_purity
+                if fraction >= self.config.min_language_fraction && purity >= self.config.min_purity
                 {
                     dicts[lang.index()].insert(token);
                 }
@@ -197,8 +196,14 @@ mod tests {
         //  the token 'galeon' to the Spanish one"
         let mut b = TrainedDictionaryBuilder::default();
         for i in 0..50 {
-            b.add_url(&format!("http://home.arcor.de/user{i}/seite"), Language::German);
-            b.add_url(&format!("http://www.galeon.com/usuario{i}/pagina"), Language::Spanish);
+            b.add_url(
+                &format!("http://home.arcor.de/user{i}/seite"),
+                Language::German,
+            );
+            b.add_url(
+                &format!("http://www.galeon.com/usuario{i}/pagina"),
+                Language::Spanish,
+            );
             b.add_url(&format!("http://example{i}.co.uk/page"), Language::English);
         }
         let t = b.build();

@@ -42,6 +42,6 @@ pub mod ngram;
 pub mod token;
 pub mod url;
 
-pub use ngram::{token_ngrams, token_trigrams, url_trigrams};
+pub use ngram::{for_each_token_ngram, token_ngrams, token_trigrams, url_trigrams};
 pub use token::{tokenize_url, tokenize_url_lossless, TokenIter, Tokenizer, TokenizerConfig};
 pub use url::{ParsedUrl, UrlParseError};

@@ -54,6 +54,49 @@ pub fn token_ngrams(token: &str, n: usize) -> Vec<String> {
         .collect()
 }
 
+/// Visit the padded n-grams of a single token without allocating a
+/// `String` per gram: the padded form is built once in the caller's
+/// reusable buffer and each gram is passed to `f` as a slice of it.
+///
+/// Produces exactly the same grams as [`token_ngrams`] (verified by the
+/// tokenize proptests); this is the batch-classification hot path.
+///
+/// ```
+/// use urlid_tokenize::ngram::for_each_token_ngram;
+/// let mut buf = String::new();
+/// let mut grams = Vec::new();
+/// for_each_token_ngram("de", 3, &mut buf, |g| grams.push(g.to_owned()));
+/// assert_eq!(grams, vec![" de", "de "]);
+/// ```
+pub fn for_each_token_ngram<F: FnMut(&str)>(token: &str, n: usize, padded: &mut String, mut f: F) {
+    assert!(n >= 1, "n-gram length must be at least 1");
+    if token.is_empty() {
+        return;
+    }
+    padded.clear();
+    padded.push(PAD);
+    for c in token.chars() {
+        padded.push(c.to_ascii_lowercase());
+    }
+    padded.push(PAD);
+    if !padded.is_ascii() {
+        // Multi-byte characters: byte windows would split code points.
+        // URLs tokenised by `Tokenizer` are always ASCII, so this path
+        // only triggers for direct calls with exotic tokens.
+        for gram in token_ngrams(token, n) {
+            f(&gram);
+        }
+        return;
+    }
+    if padded.len() < n {
+        f(padded);
+        return;
+    }
+    for start in 0..=(padded.len() - n) {
+        f(&padded[start..start + n]);
+    }
+}
+
 /// Extract padded trigrams from a single token (the paper's setting).
 ///
 /// ```
@@ -160,16 +203,21 @@ mod tests {
     #[test]
     fn ngrams_are_lowercased() {
         assert_eq!(token_trigrams("NewYork")[0], " ne");
-        assert!(token_trigrams("BERLIN").iter().all(|g| g
-            .chars()
-            .all(|c| !c.is_ascii_uppercase())));
+        assert!(token_trigrams("BERLIN")
+            .iter()
+            .all(|g| g.chars().all(|c| !c.is_ascii_uppercase())));
     }
 
     #[test]
     fn bigrams_and_quadgrams() {
         assert_eq!(token_ngrams("abc", 2), vec![" a", "ab", "bc", "c "]);
-        assert_eq!(token_ngrams("abc", 4), vec![" abc", "abc ", ]
-            .into_iter().map(String::from).collect::<Vec<_>>());
+        assert_eq!(
+            token_ngrams("abc", 4),
+            vec![" abc", "abc ",]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -183,9 +231,9 @@ mod tests {
     #[test]
     fn token_level_trigrams_never_contain_punctuation() {
         let tris = trigrams_of_url_tokens("http://www.hi-fly.de/a_b-c.html?q=1");
-        assert!(tris.iter().all(|t| t
-            .chars()
-            .all(|c| c.is_ascii_lowercase() || c == ' ')));
+        assert!(tris
+            .iter()
+            .all(|t| t.chars().all(|c| c.is_ascii_lowercase() || c == ' ')));
     }
 
     #[test]

@@ -92,6 +92,38 @@ impl Tokenizer {
         }
     }
 
+    /// Visit every normalised token of `url` without allocating a `String`
+    /// per token: the caller supplies a reusable buffer that each token is
+    /// lowercased into before being passed to `f`.
+    ///
+    /// This is the batch-classification hot path — `tokenize` allocates
+    /// one `String` per token per URL, which dominates the cost of
+    /// feature extraction on a crawl frontier.
+    ///
+    /// ```
+    /// use urlid_tokenize::Tokenizer;
+    /// let t = Tokenizer::default();
+    /// let mut buf = String::new();
+    /// let mut seen = Vec::new();
+    /// t.for_each_token("http://www.JazzPages.com/", &mut buf, |tok| {
+    ///     seen.push(tok.to_owned());
+    /// });
+    /// assert_eq!(seen, vec!["jazzpages", "com"]);
+    /// ```
+    pub fn for_each_token<F: FnMut(&str)>(&self, url: &str, buf: &mut String, mut f: F) {
+        for raw in self.iter(url) {
+            if self.config.lowercase {
+                buf.clear();
+                for c in raw.chars() {
+                    buf.push(c.to_ascii_lowercase());
+                }
+                f(buf);
+            } else {
+                f(raw);
+            }
+        }
+    }
+
     fn normalize(&self, token: &str) -> String {
         if self.config.lowercase {
             token.to_ascii_lowercase()
@@ -151,9 +183,7 @@ impl<'a> Iterator for TokenIter<'a> {
 
 /// Is `token` (case-insensitively) one of the paper's special words?
 pub fn is_special_word(token: &str) -> bool {
-    SPECIAL_WORDS
-        .iter()
-        .any(|w| token.eq_ignore_ascii_case(w))
+    SPECIAL_WORDS.iter().any(|w| token.eq_ignore_ascii_case(w))
 }
 
 /// Tokenize a URL with the paper's default settings.
@@ -195,7 +225,8 @@ mod tests {
 
     #[test]
     fn splits_on_every_non_letter() {
-        let tokens = tokenize_url("https://foo-bar.example.org/baz_qux/2020/01/page.html?x=1&y=deux");
+        let tokens =
+            tokenize_url("https://foo-bar.example.org/baz_qux/2020/01/page.html?x=1&y=deux");
         assert_eq!(
             tokens,
             vec!["foo", "bar", "example", "org", "baz", "qux", "page", "deux"]
@@ -225,7 +256,10 @@ mod tests {
     #[test]
     fn lossless_keeps_country_codes_and_special_words() {
         let tokens = tokenize_url_lossless("http://de.wikipedia.org/wiki/Berlin");
-        assert_eq!(tokens, vec!["http", "de", "wikipedia", "org", "wiki", "berlin"]);
+        assert_eq!(
+            tokens,
+            vec!["http", "de", "wikipedia", "org", "wiki", "berlin"]
+        );
     }
 
     #[test]
@@ -240,8 +274,13 @@ mod tests {
     fn non_ascii_input_does_not_panic_and_is_ignored() {
         let tokens = tokenize_url("http://münchen.de/straße");
         // Only ASCII letter runs are produced; the umlaut splits them.
-        assert_eq!(tokens, vec!["nchen", "de", "stra", "e"].into_iter()
-            .filter(|t| t.len() >= 2).collect::<Vec<_>>());
+        assert_eq!(
+            tokens,
+            vec!["nchen", "de", "stra", "e"]
+                .into_iter()
+                .filter(|t| t.len() >= 2)
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

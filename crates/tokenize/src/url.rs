@@ -43,18 +43,65 @@ impl std::error::Error for UrlParseError {}
 /// This is a small, hand-maintained subset of the public-suffix list that
 /// covers the languages studied in the paper.
 const SECOND_LEVEL_SUFFIXES: &[&str] = &[
-    "ac.uk", "co.uk", "gov.uk", "org.uk", "me.uk", "net.uk", "ltd.uk", "plc.uk", "sch.uk",
-    "com.au", "net.au", "org.au", "edu.au", "gov.au", "id.au", "asn.au",
-    "co.nz", "net.nz", "org.nz", "govt.nz", "ac.nz", "school.nz",
-    "com.ar", "gov.ar", "org.ar", "net.ar", "edu.ar",
-    "com.mx", "gob.mx", "org.mx", "edu.mx", "net.mx",
-    "com.co", "gov.co", "org.co", "edu.co", "net.co",
-    "com.pe", "gob.pe", "org.pe", "edu.pe",
-    "com.ve", "gob.ve", "org.ve",
-    "co.at", "or.at", "ac.at", "gv.at",
-    "co.it", "gov.it", "edu.it",
-    "asso.fr", "gouv.fr", "com.fr",
-    "com.es", "org.es", "gob.es", "edu.es", "nom.es",
+    "ac.uk",
+    "co.uk",
+    "gov.uk",
+    "org.uk",
+    "me.uk",
+    "net.uk",
+    "ltd.uk",
+    "plc.uk",
+    "sch.uk",
+    "com.au",
+    "net.au",
+    "org.au",
+    "edu.au",
+    "gov.au",
+    "id.au",
+    "asn.au",
+    "co.nz",
+    "net.nz",
+    "org.nz",
+    "govt.nz",
+    "ac.nz",
+    "school.nz",
+    "com.ar",
+    "gov.ar",
+    "org.ar",
+    "net.ar",
+    "edu.ar",
+    "com.mx",
+    "gob.mx",
+    "org.mx",
+    "edu.mx",
+    "net.mx",
+    "com.co",
+    "gov.co",
+    "org.co",
+    "edu.co",
+    "net.co",
+    "com.pe",
+    "gob.pe",
+    "org.pe",
+    "edu.pe",
+    "com.ve",
+    "gob.ve",
+    "org.ve",
+    "co.at",
+    "or.at",
+    "ac.at",
+    "gv.at",
+    "co.it",
+    "gov.it",
+    "edu.it",
+    "asso.fr",
+    "gouv.fr",
+    "com.fr",
+    "com.es",
+    "org.es",
+    "gob.es",
+    "edu.es",
+    "nom.es",
 ];
 
 /// A structurally parsed URL.
@@ -112,10 +159,17 @@ impl ParsedUrl {
         };
         // Scheme.
         let (scheme, rest) = match before_query.find("://") {
-            Some(idx) if before_query[..idx].chars().all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-' || c == '.') && idx > 0 => (
-                Some(before_query[..idx].to_ascii_lowercase()),
-                &before_query[idx + 3..],
-            ),
+            Some(idx)
+                if before_query[..idx]
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-' || c == '.')
+                    && idx > 0 =>
+            {
+                (
+                    Some(before_query[..idx].to_ascii_lowercase()),
+                    &before_query[idx + 3..],
+                )
+            }
             _ => (None, before_query),
         };
         // Host[:port] / path split.
@@ -317,7 +371,15 @@ mod tests {
 
     #[test]
     fn garbage_input_never_panics() {
-        for s in ["", "   ", "::::", "not a url at all", "http://", "?q=1", "#x"] {
+        for s in [
+            "",
+            "   ",
+            "::::",
+            "not a url at all",
+            "http://",
+            "?q=1",
+            "#x",
+        ] {
             let u = ParsedUrl::parse(s);
             assert!(u.host().is_empty(), "host should be empty for {s:?}");
             assert!(u.registered_domain().is_none() || !u.host().is_empty());
@@ -349,15 +411,21 @@ mod tests {
     #[test]
     fn registered_domain_second_level_suffixes() {
         assert_eq!(
-            ParsedUrl::parse("http://shop.foo.com.au/").registered_domain().as_deref(),
+            ParsedUrl::parse("http://shop.foo.com.au/")
+                .registered_domain()
+                .as_deref(),
             Some("foo.com.au")
         );
         assert_eq!(
-            ParsedUrl::parse("http://foo.gouv.fr/").registered_domain().as_deref(),
+            ParsedUrl::parse("http://foo.gouv.fr/")
+                .registered_domain()
+                .as_deref(),
             Some("foo.gouv.fr")
         );
         assert_eq!(
-            ParsedUrl::parse("http://a.b.c.example.de/").registered_domain().as_deref(),
+            ParsedUrl::parse("http://a.b.c.example.de/")
+                .registered_domain()
+                .as_deref(),
             Some("example.de")
         );
     }

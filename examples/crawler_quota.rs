@@ -79,7 +79,11 @@ fn main() {
     // Deterministic interleave so the crawler sees a mixed stream.
     frontier.sort_by_key(|(url, _)| url.len() ^ (url.as_bytes()[7] as usize) << 4);
 
-    println!("frontier: {} uncrawled URLs, target language {}\n", frontier.len(), target);
+    println!(
+        "frontier: {} uncrawled URLs, target language {}\n",
+        frontier.len(),
+        target
+    );
     simulate_crawl("download everything", &frontier, target, |_| true);
     simulate_crawl("ccTLD baseline", &frontier, target, |url| {
         cctld.classify_url(url)

@@ -9,8 +9,8 @@
 //! ```
 
 use urlid::classifiers::{DecisionTree, DecisionTreeConfig, VectorClassifier};
-use urlid::prelude::*;
 use urlid::features::CustomFeatureExtractor;
+use urlid::prelude::*;
 
 fn main() {
     let mut generator = UrlGenerator::new(17);
@@ -65,8 +65,16 @@ fn main() {
         println!(
             "  {:<45} -> {}",
             url,
-            if tree.classify(&v) { "German" } else { "not German" }
+            if tree.classify(&v) {
+                "German"
+            } else {
+                "not German"
+            }
         );
     }
-    println!("\ntree depth: {}, nodes: {}", tree.depth(), tree.node_count());
+    println!(
+        "\ntree depth: {}, nodes: {}",
+        tree.depth(),
+        tree.node_count()
+    );
 }

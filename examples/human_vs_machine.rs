@@ -30,9 +30,21 @@ fn main() {
     let human1 = evaluate_annotations(&ann1, test);
     let human2 = evaluate_annotations(&ann2, test);
 
-    println!("{}", metrics_table("Machine: Naive Bayes + word features (crawl test set)", &machine));
-    println!("{}", metrics_table("Human evaluator 1 (simulated)", &human1));
-    println!("{}", metrics_table("Human evaluator 2 (simulated)", &human2));
+    println!(
+        "{}",
+        metrics_table(
+            "Machine: Naive Bayes + word features (crawl test set)",
+            &machine
+        )
+    );
+    println!(
+        "{}",
+        metrics_table("Human evaluator 1 (simulated)", &human1)
+    );
+    println!(
+        "{}",
+        metrics_table("Human evaluator 2 (simulated)", &human2)
+    );
 
     println!("confusion matrix, machine:\n{}", machine.confusion.render());
     println!("confusion matrix, human 1:\n{}", human1.confusion.render());

@@ -33,7 +33,10 @@ fn main() {
         }
     }
 
-    println!("grouping {} search results by predicted language\n", results.len());
+    println!(
+        "grouping {} search results by predicted language\n",
+        results.len()
+    );
     for lang in ALL_LANGUAGES {
         let group: Vec<&(String, Language)> = results
             .iter()

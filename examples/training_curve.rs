@@ -21,16 +21,28 @@ fn main() {
         "training-size sweep on the crawl test set ({} training URLs at 100%)\n",
         training.len()
     );
-    println!("{:<10} {:>12} {:>12} {:>12}", "fraction", "words F", "trigrams F", "ccTLD+ F");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "fraction", "words F", "trigrams F", "ccTLD+ F"
+    );
 
     let words = training_curve(&training, test, &fractions, |reduced| {
-        train_classifier_set(reduced, &TrainingConfig::new(FeatureSetKind::Words, Algorithm::NaiveBayes))
+        train_classifier_set(
+            reduced,
+            &TrainingConfig::new(FeatureSetKind::Words, Algorithm::NaiveBayes),
+        )
     });
     let trigrams = training_curve(&training, test, &fractions, |reduced| {
-        train_classifier_set(reduced, &TrainingConfig::new(FeatureSetKind::Trigrams, Algorithm::NaiveBayes))
+        train_classifier_set(
+            reduced,
+            &TrainingConfig::new(FeatureSetKind::Trigrams, Algorithm::NaiveBayes),
+        )
     });
     let cctld = training_curve(&training, test, &fractions, |reduced| {
-        train_classifier_set(reduced, &TrainingConfig::new(FeatureSetKind::Words, Algorithm::CcTldPlus))
+        train_classifier_set(
+            reduced,
+            &TrainingConfig::new(FeatureSetKind::Words, Algorithm::CcTldPlus),
+        )
     });
 
     for (i, &f) in fractions.iter().enumerate() {
@@ -45,7 +57,11 @@ fn main() {
 
     println!("\ndomain memorisation (Figure 3): % of crawl-test URLs whose domain was seen");
     for (f, pct) in domain_memorization_curve(&training, test, &fractions) {
-        println!("  {:>6.1}% of training data -> {:>5.1}% of test domains seen", f * 100.0, pct);
+        println!(
+            "  {:>6.1}% of training data -> {:>5.1}% of test domains seen",
+            f * 100.0,
+            pct
+        );
     }
 
     println!(

@@ -57,7 +57,8 @@ fn every_learning_algorithm_runs_end_to_end() {
         Algorithm::MaxEnt,
         Algorithm::KNearestNeighbors,
     ] {
-        let config = TrainingConfig::new(FeatureSetKind::Words, algorithm).with_maxent_iterations(10);
+        let config =
+            TrainingConfig::new(FeatureSetKind::Words, algorithm).with_maxent_iterations(10);
         let id = LanguageIdentifier::train(training, &config);
         let f = id.evaluate(test).mean_f_measure();
         assert!(f > 0.4, "{algorithm}: F = {f:.3}");
@@ -132,7 +133,14 @@ fn simulated_humans_are_worse_than_the_machine() {
 fn identifier_is_usable_from_multiple_threads() {
     let corpus = corpus();
     let identifier = std::sync::Arc::new(LanguageIdentifier::train_paper_best(&corpus.odp.train));
-    let urls: Vec<String> = corpus.odp.test.urls.iter().take(200).map(|u| u.url.clone()).collect();
+    let urls: Vec<String> = corpus
+        .odp
+        .test
+        .urls
+        .iter()
+        .take(200)
+        .map(|u| u.url.clone())
+        .collect();
     let mut handles = Vec::new();
     for chunk in urls.chunks(50) {
         let id = std::sync::Arc::clone(&identifier);

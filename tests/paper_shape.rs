@@ -22,14 +22,24 @@ fn cctld_baseline_has_high_precision_low_recall() {
     let result = evaluate_classifier_set(&set, &corpus.odp.test);
     for lang in ALL_LANGUAGES {
         let m = result.metrics(lang);
-        assert!(m.precision > 0.85, "{lang}: ccTLD precision {:.2}", m.precision);
+        assert!(
+            m.precision > 0.85,
+            "{lang}: ccTLD precision {:.2}",
+            m.precision
+        );
     }
     let en = result.metrics(Language::English).recall;
     let ge = result.metrics(Language::German).recall;
     let it = result.metrics(Language::Italian).recall;
     let sp = result.metrics(Language::Spanish).recall;
-    assert!(ge > 0.6 && it > 0.4, "German {ge:.2} / Italian {it:.2} recall should be decent");
-    assert!(en < 0.3 && sp < 0.5, "English {en:.2} / Spanish {sp:.2} recall should be poor");
+    assert!(
+        ge > 0.6 && it > 0.4,
+        "German {ge:.2} / Italian {it:.2} recall should be decent"
+    );
+    assert!(
+        en < 0.3 && sp < 0.5,
+        "English {en:.2} / Spanish {sp:.2} recall should be poor"
+    );
 }
 
 /// Table 5 / ccTLD+: counting .com/.org as English rescues English recall
@@ -40,18 +50,29 @@ fn cctld_plus_only_helps_english_recall() {
     let training = corpus.combined_training();
     let test = &corpus.web_crawl;
     let plain = evaluate_classifier_set(
-        &train_classifier_set(&training, &TrainingConfig::new(FeatureSetKind::Words, Algorithm::CcTld)),
+        &train_classifier_set(
+            &training,
+            &TrainingConfig::new(FeatureSetKind::Words, Algorithm::CcTld),
+        ),
         test,
     );
     let plus = evaluate_classifier_set(
-        &train_classifier_set(&training, &TrainingConfig::new(FeatureSetKind::Words, Algorithm::CcTldPlus)),
+        &train_classifier_set(
+            &training,
+            &TrainingConfig::new(FeatureSetKind::Words, Algorithm::CcTldPlus),
+        ),
         test,
     );
     assert!(
         plus.metrics(Language::English).recall > plain.metrics(Language::English).recall + 0.3,
         "ccTLD+ must lift English recall substantially"
     );
-    for lang in [Language::German, Language::French, Language::Spanish, Language::Italian] {
+    for lang in [
+        Language::German,
+        Language::French,
+        Language::Spanish,
+        Language::Italian,
+    ] {
         assert!(
             (plus.metrics(lang).recall - plain.metrics(lang).recall).abs() < 1e-9,
             "{lang}: ccTLD+ must not change non-English recall"
@@ -86,7 +107,10 @@ fn learned_classifiers_beat_baselines_and_ser_is_easiest() {
     }
     let ser = nb_f.iter().find(|(n, _)| *n == "SER").unwrap().1;
     let odp = nb_f.iter().find(|(n, _)| *n == "ODP").unwrap().1;
-    assert!(ser >= odp, "SER ({ser:.3}) should be at least as easy as ODP ({odp:.3})");
+    assert!(
+        ser >= odp,
+        "SER ({ser:.3}) should be at least as easy as ODP ({odp:.3})"
+    );
 }
 
 /// Table 6 / Table 3: the dominant confusion is "non-English URL labelled

@@ -1,0 +1,256 @@
+//! Integration tests for the single-extraction scoring pipeline.
+//!
+//! Two guarantees are locked in here:
+//!
+//! 1. **Equivalence** — the single-pass path (extract once, score all
+//!    languages from the same vector) returns *identical* decisions and
+//!    scores to the naive per-classifier path (each language extracting
+//!    for itself via `classify_url`-style calls), across every learning
+//!    algorithm and feature set, on a generated corpus.
+//! 2. **Single extraction** — `identify` / `identify_all` /
+//!    `identify_batch` / `evaluate` call the feature extractor exactly
+//!    once per URL (counted through an instrumented extractor).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use urlid::prelude::*;
+use urlid_classifiers::VectorClassifier;
+
+fn corpus() -> (Dataset, Dataset) {
+    let mut generator = UrlGenerator::new(97);
+    let odp = odp_dataset(&mut generator, CorpusScale::tiny());
+    (odp.train, odp.test)
+}
+
+/// The naive pre-refactor path: each per-language classifier extracts
+/// features for itself, i.e. five extractions per URL. The definition
+/// lives on `LanguageClassifierSet` (shared with the `single_pass`
+/// bench) so both compare against the same baseline; here it is
+/// additionally cross-checked against a by-hand reimplementation.
+fn naive_scores(set: &LanguageClassifierSet, url: &str) -> [Option<f64>; 5] {
+    let reference = set.score_all_multi_extract(url);
+    let extractor = set
+        .extractor()
+        .expect("trained sets share one extractor")
+        .as_ref();
+    for lang in ALL_LANGUAGES {
+        if let Some(model) = set.vector_model(lang) {
+            // A fresh extraction per language — exactly what the old
+            // FeatureUrlClassifier wrappers did.
+            assert_eq!(
+                reference[lang.index()],
+                Some(model.score(&extractor.transform(url))),
+                "score_all_multi_extract diverges from the by-hand baseline"
+            );
+        }
+    }
+    reference
+}
+
+#[test]
+fn single_pass_matches_per_classifier_path_for_all_algorithms_and_features() {
+    let (train, test) = corpus();
+    let algorithms = [
+        Algorithm::NaiveBayes,
+        Algorithm::RelativeEntropy,
+        Algorithm::MaxEnt,
+        Algorithm::DecisionTree,
+        Algorithm::KNearestNeighbors,
+    ];
+    let feature_sets = [
+        FeatureSetKind::Words,
+        FeatureSetKind::Trigrams,
+        FeatureSetKind::Custom,
+    ];
+    for algorithm in algorithms {
+        for feature_set in feature_sets {
+            let config = TrainingConfig::new(feature_set, algorithm).with_maxent_iterations(8);
+            let set = train_classifier_set(&train, &config);
+            for example in test.urls.iter().take(40) {
+                let url = example.url.as_str();
+                let fast = set.score_all(url);
+                let naive = naive_scores(&set, url);
+                assert_eq!(
+                    fast, naive,
+                    "{feature_set:?}/{algorithm:?} scores diverge on {url}"
+                );
+                let decisions = set.classify_all(url);
+                for lang in ALL_LANGUAGES {
+                    let naive_decision = naive[lang.index()].unwrap() > 0.0;
+                    assert_eq!(
+                        decisions[lang.index()],
+                        naive_decision,
+                        "{feature_set:?}/{algorithm:?} decision diverges on {url} for {lang}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn combined_recipes_still_agree_between_decision_apis() {
+    // The Section 5.6 recipes mix vector-level (English/German) and
+    // hybrid (French/Spanish/Italian) scorers; their multi-label API
+    // must agree with per-language queries and the sign convention.
+    let (train, test) = corpus();
+    let set = recipes::train_best_combination(&train, 5);
+    for example in test.urls.iter().take(40) {
+        let url = example.url.as_str();
+        let all = set.classify_all(url);
+        let scores = set.score_all(url);
+        for lang in ALL_LANGUAGES {
+            assert_eq!(all[lang.index()], set.classify(url, lang), "{url} {lang}");
+            assert_eq!(
+                all[lang.index()],
+                scores[lang.index()].unwrap() > 0.0,
+                "sign convention broken on {url} for {lang}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Extractor call counting
+// ---------------------------------------------------------------------
+
+/// Wraps a fitted extractor and counts every extraction.
+struct CountingExtractor {
+    inner: urlid::features::WordFeatureExtractor,
+    calls: AtomicUsize,
+}
+
+impl CountingExtractor {
+    fn fitted(train: &Dataset) -> Self {
+        let mut inner = urlid::features::WordFeatureExtractor::default();
+        inner.fit(&train.urls);
+        Self {
+            inner,
+            calls: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl FeatureExtractor for CountingExtractor {
+    fn fit(&mut self, training: &[LabeledUrl]) {
+        self.inner.fit(training);
+    }
+    fn transform(&self, url: &str) -> urlid::features::SparseVector {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.transform(url)
+    }
+    fn transform_with(
+        &self,
+        url: &str,
+        scratch: &mut urlid::features::ExtractScratch,
+    ) -> urlid::features::SparseVector {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.transform_with(url, scratch)
+    }
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+    fn feature_name(&self, index: u32) -> Option<String> {
+        self.inner.feature_name(index)
+    }
+    fn kind(&self) -> FeatureSetKind {
+        self.inner.kind()
+    }
+}
+
+/// Accepts any vector whose features sum past a small threshold.
+struct SumThreshold;
+impl VectorClassifier for SumThreshold {
+    fn score(&self, features: &urlid::features::SparseVector) -> f64 {
+        features.sum() - 0.5
+    }
+}
+
+/// A hybrid scorer using both the URL and the shared vector — the shape
+/// the mixed-space Section 5.6 recipes use. It must *not* trigger any
+/// extra extraction: the vector arrives pre-extracted.
+struct TldOrSum;
+impl urlid_classifiers::HybridClassifier for TldOrSum {
+    fn score_hybrid(&self, url: &str, shared: &urlid::features::SparseVector) -> f64 {
+        let tld: f64 = if url.ends_with(".de/") { 1.0 } else { -1.0 };
+        tld.max(shared.sum() - 0.5)
+    }
+}
+
+/// Builds a set mixing vector scorers (four languages) with one hybrid
+/// scorer, so the call-count tests cover both shared-vector paths.
+fn counting_identifier(train: &Dataset) -> (LanguageIdentifier, Arc<CountingExtractor>) {
+    let extractor = Arc::new(CountingExtractor::fitted(train));
+    let mut set =
+        LanguageClassifierSet::build_vector(extractor.clone() as _, |_| Box::new(SumThreshold));
+    set.insert_hybrid(Language::French, Box::new(TldOrSum));
+    let identifier = LanguageIdentifier::from_classifier_set(
+        set,
+        TrainingConfig::new(FeatureSetKind::Words, Algorithm::NaiveBayes),
+    );
+    (identifier, extractor)
+}
+
+#[test]
+fn identify_paths_extract_exactly_once_per_url() {
+    let (train, test) = corpus();
+    let (identifier, counter) = counting_identifier(&train);
+    let urls: Vec<&str> = test.urls.iter().map(|u| u.url.as_str()).collect();
+
+    counter.calls.store(0, Ordering::Relaxed);
+    identifier.identify(urls[0]);
+    assert_eq!(counter.calls.load(Ordering::Relaxed), 1, "identify");
+
+    counter.calls.store(0, Ordering::Relaxed);
+    identifier.identify_all(urls.iter().copied());
+    assert_eq!(
+        counter.calls.load(Ordering::Relaxed),
+        urls.len(),
+        "identify_all"
+    );
+
+    counter.calls.store(0, Ordering::Relaxed);
+    identifier.identify_batch(&urls);
+    assert_eq!(
+        counter.calls.load(Ordering::Relaxed),
+        urls.len(),
+        "identify_batch"
+    );
+
+    counter.calls.store(0, Ordering::Relaxed);
+    identifier.languages_of(urls[0]);
+    assert_eq!(counter.calls.load(Ordering::Relaxed), 1, "languages_of");
+
+    counter.calls.store(0, Ordering::Relaxed);
+    identifier.language_histogram(urls.iter().copied());
+    assert_eq!(
+        counter.calls.load(Ordering::Relaxed),
+        urls.len(),
+        "language_histogram"
+    );
+}
+
+#[test]
+fn evaluate_extracts_exactly_once_per_url() {
+    let (train, test) = corpus();
+    let (identifier, counter) = counting_identifier(&train);
+    counter.calls.store(0, Ordering::Relaxed);
+    let _ = identifier.evaluate(&test);
+    assert_eq!(counter.calls.load(Ordering::Relaxed), test.urls.len());
+}
+
+#[test]
+fn batch_extraction_count_holds_above_parallel_threshold() {
+    // More URLs than the sequential cut-over, so the scoped-thread path
+    // must also respect the one-extraction invariant.
+    let (train, _) = corpus();
+    let (identifier, counter) = counting_identifier(&train);
+    let owned: Vec<String> = (0..1000)
+        .map(|i| format!("http://beispiel{i}.de/wetter/seite{i}"))
+        .collect();
+    let urls: Vec<&str> = owned.iter().map(|s| s.as_str()).collect();
+    counter.calls.store(0, Ordering::Relaxed);
+    let results = identifier.identify_batch(&urls);
+    assert_eq!(results.len(), urls.len());
+    assert_eq!(counter.calls.load(Ordering::Relaxed), urls.len());
+}

@@ -1,0 +1,317 @@
+//! Vendored minimal stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion API the workspace benches use
+//! (`benchmark_group`, `bench_function`, `iter`, `iter_batched`,
+//! `throughput`, `sample_size`) with a simple warm-up + median-of-samples
+//! measurement loop. Results are printed to stdout and written to
+//! `<target dir>/bench-results-<bench binary>.json` (one file per bench
+//! binary, target dir derived from the executable's path) so CI can
+//! archive them.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` inputs are grouped (accepted for API compatibility;
+/// the vendored harness always times one routine call per setup call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+struct BenchResult {
+    name: String,
+    median_ns: f64,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    /// The measured median (in nanoseconds) of an already-run benchmark,
+    /// by its full `group/name`. Lets benches derive summary ratios from
+    /// the warmed, multi-sample measurements instead of re-timing.
+    pub fn median_ns(&self, full_name: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|r| r.name == full_name)
+            .map(|r| r.median_ns)
+    }
+
+    /// Benchmark a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+
+    /// Print the summary and write
+    /// `<target dir>/bench-results-<bench binary>.json`. One file per
+    /// bench binary, so consecutive `cargo bench` runs of different
+    /// benches never clobber each other's results. Called by
+    /// `criterion_main!` after all groups have run.
+    pub fn final_report(&self) {
+        let mut json = String::from("{\n  \"benchmarks\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                json.push_str(",\n");
+            }
+            let per_sec = r
+                .throughput
+                .map(|t| match t {
+                    Throughput::Elements(n) | Throughput::Bytes(n) => {
+                        n as f64 / (r.median_ns / 1e9)
+                    }
+                })
+                .unwrap_or(0.0);
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"samples\": {}, \"per_sec\": {:.1}}}",
+                r.name, r.median_ns, r.samples, per_sec
+            ));
+        }
+        json.push_str("\n  ]\n}\n");
+        if let Some((dir, bench_name)) = output_location() {
+            let _ = std::fs::write(dir.join(format!("bench-results-{bench_name}.json")), json);
+        }
+    }
+}
+
+/// The cargo target directory that owns the running bench executable,
+/// plus the bench's name with cargo's trailing `-<hash>` stripped.
+/// Bench binaries run with CWD = the *package* root, which in a
+/// workspace is not where `target/` lives — so the path is derived from
+/// the executable's own location instead of the CWD.
+fn output_location() -> Option<(std::path::PathBuf, String)> {
+    let exe = std::env::current_exe().ok()?;
+    let target = exe
+        .ancestors()
+        .find(|p| p.file_name().is_some_and(|n| n == "target"))?
+        .to_path_buf();
+    let stem = exe.file_stem()?.to_str()?;
+    let name = match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.chars().all(|c| c.is_ascii_hexdigit()) => base,
+        _ => stem,
+    };
+    Some((target, name.to_owned()))
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Number of timed samples per benchmark (min 5).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full_name = if self.name.is_empty() {
+            name.to_owned()
+        } else {
+            format!("{}/{}", self.name, name)
+        };
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            budget: Duration::from_millis(300),
+            max_samples: self.sample_size,
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            samples.push(0.0);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median_ns = samples[samples.len() / 2];
+        let result = BenchResult {
+            name: full_name.clone(),
+            median_ns,
+            samples: samples.len(),
+            throughput: self.throughput,
+        };
+        let rate = result
+            .throughput
+            .map(|t| match t {
+                Throughput::Elements(n) => {
+                    format!("  ({:.0} elem/s)", n as f64 / (median_ns / 1e9))
+                }
+                Throughput::Bytes(n) => {
+                    format!("  ({:.0} B/s)", n as f64 / (median_ns / 1e9))
+                }
+            })
+            .unwrap_or_default();
+        println!(
+            "bench {full_name:<50} median {}{rate}",
+            format_duration(median_ns)
+        );
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// End the group (accepted for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn format_duration(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:>9.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:>9.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:>9.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:>9.2} s ", ns / 1_000_000_000.0)
+    }
+}
+
+/// Passed to the benchmark closure; runs the measurement loop.
+pub struct Bencher {
+    samples: Vec<f64>,
+    budget: Duration,
+    max_samples: usize,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-call estimate.
+        let start = Instant::now();
+        black_box(routine());
+        let estimate = start.elapsed();
+        let deadline = Instant::now() + self.budget;
+        while self.samples.len() < self.max_samples && Instant::now() < deadline {
+            // Batch very fast routines so timer overhead does not dominate.
+            let calls = if estimate < Duration::from_micros(10) {
+                100
+            } else {
+                1
+            };
+            let start = Instant::now();
+            for _ in 0..calls {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / calls as f64);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; only the routine is
+    /// timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.budget;
+        let mut first = true;
+        while self.samples.len() < self.max_samples && (first || Instant::now() < deadline) {
+            first = false;
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Define a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+            criterion.final_report();
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("test");
+            g.throughput(Throughput::Elements(10));
+            g.sample_size(5);
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.bench_function("batched", |b| {
+                b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results.iter().all(|r| r.median_ns >= 0.0));
+        assert_eq!(c.results[0].name, "test/noop");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert!(format_duration(10.0).contains("ns"));
+        assert!(format_duration(10_000.0).contains("µs"));
+        assert!(format_duration(10_000_000.0).contains("ms"));
+    }
+}

@@ -1,0 +1,417 @@
+//! Vendored minimal stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the proptest API the workspace tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`);
+//! * regex-style string strategies (`"[a-z0-9./-]{0,100}"`, groups,
+//!   escapes, `.`), integer / float range strategies, tuple strategies,
+//!   [`collection::vec`] and [`Strategy::prop_map`];
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! No shrinking: on failure the generated inputs are printed verbatim and
+//! the panic is propagated. Generation is deterministic (fixed seed mixed
+//! with the case index) so failures are reproducible.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Test-runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// A `Vec` of values from `element`, with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// The strategy returned by [`collection::vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = rng.random_range(self.len.clone());
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regex-subset string strategy
+// ---------------------------------------------------------------------
+
+/// One repeatable piece of a pattern.
+enum Piece {
+    /// Any character except newline (`.`).
+    AnyChar,
+    /// A character class (`[a-z0-9./-]`).
+    Class(Vec<(char, char)>),
+    /// A literal character (possibly escaped).
+    Literal(char),
+    /// A parenthesised sub-pattern.
+    Group(Vec<Atom>),
+}
+
+struct Atom {
+    piece: Piece,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(chars: &mut std::iter::Peekable<std::str::Chars>, in_group: bool) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c == ')' && in_group {
+            break;
+        }
+        chars.next();
+        let piece = match c {
+            '.' => Piece::AnyChar,
+            '\\' => Piece::Literal(chars.next().expect("dangling escape")),
+            '[' => {
+                let mut ranges = Vec::new();
+                while let Some(cc) = chars.next() {
+                    if cc == ']' {
+                        break;
+                    }
+                    let lo = if cc == '\\' {
+                        chars.next().expect("dangling escape in class")
+                    } else {
+                        cc
+                    };
+                    if chars.peek() == Some(&'-')
+                        && chars.clone().nth(1).map(|n| n != ']').unwrap_or(false)
+                    {
+                        chars.next();
+                        let hi = chars.next().expect("dangling range in class");
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                Piece::Class(ranges)
+            }
+            '(' => {
+                let inner = parse_pattern(chars, true);
+                assert_eq!(chars.next(), Some(')'), "unclosed group");
+                Piece::Group(inner)
+            }
+            other => Piece::Literal(other),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut first = String::new();
+            let mut second: Option<String> = None;
+            loop {
+                match chars.next().expect("unclosed quantifier") {
+                    '}' => break,
+                    ',' => second = Some(String::new()),
+                    d => match &mut second {
+                        Some(s) => s.push(d),
+                        None => first.push(d),
+                    },
+                }
+            }
+            let min: usize = first.parse().expect("bad quantifier");
+            let max = second
+                .map(|s| s.parse().expect("bad quantifier"))
+                .unwrap_or(min);
+            (min, max)
+        } else {
+            match chars.peek() {
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            }
+        };
+        atoms.push(Atom { piece, min, max });
+    }
+    atoms
+}
+
+fn generate_atoms(atoms: &[Atom], rng: &mut StdRng, out: &mut String) {
+    for atom in atoms {
+        let n = rng.random_range(atom.min..=atom.max);
+        for _ in 0..n {
+            match &atom.piece {
+                Piece::AnyChar => out.push(random_any_char(rng)),
+                Piece::Literal(c) => out.push(*c),
+                Piece::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.random_range(0..ranges.len())];
+                    out.push(char::from_u32(rng.random_range(lo as u32..=hi as u32)).unwrap_or(lo));
+                }
+                Piece::Group(inner) => generate_atoms(inner, rng, out),
+            }
+        }
+    }
+}
+
+/// `.`: mostly printable ASCII, with a sprinkling of multi-byte unicode
+/// (to stress char-boundary handling) — never a newline.
+fn random_any_char(rng: &mut StdRng) -> char {
+    if rng.random_bool(0.85) {
+        char::from_u32(rng.random_range(0x20u32..0x7f)).unwrap()
+    } else {
+        const EXOTIC: &[char] = &[
+            'é', 'ü', 'ß', 'ñ', 'ç', 'я', '中', '🎉', '\u{a0}', '€', 'Ø', 'λ',
+        ];
+        EXOTIC[rng.random_range(0..EXOTIC.len())]
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let mut chars = self.chars().peekable();
+        let atoms = parse_pattern(&mut chars, false);
+        let mut out = String::new();
+        generate_atoms(&atoms, rng, &mut out);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------
+
+/// Run `body` on `config.cases` generated inputs, printing the failing
+/// input before propagating any panic.
+pub fn run_cases<S, F>(config: ProptestConfig, strategy: S, body: F)
+where
+    S: Strategy,
+    S::Value: Debug,
+    F: Fn(S::Value),
+{
+    for case in 0..config.cases {
+        let mut rng = StdRng::seed_from_u64(0xB0B0_5EED ^ (case as u64).wrapping_mul(0x9E37));
+        let value = strategy.generate(&mut rng);
+        let repr = format!("{value:?}");
+        let result = catch_unwind(AssertUnwindSafe(|| body(value)));
+        if let Err(panic) = result {
+            eprintln!("proptest case {case} failed with input: {repr}");
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+/// Assert inside a property (no shrinking — plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Declare property tests.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_cases(config, ($($strategy,)+), |($($arg,)+)| $body);
+            }
+        )*
+    };
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_str(pattern: &str, seed: u64) -> String {
+        let mut rng = StdRng::seed_from_u64(seed);
+        pattern.generate(&mut rng)
+    }
+
+    #[test]
+    fn class_patterns_respect_alphabet_and_length() {
+        for seed in 0..200 {
+            let s = gen_str("[a-z0-9./-]{0,100}", seed);
+            assert!(s.len() <= 100);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "./-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn group_patterns_repeat_subpatterns() {
+        for seed in 0..200 {
+            let s = gen_str("[a-z]{1,10}(\\.[a-z]{1,10}){1,3}", seed);
+            let parts: Vec<&str> = s.split('.').collect();
+            assert!((2..=4).contains(&parts.len()), "{s}");
+            assert!(parts
+                .iter()
+                .all(|p| !p.is_empty() && p.chars().all(|c| c.is_ascii_lowercase())));
+        }
+    }
+
+    #[test]
+    fn dot_generates_varied_chars_without_newlines() {
+        let mut all = String::new();
+        for seed in 0..50 {
+            all.push_str(&gen_str(".{0,200}", seed));
+        }
+        assert!(!all.contains('\n'));
+        assert!(!all.is_ascii(), "expected some non-ascii");
+    }
+
+    #[test]
+    fn ranges_and_tuples_and_vec() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let strat = crate::collection::vec((0u32..16, 1.0f64..5.0), 1..10);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1..10).contains(&v.len()));
+            for (i, x) in v {
+                assert!(i < 16);
+                assert!((1.0..5.0).contains(&x));
+            }
+        }
+        let mapped = (0usize..5).prop_map(|n| n * 2);
+        for _ in 0..20 {
+            assert!(mapped.generate(&mut rng) % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(a in 0usize..10, s in "[ab]{1,4}") {
+            prop_assert!(a < 10);
+            prop_assert_eq!(s.is_empty(), false);
+            prop_assert!(s.len() <= 4);
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! Vendored minimal `Serialize` / `Deserialize` derive macros.
+//!
+//! The build container has no crates.io access (so no `syn` / `quote`);
+//! the input item is parsed directly from the [`proc_macro::TokenStream`]
+//! and the trait impls are emitted as formatted source text. Supported
+//! shapes — exactly what the `urlid` workspace uses:
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums with unit, newtype, tuple and struct variants;
+//! * `#[serde(skip, default)]` and `#[serde(skip, default = "path")]`
+//!   on named struct fields;
+//! * no generic parameters (the workspace derives only on concrete types).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (vendored data-model flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_serialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derive `serde::Deserialize` (vendored data-model flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    /// `#[serde(skip)]`: not serialised, restored from a default.
+    skip: bool,
+    /// Path expression for the default of a skipped field (from
+    /// `default = "path"`); `None` means `Default::default()`.
+    default_path: Option<String>,
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct SerdeAttr {
+    skip: bool,
+    default_path: Option<String>,
+}
+
+/// Inspect one `#[...]` attribute body; returns the serde options when it
+/// is a `#[serde(...)]` attribute.
+fn parse_attr_group(group: &proc_macro::Group) -> Option<SerdeAttr> {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let Some(TokenTree::Group(args)) = tokens.next() else {
+        return None;
+    };
+    let mut attr = SerdeAttr {
+        skip: false,
+        default_path: None,
+    };
+    let mut inner = args.stream().into_iter().peekable();
+    while let Some(tt) = inner.next() {
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == "skip" => attr.skip = true,
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                if matches!(inner.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    inner.next();
+                    if let Some(TokenTree::Literal(lit)) = inner.next() {
+                        let s = lit.to_string();
+                        attr.default_path = Some(s.trim_matches('"').to_owned());
+                    }
+                }
+            }
+            TokenTree::Ident(other) => {
+                panic!("unsupported serde attribute option `{other}`")
+            }
+            _ => {}
+        }
+    }
+    Some(attr)
+}
+
+/// Skip attributes and visibility; fold any `#[serde(...)]` options found.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> (usize, SerdeAttr) {
+    let mut attr = SerdeAttr {
+        skip: false,
+        default_path: None,
+    };
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if let Some(found) = parse_attr_group(g) {
+                        attr.skip |= found.skip;
+                        if found.default_path.is_some() {
+                            attr.default_path = found.default_path;
+                        }
+                    }
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return (i, attr),
+        }
+    }
+}
+
+/// Count the top-level commas of a token sequence (angle brackets tracked
+/// so that `HashMap<String, u32>` counts as one element).
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        out.last_mut().unwrap().push(tt);
+    }
+    if out.last().map(|v| v.is_empty()).unwrap_or(false) {
+        out.pop();
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|tokens| {
+            let (i, attr) = skip_attrs_and_vis(&tokens, 0);
+            let TokenTree::Ident(name) = &tokens[i] else {
+                panic!("expected field name, found {:?}", tokens[i].to_string())
+            };
+            Field {
+                name: name.to_string(),
+                skip: attr.skip,
+                default_path: attr.default_path,
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attrs_and_vis(&tokens, 0);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected struct/enum, found {:?}", other.to_string()),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {:?}", other.to_string()),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("the vendored serde derive does not support generic types ({name})");
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(split_top_level_commas(g.stream()).len())
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!(
+                    "unsupported struct body for {name}: {:?}",
+                    other.map(|t| t.to_string())
+                ),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(i) else {
+                panic!("expected enum body for {name}")
+            };
+            let variants = split_top_level_commas(g.stream())
+                .into_iter()
+                .map(|tokens| {
+                    let (j, _) = skip_attrs_and_vis(&tokens, 0);
+                    let TokenTree::Ident(vname) = &tokens[j] else {
+                        panic!("expected variant name in {name}")
+                    };
+                    let fields = match tokens.get(j + 1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            Fields::Named(parse_named_fields(g.stream()))
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            Fields::Tuple(split_top_level_commas(g.stream()).len())
+                        }
+                        _ => Fields::Unit,
+                    };
+                    (vname.to_string(), fields)
+                })
+                .collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("cannot derive for {other} items"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn default_expr(field: &Field) -> String {
+    match &field.default_path {
+        Some(path) => format!("{path}()"),
+        None => "::std::default::Default::default()".to_owned(),
+    }
+}
+
+fn emit_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_owned(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Named(fields) => {
+                    let mut s = String::from("{ let mut obj = ::serde::Value::object();\n");
+                    for f in fields.iter().filter(|f| !f.skip) {
+                        s.push_str(&format!(
+                            "obj.insert(\"{0}\", ::serde::Serialize::to_value(&self.{0}));\n",
+                            f.name
+                        ));
+                    }
+                    s.push_str("obj }");
+                    s
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_owned()),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_owned()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binders}) => {{\n\
+                             let mut obj = ::serde::Value::object();\n\
+                             obj.insert(\"{vname}\", {payload});\nobj }}\n",
+                            binders = binders.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut payload =
+                            String::from("{ let mut inner = ::serde::Value::object();\n");
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            payload.push_str(&format!(
+                                "inner.insert(\"{0}\", ::serde::Serialize::to_value({0}));\n",
+                                f.name
+                            ));
+                        }
+                        payload.push_str("inner }");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binders} }} => {{\n\
+                             let mut obj = ::serde::Value::object();\n\
+                             obj.insert(\"{vname}\", {payload});\nobj }}\n",
+                            binders = binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+fn named_field_initializers(fields: &[Field], source: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: {},\n", f.name, default_expr(f))
+            } else {
+                format!("{0}: ::serde::field({source}, \"{0}\")?,\n", f.name)
+            }
+        })
+        .collect()
+}
+
+fn emit_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                        .collect();
+                    format!(
+                        "match value {{\n\
+                         ::serde::Value::Array(items) if items.len() == {n} =>\n\
+                         ::std::result::Result::Ok({name}({items})),\n\
+                         other => ::std::result::Result::Err(\n\
+                         ::serde::DeError::mismatch(\"array of length {n}\", other)),\n}}",
+                        items = items.join(", ")
+                    )
+                }
+                Fields::Named(fields) => {
+                    let inits = named_field_initializers(fields, "value");
+                    format!(
+                        "if !matches!(value, ::serde::Value::Object(_)) {{\n\
+                         return ::std::result::Result::Err(\n\
+                         ::serde::DeError::mismatch(\"object\", value));\n}}\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})"
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value)\n\
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Fields::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok(\n\
+                         {name}::{vname}(::serde::Deserialize::from_value(payload)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => match payload {{\n\
+                             ::serde::Value::Array(items) if items.len() == {n} =>\n\
+                             ::std::result::Result::Ok({name}::{vname}({items})),\n\
+                             other => ::std::result::Result::Err(\n\
+                             ::serde::DeError::mismatch(\"array of length {n}\", other)),\n}},\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let inits = named_field_initializers(fields, "payload");
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{\n\
+                             {inits}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value)\n\
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match value {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError(\n\
+                 format!(\"unknown variant {{other:?}} for {name}\"))),\n}},\n\
+                 ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (key, payload) = &entries[0];\n\
+                 let _ = payload;\n\
+                 match key.as_str() {{\n\
+                 {payload_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError(\n\
+                 format!(\"unknown variant {{other:?}} for {name}\"))),\n}}\n}},\n\
+                 other => ::std::result::Result::Err(\n\
+                 ::serde::DeError::mismatch(\"enum value\", other)),\n}}\n}}\n}}\n"
+            )
+        }
+    }
+}
