@@ -143,7 +143,7 @@ impl DecisionTree {
         for feature in 0..dim {
             // Collect distinct values for this feature among the samples.
             let mut values: Vec<f64> = indices.iter().map(|&i| rows[i].0[feature]).collect();
-            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            values.sort_by(f64::total_cmp);
             values.dedup();
             if values.len() < 2 {
                 continue;

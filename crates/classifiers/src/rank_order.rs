@@ -51,7 +51,10 @@ impl Profile {
         }
         let mut sorted: Vec<(u32, f64)> = totals.into_iter().collect();
         // Sort by descending frequency, ties by index for determinism.
-        sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        // `total_cmp` instead of `partial_cmp(..).unwrap()`: a NaN total
+        // (possible if a pathological extractor emits NaN) must not
+        // panic the sort.
+        sorted.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let ranks = sorted
             .into_iter()
             .take(k)
@@ -112,7 +115,7 @@ impl RankOrder {
     /// Rank the features of a test vector by descending value.
     fn rank_test(features: &SparseVector) -> Vec<(u32, usize)> {
         let mut entries: Vec<(u32, f64)> = features.iter().collect();
-        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        entries.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         entries
             .into_iter()
             .enumerate()

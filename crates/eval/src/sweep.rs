@@ -168,7 +168,7 @@ mod tests {
     #[test]
     fn paper_fractions_constant_is_sorted() {
         let mut sorted = PAPER_TRAINING_FRACTIONS;
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         assert_eq!(sorted, PAPER_TRAINING_FRACTIONS);
         assert_eq!(PAPER_TRAINING_FRACTIONS[3], 1.0);
     }

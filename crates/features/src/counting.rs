@@ -1,0 +1,107 @@
+//! An instrumented [`FeatureExtractor`] wrapper that counts extractions.
+//!
+//! The single-pass scoring pipeline guarantees *exactly one* feature
+//! extraction per classified URL, and the serving layer's result cache
+//! guarantees *zero* extractions on a cache hit. Both invariants are
+//! asserted by integration tests through [`CountingExtractor`]: it wraps
+//! any fitted extractor, delegates every call, and counts how many times
+//! `transform` / `transform_with` ran.
+//!
+//! The counter uses a relaxed atomic so the wrapper is safe to share
+//! across the batch-classification worker threads and the HTTP server's
+//! request handlers.
+
+use crate::dataset::LabeledUrl;
+use crate::extractor::{FeatureExtractor, FeatureSetKind};
+use crate::scratch::ExtractScratch;
+use crate::vector::SparseVector;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Wraps a feature extractor and counts every extraction.
+#[derive(Debug)]
+pub struct CountingExtractor<E> {
+    inner: E,
+    calls: AtomicUsize,
+}
+
+impl<E: FeatureExtractor> CountingExtractor<E> {
+    /// Wrap an extractor (typically already fitted).
+    pub fn new(inner: E) -> Self {
+        Self {
+            inner,
+            calls: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of `transform` / `transform_with` calls since construction
+    /// or the last [`CountingExtractor::reset`].
+    pub fn calls(&self) -> usize {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Reset the call counter to zero.
+    pub fn reset(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+    }
+
+    /// The wrapped extractor.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: FeatureExtractor> FeatureExtractor for CountingExtractor<E> {
+    fn fit(&mut self, training: &[LabeledUrl]) {
+        self.inner.fit(training);
+    }
+
+    fn transform(&self, url: &str) -> SparseVector {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.transform(url)
+    }
+
+    fn transform_with(&self, url: &str, scratch: &mut ExtractScratch) -> SparseVector {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.transform_with(url, scratch)
+    }
+
+    fn transform_training(&self, example: &LabeledUrl) -> SparseVector {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.transform_training(example)
+    }
+
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn feature_name(&self, index: u32) -> Option<String> {
+        self.inner.feature_name(index)
+    }
+
+    fn kind(&self) -> FeatureSetKind {
+        self.inner.kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::words::WordFeatureExtractor;
+    use urlid_lexicon::Language;
+
+    #[test]
+    fn counts_and_resets() {
+        let mut inner = WordFeatureExtractor::default();
+        inner.fit(&[LabeledUrl::new("http://a.de/wetter", Language::German)]);
+        let counter = CountingExtractor::new(inner);
+        assert_eq!(counter.calls(), 0);
+        let direct = counter.transform("http://a.de/wetter");
+        let scratched = counter.transform_with("http://a.de/wetter", &mut ExtractScratch::new());
+        assert_eq!(direct, scratched);
+        assert_eq!(counter.calls(), 2);
+        counter.reset();
+        assert_eq!(counter.calls(), 0);
+        assert_eq!(counter.kind(), counter.inner().kind());
+        assert_eq!(counter.dim(), counter.inner().dim());
+    }
+}

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod counting;
 pub mod custom;
 pub mod dataset;
 pub mod extractor;
@@ -35,6 +36,7 @@ pub mod vector;
 pub mod vocabulary;
 pub mod words;
 
+pub use counting::CountingExtractor;
 pub use custom::{CustomFeatureExtractor, CustomFeatureSet};
 pub use dataset::{Dataset, LabeledUrl, TrainTestSplit};
 pub use extractor::{FeatureExtractor, FeatureSetKind};

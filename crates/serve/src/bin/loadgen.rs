@@ -1,0 +1,117 @@
+//! `loadgen` — hammer a running `urlid serve` instance with a
+//! corpus-generated URL mix and write `BENCH_serve.json`.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:7878 [--requests 10000] [--concurrency 4]
+//!         [--unique 2000] [--seed 7] [--out BENCH_serve.json]
+//! ```
+
+use std::process::ExitCode;
+use urlid_serve::{run_loadgen, LoadgenConfig};
+
+const USAGE: &str = "\
+loadgen — load generator for the urlid serving layer
+
+USAGE:
+  loadgen --addr <host:port> [--requests <n>] [--concurrency <n>]
+          [--unique <n>] [--seed <u64>] [--out <report.json>]
+";
+
+fn parse_config(argv: &[String]) -> Result<LoadgenConfig, String> {
+    let mut config = LoadgenConfig::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let key = argv[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("unexpected argument {:?}\n\n{USAGE}", argv[i]))?;
+        if key == "help" {
+            return Err(USAGE.to_owned());
+        }
+        let value = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("missing value for --{key}"))?;
+        match key {
+            "addr" => config.addr = value.clone(),
+            "requests" => {
+                config.requests = value
+                    .parse()
+                    .map_err(|_| format!("bad --requests {value:?}"))?
+            }
+            "concurrency" => {
+                config.concurrency = value
+                    .parse()
+                    .map_err(|_| format!("bad --concurrency {value:?}"))?
+            }
+            "unique" => {
+                config.unique_urls = value
+                    .parse()
+                    .map_err(|_| format!("bad --unique {value:?}"))?
+            }
+            "seed" => config.seed = value.parse().map_err(|_| format!("bad --seed {value:?}"))?,
+            "out" => config.out = Some(value.into()),
+            other => return Err(format!("unknown flag --{other}\n\n{USAGE}")),
+        }
+        i += 2;
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_config(&argv) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_loadgen(&config) {
+        Ok(report) => {
+            eprintln!(
+                "{} requests in {:.2}s -> {:.0} req/s, p50 {:.3} ms, p99 {:.3} ms, cache hit rate {:.1}% ({} errors)",
+                report.requests,
+                report.duration_secs,
+                report.throughput_rps,
+                report.latency.p50_ms,
+                report.latency.p99_ms,
+                report.cache.hit_rate * 100.0,
+                report.errors,
+            );
+            if let Some(out) = &config.out {
+                eprintln!("report written to {}", out.display());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("loadgen failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Result<LoadgenConfig, String> {
+        parse_config(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let c = parse(&[]).unwrap();
+        assert_eq!(c.requests, 10_000);
+        let c = parse(&["--addr", "1.2.3.4:99", "--requests", "50", "--unique", "7"]).unwrap();
+        assert_eq!(c.addr, "1.2.3.4:99");
+        assert_eq!(c.requests, 50);
+        assert_eq!(c.unique_urls, 7);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        assert!(parse(&["--nope", "1"]).is_err());
+        assert!(parse(&["--requests", "many"]).is_err());
+        assert!(parse(&["positional"]).is_err());
+        assert!(parse(&["--help"]).unwrap_err().contains("USAGE"));
+    }
+}

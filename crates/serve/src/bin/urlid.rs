@@ -6,14 +6,19 @@
 //! urlid identify --model model.json <url> [<url> ...]        print the language of each URL
 //! urlid identify --model model.json                          ... or read URLs from stdin, one per line
 //! urlid evaluate --model model.json --data corpus/odp-test.json   paper metrics on a labelled test set
+//! urlid serve --model model.json --addr 127.0.0.1:7878       HTTP serving layer (see urlid-serve docs)
 //! ```
 //!
 //! The argument parser is hand-rolled (no extra dependencies); every
-//! subcommand prints usage on `--help`.
+//! subcommand prints usage on `--help`. The binary lives in the
+//! `urlid-serve` crate (not `urlid` core) because the `serve` subcommand
+//! needs the serving layer, which itself depends on core.
 
 use std::io::BufRead;
 use std::process::ExitCode;
+use std::sync::Arc;
 use urlid::prelude::*;
+use urlid_serve::server::{spawn, ServeConfig, ServerState};
 
 const USAGE: &str = "\
 urlid — web page language identification based on URLs
@@ -25,6 +30,8 @@ USAGE:
                  [--seed <u64>]
   urlid identify --model <model.json> [<url> ...]      (reads stdin when no URLs given)
   urlid evaluate --model <model.json> --data <dataset.json>
+  urlid serve    --model <model.json> [--addr <host:port>] [--threads <n>]
+                 [--cache-capacity <n>]
 ";
 
 /// A tiny `--key value` argument map.
@@ -188,6 +195,39 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let model_path = std::path::PathBuf::from(args.require("model")?);
+    let bundle = ModelBundle::load(&model_path).map_err(|e| e.to_string())?;
+    let identifier = bundle.into_identifier();
+    let mut config = ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_owned(),
+        ..ServeConfig::default()
+    };
+    if let Some(threads) = args.get("threads") {
+        config.threads = threads
+            .parse()
+            .map_err(|_| format!("bad --threads {threads:?}"))?;
+    }
+    let cache_capacity: usize = args
+        .get("cache-capacity")
+        .unwrap_or("65536")
+        .parse()
+        .map_err(|_| "bad --cache-capacity")?;
+    let state = Arc::new(ServerState::new(
+        identifier,
+        Some(model_path.clone()),
+        cache_capacity,
+    ));
+    let handle = spawn(&config, state).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+    eprintln!(
+        "serving {} on http://{} (cache capacity {cache_capacity}; POST /admin/reload to hot-swap)",
+        model_path.display(),
+        handle.addr()
+    );
+    handle.join();
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first() else {
@@ -199,6 +239,7 @@ fn run() -> Result<(), String> {
         "train" => cmd_train(&args),
         "identify" => cmd_identify(&args),
         "evaluate" => cmd_evaluate(&args),
+        "serve" => cmd_serve(&args),
         "--help" | "help" => Err(USAGE.to_owned()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
@@ -253,5 +294,12 @@ mod tests {
     fn help_flag_returns_usage() {
         let r = Args::parse(&["--help".to_string()]);
         assert!(r.unwrap_err().contains("USAGE"));
+    }
+
+    #[test]
+    fn usage_mentions_every_subcommand() {
+        for cmd in ["generate", "train", "identify", "evaluate", "serve"] {
+            assert!(USAGE.contains(cmd), "{cmd} missing from usage");
+        }
     }
 }

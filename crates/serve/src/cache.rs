@@ -1,0 +1,406 @@
+//! The sharded LRU result cache.
+//!
+//! Scoring a URL costs tokenisation plus feature extraction plus five
+//! model evaluations; real serving traffic repeats URLs heavily (hot
+//! pages, retries, crawler revisits). [`ResultCache`] memoises the five
+//! per-language scores keyed by [`normalize_url`], so a repeated URL
+//! performs **zero** feature extractions — an invariant asserted by an
+//! integration test through `urlid_features::CountingExtractor`.
+//!
+//! Design:
+//!
+//! * **Mutex striping** — the capacity is split over N independent
+//!   shards, each its own `Mutex<LruShard>`, selected by key hash;
+//!   worker threads contend only when they hit the same shard.
+//! * **True LRU per shard** — an intrusive doubly-linked list over a
+//!   slab (`Vec` of nodes + free list), so `get`, `insert` and eviction
+//!   are all O(1); no allocation beyond the stored keys.
+//! * **Epoch tagging** — every entry records the model epoch it was
+//!   computed under. A hot-reload bumps the epoch, instantly
+//!   invalidating all cached results without racing in-flight inserts
+//!   (an insert computed under the old model carries the old epoch and
+//!   is ignored by every later `get`).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The cached value: the five per-language scores of one URL (`None`
+/// where the model set has no classifier for a language). Decisions and
+/// the best language are derived from the scores by the sign convention,
+/// so scores are all that needs storing.
+pub type CachedScores = [Option<f64>; 5];
+
+/// Normalise a URL for use as a cache key (and as the scored form): trim
+/// surrounding whitespace, drop any `#fragment` (fragments never reach
+/// the server in real traffic and carry no language signal), and
+/// lowercase the scheme and host (DNS is case-insensitive; paths are
+/// not).
+pub fn normalize_url(raw: &str) -> String {
+    let trimmed = raw.trim();
+    let no_fragment = trimmed.split('#').next().unwrap_or("");
+    let host_start = no_fragment.find("://").map(|i| i + 3).unwrap_or(0);
+    let host_end = no_fragment[host_start..]
+        .find(['/', '?'])
+        .map(|i| host_start + i)
+        .unwrap_or(no_fragment.len());
+    let mut out = String::with_capacity(no_fragment.len());
+    out.push_str(&no_fragment[..host_end].to_ascii_lowercase());
+    out.push_str(&no_fragment[host_end..]);
+    out
+}
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: String,
+    epoch: u64,
+    scores: CachedScores,
+    prev: usize,
+    next: usize,
+}
+
+/// One LRU shard: slab-backed intrusive list, most-recent at `head`.
+struct LruShard {
+    map: HashMap<String, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl LruShard {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity.min(1024)),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Detach a node from the recency list.
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next].prev = prev;
+        }
+    }
+
+    /// Attach a node at the most-recent end.
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if self.head != idx {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+    }
+
+    fn get(&mut self, key: &str, epoch: u64) -> Option<CachedScores> {
+        let idx = *self.map.get(key)?;
+        if self.nodes[idx].epoch != epoch {
+            // Computed under a previous model: evict eagerly.
+            self.remove_index(idx);
+            return None;
+        }
+        self.touch(idx);
+        Some(self.nodes[idx].scores)
+    }
+
+    fn remove_index(&mut self, idx: usize) {
+        self.unlink(idx);
+        let key = std::mem::take(&mut self.nodes[idx].key);
+        self.map.remove(&key);
+        self.free.push(idx);
+    }
+
+    fn insert(&mut self, key: &str, epoch: u64, scores: CachedScores) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(key) {
+            self.nodes[idx].epoch = epoch;
+            self.nodes[idx].scores = scores;
+            self.touch(idx);
+            return;
+        }
+        if self.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL, "non-empty shard has a tail");
+            self.remove_index(lru);
+        }
+        let node = Node {
+            key: key.to_owned(),
+            epoch,
+            scores,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(free) => {
+                self.nodes[free] = node;
+                free
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        self.push_front(idx);
+        self.map.insert(key.to_owned(), idx);
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+/// The mutex-striped LRU result cache (see module docs).
+pub struct ResultCache {
+    shards: Vec<Mutex<LruShard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// Default number of shards: enough stripes that a worker pool the
+    /// size of a large machine rarely contends on one lock.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// A cache holding at most `capacity` entries split over
+    /// `shard_count` shards (a capacity of zero disables caching).
+    pub fn new(capacity: usize, shard_count: usize) -> Self {
+        let shard_count = shard_count.max(1);
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(shard_count)
+        };
+        Self {
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(LruShard::new(per_shard)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<LruShard> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Look up the scores of a normalised URL computed under the current
+    /// model `epoch`. Entries from older epochs count as misses (and are
+    /// evicted on the way).
+    pub fn get(&self, key: &str, epoch: u64) -> Option<CachedScores> {
+        let result = self.shard(key).lock().expect("cache shard").get(key, epoch);
+        match result {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        result
+    }
+
+    /// Store the scores of a normalised URL computed under `epoch`.
+    pub fn insert(&self, key: &str, epoch: u64, scores: CachedScores) {
+        self.shard(key)
+            .lock()
+            .expect("cache shard")
+            .insert(key, epoch, scores);
+    }
+
+    /// Drop every entry (used by hot-reload to free memory immediately;
+    /// correctness never depends on it — the epoch tag already
+    /// invalidates stale entries).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard").clear();
+        }
+    }
+
+    /// Number of entries currently cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard").len())
+            .sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total capacity over all shards.
+    pub fn capacity(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard").capacity)
+            .sum()
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss count (stale-epoch lookups included).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hits over lookups, or 0.0 before the first lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits() as f64;
+        let total = hits + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            hits / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores(x: f64) -> CachedScores {
+        [Some(x), Some(-x), None, Some(0.0), Some(x * 2.0)]
+    }
+
+    #[test]
+    fn normalization_trims_lowercases_and_strips_fragments() {
+        assert_eq!(
+            normalize_url("  HTTP://WWW.Example.DE/Pfad/Seite.html#abschnitt "),
+            "http://www.example.de/Pfad/Seite.html"
+        );
+        assert_eq!(
+            normalize_url("http://a.de/path?Q=Mixed"),
+            "http://a.de/path?Q=Mixed"
+        );
+        assert_eq!(normalize_url("WWW.EXAMPLE.com/X"), "www.example.com/X");
+        assert_eq!(normalize_url(""), "");
+    }
+
+    #[test]
+    fn get_and_insert_round_trip() {
+        let cache = ResultCache::new(100, 4);
+        assert_eq!(cache.get("http://a.de/", 0), None);
+        cache.insert("http://a.de/", 0, scores(1.0));
+        assert_eq!(cache.get("http://a.de/", 0), Some(scores(1.0)));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn epoch_mismatch_is_a_miss_and_evicts() {
+        let cache = ResultCache::new(100, 4);
+        cache.insert("http://a.de/", 0, scores(1.0));
+        assert_eq!(cache.get("http://a.de/", 1), None);
+        assert_eq!(cache.len(), 0, "stale entry evicted eagerly");
+        // Re-inserting under the new epoch works.
+        cache.insert("http://a.de/", 1, scores(2.0));
+        assert_eq!(cache.get("http://a.de/", 1), Some(scores(2.0)));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // One shard so the recency order is global.
+        let cache = ResultCache::new(3, 1);
+        for (i, key) in ["a", "b", "c"].iter().enumerate() {
+            cache.insert(key, 0, scores(i as f64));
+        }
+        // Touch "a" so "b" becomes the LRU entry.
+        assert!(cache.get("a", 0).is_some());
+        cache.insert("d", 0, scores(9.0));
+        assert_eq!(cache.len(), 3);
+        assert!(cache.get("b", 0).is_none(), "LRU entry evicted");
+        assert!(cache.get("a", 0).is_some());
+        assert!(cache.get("c", 0).is_some());
+        assert!(cache.get("d", 0).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let cache = ResultCache::new(2, 1);
+        cache.insert("a", 0, scores(1.0));
+        cache.insert("a", 0, scores(2.0));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get("a", 0), Some(scores(2.0)));
+    }
+
+    #[test]
+    fn heavy_churn_stays_capacity_bounded() {
+        // Real traffic shape: a small hot set plus a long tail of
+        // one-off URLs churning through the shards.
+        let cache = ResultCache::new(64, 8);
+        for i in 0..10_000 {
+            let key = if i % 2 == 0 {
+                format!("http://hot{}.de/", i % 20)
+            } else {
+                format!("http://cold{i}.de/")
+            };
+            if cache.get(&key, 0).is_none() {
+                cache.insert(&key, 0, scores(i as f64));
+            }
+        }
+        assert!(cache.len() <= cache.capacity());
+        assert!(cache.hits() > 1000, "hot keys must mostly hit");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ResultCache::new(0, 4);
+        cache.insert("a", 0, scores(1.0));
+        assert_eq!(cache.get("a", 0), None);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.capacity(), 0);
+    }
+
+    #[test]
+    fn clear_empties_every_shard() {
+        let cache = ResultCache::new(100, 4);
+        for i in 0..50 {
+            cache.insert(&format!("k{i}"), 0, scores(i as f64));
+        }
+        assert_eq!(cache.len(), 50);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

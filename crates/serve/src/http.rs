@@ -1,0 +1,240 @@
+//! A minimal HTTP/1.1 codec over [`TcpStream`].
+//!
+//! Implements exactly the subset the serving layer needs: request-line +
+//! headers + `Content-Length` bodies, keep-alive, and the handful of
+//! status codes the API returns. Shared by the server, the load
+//! generator's client side, and the integration tests — so the same
+//! parser is exercised from both directions.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the total header section of a request (bytes).
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Upper bound on a request body (bytes) — batch requests included.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercased as received.
+    pub method: String,
+    /// Request path (query strings are kept verbatim; the API uses none).
+    pub path: String,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The connection failed mid-request (including read timeouts).
+    Io(io::Error),
+    /// The bytes on the wire are not a well-formed HTTP/1.1 request.
+    Malformed(String),
+    /// Headers or body exceed the configured limits.
+    TooLarge(String),
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge(m) => write!(f, "request too large: {m}"),
+        }
+    }
+}
+
+/// Read one `\n`-terminated line of at most `limit` bytes. Enforces the
+/// cap *while reading* (via [`Read::take`]), so a malicious peer
+/// streaming gigabytes with no newline cannot grow the buffer past the
+/// header limit. Returns the number of bytes read (0 on EOF).
+fn read_line_limited(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+    limit: usize,
+) -> Result<usize, HttpError> {
+    let read = reader.by_ref().take(limit as u64).read_line(line)?;
+    if read == limit && !line.ends_with('\n') {
+        return Err(HttpError::TooLarge("header line".into()));
+    }
+    Ok(read)
+}
+
+/// Read one request from the connection. Returns `Ok(None)` on a clean
+/// EOF (the client closed an idle keep-alive connection).
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, HttpError> {
+    let mut line = String::new();
+    if read_line_limited(reader, &mut line, MAX_HEADER_BYTES)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_owned();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line has no path".into()))?
+        .to_owned();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line has no version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("bad version {version:?}")));
+    }
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version == "HTTP/1.1";
+    let mut content_length = 0usize;
+    let mut header_bytes = line.len();
+    loop {
+        line.clear();
+        let budget = MAX_HEADER_BYTES.saturating_sub(header_bytes);
+        if budget == 0 {
+            return Err(HttpError::TooLarge("header section".into()));
+        }
+        if read_line_limited(reader, &mut line, budget)? == 0 {
+            return Err(HttpError::Malformed("EOF inside headers".into()));
+        }
+        header_bytes += line.len();
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header {trimmed:?}")));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length {value:?}")))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge(format!(
+            "body of {content_length} bytes"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| HttpError::Malformed("body is not valid UTF-8".into()))?;
+    Ok(Some(Request {
+        method,
+        path,
+        keep_alive,
+        body,
+    }))
+}
+
+/// The reason phrase for the status codes the API uses.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Write a JSON response (the API speaks nothing else).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    // Head and body go out in one write: a single TCP segment for small
+    // responses, and no window for a peer to observe a half response.
+    let message = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(message.as_bytes())?;
+    stream.flush()
+}
+
+// ---------------------------------------------------------------------
+// Client side (load generator, integration tests)
+// ---------------------------------------------------------------------
+
+/// Write a request; `body` of `None` means a body-less GET-style request.
+pub fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<()> {
+    let body = body.unwrap_or("");
+    // One write for head + body (see `write_response`).
+    let message = format!(
+        "{method} {path} HTTP/1.1\r\nHost: urlid\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(message.as_bytes())?;
+    stream.flush()
+}
+
+/// Read one response; returns `(status, body)`.
+pub fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<(u16, String)> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before response",
+        ));
+    }
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed inside headers",
+            ));
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    String::from_utf8(body)
+        .map(|b| (status, b))
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))
+}

@@ -1,0 +1,69 @@
+//! # urlid-serve
+//!
+//! The network serving layer for URL-based language identification — the
+//! deployment the paper motivates: classification fast enough to run
+//! *before* a page is fetched, inline in a crawler or frontend serving
+//! path, under heavy traffic.
+//!
+//! Everything is built on the standard library only (the build container
+//! has no crates.io access, so no tokio/hyper — the same vendoring
+//! philosophy as the rest of the workspace):
+//!
+//! * [`http`] — a minimal HTTP/1.1 codec over [`std::net::TcpStream`]
+//!   (request parsing, response writing, keep-alive), shared by the
+//!   server, the load generator and the integration tests;
+//! * [`cache`] — a mutex-striped, capacity-bounded LRU **result cache**
+//!   keyed by normalised URL, so repeated URLs skip tokenisation and
+//!   feature extraction entirely (asserted by an integration test through
+//!   [`urlid_features::CountingExtractor`]);
+//! * [`metrics`] — request counters and a log-scale latency histogram
+//!   behind relaxed atomics, exported by `GET /metrics`;
+//! * [`server`] — a fixed worker-thread-pool server exposing the JSON
+//!   API, with **atomic model hot-reload**: `POST /admin/reload` swaps an
+//!   [`std::sync::Arc`]-held model loaded via `urlid::persistence` with
+//!   zero dropped requests (readers clone the `Arc` under a briefly-held
+//!   read lock; the cache is epoch-tagged so stale entries never serve);
+//! * [`loadgen`] — a keep-alive load generator replaying a
+//!   corpus-generated URL mix and emitting a machine-readable
+//!   `BENCH_serve.json` (throughput, p50/p99 latency, cache hit rate).
+//!
+//! ## Endpoints
+//!
+//! | Endpoint              | Method | Body                        | Response                                     |
+//! |-----------------------|--------|-----------------------------|----------------------------------------------|
+//! | `/identify`           | POST   | `{"url": "..."}`            | per-language scores, decisions, best, cached |
+//! | `/identify_batch`     | POST   | `{"urls": ["...", ...]}`    | one result per URL (parallel scoring)        |
+//! | `/healthz`            | GET    | —                           | status, model config, uptime                 |
+//! | `/metrics`            | GET    | —                           | counters, cache hit rate, latency histogram  |
+//! | `/admin/reload`       | POST   | `{"path": "..."}` (opt.)    | swaps the model, bumps the cache epoch       |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use urlid_serve::server::{spawn, ServeConfig, ServerState};
+//! use std::sync::Arc;
+//!
+//! let bundle = urlid::ModelBundle::load("model.json").unwrap();
+//! let state = Arc::new(ServerState::new(
+//!     bundle.into_identifier(),
+//!     Some("model.json".into()),
+//!     65_536,
+//! ));
+//! let handle = spawn(&ServeConfig::default(), state).unwrap();
+//! println!("serving on http://{}", handle.addr());
+//! handle.join();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod loadgen;
+pub mod metrics;
+pub mod server;
+
+pub use cache::{normalize_url, ResultCache};
+pub use loadgen::{run_loadgen, BenchReport, LoadgenConfig};
+pub use metrics::Metrics;
+pub use server::{spawn, ServeConfig, ServerHandle, ServerState};

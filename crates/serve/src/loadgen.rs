@@ -1,0 +1,294 @@
+//! The load generator: hammer a running server with a corpus-generated
+//! URL mix and emit a machine-readable benchmark report.
+//!
+//! The URL mix comes from
+//! [`urlid_corpus::UrlGenerator::crawl_frontier_mix`]: a pool of
+//! `unique_urls` mixed-language web-crawl URLs, sampled with repetition —
+//! with more requests than unique URLs the workload repeats URLs exactly
+//! like real traffic does, which is what exercises (and measures) the
+//! result cache.
+//!
+//! Each worker thread keeps one keep-alive connection and measures
+//! per-request wall latency; the merged samples give *exact* percentiles
+//! (the server's own histogram is bucketed). The report is written as
+//! `BENCH_serve.json` so the perf trajectory accumulates next to the
+//! criterion bench JSON (`target/bench-results-*.json`).
+
+use crate::http;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize, Value};
+use std::io::{self, BufReader};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Instant;
+use urlid_corpus::UrlGenerator;
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Total number of `/identify` requests to send.
+    pub requests: usize,
+    /// Concurrent keep-alive connections (worker threads).
+    pub concurrency: usize,
+    /// Size of the unique-URL pool (smaller pool → higher cache hit rate).
+    pub unique_urls: usize,
+    /// Seed for the URL mix and the per-worker sampling.
+    pub seed: u64,
+    /// Where to write the JSON report (`None` skips the file).
+    pub out: Option<PathBuf>,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_owned(),
+            requests: 10_000,
+            concurrency: 4,
+            unique_urls: 2_000,
+            seed: 7,
+            out: Some(PathBuf::from("BENCH_serve.json")),
+        }
+    }
+}
+
+/// Latency percentiles in milliseconds (exact, from client-side samples).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_ms: f64,
+    /// 90th percentile.
+    pub p90_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Mean.
+    pub mean_ms: f64,
+    /// Slowest request.
+    pub max_ms: f64,
+}
+
+/// Server-side cache statistics, read from `GET /metrics` after the run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheSummary {
+    /// Cache hits over the server's lifetime.
+    pub hits: u64,
+    /// Cache misses over the server's lifetime.
+    pub misses: u64,
+    /// Hits over lookups.
+    pub hit_rate: f64,
+}
+
+/// The machine-readable benchmark report (`BENCH_serve.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Report kind tag, always `"serve"`.
+    pub bench: String,
+    /// Seconds since the Unix epoch when the run finished.
+    pub unix_time: u64,
+    /// Requests completed successfully.
+    pub requests: u64,
+    /// Requests that failed (non-200 or transport error).
+    pub errors: u64,
+    /// Concurrent connections used.
+    pub concurrency: u64,
+    /// Unique-URL pool size.
+    pub unique_urls: u64,
+    /// Wall-clock duration of the run in seconds.
+    pub duration_secs: f64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Client-side latency percentiles.
+    pub latency: LatencySummary,
+    /// Server-side cache statistics.
+    pub cache: CacheSummary,
+}
+
+fn percentile(sorted_micros: &[u64], q: f64) -> f64 {
+    if sorted_micros.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_micros.len() as f64).ceil() as usize).clamp(1, sorted_micros.len());
+    sorted_micros[rank - 1] as f64 / 1000.0
+}
+
+/// One worker: a keep-alive connection sending `n` requests sampled from
+/// the shared pool. Returns (latency samples in µs, error count).
+fn worker(addr: &str, urls: &[String], n: usize, seed: u64) -> io::Result<(Vec<u64>, u64)> {
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut latencies = Vec::with_capacity(n);
+    let mut errors = 0u64;
+    for _ in 0..n {
+        let url = &urls[rng.random_range(0..urls.len())];
+        let mut body = Value::object();
+        body.insert("url", Value::Str(url.clone()));
+        let body = serde_json::to_string(&body).expect("request serialises");
+        let started = Instant::now();
+        http::write_request(&mut writer, "POST", "/identify", Some(&body))?;
+        let (status, _) = http::read_response(&mut reader)?;
+        let elapsed = started.elapsed().as_micros() as u64;
+        if status == 200 {
+            latencies.push(elapsed);
+        } else {
+            errors += 1;
+        }
+    }
+    Ok((latencies, errors))
+}
+
+/// Read the server's cache statistics from `GET /metrics`.
+fn fetch_cache_stats(addr: &str) -> io::Result<CacheSummary> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    http::write_request(&mut writer, "GET", "/metrics", None)?;
+    let (status, body) = http::read_response(&mut reader)?;
+    if status != 200 {
+        return Err(io::Error::other(format!("/metrics returned {status}")));
+    }
+    let parsed: Value = serde_json::from_str(&body)
+        .map_err(|e| io::Error::other(format!("bad /metrics JSON: {e}")))?;
+    let cache = parsed
+        .get("cache")
+        .ok_or_else(|| io::Error::other("/metrics has no cache section"))?;
+    let uint = |key: &str| -> io::Result<u64> {
+        match cache.get(key) {
+            Some(Value::Uint(n)) => Ok(*n),
+            Some(Value::Int(n)) if *n >= 0 => Ok(*n as u64),
+            _ => Err(io::Error::other(format!("cache.{key} missing"))),
+        }
+    };
+    let hit_rate = match cache.get("hit_rate") {
+        Some(Value::Float(x)) => *x,
+        Some(Value::Int(n)) => *n as f64,
+        _ => 0.0,
+    };
+    Ok(CacheSummary {
+        hits: uint("hits")?,
+        misses: uint("misses")?,
+        hit_rate,
+    })
+}
+
+/// Run the load generator against a server at `config.addr`; returns the
+/// report (and writes it to `config.out` when set).
+pub fn run_loadgen(config: &LoadgenConfig) -> io::Result<BenchReport> {
+    let concurrency = config.concurrency.max(1);
+    let urls = UrlGenerator::crawl_frontier_mix(config.seed, config.unique_urls.max(1));
+    let per_worker = config.requests.div_ceil(concurrency);
+
+    let started = Instant::now();
+    let results: Vec<io::Result<(Vec<u64>, u64)>> = std::thread::scope(|scope| {
+        (0..concurrency)
+            .map(|i| {
+                let urls = &urls;
+                let addr = config.addr.as_str();
+                let seed = config.seed.wrapping_add(1 + i as u64);
+                scope.spawn(move || worker(addr, urls, per_worker, seed))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|handle| handle.join().expect("loadgen worker panicked"))
+            .collect()
+    });
+    let duration_secs = started.elapsed().as_secs_f64();
+
+    let mut latencies = Vec::new();
+    let mut errors = 0u64;
+    for result in results {
+        let (mut worker_latencies, worker_errors) = result?;
+        latencies.append(&mut worker_latencies);
+        errors += worker_errors;
+    }
+    latencies.sort_unstable();
+    let completed = latencies.len() as u64;
+    let mean_micros = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+    };
+    let cache = fetch_cache_stats(&config.addr)?;
+    let report = BenchReport {
+        bench: "serve".to_owned(),
+        unix_time: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        requests: completed,
+        errors,
+        concurrency: concurrency as u64,
+        unique_urls: urls.len() as u64,
+        duration_secs,
+        throughput_rps: if duration_secs > 0.0 {
+            completed as f64 / duration_secs
+        } else {
+            0.0
+        },
+        latency: LatencySummary {
+            p50_ms: percentile(&latencies, 0.50),
+            p90_ms: percentile(&latencies, 0.90),
+            p99_ms: percentile(&latencies, 0.99),
+            mean_ms: mean_micros / 1000.0,
+            max_ms: latencies
+                .last()
+                .map_or(0.0, |&micros| micros as f64 / 1000.0),
+        },
+        cache,
+    };
+    if let Some(out) = &config.out {
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| io::Error::other(format!("cannot serialise report: {e}")))?;
+        std::fs::write(out, json)?;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_exact_on_small_samples() {
+        let samples = vec![1000, 2000, 3000, 4000, 5000];
+        assert_eq!(percentile(&samples, 0.50), 3.0);
+        assert_eq!(percentile(&samples, 0.99), 5.0);
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = BenchReport {
+            bench: "serve".into(),
+            unix_time: 1,
+            requests: 100,
+            errors: 0,
+            concurrency: 4,
+            unique_urls: 50,
+            duration_secs: 0.5,
+            throughput_rps: 200.0,
+            latency: LatencySummary {
+                p50_ms: 1.0,
+                p90_ms: 2.0,
+                p99_ms: 3.0,
+                mean_ms: 1.2,
+                max_ms: 4.0,
+            },
+            cache: CacheSummary {
+                hits: 40,
+                misses: 60,
+                hit_rate: 0.4,
+            },
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let restored: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored.requests, 100);
+        assert_eq!(restored.cache.hits, 40);
+        assert!(json.contains("\"throughput_rps\""));
+    }
+}

@@ -1,0 +1,244 @@
+//! Request counters and a log-scale latency histogram.
+//!
+//! Everything is relaxed atomics: the handlers record into shared
+//! counters with no locking, and `GET /metrics` reads a (slightly
+//! racy, monotonically consistent-enough) snapshot — the standard
+//! trade-off for serving metrics.
+
+use serde::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of power-of-two latency buckets: bucket `i` counts requests
+/// taking `[2^(i-1), 2^i)` microseconds, so the range spans 1 µs up to
+/// ~9 minutes — beyond either end clamps into the edge buckets.
+const BUCKETS: usize = 40;
+
+/// A log₂-scale latency histogram over microseconds.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket_of(micros: u64) -> usize {
+        // bit length of `micros`: 0 µs and 1 µs land in bucket 0/1.
+        ((u64::BITS - micros.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Record one request latency.
+    pub fn record(&self, micros: u64) {
+        self.buckets[Self::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Number of recorded requests.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The latency quantile in milliseconds, resolved to the upper bound
+    /// of the bucket containing it (`None` before the first request).
+    pub fn quantile_ms(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                let upper_micros = 1u64 << i;
+                return Some(upper_micros as f64 / 1000.0);
+            }
+        }
+        Some(self.max_micros.load(Ordering::Relaxed) as f64 / 1000.0)
+    }
+
+    /// Mean latency in milliseconds (`None` before the first request).
+    pub fn mean_ms(&self) -> Option<f64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        Some(self.sum_micros.load(Ordering::Relaxed) as f64 / count as f64 / 1000.0)
+    }
+
+    /// The non-empty buckets as `{"le_ms": .., "count": ..}` objects
+    /// (`le_ms` is the bucket's inclusive upper bound in milliseconds).
+    pub fn to_value(&self) -> Value {
+        let mut out = Vec::new();
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let count = bucket.load(Ordering::Relaxed);
+            if count > 0 {
+                let mut entry = Value::object();
+                entry.insert("le_ms", Value::Float((1u64 << i) as f64 / 1000.0));
+                entry.insert("count", Value::Uint(count));
+                out.push(entry);
+            }
+        }
+        Value::Array(out)
+    }
+}
+
+/// All serving metrics: per-endpoint request counters, error count,
+/// reload count, and the latency histogram of the two scoring endpoints.
+pub struct Metrics {
+    start: Instant,
+    /// `POST /identify` requests served.
+    pub identify: AtomicU64,
+    /// `POST /identify_batch` requests served.
+    pub identify_batch: AtomicU64,
+    /// Total URLs scored through `/identify_batch`.
+    pub batch_urls: AtomicU64,
+    /// `GET /healthz` requests served.
+    pub healthz: AtomicU64,
+    /// `GET /metrics` requests served.
+    pub metrics: AtomicU64,
+    /// Successful `POST /admin/reload` swaps.
+    pub reloads: AtomicU64,
+    /// Requests answered with a 4xx/5xx status.
+    pub errors: AtomicU64,
+    /// Latency of `/identify` and `/identify_batch` requests.
+    pub latency: LatencyHistogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh metrics; uptime counts from now.
+    pub fn new() -> Self {
+        Self {
+            start: Instant::now(),
+            identify: AtomicU64::new(0),
+            identify_batch: AtomicU64::new(0),
+            batch_urls: AtomicU64::new(0),
+            healthz: AtomicU64::new(0),
+            metrics: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency: LatencyHistogram::default(),
+        }
+    }
+
+    /// Seconds since the server started.
+    pub fn uptime_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// The request-counter section of the `/metrics` response.
+    pub fn requests_value(&self) -> Value {
+        let mut requests = Value::object();
+        requests.insert(
+            "identify",
+            Value::Uint(self.identify.load(Ordering::Relaxed)),
+        );
+        requests.insert(
+            "identify_batch",
+            Value::Uint(self.identify_batch.load(Ordering::Relaxed)),
+        );
+        requests.insert(
+            "batch_urls",
+            Value::Uint(self.batch_urls.load(Ordering::Relaxed)),
+        );
+        requests.insert("healthz", Value::Uint(self.healthz.load(Ordering::Relaxed)));
+        requests.insert("metrics", Value::Uint(self.metrics.load(Ordering::Relaxed)));
+        requests.insert("errors", Value::Uint(self.errors.load(Ordering::Relaxed)));
+        requests
+    }
+
+    /// The latency section of the `/metrics` response.
+    pub fn latency_value(&self) -> Value {
+        let mut latency = Value::object();
+        latency.insert("count", Value::Uint(self.latency.count()));
+        let quantile = |q| match self.latency.quantile_ms(q) {
+            Some(ms) => Value::Float(ms),
+            None => Value::Null,
+        };
+        latency.insert("p50_ms", quantile(0.50));
+        latency.insert("p90_ms", quantile(0.90));
+        latency.insert("p99_ms", quantile(0.99));
+        latency.insert(
+            "mean_ms",
+            match self.latency.mean_ms() {
+                Some(ms) => Value::Float(ms),
+                None => Value::Null,
+            },
+        );
+        latency.insert("histogram", self.latency.to_value());
+        latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_ms(0.5), None);
+        assert_eq!(h.mean_ms(), None);
+        // 90 fast requests (~8 µs), 10 slow (~2048 µs).
+        for _ in 0..90 {
+            h.record(7);
+        }
+        for _ in 0..10 {
+            h.record(1500);
+        }
+        assert_eq!(h.count(), 100);
+        // p50 resolves to the fast bucket's upper bound, p99 to the slow.
+        assert!(h.quantile_ms(0.5).unwrap() <= 0.016);
+        assert!(h.quantile_ms(0.99).unwrap() >= 1.0);
+        let mean = h.mean_ms().unwrap();
+        assert!(mean > 0.1 && mean < 0.2, "mean {mean}");
+        // Histogram JSON has exactly the two non-empty buckets.
+        match h.to_value() {
+            Value::Array(buckets) => assert_eq!(buckets.len(), 2),
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_and_huge_latencies_clamp_into_edge_buckets() {
+        let h = LatencyHistogram::default();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_ms(1.0).is_some());
+    }
+
+    #[test]
+    fn metrics_values_have_the_documented_shape() {
+        let m = Metrics::new();
+        m.identify.fetch_add(3, Ordering::Relaxed);
+        m.latency.record(100);
+        let requests = m.requests_value();
+        assert_eq!(requests.get("identify"), Some(&Value::Uint(3)));
+        assert_eq!(requests.get("errors"), Some(&Value::Uint(0)));
+        let latency = m.latency_value();
+        assert_eq!(latency.get("count"), Some(&Value::Uint(1)));
+        assert!(latency.get("p50_ms").is_some());
+        assert!(m.uptime_secs() >= 0.0);
+    }
+}

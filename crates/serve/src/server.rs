@@ -1,0 +1,605 @@
+//! The HTTP server: worker thread pool, routing, and model hot-reload.
+//!
+//! ## Threading model
+//!
+//! One acceptor thread pushes accepted connections into an mpsc channel
+//! drained by a fixed pool of worker threads; each worker serves one
+//! keep-alive connection at a time (pipelined request → response loops).
+//! There is no async runtime — the container has no crates.io access, so
+//! no tokio/hyper — and the workload (sub-millisecond CPU-bound scoring)
+//! suits a thread-per-connection pool well. The trade-off: the pool size
+//! caps concurrent *connections* (a keep-alive connection pins its
+//! worker between requests, bounded by the read timeout), hence the
+//! over-provisioned default of four workers per core; readiness-based
+//! multiplexing is future work tracked in ROADMAP.md.
+//!
+//! ## Hot reload
+//!
+//! The model lives in a private `ModelSlot` behind an `RwLock`: request
+//! handlers take a read lock just long enough to clone the
+//! `Arc<LanguageIdentifier>` and the epoch, then score without any lock
+//! held. `POST /admin/reload` loads the new bundle *before* taking the
+//! write lock, so the lock is held only for the pointer swap — in-flight
+//! requests finish on the model they started with and no request is ever
+//! dropped. The epoch bump atomically invalidates the result cache (see
+//! [`crate::cache`]).
+
+use crate::cache::{normalize_url, CachedScores, ResultCache};
+use crate::http::{self, HttpError, Request};
+use crate::metrics::Metrics;
+use serde::Value;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use urlid::LanguageIdentifier;
+use urlid_classifiers::LanguageClassifierSet;
+use urlid_lexicon::ALL_LANGUAGES;
+
+/// Server configuration (everything has serving-friendly defaults).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (tests, loadgen).
+    pub addr: String,
+    /// Worker threads; 0 means four per available core. Each worker
+    /// owns one keep-alive connection at a time, so the pool size caps
+    /// the number of *concurrent connections*, not requests — workers
+    /// mostly block on socket reads, which is why the default
+    /// over-provisions well past the core count.
+    pub threads: usize,
+    /// Number of cache shards (mutex stripes).
+    pub cache_shards: usize,
+    /// Socket read timeout. A connection idle for this long is closed —
+    /// a timeout can strike *mid*-request too, and a partially consumed
+    /// request cannot be resynchronised, so the only safe reaction to
+    /// any timeout is to drop the connection. Keep this generous; it
+    /// also bounds how long shutdown waits for idle workers.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 0,
+            cache_shards: ResultCache::DEFAULT_SHARDS,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The hot-swappable model: identifier + epoch + the path it came from.
+struct ModelSlot {
+    identifier: Arc<LanguageIdentifier>,
+    epoch: u64,
+    path: Option<PathBuf>,
+}
+
+/// Everything the request handlers share: the model slot, the result
+/// cache and the metrics. Constructed once and passed to [`spawn`] in an
+/// `Arc`; tests reach the cache and metrics through it.
+pub struct ServerState {
+    slot: RwLock<ModelSlot>,
+    cache: ResultCache,
+    metrics: Metrics,
+}
+
+impl ServerState {
+    /// A serving state for a trained identifier. `model_path` is where
+    /// `POST /admin/reload` reloads from when the request names no path
+    /// (pass `None` for states built from in-memory models).
+    pub fn new(
+        identifier: LanguageIdentifier,
+        model_path: Option<PathBuf>,
+        cache_capacity: usize,
+    ) -> Self {
+        Self::with_shards(
+            identifier,
+            model_path,
+            cache_capacity,
+            ResultCache::DEFAULT_SHARDS,
+        )
+    }
+
+    /// [`ServerState::new`] with an explicit shard count.
+    pub fn with_shards(
+        identifier: LanguageIdentifier,
+        model_path: Option<PathBuf>,
+        cache_capacity: usize,
+        cache_shards: usize,
+    ) -> Self {
+        Self {
+            slot: RwLock::new(ModelSlot {
+                identifier: Arc::new(identifier),
+                epoch: 0,
+                path: model_path,
+            }),
+            cache: ResultCache::new(cache_capacity, cache_shards),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// The current model and its epoch (consistent snapshot).
+    pub fn model(&self) -> (Arc<LanguageIdentifier>, u64) {
+        let slot = self.slot.read().expect("model slot");
+        (Arc::clone(&slot.identifier), slot.epoch)
+    }
+
+    /// Model, epoch *and* source path under a single lock hold, so a
+    /// concurrent reload can never produce a torn epoch/path pairing in
+    /// `/healthz`, `/metrics` or reload responses.
+    fn model_snapshot(&self) -> (Arc<LanguageIdentifier>, u64, Option<PathBuf>) {
+        let slot = self.slot.read().expect("model slot");
+        (Arc::clone(&slot.identifier), slot.epoch, slot.path.clone())
+    }
+
+    /// The result cache (exposed for metrics and tests).
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// The serving metrics (exposed for tests).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Swap in a model loaded from `path` (or from the slot's stored
+    /// path when `None`). Returns the new epoch. The old model keeps
+    /// serving until the swap; on any error it keeps serving, period.
+    pub fn reload(&self, path: Option<PathBuf>) -> Result<u64, String> {
+        let path = match path.or_else(|| self.slot.read().expect("model slot").path.clone()) {
+            Some(p) => p,
+            None => {
+                return Err(
+                    "no model path to reload from (start with --model or pass {\"path\": ...})"
+                        .into(),
+                )
+            }
+        };
+        // Load and build the identifier *outside* the write lock.
+        let bundle = urlid::ModelBundle::load(&path)
+            .map_err(|e| format!("cannot reload {}: {e}", path.display()))?;
+        let identifier = Arc::new(bundle.into_identifier());
+        let epoch = {
+            let mut slot = self.slot.write().expect("model slot");
+            slot.identifier = identifier;
+            slot.epoch += 1;
+            slot.path = Some(path);
+            slot.epoch
+        };
+        // The epoch bump already invalidates stale entries; clearing just
+        // releases their memory promptly.
+        self.cache.clear();
+        self.metrics.reloads.fetch_add(1, Ordering::Relaxed);
+        Ok(epoch)
+    }
+
+    /// Score one normalised URL, through the cache.
+    fn scores_cached(&self, key: &str) -> (CachedScores, bool) {
+        let (identifier, epoch) = self.model();
+        if let Some(scores) = self.cache.get(key, epoch) {
+            return (scores, true);
+        }
+        let scores = identifier.classifier_set().score_all(key);
+        self.cache.insert(key, epoch, scores);
+        (scores, false)
+    }
+
+    /// Score a batch of normalised URLs: cache lookups first, then one
+    /// parallel `score_batch` fan-out over the misses.
+    fn scores_cached_batch(&self, keys: &[String]) -> Vec<(CachedScores, bool)> {
+        let (identifier, epoch) = self.model();
+        let mut out: Vec<Option<(CachedScores, bool)>> = keys
+            .iter()
+            .map(|k| self.cache.get(k, epoch).map(|s| (s, true)))
+            .collect();
+        let miss_indices: Vec<usize> = (0..keys.len()).filter(|&i| out[i].is_none()).collect();
+        if !miss_indices.is_empty() {
+            let miss_urls: Vec<&str> = miss_indices.iter().map(|&i| keys[i].as_str()).collect();
+            // The existing scoped-thread batch path: one extraction per
+            // URL, fanned out over all cores.
+            let scored = identifier.classifier_set().score_batch(&miss_urls);
+            for (&i, scores) in miss_indices.iter().zip(scored) {
+                self.cache.insert(&keys[i], epoch, scores);
+                out[i] = Some((scores, false));
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every index scored"))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Response building
+// ---------------------------------------------------------------------
+
+fn error_body(message: &str) -> String {
+    let mut o = Value::object();
+    o.insert("error", Value::Str(message.to_owned()));
+    serde_json::to_string(&o).expect("error body serialises")
+}
+
+/// One URL's result object (shared by `/identify` and `/identify_batch`).
+/// Decisions and the best language are derived from the scores alone
+/// (sign convention), which is what makes score-only caching sufficient.
+fn result_value(key: &str, scores: &CachedScores, cached: bool) -> Value {
+    let mut score_map = Value::object();
+    let mut accepted = Vec::new();
+    for lang in ALL_LANGUAGES {
+        let score = scores[lang.index()];
+        score_map.insert(
+            lang.iso_code(),
+            match score {
+                Some(s) => Value::Float(s),
+                None => Value::Null,
+            },
+        );
+        // The sign convention (decision == score > 0) is proptested for
+        // every algorithm, so decisions are free given the scores.
+        if score.is_some_and(|s| s > 0.0) {
+            accepted.push(Value::Str(lang.iso_code().to_owned()));
+        }
+    }
+    let best = LanguageClassifierSet::best_of(scores);
+    let mut o = Value::object();
+    o.insert("url", Value::Str(key.to_owned()));
+    o.insert(
+        "best",
+        match best {
+            Some(lang) => Value::Str(lang.iso_code().to_owned()),
+            None => Value::Null,
+        },
+    );
+    o.insert("accepted", Value::Array(accepted));
+    o.insert("scores", score_map);
+    o.insert("cached", Value::Bool(cached));
+    o
+}
+
+fn model_value(identifier: &LanguageIdentifier, epoch: u64, path: Option<&PathBuf>) -> Value {
+    let config = identifier.config();
+    let mut o = Value::object();
+    o.insert(
+        "algorithm",
+        Value::Str(config.algorithm.abbrev().to_owned()),
+    );
+    o.insert(
+        "features",
+        Value::Str(config.feature_set.short_label().to_owned()),
+    );
+    o.insert("epoch", Value::Uint(epoch));
+    o.insert(
+        "path",
+        match path {
+            Some(p) => Value::Str(p.display().to_string()),
+            None => Value::Null,
+        },
+    );
+    o
+}
+
+// ---------------------------------------------------------------------
+// Request handlers
+// ---------------------------------------------------------------------
+
+fn parse_json(body: &str) -> Result<Value, String> {
+    serde_json::from_str::<Value>(body).map_err(|e| format!("invalid JSON body: {e}"))
+}
+
+fn handle_identify(state: &ServerState, req: &Request) -> (u16, String) {
+    let started = Instant::now();
+    let parsed = match parse_json(&req.body) {
+        Ok(v) => v,
+        Err(e) => return (400, error_body(&e)),
+    };
+    let Some(Value::Str(url)) = parsed.get("url") else {
+        return (400, error_body("body must be {\"url\": \"...\"}"));
+    };
+    let key = normalize_url(url);
+    if key.is_empty() {
+        return (400, error_body("empty url"));
+    }
+    let (scores, cached) = state.scores_cached(&key);
+    let body =
+        serde_json::to_string(&result_value(&key, &scores, cached)).expect("response serialises");
+    state.metrics.identify.fetch_add(1, Ordering::Relaxed);
+    state
+        .metrics
+        .latency
+        .record(started.elapsed().as_micros() as u64);
+    (200, body)
+}
+
+fn handle_identify_batch(state: &ServerState, req: &Request) -> (u16, String) {
+    let started = Instant::now();
+    let parsed = match parse_json(&req.body) {
+        Ok(v) => v,
+        Err(e) => return (400, error_body(&e)),
+    };
+    let Some(Value::Array(raw_urls)) = parsed.get("urls") else {
+        return (400, error_body("body must be {\"urls\": [\"...\", ...]}"));
+    };
+    let mut keys = Vec::with_capacity(raw_urls.len());
+    for v in raw_urls {
+        match v {
+            Value::Str(url) => {
+                let key = normalize_url(url);
+                if key.is_empty() {
+                    return (400, error_body("empty url in batch"));
+                }
+                keys.push(key);
+            }
+            _ => return (400, error_body("urls must all be strings")),
+        }
+    }
+    let results = state.scores_cached_batch(&keys);
+    let mut hits = 0u64;
+    let items: Vec<Value> = keys
+        .iter()
+        .zip(&results)
+        .map(|(key, (scores, cached))| {
+            hits += u64::from(*cached);
+            result_value(key, scores, *cached)
+        })
+        .collect();
+    let mut o = Value::object();
+    o.insert("count", Value::Uint(items.len() as u64));
+    o.insert("cache_hits", Value::Uint(hits));
+    o.insert("results", Value::Array(items));
+    let body = serde_json::to_string(&o).expect("response serialises");
+    state.metrics.identify_batch.fetch_add(1, Ordering::Relaxed);
+    state
+        .metrics
+        .batch_urls
+        .fetch_add(keys.len() as u64, Ordering::Relaxed);
+    state
+        .metrics
+        .latency
+        .record(started.elapsed().as_micros() as u64);
+    (200, body)
+}
+
+fn handle_healthz(state: &ServerState) -> (u16, String) {
+    state.metrics.healthz.fetch_add(1, Ordering::Relaxed);
+    let (identifier, epoch, path) = state.model_snapshot();
+    let mut o = Value::object();
+    o.insert("status", Value::Str("ok".to_owned()));
+    o.insert("uptime_secs", Value::Float(state.metrics.uptime_secs()));
+    o.insert("model", model_value(&identifier, epoch, path.as_ref()));
+    (200, serde_json::to_string(&o).expect("response serialises"))
+}
+
+fn handle_metrics(state: &ServerState) -> (u16, String) {
+    state.metrics.metrics.fetch_add(1, Ordering::Relaxed);
+    let (identifier, epoch, path) = state.model_snapshot();
+    let mut cache = Value::object();
+    cache.insert("hits", Value::Uint(state.cache.hits()));
+    cache.insert("misses", Value::Uint(state.cache.misses()));
+    cache.insert("hit_rate", Value::Float(state.cache.hit_rate()));
+    cache.insert("entries", Value::Uint(state.cache.len() as u64));
+    cache.insert("capacity", Value::Uint(state.cache.capacity() as u64));
+    let mut model = model_value(&identifier, epoch, path.as_ref());
+    model.insert(
+        "reloads",
+        Value::Uint(state.metrics.reloads.load(Ordering::Relaxed)),
+    );
+    let mut o = Value::object();
+    o.insert("uptime_secs", Value::Float(state.metrics.uptime_secs()));
+    o.insert("requests", state.metrics.requests_value());
+    o.insert("cache", cache);
+    o.insert("latency", state.metrics.latency_value());
+    o.insert("model", model);
+    (200, serde_json::to_string(&o).expect("response serialises"))
+}
+
+fn handle_reload(state: &ServerState, req: &Request) -> (u16, String) {
+    let path = if req.body.trim().is_empty() {
+        None
+    } else {
+        match parse_json(&req.body) {
+            Ok(v) => match v.get("path") {
+                Some(Value::Str(p)) => Some(PathBuf::from(p)),
+                Some(_) => return (400, error_body("path must be a string")),
+                None => None,
+            },
+            Err(e) => return (400, error_body(&e)),
+        }
+    };
+    match state.reload(path) {
+        Ok(_) => {
+            let (identifier, epoch, path) = state.model_snapshot();
+            let mut o = Value::object();
+            o.insert("reloaded", Value::Bool(true));
+            o.insert("model", model_value(&identifier, epoch, path.as_ref()));
+            (200, serde_json::to_string(&o).expect("response serialises"))
+        }
+        Err(message) => (500, error_body(&message)),
+    }
+}
+
+/// Route one request to its handler.
+fn route(state: &ServerState, req: &Request) -> (u16, String) {
+    let response = match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/identify") => handle_identify(state, req),
+        ("POST", "/identify_batch") => handle_identify_batch(state, req),
+        ("GET", "/healthz") => handle_healthz(state),
+        ("GET", "/metrics") => handle_metrics(state),
+        ("POST", "/admin/reload") => handle_reload(state, req),
+        (_, "/identify" | "/identify_batch" | "/healthz" | "/metrics" | "/admin/reload") => {
+            (405, error_body("method not allowed"))
+        }
+        _ => (404, error_body("not found")),
+    };
+    if response.0 >= 400 {
+        state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    response
+}
+
+// ---------------------------------------------------------------------
+// Connection / pool plumbing
+// ---------------------------------------------------------------------
+
+fn handle_connection(
+    stream: TcpStream,
+    state: &ServerState,
+    shutdown: &AtomicBool,
+    config: &ServeConfig,
+) {
+    if stream.set_read_timeout(Some(config.read_timeout)).is_err() {
+        return;
+    }
+    // Sub-millisecond responses: don't let Nagle batch them.
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let mut reader = BufReader::new(read_half);
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match http::read_request(&mut reader) {
+            Ok(None) => return, // clean close
+            Ok(Some(req)) => {
+                let (status, body) = route(state, &req);
+                let keep_alive = req.keep_alive;
+                if http::write_response(&mut writer, status, &body, keep_alive).is_err() {
+                    return;
+                }
+                if !keep_alive {
+                    return;
+                }
+            }
+            // Any I/O failure — including a read timeout, which may have
+            // consumed part of a request and cannot be resynchronised —
+            // closes the connection.
+            Err(HttpError::Io(_)) => return,
+            Err(HttpError::Malformed(m)) => {
+                let _ = http::write_response(&mut writer, 400, &error_body(&m), false);
+                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Err(HttpError::TooLarge(m)) => {
+                let _ = http::write_response(&mut writer, 413, &error_body(&m), false);
+                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}
+
+/// A running server: its address, its shared state, and the handles
+/// needed to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared serving state.
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Serve until the process exits (the CLI path).
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// Stop accepting, drain the workers, and return (tests, loadgen).
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Start the server: bind, spawn the acceptor and the worker pool, and
+/// return immediately with a [`ServerHandle`].
+pub fn spawn(config: &ServeConfig, state: Arc<ServerState>) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    // Thread-per-connection: a keep-alive connection pins its worker
+    // between requests (bounded by `read_timeout`), so size the pool
+    // well past the core count or slow-but-active clients would starve
+    // new connections — including health probes.
+    let threads = if config.threads == 0 {
+        4 * std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        config.threads
+    };
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx: Arc<Mutex<Receiver<TcpStream>>> = Arc::new(Mutex::new(rx));
+
+    let mut workers = Vec::with_capacity(threads);
+    for i in 0..threads {
+        let rx = Arc::clone(&rx);
+        let state = Arc::clone(&state);
+        let shutdown = Arc::clone(&shutdown);
+        let config = config.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("urlid-serve-worker-{i}"))
+                .spawn(move || loop {
+                    let received = rx.lock().expect("connection queue").recv();
+                    match received {
+                        Ok(stream) => handle_connection(stream, &state, &shutdown, &config),
+                        Err(_) => return, // acceptor gone
+                    }
+                })?,
+        );
+    }
+
+    let acceptor = {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name("urlid-serve-acceptor".to_owned())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::Relaxed) {
+                        return; // drops tx -> workers drain and exit
+                    }
+                    if let Ok(stream) = stream {
+                        let _ = tx.send(stream);
+                    }
+                }
+            })?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        shutdown,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}

@@ -1,0 +1,71 @@
+//! The acceptance run: the load generator against a locally started
+//! server completes and emits `BENCH_serve.json` with throughput, p50/p99
+//! latency and the cache hit rate.
+
+use serde::Value;
+use std::sync::Arc;
+use urlid::prelude::*;
+use urlid_serve::server::{spawn, ServeConfig, ServerState};
+use urlid_serve::{run_loadgen, LoadgenConfig};
+
+#[test]
+fn loadgen_completes_and_emits_bench_json() {
+    let mut generator = UrlGenerator::new(5);
+    let odp = odp_dataset(&mut generator, CorpusScale::tiny());
+    let identifier = LanguageIdentifier::train_paper_best(&odp.train);
+    let state = Arc::new(ServerState::new(identifier, None, 8192));
+    let server = spawn(&ServeConfig::default(), state).expect("bind");
+
+    let out = std::env::temp_dir().join("urlid-loadgen-test-BENCH_serve.json");
+    std::fs::remove_file(&out).ok();
+    let config = LoadgenConfig {
+        addr: server.addr().to_string(),
+        requests: 600,
+        concurrency: 3,
+        unique_urls: 50,
+        seed: 11,
+        out: Some(out.clone()),
+    };
+    let report = run_loadgen(&config).expect("loadgen run");
+    server.shutdown();
+
+    assert_eq!(report.requests, 600);
+    assert_eq!(report.errors, 0);
+    assert!(report.duration_secs > 0.0);
+    assert!(report.throughput_rps > 0.0);
+    assert!(report.latency.p50_ms > 0.0);
+    assert!(report.latency.p50_ms <= report.latency.p99_ms);
+    assert!(report.latency.p99_ms <= report.latency.max_ms);
+    // 600 requests over 50 unique URLs: the cache must be doing real work.
+    assert!(
+        report.cache.hit_rate > 0.5,
+        "hit rate {} too low for a 12x-repeated URL pool",
+        report.cache.hit_rate
+    );
+    assert_eq!(report.cache.hits + report.cache.misses, 600);
+
+    // The emitted file is machine-readable and has the documented shape.
+    let text = std::fs::read_to_string(&out).expect("BENCH_serve.json written");
+    let parsed: Value = serde_json::from_str(&text).expect("valid JSON");
+    assert_eq!(parsed.get("bench"), Some(&Value::Str("serve".into())));
+    for key in [
+        "unix_time",
+        "requests",
+        "errors",
+        "concurrency",
+        "unique_urls",
+        "duration_secs",
+        "throughput_rps",
+    ] {
+        assert!(parsed.get(key).is_some(), "missing {key}");
+    }
+    let latency = parsed.get("latency").expect("latency section");
+    for key in ["p50_ms", "p90_ms", "p99_ms", "mean_ms", "max_ms"] {
+        assert!(latency.get(key).is_some(), "missing latency.{key}");
+    }
+    let cache = parsed.get("cache").expect("cache section");
+    for key in ["hits", "misses", "hit_rate"] {
+        assert!(cache.get(key).is_some(), "missing cache.{key}");
+    }
+    std::fs::remove_file(&out).ok();
+}

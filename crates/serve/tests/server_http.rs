@@ -1,0 +1,275 @@
+//! End-to-end HTTP tests: a real server on a real socket, exercised
+//! through the same `http` codec the load generator uses.
+
+use serde::Value;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use urlid::prelude::*;
+use urlid_serve::http;
+use urlid_serve::server::{spawn, ServeConfig, ServerHandle, ServerState};
+
+fn trained_identifier() -> LanguageIdentifier {
+    let mut generator = UrlGenerator::new(5);
+    let odp = odp_dataset(&mut generator, CorpusScale::tiny());
+    LanguageIdentifier::train_paper_best(&odp.train)
+}
+
+fn start_server(cache_capacity: usize) -> ServerHandle {
+    let state = Arc::new(ServerState::new(trained_identifier(), None, cache_capacity));
+    spawn(&ServeConfig::default(), state).expect("bind on 127.0.0.1:0")
+}
+
+/// Read an unsigned counter out of a response object (the JSON parser
+/// yields `Int` for small numbers, the writer side uses `Uint`).
+fn uint_of(value: &Value, key: &str) -> u64 {
+    match value.get(key) {
+        Some(Value::Uint(n)) => *n,
+        Some(Value::Int(n)) if *n >= 0 => *n as u64,
+        other => panic!("expected unsigned {key}, got {other:?}"),
+    }
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, Value) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    http::write_request(&mut writer, method, path, body).expect("write request");
+    let (status, body) = http::read_response(&mut reader).expect("read response");
+    let value =
+        serde_json::from_str(&body).unwrap_or_else(|e| panic!("non-JSON response {body:?}: {e}"));
+    (status, value)
+}
+
+fn as_str<'v>(value: &'v Value, key: &str) -> &'v str {
+    match value.get(key) {
+        Some(Value::Str(s)) => s,
+        other => panic!("expected string {key}, got {other:?}"),
+    }
+}
+
+#[test]
+fn healthz_reports_status_and_model() {
+    let server = start_server(1024);
+    let (status, body) = request(server.addr(), "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert_eq!(as_str(&body, "status"), "ok");
+    let model = body.get("model").expect("model section");
+    assert_eq!(as_str(model, "algorithm"), "NB");
+    assert_eq!(as_str(model, "features"), "WF");
+    assert_eq!(uint_of(model, "epoch"), 0);
+    server.shutdown();
+}
+
+#[test]
+fn identify_returns_scores_decisions_and_cache_status() {
+    let server = start_server(1024);
+    let url = "http://www.wetterbericht-nachrichten.de/berlin";
+    let expected = server
+        .state()
+        .model()
+        .0
+        .identify(url)
+        .map(|l| l.iso_code().to_owned());
+    let body = format!("{{\"url\": \"{url}\"}}");
+
+    let (status, first) = request(server.addr(), "POST", "/identify", Some(&body));
+    assert_eq!(status, 200);
+    assert_eq!(first.get("cached"), Some(&Value::Bool(false)));
+    match (&expected, first.get("best")) {
+        (Some(iso), Some(Value::Str(best))) => assert_eq!(best, iso),
+        (None, Some(Value::Null)) => {}
+        (expected, got) => panic!("best mismatch: expected {expected:?}, got {got:?}"),
+    }
+    let scores = first.get("scores").expect("scores section");
+    for lang in ALL_LANGUAGES {
+        assert!(
+            scores.get(lang.iso_code()).is_some(),
+            "missing score for {lang}"
+        );
+    }
+    assert!(matches!(first.get("accepted"), Some(Value::Array(_))));
+
+    // The same URL again: served from the cache, same payload otherwise.
+    let (status, second) = request(server.addr(), "POST", "/identify", Some(&body));
+    assert_eq!(status, 200);
+    assert_eq!(second.get("cached"), Some(&Value::Bool(true)));
+    assert_eq!(second.get("best"), first.get("best"));
+    assert_eq!(second.get("scores"), first.get("scores"));
+    assert_eq!(server.state().cache().hits(), 1);
+    server.shutdown();
+}
+
+#[test]
+fn identify_normalizes_before_caching() {
+    let server = start_server(1024);
+    let (_, first) = request(
+        server.addr(),
+        "POST",
+        "/identify",
+        Some("{\"url\": \"http://WWW.Example.DE/Seite#frag\"}"),
+    );
+    // Same URL modulo case/fragment: a cache hit.
+    let (_, second) = request(
+        server.addr(),
+        "POST",
+        "/identify",
+        Some("{\"url\": \"  http://www.example.de/Seite  \"}"),
+    );
+    assert_eq!(first.get("cached"), Some(&Value::Bool(false)));
+    assert_eq!(second.get("cached"), Some(&Value::Bool(true)));
+    assert_eq!(as_str(&first, "url"), "http://www.example.de/Seite");
+    server.shutdown();
+}
+
+#[test]
+fn identify_batch_scores_every_url_and_reports_hits() {
+    let server = start_server(1024);
+    let urls = [
+        "http://www.wetterbericht.de/heute",
+        "http://www.meteo-previsions.fr/paris",
+        "http://www.noticias-madrid.es/",
+    ];
+    let body = format!(
+        "{{\"urls\": [\"{}\", \"{}\", \"{}\"]}}",
+        urls[0], urls[1], urls[2]
+    );
+    let (status, first) = request(server.addr(), "POST", "/identify_batch", Some(&body));
+    assert_eq!(status, 200);
+    assert_eq!(uint_of(&first, "count"), 3);
+    assert_eq!(uint_of(&first, "cache_hits"), 0);
+    let Some(Value::Array(results)) = first.get("results") else {
+        panic!("results must be an array");
+    };
+    assert_eq!(results.len(), 3);
+    for (url, result) in urls.iter().zip(results) {
+        assert_eq!(as_str(result, "url"), *url);
+        assert!(result.get("scores").is_some());
+    }
+
+    // The whole batch again: all three served from the cache.
+    let (_, second) = request(server.addr(), "POST", "/identify_batch", Some(&body));
+    assert_eq!(uint_of(&second, "cache_hits"), 3);
+
+    // Batch results agree with the single-URL endpoint.
+    let (_, single) = request(
+        server.addr(),
+        "POST",
+        "/identify",
+        Some(&format!("{{\"url\": \"{}\"}}", urls[0])),
+    );
+    let Some(Value::Array(results)) = second.get("results") else {
+        panic!("results must be an array");
+    };
+    assert_eq!(single.get("best"), results[0].get("best"));
+    assert_eq!(single.get("scores"), results[0].get("scores"));
+    server.shutdown();
+}
+
+#[test]
+fn error_paths_return_json_errors() {
+    let server = start_server(1024);
+    let addr = server.addr();
+    // Malformed JSON.
+    let (status, body) = request(addr, "POST", "/identify", Some("{not json"));
+    assert_eq!(status, 400);
+    assert!(as_str(&body, "error").contains("JSON"));
+    // Wrong field.
+    let (status, _) = request(addr, "POST", "/identify", Some("{\"uri\": \"x\"}"));
+    assert_eq!(status, 400);
+    // Empty URL.
+    let (status, _) = request(addr, "POST", "/identify", Some("{\"url\": \"  \"}"));
+    assert_eq!(status, 400);
+    // Non-string batch entry.
+    let (status, _) = request(addr, "POST", "/identify_batch", Some("{\"urls\": [3]}"));
+    assert_eq!(status, 400);
+    // Wrong method.
+    let (status, _) = request(addr, "GET", "/identify", None);
+    assert_eq!(status, 405);
+    // Unknown path.
+    let (status, _) = request(addr, "GET", "/nope", None);
+    assert_eq!(status, 404);
+    // Errors are counted.
+    let (_, metrics) = request(addr, "GET", "/metrics", None);
+    let requests = metrics.get("requests").expect("requests section");
+    assert_eq!(uint_of(requests, "errors"), 6);
+    server.shutdown();
+}
+
+#[test]
+fn newline_less_header_flood_is_rejected_not_buffered() {
+    use std::io::{Read, Write};
+    let server = start_server(64);
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    // 64 KiB with no newline: the server must cap the line at the 16 KiB
+    // header limit and answer 413 instead of buffering forever.
+    let flood = vec![b'A'; 64 * 1024];
+    stream.write_all(&flood).expect("write flood");
+    // The server answers 413 and drops the connection with most of the
+    // flood unread — which may surface to this client as the response or
+    // as a reset, depending on what the kernel delivers first. Either
+    // way it must not buffer the stream.
+    let mut response = String::new();
+    match stream.read_to_string(&mut response) {
+        Ok(_) => assert!(
+            response.starts_with("HTTP/1.1 413"),
+            "expected 413, got {:?}",
+            &response[..response.len().min(60)]
+        ),
+        Err(e) => assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::BrokenPipe
+            ),
+            "unexpected error {e:?}"
+        ),
+    }
+    // And the server is still healthy afterwards.
+    let (status, _) = request(server.addr(), "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let server = start_server(1024);
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    for i in 0..25 {
+        let body = format!("{{\"url\": \"http://www.seite{}.de/wetter\"}}", i % 7);
+        http::write_request(&mut writer, "POST", "/identify", Some(&body)).expect("write");
+        let (status, _) = http::read_response(&mut reader).expect("read");
+        assert_eq!(status, 200, "request {i}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn metrics_reports_counters_cache_and_latency() {
+    let server = start_server(1024);
+    let addr = server.addr();
+    for _ in 0..3 {
+        let (status, _) = request(
+            addr,
+            "POST",
+            "/identify",
+            Some("{\"url\": \"http://www.beispiel.de/\"}"),
+        );
+        assert_eq!(status, 200);
+    }
+    let (status, metrics) = request(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let requests = metrics.get("requests").expect("requests");
+    assert_eq!(uint_of(requests, "identify"), 3);
+    let cache = metrics.get("cache").expect("cache");
+    assert_eq!(uint_of(cache, "hits"), 2);
+    assert_eq!(uint_of(cache, "misses"), 1);
+    assert!(matches!(cache.get("hit_rate"), Some(Value::Float(r)) if (r - 2.0 / 3.0).abs() < 1e-9));
+    let latency = metrics.get("latency").expect("latency");
+    assert_eq!(uint_of(latency, "count"), 3);
+    assert!(matches!(latency.get("p50_ms"), Some(Value::Float(_))));
+    assert!(matches!(latency.get("histogram"), Some(Value::Array(_))));
+    assert!(matches!(metrics.get("uptime_secs"), Some(Value::Float(_))));
+    server.shutdown();
+}

@@ -11,8 +11,8 @@
 //!    `identify_batch` / `evaluate` call the feature extractor exactly
 //!    once per URL (counted through an instrumented extractor).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use urlid::features::{CountingExtractor, WordFeatureExtractor};
 use urlid::prelude::*;
 use urlid_classifiers::VectorClassifier;
 
@@ -114,48 +114,13 @@ fn combined_recipes_still_agree_between_decision_apis() {
 // Extractor call counting
 // ---------------------------------------------------------------------
 
-/// Wraps a fitted extractor and counts every extraction.
-struct CountingExtractor {
-    inner: urlid::features::WordFeatureExtractor,
-    calls: AtomicUsize,
-}
-
-impl CountingExtractor {
-    fn fitted(train: &Dataset) -> Self {
-        let mut inner = urlid::features::WordFeatureExtractor::default();
-        inner.fit(&train.urls);
-        Self {
-            inner,
-            calls: AtomicUsize::new(0),
-        }
-    }
-}
-
-impl FeatureExtractor for CountingExtractor {
-    fn fit(&mut self, training: &[LabeledUrl]) {
-        self.inner.fit(training);
-    }
-    fn transform(&self, url: &str) -> urlid::features::SparseVector {
-        self.calls.fetch_add(1, Ordering::Relaxed);
-        self.inner.transform(url)
-    }
-    fn transform_with(
-        &self,
-        url: &str,
-        scratch: &mut urlid::features::ExtractScratch,
-    ) -> urlid::features::SparseVector {
-        self.calls.fetch_add(1, Ordering::Relaxed);
-        self.inner.transform_with(url, scratch)
-    }
-    fn dim(&self) -> usize {
-        self.inner.dim()
-    }
-    fn feature_name(&self, index: u32) -> Option<String> {
-        self.inner.feature_name(index)
-    }
-    fn kind(&self) -> FeatureSetKind {
-        self.inner.kind()
-    }
+/// A fitted word extractor behind the shared call-counting wrapper (the
+/// harness lives in `urlid_features::counting` so the serving layer's
+/// cache tests can reuse it).
+fn fitted_counter(train: &Dataset) -> CountingExtractor<WordFeatureExtractor> {
+    let mut inner = WordFeatureExtractor::default();
+    inner.fit(&train.urls);
+    CountingExtractor::new(inner)
 }
 
 /// Accepts any vector whose features sum past a small threshold.
@@ -179,8 +144,13 @@ impl urlid_classifiers::HybridClassifier for TldOrSum {
 
 /// Builds a set mixing vector scorers (four languages) with one hybrid
 /// scorer, so the call-count tests cover both shared-vector paths.
-fn counting_identifier(train: &Dataset) -> (LanguageIdentifier, Arc<CountingExtractor>) {
-    let extractor = Arc::new(CountingExtractor::fitted(train));
+fn counting_identifier(
+    train: &Dataset,
+) -> (
+    LanguageIdentifier,
+    Arc<CountingExtractor<WordFeatureExtractor>>,
+) {
+    let extractor = Arc::new(fitted_counter(train));
     let mut set =
         LanguageClassifierSet::build_vector(extractor.clone() as _, |_| Box::new(SumThreshold));
     set.insert_hybrid(Language::French, Box::new(TldOrSum));
@@ -197,46 +167,34 @@ fn identify_paths_extract_exactly_once_per_url() {
     let (identifier, counter) = counting_identifier(&train);
     let urls: Vec<&str> = test.urls.iter().map(|u| u.url.as_str()).collect();
 
-    counter.calls.store(0, Ordering::Relaxed);
+    counter.reset();
     identifier.identify(urls[0]);
-    assert_eq!(counter.calls.load(Ordering::Relaxed), 1, "identify");
+    assert_eq!(counter.calls(), 1, "identify");
 
-    counter.calls.store(0, Ordering::Relaxed);
+    counter.reset();
     identifier.identify_all(urls.iter().copied());
-    assert_eq!(
-        counter.calls.load(Ordering::Relaxed),
-        urls.len(),
-        "identify_all"
-    );
+    assert_eq!(counter.calls(), urls.len(), "identify_all");
 
-    counter.calls.store(0, Ordering::Relaxed);
+    counter.reset();
     identifier.identify_batch(&urls);
-    assert_eq!(
-        counter.calls.load(Ordering::Relaxed),
-        urls.len(),
-        "identify_batch"
-    );
+    assert_eq!(counter.calls(), urls.len(), "identify_batch");
 
-    counter.calls.store(0, Ordering::Relaxed);
+    counter.reset();
     identifier.languages_of(urls[0]);
-    assert_eq!(counter.calls.load(Ordering::Relaxed), 1, "languages_of");
+    assert_eq!(counter.calls(), 1, "languages_of");
 
-    counter.calls.store(0, Ordering::Relaxed);
+    counter.reset();
     identifier.language_histogram(urls.iter().copied());
-    assert_eq!(
-        counter.calls.load(Ordering::Relaxed),
-        urls.len(),
-        "language_histogram"
-    );
+    assert_eq!(counter.calls(), urls.len(), "language_histogram");
 }
 
 #[test]
 fn evaluate_extracts_exactly_once_per_url() {
     let (train, test) = corpus();
     let (identifier, counter) = counting_identifier(&train);
-    counter.calls.store(0, Ordering::Relaxed);
+    counter.reset();
     let _ = identifier.evaluate(&test);
-    assert_eq!(counter.calls.load(Ordering::Relaxed), test.urls.len());
+    assert_eq!(counter.calls(), test.urls.len());
 }
 
 #[test]
@@ -249,8 +207,8 @@ fn batch_extraction_count_holds_above_parallel_threshold() {
         .map(|i| format!("http://beispiel{i}.de/wetter/seite{i}"))
         .collect();
     let urls: Vec<&str> = owned.iter().map(|s| s.as_str()).collect();
-    counter.calls.store(0, Ordering::Relaxed);
+    counter.reset();
     let results = identifier.identify_batch(&urls);
     assert_eq!(results.len(), urls.len());
-    assert_eq!(counter.calls.load(Ordering::Relaxed), urls.len());
+    assert_eq!(counter.calls(), urls.len());
 }
