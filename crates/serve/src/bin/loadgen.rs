@@ -3,22 +3,37 @@
 //!
 //! ```text
 //! loadgen --addr 127.0.0.1:7878 [--requests 10000] [--concurrency 4]
-//!         [--unique 2000] [--seed 7] [--out BENCH_serve.json]
+//!         [--idle 0] [--unique 2000] [--seed 7] [--out BENCH_serve.json]
+//!         [--name scenario] [--suite]
 //! ```
+//!
+//! `--suite` ignores `--requests`/`--concurrency`/`--idle`/`--name` and
+//! runs the standard scenario pair instead — `baseline_4conn` (the
+//! historical 4-connection hammer) and `idle_1024` (the same hammer
+//! with 1024 mostly-idle keep-alive connections held open) — writing
+//! one multi-scenario report.
 
 use std::process::ExitCode;
-use urlid_serve::{run_loadgen, LoadgenConfig};
+use urlid_serve::{run_loadgen, run_suite, LoadgenConfig};
 
 const USAGE: &str = "\
 loadgen — load generator for the urlid serving layer
 
 USAGE:
   loadgen --addr <host:port> [--requests <n>] [--concurrency <n>]
-          [--unique <n>] [--seed <u64>] [--out <report.json>]
+          [--idle <n>] [--unique <n>] [--seed <u64>]
+          [--out <report.json>] [--name <scenario>] [--suite]
 ";
 
-fn parse_config(argv: &[String]) -> Result<LoadgenConfig, String> {
+#[derive(Debug)]
+struct Parsed {
+    config: LoadgenConfig,
+    suite: bool,
+}
+
+fn parse_config(argv: &[String]) -> Result<Parsed, String> {
     let mut config = LoadgenConfig::default();
+    let mut suite = false;
     let mut i = 0;
     while i < argv.len() {
         let key = argv[i]
@@ -27,11 +42,17 @@ fn parse_config(argv: &[String]) -> Result<LoadgenConfig, String> {
         if key == "help" {
             return Err(USAGE.to_owned());
         }
+        if key == "suite" {
+            suite = true;
+            i += 1;
+            continue;
+        }
         let value = argv
             .get(i + 1)
             .ok_or_else(|| format!("missing value for --{key}"))?;
         match key {
             "addr" => config.addr = value.clone(),
+            "name" => config.name = value.clone(),
             "requests" => {
                 config.requests = value
                     .parse()
@@ -41,6 +62,10 @@ fn parse_config(argv: &[String]) -> Result<LoadgenConfig, String> {
                 config.concurrency = value
                     .parse()
                     .map_err(|_| format!("bad --concurrency {value:?}"))?
+            }
+            "idle" => {
+                config.idle_connections =
+                    value.parse().map_err(|_| format!("bad --idle {value:?}"))?
             }
             "unique" => {
                 config.unique_urls = value
@@ -53,38 +78,83 @@ fn parse_config(argv: &[String]) -> Result<LoadgenConfig, String> {
         }
         i += 2;
     }
-    Ok(config)
+    Ok(Parsed { config, suite })
+}
+
+/// The standard scenario pair `--suite` runs (see the module docs).
+fn suite_scenarios(base: &LoadgenConfig) -> Vec<LoadgenConfig> {
+    let baseline = LoadgenConfig {
+        name: "baseline_4conn".to_owned(),
+        requests: 20_000,
+        concurrency: 4,
+        idle_connections: 0,
+        unique_urls: 2_000,
+        ..base.clone()
+    };
+    let idle = LoadgenConfig {
+        name: "idle_1024".to_owned(),
+        idle_connections: 1_024,
+        ..baseline.clone()
+    };
+    vec![baseline, idle]
+}
+
+fn report_line(report: &urlid_serve::BenchReport) {
+    eprintln!(
+        "[{}] {} requests in {:.2}s -> {:.0} req/s, p50 {:.3} ms, p99 {:.3} ms, \
+         {} idle conns, {} server threads, cache hit rate {:.1}% ({} errors)",
+        report.scenario,
+        report.requests,
+        report.duration_secs,
+        report.throughput_rps,
+        report.latency.p50_ms,
+        report.latency.p99_ms,
+        report.idle_connections,
+        report.server_threads,
+        report.cache.hit_rate * 100.0,
+        report.errors,
+    );
 }
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let config = match parse_config(&argv) {
-        Ok(config) => config,
+    let parsed = match parse_config(&argv) {
+        Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("{message}");
             return ExitCode::FAILURE;
         }
     };
-    match run_loadgen(&config) {
-        Ok(report) => {
-            eprintln!(
-                "{} requests in {:.2}s -> {:.0} req/s, p50 {:.3} ms, p99 {:.3} ms, cache hit rate {:.1}% ({} errors)",
-                report.requests,
-                report.duration_secs,
-                report.throughput_rps,
-                report.latency.p50_ms,
-                report.latency.p99_ms,
-                report.cache.hit_rate * 100.0,
-                report.errors,
-            );
-            if let Some(out) = &config.out {
-                eprintln!("report written to {}", out.display());
+    if parsed.suite {
+        let out = parsed.config.out.clone();
+        match run_suite(&suite_scenarios(&parsed.config), out.as_ref()) {
+            Ok(suite) => {
+                for report in &suite.scenarios {
+                    report_line(report);
+                }
+                if let Some(out) = &out {
+                    eprintln!("suite report written to {}", out.display());
+                }
+                ExitCode::SUCCESS
             }
-            ExitCode::SUCCESS
+            Err(e) => {
+                eprintln!("loadgen suite failed: {e}");
+                ExitCode::FAILURE
+            }
         }
-        Err(e) => {
-            eprintln!("loadgen failed: {e}");
-            ExitCode::FAILURE
+    } else {
+        match run_loadgen(&parsed.config) {
+            Ok(report) => {
+                report_line(&report);
+                if let Some(out) = &parsed.config.out {
+                    eprintln!("report written to {}", out.display());
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("loadgen failed: {e}");
+                ExitCode::FAILURE
+            }
         }
     }
 }
@@ -93,24 +163,55 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
-    fn parse(parts: &[&str]) -> Result<LoadgenConfig, String> {
+    fn parse(parts: &[&str]) -> Result<Parsed, String> {
         parse_config(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     }
 
     #[test]
     fn defaults_and_overrides() {
-        let c = parse(&[]).unwrap();
-        assert_eq!(c.requests, 10_000);
-        let c = parse(&["--addr", "1.2.3.4:99", "--requests", "50", "--unique", "7"]).unwrap();
-        assert_eq!(c.addr, "1.2.3.4:99");
-        assert_eq!(c.requests, 50);
-        assert_eq!(c.unique_urls, 7);
+        let p = parse(&[]).unwrap();
+        assert_eq!(p.config.requests, 10_000);
+        assert_eq!(p.config.idle_connections, 0);
+        assert!(!p.suite);
+        let p = parse(&[
+            "--addr",
+            "1.2.3.4:99",
+            "--requests",
+            "50",
+            "--unique",
+            "7",
+            "--idle",
+            "256",
+            "--name",
+            "x",
+        ])
+        .unwrap();
+        assert_eq!(p.config.addr, "1.2.3.4:99");
+        assert_eq!(p.config.requests, 50);
+        assert_eq!(p.config.unique_urls, 7);
+        assert_eq!(p.config.idle_connections, 256);
+        assert_eq!(p.config.name, "x");
+    }
+
+    #[test]
+    fn suite_flag_takes_no_value() {
+        let p = parse(&["--suite", "--addr", "1.2.3.4:99"]).unwrap();
+        assert!(p.suite);
+        assert_eq!(p.config.addr, "1.2.3.4:99");
+        let scenarios = suite_scenarios(&p.config);
+        assert_eq!(scenarios.len(), 2);
+        assert_eq!(scenarios[0].name, "baseline_4conn");
+        assert_eq!(scenarios[0].idle_connections, 0);
+        assert_eq!(scenarios[1].name, "idle_1024");
+        assert_eq!(scenarios[1].idle_connections, 1024);
+        assert_eq!(scenarios[1].addr, "1.2.3.4:99");
     }
 
     #[test]
     fn rejects_unknown_flags_and_bad_values() {
         assert!(parse(&["--nope", "1"]).is_err());
         assert!(parse(&["--requests", "many"]).is_err());
+        assert!(parse(&["--idle", "some"]).is_err());
         assert!(parse(&["positional"]).is_err());
         assert!(parse(&["--help"]).unwrap_err().contains("USAGE"));
     }

@@ -32,6 +32,8 @@ USAGE:
   urlid evaluate --model <model.json> --data <dataset.json>
   urlid serve    --model <model.json> [--addr <host:port>] [--threads <n>]
                  [--cache-capacity <n>]
+                 (--threads sizes the scoring pool; connections are
+                  multiplexed by one reactor thread regardless)
 ";
 
 /// A tiny `--key value` argument map.
@@ -204,7 +206,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         ..ServeConfig::default()
     };
     if let Some(threads) = args.get("threads") {
-        config.threads = threads
+        config.scoring_threads = threads
             .parse()
             .map_err(|_| format!("bad --threads {threads:?}"))?;
     }

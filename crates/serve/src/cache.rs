@@ -222,11 +222,22 @@ impl ResultCache {
         &self.shards[(hasher.finish() as usize) % self.shards.len()]
     }
 
+    /// Lock a shard, recovering from poisoning. A panic elsewhere must
+    /// not cascade into every scoring worker that touches the same
+    /// shard afterwards — the LRU state is plain data and a
+    /// half-applied `get`/`insert` at worst loses or duplicates one
+    /// entry, which the capacity bound and epoch tags already tolerate.
+    fn lock_shard(shard: &Mutex<LruShard>) -> std::sync::MutexGuard<'_, LruShard> {
+        shard
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Look up the scores of a normalised URL computed under the current
     /// model `epoch`. Entries from older epochs count as misses (and are
     /// evicted on the way).
     pub fn get(&self, key: &str, epoch: u64) -> Option<CachedScores> {
-        let result = self.shard(key).lock().expect("cache shard").get(key, epoch);
+        let result = Self::lock_shard(self.shard(key)).get(key, epoch);
         match result {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -236,10 +247,7 @@ impl ResultCache {
 
     /// Store the scores of a normalised URL computed under `epoch`.
     pub fn insert(&self, key: &str, epoch: u64, scores: CachedScores) {
-        self.shard(key)
-            .lock()
-            .expect("cache shard")
-            .insert(key, epoch, scores);
+        Self::lock_shard(self.shard(key)).insert(key, epoch, scores);
     }
 
     /// Drop every entry (used by hot-reload to free memory immediately;
@@ -247,16 +255,13 @@ impl ResultCache {
     /// invalidates stale entries).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("cache shard").clear();
+            Self::lock_shard(shard).clear();
         }
     }
 
     /// Number of entries currently cached.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard").len())
-            .sum()
+        self.shards.iter().map(|s| Self::lock_shard(s).len()).sum()
     }
 
     /// Is the cache empty?
@@ -268,7 +273,7 @@ impl ResultCache {
     pub fn capacity(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard").capacity)
+            .map(|s| Self::lock_shard(s).capacity)
             .sum()
     }
 

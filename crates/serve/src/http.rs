@@ -1,18 +1,26 @@
-//! A minimal HTTP/1.1 codec over [`TcpStream`].
+//! A minimal HTTP/1.1 codec.
 //!
-//! Implements exactly the subset the serving layer needs: request-line +
-//! headers + `Content-Length` bodies, keep-alive, and the handful of
-//! status codes the API returns. Shared by the server, the load
-//! generator's client side, and the integration tests — so the same
-//! parser is exercised from both directions.
+//! The server side is an **incremental** parser ([`RequestParser`]):
+//! bytes are fed in as they arrive off a non-blocking socket and the
+//! parser answers `NeedMore | Request | Error` without ever blocking —
+//! this is what lets one reactor thread multiplex thousands of
+//! keep-alive connections (a slow client costs buffer space, never a
+//! thread). It implements exactly the subset the serving layer needs:
+//! request-line + headers + `Content-Length` bodies, keep-alive, and
+//! pipelined back-to-back requests.
+//!
+//! The client side ([`write_request`] / [`read_response`]) stays
+//! blocking — the load generator and the integration tests drive plain
+//! [`TcpStream`]s — so the same wire format is exercised from both
+//! directions.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 
-/// Upper bound on the total header section of a request (bytes).
+/// Default upper bound on the total header section of a request (bytes).
 pub const MAX_HEADER_BYTES: usize = 16 * 1024;
 
-/// Upper bound on a request body (bytes) — batch requests included.
+/// Default upper bound on a request body (bytes) — batch requests included.
 pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 
 /// A parsed HTTP request.
@@ -55,93 +63,227 @@ impl std::fmt::Display for HttpError {
     }
 }
 
-/// Read one `\n`-terminated line of at most `limit` bytes. Enforces the
-/// cap *while reading* (via [`Read::take`]), so a malicious peer
-/// streaming gigabytes with no newline cannot grow the buffer past the
-/// header limit. Returns the number of bytes read (0 on EOF).
-fn read_line_limited(
-    reader: &mut BufReader<TcpStream>,
-    line: &mut String,
-    limit: usize,
-) -> Result<usize, HttpError> {
-    let read = reader.by_ref().take(limit as u64).read_line(line)?;
-    if read == limit && !line.ends_with('\n') {
-        return Err(HttpError::TooLarge("header line".into()));
-    }
-    Ok(read)
+/// Size limits enforced *while parsing* — an oversized `Content-Length`
+/// is rejected before a single body byte is buffered, so a malicious
+/// client can never make the server allocate on its behalf.
+#[derive(Debug, Clone, Copy)]
+pub struct ParserLimits {
+    /// Maximum total size of the request line + headers + blank line.
+    pub max_header_bytes: usize,
+    /// Maximum declared `Content-Length`.
+    pub max_body_bytes: usize,
 }
 
-/// Read one request from the connection. Returns `Ok(None)` on a clean
-/// EOF (the client closed an idle keep-alive connection).
-pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, HttpError> {
-    let mut line = String::new();
-    if read_line_limited(reader, &mut line, MAX_HEADER_BYTES)? == 0 {
-        return Ok(None);
+impl Default for ParserLimits {
+    fn default() -> Self {
+        Self {
+            max_header_bytes: MAX_HEADER_BYTES,
+            max_body_bytes: MAX_BODY_BYTES,
+        }
     }
-    let mut parts = line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
-        .to_owned();
-    let path = parts
-        .next()
-        .ok_or_else(|| HttpError::Malformed("request line has no path".into()))?
-        .to_owned();
-    let version = parts
-        .next()
-        .ok_or_else(|| HttpError::Malformed("request line has no version".into()))?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::Malformed(format!("bad version {version:?}")));
+}
+
+/// A fully parsed head (request line + headers) whose body has not
+/// completely arrived yet.
+#[derive(Debug)]
+struct PendingHead {
+    method: String,
+    path: String,
+    keep_alive: bool,
+    content_length: usize,
+}
+
+/// The incremental request parser: [`feed`](RequestParser::feed) bytes
+/// in as they arrive, then pull fully parsed requests out with
+/// [`next_request`](RequestParser::next_request). Pipelined requests
+/// come out one per call; partial input answers `Ok(None)` (need more).
+///
+/// Parse errors are sticky in practice: after `Malformed`/`TooLarge`
+/// the stream cannot be resynchronised and the caller must close the
+/// connection (the reactor's connection state machine does exactly
+/// that, after writing a `400`/`413`).
+#[derive(Debug)]
+pub struct RequestParser {
+    limits: ParserLimits,
+    buf: Vec<u8>,
+    /// Offset of the first unconsumed byte in `buf`.
+    start: usize,
+    /// Head-terminator scan cursor (absolute index into `buf`); never
+    /// rescans, so byte-at-a-time delivery stays O(total bytes).
+    scan: usize,
+    /// Start of the head line currently being scanned.
+    line_start: usize,
+    /// Parsed head, while waiting for the rest of the body.
+    pending: Option<PendingHead>,
+}
+
+impl RequestParser {
+    /// A parser enforcing `limits`.
+    pub fn new(limits: ParserLimits) -> Self {
+        Self {
+            limits,
+            buf: Vec::new(),
+            start: 0,
+            scan: 0,
+            line_start: 0,
+            pending: None,
+        }
     }
-    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
-    let mut keep_alive = version == "HTTP/1.1";
-    let mut content_length = 0usize;
-    let mut header_bytes = line.len();
-    loop {
-        line.clear();
-        let budget = MAX_HEADER_BYTES.saturating_sub(header_bytes);
-        if budget == 0 {
-            return Err(HttpError::TooLarge("header section".into()));
+
+    /// Append bytes received from the peer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of fed-but-unconsumed bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// True when no partial request is buffered — the connection is at
+    /// a clean request boundary (safe to close during a drain).
+    pub fn is_clean(&self) -> bool {
+        self.pending.is_none() && self.buffered() == 0
+    }
+
+    /// Drop the consumed prefix so the buffer does not grow without
+    /// bound across a long-lived keep-alive connection — but only once
+    /// at least half the buffer is consumed, so a pipelined flood pays
+    /// amortized O(1) per byte instead of one full-tail memmove per
+    /// tiny request. (Normal request-per-response traffic consumes the
+    /// whole buffer, making the drain a free truncation.)
+    fn compact(&mut self) {
+        if self.start > 0 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.scan -= self.start;
+            self.line_start -= self.start;
+            self.start = 0;
         }
-        if read_line_limited(reader, &mut line, budget)? == 0 {
-            return Err(HttpError::Malformed("EOF inside headers".into()));
-        }
-        header_bytes += line.len();
-        let trimmed = line.trim_end();
-        if trimmed.is_empty() {
-            break;
-        }
-        let Some((name, value)) = trimmed.split_once(':') else {
-            return Err(HttpError::Malformed(format!("bad header {trimmed:?}")));
-        };
-        let value = value.trim();
-        if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .parse()
-                .map_err(|_| HttpError::Malformed(format!("bad content-length {value:?}")))?;
-        } else if name.eq_ignore_ascii_case("connection") {
-            if value.eq_ignore_ascii_case("close") {
-                keep_alive = false;
-            } else if value.eq_ignore_ascii_case("keep-alive") {
-                keep_alive = true;
+    }
+
+    /// Advance the scan cursor to the end of the head section (the byte
+    /// after the blank line), tolerating both `\r\n` and bare `\n` line
+    /// endings. Returns `None` when the terminator has not arrived yet.
+    fn find_head_end(&mut self) -> Option<usize> {
+        while self.scan < self.buf.len() {
+            let byte = self.buf[self.scan];
+            self.scan += 1;
+            if byte != b'\n' {
+                continue;
+            }
+            let line = &self.buf[self.line_start..self.scan - 1];
+            let line = line.strip_suffix(b"\r").unwrap_or(line);
+            self.line_start = self.scan;
+            if line.is_empty() {
+                // A blank line straight away (no request line before
+                // it) still ends the head; `parse_head` turns that
+                // into a `Malformed("empty request line")` error.
+                return Some(self.scan);
             }
         }
+        None
     }
-    if content_length > MAX_BODY_BYTES {
-        return Err(HttpError::TooLarge(format!(
-            "body of {content_length} bytes"
-        )));
+
+    /// Parse the head section `buf[start..head_end]` into a
+    /// [`PendingHead`] (and enforce the body limit *now*, before any
+    /// body byte is waited for, let alone allocated).
+    fn parse_head(&self, head_end: usize) -> Result<PendingHead, HttpError> {
+        let head = std::str::from_utf8(&self.buf[self.start..head_end])
+            .map_err(|_| HttpError::Malformed("headers are not valid UTF-8".into()))?;
+        let mut lines = head.lines();
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split_whitespace();
+        let method = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+            .to_owned();
+        let path = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("request line has no path".into()))?
+            .to_owned();
+        let version = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("request line has no version".into()))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed(format!("bad version {version:?}")));
+        }
+        // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+        let mut keep_alive = version == "HTTP/1.1";
+        let mut content_length = 0usize;
+        for line in lines {
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            let Some((name, value)) = trimmed.split_once(':') else {
+                return Err(HttpError::Malformed(format!("bad header {trimmed:?}")));
+            };
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::Malformed(format!("bad content-length {value:?}")))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+        }
+        if content_length > self.limits.max_body_bytes {
+            return Err(HttpError::TooLarge(format!(
+                "body of {content_length} bytes"
+            )));
+        }
+        Ok(PendingHead {
+            method,
+            path,
+            keep_alive,
+            content_length,
+        })
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    let body = String::from_utf8(body)
-        .map_err(|_| HttpError::Malformed("body is not valid UTF-8".into()))?;
-    Ok(Some(Request {
-        method,
-        path,
-        keep_alive,
-        body,
-    }))
+
+    /// Pull the next fully parsed request out of the buffer. `Ok(None)`
+    /// means the peer has not sent a complete request yet (need more
+    /// bytes); call again after the next [`feed`](RequestParser::feed).
+    pub fn next_request(&mut self) -> Result<Option<Request>, HttpError> {
+        if self.pending.is_none() {
+            let Some(head_end) = self.find_head_end() else {
+                // No terminator yet: a peer streaming an endless header
+                // section (or newline-less garbage) is cut off at the
+                // limit instead of growing the buffer forever.
+                if self.buffered() >= self.limits.max_header_bytes {
+                    return Err(HttpError::TooLarge("header section".into()));
+                }
+                return Ok(None);
+            };
+            if head_end - self.start > self.limits.max_header_bytes {
+                return Err(HttpError::TooLarge("header section".into()));
+            }
+            let head = self.parse_head(head_end)?;
+            self.start = head_end;
+            self.pending = Some(head);
+        }
+        let content_length = self.pending.as_ref().expect("pending head").content_length;
+        if self.buffered() < content_length {
+            return Ok(None);
+        }
+        let head = self.pending.take().expect("pending head");
+        let body_bytes = self.buf[self.start..self.start + content_length].to_vec();
+        self.start += content_length;
+        self.scan = self.start;
+        self.line_start = self.start;
+        self.compact();
+        let body = String::from_utf8(body_bytes)
+            .map_err(|_| HttpError::Malformed("body is not valid UTF-8".into()))?;
+        Ok(Some(Request {
+            method: head.method,
+            path: head.path,
+            keep_alive: head.keep_alive,
+            body,
+        }))
+    }
 }
 
 /// The reason phrase for the status codes the API uses.
@@ -153,27 +295,23 @@ fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
 
-/// Write a JSON response (the API speaks nothing else).
-pub fn write_response(
-    stream: &mut TcpStream,
-    status: u16,
-    body: &str,
-    keep_alive: bool,
-) -> io::Result<()> {
+/// Serialise a JSON response (the API speaks nothing else) into the
+/// bytes to put on the wire. Head and body are one buffer: a single
+/// `write` syscall for small responses, and no window for a peer to
+/// observe a half response.
+pub fn response_bytes(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    // Head and body go out in one write: a single TCP segment for small
-    // responses, and no window for a peer to observe a half response.
-    let message = format!(
+    format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
         reason(status),
         body.len(),
-    );
-    stream.write_all(message.as_bytes())?;
-    stream.flush()
+    )
+    .into_bytes()
 }
 
 // ---------------------------------------------------------------------
@@ -188,7 +326,7 @@ pub fn write_request(
     body: Option<&str>,
 ) -> io::Result<()> {
     let body = body.unwrap_or("");
-    // One write for head + body (see `write_response`).
+    // One write for head + body (see `response_bytes`).
     let message = format!(
         "{method} {path} HTTP/1.1\r\nHost: urlid\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
         body.len(),
@@ -237,4 +375,219 @@ pub fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<(u16, Stri
     String::from_utf8(body)
         .map(|b| (status, b))
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn parser() -> RequestParser {
+        RequestParser::new(ParserLimits::default())
+    }
+
+    fn parse_all(input: &[u8]) -> Result<Vec<Request>, HttpError> {
+        let mut p = parser();
+        p.feed(input);
+        let mut out = Vec::new();
+        while let Some(req) = p.next_request()? {
+            out.push(req);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn parses_a_complete_request_in_one_feed() {
+        let reqs =
+            parse_all(b"POST /identify HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody")
+                .unwrap();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].method, "POST");
+        assert_eq!(reqs[0].path, "/identify");
+        assert_eq!(reqs[0].body, "body");
+        assert!(reqs[0].keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery_parses_identically() {
+        let wire = b"POST /identify HTTP/1.1\r\nContent-Length: 11\r\nConnection: close\r\n\r\nhello world";
+        let mut p = parser();
+        for (i, byte) in wire.iter().enumerate() {
+            p.feed(std::slice::from_ref(byte));
+            let parsed = p.next_request().unwrap();
+            if i < wire.len() - 1 {
+                assert!(parsed.is_none(), "complete request after {} bytes", i + 1);
+            } else {
+                let req = parsed.expect("request after final byte");
+                assert_eq!(req.body, "hello world");
+                assert!(!req.keep_alive);
+            }
+        }
+        assert!(p.is_clean());
+    }
+
+    #[test]
+    fn body_split_across_feeds_needs_exactly_the_declared_bytes() {
+        let mut p = parser();
+        p.feed(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\n12345");
+        assert!(
+            p.next_request().unwrap().is_none(),
+            "half a body is NeedMore"
+        );
+        p.feed(b"6789");
+        assert!(p.next_request().unwrap().is_none(), "one byte short");
+        p.feed(b"0");
+        let req = p.next_request().unwrap().expect("complete");
+        assert_eq!(req.body, "1234567890");
+    }
+
+    #[test]
+    fn pipelined_requests_come_out_one_per_call() {
+        let mut p = parser();
+        p.feed(b"GET /healthz HTTP/1.1\r\n\r\nPOST /identify HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /metrics HTTP/1.1\r\n\r\n");
+        let a = p.next_request().unwrap().expect("first");
+        assert_eq!((a.method.as_str(), a.path.as_str()), ("GET", "/healthz"));
+        let b = p.next_request().unwrap().expect("second");
+        assert_eq!(b.body, "hi");
+        let c = p.next_request().unwrap().expect("third");
+        assert_eq!(c.path, "/metrics");
+        assert!(p.next_request().unwrap().is_none());
+        assert!(p.is_clean());
+    }
+
+    #[test]
+    fn oversized_content_length_is_rejected_before_any_body_arrives() {
+        let mut p = RequestParser::new(ParserLimits {
+            max_header_bytes: 1024,
+            max_body_bytes: 64,
+        });
+        // Head only — not a single body byte is fed, yet the declared
+        // length alone triggers the rejection (no allocation happens).
+        p.feed(b"POST / HTTP/1.1\r\nContent-Length: 65\r\n\r\n");
+        assert!(matches!(p.next_request(), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn newline_less_flood_is_cut_off_at_the_header_limit() {
+        let mut p = RequestParser::new(ParserLimits {
+            max_header_bytes: 128,
+            max_body_bytes: 64,
+        });
+        p.feed(&[b'A'; 127]);
+        assert!(p.next_request().unwrap().is_none());
+        p.feed(&[b'A'; 1]);
+        assert!(matches!(p.next_request(), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn endless_header_section_is_cut_off_at_the_limit() {
+        let mut p = RequestParser::new(ParserLimits {
+            max_header_bytes: 128,
+            max_body_bytes: 64,
+        });
+        p.feed(b"GET / HTTP/1.1\r\n");
+        for _ in 0..20 {
+            p.feed(b"X-Pad: aaaaaaaaaa\r\n");
+        }
+        assert!(matches!(p.next_request(), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_tolerated() {
+        let reqs = parse_all(b"GET /healthz HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(reqs[0].path, "/healthz");
+    }
+
+    #[test]
+    fn malformed_inputs_error_instead_of_panicking() {
+        for bad in [
+            &b"\r\n\r\n"[..],                                     // empty request line
+            b"GET\r\n\r\n",                                       // no path
+            b"GET /x\r\n\r\n",                                    // no version
+            b"GET /x SMTP/1.0\r\n\r\n",                           // wrong protocol
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",          // bad header
+            b"GET /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n", // bad length
+            b"\xff\xfe /x HTTP/1.1\r\n\r\n",                      // non-UTF-8 head
+        ] {
+            assert!(
+                matches!(parse_all(bad), Err(HttpError::Malformed(_))),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_utf8_body_is_malformed() {
+        let mut p = parser();
+        p.feed(b"POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\n\xff\xfe");
+        assert!(matches!(p.next_request(), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn connection_header_overrides_the_version_default() {
+        let reqs = parse_all(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(reqs[0].keep_alive);
+        let reqs = parse_all(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!reqs[0].keep_alive);
+        let reqs = parse_all(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!reqs[0].keep_alive);
+    }
+
+    #[test]
+    fn response_bytes_round_trip_shape() {
+        let bytes = response_bytes(200, "{\"ok\":true}", true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+        let bytes = response_bytes(503, "{}", false);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+
+    proptest! {
+        /// Feeding a valid request split at arbitrary points yields the
+        /// same parse as feeding it whole — the incremental parser is
+        /// insensitive to how the kernel fragments the stream.
+        #[test]
+        fn arbitrary_fragmentation_is_parse_equivalent(
+            path in "/[a-z]{1,12}",
+            body in "[ -~]{0,64}",
+            cut in proptest::collection::vec(0usize..200, 0..6),
+        ) {
+            let wire = format!(
+                "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            let whole = parse_all(wire.as_bytes()).unwrap();
+            prop_assert_eq!(whole.len(), 1);
+
+            let mut cuts: Vec<usize> = cut.iter().map(|c| c % wire.len().max(1)).collect();
+            cuts.sort_unstable();
+            let mut p = parser();
+            let mut prev = 0;
+            for c in cuts.into_iter().chain([wire.len()]) {
+                p.feed(&wire.as_bytes()[prev..c]);
+                prev = c;
+            }
+            let req = p.next_request().unwrap().expect("complete request");
+            prop_assert_eq!(&req.path, &whole[0].path);
+            prop_assert_eq!(&req.body, &whole[0].body);
+            prop_assert_eq!(req.keep_alive, whole[0].keep_alive);
+        }
+
+        /// Random bytes never panic the parser: every input either
+        /// parses, needs more, or errors cleanly.
+        #[test]
+        fn random_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..512)) {
+            let mut p = RequestParser::new(ParserLimits {
+                max_header_bytes: 256,
+                max_body_bytes: 256,
+            });
+            p.feed(&bytes);
+            while let Ok(Some(_)) = p.next_request() {}
+        }
+    }
 }

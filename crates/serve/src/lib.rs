@@ -6,25 +6,36 @@
 //! path, under heavy traffic.
 //!
 //! Everything is built on the standard library only (the build container
-//! has no crates.io access, so no tokio/hyper — the same vendoring
+//! has no crates.io access, so no tokio/hyper/mio — the same vendoring
 //! philosophy as the rest of the workspace):
 //!
-//! * [`http`] — a minimal HTTP/1.1 codec over [`std::net::TcpStream`]
-//!   (request parsing, response writing, keep-alive), shared by the
-//!   server, the load generator and the integration tests;
+//! * [`sys`] — hand-rolled readiness syscall wrappers: epoll on Linux,
+//!   `poll(2)` on other unix targets, plus the self-pipe waker (the one
+//!   module with `unsafe` in it);
+//! * [`http`] — a minimal HTTP/1.1 codec whose server side is an
+//!   **incremental parser** (feed bytes → `NeedMore | Request | Error`)
+//!   that tolerates partial reads, pipelined requests and slow clients
+//!   without ever blocking a thread;
+//! * `conn` / `reactor` / `pool` (internal) — the **event-driven
+//!   connection engine**: per-connection state machines multiplexed by
+//!   one reactor thread, with fully parsed requests dispatched to a
+//!   scoring pool sized to the CPU count. Thousands of mostly-idle
+//!   keep-alive connections are served by `1 + cores` threads total;
 //! * [`cache`] — a mutex-striped, capacity-bounded LRU **result cache**
 //!   keyed by normalised URL, so repeated URLs skip tokenisation and
 //!   feature extraction entirely (asserted by an integration test through
 //!   [`urlid_features::CountingExtractor`]);
-//! * [`metrics`] — request counters and a log-scale latency histogram
-//!   behind relaxed atomics, exported by `GET /metrics`;
-//! * [`server`] — a fixed worker-thread-pool server exposing the JSON
-//!   API, with **atomic model hot-reload**: `POST /admin/reload` swaps an
-//!   [`std::sync::Arc`]-held model loaded via `urlid::persistence` with
-//!   zero dropped requests (readers clone the `Arc` under a briefly-held
-//!   read lock; the cache is epoch-tagged so stale entries never serve);
+//! * [`metrics`] — request counters, connection gauges (open / idle /
+//!   accepted / timed-out) and a log-scale latency histogram behind
+//!   relaxed atomics, exported by `GET /metrics`;
+//! * [`server`] — routing, the shared [`server::ServerState`] with
+//!   **atomic model hot-reload** (`POST /admin/reload` swaps an
+//!   [`std::sync::Arc`]-held model with zero dropped requests; the cache
+//!   is epoch-tagged so stale entries never serve), and the
+//!   spawn/shutdown API over the engine;
 //! * [`loadgen`] — a keep-alive load generator replaying a
-//!   corpus-generated URL mix and emitting a machine-readable
+//!   corpus-generated URL mix — including a many-idle-connections
+//!   scenario — and emitting a machine-readable, multi-scenario
 //!   `BENCH_serve.json` (throughput, p50/p99 latency, cache hit rate).
 //!
 //! ## Endpoints
@@ -34,7 +45,7 @@
 //! | `/identify`           | POST   | `{"url": "..."}`            | per-language scores, decisions, best, cached |
 //! | `/identify_batch`     | POST   | `{"urls": ["...", ...]}`    | one result per URL (parallel scoring)        |
 //! | `/healthz`            | GET    | —                           | status, model config, uptime                 |
-//! | `/metrics`            | GET    | —                           | counters, cache hit rate, latency histogram  |
+//! | `/metrics`            | GET    | —                           | counters, connections, cache, latency        |
 //! | `/admin/reload`       | POST   | `{"path": "..."}` (opt.)    | swaps the model, bumps the cache epoch       |
 //!
 //! ## Quickstart
@@ -54,16 +65,22 @@
 //! handle.join();
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is confined to the raw syscall wrappers in `sys` (which
+// carries its own `allow`); everything above the poller is safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+mod conn;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
+mod pool;
+mod reactor;
 pub mod server;
+pub mod sys;
 
 pub use cache::{normalize_url, ResultCache};
-pub use loadgen::{run_loadgen, BenchReport, LoadgenConfig};
+pub use loadgen::{run_loadgen, run_suite, BenchReport, BenchSuite, LoadgenConfig};
 pub use metrics::Metrics;
 pub use server::{spawn, ServeConfig, ServerHandle, ServerState};

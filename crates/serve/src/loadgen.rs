@@ -8,9 +8,19 @@
 //! like real traffic does, which is what exercises (and measures) the
 //! result cache.
 //!
-//! Each worker thread keeps one keep-alive connection and measures
-//! per-request wall latency; the merged samples give *exact* percentiles
-//! (the server's own histogram is bucketed). The report is written as
+//! Each active worker thread keeps one keep-alive connection and
+//! measures per-request wall latency; the merged samples give *exact*
+//! percentiles (the server's own histogram is bucketed). On top of the
+//! active workers, a scenario can hold `idle_connections` **mostly-idle
+//! keep-alive connections** open for the whole run — the crawl-frontier
+//! client population the reactor refactor exists for. Each idle
+//! connection proves itself twice: one request when it opens, and one
+//! sweep request after the hammering ends (a connection the server
+//! evicted or wedged fails the sweep, so `errors == 0` certifies all of
+//! them survived).
+//!
+//! A single run produces a [`BenchReport`]; [`run_suite`] strings
+//! several scenarios into one multi-scenario [`BenchSuite`], written as
 //! `BENCH_serve.json` so the perf trajectory accumulates next to the
 //! criterion bench JSON (`target/bench-results-*.json`).
 
@@ -24,15 +34,20 @@ use std::path::PathBuf;
 use std::time::Instant;
 use urlid_corpus::UrlGenerator;
 
-/// Load-generator configuration.
+/// Load-generator configuration for one scenario.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
+    /// Scenario name carried into the report.
+    pub name: String,
     /// Server address, e.g. `127.0.0.1:7878`.
     pub addr: String,
-    /// Total number of `/identify` requests to send.
+    /// Total number of `/identify` requests the active workers send.
     pub requests: usize,
-    /// Concurrent keep-alive connections (worker threads).
+    /// Concurrent active keep-alive connections (worker threads).
     pub concurrency: usize,
+    /// Mostly-idle keep-alive connections held open across the run
+    /// (each sends one request at open and one in the final sweep).
+    pub idle_connections: usize,
     /// Size of the unique-URL pool (smaller pool → higher cache hit rate).
     pub unique_urls: usize,
     /// Seed for the URL mix and the per-worker sampling.
@@ -44,9 +59,11 @@ pub struct LoadgenConfig {
 impl Default for LoadgenConfig {
     fn default() -> Self {
         Self {
+            name: "baseline".to_owned(),
             addr: "127.0.0.1:7878".to_owned(),
             requests: 10_000,
             concurrency: 4,
+            idle_connections: 0,
             unique_urls: 2_000,
             seed: 7,
             out: Some(PathBuf::from("BENCH_serve.json")),
@@ -80,29 +97,50 @@ pub struct CacheSummary {
     pub hit_rate: f64,
 }
 
-/// The machine-readable benchmark report (`BENCH_serve.json`).
+/// One scenario's machine-readable benchmark report.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchReport {
     /// Report kind tag, always `"serve"`.
     pub bench: String,
+    /// Scenario name (`baseline_4conn`, `idle_1024`, ...).
+    pub scenario: String,
     /// Seconds since the Unix epoch when the run finished.
     pub unix_time: u64,
-    /// Requests completed successfully.
+    /// Requests completed successfully (active + idle-open + sweep).
     pub requests: u64,
-    /// Requests that failed (non-200 or transport error).
+    /// Requests that failed (non-200 or transport error), across the
+    /// active hammer, the idle opens and the final idle sweep.
     pub errors: u64,
-    /// Concurrent connections used.
+    /// Concurrent active connections used.
     pub concurrency: u64,
+    /// Mostly-idle keep-alive connections held open across the run.
+    pub idle_connections: u64,
     /// Unique-URL pool size.
     pub unique_urls: u64,
-    /// Wall-clock duration of the run in seconds.
+    /// Wall-clock duration of the active hammer in seconds.
     pub duration_secs: f64,
-    /// Completed requests per second.
+    /// Completed active requests per second.
     pub throughput_rps: f64,
-    /// Client-side latency percentiles.
+    /// Server thread budget (reactor + scoring pool) read from
+    /// `GET /metrics` after the run; 0 when the server predates the
+    /// gauge. This is what certifies "1024 connections, bounded
+    /// threads".
+    pub server_threads: u64,
+    /// Client-side latency percentiles over the active requests.
     pub latency: LatencySummary,
     /// Server-side cache statistics.
     pub cache: CacheSummary,
+}
+
+/// The multi-scenario `BENCH_serve.json`: every scenario of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchSuite {
+    /// Report kind tag, always `"serve"`.
+    pub bench: String,
+    /// Seconds since the Unix epoch when the suite finished.
+    pub unix_time: u64,
+    /// One report per scenario, in execution order.
+    pub scenarios: Vec<BenchReport>,
 }
 
 fn percentile(sorted_micros: &[u64], q: f64) -> f64 {
@@ -113,8 +151,16 @@ fn percentile(sorted_micros: &[u64], q: f64) -> f64 {
     sorted_micros[rank - 1] as f64 / 1000.0
 }
 
-/// One worker: a keep-alive connection sending `n` requests sampled from
-/// the shared pool. Returns (latency samples in µs, error count).
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// One active worker: a keep-alive connection sending `n` requests
+/// sampled from the shared pool. Returns (latency samples in µs, error
+/// count).
 fn worker(addr: &str, urls: &[String], n: usize, seed: u64) -> io::Result<(Vec<u64>, u64)> {
     let stream = TcpStream::connect(addr)?;
     let _ = stream.set_nodelay(true);
@@ -125,12 +171,8 @@ fn worker(addr: &str, urls: &[String], n: usize, seed: u64) -> io::Result<(Vec<u
     let mut errors = 0u64;
     for _ in 0..n {
         let url = &urls[rng.random_range(0..urls.len())];
-        let mut body = Value::object();
-        body.insert("url", Value::Str(url.clone()));
-        let body = serde_json::to_string(&body).expect("request serialises");
         let started = Instant::now();
-        http::write_request(&mut writer, "POST", "/identify", Some(&body))?;
-        let (status, _) = http::read_response(&mut reader)?;
+        let status = identify_once(&mut writer, &mut reader, url)?;
         let elapsed = started.elapsed().as_micros() as u64;
         if status == 200 {
             latencies.push(elapsed);
@@ -141,8 +183,67 @@ fn worker(addr: &str, urls: &[String], n: usize, seed: u64) -> io::Result<(Vec<u
     Ok((latencies, errors))
 }
 
-/// Read the server's cache statistics from `GET /metrics`.
-fn fetch_cache_stats(addr: &str) -> io::Result<CacheSummary> {
+/// Send one `/identify` request on an open connection; returns the status.
+fn identify_once(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    url: &str,
+) -> io::Result<u16> {
+    let mut body = Value::object();
+    body.insert("url", Value::Str(url.to_owned()));
+    let body = serde_json::to_string(&body).expect("request serialises");
+    http::write_request(writer, "POST", "/identify", Some(&body))?;
+    let (status, _) = http::read_response(reader)?;
+    Ok(status)
+}
+
+/// A mostly-idle keep-alive connection (see module docs).
+struct IdleConn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// Open the idle population, one proving request each. A connect or
+/// request failure counts as an error and drops that slot.
+fn open_idle_conns(addr: &str, count: usize, urls: &[String]) -> (Vec<IdleConn>, u64) {
+    let mut conns = Vec::with_capacity(count);
+    let mut errors = 0u64;
+    for i in 0..count {
+        let attempt = (|| -> io::Result<IdleConn> {
+            let stream = TcpStream::connect(addr)?;
+            let _ = stream.set_nodelay(true);
+            let mut writer = stream.try_clone()?;
+            let mut reader = BufReader::new(stream);
+            let status = identify_once(&mut writer, &mut reader, &urls[i % urls.len()])?;
+            if status != 200 {
+                return Err(io::Error::other(format!("idle open got {status}")));
+            }
+            Ok(IdleConn { writer, reader })
+        })();
+        match attempt {
+            Ok(conn) => conns.push(conn),
+            Err(_) => errors += 1,
+        }
+    }
+    (conns, errors)
+}
+
+/// After the hammer: every idle connection must still be alive and
+/// serving. Returns (ok, errors).
+fn sweep_idle_conns(conns: &mut [IdleConn], urls: &[String]) -> (u64, u64) {
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    for (i, conn) in conns.iter_mut().enumerate() {
+        match identify_once(&mut conn.writer, &mut conn.reader, &urls[i % urls.len()]) {
+            Ok(200) => ok += 1,
+            Ok(_) | Err(_) => errors += 1,
+        }
+    }
+    (ok, errors)
+}
+
+/// Server-side statistics read from `GET /metrics` after a run.
+fn fetch_server_stats(addr: &str) -> io::Result<(CacheSummary, u64)> {
     let stream = TcpStream::connect(addr)?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
@@ -156,11 +257,11 @@ fn fetch_cache_stats(addr: &str) -> io::Result<CacheSummary> {
     let cache = parsed
         .get("cache")
         .ok_or_else(|| io::Error::other("/metrics has no cache section"))?;
-    let uint = |key: &str| -> io::Result<u64> {
-        match cache.get(key) {
-            Some(Value::Uint(n)) => Ok(*n),
-            Some(Value::Int(n)) if *n >= 0 => Ok(*n as u64),
-            _ => Err(io::Error::other(format!("cache.{key} missing"))),
+    let uint = |section: &Value, key: &str| -> Option<u64> {
+        match section.get(key) {
+            Some(Value::Uint(n)) => Some(*n),
+            Some(Value::Int(n)) if *n >= 0 => Some(*n as u64),
+            _ => None,
         }
     };
     let hit_rate = match cache.get("hit_rate") {
@@ -168,20 +269,32 @@ fn fetch_cache_stats(addr: &str) -> io::Result<CacheSummary> {
         Some(Value::Int(n)) => *n as f64,
         _ => 0.0,
     };
-    Ok(CacheSummary {
-        hits: uint("hits")?,
-        misses: uint("misses")?,
+    let summary = CacheSummary {
+        hits: uint(cache, "hits").ok_or_else(|| io::Error::other("cache.hits missing"))?,
+        misses: uint(cache, "misses").ok_or_else(|| io::Error::other("cache.misses missing"))?,
         hit_rate,
-    })
+    };
+    let threads = parsed
+        .get("threads")
+        .and_then(|t| uint(t, "total"))
+        .unwrap_or(0);
+    Ok((summary, threads))
 }
 
-/// Run the load generator against a server at `config.addr`; returns the
-/// report (and writes it to `config.out` when set).
+/// Run one load-generator scenario against a server at `config.addr`;
+/// returns the report (and writes it to `config.out` when set).
 pub fn run_loadgen(config: &LoadgenConfig) -> io::Result<BenchReport> {
     let concurrency = config.concurrency.max(1);
     let urls = UrlGenerator::crawl_frontier_mix(config.seed, config.unique_urls.max(1));
     let per_worker = config.requests.div_ceil(concurrency);
 
+    // Phase 1: build the idle population (serving one request each).
+    let (mut idle_conns, mut errors) =
+        open_idle_conns(&config.addr, config.idle_connections, &urls);
+    let mut completed = idle_conns.len() as u64;
+
+    // Phase 2: the active hammer, with the idle population holding
+    // their connections open against the same reactor.
     let started = Instant::now();
     let results: Vec<io::Result<(Vec<u64>, u64)>> = std::thread::scope(|scope| {
         (0..concurrency)
@@ -193,42 +306,51 @@ pub fn run_loadgen(config: &LoadgenConfig) -> io::Result<BenchReport> {
             })
             .collect::<Vec<_>>()
             .into_iter()
-            .map(|handle| handle.join().expect("loadgen worker panicked"))
+            .map(|handle| match handle.join() {
+                Ok(result) => result,
+                Err(_) => Err(io::Error::other("loadgen worker panicked")),
+            })
             .collect()
     });
     let duration_secs = started.elapsed().as_secs_f64();
 
+    // Phase 3: the idle sweep — every idle connection must still serve.
+    let (swept, sweep_errors) = sweep_idle_conns(&mut idle_conns, &urls);
+    completed += swept;
+    errors += sweep_errors;
+    drop(idle_conns);
+
     let mut latencies = Vec::new();
-    let mut errors = 0u64;
     for result in results {
         let (mut worker_latencies, worker_errors) = result?;
         latencies.append(&mut worker_latencies);
         errors += worker_errors;
     }
     latencies.sort_unstable();
-    let completed = latencies.len() as u64;
+    let active_completed = latencies.len() as u64;
+    completed += active_completed;
     let mean_micros = if latencies.is_empty() {
         0.0
     } else {
         latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
     };
-    let cache = fetch_cache_stats(&config.addr)?;
+    let (cache, server_threads) = fetch_server_stats(&config.addr)?;
     let report = BenchReport {
         bench: "serve".to_owned(),
-        unix_time: std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_secs())
-            .unwrap_or(0),
+        scenario: config.name.clone(),
+        unix_time: unix_now(),
         requests: completed,
         errors,
         concurrency: concurrency as u64,
+        idle_connections: config.idle_connections as u64,
         unique_urls: urls.len() as u64,
         duration_secs,
         throughput_rps: if duration_secs > 0.0 {
-            completed as f64 / duration_secs
+            active_completed as f64 / duration_secs
         } else {
             0.0
         },
+        server_threads,
         latency: LatencySummary {
             p50_ms: percentile(&latencies, 0.50),
             p90_ms: percentile(&latencies, 0.90),
@@ -248,6 +370,29 @@ pub fn run_loadgen(config: &LoadgenConfig) -> io::Result<BenchReport> {
     Ok(report)
 }
 
+/// Run several scenarios back to back against the same server and
+/// write one multi-scenario `BENCH_serve.json` to `out` (when set).
+/// Per-scenario `out` paths are ignored — the suite file is the report.
+pub fn run_suite(scenarios: &[LoadgenConfig], out: Option<&PathBuf>) -> io::Result<BenchSuite> {
+    let mut reports = Vec::with_capacity(scenarios.len());
+    for scenario in scenarios {
+        let mut config = scenario.clone();
+        config.out = None;
+        reports.push(run_loadgen(&config)?);
+    }
+    let suite = BenchSuite {
+        bench: "serve".to_owned(),
+        unix_time: unix_now(),
+        scenarios: reports,
+    };
+    if let Some(out) = out {
+        let json = serde_json::to_string_pretty(&suite)
+            .map_err(|e| io::Error::other(format!("cannot serialise suite: {e}")))?;
+        std::fs::write(out, json)?;
+    }
+    Ok(suite)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,17 +406,19 @@ mod tests {
         assert_eq!(percentile(&[], 0.5), 0.0);
     }
 
-    #[test]
-    fn report_round_trips_through_json() {
-        let report = BenchReport {
+    fn sample_report(scenario: &str) -> BenchReport {
+        BenchReport {
             bench: "serve".into(),
+            scenario: scenario.into(),
             unix_time: 1,
             requests: 100,
             errors: 0,
             concurrency: 4,
+            idle_connections: 16,
             unique_urls: 50,
             duration_secs: 0.5,
             throughput_rps: 200.0,
+            server_threads: 2,
             latency: LatencySummary {
                 p50_ms: 1.0,
                 p90_ms: 2.0,
@@ -284,11 +431,32 @@ mod tests {
                 misses: 60,
                 hit_rate: 0.4,
             },
-        };
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample_report("baseline_4conn");
         let json = serde_json::to_string(&report).unwrap();
         let restored: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(restored.requests, 100);
         assert_eq!(restored.cache.hits, 40);
+        assert_eq!(restored.scenario, "baseline_4conn");
+        assert_eq!(restored.idle_connections, 16);
+        assert_eq!(restored.server_threads, 2);
         assert!(json.contains("\"throughput_rps\""));
+    }
+
+    #[test]
+    fn suite_round_trips_through_json() {
+        let suite = BenchSuite {
+            bench: "serve".into(),
+            unix_time: 2,
+            scenarios: vec![sample_report("baseline_4conn"), sample_report("idle_1024")],
+        };
+        let json = serde_json::to_string(&suite).unwrap();
+        let restored: BenchSuite = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored.scenarios.len(), 2);
+        assert_eq!(restored.scenarios[1].scenario, "idle_1024");
     }
 }

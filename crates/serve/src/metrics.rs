@@ -98,7 +98,8 @@ impl LatencyHistogram {
 }
 
 /// All serving metrics: per-endpoint request counters, error count,
-/// reload count, and the latency histogram of the two scoring endpoints.
+/// reload count, connection-engine gauges, and the latency histogram of
+/// the two scoring endpoints.
 pub struct Metrics {
     start: Instant,
     /// `POST /identify` requests served.
@@ -115,6 +116,18 @@ pub struct Metrics {
     pub reloads: AtomicU64,
     /// Requests answered with a 4xx/5xx status.
     pub errors: AtomicU64,
+    /// Connections accepted over the server's lifetime (counter).
+    pub connections_accepted: AtomicU64,
+    /// Connections currently registered in the reactor (gauge).
+    pub connections_open: AtomicU64,
+    /// Connections with a request currently in the scoring pool
+    /// (gauge); `open - busy` is the number of idle keep-alives.
+    pub connections_busy: AtomicU64,
+    /// Connections evicted by the idle timeout (counter).
+    pub connections_timed_out: AtomicU64,
+    /// Scoring-pool size, recorded at spawn (the reactor adds one more
+    /// thread; together they are the server's whole thread budget).
+    pub scoring_threads: AtomicU64,
     /// Latency of `/identify` and `/identify_batch` requests.
     pub latency: LatencyHistogram,
 }
@@ -137,6 +150,11 @@ impl Metrics {
             metrics: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            connections_accepted: AtomicU64::new(0),
+            connections_open: AtomicU64::new(0),
+            connections_busy: AtomicU64::new(0),
+            connections_timed_out: AtomicU64::new(0),
+            scoring_threads: AtomicU64::new(0),
             latency: LatencyHistogram::default(),
         }
     }
@@ -165,6 +183,37 @@ impl Metrics {
         requests.insert("metrics", Value::Uint(self.metrics.load(Ordering::Relaxed)));
         requests.insert("errors", Value::Uint(self.errors.load(Ordering::Relaxed)));
         requests
+    }
+
+    /// The connection-engine section of the `/metrics` response:
+    /// gauges maintained by the reactor thread.
+    pub fn connections_value(&self) -> Value {
+        let open = self.connections_open.load(Ordering::Relaxed);
+        let busy = self.connections_busy.load(Ordering::Relaxed);
+        let mut connections = Value::object();
+        connections.insert("open", Value::Uint(open));
+        connections.insert("idle", Value::Uint(open.saturating_sub(busy)));
+        connections.insert(
+            "accepted",
+            Value::Uint(self.connections_accepted.load(Ordering::Relaxed)),
+        );
+        connections.insert(
+            "timed_out",
+            Value::Uint(self.connections_timed_out.load(Ordering::Relaxed)),
+        );
+        connections
+    }
+
+    /// The thread-budget section of the `/metrics` response: the
+    /// reactor plus the scoring pool is every thread the server runs,
+    /// independent of how many connections are open.
+    pub fn threads_value(&self) -> Value {
+        let scoring = self.scoring_threads.load(Ordering::Relaxed);
+        let mut threads = Value::object();
+        threads.insert("reactor", Value::Uint(1));
+        threads.insert("scoring", Value::Uint(scoring));
+        threads.insert("total", Value::Uint(1 + scoring));
+        threads
     }
 
     /// The latency section of the `/metrics` response.
@@ -226,6 +275,26 @@ mod tests {
         h.record(u64::MAX);
         assert_eq!(h.count(), 2);
         assert!(h.quantile_ms(1.0).is_some());
+    }
+
+    #[test]
+    fn connection_gauges_report_open_idle_accepted_timed_out() {
+        let m = Metrics::new();
+        m.connections_accepted.fetch_add(10, Ordering::Relaxed);
+        m.connections_open.fetch_add(7, Ordering::Relaxed);
+        m.connections_busy.fetch_add(2, Ordering::Relaxed);
+        m.connections_timed_out.fetch_add(3, Ordering::Relaxed);
+        let v = m.connections_value();
+        assert_eq!(v.get("open"), Some(&Value::Uint(7)));
+        assert_eq!(v.get("idle"), Some(&Value::Uint(5)));
+        assert_eq!(v.get("accepted"), Some(&Value::Uint(10)));
+        assert_eq!(v.get("timed_out"), Some(&Value::Uint(3)));
+
+        m.scoring_threads.store(4, Ordering::Relaxed);
+        let t = m.threads_value();
+        assert_eq!(t.get("reactor"), Some(&Value::Uint(1)));
+        assert_eq!(t.get("scoring"), Some(&Value::Uint(4)));
+        assert_eq!(t.get("total"), Some(&Value::Uint(5)));
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! The scoring pool: a small fixed set of CPU-bound worker threads.
+//!
+//! The reactor hands over fully parsed requests ([`Job`]); a worker
+//! routes the request through the handlers (scoring, cache, metrics,
+//! reload — all in `server.rs`), serialises the response, and pushes a
+//! [`Completion`] back for the reactor to write. (Keeping the socket
+//! writes on the reactor preserves write batching: the reactor drains a
+//! whole burst of completions in one scheduling quantum, where
+//! per-worker direct writes measured *slower* on few-core boxes — each
+//! write immediately woke its client and shredded the batch.)
+//!
+//! The reactor is woken through its self-pipe, but the wake syscall is
+//! **elided for all but the first completion of a burst**: workers
+//! send-then-increment a shared counter and only wake when it was zero,
+//! pairing with the reactor's swap(0)-then-drain — every completion the
+//! swap observed is already visible to the drain, and an increment
+//! landing after the swap sees zero and issues its own wake, so nothing
+//! strands. The pool is sized to the CPU count — its threads only ever
+//! run compute, never block on sockets, so there is no reason to
+//! over-provision past the cores.
+
+use crate::http::{self, Request};
+use crate::server::{route, ServerState};
+use crate::sys::Waker;
+use std::io;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A parsed request bound for the scoring pool, tagged with the
+/// connection token the response must come back to.
+pub(crate) struct Job {
+    /// Reactor connection token (slot index + generation).
+    pub token: u64,
+    /// The parsed request.
+    pub request: Request,
+}
+
+/// A finished response on its way back to the reactor.
+pub(crate) struct Completion {
+    /// The token of the connection the request came from. May be stale
+    /// by the time the reactor sees it (the connection died while the
+    /// request was scored) — the reactor checks the generation.
+    pub token: u64,
+    /// Serialised response bytes, ready for the wire.
+    pub response: Vec<u8>,
+    /// Whether the connection should stay open afterwards.
+    pub keep_alive: bool,
+}
+
+/// Handles to the running workers (join on shutdown).
+pub(crate) struct ScoringPool {
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ScoringPool {
+    /// Spawn `threads` workers. Returns the pool and the job sender;
+    /// dropping the sender (the reactor exiting) drains and stops the
+    /// workers.
+    pub(crate) fn spawn(
+        threads: usize,
+        state: Arc<ServerState>,
+        completions: Sender<Completion>,
+        pending: Arc<AtomicI64>,
+        waker: Arc<Waker>,
+    ) -> io::Result<(ScoringPool, Sender<Job>)> {
+        let (job_tx, job_rx) = std::sync::mpsc::channel::<Job>();
+        let job_rx: Arc<Mutex<Receiver<Job>>> = Arc::new(Mutex::new(job_rx));
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let job_rx = Arc::clone(&job_rx);
+            let state = Arc::clone(&state);
+            let completions = completions.clone();
+            let pending = Arc::clone(&pending);
+            let waker = Arc::clone(&waker);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("urlid-serve-score-{i}"))
+                    .spawn(move || loop {
+                        // A poisoned lock or closed channel both mean
+                        // the server is coming down — exit quietly, no
+                        // panic cascade.
+                        let received = match job_rx.lock() {
+                            Ok(rx) => rx.recv(),
+                            Err(_) => return,
+                        };
+                        let Ok(job) = received else { return };
+                        let (status, body) = route(&state, &job.request);
+                        let keep_alive = job.request.keep_alive;
+                        let completion = Completion {
+                            token: job.token,
+                            response: http::response_bytes(status, &body, keep_alive),
+                            keep_alive,
+                        };
+                        if completions.send(completion).is_err() {
+                            return; // reactor gone
+                        }
+                        // Send-then-increment pairs with the reactor's
+                        // swap(0)-then-drain (see module docs): only
+                        // the first completion of a burst pays the
+                        // wake syscall.
+                        if pending.fetch_add(1, Ordering::AcqRel) == 0 {
+                            waker.wake();
+                        }
+                    })?,
+            );
+        }
+        Ok((ScoringPool { workers }, job_tx))
+    }
+
+    /// Wait for every worker to finish (call after the reactor exited,
+    /// which drops the job sender and lets the workers drain out).
+    pub(crate) fn join(&mut self) {
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}

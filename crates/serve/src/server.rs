@@ -1,17 +1,19 @@
-//! The HTTP server: worker thread pool, routing, and model hot-reload.
+//! Server state, request routing, and the engine spawn/shutdown API.
 //!
 //! ## Threading model
 //!
-//! One acceptor thread pushes accepted connections into an mpsc channel
-//! drained by a fixed pool of worker threads; each worker serves one
-//! keep-alive connection at a time (pipelined request → response loops).
-//! There is no async runtime — the container has no crates.io access, so
-//! no tokio/hyper — and the workload (sub-millisecond CPU-bound scoring)
-//! suits a thread-per-connection pool well. The trade-off: the pool size
-//! caps concurrent *connections* (a keep-alive connection pins its
-//! worker between requests, bounded by the read timeout), hence the
-//! over-provisioned default of four workers per core; readiness-based
-//! multiplexing is future work tracked in ROADMAP.md.
+//! One **reactor thread** (the internal `reactor` module) owns every
+//! socket: it accepts connections, feeds bytes into per-connection
+//! incremental parsers, and writes responses — all over non-blocking
+//! I/O behind a readiness poller (epoll on Linux, `poll(2)` elsewhere;
+//! see [`crate::sys`]). Fully parsed requests are dispatched to a small
+//! **scoring pool** (the internal `pool` module) sized to the CPU
+//! count, whose
+//! threads only ever run compute. Total thread budget: `1 + cores`,
+//! independent of the number of open connections — thousands of
+//! mostly-idle keep-alive clients cost slab slots, not threads. (The
+//! previous engine parked one blocking worker thread per keep-alive
+//! connection, capping concurrent connections at the pool size.)
 //!
 //! ## Hot reload
 //!
@@ -25,15 +27,18 @@
 //! [`crate::cache`]).
 
 use crate::cache::{normalize_url, CachedScores, ResultCache};
-use crate::http::{self, HttpError, Request};
+use crate::http::{Request, MAX_BODY_BYTES};
 use crate::metrics::Metrics;
+use crate::pool::ScoringPool;
+use crate::reactor::Reactor;
+use crate::sys::{WakePipe, Waker};
 use serde::Value;
-use std::io::{self, BufReader};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::mpsc;
+use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use urlid::LanguageIdentifier;
@@ -45,29 +50,35 @@ use urlid_lexicon::ALL_LANGUAGES;
 pub struct ServeConfig {
     /// Bind address; port 0 picks a free port (tests, loadgen).
     pub addr: String,
-    /// Worker threads; 0 means four per available core. Each worker
-    /// owns one keep-alive connection at a time, so the pool size caps
-    /// the number of *concurrent connections*, not requests — workers
-    /// mostly block on socket reads, which is why the default
-    /// over-provisions well past the core count.
-    pub threads: usize,
+    /// Scoring-pool threads; 0 means one per available core. These
+    /// threads are pure compute — connections no longer pin threads, so
+    /// there is nothing to over-provision.
+    pub scoring_threads: usize,
     /// Number of cache shards (mutex stripes).
     pub cache_shards: usize,
-    /// Socket read timeout. A connection idle for this long is closed —
-    /// a timeout can strike *mid*-request too, and a partially consumed
-    /// request cannot be resynchronised, so the only safe reaction to
-    /// any timeout is to drop the connection. Keep this generous; it
-    /// also bounds how long shutdown waits for idle workers.
-    pub read_timeout: Duration,
+    /// A connection with no bytes moving for this long is evicted by
+    /// the reactor — mid-request (slowloris) and between requests
+    /// alike. Connections whose request is in the scoring pool are
+    /// exempt. An eviction costs a slab slot, never a thread, so this
+    /// can be generous.
+    pub idle_timeout: Duration,
+    /// Maximum accepted `Content-Length`; larger declarations are
+    /// answered with `413` before any body byte is buffered.
+    pub max_body_bytes: usize,
+    /// How long a graceful shutdown waits for in-flight requests to
+    /// finish and flush before force-closing what remains.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:0".to_owned(),
-            threads: 0,
+            scoring_threads: 0,
             cache_shards: ResultCache::DEFAULT_SHARDS,
-            read_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(5),
+            max_body_bytes: MAX_BODY_BYTES,
+            drain_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -89,6 +100,16 @@ pub struct ServerState {
 }
 
 impl ServerState {
+    /// Read the model slot, recovering from lock poisoning: the slot
+    /// only ever holds fully swapped `Arc`s (the write section is three
+    /// assignments), so a panic elsewhere must not cascade into every
+    /// scoring worker that reads the model afterwards.
+    fn read_slot(&self) -> std::sync::RwLockReadGuard<'_, ModelSlot> {
+        self.slot
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// A serving state for a trained identifier. `model_path` is where
     /// `POST /admin/reload` reloads from when the request names no path
     /// (pass `None` for states built from in-memory models).
@@ -125,7 +146,7 @@ impl ServerState {
 
     /// The current model and its epoch (consistent snapshot).
     pub fn model(&self) -> (Arc<LanguageIdentifier>, u64) {
-        let slot = self.slot.read().expect("model slot");
+        let slot = self.read_slot();
         (Arc::clone(&slot.identifier), slot.epoch)
     }
 
@@ -133,7 +154,7 @@ impl ServerState {
     /// concurrent reload can never produce a torn epoch/path pairing in
     /// `/healthz`, `/metrics` or reload responses.
     fn model_snapshot(&self) -> (Arc<LanguageIdentifier>, u64, Option<PathBuf>) {
-        let slot = self.slot.read().expect("model slot");
+        let slot = self.read_slot();
         (Arc::clone(&slot.identifier), slot.epoch, slot.path.clone())
     }
 
@@ -151,7 +172,7 @@ impl ServerState {
     /// path when `None`). Returns the new epoch. The old model keeps
     /// serving until the swap; on any error it keeps serving, period.
     pub fn reload(&self, path: Option<PathBuf>) -> Result<u64, String> {
-        let path = match path.or_else(|| self.slot.read().expect("model slot").path.clone()) {
+        let path = match path.or_else(|| self.read_slot().path.clone()) {
             Some(p) => p,
             None => {
                 return Err(
@@ -165,7 +186,10 @@ impl ServerState {
             .map_err(|e| format!("cannot reload {}: {e}", path.display()))?;
         let identifier = Arc::new(bundle.into_identifier());
         let epoch = {
-            let mut slot = self.slot.write().expect("model slot");
+            let mut slot = self
+                .slot
+                .write()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
             slot.identifier = identifier;
             slot.epoch += 1;
             slot.path = Some(path);
@@ -218,7 +242,9 @@ impl ServerState {
 // Response building
 // ---------------------------------------------------------------------
 
-fn error_body(message: &str) -> String {
+/// Serialise a `{"error": ...}` body (shared with the connection state
+/// machine, which answers protocol violations without a handler).
+pub(crate) fn error_body(message: &str) -> String {
     let mut o = Value::object();
     o.insert("error", Value::Str(message.to_owned()));
     serde_json::to_string(&o).expect("error body serialises")
@@ -391,6 +417,8 @@ fn handle_metrics(state: &ServerState) -> (u16, String) {
     let mut o = Value::object();
     o.insert("uptime_secs", Value::Float(state.metrics.uptime_secs()));
     o.insert("requests", state.metrics.requests_value());
+    o.insert("connections", state.metrics.connections_value());
+    o.insert("threads", state.metrics.threads_value());
     o.insert("cache", cache);
     o.insert("latency", state.metrics.latency_value());
     o.insert("model", model);
@@ -422,8 +450,8 @@ fn handle_reload(state: &ServerState, req: &Request) -> (u16, String) {
     }
 }
 
-/// Route one request to its handler.
-fn route(state: &ServerState, req: &Request) -> (u16, String) {
+/// Route one request to its handler (runs on a scoring-pool thread).
+pub(crate) fn route(state: &ServerState, req: &Request) -> (u16, String) {
     let response = match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/identify") => handle_identify(state, req),
         ("POST", "/identify_batch") => handle_identify_batch(state, req),
@@ -442,58 +470,8 @@ fn route(state: &ServerState, req: &Request) -> (u16, String) {
 }
 
 // ---------------------------------------------------------------------
-// Connection / pool plumbing
+// Engine spawn / shutdown
 // ---------------------------------------------------------------------
-
-fn handle_connection(
-    stream: TcpStream,
-    state: &ServerState,
-    shutdown: &AtomicBool,
-    config: &ServeConfig,
-) {
-    if stream.set_read_timeout(Some(config.read_timeout)).is_err() {
-        return;
-    }
-    // Sub-millisecond responses: don't let Nagle batch them.
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut writer = stream;
-    let mut reader = BufReader::new(read_half);
-    loop {
-        if shutdown.load(Ordering::Relaxed) {
-            return;
-        }
-        match http::read_request(&mut reader) {
-            Ok(None) => return, // clean close
-            Ok(Some(req)) => {
-                let (status, body) = route(state, &req);
-                let keep_alive = req.keep_alive;
-                if http::write_response(&mut writer, status, &body, keep_alive).is_err() {
-                    return;
-                }
-                if !keep_alive {
-                    return;
-                }
-            }
-            // Any I/O failure — including a read timeout, which may have
-            // consumed part of a request and cannot be resynchronised —
-            // closes the connection.
-            Err(HttpError::Io(_)) => return,
-            Err(HttpError::Malformed(m)) => {
-                let _ = http::write_response(&mut writer, 400, &error_body(&m), false);
-                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-            Err(HttpError::TooLarge(m)) => {
-                let _ = http::write_response(&mut writer, 413, &error_body(&m), false);
-                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-        }
-    }
-}
 
 /// A running server: its address, its shared state, and the handles
 /// needed to stop it.
@@ -501,8 +479,9 @@ pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServerState>,
     shutdown: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    waker: Arc<Waker>,
+    reactor: Option<JoinHandle<()>>,
+    pool: ScoringPool,
 }
 
 impl ServerHandle {
@@ -518,88 +497,87 @@ impl ServerHandle {
 
     /// Serve until the process exits (the CLI path).
     pub fn join(mut self) {
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
+        self.pool.join();
     }
 
-    /// Stop accepting, drain the workers, and return (tests, loadgen).
+    /// Graceful shutdown: stop accepting, drain in-flight requests
+    /// (bounded by the configured drain timeout), stop the pool, and
+    /// return. The reactor is woken through the self-pipe — no
+    /// throwaway connection involved.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        // Unblock the acceptor with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        self.waker.wake();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
+        // The reactor exiting dropped the job sender; the workers have
+        // drained their queue and are on their way out.
+        self.pool.join();
     }
 }
 
-/// Start the server: bind, spawn the acceptor and the worker pool, and
-/// return immediately with a [`ServerHandle`].
+/// Start the server: bind, spawn the reactor thread and the scoring
+/// pool, and return immediately with a [`ServerHandle`].
 pub fn spawn(config: &ServeConfig, state: Arc<ServerState>) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
-    // Thread-per-connection: a keep-alive connection pins its worker
-    // between requests (bounded by `read_timeout`), so size the pool
-    // well past the core count or slow-but-active clients would starve
-    // new connections — including health probes.
-    let threads = if config.threads == 0 {
-        4 * std::thread::available_parallelism()
+    let scoring_threads = if config.scoring_threads == 0 {
+        std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
     } else {
-        config.threads
+        config.scoring_threads
     };
+    state
+        .metrics()
+        .scoring_threads
+        .store(scoring_threads as u64, Ordering::Relaxed);
+
+    let (wake_pipe, waker) = WakePipe::new()?;
+    let waker = Arc::new(waker);
+    let (completion_tx, completion_rx) = mpsc::channel();
+    let pending = Arc::new(std::sync::atomic::AtomicI64::new(0));
+    let (mut pool, job_tx) = ScoringPool::spawn(
+        scoring_threads,
+        Arc::clone(&state),
+        completion_tx,
+        Arc::clone(&pending),
+        Arc::clone(&waker),
+    )?;
+
     let shutdown = Arc::new(AtomicBool::new(false));
-    let (tx, rx) = mpsc::channel::<TcpStream>();
-    let rx: Arc<Mutex<Receiver<TcpStream>>> = Arc::new(Mutex::new(rx));
-
-    let mut workers = Vec::with_capacity(threads);
-    for i in 0..threads {
-        let rx = Arc::clone(&rx);
-        let state = Arc::clone(&state);
-        let shutdown = Arc::clone(&shutdown);
-        let config = config.clone();
-        workers.push(
-            std::thread::Builder::new()
-                .name(format!("urlid-serve-worker-{i}"))
-                .spawn(move || loop {
-                    let received = rx.lock().expect("connection queue").recv();
-                    match received {
-                        Ok(stream) => handle_connection(stream, &state, &shutdown, &config),
-                        Err(_) => return, // acceptor gone
-                    }
-                })?,
-        );
-    }
-
-    let acceptor = {
-        let shutdown = Arc::clone(&shutdown);
-        std::thread::Builder::new()
-            .name("urlid-serve-acceptor".to_owned())
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    if shutdown.load(Ordering::Relaxed) {
-                        return; // drops tx -> workers drain and exit
-                    }
-                    if let Ok(stream) = stream {
-                        let _ = tx.send(stream);
-                    }
-                }
-            })?
+    let reactor = Reactor::new(
+        listener,
+        wake_pipe,
+        job_tx,
+        completion_rx,
+        pending,
+        Arc::clone(&state),
+        Arc::clone(&shutdown),
+        config,
+    )?;
+    let reactor_thread = std::thread::Builder::new()
+        .name("urlid-serve-reactor".to_owned())
+        .spawn(move || reactor.run());
+    let reactor_thread = match reactor_thread {
+        Ok(handle) => handle,
+        Err(e) => {
+            // Reactor never started: release the workers before failing.
+            pool.join();
+            return Err(e);
+        }
     };
 
     Ok(ServerHandle {
         addr,
         state,
         shutdown,
-        acceptor: Some(acceptor),
-        workers,
+        waker,
+        reactor: Some(reactor_thread),
+        pool,
     })
 }

@@ -1,0 +1,558 @@
+//! Raw readiness-multiplexing syscall wrappers — the only `unsafe` in
+//! the crate.
+//!
+//! The build container has no crates.io access (no `mio`, no `libc`
+//! crate), so the handful of C symbols the reactor needs are declared
+//! by hand; `std` already links libc on every unix target, so the
+//! symbols resolve at link time. Two backends sit behind the same
+//! [`Poller`] API:
+//!
+//! * **Linux**: `epoll` (`epoll_create1` / `epoll_ctl` / `epoll_wait`),
+//!   level-triggered — O(ready) wakeups regardless of how many idle
+//!   connections are registered;
+//! * **other unix**: POSIX `poll(2)` over the registered set — O(n) per
+//!   wakeup but dependency-free, keeping the crate building everywhere.
+//!
+//! Cross-thread wakeups use a self-pipe ([`WakePipe`] / [`Waker`]): the
+//! read end is registered in the poller like any other fd, and any
+//! thread can make `epoll_wait` return by writing one byte — this
+//! replaces the old "connect a throwaway `TcpStream` to unblock the
+//! acceptor" shutdown hack, and is how scoring-pool workers hand
+//! finished responses back to the reactor.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::{c_int, c_void};
+use std::time::Duration;
+
+/// What the reactor wants to hear about for one fd.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable.
+    pub read: bool,
+    /// Wake when the fd is writable.
+    pub write: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    /// Readable and writable.
+    pub const READ_WRITE: Interest = Interest {
+        read: true,
+        write: true,
+    };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// The fd has bytes to read (or a hangup/error to discover by
+    /// reading — `EPOLLHUP`/`EPOLLERR` are folded in here so the
+    /// state machine learns about dead peers through a zero/error
+    /// read, one code path for all of them).
+    pub readable: bool,
+    /// The fd can accept more bytes.
+    pub writable: bool,
+}
+
+fn last_os_error() -> io::Error {
+    io::Error::last_os_error()
+}
+
+/// Close an fd, ignoring errors (used from `Drop` impls only).
+fn close_fd(fd: RawFd) {
+    extern "C" {
+        fn close(fd: c_int) -> c_int;
+    }
+    unsafe {
+        close(fd);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Linux backend: epoll
+// ---------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod backend {
+    use super::*;
+
+    // x86_64 is the one ABI where the kernel declares epoll_event
+    // packed (`__EPOLL_PACKED`); everywhere else it has natural
+    // alignment.
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+    }
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+
+    /// Readiness multiplexer over an epoll instance.
+    pub struct Poller {
+        epfd: RawFd,
+        /// Scratch buffer `epoll_wait` fills; reused across calls.
+        raw: Vec<EpollEvent>,
+    }
+
+    impl Poller {
+        /// A fresh epoll instance (close-on-exec).
+        pub fn new() -> io::Result<Poller> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(last_os_error());
+            }
+            Ok(Poller {
+                epfd,
+                raw: vec![EpollEvent { events: 0, data: 0 }; 1024],
+            })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut events = 0u32;
+            if interest.read {
+                events |= EPOLLIN;
+            }
+            if interest.write {
+                events |= EPOLLOUT;
+            }
+            let mut event = EpollEvent {
+                events,
+                data: token,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut event) };
+            if rc < 0 {
+                return Err(last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Register `fd` under `token`.
+        pub fn add(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        /// Change the interest set of a registered fd.
+        pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        /// Deregister a fd (kernel-side removal also happens on close,
+        /// but explicit removal keeps the registration count honest).
+        pub fn remove(&mut self, fd: RawFd) -> io::Result<()> {
+            let mut event = EpollEvent { events: 0, data: 0 };
+            let rc = unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut event) };
+            if rc < 0 {
+                return Err(last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Block until at least one registered fd is ready or `timeout`
+        /// expires (`None` blocks indefinitely); ready events are
+        /// appended to `events`. A signal interruption reports zero
+        /// events rather than an error.
+        pub fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                Some(d) => d.as_millis().min(c_int::MAX as u128) as c_int,
+            };
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    self.raw.as_mut_ptr(),
+                    self.raw.len() as c_int,
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                let err = last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for raw in &self.raw[..n as usize] {
+                let bits = raw.events;
+                events.push(Event {
+                    token: raw.data,
+                    readable: bits & (EPOLLIN | EPOLLERR | EPOLLHUP) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            close_fd(self.epfd);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Portable unix fallback: poll(2)
+// ---------------------------------------------------------------------
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod backend {
+    use super::*;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: i16,
+        revents: i16,
+    }
+
+    // `nfds_t` is `unsigned long` on linux/glibc and `unsigned int` on
+    // the BSD family; this module only compiles on the latter.
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: std::os::raw::c_uint, timeout: c_int) -> c_int;
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const POLLNVAL: i16 = 0x020;
+
+    /// Readiness multiplexer over `poll(2)`: the registered set lives
+    /// in userspace and the whole array is handed to the kernel each
+    /// wait — O(n) per wakeup, fine as a portability fallback.
+    pub struct Poller {
+        fds: Vec<PollFd>,
+        tokens: Vec<u64>,
+    }
+
+    impl Poller {
+        /// An empty registered set.
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                fds: Vec::new(),
+                tokens: Vec::new(),
+            })
+        }
+
+        fn events_of(interest: Interest) -> i16 {
+            let mut events = 0i16;
+            if interest.read {
+                events |= POLLIN;
+            }
+            if interest.write {
+                events |= POLLOUT;
+            }
+            events
+        }
+
+        /// Register `fd` under `token`.
+        pub fn add(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.fds.push(PollFd {
+                fd,
+                events: Self::events_of(interest),
+                revents: 0,
+            });
+            self.tokens.push(token);
+            Ok(())
+        }
+
+        /// Change the interest set of a registered fd.
+        pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            for (slot, t) in self.fds.iter_mut().zip(&mut self.tokens) {
+                if slot.fd == fd {
+                    slot.events = Self::events_of(interest);
+                    *t = token;
+                    return Ok(());
+                }
+            }
+            Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+        }
+
+        /// Deregister a fd.
+        pub fn remove(&mut self, fd: RawFd) -> io::Result<()> {
+            if let Some(i) = self.fds.iter().position(|slot| slot.fd == fd) {
+                self.fds.swap_remove(i);
+                self.tokens.swap_remove(i);
+                return Ok(());
+            }
+            Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+        }
+
+        /// Block until readiness or timeout; see the epoll backend.
+        pub fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                Some(d) => d.as_millis().min(c_int::MAX as u128) as c_int,
+            };
+            let n = unsafe {
+                poll(
+                    self.fds.as_mut_ptr(),
+                    self.fds.len() as std::os::raw::c_uint,
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                let err = last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for (slot, &token) in self.fds.iter().zip(&self.tokens) {
+                let bits = slot.revents;
+                if bits == 0 {
+                    continue;
+                }
+                events.push(Event {
+                    token,
+                    readable: bits & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0,
+                    writable: bits & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+pub use backend::Poller;
+
+// ---------------------------------------------------------------------
+// Self-pipe waker
+// ---------------------------------------------------------------------
+
+extern "C" {
+    fn pipe(fds: *mut c_int) -> c_int;
+    fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+}
+
+const F_GETFL: c_int = 3;
+const F_SETFL: c_int = 4;
+#[cfg(target_os = "linux")]
+const O_NONBLOCK: c_int = 0o4000;
+#[cfg(not(target_os = "linux"))]
+const O_NONBLOCK: c_int = 0x0004;
+
+fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    let flags = unsafe { fcntl(fd, F_GETFL) };
+    if flags < 0 {
+        return Err(last_os_error());
+    }
+    if unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0 {
+        return Err(last_os_error());
+    }
+    Ok(())
+}
+
+/// The write end of the self-pipe. Cloned into an `Arc` and handed to
+/// every thread that needs to interrupt the reactor's `wait` — pool
+/// workers on request completion, the server handle on shutdown. A
+/// one-byte write is async-signal-safe, atomic, and cheap; a full pipe
+/// (`EAGAIN`) means a wakeup is already pending, which is exactly as
+/// good as another one.
+pub struct Waker {
+    fd: RawFd,
+}
+
+// A raw fd used only for single-byte writes is freely shareable.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+impl Waker {
+    /// Make the reactor's next (or current) `wait` return.
+    pub fn wake(&self) {
+        let byte = 1u8;
+        // EAGAIN (pipe full) and EPIPE (reactor gone) both mean there
+        // is nothing useful left to do — deliberately ignored.
+        unsafe {
+            write(self.fd, (&byte as *const u8).cast::<c_void>(), 1);
+        }
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        close_fd(self.fd);
+    }
+}
+
+/// The read end of the self-pipe, owned by the reactor and registered
+/// in its [`Poller`] under a reserved token.
+pub struct WakePipe {
+    fd: RawFd,
+}
+
+impl WakePipe {
+    /// A fresh non-blocking pipe; returns the reactor-side read end and
+    /// the shareable write end.
+    pub fn new() -> io::Result<(WakePipe, Waker)> {
+        let mut fds = [0 as c_int; 2];
+        if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+            return Err(last_os_error());
+        }
+        let (read_fd, write_fd) = (fds[0], fds[1]);
+        // Both ends non-blocking: the reactor's drain must not hang on
+        // an empty pipe, and a waker must not hang on a full one.
+        for fd in [read_fd, write_fd] {
+            if let Err(e) = set_nonblocking(fd) {
+                close_fd(read_fd);
+                close_fd(write_fd);
+                return Err(e);
+            }
+        }
+        Ok((WakePipe { fd: read_fd }, Waker { fd: write_fd }))
+    }
+
+    /// The fd to register for readability.
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Swallow every pending wakeup byte (level-triggered pollers would
+    /// otherwise spin on the readable pipe).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { read(self.fd, buf.as_mut_ptr().cast::<c_void>(), buf.len()) };
+            if n <= 0 {
+                return;
+            }
+        }
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        close_fd(self.fd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn wake_pipe_interrupts_an_indefinite_wait() {
+        let mut poller = Poller::new().unwrap();
+        let (pipe, waker) = WakePipe::new().unwrap();
+        poller.add(pipe.fd(), 7, Interest::READ).unwrap();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.wake();
+            waker.wake(); // coalesces, must not break anything
+            waker // keep the write end open (closing it reads as HUP)
+        });
+        let mut events = Vec::new();
+        poller.wait(&mut events, None).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+        // Both wakes have landed once the thread is done; a drain then
+        // leaves the pipe empty and an immediate re-wait times out.
+        let _waker = handle.join().unwrap();
+        pipe.drain();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn socket_readability_is_reported_under_its_token() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller.add(server.as_raw_fd(), 42, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "no data yet");
+
+        client.write_all(b"x").unwrap();
+        client.flush().unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.readable));
+
+        poller.remove(server.as_raw_fd()).unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "removed fd no longer reports");
+    }
+
+    #[test]
+    fn write_interest_fires_when_the_buffer_has_room() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (_server, _) = listener.accept().unwrap();
+        client.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller
+            .add(client.as_raw_fd(), 9, Interest::READ_WRITE)
+            .unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 9 && e.writable));
+    }
+}

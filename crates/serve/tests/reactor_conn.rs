@@ -1,0 +1,385 @@
+//! Connection-engine behaviors only a real socket can prove: slow
+//! clients that must not hold threads, pipelining, idle eviction,
+//! many-idle-connection multiplexing, oversized-body rejection before
+//! allocation, and graceful shutdown draining in-flight work.
+
+use serde::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+use urlid::prelude::*;
+use urlid_serve::http;
+use urlid_serve::server::{spawn, ServeConfig, ServerHandle, ServerState};
+
+fn trained_identifier() -> LanguageIdentifier {
+    let mut generator = UrlGenerator::new(5);
+    let odp = odp_dataset(&mut generator, CorpusScale::tiny());
+    LanguageIdentifier::train_paper_best(&odp.train)
+}
+
+fn start_server(config: &ServeConfig) -> ServerHandle {
+    let state = Arc::new(ServerState::new(trained_identifier(), None, 4096));
+    spawn(config, state).expect("bind on 127.0.0.1:0")
+}
+
+fn identify(addr: SocketAddr, url: &str) -> (u16, String) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let body = format!("{{\"url\": \"{url}\"}}");
+    http::write_request(&mut writer, "POST", "/identify", Some(&body)).expect("write");
+    http::read_response(&mut reader).expect("read")
+}
+
+/// A slowloris client delivers its request one byte at a time with
+/// pauses; the reactor buffers it in the connection's parser (a slab
+/// slot, not a thread) and answers normally once the request completes
+/// — all while other clients keep being served.
+#[test]
+fn slowloris_byte_at_a_time_request_is_served_without_holding_a_thread() {
+    let server = start_server(&ServeConfig::default());
+    let addr = server.addr();
+
+    let slow = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let body = "{\"url\": \"http://www.wetterbericht.de/langsam\"}";
+        let request = format!(
+            "POST /identify HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        for chunk in request.as_bytes().chunks(7) {
+            stream.write_all(chunk).expect("drip");
+            stream.flush().ok();
+            std::thread::sleep(Duration::from_millis(3));
+        }
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        http::read_response(&mut reader).expect("slow client gets a response")
+    });
+
+    // While the slow client drips, fast clients are not blocked — with
+    // the old thread-per-connection engine and a single-thread pool,
+    // this is exactly the case that starved.
+    for i in 0..10 {
+        let (status, _) = identify(addr, &format!("http://www.seite{i}.de/wetter"));
+        assert_eq!(status, 200, "fast request {i} during slowloris");
+    }
+
+    let (status, body) = slow.join().expect("slow client");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"scores\""));
+    server.shutdown();
+}
+
+/// The body arriving in a separate packet from the head (and itself
+/// split) parses into one request.
+#[test]
+fn split_content_length_body_is_reassembled() {
+    let server = start_server(&ServeConfig::default());
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let body = "{\"url\": \"http://www.beispiel.de/geteilt\"}";
+    let head = format!(
+        "POST /identify HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("head");
+    stream.flush().ok();
+    std::thread::sleep(Duration::from_millis(20));
+    let (first, second) = body.as_bytes().split_at(body.len() / 2);
+    stream.write_all(first).expect("first half");
+    stream.flush().ok();
+    std::thread::sleep(Duration::from_millis(20));
+    stream.write_all(second).expect("second half");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let (status, response) = http::read_response(&mut reader).expect("response");
+    assert_eq!(status, 200);
+    assert!(response.contains("\"best\""));
+    server.shutdown();
+}
+
+/// Three pipelined requests written back-to-back in a single packet
+/// come back as three ordered responses on the same connection.
+#[test]
+fn pipelined_requests_on_one_connection_answer_in_order() {
+    let server = start_server(&ServeConfig::default());
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut wire = String::new();
+    let urls = [
+        "http://www.erste-seite.de/",
+        "http://www.deuxieme-page.fr/",
+        "http://www.tercera-pagina.es/",
+    ];
+    for url in &urls {
+        let body = format!("{{\"url\": \"{url}\"}}");
+        wire.push_str(&format!(
+            "POST /identify HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ));
+    }
+    stream.write_all(wire.as_bytes()).expect("pipeline");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    for url in &urls {
+        let (status, body) = http::read_response(&mut reader).expect("response");
+        assert_eq!(status, 200);
+        let parsed: Value = serde_json::from_str(&body).expect("JSON");
+        // Responses come back in request order: each carries its URL
+        // (normalised, so compare the registrable part).
+        match parsed.get("url") {
+            Some(Value::Str(u)) => assert!(
+                url.contains(u.trim_start_matches("http://").trim_end_matches('/')),
+                "expected {url}, got {u}"
+            ),
+            other => panic!("no url in response: {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+/// A connection idle past the timeout is evicted by the reactor (and
+/// counted); mid-header slowloris drips that stall count the same way.
+#[test]
+fn idle_connections_are_evicted_after_the_timeout() {
+    let config = ServeConfig {
+        idle_timeout: Duration::from_millis(200),
+        ..ServeConfig::default()
+    };
+    let server = start_server(&config);
+
+    // One totally silent connection, one stalled mid-headers.
+    let silent = TcpStream::connect(server.addr()).expect("connect");
+    let mut stalled = TcpStream::connect(server.addr()).expect("connect");
+    stalled
+        .write_all(b"POST /identify HTTP/1.1\r\nContent-")
+        .expect("partial");
+
+    std::thread::sleep(Duration::from_millis(700));
+
+    for (name, stream) in [("silent", &silent), ("stalled", &stalled)] {
+        let mut reader = stream.try_clone().expect("clone");
+        reader
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .expect("timeout");
+        let mut buf = [0u8; 64];
+        match reader.read(&mut buf) {
+            Ok(0) => {} // clean EOF: evicted
+            Ok(n) => panic!("{name}: expected eviction, read {n} bytes"),
+            Err(e) => assert!(
+                matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::BrokenPipe
+                ),
+                "{name}: unexpected error {e:?}"
+            ),
+        }
+    }
+    let timed_out = server
+        .state()
+        .metrics()
+        .connections_timed_out
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(timed_out >= 2, "timed_out gauge saw {timed_out}");
+    server.shutdown();
+}
+
+/// 256 idle keep-alive connections cost slab slots, not threads:
+/// requests on other connections keep completing, the connection
+/// gauges see the population, and every idle connection still serves
+/// afterwards.
+#[test]
+fn hundreds_of_idle_connections_do_not_block_active_traffic() {
+    let server = start_server(&ServeConfig::default());
+    let addr = server.addr();
+
+    // Open 256 keep-alive connections, prove each one once.
+    let mut idle = Vec::new();
+    for i in 0..256 {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        let body = format!("{{\"url\": \"http://www.seite{}.de/\"}}", i % 13);
+        http::write_request(&mut writer, "POST", "/identify", Some(&body)).expect("write");
+        let (status, _) = http::read_response(&mut reader).expect("read");
+        assert_eq!(status, 200, "idle open {i}");
+        idle.push((writer, reader));
+    }
+
+    // Active traffic on fresh connections completes while all 256 sit
+    // idle — with the old engine's pool this would deadlock (every
+    // worker pinned to an idle keep-alive connection).
+    for i in 0..25 {
+        let (status, _) = identify(addr, &format!("http://www.aktiv{i}.de/wetter"));
+        assert_eq!(status, 200, "active request {i}");
+    }
+
+    // The gauges see the idle population.
+    let open = server
+        .state()
+        .metrics()
+        .connections_open
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(open >= 256, "open gauge saw {open}");
+
+    // Every idle connection still serves.
+    for (i, (writer, reader)) in idle.iter_mut().enumerate() {
+        let body = format!("{{\"url\": \"http://www.wieder{}.de/\"}}", i % 7);
+        http::write_request(writer, "POST", "/identify", Some(&body)).expect("write");
+        let (status, _) = http::read_response(reader).expect("read");
+        assert_eq!(status, 200, "idle sweep {i}");
+    }
+    server.shutdown();
+}
+
+/// An oversized `Content-Length` declaration is refused with `413`
+/// before any body is accepted — the client has only sent headers.
+#[test]
+fn oversized_content_length_is_rejected_before_the_body_is_sent() {
+    let config = ServeConfig {
+        max_body_bytes: 1024,
+        ..ServeConfig::default()
+    };
+    let server = start_server(&config);
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    // Declare 1 GiB; send nothing after the head.
+    stream
+        .write_all(b"POST /identify HTTP/1.1\r\nContent-Length: 1073741824\r\n\r\n")
+        .expect("head");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let (status, body) = http::read_response(&mut reader).expect("response");
+    assert_eq!(status, 413);
+    assert!(body.contains("error"));
+    // The connection is closed afterwards (the stream cannot be
+    // resynchronised past an unsent body).
+    let mut buf = [0u8; 16];
+    let mut tail = stream.try_clone().expect("clone");
+    tail.set_read_timeout(Some(Duration::from_secs(2))).ok();
+    assert_eq!(tail.read(&mut buf).unwrap_or(0), 0, "connection closes");
+    server.shutdown();
+}
+
+/// A client that sends its request and immediately half-closes the
+/// write side (send-then-`shutdown(WR)`, a common one-shot pattern)
+/// still gets its response — and the EOF-readable socket must not
+/// wedge the reactor while the request sits in the scoring pool.
+#[test]
+fn half_closed_client_still_receives_its_response() {
+    let server = start_server(&ServeConfig::default());
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    http::write_request(
+        &mut writer,
+        "POST",
+        "/identify",
+        Some("{\"url\": \"http://www.halbgeschlossen.de/\"}"),
+    )
+    .expect("write");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let (status, body) = http::read_response(&mut reader).expect("response after half-close");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"scores\""));
+    // Other clients are unaffected while (and after) the half-closed
+    // connection winds down.
+    let (status, _) = identify(server.addr(), "http://www.andere.de/");
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+/// A raw protocol violation gets a JSON `400` and the connection is
+/// dropped — never a panic, never a wedged slot.
+#[test]
+fn malformed_request_line_gets_400_and_close() {
+    let server = start_server(&ServeConfig::default());
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.write_all(b"BANANA\r\n\r\n").expect("garbage");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    assert!(
+        status_line.starts_with("HTTP/1.1 400"),
+        "got {status_line:?}"
+    );
+    // Server is unharmed.
+    let (status, _) = identify(server.addr(), "http://www.gesund.de/");
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+/// Graceful shutdown: a request already in the scoring pool finishes
+/// and flushes before the server comes down; idle connections are
+/// closed; the listener stops accepting.
+#[test]
+fn shutdown_drains_in_flight_requests_and_closes_idle_connections() {
+    let server = start_server(&ServeConfig::default());
+    let addr = server.addr();
+
+    // An idle bystander connection (proven once).
+    let (status, _) = {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        http::write_request(
+            &mut writer,
+            "POST",
+            "/identify",
+            Some("{\"url\": \"http://www.zuschauer.de/\"}"),
+        )
+        .expect("write");
+        let response = http::read_response(&mut reader).expect("read");
+        // Keep the raw stream alive past shutdown to observe the close.
+        let mut buf = [0u8; 16];
+        let mut observer = stream.try_clone().expect("clone");
+        observer.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        std::thread::spawn(move || {
+            // EOF (or reset) once the drain closes idle connections.
+            let _ = observer.read(&mut buf);
+        });
+        response
+    };
+    assert_eq!(status, 200);
+
+    // A long-running batch request: hundreds of unique URLs keep the
+    // scoring pool busy while shutdown begins.
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let urls: Vec<String> = (0..1500)
+        .map(|i| format!("\"http://www.lange-liste-{i}.de/seite/{i}\""))
+        .collect();
+    let body = format!("{{\"urls\": [{}]}}", urls.join(", "));
+    http::write_request(&mut writer, "POST", "/identify_batch", Some(&body)).expect("write");
+
+    // Give the reactor a moment to parse and dispatch, then shut down
+    // while the batch is (very likely) still scoring.
+    std::thread::sleep(Duration::from_millis(30));
+    let shutdown_thread = std::thread::spawn(move || server.shutdown());
+
+    let (status, response) = http::read_response(&mut reader).expect("in-flight response");
+    assert_eq!(status, 200, "in-flight batch failed during shutdown");
+    let parsed: Value = serde_json::from_str(&response).expect("JSON");
+    match parsed.get("count") {
+        Some(Value::Uint(n)) => assert_eq!(*n, 1500),
+        Some(Value::Int(n)) => assert_eq!(*n, 1500),
+        other => panic!("bad count {other:?}"),
+    }
+    shutdown_thread.join().expect("shutdown");
+
+    // The listener is gone: new connections are refused (or accepted
+    // by the OS backlog and immediately dead — never served).
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(stream) => {
+            let mut writer = stream.try_clone().expect("clone");
+            let mut reader = BufReader::new(stream);
+            let served = http::write_request(
+                &mut writer,
+                "POST",
+                "/identify",
+                Some("{\"url\": \"http://www.zu-spaet.de/\"}"),
+            )
+            .and_then(|()| http::read_response(&mut reader));
+            assert!(served.is_err(), "server answered after shutdown");
+        }
+    }
+}

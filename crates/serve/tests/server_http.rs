@@ -271,5 +271,17 @@ fn metrics_reports_counters_cache_and_latency() {
     assert!(matches!(latency.get("p50_ms"), Some(Value::Float(_))));
     assert!(matches!(latency.get("histogram"), Some(Value::Array(_))));
     assert!(matches!(metrics.get("uptime_secs"), Some(Value::Float(_))));
+    // The connection engine's gauges: the /metrics request itself is an
+    // open connection, and four requests were accepted in total.
+    let connections = metrics.get("connections").expect("connections");
+    assert!(uint_of(connections, "open") >= 1);
+    assert_eq!(uint_of(connections, "accepted"), 4);
+    assert_eq!(uint_of(connections, "timed_out"), 0);
+    // Thread budget: one reactor plus a CPU-count scoring pool.
+    let threads = metrics.get("threads").expect("threads");
+    assert_eq!(uint_of(threads, "reactor"), 1);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get()) as u64;
+    assert_eq!(uint_of(threads, "scoring"), cores);
+    assert_eq!(uint_of(threads, "total"), 1 + cores);
     server.shutdown();
 }
