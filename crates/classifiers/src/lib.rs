@@ -41,6 +41,7 @@ pub mod naive_bayes;
 pub mod rank_order;
 pub mod relative_entropy;
 pub mod set;
+pub mod stats;
 
 pub use cctld::CcTldClassifier;
 pub use combine::{
@@ -57,3 +58,4 @@ pub use naive_bayes::{NaiveBayes, NaiveBayesConfig};
 pub use rank_order::{RankOrder, RankOrderConfig};
 pub use relative_entropy::{RelativeEntropy, RelativeEntropyConfig};
 pub use set::{LanguageClassifierSet, LanguageScorer};
+pub use stats::{PartialCounts, PartialDistributions, StatsTrainer};

@@ -20,6 +20,7 @@
 //! is kept for correctness when the sets are not balanced.
 
 use crate::model::VectorClassifier;
+use crate::stats::{PartialCounts, StatsTrainer};
 use serde::{Deserialize, Serialize};
 use urlid_features::SparseVector;
 
@@ -55,6 +56,10 @@ pub struct NaiveBayes {
 impl NaiveBayes {
     /// Train from positive and negative example feature vectors.
     ///
+    /// Equivalent to folding every example into a [`PartialCounts`] and
+    /// calling [`StatsTrainer::from_stats`] — which is exactly what the
+    /// sharded training pipeline does, one accumulator per shard.
+    ///
     /// # Panics
     /// Panics if both classes are empty or `config.dim == 0` while any
     /// vector is non-empty.
@@ -63,28 +68,53 @@ impl NaiveBayes {
         negatives: &[SparseVector],
         config: NaiveBayesConfig,
     ) -> Self {
-        assert!(
-            !positives.is_empty() || !negatives.is_empty(),
-            "cannot train Naive Bayes on an empty training set"
-        );
-        let dim = config.dim.max(
-            positives
-                .iter()
-                .chain(negatives.iter())
-                .map(|v| v.min_dim())
-                .max()
-                .unwrap_or(0),
-        );
-        let alpha = config.alpha;
-
-        let mut pos_counts = vec![0.0; dim];
-        let mut neg_counts = vec![0.0; dim];
+        let mut stats = PartialCounts::new();
         for v in positives {
-            v.add_to_dense(&mut pos_counts, 1.0);
+            stats.observe(v, true);
         }
         for v in negatives {
-            v.add_to_dense(&mut neg_counts, 1.0);
+            stats.observe(v, false);
         }
+        Self::from_stats(stats, config)
+    }
+
+    /// The learnt per-feature log-likelihood ratios.
+    pub fn log_ratios(&self) -> &[f64] {
+        &self.log_ratio
+    }
+
+    /// The configuration used for training.
+    pub fn config(&self) -> NaiveBayesConfig {
+        self.config
+    }
+}
+
+impl StatsTrainer for NaiveBayes {
+    type Stats = PartialCounts;
+    type Config = NaiveBayesConfig;
+
+    fn observe(stats: &mut PartialCounts, features: &SparseVector, positive: bool) {
+        stats.observe(features, positive);
+    }
+
+    fn merge(stats: &mut PartialCounts, other: PartialCounts) {
+        stats.merge(other);
+    }
+
+    /// Build the model from fully reduced counts.
+    ///
+    /// # Panics
+    /// Panics if the statistics observed no examples at all.
+    fn from_stats(stats: PartialCounts, config: NaiveBayesConfig) -> Self {
+        assert!(
+            stats.n_pos() + stats.n_neg() > 0,
+            "cannot train Naive Bayes on an empty training set"
+        );
+        let dim = config.dim.max(stats.min_dim());
+        let alpha = config.alpha;
+
+        let (n_pos_raw, n_neg_raw) = (stats.n_pos(), stats.n_neg());
+        let (mut pos_counts, mut neg_counts) = stats.into_counts();
         pos_counts.resize(dim, 0.0);
         neg_counts.resize(dim, 0.0);
 
@@ -102,8 +132,8 @@ impl NaiveBayes {
         // ratio alpha/pos_total vs alpha/neg_total.
         let default_log_ratio = (alpha / pos_total).ln() - (alpha / neg_total).ln();
 
-        let n_pos = positives.len().max(1) as f64;
-        let n_neg = negatives.len().max(1) as f64;
+        let n_pos = n_pos_raw.max(1) as f64;
+        let n_neg = n_neg_raw.max(1) as f64;
         let log_prior_ratio = (n_pos / (n_pos + n_neg)).ln() - (n_neg / (n_pos + n_neg)).ln();
 
         Self {
@@ -112,16 +142,6 @@ impl NaiveBayes {
             default_log_ratio,
             config: NaiveBayesConfig { alpha, dim },
         }
-    }
-
-    /// The learnt per-feature log-likelihood ratios.
-    pub fn log_ratios(&self) -> &[f64] {
-        &self.log_ratio
-    }
-
-    /// The configuration used for training.
-    pub fn config(&self) -> NaiveBayesConfig {
-        self.config
     }
 }
 

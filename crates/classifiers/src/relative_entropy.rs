@@ -20,6 +20,7 @@
 //! recall-boosting combinations of Section 3.3.
 
 use crate::model::VectorClassifier;
+use crate::stats::{PartialDistributions, StatsTrainer};
 use serde::{Deserialize, Serialize};
 use urlid_features::SparseVector;
 
@@ -54,56 +55,37 @@ pub struct RelativeEntropy {
 
 impl RelativeEntropy {
     /// Train from positive and negative example feature vectors.
+    ///
+    /// Equivalent to folding every example into a
+    /// [`PartialDistributions`] and calling [`StatsTrainer::from_stats`]
+    /// — which is exactly what the sharded training pipeline does, one
+    /// accumulator per shard.
     pub fn train(
         positives: &[SparseVector],
         negatives: &[SparseVector],
         config: RelativeEntropyConfig,
     ) -> Self {
-        assert!(
-            !positives.is_empty() && !negatives.is_empty(),
-            "Relative Entropy needs at least one example of each class"
-        );
-        let dim = config.dim.max(
-            positives
-                .iter()
-                .chain(negatives.iter())
-                .map(|v| v.min_dim())
-                .max()
-                .unwrap_or(0),
-        );
-        let pos = Self::average_distribution(positives, dim, config.epsilon);
-        let neg = Self::average_distribution(negatives, dim, config.epsilon);
-        let default_pos = config.epsilon / (1.0 + config.epsilon * dim.max(1) as f64);
-        let default_neg = default_pos;
-        Self {
-            pos,
-            neg,
-            default_pos,
-            default_neg,
-            config: RelativeEntropyConfig { dim, ..config },
+        let mut stats = PartialDistributions::new();
+        for v in positives {
+            stats.observe(v, true);
         }
+        for v in negatives {
+            stats.observe(v, false);
+        }
+        Self::from_stats(stats, config)
     }
 
-    /// The average of the L1-normalised vectors of one class, smoothed so
-    /// every coordinate is strictly positive, renormalised to sum 1.
-    fn average_distribution(examples: &[SparseVector], dim: usize, epsilon: f64) -> Vec<f64> {
-        let mut acc = vec![0.0; dim];
-        let mut n = 0.0;
-        for v in examples {
-            let normalized = v.l1_normalized();
-            if normalized.is_empty() {
-                continue;
-            }
-            normalized.add_to_dense(&mut acc, 1.0);
-            n += 1.0;
-        }
+    /// Turn one class's accumulated normalised-vector sum into the
+    /// smoothed average distribution: divide by the (non-empty) example
+    /// count, ε-smooth so every coordinate is strictly positive, and
+    /// renormalise to sum 1.
+    fn finish_distribution(mut acc: Vec<f64>, n: f64, dim: usize, epsilon: f64) -> Vec<f64> {
         acc.resize(dim.max(acc.len()), 0.0);
         if n > 0.0 {
             for a in &mut acc {
                 *a /= n;
             }
         }
-        // ε-smooth and renormalise.
         let total: f64 = acc.iter().sum::<f64>() + epsilon * acc.len() as f64;
         if total > 0.0 {
             for a in &mut acc {
@@ -140,6 +122,43 @@ impl RelativeEntropy {
     /// KL divergence of a feature vector to the negative class distribution.
     pub fn divergence_to_negative(&self, features: &SparseVector) -> f64 {
         self.kl_to(&features.l1_normalized(), &self.neg, self.default_neg)
+    }
+}
+
+impl StatsTrainer for RelativeEntropy {
+    type Stats = PartialDistributions;
+    type Config = RelativeEntropyConfig;
+
+    fn observe(stats: &mut PartialDistributions, features: &SparseVector, positive: bool) {
+        stats.observe(features, positive);
+    }
+
+    fn merge(stats: &mut PartialDistributions, other: PartialDistributions) {
+        stats.merge(other);
+    }
+
+    /// Build the model from fully reduced statistics.
+    ///
+    /// # Panics
+    /// Panics if either class observed no examples.
+    fn from_stats(stats: PartialDistributions, config: RelativeEntropyConfig) -> Self {
+        assert!(
+            stats.raw_count(true) > 0 && stats.raw_count(false) > 0,
+            "Relative Entropy needs at least one example of each class"
+        );
+        let dim = config.dim.max(stats.min_dim());
+        let ((pos_sum, pos_n), (neg_sum, neg_n)) = stats.into_sums();
+        let pos = Self::finish_distribution(pos_sum, pos_n, dim, config.epsilon);
+        let neg = Self::finish_distribution(neg_sum, neg_n, dim, config.epsilon);
+        let default_pos = config.epsilon / (1.0 + config.epsilon * dim.max(1) as f64);
+        let default_neg = default_pos;
+        Self {
+            pos,
+            neg,
+            default_pos,
+            default_neg,
+            config: RelativeEntropyConfig { dim, ..config },
+        }
     }
 }
 

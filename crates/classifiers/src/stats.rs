@@ -1,0 +1,323 @@
+//! Mergeable sufficient statistics for sharded training.
+//!
+//! The count-based algorithms (Naive Bayes, Relative Entropy) never need
+//! to see all training vectors at once: their trained parameters are a
+//! pure function of accumulated per-class statistics, split out here as
+//! accumulator types with `observe` + `merge` and a `from_stats`
+//! finisher ([`StatsTrainer`]).
+//!
+//! How `urlid::trainer` uses them today: the model phase parallelises
+//! *across languages*, so each language folds one accumulator over its
+//! sampled vectors in data order and calls `from_stats` — which makes
+//! the trained bytes independent of both the `--jobs` and the `--shards`
+//! knob. `merge` is the cross-shard reduce for accumulators built on
+//! different threads (exact for [`PartialCounts`], whose counts are
+//! integer-valued sums in `f64`; order-sensitive at the last bit for
+//! [`PartialDistributions`], which sums genuine fractions — merge those
+//! in a fixed order). Nothing in the shipped pipeline needs it yet; it
+//! exists so a future cross-shard model phase (e.g. distributing one
+//! language's counting over machines) composes without touching the
+//! algorithms.
+
+use crate::model::VectorClassifier;
+use urlid_features::SparseVector;
+
+/// Per-class accumulated feature counts: the sufficient statistics of
+/// multinomial Naive Bayes (and of any other algorithm that only needs
+/// summed counts plus class sizes).
+#[derive(Debug, Clone, Default)]
+pub struct PartialCounts {
+    /// Summed feature counts of the positive class.
+    pos_counts: Vec<f64>,
+    /// Summed feature counts of the negative class.
+    neg_counts: Vec<f64>,
+    /// Number of positive examples observed (including empty vectors).
+    n_pos: usize,
+    /// Number of negative examples observed.
+    n_neg: usize,
+    /// Largest `SparseVector::min_dim` seen (lower bound on the feature
+    /// space dimensionality).
+    min_dim: usize,
+}
+
+impl PartialCounts {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one example's feature vector into the counts.
+    pub fn observe(&mut self, features: &SparseVector, positive: bool) {
+        let counts = if positive {
+            self.n_pos += 1;
+            &mut self.pos_counts
+        } else {
+            self.n_neg += 1;
+            &mut self.neg_counts
+        };
+        features.add_to_dense(counts, 1.0);
+        self.min_dim = self.min_dim.max(features.min_dim());
+    }
+
+    /// Absorb another shard's counts (elementwise sums).
+    pub fn merge(&mut self, other: PartialCounts) {
+        merge_dense(&mut self.pos_counts, other.pos_counts);
+        merge_dense(&mut self.neg_counts, other.neg_counts);
+        self.n_pos += other.n_pos;
+        self.n_neg += other.n_neg;
+        self.min_dim = self.min_dim.max(other.min_dim);
+    }
+
+    /// Summed feature counts of the positive class.
+    pub fn pos_counts(&self) -> &[f64] {
+        &self.pos_counts
+    }
+
+    /// Summed feature counts of the negative class.
+    pub fn neg_counts(&self) -> &[f64] {
+        &self.neg_counts
+    }
+
+    /// Number of positive examples observed.
+    pub fn n_pos(&self) -> usize {
+        self.n_pos
+    }
+
+    /// Number of negative examples observed.
+    pub fn n_neg(&self) -> usize {
+        self.n_neg
+    }
+
+    /// Lower bound on the feature-space dimensionality implied by the
+    /// observed vectors.
+    pub fn min_dim(&self) -> usize {
+        self.min_dim
+    }
+
+    /// Consume the accumulator, returning `(pos_counts, neg_counts)`.
+    pub fn into_counts(self) -> (Vec<f64>, Vec<f64>) {
+        (self.pos_counts, self.neg_counts)
+    }
+}
+
+/// Per-class accumulated L1-normalised vectors: the sufficient statistics
+/// of the Relative Entropy classifier (whose class models are *average
+/// distributions*).
+#[derive(Debug, Clone, Default)]
+pub struct PartialDistributions {
+    /// Sum of the L1-normalised positive vectors.
+    pos_sum: Vec<f64>,
+    /// Number of non-empty positive vectors (empty vectors carry no
+    /// distribution and are skipped, as in serial training).
+    pos_n: f64,
+    /// Sum of the L1-normalised negative vectors.
+    neg_sum: Vec<f64>,
+    /// Number of non-empty negative vectors.
+    neg_n: f64,
+    /// Raw example counts per class (used only for the emptiness assert).
+    n_pos_raw: usize,
+    /// Raw negative example count.
+    n_neg_raw: usize,
+    /// Largest `SparseVector::min_dim` seen.
+    min_dim: usize,
+}
+
+impl PartialDistributions {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one example's feature vector into the class sums.
+    pub fn observe(&mut self, features: &SparseVector, positive: bool) {
+        let (sum, n) = if positive {
+            self.n_pos_raw += 1;
+            (&mut self.pos_sum, &mut self.pos_n)
+        } else {
+            self.n_neg_raw += 1;
+            (&mut self.neg_sum, &mut self.neg_n)
+        };
+        let normalized = features.l1_normalized();
+        if !normalized.is_empty() {
+            normalized.add_to_dense(sum, 1.0);
+            *n += 1.0;
+        }
+        self.min_dim = self.min_dim.max(features.min_dim());
+    }
+
+    /// Absorb another accumulator's sums (elementwise). The `f64` sums
+    /// here are genuine fractions, so callers that split one class's
+    /// stream across accumulators must merge them in a fixed order to
+    /// stay deterministic (the shipped pipeline sidesteps this by
+    /// folding each language in data order on one thread).
+    pub fn merge(&mut self, other: PartialDistributions) {
+        merge_dense(&mut self.pos_sum, other.pos_sum);
+        merge_dense(&mut self.neg_sum, other.neg_sum);
+        self.pos_n += other.pos_n;
+        self.neg_n += other.neg_n;
+        self.n_pos_raw += other.n_pos_raw;
+        self.n_neg_raw += other.n_neg_raw;
+        self.min_dim = self.min_dim.max(other.min_dim);
+    }
+
+    /// Accumulated (sum, non-empty count) of one class.
+    pub fn class_sum(&self, positive: bool) -> (&[f64], f64) {
+        if positive {
+            (&self.pos_sum, self.pos_n)
+        } else {
+            (&self.neg_sum, self.neg_n)
+        }
+    }
+
+    /// Raw number of examples observed for one class.
+    pub fn raw_count(&self, positive: bool) -> usize {
+        if positive {
+            self.n_pos_raw
+        } else {
+            self.n_neg_raw
+        }
+    }
+
+    /// Lower bound on the feature-space dimensionality implied by the
+    /// observed vectors.
+    pub fn min_dim(&self) -> usize {
+        self.min_dim
+    }
+
+    /// Consume the accumulator, returning
+    /// `((pos_sum, pos_n), (neg_sum, neg_n))`.
+    pub fn into_sums(self) -> ((Vec<f64>, f64), (Vec<f64>, f64)) {
+        ((self.pos_sum, self.pos_n), (self.neg_sum, self.neg_n))
+    }
+}
+
+/// Elementwise `acc += other`, growing `acc` as needed. `0.0 + x == x`
+/// exactly, so growing from an empty accumulator is bit-identical to
+/// starting from a pre-sized zero vector.
+fn merge_dense(acc: &mut Vec<f64>, other: Vec<f64>) {
+    if acc.is_empty() {
+        *acc = other;
+        return;
+    }
+    if acc.len() < other.len() {
+        acc.resize(other.len(), 0.0);
+    }
+    for (a, b) in acc.iter_mut().zip(other) {
+        *a += b;
+    }
+}
+
+/// A trainer whose model is a pure function of mergeable statistics.
+///
+/// `train(pos, neg)` for these algorithms is literally `observe`
+/// everything into one accumulator and `from_stats` it — which is also
+/// exactly what the parallel pipeline's per-language fold does, so the
+/// two paths are bit-identical by construction.
+pub trait StatsTrainer: VectorClassifier + Sized {
+    /// The mergeable sufficient-statistics accumulator.
+    type Stats: Default + Send;
+    /// The training configuration.
+    type Config;
+
+    /// Fold one example into an accumulator.
+    fn observe(stats: &mut Self::Stats, features: &SparseVector, positive: bool);
+
+    /// Combine two accumulators built independently (e.g. on different
+    /// threads). Not used by the shipped per-language fold, which
+    /// observes in data order into a single accumulator.
+    fn merge(stats: &mut Self::Stats, other: Self::Stats);
+
+    /// Build the trained model from fully reduced statistics.
+    fn from_stats(stats: Self::Stats, config: Self::Config) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_of(indices: &[u32]) -> SparseVector {
+        SparseVector::from_counts(indices.iter().copied())
+    }
+
+    #[test]
+    fn counts_merge_matches_single_accumulator() {
+        let examples: Vec<(SparseVector, bool)> = vec![
+            (vec_of(&[0, 1]), true),
+            (vec_of(&[2]), false),
+            (vec_of(&[0, 3, 3]), true),
+            (vec_of(&[1, 2]), false),
+            (SparseVector::new(), true),
+        ];
+        let mut whole = PartialCounts::new();
+        for (v, p) in &examples {
+            whole.observe(v, *p);
+        }
+        let mut a = PartialCounts::new();
+        let mut b = PartialCounts::new();
+        for (i, (v, p)) in examples.iter().enumerate() {
+            if i < 2 {
+                a.observe(v, *p);
+            } else {
+                b.observe(v, *p);
+            }
+        }
+        a.merge(b);
+        assert_eq!(a.pos_counts(), whole.pos_counts());
+        assert_eq!(a.neg_counts(), whole.neg_counts());
+        assert_eq!(a.n_pos(), whole.n_pos());
+        assert_eq!(a.n_neg(), whole.n_neg());
+        assert_eq!(a.min_dim(), whole.min_dim());
+        assert_eq!(a.min_dim(), 4);
+    }
+
+    #[test]
+    fn counts_ignore_class_of_other_examples() {
+        let mut c = PartialCounts::new();
+        c.observe(&vec_of(&[0]), true);
+        c.observe(&vec_of(&[1]), false);
+        assert_eq!(c.pos_counts(), &[1.0]);
+        assert_eq!(c.neg_counts(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn distributions_skip_empty_vectors_but_count_raw() {
+        let mut d = PartialDistributions::new();
+        d.observe(&SparseVector::new(), true);
+        d.observe(&vec_of(&[0, 0]), true);
+        let (sum, n) = d.class_sum(true);
+        assert_eq!(n, 1.0, "empty vector contributes no distribution");
+        assert_eq!(d.raw_count(true), 2, "but counts as an example");
+        assert_eq!(sum, &[1.0]);
+    }
+
+    #[test]
+    fn distributions_merge_matches_single_accumulator_for_exact_values() {
+        // Halves are exactly representable, so even the fp sums match.
+        let mut whole = PartialDistributions::new();
+        let mut a = PartialDistributions::new();
+        let mut b = PartialDistributions::new();
+        let examples = [vec_of(&[0, 1]), vec_of(&[1, 2]), vec_of(&[0, 2])];
+        for (i, v) in examples.iter().enumerate() {
+            whole.observe(v, i % 2 == 0);
+            if i < 2 {
+                a.observe(v, i % 2 == 0);
+            } else {
+                b.observe(v, i % 2 == 0);
+            }
+        }
+        a.merge(b);
+        assert_eq!(a.class_sum(true), whole.class_sum(true));
+        assert_eq!(a.class_sum(false), whole.class_sum(false));
+        assert_eq!(a.min_dim(), whole.min_dim());
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_the_other_side() {
+        let mut filled = PartialCounts::new();
+        filled.observe(&vec_of(&[4]), false);
+        let mut empty = PartialCounts::new();
+        empty.merge(filled.clone());
+        assert_eq!(empty.neg_counts(), filled.neg_counts());
+        assert_eq!(empty.n_neg(), 1);
+    }
+}

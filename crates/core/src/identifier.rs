@@ -7,7 +7,9 @@
 //! threads, which is why the identifier is `Send + Sync` and exposes
 //! shared-reference classification only.
 
-use crate::trainer::{train_classifier_set, TrainingConfig};
+use crate::trainer::{
+    train_classifier_set, train_classifier_set_with, TrainOptions, TrainingConfig,
+};
 use urlid_classifiers::LanguageClassifierSet;
 use urlid_eval::{evaluate_classifier_set, EvaluationResult};
 use urlid_features::Dataset;
@@ -25,6 +27,15 @@ impl LanguageIdentifier {
     pub fn train(training: &Dataset, config: &TrainingConfig) -> Self {
         Self {
             set: train_classifier_set(training, config),
+            config: *config,
+        }
+    }
+
+    /// [`LanguageIdentifier::train`] with explicit parallelism options
+    /// (the sharded map-reduce pipeline of [`crate::trainer`]).
+    pub fn train_with(training: &Dataset, config: &TrainingConfig, opts: TrainOptions) -> Self {
+        Self {
+            set: train_classifier_set_with(training, config, opts),
             config: *config,
         }
     }

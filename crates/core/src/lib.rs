@@ -48,7 +48,10 @@ pub mod trainer;
 
 pub use identifier::LanguageIdentifier;
 pub use persistence::ModelBundle;
-pub use trainer::{train_classifier_set, train_language_classifier, TrainingConfig};
+pub use trainer::{
+    train_classifier_set, train_classifier_set_with, train_language_classifier, TrainOptions,
+    TrainingConfig, DEFAULT_TRAIN_SHARDS,
+};
 
 // Re-export the sub-crates under stable names.
 pub use urlid_classifiers as classifiers;
@@ -63,7 +66,10 @@ pub mod prelude {
     pub use crate::identifier::LanguageIdentifier;
     pub use crate::persistence::ModelBundle;
     pub use crate::recipes;
-    pub use crate::trainer::{train_classifier_set, train_language_classifier, TrainingConfig};
+    pub use crate::trainer::{
+        train_classifier_set, train_classifier_set_with, train_language_classifier, TrainOptions,
+        TrainingConfig, DEFAULT_TRAIN_SHARDS,
+    };
     pub use urlid_classifiers::{
         Algorithm, CcTldClassifier, CombinationStrategy, LanguageClassifierSet, UrlClassifier,
     };

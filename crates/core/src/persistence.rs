@@ -13,14 +13,14 @@
 //! from two bundles).
 
 use crate::identifier::LanguageIdentifier;
-use crate::trainer::{sample_vectors, train_model, AnyExtractor, AnyModel, TrainingConfig};
+use crate::trainer::{train_pipeline, AnyExtractor, AnyModel, TrainOptions, TrainingConfig};
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::Path;
 use std::sync::Arc;
 use urlid_classifiers::{Algorithm, LanguageClassifierSet, VectorClassifier};
 use urlid_features::{Dataset, FeatureExtractor};
-use urlid_lexicon::{Language, ALL_LANGUAGES};
+use urlid_lexicon::Language;
 
 /// Errors that can occur when saving or loading a model bundle.
 #[derive(Debug)]
@@ -71,16 +71,21 @@ impl ModelBundle {
     /// Train a bundle (same pipeline as [`crate::trainer::train_classifier_set`],
     /// but keeping the concrete models so they can be serialised).
     pub fn train(training: &Dataset, config: &TrainingConfig) -> Result<Self, PersistenceError> {
+        Self::train_with(training, config, TrainOptions::serial())
+    }
+
+    /// [`ModelBundle::train`] with explicit parallelism options: the
+    /// map-reduce pipeline of [`crate::trainer`]. The persisted JSON is
+    /// bit-identical at any job and shard count.
+    pub fn train_with(
+        training: &Dataset,
+        config: &TrainingConfig,
+        opts: TrainOptions,
+    ) -> Result<Self, PersistenceError> {
         if matches!(config.algorithm, Algorithm::CcTld | Algorithm::CcTldPlus) {
             return Err(PersistenceError::NotPersistable(config.algorithm));
         }
-        let mut extractor = AnyExtractor::build(config);
-        extractor.fit(&training.urls);
-        let mut models = Vec::with_capacity(5);
-        for lang in ALL_LANGUAGES {
-            let (positives, negatives) = sample_vectors(training, &extractor, lang, config);
-            models.push(train_model(&positives, &negatives, extractor.dim(), config));
-        }
+        let (extractor, models) = train_pipeline(training, config, opts);
         Ok(Self {
             config: *config,
             extractor,
@@ -141,6 +146,7 @@ mod tests {
     use super::*;
     use urlid_corpus::{odp_dataset, CorpusScale, UrlGenerator};
     use urlid_features::FeatureSetKind;
+    use urlid_lexicon::ALL_LANGUAGES;
 
     fn tiny_training() -> Dataset {
         let mut g = UrlGenerator::new(21);

@@ -16,6 +16,30 @@
 //!    equal-sized random sample of negative ones;
 //! 3. trains the requested algorithm and wraps the result together with
 //!    the shared extractor into a [`urlid_classifiers::UrlClassifier`].
+//!
+//! ## The map-reduce pipeline
+//!
+//! At paper scale (≈1.2 M training URLs) every phase of that recipe is a
+//! pass over the whole corpus, so the trainer runs as a map-reduce over
+//! contiguous corpus shards ([`TrainOptions`]):
+//!
+//! 1. **two-pass extractor fit** — every shard counts features into a
+//!    mergeable partial ([`urlid_features::ShardedFit`]), the partials
+//!    reduce in shard order, and the merged counts freeze the vocabulary
+//!    / trained dictionaries;
+//! 2. **parallel vectorize** — shards transform their URLs against the
+//!    frozen extractor; results concatenate in shard order;
+//! 3. **per-language model fit** — the five binary models train
+//!    concurrently; the count-based algorithms (NB, RE) fold mergeable
+//!    sufficient statistics ([`urlid_classifiers::StatsTrainer`]) over
+//!    the sampled vectors in data order.
+//!
+//! Negative sampling uses one fixed per-language seed schedule, every
+//! reduce folds in ascending shard order, and the only floating-point
+//! partials (vocabulary and dictionary counts) are exact integer sums —
+//! so the trained model is **bit-identical** for every `--jobs` *and*
+//! every `--shards` value. The knobs only decide how many scoped threads
+//! execute the maps and how fine-grained the work items are.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -24,13 +48,86 @@ use std::sync::Arc;
 use urlid_classifiers::{
     Algorithm, CcTldClassifier, DecisionTree, DecisionTreeConfig, KNearestNeighbors, KnnConfig,
     LanguageClassifierSet, MaxEnt, MaxEntConfig, NaiveBayes, NaiveBayesConfig, RelativeEntropy,
-    RelativeEntropyConfig, UrlClassifier, VectorClassifier,
+    RelativeEntropyConfig, StatsTrainer, UrlClassifier, VectorClassifier,
 };
+use urlid_features::parallel::{effective_jobs, par_map};
 use urlid_features::{
     CustomFeatureExtractor, CustomFeatureSet, Dataset, FeatureExtractor, FeatureSetKind,
-    SparseVector, TrigramFeatureExtractor, WordFeatureExtractor,
+    LabeledUrl, ShardedFit, SparseVector, TrigramFeatureExtractor, WordFeatureExtractor,
 };
-use urlid_lexicon::Language;
+use urlid_lexicon::{Language, ALL_LANGUAGES};
+
+/// Default number of corpus shards of the training pipeline.
+///
+/// A constant (rather than "one per core") so that the work granularity
+/// of a training run does not depend on the machine. The trained model
+/// is invariant under the shard count anyway (see the module docs); the
+/// constant keeps run *shapes* — logs, timings, profiles — comparable
+/// across hosts.
+pub const DEFAULT_TRAIN_SHARDS: usize = 16;
+
+/// Parallelism and sharding knobs of the training pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainOptions {
+    /// Scoped worker threads (0 = one per CPU core). Only schedules work;
+    /// never changes the trained model.
+    pub jobs: usize,
+    /// Corpus shards per map pass (0 = [`DEFAULT_TRAIN_SHARDS`]): the
+    /// work granularity. Never changes the trained model either — the
+    /// sharded reduces are exact (see the module docs).
+    pub shards: usize,
+}
+
+impl TrainOptions {
+    /// One thread, one shard: the historical sequential pipeline.
+    pub fn serial() -> Self {
+        Self { jobs: 1, shards: 1 }
+    }
+
+    /// One worker per CPU core over the default shard schedule.
+    pub fn auto() -> Self {
+        Self {
+            jobs: 0,
+            shards: DEFAULT_TRAIN_SHARDS,
+        }
+    }
+
+    /// An explicit job count over the default shard schedule.
+    pub fn with_jobs(jobs: usize) -> Self {
+        Self {
+            jobs,
+            shards: DEFAULT_TRAIN_SHARDS,
+        }
+    }
+
+    /// Builder-style: set the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// The resolved worker-thread count.
+    pub fn effective_jobs(&self) -> usize {
+        effective_jobs(self.jobs)
+    }
+
+    /// The resolved shard count.
+    pub fn effective_shards(&self) -> usize {
+        if self.shards == 0 {
+            DEFAULT_TRAIN_SHARDS
+        } else {
+            self.shards
+        }
+    }
+}
+
+impl Default for TrainOptions {
+    /// Defaults to the serial pipeline, keeping the one-argument training
+    /// entry points exactly as deterministic as they always were.
+    fn default() -> Self {
+        Self::serial()
+    }
+}
 
 /// Configuration for training one (feature set, algorithm) combination.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -187,6 +284,33 @@ impl FeatureExtractor for AnyExtractor {
     }
 }
 
+/// Two-pass sharded fit of one concrete extractor: parallel frequency
+/// count over shards (map), merge in ascending shard order (reduce),
+/// freeze the index. Bit-identical to `extractor.fit(training)` for any
+/// shard and job count — the partials are integer counts.
+fn fit_sharded<E: ShardedFit>(extractor: &mut E, training: &Dataset, opts: TrainOptions) {
+    let shards: Vec<&[LabeledUrl]> = training.shards(opts.effective_shards()).collect();
+    let shared: &E = extractor;
+    let partials = par_map(opts.effective_jobs(), &shards, |shard| {
+        shared.observe_shard(shard)
+    });
+    let merged = partials
+        .into_iter()
+        .reduce(|acc, next| shared.merge_partials(acc, next));
+    extractor.finish_fit(merged);
+}
+
+impl AnyExtractor {
+    /// Fit via the two-pass sharded build.
+    pub(crate) fn fit_with(&mut self, training: &Dataset, opts: TrainOptions) {
+        match self {
+            AnyExtractor::Words(e) => fit_sharded(e, training, opts),
+            AnyExtractor::Trigrams(e) => fit_sharded(e, training, opts),
+            AnyExtractor::Custom(e) => fit_sharded(e, training, opts),
+        }
+    }
+}
+
 /// The concrete trained model for any of the learning algorithms.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) enum AnyModel {
@@ -226,41 +350,26 @@ impl UrlClassifier for TrainedUrlClassifier {
 
 /// Collect the positive vectors of `lang` and an equal-size (times
 /// `negative_ratio`) random sample of negative vectors.
+///
+/// Transforms lazily per (language, URL) pair over the index sample of
+/// [`sample_indices`] — the same sampling the classifier-set pipeline
+/// resolves against its shared vectorize pass, so the two paths cannot
+/// drift. Kept for the combination recipes, which mix extractors per
+/// language.
 pub(crate) fn sample_vectors(
     training: &Dataset,
     extractor: &AnyExtractor,
     lang: Language,
     config: &TrainingConfig,
 ) -> (Vec<SparseVector>, Vec<SparseVector>) {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ ((lang.index() as u64 + 1) * 0x9E37_79B9));
-    let mut positives = Vec::new();
-    let mut negative_pool: Vec<&urlid_features::LabeledUrl> = Vec::new();
-    for example in &training.urls {
-        if example.language == lang {
-            positives.push(extractor.transform_training(example));
-        } else {
-            negative_pool.push(example);
-        }
-    }
-    let target = ((positives.len() as f64) * config.negative_ratio).round() as usize;
-    let negatives: Vec<SparseVector> = if negative_pool.len() <= target {
-        negative_pool
+    let (pos_idx, neg_idx) = sample_indices(training, lang, config);
+    let transform = |indices: &[usize]| {
+        indices
             .iter()
-            .map(|e| extractor.transform_training(e))
-            .collect()
-    } else {
-        // Partial Fisher–Yates: draw `target` distinct indices.
-        let mut indices: Vec<usize> = (0..negative_pool.len()).collect();
-        for i in 0..target {
-            let j = rng.random_range(i..indices.len());
-            indices.swap(i, j);
-        }
-        indices[..target]
-            .iter()
-            .map(|&i| extractor.transform_training(negative_pool[i]))
-            .collect()
+            .map(|&i| extractor.transform_training(&training.urls[i]))
+            .collect::<Vec<SparseVector>>()
     };
-    (positives, negatives)
+    (transform(&pos_idx), transform(&neg_idx))
 }
 
 pub(crate) fn train_model(
@@ -323,13 +432,159 @@ pub fn train_language_classifier(
     })
 }
 
+/// The deterministic negative-sampling schedule: the RNG of language
+/// `lang` is a pure function of the configured seed and the language
+/// index, independent of jobs, shards or the order languages train in.
+fn sampling_rng(config: &TrainingConfig, lang: Language) -> StdRng {
+    StdRng::seed_from_u64(config.seed ^ ((lang.index() as u64 + 1) * 0x9E37_79B9))
+}
+
+/// Positive indices of `lang` plus the sampled negative indices, into the
+/// data-set order. Exactly the index arithmetic of [`sample_vectors`],
+/// reproduced over precomputed vectors so the expensive transforms happen
+/// once per URL in the sharded vectorize pass instead of once per
+/// (language, URL) pair.
+fn sample_indices(
+    training: &Dataset,
+    lang: Language,
+    config: &TrainingConfig,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut rng = sampling_rng(config, lang);
+    let mut positives = Vec::new();
+    let mut negative_pool = Vec::new();
+    for (i, example) in training.urls.iter().enumerate() {
+        if example.language == lang {
+            positives.push(i);
+        } else {
+            negative_pool.push(i);
+        }
+    }
+    let target = ((positives.len() as f64) * config.negative_ratio).round() as usize;
+    let negatives: Vec<usize> = if negative_pool.len() <= target {
+        negative_pool
+    } else {
+        // Partial Fisher–Yates: draw `target` distinct indices.
+        let mut indices: Vec<usize> = (0..negative_pool.len()).collect();
+        for i in 0..target {
+            let j = rng.random_range(i..indices.len());
+            indices.swap(i, j);
+        }
+        indices[..target]
+            .iter()
+            .map(|&i| negative_pool[i])
+            .collect()
+    };
+    (positives, negatives)
+}
+
+/// Accumulate a [`StatsTrainer`]'s sufficient statistics over the
+/// sampled vectors in sampling order. Runs on the language's own thread
+/// (the parallelism of the model phase is across languages), so a single
+/// in-order accumulator is both the least code and the strongest
+/// contract: the fold never depends on the shard structure, making the
+/// trained bytes invariant under `--shards` as well as `--jobs`.
+fn accumulate_stats<M: StatsTrainer>(
+    vectors: &[SparseVector],
+    pos_idx: &[usize],
+    neg_idx: &[usize],
+) -> M::Stats {
+    let mut stats = M::Stats::default();
+    for &i in pos_idx {
+        M::observe(&mut stats, &vectors[i], true);
+    }
+    for &i in neg_idx {
+        M::observe(&mut stats, &vectors[i], false);
+    }
+    stats
+}
+
+/// Train one language's model from the precomputed training vectors.
+fn train_model_from_vectors(
+    vectors: &[SparseVector],
+    pos_idx: &[usize],
+    neg_idx: &[usize],
+    dim: usize,
+    config: &TrainingConfig,
+) -> AnyModel {
+    match config.algorithm {
+        // Count-based algorithms fold mergeable statistics — no
+        // materialised per-language vector copies at all.
+        Algorithm::NaiveBayes => AnyModel::NaiveBayes(NaiveBayes::from_stats(
+            accumulate_stats::<NaiveBayes>(vectors, pos_idx, neg_idx),
+            NaiveBayesConfig::for_dim(dim),
+        )),
+        Algorithm::RelativeEntropy => AnyModel::RelativeEntropy(RelativeEntropy::from_stats(
+            accumulate_stats::<RelativeEntropy>(vectors, pos_idx, neg_idx),
+            RelativeEntropyConfig::for_dim(dim),
+        )),
+        // The iterative / structural algorithms train on the sampled
+        // vectors themselves (gathered in sampling order, which the
+        // contiguous shard reduce reproduces exactly).
+        _ => {
+            let positives: Vec<SparseVector> =
+                pos_idx.iter().map(|&i| vectors[i].clone()).collect();
+            let negatives: Vec<SparseVector> =
+                neg_idx.iter().map(|&i| vectors[i].clone()).collect();
+            train_model(&positives, &negatives, dim, config)
+        }
+    }
+}
+
+/// The shared map-reduce pipeline: sharded extractor fit, sharded
+/// vectorize, then the five per-language models trained concurrently.
+/// Returns the fitted extractor and the models in canonical language
+/// order.
+pub(crate) fn train_pipeline(
+    training: &Dataset,
+    config: &TrainingConfig,
+    opts: TrainOptions,
+) -> (AnyExtractor, Vec<AnyModel>) {
+    let mut extractor = AnyExtractor::build(config);
+    extractor.fit_with(training, opts);
+
+    // Sharded vectorize against the frozen extractor: one transform per
+    // URL, shared by all five binary classifiers.
+    let shards: Vec<&[LabeledUrl]> = training.shards(opts.effective_shards()).collect();
+    let shared = &extractor;
+    let chunks = par_map(opts.effective_jobs(), &shards, |shard| {
+        shard
+            .iter()
+            .map(|example| shared.transform_training(example))
+            .collect::<Vec<SparseVector>>()
+    });
+    let vectors: Vec<SparseVector> = chunks.into_iter().flatten().collect();
+
+    let dim = extractor.dim();
+    let models = par_map(opts.effective_jobs(), &ALL_LANGUAGES, |&lang| {
+        let (pos_idx, neg_idx) = sample_indices(training, lang, config);
+        train_model_from_vectors(&vectors, &pos_idx, &neg_idx, dim, config)
+    });
+    (extractor, models)
+}
+
 /// Train all five binary classifiers (sharing one fitted extractor).
 ///
 /// The returned set holds the extractor *once* and five
 /// [`VectorClassifier`] models, so classification extracts features
 /// exactly once per URL and scores all languages from the same vector
 /// (the single-pass pipeline).
+///
+/// Runs the sequential pipeline; [`train_classifier_set_with`] takes
+/// explicit [`TrainOptions`].
 pub fn train_classifier_set(training: &Dataset, config: &TrainingConfig) -> LanguageClassifierSet {
+    train_classifier_set_with(training, config, TrainOptions::serial())
+}
+
+/// [`train_classifier_set`] with explicit parallelism options.
+///
+/// Any `opts` value produces a bit-identical classifier set (see the
+/// module docs); the parity is enforced for all fifteen algorithm ×
+/// feature recipes by the `training_parity` integration suite.
+pub fn train_classifier_set_with(
+    training: &Dataset,
+    config: &TrainingConfig,
+    opts: TrainOptions,
+) -> LanguageClassifierSet {
     match config.algorithm {
         Algorithm::CcTld | Algorithm::CcTldPlus => {
             return LanguageClassifierSet::build(|lang| {
@@ -338,12 +593,14 @@ pub fn train_classifier_set(training: &Dataset, config: &TrainingConfig) -> Lang
         }
         _ => {}
     }
-    let mut extractor = AnyExtractor::build(config);
-    extractor.fit(&training.urls);
+    let (extractor, models) = train_pipeline(training, config, opts);
     let extractor = Arc::new(extractor);
+    let mut per_lang: Vec<Option<AnyModel>> = models.into_iter().map(Some).collect();
     LanguageClassifierSet::build_vector(Arc::clone(&extractor) as _, |lang| {
-        let (positives, negatives) = sample_vectors(training, &extractor, lang, config);
-        Box::new(train_model(&positives, &negatives, extractor.dim(), config))
+        let model = per_lang[lang.index()]
+            .take()
+            .expect("pipeline trains one model per language");
+        Box::new(model) as Box<dyn VectorClassifier>
     })
 }
 
@@ -432,6 +689,91 @@ mod tests {
         let a = evaluate_classifier_set(&train_classifier_set(&train, &config), &test);
         let b = evaluate_classifier_set(&train_classifier_set(&train, &config), &test);
         assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn parallel_training_is_bit_identical_to_single_job() {
+        let (train, _test) = tiny_corpus();
+        for feature_set in [
+            FeatureSetKind::Words,
+            FeatureSetKind::Trigrams,
+            FeatureSetKind::Custom,
+        ] {
+            let config = TrainingConfig::new(feature_set, Algorithm::NaiveBayes);
+            let opts1 = TrainOptions { jobs: 1, shards: 5 };
+            let opts4 = TrainOptions { jobs: 4, shards: 5 };
+            let a = crate::ModelBundle::train_with(&train, &config, opts1).unwrap();
+            let b = crate::ModelBundle::train_with(&train, &config, opts4).unwrap();
+            assert_eq!(
+                a.to_json().unwrap(),
+                b.to_json().unwrap(),
+                "{feature_set:?}: jobs=1 and jobs=4 diverge at shards=5"
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_matches_the_lazily_transformed_construction() {
+        // The pipeline samples *indices* into one shared vectorize pass;
+        // the combination recipes still use `sample_vectors`, which
+        // transforms lazily per (language, URL) pair with the same RNG
+        // schedule. If the two ever drift — RNG consumption, ordering,
+        // transform choice — this catches it bit-for-bit.
+        let (train, _test) = tiny_corpus();
+        for config in [
+            TrainingConfig::paper_best(),
+            TrainingConfig::new(FeatureSetKind::Trigrams, Algorithm::RelativeEntropy),
+        ] {
+            let (extractor, models) = train_pipeline(&train, &config, TrainOptions::serial());
+            let mut reference = AnyExtractor::build(&config);
+            reference.fit(&train.urls);
+            assert_eq!(
+                serde_json::to_string(&extractor).unwrap(),
+                serde_json::to_string(&reference).unwrap(),
+                "{:?}: sharded fit diverges from FeatureExtractor::fit",
+                config.feature_set
+            );
+            for lang in ALL_LANGUAGES {
+                let (positives, negatives) = sample_vectors(&train, &reference, lang, &config);
+                let expected = train_model(&positives, &negatives, reference.dim(), &config);
+                assert_eq!(
+                    serde_json::to_string(&models[lang.index()]).unwrap(),
+                    serde_json::to_string(&expected).unwrap(),
+                    "{:?}/{:?}: pipeline model diverges for {lang}",
+                    config.feature_set,
+                    config.algorithm
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn train_options_resolve_defaults() {
+        assert_eq!(TrainOptions::default(), TrainOptions::serial());
+        assert_eq!(TrainOptions::serial().effective_shards(), 1);
+        assert_eq!(TrainOptions::with_jobs(3).jobs, 3);
+        assert_eq!(
+            TrainOptions::with_jobs(3).effective_shards(),
+            DEFAULT_TRAIN_SHARDS
+        );
+        assert_eq!(TrainOptions::auto().with_shards(7).effective_shards(), 7);
+        assert!(TrainOptions::auto().effective_jobs() >= 1);
+    }
+
+    #[test]
+    fn sharded_set_still_learns_the_task() {
+        let (train, test) = tiny_corpus();
+        let set = train_classifier_set_with(
+            &train,
+            &TrainingConfig::paper_best(),
+            TrainOptions { jobs: 2, shards: 7 },
+        );
+        let result = evaluate_classifier_set(&set, &test);
+        assert!(
+            result.mean_f_measure() > 0.70,
+            "sharded NB+words should learn, got {:.3}",
+            result.mean_f_measure()
+        );
     }
 
     #[test]

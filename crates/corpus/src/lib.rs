@@ -38,6 +38,7 @@ pub mod generator;
 pub mod human;
 pub mod morphology;
 pub mod profiles;
+pub mod shards;
 
 pub use content::ContentGenerator;
 pub use datasets::{
@@ -46,3 +47,4 @@ pub use datasets::{
 pub use generator::UrlGenerator;
 pub use human::SimulatedHuman;
 pub use profiles::{DatasetKind, DatasetProfile, LanguageProfile};
+pub use shards::{shard_seed, ShardPlan};

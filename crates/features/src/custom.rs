@@ -17,7 +17,7 @@
 //! ingredients named in the paper and reproduces the documented count.
 
 use crate::dataset::LabeledUrl;
-use crate::extractor::{FeatureExtractor, FeatureSetKind};
+use crate::extractor::{FeatureExtractor, FeatureSetKind, ShardedFit};
 use crate::vector::SparseVector;
 use serde::{Deserialize, Serialize};
 use urlid_lexicon::{
@@ -312,11 +312,8 @@ impl CustomFeatureExtractor {
 
 impl FeatureExtractor for CustomFeatureExtractor {
     fn fit(&mut self, training: &[LabeledUrl]) {
-        let mut builder = TrainedDictionaryBuilder::default();
-        for example in training {
-            builder.add_url(&example.url, example.language);
-        }
-        self.trained = builder.build();
+        let counts = self.observe_shard(training);
+        self.finish_fit(Some(counts));
     }
 
     fn transform(&self, url: &str) -> SparseVector {
@@ -345,6 +342,31 @@ impl FeatureExtractor for CustomFeatureExtractor {
 
     fn kind(&self) -> FeatureSetKind {
         FeatureSetKind::Custom
+    }
+}
+
+impl ShardedFit for CustomFeatureExtractor {
+    type Partial = TrainedDictionaryBuilder;
+
+    fn observe_shard(&self, shard: &[LabeledUrl]) -> TrainedDictionaryBuilder {
+        let mut builder = TrainedDictionaryBuilder::default();
+        for example in shard {
+            builder.add_url(&example.url, example.language);
+        }
+        builder
+    }
+
+    fn merge_partials(
+        &self,
+        mut acc: TrainedDictionaryBuilder,
+        next: TrainedDictionaryBuilder,
+    ) -> TrainedDictionaryBuilder {
+        acc.merge(next);
+        acc
+    }
+
+    fn finish_fit(&mut self, merged: Option<TrainedDictionaryBuilder>) {
+        self.trained = merged.unwrap_or_default().build();
     }
 }
 

@@ -183,6 +183,16 @@ impl Dataset {
         }
     }
 
+    /// Split the URLs into at most `n` contiguous, near-equal shards (the
+    /// unit of work of the map-reduce training pipeline). Fewer than `n`
+    /// shards are returned when the data set is smaller than `n`; the
+    /// concatenation of the shards is always exactly `self.urls`, so a
+    /// sharded pass that reduces in shard order visits every URL in
+    /// data-set order.
+    pub fn shards(&self, n: usize) -> impl Iterator<Item = &[LabeledUrl]> {
+        shard_slices(&self.urls, n)
+    }
+
     /// Drop all page content (the paper never uses content for test URLs).
     pub fn without_content(&self) -> Dataset {
         Dataset {
@@ -194,6 +204,15 @@ impl Dataset {
                 .collect(),
         }
     }
+}
+
+/// Split any slice into at most `n` contiguous, near-equal chunks whose
+/// concatenation is the original slice. The chunking is a pure function
+/// of `(items.len(), n)` — independent of thread count or timing — which
+/// is what makes sharded training runs reproducible.
+pub fn shard_slices<T>(items: &[T], n: usize) -> impl Iterator<Item = &[T]> {
+    let chunk = items.len().div_ceil(n.max(1)).max(1);
+    items.chunks(chunk)
 }
 
 /// A training/test split of a [`Dataset`].
@@ -292,6 +311,23 @@ mod tests {
         let pairs: Vec<(&str, Language)> = d.iter().collect();
         assert_eq!(pairs.len(), 5);
         assert_eq!(pairs[0].1, Language::English);
+    }
+
+    #[test]
+    fn shards_concatenate_to_the_whole_dataset() {
+        let d = sample_dataset(7); // 35 URLs
+        for n in [1, 2, 3, 5, 34, 35, 36, 100] {
+            let shards: Vec<&[LabeledUrl]> = d.shards(n).collect();
+            assert!(shards.len() <= n, "{} shards for n={n}", shards.len());
+            assert!(!shards.is_empty());
+            let flat: Vec<&LabeledUrl> = shards.iter().flat_map(|s| s.iter()).collect();
+            assert_eq!(flat.len(), d.len());
+            for (a, b) in flat.iter().zip(&d.urls) {
+                assert_eq!(**a, *b);
+            }
+        }
+        // Empty data sets produce no shards rather than panicking.
+        assert_eq!(Dataset::new("empty").shards(4).count(), 0);
     }
 
     #[test]

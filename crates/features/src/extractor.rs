@@ -100,6 +100,45 @@ pub trait FeatureExtractor: Send + Sync {
     fn kind(&self) -> FeatureSetKind;
 }
 
+/// Map-reduce fitting: the two-pass parallel alternative to
+/// [`FeatureExtractor::fit`].
+///
+/// Fitting any of the three feature families reduces to counting — token
+/// document frequencies for the word/trigram vocabularies, per-language
+/// token frequencies for the custom features' trained dictionaries — and
+/// counting is embarrassingly parallel: each corpus shard produces a
+/// [`ShardedFit::Partial`] independently ([`ShardedFit::observe_shard`],
+/// the map), the partials are summed ([`ShardedFit::merge_partials`], the
+/// reduce), and the merged counts are frozen into the extractor's
+/// vocabulary or dictionary ([`ShardedFit::finish_fit`]).
+///
+/// Implementations guarantee that for any partition of the training set
+/// into contiguous shards,
+///
+/// ```text
+/// finish_fit(reduce(merge_partials, shards.map(observe_shard)))
+///     == fit(training)
+/// ```
+///
+/// *bit-identically* — the partials are integer counts and pruning
+/// happens only at freeze time, so neither the shard count nor the merge
+/// order can change the fitted extractor.
+pub trait ShardedFit: FeatureExtractor {
+    /// The mergeable partial fitting state produced by one shard.
+    type Partial: Send;
+
+    /// Count one shard of training examples (pure; does not mutate the
+    /// extractor, so shards can run on scoped threads sharing `&self`).
+    fn observe_shard(&self, shard: &[LabeledUrl]) -> Self::Partial;
+
+    /// Combine two partial states (commutative and associative).
+    fn merge_partials(&self, acc: Self::Partial, next: Self::Partial) -> Self::Partial;
+
+    /// Freeze the merged state into the fitted extractor. `None` means
+    /// the training set was empty (equivalent to fitting on `&[]`).
+    fn finish_fit(&mut self, merged: Option<Self::Partial>);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

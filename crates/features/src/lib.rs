@@ -30,6 +30,7 @@ pub mod counting;
 pub mod custom;
 pub mod dataset;
 pub mod extractor;
+pub mod parallel;
 pub mod scratch;
 pub mod trigrams;
 pub mod vector;
@@ -38,10 +39,10 @@ pub mod words;
 
 pub use counting::CountingExtractor;
 pub use custom::{CustomFeatureExtractor, CustomFeatureSet};
-pub use dataset::{Dataset, LabeledUrl, TrainTestSplit};
-pub use extractor::{FeatureExtractor, FeatureSetKind};
+pub use dataset::{shard_slices, Dataset, LabeledUrl, TrainTestSplit};
+pub use extractor::{FeatureExtractor, FeatureSetKind, ShardedFit};
 pub use scratch::ExtractScratch;
 pub use trigrams::TrigramFeatureExtractor;
 pub use vector::SparseVector;
-pub use vocabulary::Vocabulary;
+pub use vocabulary::{Vocabulary, VocabularyBuilder};
 pub use words::WordFeatureExtractor;

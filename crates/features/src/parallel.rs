@@ -1,0 +1,92 @@
+//! Scoped-thread work distribution for sharded pipelines.
+//!
+//! The container building this workspace has no crates.io access, so
+//! (as in `urlid_classifiers::set`) there is no rayon; a work-stealing
+//! `std::thread::scope` map over an atomic index is all the sharded
+//! training and corpus-generation pipelines need. Results land in
+//! per-item slots, so the output order — and any fold over it — is a
+//! function of the input order alone, never of thread scheduling. That
+//! property is what makes `--jobs N` bit-identical to `--jobs 1`.
+//!
+//! Lives in this crate (rather than `urlid` core) because it is shared
+//! by both sides of the dependency edge: the trainer's map-reduce passes
+//! and `urlid_corpus::ShardPlan::assemble`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolve a `--jobs` value: 0 means "one worker per CPU core".
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// Apply `f` to every item on up to `jobs` scoped worker threads and
+/// return the results in input order.
+///
+/// With `jobs <= 1` (or a single item) no thread is spawned and the map
+/// runs inline — the serial and parallel paths execute the same `f` on
+/// the same items in the same slots.
+pub fn par_map<T, U, F>(jobs: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_input_order_at_any_job_count() {
+        let items: Vec<usize> = (0..37).collect();
+        let expected: Vec<usize> = items.iter().map(|i| i * i).collect();
+        for jobs in [0, 1, 2, 3, 8, 64] {
+            let got = par_map(effective_jobs(jobs), &items, |&i| i * i);
+            assert_eq!(got, expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let got: Vec<u32> = par_map(4, &[] as &[u32], |&x| x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn effective_jobs_resolves_zero_to_cores() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+}

@@ -69,6 +69,14 @@ impl Vocabulary {
 
 /// Builder that counts document frequencies and freezes a [`Vocabulary`]
 /// containing only features above a minimum count.
+///
+/// The builder is the *mergeable* half of the two-pass parallel
+/// vocabulary build: every corpus shard counts into its own builder
+/// ([`VocabularyBuilder::observe`]), the per-shard builders are combined
+/// with [`VocabularyBuilder::merge`], and only the merged builder is
+/// frozen. Counting is a sum of `u64`s and min-count pruning happens at
+/// freeze time only, so observe/merge are order-independent: any shard
+/// order (and any shard count) freezes the identical [`Vocabulary`].
 #[derive(Debug, Clone, Default)]
 pub struct VocabularyBuilder {
     counts: HashMap<String, u64>,
@@ -108,6 +116,28 @@ impl VocabularyBuilder {
     /// Number of distinct features observed so far (before pruning).
     pub fn distinct(&self) -> usize {
         self.counts.len()
+    }
+
+    /// Absorb another builder's counts (the reduce step of a sharded
+    /// vocabulary build). Counts are summed per feature; pruning is
+    /// deferred to [`VocabularyBuilder::build`], so merging partial
+    /// builders in any order — or observing everything in one builder —
+    /// freezes the same vocabulary.
+    ///
+    /// Both builders must have been created with the same `min_count`
+    /// (shards of one fit always are; debug builds assert it).
+    pub fn merge(&mut self, other: VocabularyBuilder) {
+        debug_assert_eq!(
+            self.min_count, other.min_count,
+            "merging vocabulary builders with different min_count"
+        );
+        if self.counts.is_empty() {
+            self.counts = other.counts;
+            return;
+        }
+        for (feature, count) in other.counts {
+            *self.counts.entry(feature).or_insert(0) += count;
+        }
     }
 
     /// Freeze into a [`Vocabulary`], keeping only features observed at
@@ -176,6 +206,54 @@ mod tests {
         assert_eq!(names, vec!["apple", "mango", "zebra"]);
         // Building twice gives identical indices.
         assert_eq!(b.build(), v);
+    }
+
+    #[test]
+    fn merged_shards_freeze_the_same_vocabulary_as_one_pass() {
+        let features = ["the", "the", "der", "rare", "der", "the", "les"];
+        let mut whole = VocabularyBuilder::new(2);
+        whole.observe_all(features);
+
+        // Shard the stream, count per shard, merge in both orders.
+        let mut a = VocabularyBuilder::new(2);
+        a.observe_all(&features[..3]);
+        let mut b = VocabularyBuilder::new(2);
+        b.observe_all(&features[3..]);
+        let mut ab = a.clone();
+        ab.merge(b.clone());
+        let mut ba = b;
+        ba.merge(a);
+
+        assert_eq!(ab.build(), whole.build());
+        assert_eq!(ba.build(), whole.build());
+    }
+
+    #[test]
+    fn merge_into_empty_builder_adopts_counts() {
+        let mut a = VocabularyBuilder::new(2);
+        let mut b = VocabularyBuilder::new(2);
+        b.observe_all(["x", "x", "y"]);
+        a.merge(b);
+        assert_eq!(a.distinct(), 2);
+        let v = a.build();
+        assert!(v.get("x").is_some());
+        assert!(v.get("y").is_none(), "y below min_count after merge");
+    }
+
+    #[test]
+    fn pruning_happens_only_at_freeze_time() {
+        // A feature below min_count in every shard must still survive if
+        // the *merged* count clears the threshold — i.e. merge must not
+        // pre-prune.
+        let mut a = VocabularyBuilder::new(3);
+        a.observe("split");
+        let mut b = VocabularyBuilder::new(3);
+        b.observe("split");
+        let mut c = VocabularyBuilder::new(3);
+        c.observe("split");
+        a.merge(b);
+        a.merge(c);
+        assert!(a.build().get("split").is_some());
     }
 
     #[test]

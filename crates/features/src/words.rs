@@ -14,7 +14,7 @@
 //! the URL".
 
 use crate::dataset::LabeledUrl;
-use crate::extractor::{FeatureExtractor, FeatureSetKind};
+use crate::extractor::{FeatureExtractor, FeatureSetKind, ShardedFit};
 use crate::scratch::ExtractScratch;
 use crate::vector::SparseVector;
 use crate::vocabulary::{Vocabulary, VocabularyBuilder};
@@ -106,11 +106,8 @@ impl WordFeatureExtractor {
 
 impl FeatureExtractor for WordFeatureExtractor {
     fn fit(&mut self, training: &[LabeledUrl]) {
-        let mut builder = VocabularyBuilder::new(self.config.min_count);
-        for example in training {
-            builder.observe_all(self.training_tokens(example));
-        }
-        self.vocabulary = builder.build();
+        let counts = self.observe_shard(training);
+        self.finish_fit(Some(counts));
     }
 
     fn transform(&self, url: &str) -> SparseVector {
@@ -144,6 +141,33 @@ impl FeatureExtractor for WordFeatureExtractor {
 
     fn kind(&self) -> FeatureSetKind {
         FeatureSetKind::Words
+    }
+}
+
+impl ShardedFit for WordFeatureExtractor {
+    type Partial = VocabularyBuilder;
+
+    fn observe_shard(&self, shard: &[LabeledUrl]) -> VocabularyBuilder {
+        let mut builder = VocabularyBuilder::new(self.config.min_count);
+        for example in shard {
+            builder.observe_all(self.training_tokens(example));
+        }
+        builder
+    }
+
+    fn merge_partials(
+        &self,
+        mut acc: VocabularyBuilder,
+        next: VocabularyBuilder,
+    ) -> VocabularyBuilder {
+        acc.merge(next);
+        acc
+    }
+
+    fn finish_fit(&mut self, merged: Option<VocabularyBuilder>) {
+        self.vocabulary = merged
+            .unwrap_or_else(|| VocabularyBuilder::new(self.config.min_count))
+            .build();
     }
 }
 

@@ -2,8 +2,9 @@
 
 use proptest::prelude::*;
 use urlid_features::{
-    custom::NUM_CUSTOM_FEATURES, CustomFeatureExtractor, Dataset, FeatureExtractor, LabeledUrl,
-    SparseVector, TrigramFeatureExtractor, WordFeatureExtractor,
+    custom::NUM_CUSTOM_FEATURES, shard_slices, CustomFeatureExtractor, Dataset, FeatureExtractor,
+    LabeledUrl, ShardedFit, SparseVector, TrigramFeatureExtractor, VocabularyBuilder,
+    WordFeatureExtractor,
 };
 use urlid_lexicon::Language;
 
@@ -112,6 +113,59 @@ proptest! {
         if !a.is_empty() && a.sum() > 0.0 {
             prop_assert!((a.l1_normalized().sum() - 1.0).abs() < 1e-9);
         }
+    }
+
+    /// Sharded vocabulary building is invariant under shard order *and*
+    /// shard count: min-count pruning is applied only when the merged
+    /// builder freezes, so no partition of the token stream — visited in
+    /// any order — can change the frozen vocabulary.
+    #[test]
+    fn shard_order_never_changes_the_frozen_vocabulary(
+        tokens in proptest::collection::vec("[a-f]{1,3}", 1..60),
+        shards in 1usize..8,
+        rotation in 0usize..8,
+        min_count in 0u64..4,
+    ) {
+        let mut whole = VocabularyBuilder::new(min_count);
+        whole.observe_all(&tokens);
+        let expected = whole.build();
+
+        // Partition the stream, count each shard independently, then
+        // merge in a rotated (i.e. arbitrary) order.
+        let mut partials: Vec<VocabularyBuilder> = shard_slices(&tokens, shards)
+            .map(|shard| {
+                let mut b = VocabularyBuilder::new(min_count);
+                b.observe_all(shard);
+                b
+            })
+            .collect();
+        let k = rotation % partials.len().max(1);
+        partials.rotate_left(k);
+        let mut merged = VocabularyBuilder::new(min_count);
+        for partial in partials {
+            merged.merge(partial);
+        }
+        prop_assert_eq!(merged.build(), expected);
+    }
+
+    /// The same invariance holds for whole extractors fitted through the
+    /// map-reduce path: any contiguous sharding of the training set
+    /// freezes the same vocabulary as a single sequential fit.
+    #[test]
+    fn sharded_fit_equals_serial_fit(shards in 1usize..7, seed in 0usize..5) {
+        let mut training = small_training();
+        training.rotate_left(seed);
+        let mut serial = WordFeatureExtractor::default();
+        serial.fit(&training);
+
+        let mut sharded = WordFeatureExtractor::default();
+        let merged = shard_slices(&training, shards)
+            .map(|s| sharded.observe_shard(s))
+            .reduce(|a, b| sharded.merge_partials(a, b));
+        sharded.finish_fit(merged);
+
+        prop_assert_eq!(serial.vocabulary(), sharded.vocabulary());
+        prop_assert_eq!(serial.dim(), sharded.dim());
     }
 
     /// Dataset splitting never loses or duplicates URLs, for any valid

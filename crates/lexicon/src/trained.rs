@@ -116,6 +116,27 @@ impl TrainedDictionaryBuilder {
         self.url_counts
     }
 
+    /// Absorb another builder's document frequencies and URL counts (the
+    /// reduce step of a sharded trained-dictionary build). Frequencies
+    /// are per-token `u64` sums and thresholds are applied only in
+    /// [`TrainedDictionaryBuilder::build`], so merging shard builders in
+    /// any order produces the same dictionaries as one sequential pass.
+    pub fn merge(&mut self, other: TrainedDictionaryBuilder) {
+        for (lang, n) in other.url_counts.iter().enumerate() {
+            self.url_counts[lang] += n;
+        }
+        if self.doc_freq.is_empty() {
+            self.doc_freq = other.doc_freq;
+            return;
+        }
+        for (token, freqs) in other.doc_freq {
+            let entry = self.doc_freq.entry(token).or_insert([0; 5]);
+            for (lang, n) in freqs.iter().enumerate() {
+                entry[lang] += n;
+            }
+        }
+    }
+
     /// Apply the thresholds and produce the per-language dictionaries.
     pub fn build(&self) -> TrainedDictionary {
         let mut dicts: Vec<Dictionary> = (0..5).map(|_| Dictionary::new()).collect();
@@ -308,6 +329,58 @@ mod tests {
         assert_eq!(c[Language::German.index()], 2);
         assert_eq!(c[Language::Italian.index()], 1);
         assert_eq!(c[Language::English.index()], 0);
+    }
+
+    #[test]
+    fn merged_shards_build_the_same_dictionary_as_one_pass() {
+        let urls: Vec<(String, Language)> = (0..40)
+            .flat_map(|i| {
+                [
+                    (
+                        format!("http://home.arcor.de/user{i}/seite"),
+                        Language::German,
+                    ),
+                    (
+                        format!("http://www.galeon.com/usuario{i}/pagina"),
+                        Language::Spanish,
+                    ),
+                    (format!("http://example{i}.co.uk/page"), Language::English),
+                ]
+            })
+            .collect();
+        let mut whole = TrainedDictionaryBuilder::default();
+        for (u, l) in &urls {
+            whole.add_url(u, *l);
+        }
+        // Three unequal shards, merged out of order.
+        let mut shards: Vec<TrainedDictionaryBuilder> = (0..3)
+            .map(|_| TrainedDictionaryBuilder::default())
+            .collect();
+        for (i, (u, l)) in urls.iter().enumerate() {
+            shards[if i < 7 { 0 } else { 1 + i % 2 }].add_url(u, *l);
+        }
+        let mut merged = shards.pop().unwrap();
+        for shard in shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged.url_counts(), whole.url_counts());
+        assert_eq!(merged.build(), whole.build());
+        assert!(merged
+            .build()
+            .dictionary(Language::German)
+            .contains("arcor"));
+    }
+
+    #[test]
+    fn merge_into_empty_builder_adopts_counts() {
+        let mut empty = TrainedDictionaryBuilder::default();
+        let mut other = TrainedDictionaryBuilder::default();
+        for i in 0..30 {
+            other.add_url(&format!("http://wetter{i}.de/bericht"), Language::German);
+        }
+        empty.merge(other.clone());
+        assert_eq!(empty.url_counts(), other.url_counts());
+        assert_eq!(empty.build(), other.build());
     }
 
     #[test]

@@ -27,7 +27,9 @@ USAGE:
   urlid generate --out <dir> [--seed <u64>] [--scale <f64>]
   urlid train    --data <dataset.json> --out <model.json>
                  [--features words|trigrams|custom] [--algorithm nb|re|me|dt|knn]
-                 [--seed <u64>]
+                 [--seed <u64>] [--jobs <n>] [--shards <n>]
+                 (--jobs 0 = one worker per core; for a fixed --shards the
+                  trained model is bit-identical at any --jobs value)
   urlid identify --model <model.json> [<url> ...]      (reads stdin when no URLs given)
   urlid evaluate --model <model.json> --data <dataset.json>
   urlid serve    --model <model.json> [--addr <host:port>] [--threads <n>]
@@ -102,6 +104,23 @@ fn parse_training_config(args: &Args) -> Result<TrainingConfig, String> {
     Ok(config)
 }
 
+fn parse_train_options(args: &Args) -> Result<TrainOptions, String> {
+    let mut opts = TrainOptions::with_jobs(1);
+    if let Some(jobs) = args.get("jobs") {
+        opts.jobs = jobs.parse().map_err(|_| format!("bad --jobs {jobs:?}"))?;
+    }
+    if let Some(shards) = args.get("shards") {
+        let n: usize = shards
+            .parse()
+            .map_err(|_| format!("bad --shards {shards:?}"))?;
+        if n == 0 {
+            return Err("--shards must be at least 1".to_owned());
+        }
+        opts.shards = n;
+    }
+    Ok(opts)
+}
+
 fn load_dataset(path: &str) -> Result<Dataset, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
@@ -147,13 +166,16 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let data = load_dataset(args.require("data")?)?;
     let out = args.require("out")?;
     let config = parse_training_config(args)?;
-    let bundle = ModelBundle::train(&data, &config).map_err(|e| e.to_string())?;
+    let opts = parse_train_options(args)?;
+    let bundle = ModelBundle::train_with(&data, &config, opts).map_err(|e| e.to_string())?;
     bundle.save(out).map_err(|e| e.to_string())?;
     eprintln!(
-        "trained {} + {} on {} URLs -> {out}",
+        "trained {} + {} on {} URLs ({} jobs over {} shards) -> {out}",
         config.feature_set,
         config.algorithm,
-        data.len()
+        data.len(),
+        opts.effective_jobs(),
+        opts.effective_shards(),
     );
     Ok(())
 }
@@ -290,6 +312,21 @@ mod tests {
         assert_eq!(default.algorithm, Algorithm::NaiveBayes);
         assert!(parse_training_config(&args_of(&["--algorithm", "svm"])).is_err());
         assert!(parse_training_config(&args_of(&["--features", "bigrams"])).is_err());
+    }
+
+    #[test]
+    fn train_options_parsing() {
+        let defaults = parse_train_options(&args_of(&[])).unwrap();
+        assert_eq!(defaults.jobs, 1);
+        assert_eq!(defaults.effective_shards(), urlid::DEFAULT_TRAIN_SHARDS);
+        let o = parse_train_options(&args_of(&["--jobs", "4", "--shards", "7"])).unwrap();
+        assert_eq!(o.jobs, 4);
+        assert_eq!(o.shards, 7);
+        // --jobs 0 = one worker per core.
+        let auto = parse_train_options(&args_of(&["--jobs", "0"])).unwrap();
+        assert!(auto.effective_jobs() >= 1);
+        assert!(parse_train_options(&args_of(&["--jobs", "x"])).is_err());
+        assert!(parse_train_options(&args_of(&["--shards", "0"])).is_err());
     }
 
     #[test]

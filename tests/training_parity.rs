@@ -1,0 +1,162 @@
+//! Serial vs parallel training parity — the correctness contract of the
+//! sharded map-reduce trainer.
+//!
+//! For a fixed shard structure, `--jobs` only decides how many scoped
+//! threads execute the pipeline's maps; every reduce folds in ascending
+//! shard order and the negative-sampling RNG schedule is a pure function
+//! of `(seed, language)`. The consequence, proven here for **all fifteen
+//! persistable algorithm × feature recipes**: training with `--jobs 4
+//! --shards 7` persists the *bit-identical* model bundle as training
+//! with a single thread — same JSON bytes, same scores, same decisions
+//! (the same machinery `tests/persistence_roundtrip.rs` uses for the
+//! save/reload contract).
+
+use urlid::prelude::*;
+
+/// Generated URLs of every language plus odd-host URLs, mirroring the
+/// persistence round-trip probe set.
+fn url_sample() -> Vec<String> {
+    let mut generator = UrlGenerator::new(2026);
+    let profile = urlid::corpus::DatasetProfile::web_crawl();
+    let mut urls = Vec::new();
+    for lang in ALL_LANGUAGES {
+        urls.extend(generator.generate_many(lang, &profile, 10));
+    }
+    for odd in [
+        "http://192.168.0.1/index.html",
+        "http://localhost/page",
+        "https://example.co.uk/weather/report?q=1",
+        "ftp://odd.scheme.example/path",
+    ] {
+        urls.push(odd.to_owned());
+    }
+    urls
+}
+
+fn tiny_training() -> Dataset {
+    let mut generator = UrlGenerator::new(93);
+    odp_dataset(&mut generator, CorpusScale::tiny()).train
+}
+
+const ALGORITHMS: [Algorithm; 5] = [
+    Algorithm::NaiveBayes,
+    Algorithm::RelativeEntropy,
+    Algorithm::MaxEnt,
+    Algorithm::DecisionTree,
+    Algorithm::KNearestNeighbors,
+];
+const FEATURE_SETS: [FeatureSetKind; 3] = [
+    FeatureSetKind::Words,
+    FeatureSetKind::Trigrams,
+    FeatureSetKind::Custom,
+];
+
+#[test]
+fn every_recipe_trains_bit_identically_at_any_job_count() {
+    let training = tiny_training();
+    let sample = url_sample();
+    let serial = TrainOptions { jobs: 1, shards: 7 };
+    let parallel = TrainOptions { jobs: 4, shards: 7 };
+
+    for algorithm in ALGORITHMS {
+        for feature_set in FEATURE_SETS {
+            let config = TrainingConfig::new(feature_set, algorithm).with_maxent_iterations(8);
+            let a = ModelBundle::train_with(&training, &config, serial)
+                .unwrap_or_else(|e| panic!("{feature_set:?}/{algorithm:?} serial: {e}"));
+            let b = ModelBundle::train_with(&training, &config, parallel)
+                .unwrap_or_else(|e| panic!("{feature_set:?}/{algorithm:?} parallel: {e}"));
+
+            // The strongest possible check first: the persisted bytes.
+            assert_eq!(
+                a.to_json().unwrap(),
+                b.to_json().unwrap(),
+                "{feature_set:?}/{algorithm:?}: persisted models diverge between jobs=1 and jobs=4"
+            );
+
+            // And the behavioural consequence the serving layer relies
+            // on: identical scores and decisions everywhere.
+            let ia = a.into_identifier();
+            let ib = b.into_identifier();
+            for url in &sample {
+                assert_eq!(
+                    ia.classifier_set().score_all(url),
+                    ib.classifier_set().score_all(url),
+                    "{feature_set:?}/{algorithm:?} scores diverge on {url}"
+                );
+                assert_eq!(
+                    ia.identify(url),
+                    ib.identify(url),
+                    "{feature_set:?}/{algorithm:?} best language diverges on {url}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn trained_bytes_are_invariant_under_the_shard_count() {
+    // `--shards` is a work-granularity knob, not an arithmetic one: the
+    // sharded reduces are exact (integer vocabulary counts, ordered
+    // concatenation, data-order statistic folds), so even different
+    // shard counts persist identical bytes.
+    let training = tiny_training();
+    for config in [
+        TrainingConfig::paper_best(),
+        TrainingConfig::new(FeatureSetKind::Trigrams, Algorithm::RelativeEntropy),
+    ] {
+        let one = ModelBundle::train_with(&training, &config, TrainOptions::serial()).unwrap();
+        let many = ModelBundle::train_with(
+            &training,
+            &config,
+            TrainOptions {
+                jobs: 2,
+                shards: 11,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            one.to_json().unwrap(),
+            many.to_json().unwrap(),
+            "{:?}/{:?}: shards=1 and shards=11 diverge",
+            config.feature_set,
+            config.algorithm
+        );
+    }
+}
+
+#[test]
+fn classifier_set_paths_agree_with_the_bundle_paths() {
+    // train_classifier_set_with must build the same scores as the bundle
+    // trained with the same options (it is the same pipeline).
+    let training = tiny_training();
+    let sample = url_sample();
+    let opts = TrainOptions { jobs: 3, shards: 5 };
+    let config = TrainingConfig::paper_best();
+    let set = train_classifier_set_with(&training, &config, opts);
+    let bundle = ModelBundle::train_with(&training, &config, opts)
+        .unwrap()
+        .into_identifier();
+    for url in &sample {
+        assert_eq!(
+            set.score_all(url),
+            bundle.classifier_set().score_all(url),
+            "{url}"
+        );
+    }
+}
+
+#[test]
+fn default_shard_schedule_is_jobs_invariant_from_the_cli_entry() {
+    // The CLI passes TrainOptions::with_jobs(n): the shard count must be
+    // a constant (never derived from the job count), otherwise --jobs
+    // would change the trained model.
+    assert_eq!(
+        TrainOptions::with_jobs(1).effective_shards(),
+        TrainOptions::with_jobs(64).effective_shards(),
+    );
+    let training = tiny_training();
+    let config = TrainingConfig::paper_best();
+    let a = ModelBundle::train_with(&training, &config, TrainOptions::with_jobs(1)).unwrap();
+    let b = ModelBundle::train_with(&training, &config, TrainOptions::with_jobs(4)).unwrap();
+    assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
+}
