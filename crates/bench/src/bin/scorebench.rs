@@ -1,0 +1,278 @@
+//! `scorebench` — wall-clock benchmark of the compiled scoring plane.
+//!
+//! Trains every persistable algorithm × feature recipe (15 of them) on a
+//! small sharded corpus, then measures `identify_batch` throughput over
+//! a crawl-frontier probe set twice per recipe — once through the
+//! **interpreted** scoring path (the training-time representation:
+//! `HashMap` vocabularies, per-language model structures) and once
+//! through the **compiled plane** (arena-interned vocabulary, fused
+//! language-major dense-weight matrix) — verifies that the two paths
+//! produce identical decisions and scores within 1e-12 on every probe
+//! URL, and writes the timings to `BENCH_score.json`:
+//!
+//! ```text
+//! cargo run --release -p urlid-bench --bin scorebench -- \
+//!     [--scale 0.004] [--seed 42] [--urls 4000] [--reps 3] \
+//!     [--maxent-iters 6] [--out BENCH_score.json]
+//! ```
+//!
+//! The bench exits non-zero if any recipe's compiled path diverges from
+//! the interpreted oracle — it is a differential check as much as a
+//! benchmark, so a CI regression gate on the report can trust the
+//! numbers it compares.
+
+use serde::Serialize;
+use std::process::ExitCode;
+use std::time::Instant;
+use urlid::prelude::*;
+use urlid_corpus::ShardPlan;
+
+#[derive(Debug, Serialize)]
+struct RecipeBench {
+    features: String,
+    algorithm: String,
+    /// URLs/second through the interpreted path.
+    interpreted_rps: f64,
+    /// URLs/second through the compiled plane.
+    compiled_rps: f64,
+    /// compiled_rps / interpreted_rps.
+    speedup: f64,
+    /// Did every probe URL produce identical decisions and scores
+    /// within 1e-12 (in fact: bit-identical) on both paths?
+    equal: bool,
+    /// Largest |compiled − interpreted| score difference observed.
+    max_score_diff: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ScoreBenchReport {
+    bench: &'static str,
+    unix_time: u64,
+    cores: usize,
+    corpus_urls: usize,
+    corpus_scale: f64,
+    probe_urls: usize,
+    reps: usize,
+    maxent_iterations: usize,
+    recipes: Vec<RecipeBench>,
+    /// Total probe seconds, interpreted vs compiled, across recipes.
+    total_interpreted_secs: f64,
+    total_compiled_secs: f64,
+    /// Headline `identify_batch` speedup of the compiled plane: the
+    /// geometric mean of the per-recipe speedups (robust against one
+    /// slow recipe — k-NN spends seconds where NB spends milliseconds —
+    /// dominating a wall-clock ratio).
+    identify_batch_speedup: f64,
+    equal_all: bool,
+}
+
+struct Config {
+    scale: f64,
+    seed: u64,
+    urls: usize,
+    reps: usize,
+    maxent_iters: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut config = Config {
+        scale: 0.004,
+        seed: 42,
+        urls: 4000,
+        reps: 3,
+        maxent_iters: 6,
+        out: "BENCH_score.json".to_owned(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let key = argv[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("unexpected argument {:?}", argv[i]))?;
+        let value = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("missing value for --{key}"))?;
+        match key {
+            "scale" => config.scale = value.parse().map_err(|_| format!("bad --scale {value}"))?,
+            "seed" => config.seed = value.parse().map_err(|_| format!("bad --seed {value}"))?,
+            "urls" => config.urls = value.parse().map_err(|_| format!("bad --urls {value}"))?,
+            "reps" => {
+                config.reps = value.parse().map_err(|_| format!("bad --reps {value}"))?;
+                if config.reps == 0 {
+                    return Err("--reps must be at least 1".to_owned());
+                }
+            }
+            "maxent-iters" => {
+                config.maxent_iters = value
+                    .parse()
+                    .map_err(|_| format!("bad --maxent-iters {value}"))?
+            }
+            "out" => config.out = value.clone(),
+            other => return Err(format!("unknown flag --{other}")),
+        }
+        i += 2;
+    }
+    Ok(config)
+}
+
+/// Best-of-`reps` wall-clock for one full `identify_batch` pass.
+fn time_batch(identifier: &LanguageIdentifier, urls: &[&str], reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let decisions = identifier.identify_batch(urls);
+        let elapsed = started.elapsed().as_secs_f64();
+        assert_eq!(decisions.len(), urls.len());
+        best = best.min(elapsed);
+    }
+    best
+}
+
+fn run() -> Result<(), String> {
+    let config = parse_args()?;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let plan = ShardPlan::odp_training(config.seed, CorpusScale(config.scale), 16);
+    let training = plan.assemble(0);
+    let probe_owned = UrlGenerator::crawl_frontier_mix(config.seed.wrapping_add(1), config.urls);
+    let probe: Vec<&str> = probe_owned.iter().map(|s| s.as_str()).collect();
+    eprintln!(
+        "corpus: {} URLs; probe: {} URLs × {} reps; {} cores",
+        training.len(),
+        probe.len(),
+        config.reps,
+        cores
+    );
+
+    let algorithms = [
+        ("nb", Algorithm::NaiveBayes),
+        ("re", Algorithm::RelativeEntropy),
+        ("me", Algorithm::MaxEnt),
+        ("dt", Algorithm::DecisionTree),
+        ("knn", Algorithm::KNearestNeighbors),
+    ];
+    let feature_sets = [
+        ("words", FeatureSetKind::Words),
+        ("trigrams", FeatureSetKind::Trigrams),
+        ("custom", FeatureSetKind::Custom),
+    ];
+
+    let mut recipes = Vec::new();
+    let mut equal_all = true;
+    for (feature_name, feature_set) in feature_sets {
+        for (algorithm_name, algorithm) in algorithms {
+            let tc = TrainingConfig::new(feature_set, algorithm)
+                .with_seed(config.seed)
+                .with_maxent_iterations(config.maxent_iters);
+            let bundle = ModelBundle::train(&training, &tc).map_err(|e| format!("train: {e}"))?;
+
+            // Two identifiers from the same trained bytes: the load
+            // path compiles; the baseline explicitly decompiles.
+            let compiled = bundle.clone().into_identifier();
+            assert!(compiled.classifier_set().is_compiled());
+            let mut interpreted = bundle.into_identifier();
+            interpreted.classifier_set_mut().clear_compiled();
+            assert!(!interpreted.classifier_set().is_compiled());
+
+            // Differential check before timing anything.
+            let mut equal = true;
+            let mut max_score_diff = 0.0f64;
+            for url in &probe {
+                let c = compiled.classifier_set().score_all(url);
+                let i = compiled.classifier_set().score_all_interpreted(url);
+                for lang in ALL_LANGUAGES {
+                    let (Some(cs), Some(is)) = (c[lang.index()], i[lang.index()]) else {
+                        equal = false;
+                        continue;
+                    };
+                    let diff = (cs - is).abs();
+                    max_score_diff = max_score_diff.max(diff);
+                    if diff.is_nan() || diff > 1e-12 {
+                        equal = false;
+                    }
+                }
+                if compiled.classifier_set().classify_all(url)
+                    != compiled.classifier_set().classify_all_interpreted(url)
+                {
+                    equal = false;
+                }
+            }
+            equal_all &= equal;
+
+            // Warm-up once per leg, then best-of-reps.
+            let _ = interpreted.identify_batch(&probe[..probe.len().min(256)]);
+            let _ = compiled.identify_batch(&probe[..probe.len().min(256)]);
+            let interpreted_secs = time_batch(&interpreted, &probe, config.reps);
+            let compiled_secs = time_batch(&compiled, &probe, config.reps);
+
+            let interpreted_rps = probe.len() as f64 / interpreted_secs;
+            let compiled_rps = probe.len() as f64 / compiled_secs;
+            let speedup = compiled_rps / interpreted_rps;
+            eprintln!(
+                "{feature_name:>8} + {algorithm_name:<3}  interpreted {interpreted_rps:9.0} u/s  \
+                 compiled {compiled_rps:9.0} u/s  speedup {speedup:4.2}x  equal {equal}  \
+                 max_diff {max_score_diff:.1e}",
+            );
+            recipes.push(RecipeBench {
+                features: feature_name.to_owned(),
+                algorithm: algorithm_name.to_owned(),
+                interpreted_rps,
+                compiled_rps,
+                speedup,
+                equal,
+                max_score_diff,
+            });
+        }
+    }
+
+    let total_interpreted_secs: f64 = recipes
+        .iter()
+        .map(|r| probe.len() as f64 / r.interpreted_rps)
+        .sum();
+    let total_compiled_secs: f64 = recipes
+        .iter()
+        .map(|r| probe.len() as f64 / r.compiled_rps)
+        .sum();
+    let speedup_geomean =
+        (recipes.iter().map(|r| r.speedup.ln()).sum::<f64>() / recipes.len().max(1) as f64).exp();
+    let report = ScoreBenchReport {
+        bench: "score",
+        unix_time: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        cores,
+        corpus_urls: training.len(),
+        corpus_scale: config.scale,
+        probe_urls: probe.len(),
+        reps: config.reps,
+        maxent_iterations: config.maxent_iters,
+        recipes,
+        total_interpreted_secs,
+        total_compiled_secs,
+        identify_batch_speedup: speedup_geomean,
+        equal_all,
+    };
+    let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&config.out, &json).map_err(|e| format!("cannot write {}: {e}", config.out))?;
+    eprintln!(
+        "total probe time: interpreted {total_interpreted_secs:.2}s, compiled \
+         {total_compiled_secs:.2}s; geomean speedup {:.2}x; equal {equal_all}; wrote {}",
+        report.identify_batch_speedup, config.out
+    );
+    if !equal_all {
+        return Err("differential violation: compiled plane diverged from interpreted".to_owned());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("scorebench: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

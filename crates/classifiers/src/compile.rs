@@ -1,0 +1,826 @@
+//! The compiled scoring plane: fused dense-weight inference.
+//!
+//! Training produces per-language, per-classifier structures optimised
+//! for *fitting* — hash maps, per-model `Vec`s, trait objects. Scoring a
+//! URL through them walks five independent models, each probing its own
+//! storage per feature. This module is the runtime representation the
+//! hot path uses instead (the Polynesia lesson from PAPERS.md: co-design
+//! the runtime layout with the access pattern):
+//!
+//! * every algorithm that is a function of dense per-feature data lowers
+//!   itself through the [`CompileScorer`] trait into a [`Lowering`] —
+//!   Naive Bayes and MaxEnt contribute one weight lane per feature,
+//!   Relative Entropy two (the smoothed class distributions), rank-order
+//!   two (dense rank tables), the character Markov model dense
+//!   transition log-prob tables;
+//! * `CompiledPlane` (crate-internal; reached through
+//!   [`crate::LanguageClassifierSet::compile`]) interleaves all
+//!   languages' lanes into **one
+//!   contiguous language-major matrix** (`matrix[j * stride ..]` is
+//!   feature `j`'s row holding every language's lanes side by side), so
+//!   scoring is a single pass over the URL's sparse vector with one
+//!   cache-friendly row fetch per feature instead of five independent
+//!   probes.
+//!
+//! ## The correctness contract
+//!
+//! Lowering never re-derives a model — it copies the trained numbers
+//! into the fused layout — and the fused pass replays **exactly the same
+//! floating-point operations in exactly the same order** as the
+//! interpreted scorers (each language's accumulator is its own chain, so
+//! interleaving languages does not reassociate anything). Compiled
+//! scores are therefore bit-identical to interpreted scores, which is
+//! stronger than the 1e-12 the differential suite demands and is what
+//! makes compiled *decisions* exactly equal to interpreted ones.
+//!
+//! Scorers that do not lower (decision trees, k-NN, the Section 5.6
+//! combination classifiers, ad-hoc test scorers) stay interpreted inside
+//! a compiled set: the plane scores what it can in the fused pass and
+//! the set falls back to the boxed scorer for the rest — still
+//! benefiting from the arena-interned extraction.
+
+use crate::markov::{markov_encode, markov_transition_index, MARKOV_TRANSITIONS};
+use crate::set::LanguageScorer;
+use urlid_features::{CompiledTransform, FeatureExtractor, SparseVector};
+use urlid_tokenize::Tokenizer;
+
+/// Lowering a trained model into the compiled plane's dense form.
+///
+/// Implemented by every algorithm whose score is a function of dense
+/// per-feature (or per-transition) data: Naive Bayes, Relative Entropy,
+/// MaxEnt, rank-order and the character Markov model. The plane reaches
+/// implementations through [`crate::VectorClassifier::as_compile`] /
+/// [`crate::UrlClassifier::as_compile`].
+pub trait CompileScorer {
+    /// Lower the trained model for a feature space of `dim` dimensions.
+    /// Implementations pad their dense arrays to `dim` with the exact
+    /// out-of-vocabulary defaults their interpreted `score` uses, so the
+    /// fused pass needs no per-algorithm special cases.
+    fn lower(&self, dim: usize) -> Lowering;
+}
+
+/// The dense form of one language's trained model.
+#[derive(Debug, Clone)]
+pub enum Lowering {
+    /// `score = bias + Σ_j x_j · weights[j]` (Naive Bayes: per-feature
+    /// log-likelihood ratios, `bias` the log prior ratio, `default` the
+    /// pure-smoothing ratio of features outside the trained dimension).
+    NaiveBayes {
+        /// Per-feature log-ratio lane, padded to `dim` with `default`.
+        weights: Vec<f64>,
+        /// The log prior ratio the accumulator starts from.
+        bias: f64,
+        /// Log ratio of features beyond the lane length.
+        default: f64,
+    },
+    /// `score = Σ_j x_j · weights[j] + slack_diff · max(c − Σ_j x_j, 0)`
+    /// (MaxEnt/GIS: weight differences plus the slack-feature term).
+    MaxEnt {
+        /// Per-feature weight-difference lane (λ⁺ − λ⁻), padded with 0.
+        weights: Vec<f64>,
+        /// Slack-feature weight difference.
+        slack_diff: f64,
+        /// The GIS constant C.
+        c: f64,
+    },
+    /// `score = D(p‖q_neg) − D(p‖q_pos)` over `p = x / ‖x‖₁` (Relative
+    /// Entropy: the two smoothed class distributions, pre-clamped to
+    /// `f64::MIN_POSITIVE` exactly as the interpreted lookup clamps).
+    RelativeEntropy {
+        /// Positive-class distribution lane, padded with `default_pos`.
+        q_pos: Vec<f64>,
+        /// Negative-class distribution lane, padded with `default_neg`.
+        q_neg: Vec<f64>,
+        /// Clamped default for features beyond the lane length.
+        default_pos: f64,
+        /// Clamped default for features beyond the lane length.
+        default_neg: f64,
+    },
+    /// Cavnar–Trenkle out-of-place distance over dense rank tables
+    /// (−1.0 marks a feature absent from a profile).
+    RankOrder {
+        /// Positive-profile rank per feature (−1.0 = not in profile).
+        rank_pos: Vec<f64>,
+        /// Negative-profile rank per feature (−1.0 = not in profile).
+        rank_neg: Vec<f64>,
+        /// Penalty for features missing from a profile.
+        max_penalty: usize,
+    },
+    /// Character Markov model: dense per-transition log-probability
+    /// tables (one entry per `(context, next)` pair) for both classes.
+    Markov {
+        /// `log P(next | context)` of the positive class, indexed by
+        /// the dense `(context, next)` transition index.
+        log_pos: Vec<f64>,
+        /// Same for the negative class.
+        log_neg: Vec<f64>,
+        /// The tokenizer the classifier scores through.
+        tokenizer: Tokenizer,
+    },
+}
+
+/// How one language participates in the fused vector pass.
+#[derive(Debug, Clone)]
+enum VectorPlan {
+    /// Not lowered: the set scores this language through its boxed
+    /// interpreted scorer.
+    None,
+    /// Naive Bayes lanes at `offset` within each feature row.
+    NaiveBayes {
+        offset: usize,
+        bias: f64,
+        default: f64,
+    },
+    /// MaxEnt lane at `offset`.
+    MaxEnt {
+        offset: usize,
+        slack_diff: f64,
+        c: f64,
+    },
+    /// Relative-entropy lanes `[q_pos, q_neg]` at `offset`.
+    RelativeEntropy {
+        offset: usize,
+        default_pos: f64,
+        default_neg: f64,
+    },
+    /// Rank-order lanes `[rank_pos, rank_neg]` at `offset`.
+    RankOrder { offset: usize, max_penalty: usize },
+}
+
+impl VectorPlan {
+    fn lanes(&self) -> usize {
+        match self {
+            VectorPlan::None => 0,
+            VectorPlan::NaiveBayes { .. } | VectorPlan::MaxEnt { .. } => 1,
+            VectorPlan::RelativeEntropy { .. } | VectorPlan::RankOrder { .. } => 2,
+        }
+    }
+}
+
+/// The fused Markov half of the plane: every Markov language's two
+/// log-prob lanes interleaved per transition, so one row fetch per
+/// character transition feeds all languages.
+#[derive(Debug, Clone)]
+struct MarkovPlane {
+    tokenizer: Tokenizer,
+    /// Lanes per transition row (2 × number of fused languages).
+    stride: usize,
+    /// `MARKOV_TRANSITIONS` rows × `stride`: `[lp_lang, ln_lang, ...]`.
+    matrix: Vec<f64>,
+    /// Lane offset per language (`None` = not a fused Markov language).
+    lanes: [Option<usize>; 5],
+}
+
+/// The compiled runtime representation of a trained
+/// [`crate::LanguageClassifierSet`]. Built once by
+/// [`crate::LanguageClassifierSet::compile`]; the set routes its scoring
+/// entry points through it.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledPlane {
+    /// The arena-interned extraction, when the shared extractor lowers.
+    transform: Option<CompiledTransform>,
+    /// Feature-space dimensionality (rows of the fused matrix).
+    dim: usize,
+    /// Lanes per feature row.
+    stride: usize,
+    /// `dim × stride` language-major matrix.
+    matrix: Vec<f64>,
+    /// Per-language participation in the fused vector pass.
+    plans: [VectorPlan; 5],
+    markov: Option<MarkovPlane>,
+}
+
+impl CompiledPlane {
+    /// Lower a classifier set's scorers into the fused plane.
+    pub(crate) fn build(
+        extractor: Option<&dyn FeatureExtractor>,
+        scorers: &[Option<LanguageScorer>; 5],
+    ) -> CompiledPlane {
+        let dim = extractor.map(|e| e.dim()).unwrap_or(0);
+        let transform = extractor.and_then(|e| e.compile_transform());
+        debug_assert!(
+            transform.as_ref().map(|t| t.dim() == dim).unwrap_or(true),
+            "compiled transform must preserve the feature dimensionality"
+        );
+
+        /// One Markov language's lowering: (log_pos, log_neg, tokenizer).
+        type MarkovLowering = (Vec<f64>, Vec<f64>, Tokenizer);
+        let mut vector_lowerings: [Option<Lowering>; 5] = Default::default();
+        let mut markov_lowerings: [Option<MarkovLowering>; 5] = Default::default();
+        for (i, scorer) in scorers.iter().enumerate() {
+            match scorer {
+                Some(LanguageScorer::Vector(model)) => {
+                    if let Some(compile) = model.as_compile() {
+                        match compile.lower(dim) {
+                            // A Markov lowering out of a vector scorer
+                            // would be a bug in the implementation; stay
+                            // interpreted rather than mis-score.
+                            Lowering::Markov { .. } => {}
+                            lowering => vector_lowerings[i] = Some(lowering),
+                        }
+                    }
+                }
+                Some(LanguageScorer::Url(classifier)) => {
+                    if let Some(compile) = classifier.as_compile() {
+                        if let Lowering::Markov {
+                            log_pos,
+                            log_neg,
+                            tokenizer,
+                        } = compile.lower(dim)
+                        {
+                            markov_lowerings[i] = Some((log_pos, log_neg, tokenizer));
+                        }
+                    }
+                }
+                // Hybrid scorers mix a URL-side constituent with the
+                // shared vector; they stay interpreted (and still reuse
+                // the plane's compiled extraction).
+                Some(LanguageScorer::Hybrid(_)) | None => {}
+            }
+        }
+
+        // Assign lane offsets and interleave the vector matrix.
+        let mut plans: [VectorPlan; 5] = [
+            VectorPlan::None,
+            VectorPlan::None,
+            VectorPlan::None,
+            VectorPlan::None,
+            VectorPlan::None,
+        ];
+        let mut offset = 0usize;
+        for (i, lowering) in vector_lowerings.iter().enumerate() {
+            let plan = match lowering {
+                None => VectorPlan::None,
+                Some(Lowering::NaiveBayes { bias, default, .. }) => VectorPlan::NaiveBayes {
+                    offset,
+                    bias: *bias,
+                    default: *default,
+                },
+                Some(Lowering::MaxEnt { slack_diff, c, .. }) => VectorPlan::MaxEnt {
+                    offset,
+                    slack_diff: *slack_diff,
+                    c: *c,
+                },
+                Some(Lowering::RelativeEntropy {
+                    default_pos,
+                    default_neg,
+                    ..
+                }) => VectorPlan::RelativeEntropy {
+                    offset,
+                    default_pos: *default_pos,
+                    default_neg: *default_neg,
+                },
+                Some(Lowering::RankOrder { max_penalty, .. }) => VectorPlan::RankOrder {
+                    offset,
+                    max_penalty: *max_penalty,
+                },
+                Some(Lowering::Markov { .. }) => unreachable!("filtered above"),
+            };
+            offset += plan.lanes();
+            plans[i] = plan;
+        }
+        let stride = offset;
+        let mut matrix = vec![0.0f64; dim * stride];
+        for j in 0..dim {
+            let row = &mut matrix[j * stride..(j + 1) * stride];
+            for (i, lowering) in vector_lowerings.iter().enumerate() {
+                match (lowering, &plans[i]) {
+                    (
+                        Some(Lowering::NaiveBayes { weights, .. }),
+                        VectorPlan::NaiveBayes {
+                            offset, default, ..
+                        },
+                    ) => {
+                        row[*offset] = weights.get(j).copied().unwrap_or(*default);
+                    }
+                    (Some(Lowering::MaxEnt { weights, .. }), VectorPlan::MaxEnt { offset, .. }) => {
+                        row[*offset] = weights.get(j).copied().unwrap_or(0.0);
+                    }
+                    (
+                        Some(Lowering::RelativeEntropy { q_pos, q_neg, .. }),
+                        VectorPlan::RelativeEntropy {
+                            offset,
+                            default_pos,
+                            default_neg,
+                        },
+                    ) => {
+                        row[*offset] = q_pos.get(j).copied().unwrap_or(*default_pos);
+                        row[*offset + 1] = q_neg.get(j).copied().unwrap_or(*default_neg);
+                    }
+                    (
+                        Some(Lowering::RankOrder {
+                            rank_pos, rank_neg, ..
+                        }),
+                        VectorPlan::RankOrder { offset, .. },
+                    ) => {
+                        row[*offset] = rank_pos.get(j).copied().unwrap_or(-1.0);
+                        row[*offset + 1] = rank_neg.get(j).copied().unwrap_or(-1.0);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Fuse the Markov languages that share a tokenizer configuration
+        // (they always do in practice — `MarkovClassifier::train` uses
+        // the default — but a mismatched one must stay interpreted
+        // rather than be scored through the wrong tokenizer).
+        let reference_tokenizer = markov_lowerings
+            .iter()
+            .flatten()
+            .map(|(_, _, t)| t.clone())
+            .next();
+        let markov = reference_tokenizer.map(|tokenizer| {
+            let mut lanes = [None; 5];
+            let mut lane = 0usize;
+            for (i, lowering) in markov_lowerings.iter().enumerate() {
+                if let Some((_, _, t)) = lowering {
+                    if *t == tokenizer {
+                        lanes[i] = Some(lane);
+                        lane += 2;
+                    }
+                }
+            }
+            let stride = lane;
+            let mut matrix = vec![0.0f64; MARKOV_TRANSITIONS * stride];
+            for (i, lowering) in markov_lowerings.iter().enumerate() {
+                let (Some((log_pos, log_neg, _)), Some(off)) = (lowering, lanes[i]) else {
+                    continue;
+                };
+                for t in 0..MARKOV_TRANSITIONS {
+                    matrix[t * stride + off] = log_pos[t];
+                    matrix[t * stride + off + 1] = log_neg[t];
+                }
+            }
+            MarkovPlane {
+                tokenizer,
+                stride,
+                matrix,
+                lanes,
+            }
+        });
+
+        CompiledPlane {
+            transform,
+            dim,
+            stride,
+            matrix,
+            plans,
+            markov,
+        }
+    }
+
+    /// The compiled extraction, when the shared extractor lowered.
+    pub(crate) fn transform(&self) -> Option<&CompiledTransform> {
+        self.transform.as_ref()
+    }
+
+    /// The fused vector pass: one walk over the sparse vector fills every
+    /// lowered language's score into `out`.
+    pub(crate) fn score_vectors(&self, vector: &SparseVector, out: &mut [Option<f64>; 5]) {
+        if self.stride == 0 {
+            return;
+        }
+        // One accumulator chain per language, exactly as interpreted:
+        // NB starts from its prior, everything else from zero.
+        let mut acc = [0.0f64; 5];
+        let mut d_pos = [0.0f64; 5];
+        let mut d_neg = [0.0f64; 5];
+        let mut needs_norm = false;
+        let mut needs_sum = false;
+        let mut needs_rank = false;
+        for (i, plan) in self.plans.iter().enumerate() {
+            match plan {
+                VectorPlan::NaiveBayes { bias, .. } => acc[i] = *bias,
+                VectorPlan::MaxEnt { .. } => needs_sum = true,
+                VectorPlan::RelativeEntropy { .. } => needs_norm = true,
+                VectorPlan::RankOrder { .. } => needs_rank = true,
+                VectorPlan::None => {}
+            }
+        }
+        // Independent reductions in the same order the interpreted
+        // scorers run them (`SparseVector::l1_norm` / `sum`).
+        let norm = if needs_norm { vector.l1_norm() } else { 0.0 };
+        let sum = if needs_sum { vector.sum() } else { 0.0 };
+
+        for (j, x) in vector.iter() {
+            let start = j as usize * self.stride;
+            let row = if (j as usize) < self.dim {
+                Some(&self.matrix[start..start + self.stride])
+            } else {
+                None // out-of-range feature: per-plan defaults below
+            };
+            for (i, plan) in self.plans.iter().enumerate() {
+                match plan {
+                    VectorPlan::NaiveBayes {
+                        offset, default, ..
+                    } => {
+                        let w = row.map(|r| r[*offset]).unwrap_or(*default);
+                        acc[i] += x * w;
+                    }
+                    VectorPlan::MaxEnt { offset, .. } => {
+                        // Interpreted `dot_dense` skips out-of-range
+                        // indices entirely.
+                        if let Some(r) = row {
+                            acc[i] += x * r[*offset];
+                        }
+                    }
+                    VectorPlan::RelativeEntropy {
+                        offset,
+                        default_pos,
+                        default_neg,
+                    } => {
+                        let p = x / norm;
+                        if p > 0.0 {
+                            let (qp, qn) = match row {
+                                Some(r) => (r[*offset], r[*offset + 1]),
+                                None => (*default_pos, *default_neg),
+                            };
+                            d_pos[i] += p * (p / qp).ln();
+                            d_neg[i] += p * (p / qn).ln();
+                        }
+                    }
+                    VectorPlan::RankOrder { .. } | VectorPlan::None => {}
+                }
+            }
+        }
+
+        for (i, plan) in self.plans.iter().enumerate() {
+            match plan {
+                VectorPlan::NaiveBayes { .. } => out[i] = Some(acc[i]),
+                VectorPlan::MaxEnt { slack_diff, c, .. } => {
+                    let slack = (c - sum).max(0.0);
+                    out[i] = Some(acc[i] + slack_diff * slack);
+                }
+                VectorPlan::RelativeEntropy { .. } => {
+                    out[i] = Some(if vector.is_empty() {
+                        // An empty URL gives no information; the
+                        // conservative high-precision RE behaviour.
+                        -f64::MIN_POSITIVE
+                    } else {
+                        d_neg[i] - d_pos[i]
+                    });
+                }
+                VectorPlan::RankOrder { .. } | VectorPlan::None => {}
+            }
+        }
+
+        if needs_rank {
+            self.score_rank_order(vector, out);
+        }
+    }
+
+    /// The rank-order leg of the vector pass: rank the test features
+    /// once (they are shared by every rank-order language) and walk the
+    /// ranked list against the dense rank lanes.
+    fn score_rank_order(&self, vector: &SparseVector, out: &mut [Option<f64>; 5]) {
+        if vector.is_empty() {
+            for (i, plan) in self.plans.iter().enumerate() {
+                if let VectorPlan::RankOrder { .. } = plan {
+                    out[i] = Some(-1.0);
+                }
+            }
+            return;
+        }
+        // Exactly `RankOrder::rank_test`: descending value, ties by
+        // ascending feature index.
+        let mut ranked: Vec<(u32, f64)> = vector.iter().collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut d_pos = [0.0f64; 5];
+        let mut d_neg = [0.0f64; 5];
+        for (test_rank, (j, _)) in ranked.iter().enumerate() {
+            let start = *j as usize * self.stride;
+            let row = if (*j as usize) < self.dim {
+                Some(&self.matrix[start..start + self.stride])
+            } else {
+                None
+            };
+            for (i, plan) in self.plans.iter().enumerate() {
+                if let VectorPlan::RankOrder {
+                    offset,
+                    max_penalty,
+                } = plan
+                {
+                    let (rp, rn) = match row {
+                        Some(r) => (r[*offset], r[*offset + 1]),
+                        None => (-1.0, -1.0),
+                    };
+                    let t = test_rank as f64;
+                    d_pos[i] += if rp >= 0.0 {
+                        (rp - t).abs()
+                    } else {
+                        *max_penalty as f64
+                    };
+                    d_neg[i] += if rn >= 0.0 {
+                        (rn - t).abs()
+                    } else {
+                        *max_penalty as f64
+                    };
+                }
+            }
+        }
+        for (i, plan) in self.plans.iter().enumerate() {
+            if let VectorPlan::RankOrder { .. } = plan {
+                out[i] = Some((d_neg[i] - d_pos[i]) / ranked.len() as f64);
+            }
+        }
+    }
+
+    /// The fused Markov pass: tokenize once, walk every token's padded
+    /// character windows once, and accumulate every Markov language's
+    /// log-likelihood ratio from the shared transition rows.
+    pub(crate) fn score_markov(
+        &self,
+        url: &str,
+        token_buf: &mut String,
+        out: &mut [Option<f64>; 5],
+    ) {
+        let Some(plane) = &self.markov else {
+            return;
+        };
+        if plane.stride == 0 {
+            return;
+        }
+        let mut ratios = [0.0f64; 5];
+        let mut transitions = 0usize;
+        let mut chars: Vec<u8> = Vec::new();
+        plane.tokenizer.for_each_token(url, token_buf, |token| {
+            chars.clear();
+            chars.push(0);
+            chars.push(0);
+            chars.extend(token.chars().map(markov_encode));
+            chars.push(0);
+            // Per-token accumulators, mirroring the interpreted
+            // `token_log_likelihood` call pair per class.
+            let mut lp = [0.0f64; 5];
+            let mut ln = [0.0f64; 5];
+            let mut n = 0usize;
+            for w in chars.windows(3) {
+                let t = markov_transition_index(w[0], w[1], w[2]);
+                let row = &plane.matrix[t * plane.stride..(t + 1) * plane.stride];
+                for (i, lane) in plane.lanes.iter().enumerate() {
+                    if let Some(off) = lane {
+                        lp[i] += row[*off];
+                        ln[i] += row[*off + 1];
+                    }
+                }
+                n += 1;
+            }
+            for (i, lane) in plane.lanes.iter().enumerate() {
+                if lane.is_some() {
+                    ratios[i] += lp[i] - ln[i];
+                }
+            }
+            transitions += n;
+        });
+        for (i, lane) in plane.lanes.iter().enumerate() {
+            if lane.is_some() {
+                out[i] = Some(if transitions == 0 {
+                    -1.0
+                } else {
+                    ratios[i] / transitions as f64
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::markov::{MarkovClassifier, MarkovConfig};
+    use crate::maxent::{MaxEnt, MaxEntConfig};
+    use crate::model::VectorClassifier;
+    use crate::naive_bayes::{NaiveBayes, NaiveBayesConfig};
+    use crate::rank_order::{RankOrder, RankOrderConfig};
+    use crate::relative_entropy::{RelativeEntropy, RelativeEntropyConfig};
+    use crate::set::LanguageClassifierSet;
+    use std::sync::Arc;
+    use urlid_features::{FeatureExtractor, LabeledUrl, SparseVector, WordFeatureExtractor};
+    use urlid_lexicon::{Language, ALL_LANGUAGES};
+
+    fn training() -> Vec<LabeledUrl> {
+        vec![
+            LabeledUrl::new(
+                "http://www.wetter-bericht.de/berlin/nachrichten",
+                Language::German,
+            ),
+            LabeledUrl::new(
+                "http://www.weather-report.co.uk/london/news",
+                Language::English,
+            ),
+            LabeledUrl::new(
+                "http://www.meteo-prevision.fr/paris/infos",
+                Language::French,
+            ),
+            LabeledUrl::new(
+                "http://www.tiempo-noticias.es/madrid/hoy",
+                Language::Spanish,
+            ),
+            LabeledUrl::new(
+                "http://www.previsioni-meteo.it/roma/oggi",
+                Language::Italian,
+            ),
+            LabeledUrl::new("http://www.nachrichten-heute.de/wetter", Language::German),
+            LabeledUrl::new("http://www.daily-news.co.uk/weather", Language::English),
+        ]
+    }
+
+    fn probe_urls() -> Vec<String> {
+        let mut urls: Vec<String> = training().iter().map(|u| u.url.clone()).collect();
+        urls.extend(
+            [
+                "http://unseen.example.xyz/nothing",
+                "http://192.168.0.1/index.html",
+                "http://xn--mnchen-3ya.de/",
+                "",
+                "http://wetter.de/wetter/wetter/berlin",
+                "https://example.co.uk/weather/report?q=1",
+            ]
+            .map(str::to_owned),
+        );
+        urls
+    }
+
+    /// Per-language (positives, negatives) training vectors.
+    type ClassVectors = Vec<(Vec<SparseVector>, Vec<SparseVector>)>;
+
+    /// Fit a shared word extractor and the per-language vectors the toy
+    /// models train on.
+    fn fitted() -> (Arc<WordFeatureExtractor>, ClassVectors) {
+        let data = training();
+        let mut extractor = WordFeatureExtractor::default();
+        extractor.fit(&data);
+        let per_lang = ALL_LANGUAGES
+            .iter()
+            .map(|&lang| {
+                let pos: Vec<SparseVector> = data
+                    .iter()
+                    .filter(|u| u.language == lang)
+                    .map(|u| extractor.transform(&u.url))
+                    .collect();
+                let neg: Vec<SparseVector> = data
+                    .iter()
+                    .filter(|u| u.language != lang)
+                    .map(|u| extractor.transform(&u.url))
+                    .collect();
+                (pos, neg)
+            })
+            .collect();
+        (Arc::new(extractor), per_lang)
+    }
+
+    fn assert_compiled_matches_interpreted(set: &mut LanguageClassifierSet) {
+        set.compile();
+        assert!(set.is_compiled());
+        for url in probe_urls() {
+            let compiled_scores = set.score_all(&url);
+            let interpreted_scores = set.score_all_interpreted(&url);
+            assert_eq!(
+                compiled_scores, interpreted_scores,
+                "scores diverge on {url:?}"
+            );
+            assert_eq!(
+                set.classify_all(&url),
+                set.classify_all_interpreted(&url),
+                "decisions diverge on {url:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_bayes_plane_is_bit_identical() {
+        let (extractor, per_lang) = fitted();
+        let dim = extractor.dim();
+        let mut set = LanguageClassifierSet::build_vector(extractor, |lang| {
+            let (pos, neg) = &per_lang[lang.index()];
+            Box::new(NaiveBayes::train(pos, neg, NaiveBayesConfig::for_dim(dim)))
+        });
+        assert_compiled_matches_interpreted(&mut set);
+    }
+
+    #[test]
+    fn relative_entropy_plane_is_bit_identical() {
+        let (extractor, per_lang) = fitted();
+        let dim = extractor.dim();
+        let mut set = LanguageClassifierSet::build_vector(extractor, |lang| {
+            let (pos, neg) = &per_lang[lang.index()];
+            Box::new(RelativeEntropy::train(
+                pos,
+                neg,
+                RelativeEntropyConfig::for_dim(dim),
+            ))
+        });
+        assert_compiled_matches_interpreted(&mut set);
+    }
+
+    #[test]
+    fn maxent_plane_is_bit_identical() {
+        let (extractor, per_lang) = fitted();
+        let dim = extractor.dim();
+        let mut set = LanguageClassifierSet::build_vector(extractor, |lang| {
+            let (pos, neg) = &per_lang[lang.index()];
+            Box::new(MaxEnt::train(
+                pos,
+                neg,
+                MaxEntConfig::with_iterations(dim, 5),
+            ))
+        });
+        assert_compiled_matches_interpreted(&mut set);
+    }
+
+    #[test]
+    fn rank_order_plane_is_bit_identical() {
+        let (extractor, per_lang) = fitted();
+        let mut set = LanguageClassifierSet::build_vector(extractor, |lang| {
+            let (pos, neg) = &per_lang[lang.index()];
+            Box::new(RankOrder::train(pos, neg, RankOrderConfig::default()))
+        });
+        assert_compiled_matches_interpreted(&mut set);
+    }
+
+    #[test]
+    fn markov_plane_is_bit_identical() {
+        let data = training();
+        let mut set = LanguageClassifierSet::build(|lang| {
+            let pos: Vec<String> = data
+                .iter()
+                .filter(|u| u.language == lang)
+                .map(|u| u.url.clone())
+                .collect();
+            let neg: Vec<String> = data
+                .iter()
+                .filter(|u| u.language != lang)
+                .map(|u| u.url.clone())
+                .collect();
+            Box::new(MarkovClassifier::train(&pos, &neg, MarkovConfig::default()))
+        });
+        assert_compiled_matches_interpreted(&mut set);
+    }
+
+    /// Non-lowerable scorers fall back to interpreted inside a compiled
+    /// set and heterogeneous planes stay consistent.
+    #[test]
+    fn mixed_plane_with_fallback_scorers_matches_interpreted() {
+        struct Threshold(f64);
+        impl VectorClassifier for Threshold {
+            fn score(&self, features: &SparseVector) -> f64 {
+                features.sum() - self.0
+            }
+        }
+        let (extractor, per_lang) = fitted();
+        let dim = extractor.dim();
+        let mut set = LanguageClassifierSet::with_extractor(extractor);
+        let (pos, neg) = &per_lang[Language::German.index()];
+        set.insert_model(
+            Language::German,
+            Box::new(NaiveBayes::train(pos, neg, NaiveBayesConfig::for_dim(dim))),
+        );
+        let (pos, neg) = &per_lang[Language::French.index()];
+        set.insert_model(
+            Language::French,
+            Box::new(RelativeEntropy::train(
+                pos,
+                neg,
+                RelativeEntropyConfig::for_dim(dim),
+            )),
+        );
+        // A scorer with no lowering: stays interpreted in the plane.
+        set.insert_model(Language::English, Box::new(Threshold(0.5)));
+        set.insert(
+            Language::Italian,
+            Box::new(crate::cctld::CcTldClassifier::cctld(Language::Italian)),
+        );
+        assert_compiled_matches_interpreted(&mut set);
+    }
+
+    #[test]
+    fn inserting_a_scorer_discards_the_plane() {
+        let (extractor, per_lang) = fitted();
+        let dim = extractor.dim();
+        let mut set = LanguageClassifierSet::build_vector(extractor, |lang| {
+            let (pos, neg) = &per_lang[lang.index()];
+            Box::new(NaiveBayes::train(pos, neg, NaiveBayesConfig::for_dim(dim)))
+        });
+        set.compile();
+        assert!(set.is_compiled());
+        let (pos, neg) = &per_lang[0];
+        set.insert_model(
+            Language::English,
+            Box::new(NaiveBayes::train(pos, neg, NaiveBayesConfig::for_dim(dim))),
+        );
+        assert!(!set.is_compiled(), "stale plane must be discarded");
+        set.compile();
+        assert!(set.is_compiled());
+        set.clear_compiled();
+        assert!(!set.is_compiled());
+    }
+
+    #[test]
+    fn compiling_an_empty_set_is_harmless() {
+        let mut set = LanguageClassifierSet::new();
+        set.compile();
+        assert!(set.is_compiled());
+        assert_eq!(set.score_all("http://a.de/"), [None; 5]);
+        assert_eq!(set.classify_all("http://a.de/"), [false; 5]);
+    }
+}

@@ -32,6 +32,7 @@
 
 pub mod cctld;
 pub mod combine;
+pub mod compile;
 pub mod decision_tree;
 pub mod knn;
 pub mod markov;
@@ -47,6 +48,7 @@ pub use cctld::CcTldClassifier;
 pub use combine::{
     CombinationStrategy, CombinedClassifier, CombinedHybridClassifier, CombinedVectorClassifier,
 };
+pub use compile::{CompileScorer, Lowering};
 pub use decision_tree::{DecisionTree, DecisionTreeConfig};
 pub use knn::{KNearestNeighbors, KnnConfig};
 pub use markov::{MarkovClassifier, MarkovConfig};

@@ -17,13 +17,31 @@
 //! character models (an order-2 model, i.e. trigram transition
 //! probabilities with Laplace smoothing).
 
+use crate::compile::{CompileScorer, Lowering};
 use crate::model::UrlClassifier;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use urlid_tokenize::Tokenizer;
 
 /// Alphabet: `a`–`z` plus the boundary marker.
 const ALPHABET_SIZE: usize = 27;
+
+/// Number of two-character contexts of the order-2 model.
+const NUM_CONTEXTS: usize = ALPHABET_SIZE * ALPHABET_SIZE;
+
+/// Number of `(context, next)` transitions — the row count of the
+/// compiled plane's fused Markov matrix.
+pub(crate) const MARKOV_TRANSITIONS: usize = NUM_CONTEXTS * ALPHABET_SIZE;
+
+/// Encode one character into the model alphabet (shared with the
+/// compiled plane, which must walk exactly the same windows).
+pub(crate) fn markov_encode(c: char) -> u8 {
+    encode(c)
+}
+
+/// Dense index of the `(a, b) → next` transition.
+pub(crate) fn markov_transition_index(a: u8, b: u8, next: u8) -> usize {
+    context_key(a, b) * ALPHABET_SIZE + next as usize
+}
 
 /// Configuration for the character Markov model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -40,17 +58,34 @@ impl Default for MarkovConfig {
 
 /// Character model of one class: counts of (context, next-char) where the
 /// context is the previous two characters of a padded token.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// The context space is tiny and fixed (27² = 729 contexts × 27 next
+/// characters), so counts live in **dense context-indexed tables**
+/// rather than the historical `HashMap<u16, [f64; 27]>`: a transition
+/// lookup is two array reads at `context * 27 + next` instead of a hash,
+/// probe and pointer chase per character of every scored token. Never-
+/// observed transitions simply read 0.0 — exactly the value the map's
+/// `unwrap_or` defaults produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct CharModel {
-    // Keys are `context_key(a, b)`: serde_json requires integer (not
-    // tuple) map keys.
-    transitions: HashMap<u16, [f64; ALPHABET_SIZE]>,
-    context_totals: HashMap<u16, f64>,
+    /// Transition counts, indexed by `context_key(a, b) * 27 + next`.
+    transitions: Vec<f64>,
+    /// Per-context totals, indexed by `context_key(a, b)`.
+    context_totals: Vec<f64>,
 }
 
-/// Pack a two-character context into a map key.
-fn context_key(a: u8, b: u8) -> u16 {
-    a as u16 * ALPHABET_SIZE as u16 + b as u16
+impl Default for CharModel {
+    fn default() -> Self {
+        Self {
+            transitions: vec![0.0; NUM_CONTEXTS * ALPHABET_SIZE],
+            context_totals: vec![0.0; NUM_CONTEXTS],
+        }
+    }
+}
+
+/// Pack a two-character context into a dense table index.
+fn context_key(a: u8, b: u8) -> usize {
+    a as usize * ALPHABET_SIZE + b as usize
 }
 
 fn encode(c: char) -> u8 {
@@ -71,21 +106,15 @@ impl CharModel {
         for w in chars.windows(3) {
             let context = context_key(w[0], w[1]);
             let next = w[2] as usize;
-            self.transitions
-                .entry(context)
-                .or_insert([0.0; ALPHABET_SIZE])[next] += 1.0;
-            *self.context_totals.entry(context).or_insert(0.0) += 1.0;
+            self.transitions[context * ALPHABET_SIZE + next] += 1.0;
+            self.context_totals[context] += 1.0;
         }
     }
 
     /// Smoothed log P(next | context).
-    fn log_prob(&self, context: u16, next: u8, alpha: f64) -> f64 {
-        let count = self
-            .transitions
-            .get(&context)
-            .map(|t| t[next as usize])
-            .unwrap_or(0.0);
-        let total = self.context_totals.get(&context).copied().unwrap_or(0.0);
+    fn log_prob(&self, context: usize, next: u8, alpha: f64) -> f64 {
+        let count = self.transitions[context * ALPHABET_SIZE + next as usize];
+        let total = self.context_totals[context];
         ((count + alpha) / (total + alpha * ALPHABET_SIZE as f64)).ln()
     }
 
@@ -176,6 +205,35 @@ impl UrlClassifier for MarkovClassifier {
 
     fn score_url(&self, url: &str) -> f64 {
         self.log_likelihood_ratio(url)
+    }
+
+    fn as_compile(&self) -> Option<&dyn CompileScorer> {
+        Some(self)
+    }
+}
+
+impl CompileScorer for MarkovClassifier {
+    /// Precompute every smoothed `log P(next | context)` into dense
+    /// per-transition tables: the interpreted path recomputes the
+    /// divide-and-log per lookup, the compiled plane reads one `f64` per
+    /// class per transition. The logs are pure functions of the stored
+    /// counts and α, so the values are bit-identical.
+    fn lower(&self, _dim: usize) -> Lowering {
+        let table = |model: &CharModel| -> Vec<f64> {
+            let mut out = vec![0.0f64; MARKOV_TRANSITIONS];
+            for context in 0..NUM_CONTEXTS {
+                for next in 0..ALPHABET_SIZE {
+                    out[context * ALPHABET_SIZE + next] =
+                        model.log_prob(context, next as u8, self.config.alpha);
+                }
+            }
+            out
+        };
+        Lowering::Markov {
+            log_pos: table(&self.positive),
+            log_neg: table(&self.negative),
+            tokenizer: self.tokenizer.clone(),
+        }
     }
 }
 

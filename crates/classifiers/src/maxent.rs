@@ -24,6 +24,7 @@
 //! with `C` the maximum feature sum observed in training, and the GIS
 //! update `λ_{y,j} += (1/C) · ln(E_emp[f_j·1_y] / E_model[f_j·1_y])`.
 
+use crate::compile::{CompileScorer, Lowering};
 use crate::model::VectorClassifier;
 use serde::{Deserialize, Serialize};
 use urlid_features::SparseVector;
@@ -190,6 +191,28 @@ impl VectorClassifier for MaxEnt {
     fn score(&self, features: &SparseVector) -> f64 {
         let slack = (self.c - features.sum()).max(0.0);
         features.dot_dense(&self.weight_diff) + self.slack_diff * slack
+    }
+
+    fn as_compile(&self) -> Option<&dyn CompileScorer> {
+        Some(self)
+    }
+}
+
+impl CompileScorer for MaxEnt {
+    /// The weight-difference vector is the lane; the slack term is a
+    /// per-language finisher over the shared feature sum. Padding with
+    /// 0.0 reproduces `dot_dense`'s skip of out-of-range indices (adding
+    /// `x · 0.0` is an exact no-op for the finite accumulator).
+    fn lower(&self, dim: usize) -> Lowering {
+        let mut weights = self.weight_diff.clone();
+        if weights.len() < dim {
+            weights.resize(dim, 0.0);
+        }
+        Lowering::MaxEnt {
+            weights,
+            slack_diff: self.slack_diff,
+            c: self.c,
+        }
     }
 }
 

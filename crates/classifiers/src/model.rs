@@ -1,5 +1,6 @@
 //! Core classifier traits and the extractor + model composition.
 
+use crate::compile::CompileScorer;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
@@ -77,6 +78,15 @@ pub trait VectorClassifier: Send + Sync {
     fn classify(&self, features: &SparseVector) -> bool {
         self.score(features) > 0.0
     }
+
+    /// The compiled-plane hook: algorithms that lower into the fused
+    /// dense-weight plane (see [`crate::compile`]) return themselves.
+    /// The default — models that cannot be expressed as dense
+    /// per-feature data, such as decision trees or k-NN — keeps the
+    /// scorer interpreted inside a compiled set.
+    fn as_compile(&self) -> Option<&dyn CompileScorer> {
+        None
+    }
 }
 
 /// A binary classifier that needs *both* the raw URL and the
@@ -118,6 +128,14 @@ pub trait UrlClassifier: Send + Sync {
             -1.0
         }
     }
+
+    /// The compiled-plane hook, as for
+    /// [`VectorClassifier::as_compile`]: only the character Markov
+    /// model lowers among the URL-level classifiers (the ccTLD
+    /// baselines are already a single table probe).
+    fn as_compile(&self) -> Option<&dyn CompileScorer> {
+        None
+    }
 }
 
 impl<T: UrlClassifier + ?Sized> UrlClassifier for Arc<T> {
@@ -127,6 +145,9 @@ impl<T: UrlClassifier + ?Sized> UrlClassifier for Arc<T> {
     fn score_url(&self, url: &str) -> f64 {
         (**self).score_url(url)
     }
+    fn as_compile(&self) -> Option<&dyn CompileScorer> {
+        (**self).as_compile()
+    }
 }
 
 impl<T: UrlClassifier + ?Sized> UrlClassifier for Box<T> {
@@ -135,6 +156,9 @@ impl<T: UrlClassifier + ?Sized> UrlClassifier for Box<T> {
     }
     fn score_url(&self, url: &str) -> f64 {
         (**self).score_url(url)
+    }
+    fn as_compile(&self) -> Option<&dyn CompileScorer> {
+        (**self).as_compile()
     }
 }
 

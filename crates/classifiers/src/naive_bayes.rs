@@ -19,6 +19,7 @@
 //! balanced positive/negative sets, the prior term is usually zero, but it
 //! is kept for correctness when the sets are not balanced.
 
+use crate::compile::{CompileScorer, Lowering};
 use crate::model::VectorClassifier;
 use crate::stats::{PartialCounts, StatsTrainer};
 use serde::{Deserialize, Serialize};
@@ -157,6 +158,27 @@ impl VectorClassifier for NaiveBayes {
             score += x * r;
         }
         score
+    }
+
+    fn as_compile(&self) -> Option<&dyn CompileScorer> {
+        Some(self)
+    }
+}
+
+impl CompileScorer for NaiveBayes {
+    /// NB is already a linear model: the lane is the per-feature
+    /// log-likelihood ratio, padded with the pure-smoothing default so
+    /// the fused pass applies exactly the interpreted `unwrap_or`.
+    fn lower(&self, dim: usize) -> Lowering {
+        let mut weights = self.log_ratio.clone();
+        if weights.len() < dim {
+            weights.resize(dim, self.default_log_ratio);
+        }
+        Lowering::NaiveBayes {
+            weights,
+            bias: self.log_prior_ratio,
+            default: self.default_log_ratio,
+        }
     }
 }
 

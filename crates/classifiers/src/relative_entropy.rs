@@ -19,6 +19,7 @@
 //! algorithms, which makes it the preferred "helper" in the
 //! recall-boosting combinations of Section 3.3.
 
+use crate::compile::{CompileScorer, Lowering};
 use crate::model::VectorClassifier;
 use crate::stats::{PartialDistributions, StatsTrainer};
 use serde::{Deserialize, Serialize};
@@ -170,6 +171,34 @@ impl VectorClassifier for RelativeEntropy {
             return -f64::MIN_POSITIVE;
         }
         self.divergence_to_negative(features) - self.divergence_to_positive(features)
+    }
+
+    fn as_compile(&self) -> Option<&dyn CompileScorer> {
+        Some(self)
+    }
+}
+
+impl CompileScorer for RelativeEntropy {
+    /// The two class distributions are already dense; lowering clamps
+    /// every coordinate to `f64::MIN_POSITIVE` at compile time — the
+    /// exact clamp `kl_to` applies per lookup — so the fused pass reads
+    /// a plain lane value.
+    fn lower(&self, dim: usize) -> Lowering {
+        let default_pos = self.default_pos.max(f64::MIN_POSITIVE);
+        let default_neg = self.default_neg.max(f64::MIN_POSITIVE);
+        let clamp = |q: &[f64], default: f64| -> Vec<f64> {
+            let mut out: Vec<f64> = q.iter().map(|v| v.max(f64::MIN_POSITIVE)).collect();
+            if out.len() < dim {
+                out.resize(dim, default);
+            }
+            out
+        };
+        Lowering::RelativeEntropy {
+            q_pos: clamp(&self.pos, default_pos),
+            q_neg: clamp(&self.neg, default_neg),
+            default_pos,
+            default_neg,
+        }
     }
 }
 

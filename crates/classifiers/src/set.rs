@@ -21,6 +21,7 @@
 //! reusable [`ExtractScratch`] per worker, so tokenisation allocates no
 //! per-URL strings.
 
+use crate::compile::CompiledPlane;
 use crate::model::{HybridClassifier, UrlClassifier, VectorClassifier};
 use std::sync::Arc;
 use urlid_features::{ExtractScratch, FeatureExtractor, SparseVector};
@@ -42,10 +43,20 @@ pub enum LanguageScorer {
 
 /// Five per-language binary URL classifiers evaluated jointly over one
 /// shared feature extraction.
+///
+/// A set can additionally carry a **compiled scoring plane**
+/// ([`LanguageClassifierSet::compile`]): the vocabularies interned into
+/// byte arenas and every lowerable model's weights fused into one
+/// language-major dense matrix (see [`crate::compile`]). When present,
+/// all scoring entry points route through it — with scores bit-identical
+/// to the interpreted path, which stays available as the
+/// differential-testing oracle
+/// ([`LanguageClassifierSet::score_all_interpreted`]).
 #[derive(Default)]
 pub struct LanguageClassifierSet {
     extractor: Option<Arc<dyn FeatureExtractor>>,
     scorers: [Option<LanguageScorer>; 5],
+    compiled: Option<CompiledPlane>,
 }
 
 impl LanguageClassifierSet {
@@ -63,6 +74,7 @@ impl LanguageClassifierSet {
         Self {
             extractor: Some(extractor),
             scorers: Default::default(),
+            compiled: None,
         }
     }
 
@@ -91,6 +103,7 @@ impl LanguageClassifierSet {
 
     /// Insert (or replace) a raw-URL classifier for a language.
     pub fn insert(&mut self, lang: Language, classifier: Box<dyn UrlClassifier>) {
+        self.compiled = None; // the plane no longer reflects the set
         self.scorers[lang.index()] = Some(LanguageScorer::Url(classifier));
     }
 
@@ -105,6 +118,7 @@ impl LanguageClassifierSet {
             self.extractor.is_some(),
             "insert_model requires a shared extractor (use with_extractor)"
         );
+        self.compiled = None;
         self.scorers[lang.index()] = Some(LanguageScorer::Vector(model));
     }
 
@@ -120,7 +134,36 @@ impl LanguageClassifierSet {
             self.extractor.is_some(),
             "insert_hybrid requires a shared extractor (use with_extractor)"
         );
+        self.compiled = None;
         self.scorers[lang.index()] = Some(LanguageScorer::Hybrid(classifier));
+    }
+
+    /// Build the compiled scoring plane (see [`crate::compile`]): intern
+    /// the shared vocabulary into a byte arena and fuse every lowerable
+    /// model's weights into one language-major dense matrix. All scoring
+    /// entry points route through the plane afterwards, with scores
+    /// bit-identical to the interpreted path. Scorers that cannot lower
+    /// (decision trees, k-NN, combinations, ad-hoc classifiers) keep
+    /// being scored through their trait objects inside the plane.
+    ///
+    /// Inserting or replacing any classifier discards the plane;
+    /// call `compile` again afterwards.
+    pub fn compile(&mut self) {
+        self.compiled = Some(CompiledPlane::build(
+            self.extractor.as_deref(),
+            &self.scorers,
+        ));
+    }
+
+    /// Drop the compiled plane, reverting every entry point to the
+    /// interpreted path (used by benchmarks to measure the baseline).
+    pub fn clear_compiled(&mut self) {
+        self.compiled = None;
+    }
+
+    /// Is a compiled scoring plane active?
+    pub fn is_compiled(&self) -> bool {
+        self.compiled.is_some()
     }
 
     /// The shared feature extractor, if the set scores vectors.
@@ -178,7 +221,8 @@ impl LanguageClassifierSet {
     }
 
     /// The five per-language scores for one URL (`None` for languages
-    /// without a classifier), extracting features exactly once.
+    /// without a classifier), extracting features exactly once. Routes
+    /// through the compiled plane when one is active.
     pub fn score_all(&self, url: &str) -> [Option<f64>; 5] {
         self.score_all_with(url, &mut ExtractScratch::new())
     }
@@ -186,6 +230,25 @@ impl LanguageClassifierSet {
     /// [`LanguageClassifierSet::score_all`] with a caller-owned scratch
     /// (the zero-allocation batch path).
     pub fn score_all_with(&self, url: &str, scratch: &mut ExtractScratch) -> [Option<f64>; 5] {
+        match &self.compiled {
+            Some(plane) => self.score_all_compiled(plane, url, scratch),
+            None => self.score_all_interpreted_with(url, scratch),
+        }
+    }
+
+    /// The interpreted scoring path, regardless of any compiled plane —
+    /// the differential-testing oracle the compiled plane is checked
+    /// against (decisions must match exactly, scores within 1e-12; in
+    /// fact the plane replays the identical float operations).
+    pub fn score_all_interpreted(&self, url: &str) -> [Option<f64>; 5] {
+        self.score_all_interpreted_with(url, &mut ExtractScratch::new())
+    }
+
+    fn score_all_interpreted_with(
+        &self,
+        url: &str,
+        scratch: &mut ExtractScratch,
+    ) -> [Option<f64>; 5] {
         let vector = self.extract_once(url, scratch);
         let mut out = [None; 5];
         for (i, scorer) in self.scorers.iter().enumerate() {
@@ -203,15 +266,84 @@ impl LanguageClassifierSet {
         out
     }
 
+    /// Extract through the plane's interned vocabulary (falling back to
+    /// the shared extractor for non-lowerable extractors), when any
+    /// scorer needs the vector.
+    fn extract_compiled(
+        &self,
+        plane: &CompiledPlane,
+        url: &str,
+        scratch: &mut ExtractScratch,
+    ) -> Option<SparseVector> {
+        if !self.needs_vector() {
+            return None;
+        }
+        Some(match plane.transform() {
+            Some(transform) => transform.extract(url, scratch),
+            None => self
+                .extractor
+                .as_ref()
+                .expect("invariant: vector scorers imply a shared extractor")
+                .transform_with(url, scratch),
+        })
+    }
+
+    /// The compiled scoring path: extract once through the interned
+    /// vocabulary, run the fused vector and Markov passes, then score
+    /// the remaining (non-lowered) languages through their boxed
+    /// scorers.
+    fn score_all_compiled(
+        &self,
+        plane: &CompiledPlane,
+        url: &str,
+        scratch: &mut ExtractScratch,
+    ) -> [Option<f64>; 5] {
+        let vector = self.extract_compiled(plane, url, scratch);
+        let mut out = [None; 5];
+        if let Some(vector) = &vector {
+            plane.score_vectors(vector, &mut out);
+        }
+        plane.score_markov(url, &mut scratch.token, &mut out);
+        for (i, scorer) in self.scorers.iter().enumerate() {
+            if out[i].is_none() {
+                if let Some(scorer) = scorer {
+                    out[i] = Some(match scorer {
+                        LanguageScorer::Vector(model) => {
+                            model.score(vector.as_ref().expect("vector extracted above"))
+                        }
+                        LanguageScorer::Url(classifier) => classifier.score_url(url),
+                        LanguageScorer::Hybrid(classifier) => classifier
+                            .score_hybrid(url, vector.as_ref().expect("vector extracted above")),
+                    });
+                }
+            }
+        }
+        out
+    }
+
     /// The five independent binary decisions for a URL, in canonical
     /// language order, extracting features exactly once. Missing
-    /// classifiers answer `false`.
+    /// classifiers answer `false`. Routes through the compiled plane
+    /// when one is active.
     pub fn classify_all(&self, url: &str) -> [bool; 5] {
         self.classify_all_with(url, &mut ExtractScratch::new())
     }
 
     /// [`LanguageClassifierSet::classify_all`] with a caller-owned scratch.
     pub fn classify_all_with(&self, url: &str, scratch: &mut ExtractScratch) -> [bool; 5] {
+        match &self.compiled {
+            Some(plane) => self.classify_all_compiled(plane, url, scratch),
+            None => self.classify_all_interpreted_with(url, scratch),
+        }
+    }
+
+    /// The interpreted decision path (see
+    /// [`LanguageClassifierSet::score_all_interpreted`]).
+    pub fn classify_all_interpreted(&self, url: &str) -> [bool; 5] {
+        self.classify_all_interpreted_with(url, &mut ExtractScratch::new())
+    }
+
+    fn classify_all_interpreted_with(&self, url: &str, scratch: &mut ExtractScratch) -> [bool; 5] {
         let vector = self.extract_once(url, scratch);
         let mut out = [false; 5];
         for (i, scorer) in self.scorers.iter().enumerate() {
@@ -232,32 +364,80 @@ impl LanguageClassifierSet {
         out
     }
 
+    fn classify_all_compiled(
+        &self,
+        plane: &CompiledPlane,
+        url: &str,
+        scratch: &mut ExtractScratch,
+    ) -> [bool; 5] {
+        let vector = self.extract_compiled(plane, url, scratch);
+        let mut scores = [None; 5];
+        if let Some(vector) = &vector {
+            plane.score_vectors(vector, &mut scores);
+        }
+        plane.score_markov(url, &mut scratch.token, &mut scores);
+        let mut out = [false; 5];
+        for (i, scorer) in self.scorers.iter().enumerate() {
+            if let Some(scorer) = scorer {
+                out[i] = match scores[i] {
+                    // Fused scores are bit-identical to interpreted, and
+                    // every lowered algorithm's decision is the sign of
+                    // its score (the crate-wide convention).
+                    Some(score) => score > 0.0,
+                    // Non-lowered languages decide exactly as the
+                    // interpreted path does.
+                    None => match scorer {
+                        LanguageScorer::Vector(model) => {
+                            model.classify(vector.as_ref().expect("vector extracted above"))
+                        }
+                        LanguageScorer::Url(classifier) => classifier.classify_url(url),
+                        LanguageScorer::Hybrid(classifier) => {
+                            classifier
+                                .score_hybrid(url, vector.as_ref().expect("vector extracted above"))
+                                > 0.0
+                        }
+                    },
+                };
+            }
+        }
+        out
+    }
+
+    /// One-off extraction for the single-language entry points: through
+    /// the plane's interned vocabulary when compiled, the shared
+    /// extractor otherwise — the vectors are identical either way, so
+    /// single-language answers stay bit-identical to the multi-label
+    /// path while scoring only the one requested model.
+    fn extract_single(&self, url: &str) -> SparseVector {
+        match self.compiled.as_ref().and_then(|plane| plane.transform()) {
+            Some(transform) => transform.extract(url, &mut ExtractScratch::new()),
+            None => self.shared_extractor().transform(url),
+        }
+    }
+
     /// The single binary decision "is this URL in `lang`?" (extracts at
-    /// most once; `false` when no classifier is present).
+    /// most once and scores only `lang`'s model; `false` when no
+    /// classifier is present).
     pub fn classify(&self, url: &str, lang: Language) -> bool {
         match self.scorers[lang.index()].as_ref() {
             None => false,
             Some(LanguageScorer::Url(classifier)) => classifier.classify_url(url),
-            Some(LanguageScorer::Vector(model)) => {
-                model.classify(&self.shared_extractor().transform(url))
-            }
+            Some(LanguageScorer::Vector(model)) => model.classify(&self.extract_single(url)),
             Some(LanguageScorer::Hybrid(classifier)) => {
-                classifier.score_hybrid(url, &self.shared_extractor().transform(url)) > 0.0
+                classifier.score_hybrid(url, &self.extract_single(url)) > 0.0
             }
         }
     }
 
     /// The real-valued score of `lang` for the URL, if a classifier is
-    /// present (extracts at most once).
+    /// present (extracts at most once and scores only `lang`'s model).
     pub fn score(&self, url: &str, lang: Language) -> Option<f64> {
         match self.scorers[lang.index()].as_ref() {
             None => None,
             Some(LanguageScorer::Url(classifier)) => Some(classifier.score_url(url)),
-            Some(LanguageScorer::Vector(model)) => {
-                Some(model.score(&self.shared_extractor().transform(url)))
-            }
+            Some(LanguageScorer::Vector(model)) => Some(model.score(&self.extract_single(url))),
             Some(LanguageScorer::Hybrid(classifier)) => {
-                Some(classifier.score_hybrid(url, &self.shared_extractor().transform(url)))
+                Some(classifier.score_hybrid(url, &self.extract_single(url)))
             }
         }
     }

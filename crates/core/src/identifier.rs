@@ -62,6 +62,13 @@ impl LanguageIdentifier {
         &self.set
     }
 
+    /// Mutable access to the classifier set — used to compile (or
+    /// decompile, for baseline benchmarking) the scoring plane of an
+    /// already-built identifier.
+    pub fn classifier_set_mut(&mut self) -> &mut LanguageClassifierSet {
+        &mut self.set
+    }
+
     /// The single binary decision "is this URL in `lang`?" (one feature
     /// extraction at most).
     pub fn is_language(&self, url: &str, lang: Language) -> bool {

@@ -107,15 +107,22 @@ impl ModelBundle {
     /// Convert into a ready-to-use [`LanguageIdentifier`] on the
     /// single-pass scoring pipeline (one shared extractor, five vector
     /// models).
+    ///
+    /// The identifier's classifier set is **compiled** on the way out:
+    /// the load path — server start-up and `POST /admin/reload` alike —
+    /// always serves through the fused dense-weight plane, while the
+    /// persisted JSON keeps the training-time representation (the
+    /// compiled plane is a pure function of it, rebuilt at every load).
     pub fn into_identifier(self) -> LanguageIdentifier {
         let extractor = Arc::new(self.extractor);
         let mut per_lang: Vec<Option<AnyModel>> = self.models.into_iter().map(Some).collect();
-        let set = LanguageClassifierSet::build_vector(Arc::clone(&extractor) as _, |lang| {
+        let mut set = LanguageClassifierSet::build_vector(Arc::clone(&extractor) as _, |lang| {
             let model = per_lang[lang.index()]
                 .take()
                 .expect("bundle has one model per language");
             Box::new(model) as Box<dyn VectorClassifier>
         });
+        set.compile();
         LanguageIdentifier::from_classifier_set(set, self.config)
     }
 

@@ -131,6 +131,11 @@ pub fn train_best_combination(training: &Dataset, seed: u64) -> LanguageClassifi
             );
         }
     }
+    // The combination scorers themselves stay interpreted (OR/AND over
+    // two constituents is not dense per-feature data), but compiling
+    // still routes the shared word extraction through the interned
+    // vocabulary arena.
+    set.compile();
     set
 }
 

@@ -46,9 +46,9 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use urlid_classifiers::{
-    Algorithm, CcTldClassifier, DecisionTree, DecisionTreeConfig, KNearestNeighbors, KnnConfig,
-    LanguageClassifierSet, MaxEnt, MaxEntConfig, NaiveBayes, NaiveBayesConfig, RelativeEntropy,
-    RelativeEntropyConfig, StatsTrainer, UrlClassifier, VectorClassifier,
+    Algorithm, CcTldClassifier, CompileScorer, DecisionTree, DecisionTreeConfig, KNearestNeighbors,
+    KnnConfig, LanguageClassifierSet, MaxEnt, MaxEntConfig, NaiveBayes, NaiveBayesConfig,
+    RelativeEntropy, RelativeEntropyConfig, StatsTrainer, UrlClassifier, VectorClassifier,
 };
 use urlid_features::parallel::{effective_jobs, par_map};
 use urlid_features::{
@@ -261,6 +261,13 @@ impl FeatureExtractor for AnyExtractor {
             AnyExtractor::Custom(e) => e.transform_training(example),
         }
     }
+    fn compile_transform(&self) -> Option<urlid_features::CompiledTransform> {
+        match self {
+            AnyExtractor::Words(e) => e.compile_transform(),
+            AnyExtractor::Trigrams(e) => e.compile_transform(),
+            AnyExtractor::Custom(e) => e.compile_transform(),
+        }
+    }
     fn dim(&self) -> usize {
         match self {
             AnyExtractor::Words(e) => e.dim(),
@@ -329,6 +336,17 @@ impl VectorClassifier for AnyModel {
             AnyModel::MaxEnt(m) => m.score(features),
             AnyModel::DecisionTree(m) => m.score(features),
             AnyModel::Knn(m) => m.score(features),
+        }
+    }
+
+    fn as_compile(&self) -> Option<&dyn CompileScorer> {
+        match self {
+            AnyModel::NaiveBayes(m) => m.as_compile(),
+            AnyModel::RelativeEntropy(m) => m.as_compile(),
+            AnyModel::MaxEnt(m) => m.as_compile(),
+            // Tree traversal and nearest-neighbour search are not dense
+            // per-feature data; they stay interpreted in compiled sets.
+            AnyModel::DecisionTree(_) | AnyModel::Knn(_) => None,
         }
     }
 }
@@ -580,6 +598,13 @@ pub fn train_classifier_set(training: &Dataset, config: &TrainingConfig) -> Lang
 /// Any `opts` value produces a bit-identical classifier set (see the
 /// module docs); the parity is enforced for all fifteen algorithm ×
 /// feature recipes by the `training_parity` integration suite.
+///
+/// The returned set is **compiled** (see
+/// [`LanguageClassifierSet::compile`]): its vocabulary is interned into
+/// the arena form and the lowerable models fused into the dense scoring
+/// plane. Compiled scores are bit-identical to the interpreted oracle,
+/// which stays reachable via
+/// [`LanguageClassifierSet::score_all_interpreted`].
 pub fn train_classifier_set_with(
     training: &Dataset,
     config: &TrainingConfig,
@@ -596,12 +621,14 @@ pub fn train_classifier_set_with(
     let (extractor, models) = train_pipeline(training, config, opts);
     let extractor = Arc::new(extractor);
     let mut per_lang: Vec<Option<AnyModel>> = models.into_iter().map(Some).collect();
-    LanguageClassifierSet::build_vector(Arc::clone(&extractor) as _, |lang| {
+    let mut set = LanguageClassifierSet::build_vector(Arc::clone(&extractor) as _, |lang| {
         let model = per_lang[lang.index()]
             .take()
             .expect("pipeline trains one model per language");
         Box::new(model) as Box<dyn VectorClassifier>
-    })
+    });
+    set.compile();
+    set
 }
 
 #[cfg(test)]

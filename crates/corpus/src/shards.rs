@@ -52,18 +52,38 @@ pub struct ShardPlan {
 }
 
 impl ShardPlan {
+    /// A plan for an arbitrary balanced data set: `total_urls` URLs of
+    /// `profile`, languages round-robin over the global URL index, split
+    /// into `shards` shards. This is the constructor `urlid generate
+    /// --jobs` builds its training/test sets from — any job count
+    /// assembles the bit-identical corpus.
+    pub fn dataset(
+        base_seed: u64,
+        name: impl Into<String>,
+        profile: DatasetProfile,
+        total_urls: usize,
+        shards: usize,
+    ) -> Self {
+        Self {
+            base_seed,
+            shards: shards.clamp(1, total_urls.max(1)),
+            total_urls,
+            profile,
+            name: name.into(),
+        }
+    }
+
     /// A plan for a training corpus of exactly `scale` × the paper's ODP
     /// training size (the size `odp_dataset` would produce), split into
     /// `shards` shards.
     pub fn odp_training(base_seed: u64, scale: CorpusScale, shards: usize) -> Self {
-        let total = 5 * scale.apply(crate::datasets::ODP_TRAIN_PER_LANGUAGE);
-        Self {
+        Self::dataset(
             base_seed,
-            shards: shards.clamp(1, total.max(1)),
-            total_urls: total,
-            profile: DatasetProfile::odp(),
-            name: "odp-sharded".to_owned(),
-        }
+            "odp-sharded",
+            DatasetProfile::odp(),
+            5 * scale.apply(crate::datasets::ODP_TRAIN_PER_LANGUAGE),
+            shards,
+        )
     }
 
     /// The `[start, end)` range of global URL indices shard `i` covers.
@@ -203,6 +223,22 @@ mod tests {
             let min = counts.iter().min().unwrap();
             let max = counts.iter().max().unwrap();
             assert!(max - min <= 1, "shards={shards}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn dataset_plans_are_jobs_invariant_for_any_profile() {
+        for profile in [
+            DatasetProfile::odp(),
+            DatasetProfile::ser(),
+            DatasetProfile::web_crawl(),
+        ] {
+            let plan = ShardPlan::dataset(99, "set", profile, 101, 7);
+            let serial = plan.assemble(1);
+            assert_eq!(serial.len(), 101);
+            for jobs in [2, 5] {
+                assert_eq!(plan.assemble(jobs), serial, "jobs={jobs}");
+            }
         }
     }
 

@@ -1,6 +1,7 @@
 //! The [`FeatureExtractor`] trait: the fit–transform protocol shared by
 //! all three feature families.
 
+use crate::compiled::CompiledTransform;
 use crate::dataset::LabeledUrl;
 use crate::scratch::ExtractScratch;
 use crate::vector::SparseVector;
@@ -88,6 +89,20 @@ pub trait FeatureExtractor: Send + Sync {
     fn transform_training(&self, example: &LabeledUrl) -> SparseVector {
         let _ = &example.content;
         self.transform(&example.url)
+    }
+
+    /// Lower this fitted extractor into a [`CompiledTransform`] — the
+    /// arena-interned, zero-allocation form the compiled scoring plane
+    /// extracts through. Must produce exactly the same vectors as
+    /// [`FeatureExtractor::transform_with`] on every URL.
+    ///
+    /// The default returns `None` (stay interpreted); the word and
+    /// trigram extractors override it. Extractors whose transform is not
+    /// a vocabulary lookup — the custom features, instrumented test
+    /// wrappers — keep the default so the plane falls back to the trait
+    /// object for extraction.
+    fn compile_transform(&self) -> Option<CompiledTransform> {
+        None
     }
 
     /// Dimensionality of the feature space after fitting.

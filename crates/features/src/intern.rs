@@ -1,0 +1,228 @@
+//! Arena-interned vocabularies for the compiled scoring plane.
+//!
+//! The interpreted [`crate::Vocabulary`] stores one heap `String` per
+//! feature behind a `HashMap<String, u32>`: every lookup SipHashes the
+//! query and then chases a pointer per probed bucket. On the scoring hot
+//! path — a handful of token/trigram lookups per URL, millions of URLs —
+//! that layout dominates the cost of classification.
+//!
+//! [`InternedVocabulary`] is the runtime representation the compiled
+//! plane uses instead: every feature string lives in **one contiguous
+//! byte arena** (`bounds[i]..bounds[i + 1]` is feature `i`), and lookups
+//! go through an open-addressing table whose entries carry the
+//! **precomputed 64-bit hash** of their feature, so a probe is one
+//! integer compare before any byte comparison happens. Lookups take
+//! `&[u8]` straight from the tokenizer's borrowed-token handoff — no
+//! `String`, no `&str` round-trip, no allocation.
+//!
+//! Interning never changes an index: `interned.get(name.as_bytes()) ==
+//! vocabulary.get(name)` for every string, which is what makes the
+//! compiled plane bit-identical to the interpreted one.
+
+use crate::vocabulary::Vocabulary;
+
+/// FNV-1a 64-bit: tiny, allocation-free, and fast for the short keys
+/// (tokens, trigrams) vocabularies hold.
+#[inline]
+fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A read-only vocabulary interned into a byte arena with an
+/// open-addressing, precomputed-hash lookup table.
+#[derive(Debug, Clone, Default)]
+pub struct InternedVocabulary {
+    /// All feature strings, concatenated.
+    arena: Vec<u8>,
+    /// `len + 1` offsets into the arena; feature `i` is
+    /// `arena[bounds[i]..bounds[i + 1]]`.
+    bounds: Vec<u32>,
+    /// Precomputed hash of every feature, indexed by feature id.
+    hashes: Vec<u64>,
+    /// Open-addressing slots holding `feature_id + 1` (0 = empty). The
+    /// length is a power of two at most half full, so linear probing
+    /// terminates.
+    table: Vec<u32>,
+    /// `table.len() - 1`, for masking.
+    mask: usize,
+}
+
+impl InternedVocabulary {
+    /// Intern a frozen [`Vocabulary`]. Indices are preserved exactly.
+    pub fn from_vocabulary(vocabulary: &Vocabulary) -> Self {
+        let len = vocabulary.len();
+        if len == 0 {
+            return Self::default();
+        }
+        let mut arena = Vec::new();
+        let mut bounds = Vec::with_capacity(len + 1);
+        let mut hashes = Vec::with_capacity(len);
+        bounds.push(0u32);
+        // `Vocabulary::iter` yields (index, name) in ascending dense
+        // index order by construction, so appending in iteration order
+        // lays the arena out index-ordered (the debug_assert guards the
+        // assumption).
+        for (i, name) in vocabulary.iter() {
+            debug_assert_eq!(i as usize + 1, bounds.len(), "dense index order");
+            arena.extend_from_slice(name.as_bytes());
+            bounds.push(arena.len() as u32);
+            hashes.push(hash_bytes(name.as_bytes()));
+        }
+        // ≤ 50% load factor keeps probe chains short.
+        let capacity = (len * 2).next_power_of_two().max(8);
+        let mask = capacity - 1;
+        let mut table = vec![0u32; capacity];
+        for (i, &h) in hashes.iter().enumerate() {
+            let mut slot = (h as usize) & mask;
+            while table[slot] != 0 {
+                slot = (slot + 1) & mask;
+            }
+            table[slot] = i as u32 + 1;
+        }
+        Self {
+            arena,
+            bounds,
+            hashes,
+            table,
+            mask,
+        }
+    }
+
+    /// Number of interned features.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// Is the vocabulary empty?
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+
+    /// The bytes of feature `index`.
+    #[inline]
+    fn bytes_of(&self, index: u32) -> &[u8] {
+        let start = self.bounds[index as usize] as usize;
+        let end = self.bounds[index as usize + 1] as usize;
+        &self.arena[start..end]
+    }
+
+    /// The feature string at an index (features are always valid UTF-8:
+    /// they were interned from `&str`s).
+    pub fn name(&self, index: u32) -> Option<&str> {
+        if (index as usize) < self.len() {
+            std::str::from_utf8(self.bytes_of(index)).ok()
+        } else {
+            None
+        }
+    }
+
+    /// Look up a feature by its raw bytes — the zero-allocation hot-path
+    /// entry point fed straight from the tokenizer.
+    #[inline]
+    pub fn get(&self, feature: &[u8]) -> Option<u32> {
+        if self.table.is_empty() {
+            return None;
+        }
+        let h = hash_bytes(feature);
+        let mut slot = (h as usize) & self.mask;
+        loop {
+            match self.table[slot] {
+                0 => return None,
+                entry => {
+                    let index = entry - 1;
+                    // Precomputed hash first: a 64-bit compare rejects
+                    // almost every non-match before the byte compare.
+                    if self.hashes[index as usize] == h && self.bytes_of(index) == feature {
+                        return Some(index);
+                    }
+                }
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// [`InternedVocabulary::get`] for `&str` callers.
+    #[inline]
+    pub fn get_str(&self, feature: &str) -> Option<u32> {
+        self.get(feature.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab_of(names: &[&str]) -> Vocabulary {
+        let mut v = Vocabulary::new();
+        for n in names {
+            v.get_or_insert(n);
+        }
+        v
+    }
+
+    #[test]
+    fn interning_preserves_every_index() {
+        let names = ["wetter", "bericht", "de", "com", "weather", "a", ""];
+        let v = vocab_of(&names);
+        let interned = InternedVocabulary::from_vocabulary(&v);
+        assert_eq!(interned.len(), v.len());
+        for name in names {
+            assert_eq!(
+                interned.get(name.as_bytes()),
+                v.get(name),
+                "{name:?} diverges"
+            );
+            assert_eq!(interned.get_str(name), v.get(name));
+        }
+        for (i, name) in v.iter() {
+            assert_eq!(interned.name(i), Some(name));
+        }
+        assert_eq!(interned.name(names.len() as u32), None);
+    }
+
+    #[test]
+    fn misses_are_misses() {
+        let v = vocab_of(&["alpha", "beta"]);
+        let interned = InternedVocabulary::from_vocabulary(&v);
+        for miss in ["gamma", "alph", "alphaa", "", "ALPHA"] {
+            assert_eq!(interned.get(miss.as_bytes()), None, "{miss:?}");
+        }
+    }
+
+    #[test]
+    fn empty_vocabulary_answers_none() {
+        let interned = InternedVocabulary::from_vocabulary(&Vocabulary::new());
+        assert!(interned.is_empty());
+        assert_eq!(interned.len(), 0);
+        assert_eq!(interned.get(b"anything"), None);
+        assert_eq!(interned.name(0), None);
+    }
+
+    #[test]
+    fn dense_vocabulary_survives_probing_pressure() {
+        // Enough keys that the open-addressing table sees real collisions.
+        let names: Vec<String> = (0..2000).map(|i| format!("tok{i:04}")).collect();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let v = vocab_of(&refs);
+        let interned = InternedVocabulary::from_vocabulary(&v);
+        for name in &refs {
+            assert_eq!(interned.get(name.as_bytes()), v.get(name), "{name}");
+        }
+        for miss in ["tok2000", "tok", "x"] {
+            assert_eq!(interned.get(miss.as_bytes()), None);
+        }
+    }
+
+    #[test]
+    fn non_ascii_features_intern_byte_exactly() {
+        let v = vocab_of(&["münchen", "straße", "東京"]);
+        let interned = InternedVocabulary::from_vocabulary(&v);
+        assert_eq!(interned.get("münchen".as_bytes()), v.get("münchen"));
+        assert_eq!(interned.name(v.get("東京").unwrap()), Some("東京"));
+    }
+}

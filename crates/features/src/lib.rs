@@ -26,10 +26,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod counting;
 pub mod custom;
 pub mod dataset;
 pub mod extractor;
+pub mod intern;
 pub mod parallel;
 pub mod scratch;
 pub mod trigrams;
@@ -37,10 +39,12 @@ pub mod vector;
 pub mod vocabulary;
 pub mod words;
 
+pub use compiled::CompiledTransform;
 pub use counting::CountingExtractor;
 pub use custom::{CustomFeatureExtractor, CustomFeatureSet};
 pub use dataset::{shard_slices, Dataset, LabeledUrl, TrainTestSplit};
 pub use extractor::{FeatureExtractor, FeatureSetKind, ShardedFit};
+pub use intern::InternedVocabulary;
 pub use scratch::ExtractScratch;
 pub use trigrams::TrigramFeatureExtractor;
 pub use vector::SparseVector;

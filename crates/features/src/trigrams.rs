@@ -13,8 +13,10 @@
 //! via [`TrigramScope::RawUrl`] and exercised by the
 //! `ablation_trigram_scope` bench.
 
+use crate::compiled::CompiledTransform;
 use crate::dataset::LabeledUrl;
 use crate::extractor::{FeatureExtractor, FeatureSetKind, ShardedFit};
+use crate::intern::InternedVocabulary;
 use crate::scratch::ExtractScratch;
 use crate::vector::SparseVector;
 use crate::vocabulary::{Vocabulary, VocabularyBuilder};
@@ -183,6 +185,18 @@ impl FeatureExtractor for TrigramFeatureExtractor {
     fn transform_training(&self, example: &LabeledUrl) -> SparseVector {
         let grams = self.training_grams(example);
         self.vector_of_grams(&grams)
+    }
+
+    fn compile_transform(&self) -> Option<CompiledTransform> {
+        if self.config.scope != TrigramScope::WithinTokens {
+            // The raw-URL ablation variant is not on the hot path.
+            return None;
+        }
+        Some(CompiledTransform::Trigrams {
+            vocab: InternedVocabulary::from_vocabulary(&self.vocabulary),
+            tokenizer: self.tokenizer.clone(),
+            n: self.config.n,
+        })
     }
 
     fn dim(&self) -> usize {

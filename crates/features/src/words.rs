@@ -13,8 +13,10 @@
 //! training-time feature vector — the paper's "artificial lengthening of
 //! the URL".
 
+use crate::compiled::CompiledTransform;
 use crate::dataset::LabeledUrl;
 use crate::extractor::{FeatureExtractor, FeatureSetKind, ShardedFit};
+use crate::intern::InternedVocabulary;
 use crate::scratch::ExtractScratch;
 use crate::vector::SparseVector;
 use crate::vocabulary::{Vocabulary, VocabularyBuilder};
@@ -129,6 +131,13 @@ impl FeatureExtractor for WordFeatureExtractor {
     fn transform_training(&self, example: &LabeledUrl) -> SparseVector {
         let tokens = self.training_tokens(example);
         self.vector_of_tokens(&tokens)
+    }
+
+    fn compile_transform(&self) -> Option<CompiledTransform> {
+        Some(CompiledTransform::Words {
+            vocab: InternedVocabulary::from_vocabulary(&self.vocabulary),
+            tokenizer: self.tokenizer.clone(),
+        })
     }
 
     fn dim(&self) -> usize {

@@ -17,14 +17,25 @@
 use std::io::BufRead;
 use std::process::ExitCode;
 use std::sync::Arc;
+use urlid::corpus::datasets::{
+    ODP_TEST_PER_LANGUAGE, ODP_TRAIN_PER_LANGUAGE, SER_TEST_PER_LANGUAGE, SER_TRAIN_PER_LANGUAGE,
+};
+use urlid::corpus::{shard_seed, DatasetProfile, ShardPlan};
 use urlid::prelude::*;
 use urlid_serve::server::{spawn, ServeConfig, ServerState};
+
+/// Shards per generated data set: fixed (never core-count-derived) so
+/// the generated corpus is a pure function of `--seed`/`--scale`,
+/// independent of the machine and of `--jobs`.
+const GENERATE_SHARDS: usize = 16;
 
 const USAGE: &str = "\
 urlid — web page language identification based on URLs
 
 USAGE:
-  urlid generate --out <dir> [--seed <u64>] [--scale <f64>]
+  urlid generate --out <dir> [--seed <u64>] [--scale <f64>] [--jobs <n>]
+                 (--jobs 0 = one worker per core; the generated corpus is
+                  bit-identical at any --jobs value)
   urlid train    --data <dataset.json> --out <model.json>
                  [--features words|trigrams|custom] [--algorithm nb|re|me|dt|knn]
                  [--seed <u64>] [--jobs <n>] [--shards <n>]
@@ -143,21 +154,61 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
         .unwrap_or("0.02")
         .parse()
         .map_err(|_| "bad --scale")?;
+    let jobs: usize = args
+        .get("jobs")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --jobs")?;
     std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
-    let corpus = PaperCorpus::generate(seed, CorpusScale(scale));
-    save_json(&out_dir.join("odp-train.json"), &corpus.odp.train)?;
-    save_json(&out_dir.join("odp-test.json"), &corpus.odp.test)?;
-    save_json(&out_dir.join("ser-train.json"), &corpus.ser.train)?;
-    save_json(&out_dir.join("ser-test.json"), &corpus.ser.test)?;
-    save_json(&out_dir.join("web-crawl.json"), &corpus.web_crawl)?;
-    save_json(
-        &out_dir.join("combined-train.json"),
-        &corpus.combined_training(),
-    )?;
+    let scale = CorpusScale(scale);
+    // One fixed sub-seed per data set (decorrelated through the
+    // shard-seed schedule), so every set is an independent pure function
+    // of --seed — and, through `ShardPlan::assemble`, of nothing else:
+    // any --jobs value writes bit-identical files.
+    let plan = |set: u64, name: &str, profile: DatasetProfile, per_lang: usize| {
+        ShardPlan::dataset(
+            shard_seed(seed, set),
+            name,
+            profile,
+            5 * scale.apply(per_lang),
+            GENERATE_SHARDS,
+        )
+    };
+    let odp_train = plan(
+        0,
+        "odp-train",
+        DatasetProfile::odp(),
+        ODP_TRAIN_PER_LANGUAGE,
+    )
+    .assemble(jobs);
+    let odp_test = plan(1, "odp-test", DatasetProfile::odp(), ODP_TEST_PER_LANGUAGE).assemble(jobs);
+    let ser_train = plan(
+        2,
+        "ser-train",
+        DatasetProfile::ser(),
+        SER_TRAIN_PER_LANGUAGE,
+    )
+    .assemble(jobs);
+    let ser_test = plan(3, "ser-test", DatasetProfile::ser(), SER_TEST_PER_LANGUAGE).assemble(jobs);
+    // The web-crawl test set is deliberately skewed (1082/81/57/19/21),
+    // not balanced round-robin — and tiny; it generates sequentially
+    // from its own fixed sub-seed.
+    let web_crawl = web_crawl_dataset(&mut UrlGenerator::new(shard_seed(seed, 4)), scale);
+    let mut combined = Dataset::new("odp+ser-train");
+    combined.urls.extend(odp_train.urls.iter().cloned());
+    combined.urls.extend(ser_train.urls.iter().cloned());
+    save_json(&out_dir.join("odp-train.json"), &odp_train)?;
+    save_json(&out_dir.join("odp-test.json"), &odp_test)?;
+    save_json(&out_dir.join("ser-train.json"), &ser_train)?;
+    save_json(&out_dir.join("ser-test.json"), &ser_test)?;
+    save_json(&out_dir.join("web-crawl.json"), &web_crawl)?;
+    save_json(&out_dir.join("combined-train.json"), &combined)?;
     eprintln!(
-        "wrote 6 data sets to {} ({} training URLs in combined-train.json)",
+        "wrote 6 data sets to {} ({} training URLs in combined-train.json; {} jobs over {} shards per set)",
         out_dir.display(),
-        corpus.combined_training().len()
+        combined.len(),
+        urlid::features::parallel::effective_jobs(jobs),
+        GENERATE_SHARDS,
     );
     Ok(())
 }
@@ -327,6 +378,42 @@ mod tests {
         assert!(auto.effective_jobs() >= 1);
         assert!(parse_train_options(&args_of(&["--jobs", "x"])).is_err());
         assert!(parse_train_options(&args_of(&["--shards", "0"])).is_err());
+    }
+
+    #[test]
+    fn generate_is_bit_identical_at_any_jobs_value() {
+        let base = std::env::temp_dir().join(format!("urlid-generate-jobs-{}", std::process::id()));
+        let dir_serial = base.join("serial");
+        let dir_parallel = base.join("parallel");
+        let run = |dir: &std::path::Path, jobs: &str| {
+            cmd_generate(&args_of(&[
+                "--out",
+                dir.to_str().unwrap(),
+                "--seed",
+                "7",
+                "--scale",
+                "0.002",
+                "--jobs",
+                jobs,
+            ]))
+            .expect("generate");
+        };
+        run(&dir_serial, "1");
+        run(&dir_parallel, "3");
+        for file in [
+            "odp-train.json",
+            "odp-test.json",
+            "ser-train.json",
+            "ser-test.json",
+            "web-crawl.json",
+            "combined-train.json",
+        ] {
+            let serial = std::fs::read(dir_serial.join(file)).expect("serial file");
+            let parallel = std::fs::read(dir_parallel.join(file)).expect("parallel file");
+            assert_eq!(serial, parallel, "{file} diverges between --jobs 1 and 3");
+            assert!(!serial.is_empty(), "{file} empty");
+        }
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The per-connection state machine the reactor drives.
 //!
 //! A [`Conn`] owns one non-blocking socket, an incremental
-//! [`RequestParser`], and an outbound byte buffer. It never blocks and
+//! [`RequestParser`], and an outbound queue of response segments
+//! flushed with vectored writes. It never blocks and
 //! never touches a thread of its own — the reactor calls in when the
 //! poller reports readiness, and the scoring pool's finished responses
 //! arrive through [`Conn::complete`]. The request lifecycle:
@@ -10,7 +11,7 @@
 //!          readable                    parser yields a request
 //!   Idle ───────────► feed parser ───────────────────────────► InFlight
 //!    ▲                                                            │
-//!    │  outbuf drained (keep-alive; parse any pipelined request)  │
+//!    │  output drained (keep-alive; parse any pipelined request)  │
 //!    └─────────────────────────── write response ◄────────────────┘
 //!                                                  Conn::complete
 //! ```
@@ -26,11 +27,82 @@
 use crate::http::{self, HttpError, ParserLimits, Request, RequestParser};
 use crate::server::{error_body, ServerState};
 use crate::sys::Interest;
-use std::io::{self, Read, Write};
+use std::collections::VecDeque;
+use std::io::{self, IoSlice, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Upper bound on the iovecs of one vectored write (Linux caps a single
+/// `writev` at `IOV_MAX` = 1024; sixteen covers any realistic pipelining
+/// burst while keeping the stack frame small).
+const MAX_WRITE_SEGMENTS: usize = 16;
+
+/// Pending response bytes, kept as a queue of whole-response segments so
+/// pipelined responses flush through one vectored write instead of being
+/// memmoved into a single growing buffer first.
+#[derive(Default)]
+struct OutQueue {
+    segments: VecDeque<Vec<u8>>,
+    /// How much of the front segment has already been written.
+    head_pos: usize,
+    /// Total unwritten bytes across all segments.
+    unwritten: usize,
+}
+
+impl OutQueue {
+    fn is_empty(&self) -> bool {
+        self.unwritten == 0
+    }
+
+    fn push(&mut self, bytes: Vec<u8>) {
+        if bytes.is_empty() {
+            return;
+        }
+        self.unwritten += bytes.len();
+        self.segments.push_back(bytes);
+    }
+
+    /// Gather up to [`MAX_WRITE_SEGMENTS`] segment tails into `slices`;
+    /// returns how many were filled.
+    fn gather<'a>(&'a self, slices: &mut [IoSlice<'a>; MAX_WRITE_SEGMENTS]) -> usize {
+        let mut count = 0;
+        for (i, segment) in self.segments.iter().enumerate() {
+            if count == MAX_WRITE_SEGMENTS {
+                break;
+            }
+            let tail = if i == 0 {
+                &segment[self.head_pos..]
+            } else {
+                &segment[..]
+            };
+            slices[count] = IoSlice::new(tail);
+            count += 1;
+        }
+        count
+    }
+
+    /// Account `written` bytes accepted by the kernel, dropping fully
+    /// flushed segments.
+    fn consume(&mut self, mut written: usize) {
+        self.unwritten -= written.min(self.unwritten);
+        while written > 0 {
+            let Some(front) = self.segments.front() else {
+                return;
+            };
+            let remaining = front.len() - self.head_pos;
+            if written >= remaining {
+                written -= remaining;
+                self.head_pos = 0;
+                self.segments.pop_front();
+            } else {
+                self.head_pos += written;
+                return;
+            }
+        }
+    }
+}
 
 /// What the reactor should do after driving a connection.
 #[derive(Debug)]
@@ -62,13 +134,12 @@ pub(crate) struct Conn {
     /// `400`/`413` rejections bypass the router but must still count).
     state: Arc<ServerState>,
     parser: RequestParser,
-    /// Response bytes not yet accepted by the kernel.
-    outbuf: Vec<u8>,
-    /// How much of `outbuf` has been written.
-    out_pos: usize,
+    /// Response segments not yet accepted by the kernel, flushed with
+    /// vectored writes (one `writev` covers a whole pipelining burst).
+    out: OutQueue,
     phase: Phase,
-    /// Close once `outbuf` drains (error responses, `Connection:
-    /// close`, shutdown drain).
+    /// Close once the output queue drains (error responses,
+    /// `Connection: close`, shutdown drain).
     close_after_write: bool,
     /// The peer half-closed its write side (EOF seen).
     peer_closed: bool,
@@ -93,8 +164,7 @@ impl Conn {
             stream,
             state,
             parser: RequestParser::new(limits),
-            outbuf: Vec::new(),
-            out_pos: 0,
+            out: OutQueue::default(),
             phase: Phase::Idle,
             close_after_write: false,
             peer_closed: false,
@@ -121,7 +191,7 @@ impl Conn {
     pub(crate) fn interest(&self) -> Interest {
         Interest {
             read: !self.peer_closed,
-            write: self.out_pos < self.outbuf.len(),
+            write: !self.out.is_empty(),
         }
     }
 
@@ -144,7 +214,7 @@ impl Conn {
     /// close the moment its output drains.
     pub(crate) fn begin_drain(&mut self) -> bool {
         self.close_after_write = true;
-        self.phase == Phase::Idle && self.out_pos >= self.outbuf.len()
+        self.phase == Phase::Idle && self.out.is_empty()
     }
 
     /// The poller says the socket is readable: pull bytes into the
@@ -186,7 +256,7 @@ impl Conn {
 
     /// The poller says the socket is writable: flush pending output.
     pub(crate) fn on_writable(&mut self, now: Instant) -> Step {
-        match self.flush_outbuf(now) {
+        match self.flush_output(now) {
             Ok(()) => self.advance(now),
             Err(_) => Step::Close,
         }
@@ -207,32 +277,31 @@ impl Conn {
         self.advance(now)
     }
 
-    /// Append response bytes, compacting the already-written prefix.
+    /// Queue a response for writing (whole segments; never memmoved).
     fn queue_bytes(&mut self, bytes: Vec<u8>) {
-        if self.out_pos >= self.outbuf.len() {
-            self.outbuf = bytes;
-            self.out_pos = 0;
-        } else {
-            self.outbuf.extend_from_slice(&bytes);
-        }
+        self.out.push(bytes);
     }
 
-    /// Write as much pending output as the kernel accepts.
-    fn flush_outbuf(&mut self, now: Instant) -> io::Result<()> {
-        while self.out_pos < self.outbuf.len() {
-            match (&self.stream).write(&self.outbuf[self.out_pos..]) {
-                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
-                Ok(n) => {
-                    self.out_pos += n;
-                    self.last_activity = now;
+    /// Write as much pending output as the kernel accepts: every pass
+    /// gathers the queued response segments into one vectored write, so
+    /// a burst of pipelined responses costs one `writev` syscall instead
+    /// of one `write` per response.
+    fn flush_output(&mut self, now: Instant) -> io::Result<()> {
+        while !self.out.is_empty() {
+            let written = {
+                let mut slices = [IoSlice::new(&[]); MAX_WRITE_SEGMENTS];
+                let count = self.out.gather(&mut slices);
+                match (&self.stream).write_vectored(&slices[..count]) {
+                    Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                    Ok(n) => n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e),
-            }
+            };
+            self.out.consume(written);
+            self.last_activity = now;
         }
-        self.outbuf.clear();
-        self.out_pos = 0;
         Ok(())
     }
 
@@ -240,10 +309,10 @@ impl Conn {
     /// flush output, then either finish (close-after-write), parse the
     /// next buffered request, or wait for more bytes.
     fn advance(&mut self, now: Instant) -> Step {
-        if self.flush_outbuf(now).is_err() {
+        if self.flush_output(now).is_err() {
             return Step::Close;
         }
-        if self.out_pos < self.outbuf.len() {
+        if !self.out.is_empty() {
             // Output still pending: everything else waits for the
             // socket to accept it (write interest is now on).
             return Step::Continue;
@@ -285,7 +354,7 @@ impl Conn {
         self.state.metrics().errors.fetch_add(1, Ordering::Relaxed);
         self.close_after_write = true;
         self.queue_bytes(http::response_bytes(status, &error_body(message), false));
-        if self.flush_outbuf(now).is_err() || self.out_pos >= self.outbuf.len() {
+        if self.flush_output(now).is_err() || self.out.is_empty() {
             return Step::Close;
         }
         Step::Continue

@@ -294,6 +294,12 @@ fn model_value(identifier: &LanguageIdentifier, epoch: u64, path: Option<&PathBu
         "algorithm",
         Value::Str(config.algorithm.abbrev().to_owned()),
     );
+    // Models loaded from a bundle are always compiled; the flag makes
+    // the serving representation observable in /healthz and /metrics.
+    o.insert(
+        "compiled",
+        Value::Bool(identifier.classifier_set().is_compiled()),
+    );
     o.insert(
         "features",
         Value::Str(config.feature_set.short_label().to_owned()),

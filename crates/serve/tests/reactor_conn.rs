@@ -135,6 +135,43 @@ fn pipelined_requests_on_one_connection_answer_in_order() {
     server.shutdown();
 }
 
+/// A large pipelining burst — far more requests than one vectored write
+/// can carry — still answers every request, in order, on one
+/// connection. The client deliberately delays its reads so responses
+/// pile up in the connection's segment queue and drain through the
+/// `writev` batching path.
+#[test]
+fn large_pipelined_burst_drains_through_vectored_writes() {
+    let server = start_server(&ServeConfig::default());
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let count = 64;
+    let mut wire = String::new();
+    for i in 0..count {
+        let body = format!("{{\"url\": \"http://www.seite-{i}.de/wetter\"}}");
+        wire.push_str(&format!(
+            "POST /identify HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ));
+    }
+    stream.write_all(wire.as_bytes()).expect("burst");
+    // Let responses queue up behind the kernel's socket buffer before
+    // reading anything back.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    for i in 0..count {
+        let (status, body) = http::read_response(&mut reader).expect("response");
+        assert_eq!(status, 200, "request {i}");
+        let parsed: Value = serde_json::from_str(&body).expect("JSON");
+        match parsed.get("url") {
+            Some(Value::Str(u)) => {
+                assert!(u.contains(&format!("seite-{i}.")), "request {i}: got {u}")
+            }
+            other => panic!("no url in response {i}: {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
 /// A connection idle past the timeout is evicted by the reactor (and
 /// counted); mid-header slowloris drips that stall count the same way.
 #[test]

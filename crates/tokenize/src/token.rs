@@ -93,12 +93,15 @@ impl Tokenizer {
     }
 
     /// Visit every normalised token of `url` without allocating a `String`
-    /// per token: the caller supplies a reusable buffer that each token is
-    /// lowercased into before being passed to `f`.
+    /// per token: tokens that are already canonical (no ASCII uppercase —
+    /// the overwhelmingly common case for real URLs) are handed to `f` as
+    /// **borrowed slices of the input**; only mixed-case tokens are
+    /// lowercased into the caller's reusable buffer first.
     ///
     /// This is the batch-classification hot path — `tokenize` allocates
     /// one `String` per token per URL, which dominates the cost of
-    /// feature extraction on a crawl frontier.
+    /// feature extraction on a crawl frontier; the borrowed handoff
+    /// additionally skips the byte copy for already-lowercase tokens.
     ///
     /// ```
     /// use urlid_tokenize::Tokenizer;
@@ -112,14 +115,17 @@ impl Tokenizer {
     /// ```
     pub fn for_each_token<F: FnMut(&str)>(&self, url: &str, buf: &mut String, mut f: F) {
         for raw in self.iter(url) {
-            if self.config.lowercase {
+            // Tokens are maximal ASCII-letter runs, so lowercasing is the
+            // only normalisation that can apply; when no byte is
+            // uppercase the raw slice already *is* the canonical token.
+            if !self.config.lowercase || raw.bytes().all(|b| !b.is_ascii_uppercase()) {
+                f(raw);
+            } else {
                 buf.clear();
                 for c in raw.chars() {
                     buf.push(c.to_ascii_lowercase());
                 }
                 f(buf);
-            } else {
-                f(raw);
             }
         }
     }
@@ -317,6 +323,42 @@ mod tests {
             lowercase: true,
         });
         assert_eq!(t.tokenize("http://abc.example.com/de"), vec!["example"]);
+    }
+
+    #[test]
+    fn for_each_token_matches_tokenize_with_and_without_uppercase() {
+        let t = Tokenizer::default();
+        for url in [
+            "http://www.JazzPages.com/NewYork/",
+            "http://all-lower.example.org/path/page",
+            "HTTP://UPPER.EXAMPLE.COM/SHOUTING",
+            "http://MiXeD.CaSe.de/WeTtEr",
+            "",
+        ] {
+            let mut buf = String::new();
+            let mut seen = Vec::new();
+            t.for_each_token(url, &mut buf, |tok| seen.push(tok.to_owned()));
+            assert_eq!(seen, t.tokenize(url), "{url}");
+        }
+    }
+
+    #[test]
+    fn for_each_token_borrows_lowercase_tokens_from_the_input() {
+        let t = Tokenizer::default();
+        let url = "http://already.lower.de/page";
+        let mut buf = String::new();
+        t.for_each_token(url, &mut buf, |tok| {
+            let start = tok.as_ptr() as usize;
+            let (lo, hi) = (url.as_ptr() as usize, url.as_ptr() as usize + url.len());
+            assert!(
+                (lo..hi).contains(&start),
+                "lowercase token {tok:?} should borrow from the input"
+            );
+        });
+        assert!(
+            buf.is_empty(),
+            "scratch buffer untouched for lowercase URLs"
+        );
     }
 
     #[test]

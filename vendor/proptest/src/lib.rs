@@ -124,6 +124,27 @@ pub struct VecStrategy<S> {
     len: Range<usize>,
 }
 
+/// Uniform choice among sub-strategies of one value type (the
+/// [`prop_oneof!`] macro builds this).
+pub struct Union<S>(pub Vec<S>);
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        let pick = rng.random_range(0..self.0.len());
+        self.0[pick].generate(rng)
+    }
+}
+
+/// Choose uniformly among strategies (subset of proptest's `prop_oneof!`:
+/// no weights, all arms must share one strategy type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union(vec![$($strategy),+])
+    };
+}
+
 impl<S: Strategy> Strategy for VecStrategy<S> {
     type Value = Vec<S::Value>;
     fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
@@ -343,7 +364,7 @@ macro_rules! __proptest_impl {
 
 /// The usual glob-import surface.
 pub mod prelude {
-    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig, Strategy};
 }
 
 #[cfg(test)]
