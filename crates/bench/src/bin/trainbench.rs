@@ -37,6 +37,9 @@ struct RecipeBench {
 #[derive(Debug, Serialize)]
 struct TrainBenchReport {
     bench: &'static str,
+    /// Report format version; bumped when fields are added so the CI
+    /// gate can stay tolerant of older committed baselines.
+    schema: u32,
     unix_time: u64,
     cores: usize,
     jobs_serial: usize,
@@ -211,6 +214,7 @@ fn run() -> Result<(), String> {
     let total_parallel_secs: f64 = recipes.iter().map(|r| r.parallel_secs).sum();
     let report = TrainBenchReport {
         bench: "train",
+        schema: 2,
         unix_time: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())

@@ -39,9 +39,10 @@
 //! the set falls back to the boxed scorer for the rest — still
 //! benefiting from the arena-interned extraction.
 
+use crate::lanes::{self, LaneWeight};
 use crate::markov::{markov_encode, markov_transition_index, MARKOV_TRANSITIONS};
 use crate::set::LanguageScorer;
-use urlid_features::{CompiledTransform, FeatureExtractor, SparseVector};
+use urlid_features::{CompiledTransform, ExtractScratch, FeatureExtractor, SparseVector};
 use urlid_tokenize::Tokenizer;
 
 /// Lowering a trained model into the compiled plane's dense form.
@@ -171,6 +172,33 @@ struct MarkovPlane {
     lanes: [Option<usize>; 5],
 }
 
+/// Uniform-algorithm shape of the vector pass, detected at build time.
+/// When every lowered plan shares an accumulation kernel, the per-feature
+/// loop drops the per-language plan dispatch and runs the fixed-width
+/// chunked lanes of [`crate::lanes`] instead.
+#[derive(Debug, Clone)]
+enum FastPath {
+    /// Heterogeneous plans (or rank-order lanes): the general loop.
+    General,
+    /// Every lowered language is Naive Bayes or MaxEnt — one linear lane
+    /// each, so the whole row accumulates as a single chunked
+    /// `acc[k] += x · row[k]`. `defaults` is the out-of-vocabulary row
+    /// (the NB pure-smoothing ratio per NB lane; `0.0` per ME lane,
+    /// which leaves the accumulator bit-unchanged exactly like the
+    /// interpreted skip, since `x` is finite and the chain never
+    /// produces `-0.0`).
+    Linear {
+        /// Out-of-vocabulary weight row, one entry per lane.
+        defaults: Vec<f64>,
+    },
+    /// Every lowered language is Relative Entropy — the per-feature
+    /// `(q_pos, q_neg)` pair loop runs without plan dispatch.
+    Entropy {
+        /// Out-of-vocabulary `(default_pos, default_neg)` row.
+        defaults: Vec<f64>,
+    },
+}
+
 /// The compiled runtime representation of a trained
 /// [`crate::LanguageClassifierSet`]. Built once by
 /// [`crate::LanguageClassifierSet::compile`]; the set routes its scoring
@@ -183,10 +211,15 @@ pub(crate) struct CompiledPlane {
     dim: usize,
     /// Lanes per feature row.
     stride: usize,
-    /// `dim × stride` language-major matrix.
+    /// `dim × stride` language-major matrix (the exact lane).
     matrix: Vec<f64>,
+    /// The opt-in quantised weight lane (see
+    /// [`CompiledPlane::quantize_f32`]). `None` = exact `f64` scoring.
+    matrix_f32: Option<Vec<f32>>,
     /// Per-language participation in the fused vector pass.
     plans: [VectorPlan; 5],
+    /// Detected uniform-algorithm kernel for the vector pass.
+    fast: FastPath,
     markov: Option<MarkovPlane>,
 }
 
@@ -360,12 +393,15 @@ impl CompiledPlane {
             }
         });
 
+        let fast = detect_fast_path(&plans, stride);
         CompiledPlane {
             transform,
             dim,
             stride,
             matrix,
+            matrix_f32: None,
             plans,
+            fast,
             markov,
         }
     }
@@ -375,12 +411,160 @@ impl CompiledPlane {
         self.transform.as_ref()
     }
 
+    /// Switch the plane onto a quantised `f32` weight lane: the vector
+    /// matrix is narrowed element-wise (half the memory traffic per
+    /// row), while every accumulator stays `f64`. Scores are no longer
+    /// bit-identical to interpreted — the serving opt-in trades a
+    /// bounded score perturbation (see the differential suite's
+    /// tolerance) for throughput. Positive weights that would underflow
+    /// to `0.0` are clamped to `f32::MIN_POSITIVE` so Relative
+    /// Entropy's `MIN_POSITIVE`-clamped distributions never divide by
+    /// zero; the Markov plane keeps its `f64` tables (its rows are
+    /// shared log tables, not per-feature lanes).
+    pub(crate) fn quantize_f32(&mut self) {
+        self.matrix_f32 = Some(self.matrix.iter().map(|&w| quantize_weight(w)).collect());
+    }
+
+    /// Is the quantised lane active?
+    pub(crate) fn is_f32(&self) -> bool {
+        self.matrix_f32.is_some()
+    }
+
     /// The fused vector pass: one walk over the sparse vector fills every
-    /// lowered language's score into `out`.
-    pub(crate) fn score_vectors(&self, vector: &SparseVector, out: &mut [Option<f64>; 5]) {
+    /// lowered language's score into `out`. `ranked` is the caller's
+    /// reusable rank-order scratch (untouched unless the plane holds
+    /// rank lanes).
+    pub(crate) fn score_vectors(
+        &self,
+        vector: &SparseVector,
+        ranked: &mut Vec<(u32, f64)>,
+        out: &mut [Option<f64>; 5],
+    ) {
+        match &self.matrix_f32 {
+            Some(matrix) => self.score_vectors_with(matrix.as_slice(), vector, ranked, out),
+            None => self.score_vectors_with(self.matrix.as_slice(), vector, ranked, out),
+        }
+    }
+
+    /// The vector pass over one weight lane (`W` = `f64` or `f32`).
+    fn score_vectors_with<W: LaneWeight>(
+        &self,
+        matrix: &[W],
+        vector: &SparseVector,
+        ranked: &mut Vec<(u32, f64)>,
+        out: &mut [Option<f64>; 5],
+    ) {
         if self.stride == 0 {
             return;
         }
+        match &self.fast {
+            FastPath::Linear { defaults } => self.score_linear(matrix, defaults, vector, out),
+            FastPath::Entropy { defaults } => self.score_entropy(matrix, defaults, vector, out),
+            FastPath::General => self.score_general(matrix, vector, ranked, out),
+        }
+    }
+
+    /// Uniform NB/ME fast path: per feature, one chunked
+    /// `acc[k] += x · row[k]` over the whole row — no per-language
+    /// dispatch, and a shape rustc autovectorizes (see
+    /// [`crate::lanes::axpy`]). Bit-identical to the general loop: each
+    /// lane is its own chain, NB lanes read the same in/out-of-range
+    /// weights, and ME lanes add `x · 0.0 = +0.0` where the interpreted
+    /// scorer skips (a bit-level no-op on an accumulator that is never
+    /// `-0.0`).
+    fn score_linear<W: LaneWeight>(
+        &self,
+        matrix: &[W],
+        defaults: &[f64],
+        vector: &SparseVector,
+        out: &mut [Option<f64>; 5],
+    ) {
+        let mut lane_acc = [0.0f64; 5];
+        let mut needs_sum = false;
+        for plan in &self.plans {
+            match plan {
+                VectorPlan::NaiveBayes { offset, bias, .. } => lane_acc[*offset] = *bias,
+                VectorPlan::MaxEnt { .. } => needs_sum = true,
+                _ => {}
+            }
+        }
+        let sum = if needs_sum { vector.sum() } else { 0.0 };
+        let acc = &mut lane_acc[..self.stride];
+        for (j, x) in vector.iter() {
+            let j = j as usize;
+            if j < self.dim {
+                let start = j * self.stride;
+                lanes::axpy(acc, x, &matrix[start..start + self.stride]);
+            } else {
+                lanes::axpy(acc, x, defaults);
+            }
+        }
+        for (i, plan) in self.plans.iter().enumerate() {
+            match plan {
+                VectorPlan::NaiveBayes { offset, .. } => out[i] = Some(lane_acc[*offset]),
+                VectorPlan::MaxEnt {
+                    offset,
+                    slack_diff,
+                    c,
+                } => {
+                    let slack = (c - sum).max(0.0);
+                    out[i] = Some(lane_acc[*offset] + slack_diff * slack);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Uniform Relative-Entropy fast path: the per-feature
+    /// `(q_pos, q_neg)` walk without plan dispatch. The `ln` calls
+    /// dominate, so this is about dropping the match, not SIMD.
+    fn score_entropy<W: LaneWeight>(
+        &self,
+        matrix: &[W],
+        defaults: &[f64],
+        vector: &SparseVector,
+        out: &mut [Option<f64>; 5],
+    ) {
+        let mut d = [0.0f64; 10];
+        let pairs = self.stride / 2;
+        let norm = vector.l1_norm();
+        for (j, x) in vector.iter() {
+            let p = x / norm;
+            if p > 0.0 {
+                let j = j as usize;
+                if j < self.dim {
+                    let row = &matrix[j * self.stride..(j + 1) * self.stride];
+                    for k in 0..pairs {
+                        d[2 * k] += p * (p / row[2 * k].to_f64()).ln();
+                        d[2 * k + 1] += p * (p / row[2 * k + 1].to_f64()).ln();
+                    }
+                } else {
+                    for k in 0..pairs {
+                        d[2 * k] += p * (p / defaults[2 * k]).ln();
+                        d[2 * k + 1] += p * (p / defaults[2 * k + 1]).ln();
+                    }
+                }
+            }
+        }
+        for (i, plan) in self.plans.iter().enumerate() {
+            if let VectorPlan::RelativeEntropy { offset, .. } = plan {
+                out[i] = Some(if vector.is_empty() {
+                    -f64::MIN_POSITIVE
+                } else {
+                    d[*offset + 1] - d[*offset]
+                });
+            }
+        }
+    }
+
+    /// The general (heterogeneous-plan) vector pass.
+    fn score_general<W: LaneWeight>(
+        &self,
+        matrix: &[W],
+        vector: &SparseVector,
+        ranked: &mut Vec<(u32, f64)>,
+        out: &mut [Option<f64>; 5],
+    ) {
         // One accumulator chain per language, exactly as interpreted:
         // NB starts from its prior, everything else from zero.
         let mut acc = [0.0f64; 5];
@@ -406,7 +590,7 @@ impl CompiledPlane {
         for (j, x) in vector.iter() {
             let start = j as usize * self.stride;
             let row = if (j as usize) < self.dim {
-                Some(&self.matrix[start..start + self.stride])
+                Some(&matrix[start..start + self.stride])
             } else {
                 None // out-of-range feature: per-plan defaults below
             };
@@ -415,14 +599,14 @@ impl CompiledPlane {
                     VectorPlan::NaiveBayes {
                         offset, default, ..
                     } => {
-                        let w = row.map(|r| r[*offset]).unwrap_or(*default);
+                        let w = row.map(|r| r[*offset].to_f64()).unwrap_or(*default);
                         acc[i] += x * w;
                     }
                     VectorPlan::MaxEnt { offset, .. } => {
                         // Interpreted `dot_dense` skips out-of-range
                         // indices entirely.
                         if let Some(r) = row {
-                            acc[i] += x * r[*offset];
+                            acc[i] += x * r[*offset].to_f64();
                         }
                     }
                     VectorPlan::RelativeEntropy {
@@ -433,7 +617,7 @@ impl CompiledPlane {
                         let p = x / norm;
                         if p > 0.0 {
                             let (qp, qn) = match row {
-                                Some(r) => (r[*offset], r[*offset + 1]),
+                                Some(r) => (r[*offset].to_f64(), r[*offset + 1].to_f64()),
                                 None => (*default_pos, *default_neg),
                             };
                             d_pos[i] += p * (p / qp).ln();
@@ -466,14 +650,21 @@ impl CompiledPlane {
         }
 
         if needs_rank {
-            self.score_rank_order(vector, out);
+            self.score_rank_order(matrix, vector, ranked, out);
         }
     }
 
     /// The rank-order leg of the vector pass: rank the test features
     /// once (they are shared by every rank-order language) and walk the
-    /// ranked list against the dense rank lanes.
-    fn score_rank_order(&self, vector: &SparseVector, out: &mut [Option<f64>; 5]) {
+    /// ranked list against the dense rank lanes. `ranked` is reused
+    /// scratch — a warm call allocates nothing.
+    fn score_rank_order<W: LaneWeight>(
+        &self,
+        matrix: &[W],
+        vector: &SparseVector,
+        ranked: &mut Vec<(u32, f64)>,
+        out: &mut [Option<f64>; 5],
+    ) {
         if vector.is_empty() {
             for (i, plan) in self.plans.iter().enumerate() {
                 if let VectorPlan::RankOrder { .. } = plan {
@@ -484,14 +675,15 @@ impl CompiledPlane {
         }
         // Exactly `RankOrder::rank_test`: descending value, ties by
         // ascending feature index.
-        let mut ranked: Vec<(u32, f64)> = vector.iter().collect();
+        ranked.clear();
+        ranked.extend(vector.iter());
         ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let mut d_pos = [0.0f64; 5];
         let mut d_neg = [0.0f64; 5];
         for (test_rank, (j, _)) in ranked.iter().enumerate() {
             let start = *j as usize * self.stride;
             let row = if (*j as usize) < self.dim {
-                Some(&self.matrix[start..start + self.stride])
+                Some(&matrix[start..start + self.stride])
             } else {
                 None
             };
@@ -502,7 +694,7 @@ impl CompiledPlane {
                 } = plan
                 {
                     let (rp, rn) = match row {
-                        Some(r) => (r[*offset], r[*offset + 1]),
+                        Some(r) => (r[*offset].to_f64(), r[*offset + 1].to_f64()),
                         None => (-1.0, -1.0),
                     };
                     let t = test_rank as f64;
@@ -528,11 +720,13 @@ impl CompiledPlane {
 
     /// The fused Markov pass: tokenize once, walk every token's padded
     /// character windows once, and accumulate every Markov language's
-    /// log-likelihood ratio from the shared transition rows.
+    /// log-likelihood ratio from the shared transition rows. The token
+    /// and character buffers come from the caller's scratch, so a warm
+    /// call allocates nothing.
     pub(crate) fn score_markov(
         &self,
         url: &str,
-        token_buf: &mut String,
+        scratch: &mut ExtractScratch,
         out: &mut [Option<f64>; 5],
     ) {
         let Some(plane) = &self.markov else {
@@ -541,9 +735,13 @@ impl CompiledPlane {
         if plane.stride == 0 {
             return;
         }
+        let ExtractScratch {
+            token: token_buf,
+            bytes: chars,
+            ..
+        } = scratch;
         let mut ratios = [0.0f64; 5];
         let mut transitions = 0usize;
-        let mut chars: Vec<u8> = Vec::new();
         plane.tokenizer.for_each_token(url, token_buf, |token| {
             chars.clear();
             chars.push(0);
@@ -582,6 +780,78 @@ impl CompiledPlane {
                 });
             }
         }
+    }
+}
+
+/// Detect a uniform-algorithm kernel for the vector pass (see
+/// [`FastPath`]). Rank-order lanes and hybrid plan mixes keep the
+/// general loop.
+fn detect_fast_path(plans: &[VectorPlan; 5], stride: usize) -> FastPath {
+    let mut any = false;
+    let mut linear = true;
+    let mut entropy = true;
+    for plan in plans {
+        match plan {
+            VectorPlan::None => {}
+            VectorPlan::NaiveBayes { .. } | VectorPlan::MaxEnt { .. } => {
+                any = true;
+                entropy = false;
+            }
+            VectorPlan::RelativeEntropy { .. } => {
+                any = true;
+                linear = false;
+            }
+            VectorPlan::RankOrder { .. } => {
+                any = true;
+                linear = false;
+                entropy = false;
+            }
+        }
+    }
+    if !any {
+        return FastPath::General;
+    }
+    let mut defaults = vec![0.0f64; stride];
+    for plan in plans {
+        match plan {
+            VectorPlan::NaiveBayes {
+                offset, default, ..
+            } => defaults[*offset] = *default,
+            VectorPlan::RelativeEntropy {
+                offset,
+                default_pos,
+                default_neg,
+            } => {
+                defaults[*offset] = *default_pos;
+                defaults[*offset + 1] = *default_neg;
+            }
+            _ => {}
+        }
+    }
+    if linear {
+        FastPath::Linear { defaults }
+    } else if entropy {
+        FastPath::Entropy { defaults }
+    } else {
+        FastPath::General
+    }
+}
+
+/// Narrow one matrix weight to the quantised lane. The nearest-`f32`
+/// cast is exact for rank lanes (small integers and −1.0) and within
+/// half an ULP elsewhere; values whose magnitude underflows to zero are
+/// clamped to the smallest normal-direction `f32` so Relative Entropy's
+/// `f64::MIN_POSITIVE`-clamped distributions never become a division by
+/// zero (`p / 0.0 = ∞` would poison the score).
+fn quantize_weight(w: f64) -> f32 {
+    let narrowed = w as f32;
+    if narrowed == 0.0 && w != 0.0 {
+        // The cast preserves the sign in the underflowed zero.
+        f32::MIN_POSITIVE.copysign(narrowed)
+    } else if narrowed.is_infinite() && w.is_finite() {
+        f32::MAX.copysign(narrowed)
+    } else {
+        narrowed
     }
 }
 

@@ -29,12 +29,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 
 pub mod cctld;
 pub mod combine;
 pub mod compile;
 pub mod decision_tree;
 pub mod knn;
+pub mod lanes;
 pub mod markov;
 pub mod maxent;
 pub mod model;

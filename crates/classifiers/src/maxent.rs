@@ -25,9 +25,26 @@
 //! update `λ_{y,j} += (1/C) · ln(E_emp[f_j·1_y] / E_model[f_j·1_y])`.
 
 use crate::compile::{CompileScorer, Lowering};
+use crate::lanes;
 use crate::model::VectorClassifier;
 use serde::{Deserialize, Serialize};
+use urlid_features::parallel::par_map;
 use urlid_features::SparseVector;
+
+/// Interior expectation shards per GIS iteration. A **constant** (never
+/// derived from the job count), so the shard structure — and therefore
+/// the exact floating-point fold — is a pure function of the training
+/// data: `train_jobs` is bit-identical at any `jobs`.
+const EXPECTATION_SHARDS: usize = 16;
+
+/// One shard's zero-initialised slice of an iteration's model
+/// expectations (the map half of the expectation map-reduce).
+struct ExpectationPartial {
+    mod_pos: Vec<f64>,
+    mod_neg: Vec<f64>,
+    slack_pos: f64,
+    slack_neg: f64,
+}
 
 /// Configuration for Maximum Entropy training.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -77,10 +94,29 @@ pub struct MaxEnt {
 
 impl MaxEnt {
     /// Train from positive and negative example feature vectors.
+    ///
+    /// Each GIS iteration's model-expectation pass runs as a
+    /// deterministic map-reduce over `EXPECTATION_SHARDS` fixed
+    /// shards, folded in ascending shard order — `train` is exactly
+    /// [`MaxEnt::train_jobs`] with one worker, and both produce the
+    /// same bits at any job count.
     pub fn train(
         positives: &[SparseVector],
         negatives: &[SparseVector],
         config: MaxEntConfig,
+    ) -> Self {
+        Self::train_jobs(positives, negatives, config, 1)
+    }
+
+    /// [`MaxEnt::train`] with up to `jobs` worker threads executing the
+    /// per-iteration expectation shards. The shard structure and fold
+    /// order are fixed, so the trained model is **bit-identical** at
+    /// any `jobs` value (proven by `tests/training_parity.rs`).
+    pub fn train_jobs(
+        positives: &[SparseVector],
+        negatives: &[SparseVector],
+        config: MaxEntConfig,
+        jobs: usize,
     ) -> Self {
         assert!(
             !positives.is_empty() && !negatives.is_empty(),
@@ -131,31 +167,54 @@ impl MaxEnt {
             .map(|v| (v, true))
             .chain(negatives.iter().map(|v| (v, false)))
             .collect();
+        // Fixed interior shard structure: a function of the example
+        // count alone, so `jobs` only decides who runs a shard, never
+        // what a shard contains.
+        let shard_len = all.len().div_ceil(EXPECTATION_SHARDS).max(1);
+        let shards: Vec<&[(&SparseVector, bool)]> = all.chunks(shard_len).collect();
 
         for _ in 0..config.iterations {
-            // Model expectations under current weights.
+            // Map: each shard accumulates its examples' contributions
+            // into zero-initialised partials, serially within the shard.
+            let partials = par_map(jobs, &shards, |shard| {
+                let mut partial = ExpectationPartial {
+                    mod_pos: vec![0.0; dim],
+                    mod_neg: vec![0.0; dim],
+                    slack_pos: 0.0,
+                    slack_neg: 0.0,
+                };
+                for (v, _) in *shard {
+                    let slack = c - v.sum();
+                    let s_pos = v.dot_dense(&w_pos) + w_slack_pos * slack;
+                    let s_neg = v.dot_dense(&w_neg) + w_slack_neg * slack;
+                    let max = s_pos.max(s_neg);
+                    let e_pos = (s_pos - max).exp();
+                    let e_neg = (s_neg - max).exp();
+                    let z = e_pos + e_neg;
+                    let p_pos = e_pos / z;
+                    let p_neg = e_neg / z;
+                    v.add_to_dense(&mut partial.mod_pos, p_pos);
+                    v.add_to_dense(&mut partial.mod_neg, p_neg);
+                    partial.slack_pos += p_pos * slack;
+                    partial.slack_neg += p_neg * slack;
+                }
+                partial
+            });
+
+            // Reduce: fold the partials onto the smoothing-initialised
+            // totals in ascending shard order (the chunked elementwise
+            // add is bit-identical to the scalar loop; see
+            // `crate::lanes`).
             let mut mod_pos = vec![config.smoothing; dim];
             let mut mod_neg = vec![config.smoothing; dim];
             let mut mod_slack_pos = config.smoothing;
             let mut mod_slack_neg = config.smoothing;
-
-            for (v, _) in &all {
-                let slack = c - v.sum();
-                let s_pos = v.dot_dense(&w_pos) + w_slack_pos * slack;
-                let s_neg = v.dot_dense(&w_neg) + w_slack_neg * slack;
-                let max = s_pos.max(s_neg);
-                let e_pos = (s_pos - max).exp();
-                let e_neg = (s_neg - max).exp();
-                let z = e_pos + e_neg;
-                let p_pos = e_pos / z;
-                let p_neg = e_neg / z;
-                v.add_to_dense(&mut mod_pos, p_pos);
-                v.add_to_dense(&mut mod_neg, p_neg);
-                mod_slack_pos += p_pos * slack;
-                mod_slack_neg += p_neg * slack;
+            for partial in &partials {
+                lanes::add_assign(&mut mod_pos, &partial.mod_pos);
+                lanes::add_assign(&mut mod_neg, &partial.mod_neg);
+                mod_slack_pos += partial.slack_pos;
+                mod_slack_neg += partial.slack_neg;
             }
-            mod_pos.resize(dim, config.smoothing);
-            mod_neg.resize(dim, config.smoothing);
 
             // GIS updates.
             for j in 0..dim {
@@ -320,6 +379,32 @@ mod tests {
         let (pos, neg) = toy_training();
         let me = MaxEnt::train(&pos, &neg, MaxEntConfig::with_iterations(8, 0));
         assert_eq!(me.score(&vec_of(&[0, 1])), 0.0);
+    }
+
+    #[test]
+    fn interior_sharding_is_bit_identical_at_any_job_count() {
+        // Enough examples that the fixed shard structure has several
+        // multi-example shards (40 examples over 16 shards).
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        for k in 0..20u32 {
+            pos.push(vec_of(&[k % 4, (k + 1) % 4, 8 + k % 3]));
+            neg.push(vec_of(&[4 + k % 4, 11 + k % 5]));
+        }
+        let config = MaxEntConfig::with_iterations(16, 7);
+        let base = MaxEnt::train_jobs(&pos, &neg, config, 1);
+        let base_json = serde_json::to_string(&base).unwrap();
+        for jobs in [2, 3, 5, 16] {
+            let other = MaxEnt::train_jobs(&pos, &neg, config, jobs);
+            assert_eq!(
+                base_json,
+                serde_json::to_string(&other).unwrap(),
+                "jobs={jobs} diverges from jobs=1"
+            );
+        }
+        // And the plain entry point is the one-worker schedule.
+        let plain = MaxEnt::train(&pos, &neg, config);
+        assert_eq!(base_json, serde_json::to_string(&plain).unwrap());
     }
 
     #[test]

@@ -155,6 +155,21 @@ impl LanguageClassifierSet {
         ));
     }
 
+    /// [`LanguageClassifierSet::compile`], then switch the plane onto
+    /// the opt-in quantised `f32` weight lane: half the matrix memory
+    /// traffic per scored feature, in exchange for scores that are only
+    /// tolerance-close (not bit-identical) to interpreted. Decisions
+    /// are expected to agree — the differential suite measures the
+    /// score perturbation and asserts decision parity across every
+    /// recipe — but `f64` (plain [`LanguageClassifierSet::compile`])
+    /// remains the default and the oracle.
+    pub fn compile_f32(&mut self) {
+        self.compile();
+        if let Some(plane) = &mut self.compiled {
+            plane.quantize_f32();
+        }
+    }
+
     /// Drop the compiled plane, reverting every entry point to the
     /// interpreted path (used by benchmarks to measure the baseline).
     pub fn clear_compiled(&mut self) {
@@ -164,6 +179,16 @@ impl LanguageClassifierSet {
     /// Is a compiled scoring plane active?
     pub fn is_compiled(&self) -> bool {
         self.compiled.is_some()
+    }
+
+    /// The active weight lane: `"f32"` when a compiled plane runs the
+    /// quantised lane, `"f64"` otherwise (exact scoring — interpreted
+    /// or compiled).
+    pub fn weight_lane(&self) -> &'static str {
+        match &self.compiled {
+            Some(plane) if plane.is_f32() => "f32",
+            _ => "f64",
+        }
     }
 
     /// The shared feature extractor, if the set scores vectors.
@@ -268,7 +293,10 @@ impl LanguageClassifierSet {
 
     /// Extract through the plane's interned vocabulary (falling back to
     /// the shared extractor for non-lowerable extractors), when any
-    /// scorer needs the vector.
+    /// scorer needs the vector. The interned path fills and then takes
+    /// `scratch.vector` — callers hand the vector back through
+    /// [`LanguageClassifierSet::return_vector`] so its storage is
+    /// reused across URLs (the zero-allocation steady state).
     fn extract_compiled(
         &self,
         plane: &CompiledPlane,
@@ -279,13 +307,24 @@ impl LanguageClassifierSet {
             return None;
         }
         Some(match plane.transform() {
-            Some(transform) => transform.extract(url, scratch),
+            Some(transform) => {
+                transform.extract_into(url, scratch);
+                std::mem::take(&mut scratch.vector)
+            }
             None => self
                 .extractor
                 .as_ref()
                 .expect("invariant: vector scorers imply a shared extractor")
                 .transform_with(url, scratch),
         })
+    }
+
+    /// Give the extracted vector's storage back to the scratch (see
+    /// [`LanguageClassifierSet::extract_compiled`]).
+    fn return_vector(scratch: &mut ExtractScratch, vector: Option<SparseVector>) {
+        if let Some(vector) = vector {
+            scratch.vector = vector;
+        }
     }
 
     /// The compiled scoring path: extract once through the interned
@@ -301,9 +340,9 @@ impl LanguageClassifierSet {
         let vector = self.extract_compiled(plane, url, scratch);
         let mut out = [None; 5];
         if let Some(vector) = &vector {
-            plane.score_vectors(vector, &mut out);
+            plane.score_vectors(vector, &mut scratch.ranked, &mut out);
         }
-        plane.score_markov(url, &mut scratch.token, &mut out);
+        plane.score_markov(url, scratch, &mut out);
         for (i, scorer) in self.scorers.iter().enumerate() {
             if out[i].is_none() {
                 if let Some(scorer) = scorer {
@@ -318,6 +357,7 @@ impl LanguageClassifierSet {
                 }
             }
         }
+        Self::return_vector(scratch, vector);
         out
     }
 
@@ -373,9 +413,9 @@ impl LanguageClassifierSet {
         let vector = self.extract_compiled(plane, url, scratch);
         let mut scores = [None; 5];
         if let Some(vector) = &vector {
-            plane.score_vectors(vector, &mut scores);
+            plane.score_vectors(vector, &mut scratch.ranked, &mut scores);
         }
-        plane.score_markov(url, &mut scratch.token, &mut scores);
+        plane.score_markov(url, scratch, &mut scores);
         let mut out = [false; 5];
         for (i, scorer) in self.scorers.iter().enumerate() {
             if let Some(scorer) = scorer {
@@ -400,6 +440,7 @@ impl LanguageClassifierSet {
                 };
             }
         }
+        Self::return_vector(scratch, vector);
         out
     }
 

@@ -396,6 +396,20 @@ pub(crate) fn train_model(
     dim: usize,
     config: &TrainingConfig,
 ) -> AnyModel {
+    train_model_jobs(positives, negatives, dim, config, 1)
+}
+
+/// [`train_model`] with up to `jobs` workers on the algorithms that
+/// parallelise *inside* one language's training (MaxEnt's per-iteration
+/// expectation shards). Bit-identical at any `jobs` — the interior
+/// shard structure is a constant of the data, never of the job count.
+pub(crate) fn train_model_jobs(
+    positives: &[SparseVector],
+    negatives: &[SparseVector],
+    dim: usize,
+    config: &TrainingConfig,
+    jobs: usize,
+) -> AnyModel {
     match config.algorithm {
         Algorithm::NaiveBayes => AnyModel::NaiveBayes(NaiveBayes::train(
             positives,
@@ -407,10 +421,11 @@ pub(crate) fn train_model(
             negatives,
             RelativeEntropyConfig::for_dim(dim),
         )),
-        Algorithm::MaxEnt => AnyModel::MaxEnt(MaxEnt::train(
+        Algorithm::MaxEnt => AnyModel::MaxEnt(MaxEnt::train_jobs(
             positives,
             negatives,
             MaxEntConfig::with_iterations(dim, config.maxent_iterations),
+            jobs,
         )),
         Algorithm::DecisionTree => AnyModel::DecisionTree(DecisionTree::train(
             positives,
@@ -523,6 +538,7 @@ fn train_model_from_vectors(
     neg_idx: &[usize],
     dim: usize,
     config: &TrainingConfig,
+    jobs: usize,
 ) -> AnyModel {
     match config.algorithm {
         // Count-based algorithms fold mergeable statistics — no
@@ -543,7 +559,7 @@ fn train_model_from_vectors(
                 pos_idx.iter().map(|&i| vectors[i].clone()).collect();
             let negatives: Vec<SparseVector> =
                 neg_idx.iter().map(|&i| vectors[i].clone()).collect();
-            train_model(&positives, &negatives, dim, config)
+            train_model_jobs(&positives, &negatives, dim, config, jobs)
         }
     }
 }
@@ -573,9 +589,19 @@ pub(crate) fn train_pipeline(
     let vectors: Vec<SparseVector> = chunks.into_iter().flatten().collect();
 
     let dim = extractor.dim();
+    // Languages train concurrently, and the iterative algorithms
+    // additionally shard *inside* one language's training (MaxEnt's
+    // expectation map-reduce) — both layers bit-identical at any jobs.
     let models = par_map(opts.effective_jobs(), &ALL_LANGUAGES, |&lang| {
         let (pos_idx, neg_idx) = sample_indices(training, lang, config);
-        train_model_from_vectors(&vectors, &pos_idx, &neg_idx, dim, config)
+        train_model_from_vectors(
+            &vectors,
+            &pos_idx,
+            &neg_idx,
+            dim,
+            config,
+            opts.effective_jobs(),
+        )
     });
     (extractor, models)
 }

@@ -57,16 +57,29 @@ impl CompiledTransform {
     /// `transform_with` produces (asserted by this module's tests and by
     /// the workspace-level differential suite).
     pub fn extract(&self, url: &str, scratch: &mut ExtractScratch) -> SparseVector {
+        self.extract_into(url, scratch);
+        std::mem::take(&mut scratch.vector)
+    }
+
+    /// Like [`CompiledTransform::extract`], but the result lands in
+    /// `scratch.vector` so its entry storage is reused across URLs: a
+    /// warm extraction performs **zero heap allocations**.
+    pub fn extract_into(&self, url: &str, scratch: &mut ExtractScratch) {
         match self {
             CompiledTransform::Words { vocab, tokenizer } => {
-                let ExtractScratch { token, indices, .. } = scratch;
+                let ExtractScratch {
+                    token,
+                    indices,
+                    vector,
+                    ..
+                } = scratch;
                 indices.clear();
                 tokenizer.for_each_token(url, token, |tok| {
                     if let Some(i) = vocab.get(tok.as_bytes()) {
                         indices.push(i);
                     }
                 });
-                SparseVector::from_index_buffer(indices)
+                vector.refill_from_index_buffer(indices);
             }
             CompiledTransform::Trigrams {
                 vocab,
@@ -74,7 +87,10 @@ impl CompiledTransform {
                 n,
             } => {
                 let ExtractScratch {
-                    padded, indices, ..
+                    padded,
+                    indices,
+                    vector,
+                    ..
                 } = scratch;
                 indices.clear();
                 for token in tokenizer.iter(url) {
@@ -84,7 +100,7 @@ impl CompiledTransform {
                         }
                     });
                 }
-                SparseVector::from_index_buffer(indices)
+                vector.refill_from_index_buffer(indices);
             }
         }
     }

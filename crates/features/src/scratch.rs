@@ -20,6 +20,15 @@ pub struct ExtractScratch {
     pub padded: String,
     /// Vocabulary-index hits of the current URL.
     pub indices: Vec<u32>,
+    /// Reusable output vector for compiled extraction
+    /// ([`crate::CompiledTransform::extract_into`]): with it, a warm
+    /// word/trigram extraction allocates nothing at all.
+    pub vector: crate::SparseVector,
+    /// Rank-order scoring scratch (the rank-sorted view of a vector).
+    pub ranked: Vec<(u32, f64)>,
+    /// Byte scratch for per-token character encodings (the fused
+    /// Markov pass).
+    pub bytes: Vec<u8>,
 }
 
 impl ExtractScratch {

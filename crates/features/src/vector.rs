@@ -69,6 +69,22 @@ impl SparseVector {
         Self { entries }
     }
 
+    /// Rebuild this vector in place by counting the indices in a
+    /// caller-owned buffer, sorting it in place. Produces exactly the
+    /// same vector as [`SparseVector::from_index_buffer`] on the same
+    /// indices, but reuses this vector's entry storage — the steady
+    /// state of a warm scoring loop allocates nothing here.
+    pub fn refill_from_index_buffer(&mut self, indices: &mut [u32]) {
+        indices.sort_unstable();
+        self.entries.clear();
+        for &i in indices.iter() {
+            match self.entries.last_mut() {
+                Some((last, count)) if *last == i => *count += 1.0,
+                _ => self.entries.push((i, 1.0)),
+            }
+        }
+    }
+
     /// Number of non-zero entries.
     pub fn nnz(&self) -> usize {
         self.entries.len()
@@ -236,6 +252,29 @@ mod tests {
         assert_eq!(c.get(2), 3.0);
         assert_eq!(c.get(3), 4.0);
         assert_eq!(c.nnz(), 3);
+    }
+
+    #[test]
+    fn refill_matches_from_index_buffer_and_reuses_storage() {
+        let mut v = SparseVector::new();
+        for raw in [
+            vec![],
+            vec![7u32],
+            vec![3, 1, 3, 3, 2],
+            vec![9, 9, 9, 9],
+            vec![0, 1],
+        ] {
+            let mut a = raw.clone();
+            let mut b = raw.clone();
+            v.refill_from_index_buffer(&mut a);
+            assert_eq!(v, SparseVector::from_index_buffer(&mut b), "{raw:?}");
+        }
+        // After the first non-trivial refill the storage is warm: a
+        // same-size refill must not grow capacity.
+        let capacity = v.entries.capacity();
+        v.refill_from_index_buffer(&mut [4, 4, 1]);
+        assert_eq!(v.entries.capacity(), capacity);
+        assert_eq!(v.get(4), 2.0);
     }
 
     #[test]

@@ -44,9 +44,12 @@ USAGE:
   urlid identify --model <model.json> [<url> ...]      (reads stdin when no URLs given)
   urlid evaluate --model <model.json> --data <dataset.json>
   urlid serve    --model <model.json> [--addr <host:port>] [--threads <n>]
-                 [--cache-capacity <n>]
+                 [--cache-capacity <n>] [--weights f64|f32]
                  (--threads sizes the scoring pool; connections are
-                  multiplexed by one reactor thread regardless)
+                  multiplexed by one reactor thread regardless.
+                  --weights f32 serves the quantised f32 weight lane:
+                  half the matrix bytes, identical decisions, scores
+                  within the documented tolerance)
 ";
 
 /// A tiny `--key value` argument map.
@@ -288,14 +291,22 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         .unwrap_or("65536")
         .parse()
         .map_err(|_| "bad --cache-capacity")?;
-    let state = Arc::new(ServerState::new(
+    let f32_weights = match args.get("weights").unwrap_or("f64") {
+        "f64" => false,
+        "f32" => true,
+        other => return Err(format!("unknown --weights {other:?} (f64|f32)")),
+    };
+    let state = Arc::new(ServerState::with_weights(
         identifier,
         Some(model_path.clone()),
         cache_capacity,
+        urlid_serve::cache::ResultCache::DEFAULT_SHARDS,
+        f32_weights,
     ));
+    let lane = if f32_weights { "f32" } else { "f64" };
     let handle = spawn(&config, state).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
     eprintln!(
-        "serving {} on http://{} (cache capacity {cache_capacity}; POST /admin/reload to hot-swap)",
+        "serving {} on http://{} ({lane} weights; cache capacity {cache_capacity}; POST /admin/reload to hot-swap)",
         model_path.display(),
         handle.addr()
     );

@@ -77,31 +77,37 @@ impl ScoringPool {
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("urlid-serve-score-{i}"))
-                    .spawn(move || loop {
-                        // A poisoned lock or closed channel both mean
-                        // the server is coming down — exit quietly, no
-                        // panic cascade.
-                        let received = match job_rx.lock() {
-                            Ok(rx) => rx.recv(),
-                            Err(_) => return,
-                        };
-                        let Ok(job) = received else { return };
-                        let (status, body) = route(&state, &job.request);
-                        let keep_alive = job.request.keep_alive;
-                        let completion = Completion {
-                            token: job.token,
-                            response: http::response_bytes(status, &body, keep_alive),
-                            keep_alive,
-                        };
-                        if completions.send(completion).is_err() {
-                            return; // reactor gone
-                        }
-                        // Send-then-increment pairs with the reactor's
-                        // swap(0)-then-drain (see module docs): only
-                        // the first completion of a burst pays the
-                        // wake syscall.
-                        if pending.fetch_add(1, Ordering::AcqRel) == 0 {
-                            waker.wake();
+                    .spawn(move || {
+                        // Each worker owns one extraction scratch for
+                        // its whole lifetime: after warm-up, scoring a
+                        // cache-missed URL allocates nothing.
+                        let mut scratch = urlid_features::ExtractScratch::new();
+                        loop {
+                            // A poisoned lock or closed channel both mean
+                            // the server is coming down — exit quietly, no
+                            // panic cascade.
+                            let received = match job_rx.lock() {
+                                Ok(rx) => rx.recv(),
+                                Err(_) => return,
+                            };
+                            let Ok(job) = received else { return };
+                            let (status, body) = route(&state, &job.request, &mut scratch);
+                            let keep_alive = job.request.keep_alive;
+                            let completion = Completion {
+                                token: job.token,
+                                response: http::response_bytes(status, &body, keep_alive),
+                                keep_alive,
+                            };
+                            if completions.send(completion).is_err() {
+                                return; // reactor gone
+                            }
+                            // Send-then-increment pairs with the reactor's
+                            // swap(0)-then-drain (see module docs): only
+                            // the first completion of a burst pays the
+                            // wake syscall.
+                            if pending.fetch_add(1, Ordering::AcqRel) == 0 {
+                                waker.wake();
+                            }
                         }
                     })?,
             );

@@ -43,6 +43,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use urlid::LanguageIdentifier;
 use urlid_classifiers::LanguageClassifierSet;
+use urlid_features::ExtractScratch;
 use urlid_lexicon::ALL_LANGUAGES;
 
 /// Server configuration (everything has serving-friendly defaults).
@@ -97,6 +98,10 @@ pub struct ServerState {
     slot: RwLock<ModelSlot>,
     cache: ResultCache,
     metrics: Metrics,
+    /// Serve the compiled plane's quantised `f32` weight lane instead of
+    /// the exact `f64` default. Remembered here so `/admin/reload`
+    /// re-applies the lane to every freshly loaded model.
+    f32_weights: bool,
 }
 
 impl ServerState {
@@ -133,6 +138,25 @@ impl ServerState {
         cache_capacity: usize,
         cache_shards: usize,
     ) -> Self {
+        Self::with_weights(identifier, model_path, cache_capacity, cache_shards, false)
+    }
+
+    /// [`ServerState::with_shards`] plus a weight-lane choice: with
+    /// `f32_weights` the identifier's compiled plane is re-compiled to
+    /// the quantised `f32` lane (half the matrix bytes, documented score
+    /// tolerance, identical accept/reject decisions in practice — see
+    /// the README's compiled-plane section), and every model swapped in
+    /// by `POST /admin/reload` gets the same treatment.
+    pub fn with_weights(
+        mut identifier: LanguageIdentifier,
+        model_path: Option<PathBuf>,
+        cache_capacity: usize,
+        cache_shards: usize,
+        f32_weights: bool,
+    ) -> Self {
+        if f32_weights {
+            identifier.classifier_set_mut().compile_f32();
+        }
         Self {
             slot: RwLock::new(ModelSlot {
                 identifier: Arc::new(identifier),
@@ -141,6 +165,7 @@ impl ServerState {
             }),
             cache: ResultCache::new(cache_capacity, cache_shards),
             metrics: Metrics::new(),
+            f32_weights,
         }
     }
 
@@ -184,7 +209,11 @@ impl ServerState {
         // Load and build the identifier *outside* the write lock.
         let bundle = urlid::ModelBundle::load(&path)
             .map_err(|e| format!("cannot reload {}: {e}", path.display()))?;
-        let identifier = Arc::new(bundle.into_identifier());
+        let mut identifier = bundle.into_identifier();
+        if self.f32_weights {
+            identifier.classifier_set_mut().compile_f32();
+        }
+        let identifier = Arc::new(identifier);
         let epoch = {
             let mut slot = self
                 .slot
@@ -202,13 +231,15 @@ impl ServerState {
         Ok(epoch)
     }
 
-    /// Score one normalised URL, through the cache.
-    fn scores_cached(&self, key: &str) -> (CachedScores, bool) {
+    /// Score one normalised URL, through the cache. Cache misses score
+    /// through the calling worker's reusable [`ExtractScratch`], so the
+    /// extract-and-score path allocates nothing in steady state.
+    fn scores_cached(&self, key: &str, scratch: &mut ExtractScratch) -> (CachedScores, bool) {
         let (identifier, epoch) = self.model();
         if let Some(scores) = self.cache.get(key, epoch) {
             return (scores, true);
         }
-        let scores = identifier.classifier_set().score_all(key);
+        let scores = identifier.classifier_set().score_all_with(key, scratch);
         self.cache.insert(key, epoch, scores);
         (scores, false)
     }
@@ -305,6 +336,12 @@ fn model_value(identifier: &LanguageIdentifier, epoch: u64, path: Option<&PathBu
         Value::Str(config.feature_set.short_label().to_owned()),
     );
     o.insert("epoch", Value::Uint(epoch));
+    // Which weight lane the compiled plane serves: exact "f64" or the
+    // opt-in quantised "f32" (`urlid serve --weights f32`).
+    o.insert(
+        "weights",
+        Value::Str(identifier.classifier_set().weight_lane().to_owned()),
+    );
     o.insert(
         "path",
         match path {
@@ -323,7 +360,11 @@ fn parse_json(body: &str) -> Result<Value, String> {
     serde_json::from_str::<Value>(body).map_err(|e| format!("invalid JSON body: {e}"))
 }
 
-fn handle_identify(state: &ServerState, req: &Request) -> (u16, String) {
+fn handle_identify(
+    state: &ServerState,
+    req: &Request,
+    scratch: &mut ExtractScratch,
+) -> (u16, String) {
     let started = Instant::now();
     let parsed = match parse_json(&req.body) {
         Ok(v) => v,
@@ -336,7 +377,7 @@ fn handle_identify(state: &ServerState, req: &Request) -> (u16, String) {
     if key.is_empty() {
         return (400, error_body("empty url"));
     }
-    let (scores, cached) = state.scores_cached(&key);
+    let (scores, cached) = state.scores_cached(&key, scratch);
     let body =
         serde_json::to_string(&result_value(&key, &scores, cached)).expect("response serialises");
     state.metrics.identify.fetch_add(1, Ordering::Relaxed);
@@ -456,10 +497,15 @@ fn handle_reload(state: &ServerState, req: &Request) -> (u16, String) {
     }
 }
 
-/// Route one request to its handler (runs on a scoring-pool thread).
-pub(crate) fn route(state: &ServerState, req: &Request) -> (u16, String) {
+/// Route one request to its handler (runs on a scoring-pool thread,
+/// which owns `scratch` — one reusable extraction buffer per worker).
+pub(crate) fn route(
+    state: &ServerState,
+    req: &Request,
+    scratch: &mut ExtractScratch,
+) -> (u16, String) {
     let response = match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/identify") => handle_identify(state, req),
+        ("POST", "/identify") => handle_identify(state, req, scratch),
         ("POST", "/identify_batch") => handle_identify_batch(state, req),
         ("GET", "/healthz") => handle_healthz(state),
         ("GET", "/metrics") => handle_metrics(state),

@@ -1,0 +1,205 @@
+//! The quantised `f32` weight lane against the exact `f64` compiled
+//! plane — the serving contract behind `urlid serve --weights f32`.
+//!
+//! `LanguageClassifierSet::compile_f32` re-compiles the plane and
+//! narrows the dense weight matrix to `f32` (the Markov character plane
+//! and all accumulators stay `f64`). The contract, checked here for
+//! **all fifteen algorithm × feature recipes**:
+//!
+//! * per-language scores stay within a relative tolerance of the exact
+//!   lane: `|f32 − f64| ≤ TOL · max(1, |f64|)`;
+//! * every accept/reject decision whose exact score clears that noise
+//!   floor is reproduced exactly (scores inside the floor — e.g. an
+//!   out-of-vocabulary URL whose divergences cancel to ±1e-15 — are
+//!   ties the exact lane itself only breaks by rounding residue);
+//! * the agreement holds on generated URLs of every language, the edge
+//!   shapes the serving layer sees (IP hosts, punycode, empty paths)
+//!   and arbitrary proptest inputs;
+//! * `weight_lane()` reports the lane honestly (it feeds the
+//!   `"weights"` field of `/healthz` and `/metrics`).
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use urlid::prelude::*;
+
+/// Relative score tolerance of the f32 lane — must match the tolerance
+/// `scorebench` documents and gates on (`f32_score_tolerance` in
+/// `BENCH_score.json`).
+const F32_SCORE_TOLERANCE: f64 = 1e-4;
+
+/// The fifteen persistable recipes of the paper grid (plus k-NN).
+fn recipes() -> Vec<TrainingConfig> {
+    let algorithms = [
+        Algorithm::NaiveBayes,
+        Algorithm::RelativeEntropy,
+        Algorithm::MaxEnt,
+        Algorithm::DecisionTree,
+        Algorithm::KNearestNeighbors,
+    ];
+    let feature_sets = [
+        FeatureSetKind::Words,
+        FeatureSetKind::Trigrams,
+        FeatureSetKind::Custom,
+    ];
+    let mut out = Vec::new();
+    for algorithm in algorithms {
+        for feature_set in feature_sets {
+            out.push(TrainingConfig::new(feature_set, algorithm).with_maxent_iterations(6));
+        }
+    }
+    out
+}
+
+/// Every recipe trained once on a tiny corpus, as an (exact, quantised)
+/// pair built from the same trained bytes.
+fn trained_pairs() -> &'static Vec<(TrainingConfig, LanguageClassifierSet, LanguageClassifierSet)> {
+    static PAIRS: OnceLock<Vec<(TrainingConfig, LanguageClassifierSet, LanguageClassifierSet)>> =
+        OnceLock::new();
+    PAIRS.get_or_init(|| {
+        let mut generator = UrlGenerator::new(4242);
+        let training = odp_dataset(&mut generator, CorpusScale::tiny()).train;
+        recipes()
+            .into_iter()
+            .map(|config| {
+                let exact = train_classifier_set(&training, &config);
+                assert_eq!(exact.weight_lane(), "f64");
+                let mut quantized = train_classifier_set(&training, &config);
+                quantized.compile_f32();
+                assert_eq!(quantized.weight_lane(), "f32");
+                (config, exact, quantized)
+            })
+            .collect()
+    })
+}
+
+/// The f32 lane must stay within tolerance of the exact lane on `url`
+/// for every recipe, and reproduce every confident decision.
+fn assert_f32_agreement(url: &str) {
+    for (config, exact, quantized) in trained_pairs() {
+        let e = exact.score_all(url);
+        let q = quantized.score_all(url);
+        for lang in ALL_LANGUAGES {
+            let (Some(es), Some(qs)) = (e[lang.index()], q[lang.index()]) else {
+                panic!(
+                    "{:?}/{:?}: missing score on {:?} for {:?}",
+                    config.feature_set, config.algorithm, url, lang
+                );
+            };
+            let rel = (qs - es).abs() / es.abs().max(1.0);
+            assert!(
+                rel.is_finite() && rel <= F32_SCORE_TOLERANCE,
+                "{:?}/{:?} f32 score drift {rel:e} exceeds {F32_SCORE_TOLERANCE:e} \
+                 on {:?} for {:?}: f64 {es} vs f32 {qs}",
+                config.feature_set,
+                config.algorithm,
+                url,
+                lang
+            );
+            // Decision = score > 0 (the proptested sign convention).
+            // Only gate decisions whose exact score clears the noise
+            // floor; a |score| of 1e-15 is a coin toss either lane only
+            // "decides" by rounding residue.
+            if es.abs() > F32_SCORE_TOLERANCE {
+                assert_eq!(
+                    es > 0.0,
+                    qs > 0.0,
+                    "{:?}/{:?} f32 decision flips on {:?} for {:?}: f64 {es} vs f32 {qs}",
+                    config.feature_set,
+                    config.algorithm,
+                    url,
+                    lang
+                );
+            }
+        }
+    }
+}
+
+/// Generated URLs of every language plus the edge shapes the serving
+/// layer sees in the wild.
+fn fixed_sample() -> Vec<String> {
+    let mut generator = UrlGenerator::new(2026);
+    let profile = urlid::corpus::DatasetProfile::web_crawl();
+    let mut urls = Vec::new();
+    for lang in ALL_LANGUAGES {
+        urls.extend(generator.generate_many(lang, &profile, 8));
+    }
+    for odd in [
+        "http://192.168.0.1/index.html",
+        "http://127.0.0.1:8080/de/page",
+        "http://xn--mnchen-3ya.de/strasse",
+        "http://xn--caf-dma.fr/",
+        "",
+        "http://",
+        "http://12345.67/89",
+        "http://www./index.html",
+        "ftp://odd.scheme.example/path",
+        "https://example.co.uk/weather?q=1&l=2",
+        "http://wetter.de/wetter/wetter/wetter",
+    ] {
+        urls.push(odd.to_owned());
+    }
+    urls
+}
+
+#[test]
+fn f32_lane_matches_f64_on_generated_and_edge_urls_for_all_recipes() {
+    for url in fixed_sample() {
+        assert_f32_agreement(&url);
+    }
+}
+
+#[test]
+fn f32_lane_reports_its_weight_lane_and_stays_compiled() {
+    for (config, exact, quantized) in trained_pairs() {
+        assert!(
+            exact.is_compiled() && quantized.is_compiled(),
+            "{:?}/{:?}: both lanes must serve the compiled plane",
+            config.feature_set,
+            config.algorithm
+        );
+        assert_eq!(exact.weight_lane(), "f64");
+        assert_eq!(quantized.weight_lane(), "f32");
+    }
+}
+
+#[test]
+fn recompiling_to_f64_restores_bit_exact_scores() {
+    // `compile()` after `compile_f32()` must rebuild the exact lane —
+    // the serving layer relies on this when a reload flips the flag.
+    let mut generator = UrlGenerator::new(77);
+    let training = odp_dataset(&mut generator, CorpusScale::tiny()).train;
+    let config = TrainingConfig::paper_best();
+    let exact = train_classifier_set(&training, &config);
+    let mut round_trip = train_classifier_set(&training, &config);
+    round_trip.compile_f32();
+    round_trip.compile();
+    assert_eq!(round_trip.weight_lane(), "f64");
+    for url in fixed_sample() {
+        assert_eq!(
+            exact.score_all(&url),
+            round_trip.score_all(&url),
+            "f64 → f32 → f64 round trip is not bit-exact on {url}"
+        );
+    }
+}
+
+/// URL-ish inputs: hosts, IPs, punycode, paths, queries — plus pure
+/// noise.
+fn url_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "(https?://)?[a-zA-Z0-9.-]{0,40}(/[a-zA-Z0-9._~%-]{0,15}){0,3}(\\?[a-z=&]{0,10})?",
+        "http://[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}(:[0-9]{1,5})?/[a-z/]{0,12}",
+        "http://xn--[a-z0-9-]{1,16}\\.[a-z]{2,3}/[a-z]{0,10}",
+        "http://[0-9.]{1,12}/[0-9_%-]{0,8}",
+        ".{0,80}",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn f32_lane_agrees_on_arbitrary_urls(url in url_strategy()) {
+        assert_f32_agreement(&url);
+    }
+}

@@ -94,6 +94,61 @@ fn every_recipe_trains_bit_identically_at_any_job_count() {
 }
 
 #[test]
+fn maxent_interior_sharding_is_bit_identical_at_any_job_count() {
+    // MaxEnt is the one algorithm whose *interior* is parallel: every
+    // GIS iteration map-reduces the model-expectation accumulation over
+    // a fixed number of example shards (a constant, never derived from
+    // the job count) and folds the partials in ascending shard order.
+    // Proven here through the public API: `MaxEnt::train_jobs` at any
+    // job count persists the exact bytes of the serial trainer, and the
+    // whole-pipeline MaxEnt recipes stay byte-identical when the job
+    // count only changes how many threads run those interior shards.
+    use urlid::classifiers::{MaxEnt, MaxEntConfig};
+    use urlid::features::SparseVector;
+
+    let vector = |raw: &[u32]| {
+        let mut indices = raw.to_vec();
+        SparseVector::from_index_buffer(&mut indices)
+    };
+    let positives: Vec<SparseVector> = (0..37)
+        .map(|i| vector(&[i % 11, (i * 7 + 1) % 23, (i * 3) % 5]))
+        .collect();
+    let negatives: Vec<SparseVector> = (0..41)
+        .map(|i| vector(&[(i * 5 + 2) % 23, (i * 13) % 17]))
+        .collect();
+    let config = MaxEntConfig::with_iterations(23, 8);
+    let serial = MaxEnt::train_jobs(&positives, &negatives, config, 1);
+    let baseline = serde_json::to_string(&serial).unwrap();
+    for jobs in [2, 3, 8, 32] {
+        let parallel = MaxEnt::train_jobs(&positives, &negatives, config, jobs);
+        assert_eq!(
+            baseline,
+            serde_json::to_string(&parallel).unwrap(),
+            "MaxEnt interior sharding diverges at jobs={jobs}"
+        );
+    }
+
+    // And end to end: the pipeline threads its job count into the
+    // MaxEnt interior, so sweeping jobs with the shard structure fixed
+    // must keep the persisted bundle byte-identical.
+    let training = tiny_training();
+    let config =
+        TrainingConfig::new(FeatureSetKind::Words, Algorithm::MaxEnt).with_maxent_iterations(8);
+    let one =
+        ModelBundle::train_with(&training, &config, TrainOptions { jobs: 1, shards: 7 }).unwrap();
+    let baseline = one.to_json().unwrap();
+    for jobs in [2, 5, 16] {
+        let many =
+            ModelBundle::train_with(&training, &config, TrainOptions { jobs, shards: 7 }).unwrap();
+        assert_eq!(
+            baseline,
+            many.to_json().unwrap(),
+            "pipeline MaxEnt diverges at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
 fn trained_bytes_are_invariant_under_the_shard_count() {
     // `--shards` is a work-granularity knob, not an arithmetic one: the
     // sharded reduces are exact (integer vocabulary counts, ordered
