@@ -8,7 +8,7 @@
 //! **compiled plane** (arena-interned vocabulary, fused language-major
 //! dense-weight matrix, exact `f64` weights), and through the compiled
 //! plane's opt-in **quantised `f32` weight lane** — and writes the
-//! timings to `BENCH_score.json` (`"schema": 2`):
+//! timings to `BENCH_score.json` (`"schema": 3`):
 //!
 //! ```text
 //! cargo run --release -p urlid-bench --bin scorebench -- \
@@ -26,7 +26,11 @@
 //!   stay within [`F32_SCORE_TOLERANCE`] (relative) of the `f64` scores;
 //! * the uniform-plane recipes (words/trigrams × nb/re/me) must score a
 //!   warm probe pass with **zero heap allocations**, proven by the
-//!   counting global allocator below.
+//!   counting global allocator below;
+//! * the same zero-allocation contract must hold through the
+//!   **instrumented split path** (`score_all_with_split`, the serve
+//!   layer's per-stage telemetry), whose scores must also match the
+//!   untimed path bit-for-bit — telemetry is observation, not a fork.
 
 use serde::Serialize;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -106,6 +110,18 @@ struct RecipeBench {
     /// Heap allocations per URL during a warm sequential scoring pass
     /// (reused `ExtractScratch`, counting global allocator).
     steady_allocs_per_url: f64,
+    /// Same audit through the instrumented `score_all_with_split` path
+    /// (per-stage telemetry enabled). Gated exactly like
+    /// `steady_allocs_per_url` — telemetry must not allocate.
+    split_allocs_per_url: f64,
+    /// Warm single-threaded throughput of the untimed scoring path
+    /// (URLs/second, best of `reps`). Informational.
+    plain_path_rps: f64,
+    /// Warm single-threaded throughput with per-stage timing enabled
+    /// (`score_all_with_split`). Informational: the gap to
+    /// `plain_path_rps` is the raw cost of three `Instant` reads per
+    /// URL on a sub-microsecond hot loop.
+    split_path_rps: f64,
     /// Must this recipe score with zero steady-state allocations?
     /// True for the uniform-plane recipes: words/trigrams × nb/re/me.
     zero_alloc_required: bool,
@@ -145,6 +161,10 @@ struct ScoreBenchReport {
     f32_parity_all: bool,
     /// Every zero-alloc-required recipe measured 0 allocations/URL.
     zero_alloc_ok: bool,
+    /// Every zero-alloc-required recipe also measured 0 allocations/URL
+    /// through the instrumented split path, and the split path's scores
+    /// matched the untimed path on every probe URL.
+    split_path_ok: bool,
 }
 
 struct Config {
@@ -229,6 +249,59 @@ fn steady_allocs_per_url(identifier: &LanguageIdentifier, urls: &[&str]) -> f64 
     (after - before) as f64 / urls.len().max(1) as f64
 }
 
+/// The [`steady_allocs_per_url`] audit through the instrumented
+/// `score_all_with_split` path, which is what the server's per-stage
+/// telemetry runs on. Also differentially checks that the split path
+/// returns the exact same scores as the untimed path (bit-for-bit:
+/// both route through the same extraction and scoring helpers).
+/// Returns (allocations per URL, scores matched everywhere).
+fn steady_split_allocs_per_url(identifier: &LanguageIdentifier, urls: &[&str]) -> (f64, bool) {
+    let set = identifier.classifier_set();
+    let mut scratch = ExtractScratch::new();
+    let mut scores_match = true;
+    for url in urls {
+        let plain = set.score_all_with(url, &mut scratch);
+        let (split, _) = set.score_all_with_split(url, &mut scratch);
+        if plain != split {
+            scores_match = false;
+        }
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for url in urls {
+        let _ = set.score_all_with_split(url, &mut scratch);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    let per_url = (after - before) as f64 / urls.len().max(1) as f64;
+    (per_url, scores_match)
+}
+
+/// Warm single-threaded throughputs of the untimed scoring path and the
+/// instrumented split path (URLs/second, best of `reps` each). The pair
+/// quantifies what per-stage telemetry costs on the raw hot loop —
+/// informational, not gated: three `Instant` reads are a fixed ~100ns
+/// against a ~400ns scoring loop, and the end-to-end ≤2% budget is
+/// enforced where it is meaningful, at the serve level (see CI).
+fn split_overhead_rps(identifier: &LanguageIdentifier, urls: &[&str], reps: usize) -> (f64, f64) {
+    let set = identifier.classifier_set();
+    let mut scratch = ExtractScratch::new();
+    let mut plain_best = f64::INFINITY;
+    let mut split_best = f64::INFINITY;
+    for _ in 0..reps {
+        let started = Instant::now();
+        for url in urls {
+            std::hint::black_box(set.score_all_with(url, &mut scratch));
+        }
+        plain_best = plain_best.min(started.elapsed().as_secs_f64());
+        let started = Instant::now();
+        for url in urls {
+            std::hint::black_box(set.score_all_with_split(url, &mut scratch));
+        }
+        split_best = split_best.min(started.elapsed().as_secs_f64());
+    }
+    let n = urls.len().max(1) as f64;
+    (n / plain_best, n / split_best)
+}
+
 fn run() -> Result<(), String> {
     let config = parse_args()?;
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -262,6 +335,7 @@ fn run() -> Result<(), String> {
     let mut equal_all = true;
     let mut f32_parity_all = true;
     let mut zero_alloc_ok = true;
+    let mut split_path_ok = true;
     for (feature_name, feature_set) in feature_sets {
         for (algorithm_name, algorithm) in algorithms {
             let tc = TrainingConfig::new(feature_set, algorithm)
@@ -340,6 +414,16 @@ fn run() -> Result<(), String> {
                 zero_alloc_ok = false;
             }
 
+            // The same audit with per-stage telemetry enabled: the
+            // split path must stay allocation-free on the same recipes
+            // and must return the exact same scores everywhere.
+            let (split_allocs, split_scores_match) = steady_split_allocs_per_url(&compiled, &probe);
+            if (zero_alloc_required && split_allocs > 0.0) || !split_scores_match {
+                split_path_ok = false;
+            }
+            let (plain_path_rps, split_path_rps) =
+                split_overhead_rps(&compiled, &probe, config.reps);
+
             // Warm-up once per leg, then best-of-reps.
             let _ = interpreted.identify_batch(&probe[..probe.len().min(256)]);
             let _ = compiled.identify_batch(&probe[..probe.len().min(256)]);
@@ -357,7 +441,7 @@ fn run() -> Result<(), String> {
                 "{feature_name:>8} + {algorithm_name:<3}  interpreted {interpreted_rps:9.0} u/s  \
                  compiled {compiled_rps:9.0} u/s ({speedup:4.2}x)  f32 {f32_rps:9.0} u/s \
                  ({f32_speedup:4.2}x, drift {f32_max_score_diff:.1e})  equal {equal}  \
-                 allocs/url {steady_allocs:.2}",
+                 allocs/url {steady_allocs:.2} (split {split_allocs:.2})",
             );
             recipes.push(RecipeBench {
                 features: feature_name.to_owned(),
@@ -372,6 +456,9 @@ fn run() -> Result<(), String> {
                 f32_decision_parity,
                 f32_max_score_diff,
                 steady_allocs_per_url: steady_allocs,
+                split_allocs_per_url: split_allocs,
+                plain_path_rps,
+                split_path_rps,
                 zero_alloc_required,
             });
         }
@@ -394,7 +481,7 @@ fn run() -> Result<(), String> {
     let f32_speedup_geomean = geomean(&mut recipes.iter().map(|r| r.f32_speedup));
     let report = ScoreBenchReport {
         bench: "score",
-        schema: 2,
+        schema: 3,
         unix_time: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
@@ -415,6 +502,7 @@ fn run() -> Result<(), String> {
         equal_all,
         f32_parity_all,
         zero_alloc_ok,
+        split_path_ok,
     };
     let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
     std::fs::write(&config.out, &json).map_err(|e| format!("cannot write {}: {e}", config.out))?;
@@ -422,7 +510,7 @@ fn run() -> Result<(), String> {
         "total probe time: interpreted {total_interpreted_secs:.2}s, compiled \
          {total_compiled_secs:.2}s, f32 {total_f32_secs:.2}s; geomean speedup {:.2}x \
          (f32 lane {:.2}x on top); equal {equal_all}; f32 parity {f32_parity_all}; \
-         zero-alloc {zero_alloc_ok}; wrote {}",
+         zero-alloc {zero_alloc_ok}; split path {split_path_ok}; wrote {}",
         report.identify_batch_speedup, report.f32_speedup_geomean, config.out
     );
     if !equal_all {
@@ -437,6 +525,13 @@ fn run() -> Result<(), String> {
     if !zero_alloc_ok {
         return Err(
             "allocation violation: a uniform-plane recipe allocated during warm scoring".to_owned(),
+        );
+    }
+    if !split_path_ok {
+        return Err(
+            "telemetry violation: the instrumented split path allocated on a \
+             uniform-plane recipe or returned different scores"
+                .to_owned(),
         );
     }
     Ok(())

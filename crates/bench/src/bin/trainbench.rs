@@ -4,7 +4,14 @@
 //! twice on the same sharded synthetic corpus — once at `--jobs 1`, once
 //! at `--jobs <cores>` — verifies the two models are **bit-identical**
 //! (serialised JSON equality plus score equality on a probe set), and
-//! writes the per-recipe timings to `BENCH_train.json`:
+//! writes the per-recipe timings to `BENCH_train.json` (`"schema": 3`).
+//!
+//! The parallel leg runs through [`ModelBundle::train_traced`], the
+//! instrumented pipeline behind `urlid train --verbose`: the bit-parity
+//! check against the untraced serial leg therefore doubles as a
+//! bench-scale proof that training observability never changes the
+//! model, and the trace's phase split (fit / vectorize / models) plus
+//! the GIS iteration count land in the report.
 //!
 //! ```text
 //! cargo run --release -p urlid-bench --bin trainbench -- \
@@ -32,6 +39,15 @@ struct RecipeBench {
     parallel_secs: f64,
     speedup: f64,
     parity: bool,
+    /// Extractor-fit phase of the traced parallel run, seconds.
+    fit_secs: f64,
+    /// Vectorize phase of the traced parallel run, seconds.
+    vectorize_secs: f64,
+    /// Model-training phase of the traced parallel run, seconds.
+    models_secs: f64,
+    /// Total GIS iterations observed across the five languages
+    /// (0 for non-iterative algorithms).
+    gis_iterations: u64,
 }
 
 #[derive(Debug, Serialize)]
@@ -106,7 +122,7 @@ fn parse_args() -> Result<Config, String> {
     Ok(config)
 }
 
-/// Train one bundle, returning the model JSON and the wall-clock seconds.
+/// Train one bundle, returning the bundle and the wall-clock seconds.
 fn timed_train(
     training: &Dataset,
     tc: &TrainingConfig,
@@ -115,6 +131,19 @@ fn timed_train(
     let started = Instant::now();
     let bundle = ModelBundle::train_with(training, tc, opts).map_err(|e| e.to_string())?;
     Ok((bundle, started.elapsed().as_secs_f64()))
+}
+
+/// [`timed_train`] through the instrumented pipeline, additionally
+/// returning the training trace.
+fn timed_train_traced(
+    training: &Dataset,
+    tc: &TrainingConfig,
+    opts: TrainOptions,
+) -> Result<(ModelBundle, f64, TrainTrace), String> {
+    let started = Instant::now();
+    let (bundle, trace) =
+        ModelBundle::train_traced(training, tc, opts).map_err(|e| e.to_string())?;
+    Ok((bundle, started.elapsed().as_secs_f64(), trace))
 }
 
 fn run() -> Result<(), String> {
@@ -166,12 +195,15 @@ fn run() -> Result<(), String> {
                 .with_seed(config.seed)
                 .with_maxent_iterations(config.maxent_iters);
             let (bundle_serial, serial_secs) = timed_train(&training, &tc, serial)?;
-            let (bundle_parallel, parallel_secs) = timed_train(&training, &tc, parallel)?;
+            let (bundle_parallel, parallel_secs, trace) =
+                timed_train_traced(&training, &tc, parallel)?;
 
             // Parity: identical serialised models *and* identical probe
             // scores (the latter is what the serving layer would see).
             // Both checks run unconditionally so a byte divergence still
-            // reports whether behaviour diverged too.
+            // reports whether behaviour diverged too. The parallel leg
+            // is traced, so byte parity also certifies the trace is a
+            // pure observation.
             let json_serial = bundle_serial.to_json().map_err(|e| e.to_string())?;
             let json_parallel = bundle_parallel.to_json().map_err(|e| e.to_string())?;
             let json_parity = json_serial == json_parallel;
@@ -194,10 +226,15 @@ fn run() -> Result<(), String> {
             } else {
                 1.0
             };
+            let fit_secs = trace.fit_micros as f64 / 1e6;
+            let vectorize_secs = trace.vectorize_micros as f64 / 1e6;
+            let models_secs = trace.models_micros as f64 / 1e6;
+            let gis_iterations: u64 = trace.gis.iter().map(|g| g.iterations.len() as u64).sum();
             eprintln!(
                 "{feature_name:>8} + {algorithm_name:<3}  serial {serial_secs:7.3}s  \
                  jobs={jobs_parallel} {parallel_secs:7.3}s  speedup {speedup:4.2}x  \
-                 parity {parity}",
+                 parity {parity}  (fit {fit_secs:.3}s, vectorize {vectorize_secs:.3}s, \
+                 models {models_secs:.3}s, gis iters {gis_iterations})",
             );
             recipes.push(RecipeBench {
                 features: feature_name.to_owned(),
@@ -206,6 +243,10 @@ fn run() -> Result<(), String> {
                 parallel_secs,
                 speedup,
                 parity,
+                fit_secs,
+                vectorize_secs,
+                models_secs,
+                gis_iterations,
             });
         }
     }
@@ -214,7 +255,7 @@ fn run() -> Result<(), String> {
     let total_parallel_secs: f64 = recipes.iter().map(|r| r.parallel_secs).sum();
     let report = TrainBenchReport {
         bench: "train",
-        schema: 2,
+        schema: 3,
         unix_time: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())

@@ -54,12 +54,12 @@ pub use compile::{CompileScorer, Lowering};
 pub use decision_tree::{DecisionTree, DecisionTreeConfig};
 pub use knn::{KNearestNeighbors, KnnConfig};
 pub use markov::{MarkovClassifier, MarkovConfig};
-pub use maxent::{MaxEnt, MaxEntConfig};
+pub use maxent::{GisIteration, MaxEnt, MaxEntConfig};
 pub use model::{
     Algorithm, FeatureUrlClassifier, HybridClassifier, UrlClassifier, VectorClassifier,
 };
 pub use naive_bayes::{NaiveBayes, NaiveBayesConfig};
 pub use rank_order::{RankOrder, RankOrderConfig};
 pub use relative_entropy::{RelativeEntropy, RelativeEntropyConfig};
-pub use set::{LanguageClassifierSet, LanguageScorer};
+pub use set::{LanguageClassifierSet, LanguageScorer, ScoreSplit};
 pub use stats::{PartialCounts, PartialDistributions, StatsTrainer};

@@ -46,6 +46,24 @@ struct ExpectationPartial {
     slack_neg: f64,
 }
 
+/// One GIS iteration's convergence observation: the magnitude of the
+/// weight updates applied in that iteration, measured on the effective
+/// weights the model actually scores with (λ⁺ − λ⁻ per feature, plus
+/// the slack difference).
+///
+/// Reported through the optional observer of
+/// [`MaxEnt::train_jobs_observed`]; purely observational — the trained
+/// model is bit-identical whether or not anyone is watching.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GisIteration {
+    /// Zero-based iteration index.
+    pub iteration: usize,
+    /// Largest |Δ(λ⁺ − λ⁻)| over all features (incl. the slack feature).
+    pub max_abs_delta: f64,
+    /// Mean |Δ(λ⁺ − λ⁻)| over all features (incl. the slack feature).
+    pub mean_abs_delta: f64,
+}
+
 /// Configuration for Maximum Entropy training.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MaxEntConfig {
@@ -118,6 +136,22 @@ impl MaxEnt {
         config: MaxEntConfig,
         jobs: usize,
     ) -> Self {
+        Self::train_jobs_observed(positives, negatives, config, jobs, None)
+    }
+
+    /// [`MaxEnt::train_jobs`] with an optional per-iteration convergence
+    /// observer. The observer only *reads* the updates the iteration
+    /// applied (as [`GisIteration`]); the arithmetic that produces the
+    /// weights is byte-for-byte the same code path with or without it,
+    /// so observed training returns the same bits as unobserved
+    /// training (asserted by `observer_does_not_change_the_model`).
+    pub fn train_jobs_observed(
+        positives: &[SparseVector],
+        negatives: &[SparseVector],
+        config: MaxEntConfig,
+        jobs: usize,
+        mut observer: Option<&mut dyn FnMut(GisIteration)>,
+    ) -> Self {
         assert!(
             !positives.is_empty() && !negatives.is_empty(),
             "Maximum Entropy needs at least one example of each class"
@@ -173,7 +207,7 @@ impl MaxEnt {
         let shard_len = all.len().div_ceil(EXPECTATION_SHARDS).max(1);
         let shards: Vec<&[(&SparseVector, bool)]> = all.chunks(shard_len).collect();
 
-        for _ in 0..config.iterations {
+        for iteration in 0..config.iterations {
             // Map: each shard accumulates its examples' contributions
             // into zero-initialised partials, serially within the shard.
             let partials = par_map(jobs, &shards, |shard| {
@@ -216,13 +250,37 @@ impl MaxEnt {
                 mod_slack_neg += partial.slack_neg;
             }
 
-            // GIS updates.
+            // GIS updates. (Binding each update to a local before the
+            // `+=` is the same float-op sequence as adding the
+            // expression in place — the locals exist so the observer
+            // can watch convergence without touching the arithmetic.)
+            let mut max_abs = 0.0_f64;
+            let mut sum_abs = 0.0_f64;
             for j in 0..dim {
-                w_pos[j] += (emp_pos[j] / mod_pos[j]).ln() / c;
-                w_neg[j] += (emp_neg[j] / mod_neg[j]).ln() / c;
+                let dp = (emp_pos[j] / mod_pos[j]).ln() / c;
+                let dn = (emp_neg[j] / mod_neg[j]).ln() / c;
+                w_pos[j] += dp;
+                w_neg[j] += dn;
+                if observer.is_some() {
+                    let a = (dp - dn).abs();
+                    max_abs = max_abs.max(a);
+                    sum_abs += a;
+                }
             }
-            w_slack_pos += (emp_slack_pos / mod_slack_pos).ln() / c;
-            w_slack_neg += (emp_slack_neg / mod_slack_neg).ln() / c;
+            let dsp = (emp_slack_pos / mod_slack_pos).ln() / c;
+            let dsn = (emp_slack_neg / mod_slack_neg).ln() / c;
+            w_slack_pos += dsp;
+            w_slack_neg += dsn;
+            if let Some(observe) = observer.as_deref_mut() {
+                let a = (dsp - dsn).abs();
+                max_abs = max_abs.max(a);
+                sum_abs += a;
+                observe(GisIteration {
+                    iteration,
+                    max_abs_delta: max_abs,
+                    mean_abs_delta: sum_abs / (dim as f64 + 1.0),
+                });
+            }
             let _ = n;
         }
 
@@ -405,6 +463,47 @@ mod tests {
         // And the plain entry point is the one-worker schedule.
         let plain = MaxEnt::train(&pos, &neg, config);
         assert_eq!(base_json, serde_json::to_string(&plain).unwrap());
+    }
+
+    #[test]
+    fn observer_does_not_change_the_model() {
+        let (pos, neg) = toy_training();
+        let config = MaxEntConfig::with_iterations(8, 9);
+        let plain = MaxEnt::train_jobs(&pos, &neg, config, 2);
+        let mut seen = Vec::new();
+        let mut push = |it: GisIteration| seen.push(it);
+        let observed = MaxEnt::train_jobs_observed(&pos, &neg, config, 2, Some(&mut push));
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&observed).unwrap(),
+            "observing convergence must not change the trained bits"
+        );
+        assert_eq!(seen.len(), 9, "one observation per iteration");
+        for (i, it) in seen.iter().enumerate() {
+            assert_eq!(it.iteration, i);
+            assert!(it.max_abs_delta.is_finite() && it.max_abs_delta > 0.0);
+            assert!(it.mean_abs_delta <= it.max_abs_delta + 1e-15);
+        }
+    }
+
+    #[test]
+    fn observed_deltas_shrink_as_gis_converges() {
+        let (pos, neg) = toy_training();
+        let mut seen = Vec::new();
+        let mut push = |it: GisIteration| seen.push(it);
+        let _ = MaxEnt::train_jobs_observed(
+            &pos,
+            &neg,
+            MaxEntConfig::with_iterations(8, 40),
+            1,
+            Some(&mut push),
+        );
+        let first = seen.first().unwrap().max_abs_delta;
+        let last = seen.last().unwrap().max_abs_delta;
+        assert!(
+            last < first / 2.0,
+            "GIS updates should shrink markedly over 40 iterations: {first} -> {last}"
+        );
     }
 
     #[test]

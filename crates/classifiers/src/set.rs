@@ -27,6 +27,25 @@ use std::sync::Arc;
 use urlid_features::{ExtractScratch, FeatureExtractor, SparseVector};
 use urlid_lexicon::{Language, ALL_LANGUAGES};
 
+/// How one scoring call's wall clock divided between feature
+/// extraction and scoring (reported by
+/// [`LanguageClassifierSet::score_all_with_split`], recorded into the
+/// serve layer's per-stage histograms).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScoreSplit {
+    /// Microseconds spent extracting features into the sparse vector.
+    pub extract_micros: u64,
+    /// Microseconds spent scoring (fused plane passes, the Markov
+    /// re-walk, and any boxed fallbacks).
+    pub score_micros: u64,
+}
+
+/// A `Duration` as saturating whole microseconds.
+#[inline]
+fn duration_micros(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
 /// How one language's score is produced from a URL.
 pub enum LanguageScorer {
     /// A vector-space model scoring the set's shared, pre-extracted
@@ -275,16 +294,28 @@ impl LanguageClassifierSet {
         scratch: &mut ExtractScratch,
     ) -> [Option<f64>; 5] {
         let vector = self.extract_once(url, scratch);
+        self.score_interpreted_from_vector(url, vector.as_ref())
+    }
+
+    /// The interpreted scoring pass over an already-extracted vector
+    /// (shared by the plain and stage-timed entry points, so both run
+    /// the identical float operations).
+    fn score_interpreted_from_vector(
+        &self,
+        url: &str,
+        vector: Option<&SparseVector>,
+    ) -> [Option<f64>; 5] {
         let mut out = [None; 5];
         for (i, scorer) in self.scorers.iter().enumerate() {
             if let Some(scorer) = scorer {
                 out[i] = Some(match scorer {
                     LanguageScorer::Vector(model) => {
-                        model.score(vector.as_ref().expect("vector extracted above"))
+                        model.score(vector.expect("vector extracted above"))
                     }
                     LanguageScorer::Url(classifier) => classifier.score_url(url),
-                    LanguageScorer::Hybrid(classifier) => classifier
-                        .score_hybrid(url, vector.as_ref().expect("vector extracted above")),
+                    LanguageScorer::Hybrid(classifier) => {
+                        classifier.score_hybrid(url, vector.expect("vector extracted above"))
+                    }
                 });
             }
         }
@@ -338,8 +369,24 @@ impl LanguageClassifierSet {
         scratch: &mut ExtractScratch,
     ) -> [Option<f64>; 5] {
         let vector = self.extract_compiled(plane, url, scratch);
+        let out = self.score_compiled_from_vector(plane, url, vector.as_ref(), scratch);
+        Self::return_vector(scratch, vector);
+        out
+    }
+
+    /// The compiled scoring passes over an already-extracted vector:
+    /// fused vector pass, Markov pass, then boxed fallbacks. Shared by
+    /// the plain and stage-timed entry points so both run the identical
+    /// float operations.
+    fn score_compiled_from_vector(
+        &self,
+        plane: &CompiledPlane,
+        url: &str,
+        vector: Option<&SparseVector>,
+        scratch: &mut ExtractScratch,
+    ) -> [Option<f64>; 5] {
         let mut out = [None; 5];
-        if let Some(vector) = &vector {
+        if let Some(vector) = vector {
             plane.score_vectors(vector, &mut scratch.ranked, &mut out);
         }
         plane.score_markov(url, scratch, &mut out);
@@ -348,17 +395,54 @@ impl LanguageClassifierSet {
                 if let Some(scorer) = scorer {
                     out[i] = Some(match scorer {
                         LanguageScorer::Vector(model) => {
-                            model.score(vector.as_ref().expect("vector extracted above"))
+                            model.score(vector.expect("vector extracted above"))
                         }
                         LanguageScorer::Url(classifier) => classifier.score_url(url),
-                        LanguageScorer::Hybrid(classifier) => classifier
-                            .score_hybrid(url, vector.as_ref().expect("vector extracted above")),
+                        LanguageScorer::Hybrid(classifier) => {
+                            classifier.score_hybrid(url, vector.expect("vector extracted above"))
+                        }
                     });
                 }
             }
         }
-        Self::return_vector(scratch, vector);
         out
+    }
+
+    /// [`LanguageClassifierSet::score_all_with`], additionally reporting
+    /// how the call's wall clock divided between feature extraction and
+    /// scoring (the serve layer's per-stage histograms). Scores are
+    /// bit-identical to the untimed path — both route through the same
+    /// extraction and scoring helpers; only two `Instant` reads are
+    /// added, and nothing allocates beyond the untimed path.
+    pub fn score_all_with_split(
+        &self,
+        url: &str,
+        scratch: &mut ExtractScratch,
+    ) -> ([Option<f64>; 5], ScoreSplit) {
+        let t0 = std::time::Instant::now();
+        match &self.compiled {
+            Some(plane) => {
+                let vector = self.extract_compiled(plane, url, scratch);
+                let t1 = std::time::Instant::now();
+                let out = self.score_compiled_from_vector(plane, url, vector.as_ref(), scratch);
+                let split = ScoreSplit {
+                    extract_micros: duration_micros(t1.duration_since(t0)),
+                    score_micros: duration_micros(t1.elapsed()),
+                };
+                Self::return_vector(scratch, vector);
+                (out, split)
+            }
+            None => {
+                let vector = self.extract_once(url, scratch);
+                let t1 = std::time::Instant::now();
+                let out = self.score_interpreted_from_vector(url, vector.as_ref());
+                let split = ScoreSplit {
+                    extract_micros: duration_micros(t1.duration_since(t0)),
+                    score_micros: duration_micros(t1.elapsed()),
+                };
+                (out, split)
+            }
+        }
     }
 
     /// The five independent binary decisions for a URL, in canonical

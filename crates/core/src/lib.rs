@@ -49,8 +49,8 @@ pub mod trainer;
 pub use identifier::LanguageIdentifier;
 pub use persistence::ModelBundle;
 pub use trainer::{
-    train_classifier_set, train_classifier_set_with, train_language_classifier, TrainOptions,
-    TrainingConfig, DEFAULT_TRAIN_SHARDS,
+    train_classifier_set, train_classifier_set_with, train_language_classifier, GisTrace,
+    TrainOptions, TrainTrace, TrainingConfig, DEFAULT_TRAIN_SHARDS,
 };
 
 // Re-export the sub-crates under stable names.
@@ -67,8 +67,8 @@ pub mod prelude {
     pub use crate::persistence::ModelBundle;
     pub use crate::recipes;
     pub use crate::trainer::{
-        train_classifier_set, train_classifier_set_with, train_language_classifier, TrainOptions,
-        TrainingConfig, DEFAULT_TRAIN_SHARDS,
+        train_classifier_set, train_classifier_set_with, train_language_classifier, GisTrace,
+        TrainOptions, TrainTrace, TrainingConfig, DEFAULT_TRAIN_SHARDS,
     };
     pub use urlid_classifiers::{
         Algorithm, CcTldClassifier, CombinationStrategy, LanguageClassifierSet, UrlClassifier,

@@ -13,7 +13,10 @@
 //! from two bundles).
 
 use crate::identifier::LanguageIdentifier;
-use crate::trainer::{train_pipeline, AnyExtractor, AnyModel, TrainOptions, TrainingConfig};
+use crate::trainer::{
+    train_pipeline, train_pipeline_traced, AnyExtractor, AnyModel, TrainOptions, TrainTrace,
+    TrainingConfig,
+};
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::Path;
@@ -91,6 +94,31 @@ impl ModelBundle {
             extractor,
             models,
         })
+    }
+
+    /// [`ModelBundle::train_with`] plus the training observability
+    /// trace: per-shard map timings of the fit and vectorize phases,
+    /// per-language model timings, and — for Maximum Entropy — the
+    /// per-iteration GIS convergence deltas. The instrumentation is
+    /// purely observational; the bundle is bit-identical to the one
+    /// [`ModelBundle::train_with`] returns.
+    pub fn train_traced(
+        training: &Dataset,
+        config: &TrainingConfig,
+        opts: TrainOptions,
+    ) -> Result<(Self, TrainTrace), PersistenceError> {
+        if matches!(config.algorithm, Algorithm::CcTld | Algorithm::CcTldPlus) {
+            return Err(PersistenceError::NotPersistable(config.algorithm));
+        }
+        let (extractor, models, trace) = train_pipeline_traced(training, config, opts);
+        Ok((
+            Self {
+                config: *config,
+                extractor,
+                models,
+            },
+            trace,
+        ))
     }
 
     /// The training configuration stored in the bundle.

@@ -45,10 +45,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use std::time::Instant;
 use urlid_classifiers::{
-    Algorithm, CcTldClassifier, CompileScorer, DecisionTree, DecisionTreeConfig, KNearestNeighbors,
-    KnnConfig, LanguageClassifierSet, MaxEnt, MaxEntConfig, NaiveBayes, NaiveBayesConfig,
-    RelativeEntropy, RelativeEntropyConfig, StatsTrainer, UrlClassifier, VectorClassifier,
+    Algorithm, CcTldClassifier, CompileScorer, DecisionTree, DecisionTreeConfig, GisIteration,
+    KNearestNeighbors, KnnConfig, LanguageClassifierSet, MaxEnt, MaxEntConfig, NaiveBayes,
+    NaiveBayesConfig, RelativeEntropy, RelativeEntropyConfig, StatsTrainer, UrlClassifier,
+    VectorClassifier,
 };
 use urlid_features::parallel::{effective_jobs, par_map};
 use urlid_features::{
@@ -56,6 +58,7 @@ use urlid_features::{
     LabeledUrl, ShardedFit, SparseVector, TrigramFeatureExtractor, WordFeatureExtractor,
 };
 use urlid_lexicon::{Language, ALL_LANGUAGES};
+use urlid_telemetry::{duration_micros, Histogram};
 
 /// Default number of corpus shards of the training pipeline.
 ///
@@ -126,6 +129,112 @@ impl Default for TrainOptions {
     /// entry points exactly as deterministic as they always were.
     fn default() -> Self {
         Self::serial()
+    }
+}
+
+/// Convergence trace of one language's Maximum Entropy training: the
+/// per-iteration update magnitudes reported by the GIS observer, plus
+/// the same series folded into a shared log-linear [`Histogram`]
+/// (recorded as nanounits, `max_abs_delta × 1e9`, since the histogram
+/// is integer-valued).
+#[derive(Debug, Clone)]
+pub struct GisTrace {
+    /// Which language's binary model this traces.
+    pub language: Language,
+    /// One entry per GIS iteration, in iteration order.
+    pub iterations: Vec<GisIteration>,
+    /// `max_abs_delta × 1e9` of every iteration, as a histogram.
+    pub delta_nanos: Histogram,
+}
+
+/// Timing and convergence observations of one training run, collected
+/// by [`crate::ModelBundle::train_traced`] and printed by
+/// `urlid train --verbose`.
+///
+/// Purely observational: the traced pipeline runs the exact same code
+/// as the untraced one (same shard structure, same fold order, same
+/// float ops), so the trained model is bit-identical with tracing on
+/// or off — asserted by `traced_training_matches_untraced`.
+///
+/// All histograms are the shared log-linear `urlid-telemetry` type,
+/// the same buckets the serve layer exports.
+#[derive(Debug, Clone, Default)]
+pub struct TrainTrace {
+    /// Wall time of the sharded extractor fit (map + reduce + freeze).
+    pub fit_micros: u64,
+    /// Wall time of the sharded vectorize pass.
+    pub vectorize_micros: u64,
+    /// Wall time of the per-language model phase.
+    pub models_micros: u64,
+    /// Wall time of the whole pipeline.
+    pub total_micros: u64,
+    /// Per-shard durations of the extractor-fit map phase.
+    pub fit_shard_micros: Histogram,
+    /// Per-shard durations of the vectorize map phase.
+    pub vectorize_shard_micros: Histogram,
+    /// Per-language model-training durations, as a histogram.
+    pub language_micros: Histogram,
+    /// Per-language model-training durations, named.
+    pub languages: Vec<(Language, u64)>,
+    /// Per-language GIS convergence traces (Maximum Entropy only;
+    /// empty for the other algorithms).
+    pub gis: Vec<GisTrace>,
+}
+
+impl TrainTrace {
+    /// Render the trace as a human-readable multi-line report (the
+    /// `urlid train --verbose` output).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let ms = |us: u64| us as f64 / 1_000.0;
+        let shard_line = |name: &str, h: &Histogram| {
+            format!(
+                "  {name:<14} {} shards: p50 {:.1}ms  p90 {:.1}ms  max {:.1}ms\n",
+                h.count(),
+                ms(h.quantile(0.50).unwrap_or(0)),
+                ms(h.quantile(0.90).unwrap_or(0)),
+                ms(h.max()),
+            )
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "training trace: total {:.1}ms (fit {:.1}ms, vectorize {:.1}ms, models {:.1}ms)",
+            ms(self.total_micros),
+            ms(self.fit_micros),
+            ms(self.vectorize_micros),
+            ms(self.models_micros),
+        );
+        out.push_str(&shard_line("extractor fit", &self.fit_shard_micros));
+        out.push_str(&shard_line("vectorize", &self.vectorize_shard_micros));
+        let _ = write!(
+            out,
+            "  {:<14} {} languages:",
+            "models",
+            self.languages.len()
+        );
+        for (lang, us) in &self.languages {
+            let _ = write!(out, "  {}={:.1}ms", lang.iso_code(), ms(*us));
+        }
+        out.push('\n');
+        for trace in &self.gis {
+            let (first, last) = match (trace.iterations.first(), trace.iterations.last()) {
+                (Some(f), Some(l)) => (f, l),
+                _ => continue,
+            };
+            let _ = writeln!(
+                out,
+                "  gis {:<11} {} iterations: max|Δw| {:.3e} -> {:.3e}  (p50 {:.3e}, mean|Δw| {:.3e} -> {:.3e})",
+                trace.language.iso_code(),
+                trace.iterations.len(),
+                first.max_abs_delta,
+                last.max_abs_delta,
+                trace.delta_nanos.quantile(0.50).unwrap_or(0) as f64 / 1e9,
+                first.mean_abs_delta,
+                last.mean_abs_delta,
+            );
+        }
+        out
     }
 }
 
@@ -295,21 +404,38 @@ impl FeatureExtractor for AnyExtractor {
 /// count over shards (map), merge in ascending shard order (reduce),
 /// freeze the index. Bit-identical to `extractor.fit(training)` for any
 /// shard and job count — the partials are integer counts.
-fn fit_sharded<E: ShardedFit>(extractor: &mut E, training: &Dataset, opts: TrainOptions) {
+///
+/// Returns the per-shard map durations (in shard order) for the
+/// training trace; measuring them is two `Instant` reads per shard,
+/// cheap enough to do unconditionally.
+fn fit_sharded<E: ShardedFit>(
+    extractor: &mut E,
+    training: &Dataset,
+    opts: TrainOptions,
+) -> Vec<u64> {
     let shards: Vec<&[LabeledUrl]> = training.shards(opts.effective_shards()).collect();
     let shared: &E = extractor;
-    let partials = par_map(opts.effective_jobs(), &shards, |shard| {
-        shared.observe_shard(shard)
+    let timed = par_map(opts.effective_jobs(), &shards, |shard| {
+        let started = Instant::now();
+        let partial = shared.observe_shard(shard);
+        (partial, duration_micros(started.elapsed()))
     });
-    let merged = partials
+    let mut micros = Vec::with_capacity(timed.len());
+    let merged = timed
         .into_iter()
+        .map(|(partial, us)| {
+            micros.push(us);
+            partial
+        })
         .reduce(|acc, next| shared.merge_partials(acc, next));
     extractor.finish_fit(merged);
+    micros
 }
 
 impl AnyExtractor {
-    /// Fit via the two-pass sharded build.
-    pub(crate) fn fit_with(&mut self, training: &Dataset, opts: TrainOptions) {
+    /// Fit via the two-pass sharded build; returns the per-shard map
+    /// durations in shard order.
+    pub(crate) fn fit_with(&mut self, training: &Dataset, opts: TrainOptions) -> Vec<u64> {
         match self {
             AnyExtractor::Words(e) => fit_sharded(e, training, opts),
             AnyExtractor::Trigrams(e) => fit_sharded(e, training, opts),
@@ -410,6 +536,20 @@ pub(crate) fn train_model_jobs(
     config: &TrainingConfig,
     jobs: usize,
 ) -> AnyModel {
+    train_model_observed(positives, negatives, dim, config, jobs, None)
+}
+
+/// [`train_model_jobs`] with an optional GIS convergence observer
+/// (forwarded to [`MaxEnt::train_jobs_observed`]; ignored by the other
+/// algorithms, which have no iterative convergence to watch).
+fn train_model_observed(
+    positives: &[SparseVector],
+    negatives: &[SparseVector],
+    dim: usize,
+    config: &TrainingConfig,
+    jobs: usize,
+    observer: Option<&mut dyn FnMut(GisIteration)>,
+) -> AnyModel {
     match config.algorithm {
         Algorithm::NaiveBayes => AnyModel::NaiveBayes(NaiveBayes::train(
             positives,
@@ -421,11 +561,12 @@ pub(crate) fn train_model_jobs(
             negatives,
             RelativeEntropyConfig::for_dim(dim),
         )),
-        Algorithm::MaxEnt => AnyModel::MaxEnt(MaxEnt::train_jobs(
+        Algorithm::MaxEnt => AnyModel::MaxEnt(MaxEnt::train_jobs_observed(
             positives,
             negatives,
             MaxEntConfig::with_iterations(dim, config.maxent_iterations),
             jobs,
+            observer,
         )),
         Algorithm::DecisionTree => AnyModel::DecisionTree(DecisionTree::train(
             positives,
@@ -532,6 +673,8 @@ fn accumulate_stats<M: StatsTrainer>(
 }
 
 /// Train one language's model from the precomputed training vectors.
+/// The optional observer watches GIS convergence (Maximum Entropy only;
+/// purely observational, see [`MaxEnt::train_jobs_observed`]).
 fn train_model_from_vectors(
     vectors: &[SparseVector],
     pos_idx: &[usize],
@@ -539,6 +682,7 @@ fn train_model_from_vectors(
     dim: usize,
     config: &TrainingConfig,
     jobs: usize,
+    observer: Option<&mut dyn FnMut(GisIteration)>,
 ) -> AnyModel {
     match config.algorithm {
         // Count-based algorithms fold mergeable statistics — no
@@ -559,7 +703,7 @@ fn train_model_from_vectors(
                 pos_idx.iter().map(|&i| vectors[i].clone()).collect();
             let negatives: Vec<SparseVector> =
                 neg_idx.iter().map(|&i| vectors[i].clone()).collect();
-            train_model_jobs(&positives, &negatives, dim, config, jobs)
+            train_model_observed(&positives, &negatives, dim, config, jobs, observer)
         }
     }
 }
@@ -573,37 +717,117 @@ pub(crate) fn train_pipeline(
     config: &TrainingConfig,
     opts: TrainOptions,
 ) -> (AnyExtractor, Vec<AnyModel>) {
+    let (extractor, models, _) = train_pipeline_impl(training, config, opts, false);
+    (extractor, models)
+}
+
+/// [`train_pipeline`] plus the full [`TrainTrace`] (per-shard timings
+/// *and* GIS convergence observation). Same pipeline, same bits.
+pub(crate) fn train_pipeline_traced(
+    training: &Dataset,
+    config: &TrainingConfig,
+    opts: TrainOptions,
+) -> (AnyExtractor, Vec<AnyModel>, TrainTrace) {
+    train_pipeline_impl(training, config, opts, true)
+}
+
+/// The one shared pipeline body. `observe_gis` only gates the GIS
+/// convergence *collection* (the per-iteration delta arithmetic in the
+/// observer branch); phase and shard timings are measured always —
+/// they are a handful of `Instant` reads per training run.
+fn train_pipeline_impl(
+    training: &Dataset,
+    config: &TrainingConfig,
+    opts: TrainOptions,
+    observe_gis: bool,
+) -> (AnyExtractor, Vec<AnyModel>, TrainTrace) {
+    let mut trace = TrainTrace::default();
+    let pipeline_started = Instant::now();
+
+    let fit_started = Instant::now();
     let mut extractor = AnyExtractor::build(config);
-    extractor.fit_with(training, opts);
+    for shard_micros in extractor.fit_with(training, opts) {
+        trace.fit_shard_micros.record(shard_micros);
+    }
+    trace.fit_micros = duration_micros(fit_started.elapsed());
 
     // Sharded vectorize against the frozen extractor: one transform per
     // URL, shared by all five binary classifiers.
+    let vectorize_started = Instant::now();
     let shards: Vec<&[LabeledUrl]> = training.shards(opts.effective_shards()).collect();
     let shared = &extractor;
     let chunks = par_map(opts.effective_jobs(), &shards, |shard| {
-        shard
+        let started = Instant::now();
+        let vectors = shard
             .iter()
             .map(|example| shared.transform_training(example))
-            .collect::<Vec<SparseVector>>()
+            .collect::<Vec<SparseVector>>();
+        (vectors, duration_micros(started.elapsed()))
     });
-    let vectors: Vec<SparseVector> = chunks.into_iter().flatten().collect();
+    let mut vectors: Vec<SparseVector> = Vec::with_capacity(training.len());
+    for (chunk, shard_micros) in chunks {
+        trace.vectorize_shard_micros.record(shard_micros);
+        vectors.extend(chunk);
+    }
+    trace.vectorize_micros = duration_micros(vectorize_started.elapsed());
 
     let dim = extractor.dim();
     // Languages train concurrently, and the iterative algorithms
     // additionally shard *inside* one language's training (MaxEnt's
     // expectation map-reduce) — both layers bit-identical at any jobs.
-    let models = par_map(opts.effective_jobs(), &ALL_LANGUAGES, |&lang| {
+    let models_started = Instant::now();
+    let results = par_map(opts.effective_jobs(), &ALL_LANGUAGES, |&lang| {
+        let language_started = Instant::now();
         let (pos_idx, neg_idx) = sample_indices(training, lang, config);
-        train_model_from_vectors(
-            &vectors,
-            &pos_idx,
-            &neg_idx,
-            dim,
-            config,
-            opts.effective_jobs(),
+        let mut iterations: Vec<GisIteration> = Vec::new();
+        let model = if observe_gis {
+            let mut observe = |it: GisIteration| iterations.push(it);
+            train_model_from_vectors(
+                &vectors,
+                &pos_idx,
+                &neg_idx,
+                dim,
+                config,
+                opts.effective_jobs(),
+                Some(&mut observe),
+            )
+        } else {
+            train_model_from_vectors(
+                &vectors,
+                &pos_idx,
+                &neg_idx,
+                dim,
+                config,
+                opts.effective_jobs(),
+                None,
+            )
+        };
+        (
+            model,
+            iterations,
+            duration_micros(language_started.elapsed()),
         )
     });
-    (extractor, models)
+    let mut models = Vec::with_capacity(results.len());
+    for (lang, (model, iterations, language_micros)) in ALL_LANGUAGES.into_iter().zip(results) {
+        trace.language_micros.record(language_micros);
+        trace.languages.push((lang, language_micros));
+        if !iterations.is_empty() {
+            let mut delta_nanos = Histogram::new();
+            for it in &iterations {
+                delta_nanos.record((it.max_abs_delta * 1e9) as u64);
+            }
+            trace.gis.push(GisTrace {
+                language: lang,
+                iterations,
+                delta_nanos,
+            });
+        }
+        models.push(model);
+    }
+    trace.models_micros = duration_micros(models_started.elapsed());
+    trace.total_micros = duration_micros(pipeline_started.elapsed());
+    (extractor, models, trace)
 }
 
 /// Train all five binary classifiers (sharing one fitted extractor).
@@ -798,6 +1022,59 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn traced_training_matches_untraced() {
+        let (train, _test) = tiny_corpus();
+        let config =
+            TrainingConfig::new(FeatureSetKind::Words, Algorithm::MaxEnt).with_maxent_iterations(3);
+        let opts = TrainOptions { jobs: 2, shards: 5 };
+        let (plain_extractor, plain_models) = train_pipeline(&train, &config, opts);
+        let (traced_extractor, traced_models, trace) = train_pipeline_traced(&train, &config, opts);
+        assert_eq!(
+            serde_json::to_string(&plain_extractor).unwrap(),
+            serde_json::to_string(&traced_extractor).unwrap(),
+            "tracing must not change the fitted extractor"
+        );
+        for (lang, (a, b)) in ALL_LANGUAGES
+            .into_iter()
+            .zip(plain_models.iter().zip(&traced_models))
+        {
+            assert_eq!(
+                serde_json::to_string(a).unwrap(),
+                serde_json::to_string(b).unwrap(),
+                "tracing must not change the {lang} model"
+            );
+        }
+        // The trace is fully populated: one sample per shard and phase.
+        assert_eq!(trace.fit_shard_micros.count(), 5);
+        assert_eq!(trace.vectorize_shard_micros.count(), 5);
+        assert_eq!(trace.language_micros.count(), ALL_LANGUAGES.len() as u64);
+        assert_eq!(trace.languages.len(), ALL_LANGUAGES.len());
+        assert!(trace.total_micros >= trace.models_micros);
+        // MaxEnt: every language converged over the configured iterations.
+        assert_eq!(trace.gis.len(), ALL_LANGUAGES.len());
+        for gis in &trace.gis {
+            assert_eq!(gis.iterations.len(), 3);
+            assert_eq!(gis.delta_nanos.count(), 3);
+        }
+        let report = trace.render();
+        assert!(report.contains("training trace"), "{report}");
+        assert!(report.contains("gis en"), "{report}");
+    }
+
+    #[test]
+    fn non_iterative_algorithms_produce_no_gis_trace() {
+        let (train, _test) = tiny_corpus();
+        let (_, _, trace) = train_pipeline_traced(
+            &train,
+            &TrainingConfig::paper_best(),
+            TrainOptions::serial(),
+        );
+        assert!(trace.gis.is_empty());
+        assert_eq!(trace.fit_shard_micros.count(), 1);
+        assert!(!trace.render().contains("gis"));
     }
 
     #[test]

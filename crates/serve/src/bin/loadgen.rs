@@ -102,13 +102,14 @@ fn suite_scenarios(base: &LoadgenConfig) -> Vec<LoadgenConfig> {
 fn report_line(report: &urlid_serve::BenchReport) {
     eprintln!(
         "[{}] {} requests in {:.2}s -> {:.0} req/s, p50 {:.3} ms, p99 {:.3} ms, \
-         {} idle conns, {} server threads, cache hit rate {:.1}% ({} errors)",
+         p99.9 {:.3} ms, {} idle conns, {} server threads, cache hit rate {:.1}% ({} errors)",
         report.scenario,
         report.requests,
         report.duration_secs,
         report.throughput_rps,
         report.latency.p50_ms,
         report.latency.p99_ms,
+        report.latency.p999_ms,
         report.idle_connections,
         report.server_threads,
         report.cache.hit_rate * 100.0,

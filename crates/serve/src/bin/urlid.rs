@@ -38,21 +38,32 @@ USAGE:
                   bit-identical at any --jobs value)
   urlid train    --data <dataset.json> --out <model.json>
                  [--features words|trigrams|custom] [--algorithm nb|re|me|dt|knn]
-                 [--seed <u64>] [--jobs <n>] [--shards <n>]
+                 [--seed <u64>] [--jobs <n>] [--shards <n>] [--verbose]
                  (--jobs 0 = one worker per core; for a fixed --shards the
-                  trained model is bit-identical at any --jobs value)
+                  trained model is bit-identical at any --jobs value.
+                  --verbose prints the training trace to stderr: per-shard
+                  fit/vectorize timings, per-language model timings, and
+                  GIS convergence deltas for maxent — same model bytes)
   urlid identify --model <model.json> [<url> ...]      (reads stdin when no URLs given)
   urlid evaluate --model <model.json> --data <dataset.json>
   urlid serve    --model <model.json> [--addr <host:port>] [--threads <n>]
                  [--cache-capacity <n>] [--weights f64|f32]
+                 [--telemetry on|off] [--slow-ms <n>]
                  (--threads sizes the scoring pool; connections are
                   multiplexed by one reactor thread regardless.
                   --weights f32 serves the quantised f32 weight lane:
                   half the matrix bytes, identical decisions, scores
-                  within the documented tolerance)
+                  within the documented tolerance.
+                  --telemetry off disables stage spans and /admin/trace
+                  buffering; counters and latency stay on.
+                  --slow-ms logs requests slower than n ms to stderr,
+                  rate-limited; 0 disables, default 100)
 ";
 
-/// A tiny `--key value` argument map.
+/// Flags that take no value: present or absent.
+const BOOLEAN_FLAGS: &[&str] = &["verbose"];
+
+/// A tiny `--key value` argument map (plus the boolean flags above).
 #[derive(Debug, Default)]
 struct Args {
     flags: std::collections::HashMap<String, String>,
@@ -69,6 +80,11 @@ impl Args {
                 if key == "help" {
                     return Err(USAGE.to_owned());
                 }
+                if BOOLEAN_FLAGS.contains(&key) {
+                    out.flags.insert(key.to_owned(), "true".to_owned());
+                    i += 1;
+                    continue;
+                }
                 let value = args
                     .get(i + 1)
                     .ok_or_else(|| format!("missing value for --{key}"))?;
@@ -84,6 +100,10 @@ impl Args {
 
     fn get(&self, key: &str) -> Option<&str> {
         self.flags.get(key).map(|s| s.as_str())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
     }
 
     fn require(&self, key: &str) -> Result<&str, String> {
@@ -221,7 +241,14 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let out = args.require("out")?;
     let config = parse_training_config(args)?;
     let opts = parse_train_options(args)?;
-    let bundle = ModelBundle::train_with(&data, &config, opts).map_err(|e| e.to_string())?;
+    let bundle = if args.has("verbose") {
+        let (bundle, trace) =
+            ModelBundle::train_traced(&data, &config, opts).map_err(|e| e.to_string())?;
+        eprint!("{}", trace.render());
+        bundle
+    } else {
+        ModelBundle::train_with(&data, &config, opts).map_err(|e| e.to_string())?
+    };
     bundle.save(out).map_err(|e| e.to_string())?;
     eprintln!(
         "trained {} + {} on {} URLs ({} jobs over {} shards) -> {out}",
@@ -285,6 +312,17 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         config.scoring_threads = threads
             .parse()
             .map_err(|_| format!("bad --threads {threads:?}"))?;
+    }
+    config.telemetry = match args.get("telemetry").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("unknown --telemetry {other:?} (on|off)")),
+    };
+    if let Some(slow_ms) = args.get("slow-ms") {
+        let ms: u64 = slow_ms
+            .parse()
+            .map_err(|_| format!("bad --slow-ms {slow_ms:?}"))?;
+        config.slow_request_micros = ms.saturating_mul(1000);
     }
     let cache_capacity: usize = args
         .get("cache-capacity")
@@ -362,6 +400,18 @@ mod tests {
     fn missing_value_is_an_error() {
         let r = Args::parse(&["--seed".to_string()]);
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        // `--verbose` directly before a value-taking flag must not
+        // swallow it.
+        let a = args_of(&["--verbose", "--jobs", "2"]);
+        assert!(a.has("verbose"));
+        assert_eq!(a.get("jobs"), Some("2"));
+        assert!(!args_of(&["--jobs", "2"]).has("verbose"));
+        // Trailing boolean flag parses too (nothing after it).
+        assert!(args_of(&["--verbose"]).has("verbose"));
     }
 
     #[test]

@@ -33,6 +33,11 @@ use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
+use urlid_telemetry::Stage;
+
+/// Trace-ring stripe used by the reactor thread (parse and write spans;
+/// pool workers use `1 + worker_index`).
+const REACTOR_STRIPE: usize = 0;
 
 /// Upper bound on the iovecs of one vectored write (Linux caps a single
 /// `writev` at `IOV_MAX` = 1024; sixteen covers any realistic pipelining
@@ -109,10 +114,12 @@ impl OutQueue {
 pub(crate) enum Step {
     /// Nothing to hand off; keep the connection registered.
     Continue,
-    /// A complete request was parsed — dispatch it to the scoring pool.
-    /// The connection is now in flight and will not parse further input
-    /// until [`Conn::complete`] delivers the response.
-    Dispatch(Request),
+    /// A complete request was parsed — dispatch it to the scoring pool,
+    /// tagged with its freshly assigned request id (correlates the
+    /// stage spans of this request). The connection is now in flight
+    /// and will not parse further input until [`Conn::complete`]
+    /// delivers the response.
+    Dispatch(Request, u64),
     /// The connection is finished (peer closed, fatal error, or final
     /// response flushed) — deregister and drop it.
     Close,
@@ -147,6 +154,14 @@ pub(crate) struct Conn {
     buffer_cap: usize,
     /// Last moment bytes moved on this connection (idle-eviction clock).
     last_activity: Instant,
+    /// Parser CPU spent on the request currently being assembled,
+    /// accumulated across reads (becomes the parse-stage span when the
+    /// request completes — or when it is rejected).
+    parse_accum_micros: u64,
+    /// When the first byte of the request being assembled arrived;
+    /// protocol rejects record their latency sample from this clock
+    /// (dispatched requests switch to the reactor's dispatch clock).
+    request_started: Option<Instant>,
 }
 
 impl Conn {
@@ -172,6 +187,8 @@ impl Conn {
             // request and the same again for pipelined readahead.
             buffer_cap: 2 * (limits.max_header_bytes + limits.max_body_bytes),
             last_activity: now,
+            parse_accum_micros: 0,
+            request_started: None,
         })
     }
 
@@ -236,6 +253,9 @@ impl Conn {
                 }
                 Ok(n) => {
                     self.parser.feed(&chunk[..n]);
+                    if self.request_started.is_none() && self.phase == Phase::Idle {
+                        self.request_started = Some(now);
+                    }
                     self.last_activity = now;
                     if self.parser.buffered() > self.buffer_cap {
                         // Flooding while a request is in flight: drop
@@ -265,8 +285,16 @@ impl Conn {
     /// The scoring pool finished the in-flight request: queue the
     /// response and push the lifecycle forward (write what the socket
     /// accepts now; parse the next pipelined request if one is already
-    /// buffered).
-    pub(crate) fn complete(&mut self, response: Vec<u8>, keep_alive: bool, now: Instant) -> Step {
+    /// buffered). The write-stage span covers the immediate flush pass
+    /// — what the kernel accepts now; a backpressure remainder drains
+    /// on later writable events and is not re-counted.
+    pub(crate) fn complete(
+        &mut self,
+        response: Vec<u8>,
+        keep_alive: bool,
+        request_id: u64,
+        now: Instant,
+    ) -> Step {
         debug_assert!(self.phase == Phase::InFlight, "completion without dispatch");
         self.phase = Phase::Idle;
         if !keep_alive {
@@ -274,6 +302,18 @@ impl Conn {
         }
         self.queue_bytes(response);
         self.last_activity = now;
+        let write_started = Instant::now();
+        let flushed = self.flush_output(now);
+        let metrics = self.state.metrics();
+        metrics.record_stage_end(
+            REACTOR_STRIPE,
+            request_id,
+            Stage::Write,
+            urlid_telemetry::duration_micros(write_started.elapsed()),
+        );
+        if flushed.is_err() {
+            return Step::Close;
+        }
         self.advance(now)
     }
 
@@ -323,10 +363,22 @@ impl Conn {
         if self.phase == Phase::InFlight {
             return Step::Continue;
         }
-        match self.parser.next_request() {
+        let parse_started = Instant::now();
+        let parsed = self.parser.next_request();
+        self.parse_accum_micros = self
+            .parse_accum_micros
+            .saturating_add(urlid_telemetry::duration_micros(parse_started.elapsed()));
+        match parsed {
             Ok(Some(request)) => {
+                let metrics = self.state.metrics();
+                let request_id = metrics.next_request_id();
+                let parse_micros = std::mem::take(&mut self.parse_accum_micros);
+                metrics.record_stage_end(REACTOR_STRIPE, request_id, Stage::Parse, parse_micros);
+                // Dispatched: the end-to-end latency clock is the
+                // reactor's dispatch timestamp from here on.
+                self.request_started = None;
                 self.phase = Phase::InFlight;
-                Step::Dispatch(request)
+                Step::Dispatch(request, request_id)
             }
             Ok(None) => {
                 if self.peer_closed {
@@ -350,8 +402,22 @@ impl Conn {
     fn reject(&mut self, status: u16, message: &str, now: Instant) -> Step {
         // These rejections never reach the router, but they are error
         // responses all the same — the /metrics errors counter must
-        // see the abuse the parser limits exist to surface.
-        self.state.metrics().errors.fetch_add(1, Ordering::Relaxed);
+        // see the abuse the parser limits exist to surface. The same
+        // goes for the latency and parse-stage histograms: a reject
+        // spent real wall time and parser CPU, and dropping those
+        // samples would flatter the percentiles exactly when the
+        // server is being abused.
+        let metrics = self.state.metrics();
+        metrics.errors.fetch_add(1, Ordering::Relaxed);
+        let total_micros = self
+            .request_started
+            .take()
+            .map(|started| urlid_telemetry::duration_micros(started.elapsed()))
+            .unwrap_or(0);
+        metrics.record_latency(total_micros);
+        let parse_micros = std::mem::take(&mut self.parse_accum_micros);
+        let request_id = metrics.next_request_id();
+        metrics.record_stage_end(REACTOR_STRIPE, request_id, Stage::Parse, parse_micros);
         self.close_after_write = true;
         self.queue_bytes(http::response_bytes(status, &error_body(message), false));
         if self.flush_output(now).is_err() || self.out.is_empty() {

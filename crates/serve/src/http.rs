@@ -32,6 +32,9 @@ pub struct Request {
     pub path: String,
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
+    /// The `Accept` header verbatim, when the client sent one (drives
+    /// the `/metrics` JSON-vs-Prometheus content negotiation).
+    pub accept: Option<String>,
     /// The request body (empty when no `Content-Length` was sent).
     pub body: String,
 }
@@ -90,6 +93,7 @@ struct PendingHead {
     method: String,
     path: String,
     keep_alive: bool,
+    accept: Option<String>,
     content_length: usize,
 }
 
@@ -209,6 +213,7 @@ impl RequestParser {
         }
         // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
         let mut keep_alive = version == "HTTP/1.1";
+        let mut accept = None;
         let mut content_length = 0usize;
         for line in lines {
             let trimmed = line.trim_end();
@@ -229,6 +234,8 @@ impl RequestParser {
                 } else if value.eq_ignore_ascii_case("keep-alive") {
                     keep_alive = true;
                 }
+            } else if name.eq_ignore_ascii_case("accept") {
+                accept = Some(value.to_owned());
             }
         }
         if content_length > self.limits.max_body_bytes {
@@ -240,6 +247,7 @@ impl RequestParser {
             method,
             path,
             keep_alive,
+            accept,
             content_length,
         })
     }
@@ -281,6 +289,7 @@ impl RequestParser {
             method: head.method,
             path: head.path,
             keep_alive: head.keep_alive,
+            accept: head.accept,
             body,
         }))
     }
@@ -300,14 +309,25 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Serialise a JSON response (the API speaks nothing else) into the
-/// bytes to put on the wire. Head and body are one buffer: a single
-/// `write` syscall for small responses, and no window for a peer to
-/// observe a half response.
+/// Serialise a JSON response into the bytes to put on the wire. Head
+/// and body are one buffer: a single `write` syscall for small
+/// responses, and no window for a peer to observe a half response.
 pub fn response_bytes(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
+    response_bytes_with_type(status, "application/json", body, keep_alive)
+}
+
+/// [`response_bytes`] with an explicit content type (the Prometheus
+/// exposition of `/metrics` answers `text/plain`; everything else in
+/// the API is JSON).
+pub fn response_bytes_with_type(
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> Vec<u8> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
         reason(status),
         body.len(),
     )
@@ -531,6 +551,23 @@ mod tests {
         assert!(!reqs[0].keep_alive);
         let reqs = parse_all(b"GET / HTTP/1.0\r\n\r\n").unwrap();
         assert!(!reqs[0].keep_alive);
+    }
+
+    #[test]
+    fn accept_header_is_captured_verbatim() {
+        let reqs = parse_all(b"GET /metrics HTTP/1.1\r\nAccept: text/plain; version=0.0.4\r\n\r\n")
+            .unwrap();
+        assert_eq!(reqs[0].accept.as_deref(), Some("text/plain; version=0.0.4"));
+        let reqs = parse_all(b"GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        assert!(reqs[0].accept.is_none());
+    }
+
+    #[test]
+    fn response_bytes_with_type_sets_the_content_type() {
+        let bytes = response_bytes_with_type(200, "text/plain; version=0.0.4", "x 1\n", true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        assert!(text.contains("Content-Length: 4\r\n"));
     }
 
     #[test]

@@ -26,8 +26,14 @@
 //!   feature extraction entirely (asserted by an integration test through
 //!   [`urlid_features::CountingExtractor`]);
 //! * [`metrics`] — request counters, connection gauges (open / idle /
-//!   accepted / timed-out) and a log-scale latency histogram behind
-//!   relaxed atomics, exported by `GET /metrics`;
+//!   accepted / timed-out), the end-to-end latency histogram, and the
+//!   **stage-span plane**: per-stage log-linear histograms
+//!   (parse / queue / cache / extract / score / write, shared
+//!   `urlid-telemetry` buckets) plus a striped fixed-size trace ring
+//!   with request-id correlation — all behind relaxed atomics and
+//!   try-lock ring writes, exported by `GET /metrics` (JSON by
+//!   default, Prometheus text on `Accept: text/plain`) and
+//!   `GET /admin/trace`;
 //! * [`server`] — routing, the shared [`server::ServerState`] with
 //!   **atomic model hot-reload** (`POST /admin/reload` swaps an
 //!   [`std::sync::Arc`]-held model with zero dropped requests; the cache
@@ -45,7 +51,8 @@
 //! | `/identify`           | POST   | `{"url": "..."}`            | per-language scores, decisions, best, cached |
 //! | `/identify_batch`     | POST   | `{"urls": ["...", ...]}`    | one result per URL (parallel scoring)        |
 //! | `/healthz`            | GET    | —                           | status, model config, uptime                 |
-//! | `/metrics`            | GET    | —                           | counters, connections, cache, latency        |
+//! | `/metrics`            | GET    | —                           | counters, cache, latency + per-stage histograms; JSON by default, Prometheus text 0.0.4 on `Accept: text/plain` |
+//! | `/admin/trace`        | GET    | —                           | last buffered stage spans with request ids   |
 //! | `/admin/reload`       | POST   | `{"path": "..."}` (opt.)    | swaps the model, bumps the cache epoch       |
 //!
 //! ## Quickstart
@@ -81,6 +88,8 @@ pub mod server;
 pub mod sys;
 
 pub use cache::{normalize_url, ResultCache};
-pub use loadgen::{run_loadgen, run_suite, BenchReport, BenchSuite, LoadgenConfig};
+pub use loadgen::{
+    run_loadgen, run_suite, BenchReport, BenchSuite, LoadgenConfig, SERVE_BENCH_SCHEMA,
+};
 pub use metrics::Metrics;
 pub use server::{spawn, ServeConfig, ServerHandle, ServerState};

@@ -9,9 +9,13 @@
 //! result cache.
 //!
 //! Each active worker thread keeps one keep-alive connection and
-//! measures per-request wall latency; the merged samples give *exact*
-//! percentiles (the server's own histogram is bucketed). On top of the
-//! active workers, a scenario can hold `idle_connections` **mostly-idle
+//! records per-request wall latency into its own shared log-linear
+//! [`Histogram`] (the same `urlid-telemetry` buckets the server
+//! exports); the per-worker histograms merge exactly, so the reported
+//! p50/p90/p99/p99.9 carry the bucket scheme's ≤3.125% relative error
+//! and are directly comparable to the server-side `/metrics`
+//! distribution. On top of the active workers, a scenario can hold
+//! `idle_connections` **mostly-idle
 //! keep-alive connections** open for the whole run — the crawl-frontier
 //! client population the reactor refactor exists for. Each idle
 //! connection proves itself twice: one request when it opens, and one
@@ -33,6 +37,12 @@ use std::net::TcpStream;
 use std::path::PathBuf;
 use std::time::Instant;
 use urlid_corpus::UrlGenerator;
+use urlid_telemetry::Histogram;
+
+/// Schema version stamped into [`BenchReport`] and [`BenchSuite`].
+/// Version 3 switched the latency summary to the shared log-linear
+/// histogram and added `p999_ms`.
+pub const SERVE_BENCH_SCHEMA: u32 = 3;
 
 /// Load-generator configuration for one scenario.
 #[derive(Debug, Clone)]
@@ -71,7 +81,9 @@ impl Default for LoadgenConfig {
     }
 }
 
-/// Latency percentiles in milliseconds (exact, from client-side samples).
+/// Latency percentiles in milliseconds, computed from the merged
+/// per-worker [`Histogram`]s (log-linear buckets, ≤3.125% relative
+/// error; the mean is exact because the histogram keeps the true sum).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LatencySummary {
     /// Median.
@@ -80,10 +92,27 @@ pub struct LatencySummary {
     pub p90_ms: f64,
     /// 99th percentile.
     pub p99_ms: f64,
-    /// Mean.
+    /// 99.9th percentile.
+    pub p999_ms: f64,
+    /// Mean (exact).
     pub mean_ms: f64,
-    /// Slowest request.
+    /// Slowest request (bucket-resolved).
     pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarise a latency histogram recorded in microseconds.
+    pub fn from_histogram(hist: &Histogram) -> Self {
+        let q = |q: f64| hist.quantile(q).unwrap_or(0) as f64 / 1000.0;
+        Self {
+            p50_ms: q(0.50),
+            p90_ms: q(0.90),
+            p99_ms: q(0.99),
+            p999_ms: q(0.999),
+            mean_ms: hist.mean() / 1000.0,
+            max_ms: hist.max() as f64 / 1000.0,
+        }
+    }
 }
 
 /// Server-side cache statistics, read from `GET /metrics` after the run.
@@ -102,6 +131,8 @@ pub struct CacheSummary {
 pub struct BenchReport {
     /// Report kind tag, always `"serve"`.
     pub bench: String,
+    /// Report schema version ([`SERVE_BENCH_SCHEMA`]).
+    pub schema: u32,
     /// Scenario name (`baseline_4conn`, `idle_1024`, ...).
     pub scenario: String,
     /// Seconds since the Unix epoch when the run finished.
@@ -137,18 +168,12 @@ pub struct BenchReport {
 pub struct BenchSuite {
     /// Report kind tag, always `"serve"`.
     pub bench: String,
+    /// Report schema version ([`SERVE_BENCH_SCHEMA`]).
+    pub schema: u32,
     /// Seconds since the Unix epoch when the suite finished.
     pub unix_time: u64,
     /// One report per scenario, in execution order.
     pub scenarios: Vec<BenchReport>,
-}
-
-fn percentile(sorted_micros: &[u64], q: f64) -> f64 {
-    if sorted_micros.is_empty() {
-        return 0.0;
-    }
-    let rank = ((q * sorted_micros.len() as f64).ceil() as usize).clamp(1, sorted_micros.len());
-    sorted_micros[rank - 1] as f64 / 1000.0
 }
 
 fn unix_now() -> u64 {
@@ -159,15 +184,15 @@ fn unix_now() -> u64 {
 }
 
 /// One active worker: a keep-alive connection sending `n` requests
-/// sampled from the shared pool. Returns (latency samples in µs, error
-/// count).
-fn worker(addr: &str, urls: &[String], n: usize, seed: u64) -> io::Result<(Vec<u64>, u64)> {
+/// sampled from the shared pool. Returns (latency histogram in µs,
+/// error count); the per-worker histograms merge exactly.
+fn worker(addr: &str, urls: &[String], n: usize, seed: u64) -> io::Result<(Histogram, u64)> {
     let stream = TcpStream::connect(addr)?;
     let _ = stream.set_nodelay(true);
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut latencies = Vec::with_capacity(n);
+    let mut latencies = Histogram::new();
     let mut errors = 0u64;
     for _ in 0..n {
         let url = &urls[rng.random_range(0..urls.len())];
@@ -175,7 +200,7 @@ fn worker(addr: &str, urls: &[String], n: usize, seed: u64) -> io::Result<(Vec<u
         let status = identify_once(&mut writer, &mut reader, url)?;
         let elapsed = started.elapsed().as_micros() as u64;
         if status == 200 {
-            latencies.push(elapsed);
+            latencies.record(elapsed);
         } else {
             errors += 1;
         }
@@ -296,7 +321,7 @@ pub fn run_loadgen(config: &LoadgenConfig) -> io::Result<BenchReport> {
     // Phase 2: the active hammer, with the idle population holding
     // their connections open against the same reactor.
     let started = Instant::now();
-    let results: Vec<io::Result<(Vec<u64>, u64)>> = std::thread::scope(|scope| {
+    let results: Vec<io::Result<(Histogram, u64)>> = std::thread::scope(|scope| {
         (0..concurrency)
             .map(|i| {
                 let urls = &urls;
@@ -320,23 +345,18 @@ pub fn run_loadgen(config: &LoadgenConfig) -> io::Result<BenchReport> {
     errors += sweep_errors;
     drop(idle_conns);
 
-    let mut latencies = Vec::new();
+    let mut latencies = Histogram::new();
     for result in results {
-        let (mut worker_latencies, worker_errors) = result?;
-        latencies.append(&mut worker_latencies);
+        let (worker_latencies, worker_errors) = result?;
+        latencies.merge(&worker_latencies);
         errors += worker_errors;
     }
-    latencies.sort_unstable();
-    let active_completed = latencies.len() as u64;
+    let active_completed = latencies.count();
     completed += active_completed;
-    let mean_micros = if latencies.is_empty() {
-        0.0
-    } else {
-        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
-    };
     let (cache, server_threads) = fetch_server_stats(&config.addr)?;
     let report = BenchReport {
         bench: "serve".to_owned(),
+        schema: SERVE_BENCH_SCHEMA,
         scenario: config.name.clone(),
         unix_time: unix_now(),
         requests: completed,
@@ -351,15 +371,7 @@ pub fn run_loadgen(config: &LoadgenConfig) -> io::Result<BenchReport> {
             0.0
         },
         server_threads,
-        latency: LatencySummary {
-            p50_ms: percentile(&latencies, 0.50),
-            p90_ms: percentile(&latencies, 0.90),
-            p99_ms: percentile(&latencies, 0.99),
-            mean_ms: mean_micros / 1000.0,
-            max_ms: latencies
-                .last()
-                .map_or(0.0, |&micros| micros as f64 / 1000.0),
-        },
+        latency: LatencySummary::from_histogram(&latencies),
         cache,
     };
     if let Some(out) = &config.out {
@@ -382,6 +394,7 @@ pub fn run_suite(scenarios: &[LoadgenConfig], out: Option<&PathBuf>) -> io::Resu
     }
     let suite = BenchSuite {
         bench: "serve".to_owned(),
+        schema: SERVE_BENCH_SCHEMA,
         unix_time: unix_now(),
         scenarios: reports,
     };
@@ -398,17 +411,60 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentiles_are_exact_on_small_samples() {
-        let samples = vec![1000, 2000, 3000, 4000, 5000];
-        assert_eq!(percentile(&samples, 0.50), 3.0);
-        assert_eq!(percentile(&samples, 0.99), 5.0);
-        assert_eq!(percentile(&samples, 0.0), 1.0);
-        assert_eq!(percentile(&[], 0.5), 0.0);
+    fn latency_summary_comes_from_the_shared_histogram() {
+        let mut hist = Histogram::new();
+        for micros in [1000u64, 2000, 3000, 4000, 5000] {
+            hist.record(micros);
+        }
+        let summary = LatencySummary::from_histogram(&hist);
+        // Quantiles are bucket upper bounds: within 3.125% of the truth.
+        assert!((summary.p50_ms - 3.0).abs() / 3.0 <= 0.04, "{summary:?}");
+        assert!((summary.p99_ms - 5.0).abs() / 5.0 <= 0.04, "{summary:?}");
+        assert_eq!(summary.max_ms, 5.0);
+        assert_eq!(summary.mean_ms, 3.0); // mean is exact (true sum kept)
+        assert!(summary.p50_ms <= summary.p90_ms);
+        assert!(summary.p90_ms <= summary.p99_ms);
+        assert!(summary.p99_ms <= summary.p999_ms);
+        assert!(summary.p999_ms <= summary.max_ms);
+    }
+
+    #[test]
+    fn empty_histogram_summarises_to_zeros() {
+        let summary = LatencySummary::from_histogram(&Histogram::new());
+        assert_eq!(summary.p50_ms, 0.0);
+        assert_eq!(summary.p999_ms, 0.0);
+        assert_eq!(summary.mean_ms, 0.0);
+        assert_eq!(summary.max_ms, 0.0);
+    }
+
+    #[test]
+    fn merged_worker_histograms_match_one_big_histogram() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for i in 0..1000u64 {
+            let v = 500 + i * 37 % 90_000;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.sum(), whole.sum());
+        let merged = LatencySummary::from_histogram(&a);
+        let direct = LatencySummary::from_histogram(&whole);
+        assert_eq!(merged.p50_ms, direct.p50_ms);
+        assert_eq!(merged.p999_ms, direct.p999_ms);
+        assert_eq!(merged.max_ms, direct.max_ms);
     }
 
     fn sample_report(scenario: &str) -> BenchReport {
         BenchReport {
             bench: "serve".into(),
+            schema: SERVE_BENCH_SCHEMA,
             scenario: scenario.into(),
             unix_time: 1,
             requests: 100,
@@ -423,6 +479,7 @@ mod tests {
                 p50_ms: 1.0,
                 p90_ms: 2.0,
                 p99_ms: 3.0,
+                p999_ms: 3.5,
                 mean_ms: 1.2,
                 max_ms: 4.0,
             },
@@ -444,18 +501,23 @@ mod tests {
         assert_eq!(restored.scenario, "baseline_4conn");
         assert_eq!(restored.idle_connections, 16);
         assert_eq!(restored.server_threads, 2);
+        assert_eq!(restored.schema, SERVE_BENCH_SCHEMA);
+        assert_eq!(restored.latency.p999_ms, 3.5);
         assert!(json.contains("\"throughput_rps\""));
+        assert!(json.contains("\"p999_ms\""));
     }
 
     #[test]
     fn suite_round_trips_through_json() {
         let suite = BenchSuite {
             bench: "serve".into(),
+            schema: SERVE_BENCH_SCHEMA,
             unix_time: 2,
             scenarios: vec![sample_report("baseline_4conn"), sample_report("idle_1024")],
         };
         let json = serde_json::to_string(&suite).unwrap();
         let restored: BenchSuite = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored.schema, 3);
         assert_eq!(restored.scenarios.len(), 2);
         assert_eq!(restored.scenarios[1].scenario, "idle_1024");
     }

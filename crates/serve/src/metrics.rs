@@ -1,105 +1,37 @@
-//! Request counters and a log-scale latency histogram.
+//! Request counters, per-stage histograms, and the trace plane.
 //!
-//! Everything is relaxed atomics: the handlers record into shared
-//! counters with no locking, and `GET /metrics` reads a (slightly
-//! racy, monotonically consistent-enough) snapshot — the standard
-//! trade-off for serving metrics.
+//! Everything on a recording path is relaxed atomics or a `try_lock`
+//! ring write: the handlers record into shared counters and
+//! [`AtomicHistogram`]s with no blocking, and `GET /metrics` reads a
+//! (slightly racy, monotonically consistent-enough) snapshot — the
+//! standard trade-off for serving metrics.
+//!
+//! Latency and the six pipeline stages (parse / queue / cache /
+//! extract / score / write) share the log-linear histogram from
+//! `urlid-telemetry` (≤ 3.125% relative quantile error; see that
+//! crate's docs). Stage spans additionally land in a striped
+//! fixed-size [`TraceBuffer`] with request-id correlation, which
+//! `GET /admin/trace` snapshots for slow-request forensics. The
+//! whole span plane can be disabled (`urlid serve --telemetry off`);
+//! counters and end-to-end latency stay on regardless.
 
 use serde::Value;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
+use urlid_telemetry::{AtomicHistogram, Histogram, SlowLog, SpanRecord, Stage, TraceBuffer};
 
-/// Number of power-of-two latency buckets: bucket `i` counts requests
-/// taking `[2^(i-1), 2^i)` microseconds, so the range spans 1 µs up to
-/// ~9 minutes — beyond either end clamps into the edge buckets.
-const BUCKETS: usize = 40;
+/// Trace ring stripes. The reactor records into stripe 0; worker `i`
+/// records into `1 + (i % 7)` — steady-state recording is uncontended
+/// up to seven workers and merely try-lock-contended beyond.
+const TRACE_STRIPES: usize = 8;
 
-/// A log₂-scale latency histogram over microseconds.
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum_micros: AtomicU64,
-    max_micros: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_micros: AtomicU64::new(0),
-            max_micros: AtomicU64::new(0),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    fn bucket_of(micros: u64) -> usize {
-        // bit length of `micros`: 0 µs and 1 µs land in bucket 0/1.
-        ((u64::BITS - micros.leading_zeros()) as usize).min(BUCKETS - 1)
-    }
-
-    /// Record one request latency.
-    pub fn record(&self, micros: u64) {
-        self.buckets[Self::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
-        self.max_micros.fetch_max(micros, Ordering::Relaxed);
-    }
-
-    /// Number of recorded requests.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// The latency quantile in milliseconds, resolved to the upper bound
-    /// of the bucket containing it (`None` before the first request).
-    pub fn quantile_ms(&self, q: f64) -> Option<f64> {
-        let total = self.count();
-        if total == 0 {
-            return None;
-        }
-        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= target {
-                let upper_micros = 1u64 << i;
-                return Some(upper_micros as f64 / 1000.0);
-            }
-        }
-        Some(self.max_micros.load(Ordering::Relaxed) as f64 / 1000.0)
-    }
-
-    /// Mean latency in milliseconds (`None` before the first request).
-    pub fn mean_ms(&self) -> Option<f64> {
-        let count = self.count();
-        if count == 0 {
-            return None;
-        }
-        Some(self.sum_micros.load(Ordering::Relaxed) as f64 / count as f64 / 1000.0)
-    }
-
-    /// The non-empty buckets as `{"le_ms": .., "count": ..}` objects
-    /// (`le_ms` is the bucket's inclusive upper bound in milliseconds).
-    pub fn to_value(&self) -> Value {
-        let mut out = Vec::new();
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            let count = bucket.load(Ordering::Relaxed);
-            if count > 0 {
-                let mut entry = Value::object();
-                entry.insert("le_ms", Value::Float((1u64 << i) as f64 / 1000.0));
-                entry.insert("count", Value::Uint(count));
-                out.push(entry);
-            }
-        }
-        Value::Array(out)
-    }
-}
+/// Span records kept per stripe; `GET /admin/trace` returns at most
+/// `TRACE_STRIPES * TRACE_RING_CAPACITY` records.
+const TRACE_RING_CAPACITY: usize = 128;
 
 /// All serving metrics: per-endpoint request counters, error count,
-/// reload count, connection-engine gauges, and the latency histogram of
-/// the two scoring endpoints.
+/// reload count, connection-engine gauges, the end-to-end latency
+/// histogram, and the per-stage span plane.
 pub struct Metrics {
     start: Instant,
     /// `POST /identify` requests served.
@@ -128,8 +60,23 @@ pub struct Metrics {
     /// Scoring-pool size, recorded at spawn (the reactor adds one more
     /// thread; together they are the server's whole thread budget).
     pub scoring_threads: AtomicU64,
-    /// Latency of `/identify` and `/identify_batch` requests.
-    pub latency: LatencyHistogram,
+    /// End-to-end latency (reactor dispatch → response handed to the
+    /// socket) of `/identify` and `/identify_batch` — protocol-level
+    /// `400`/`413` rejects included, so overload percentiles are
+    /// honest.
+    pub latency: AtomicHistogram,
+    /// Slow-request log decisions (threshold-gated, rate-limited).
+    pub slow: SlowLog,
+    /// Per-stage duration histograms, indexed by [`Stage`].
+    stages: [AtomicHistogram; 6],
+    /// Striped span rings behind `GET /admin/trace`.
+    trace: TraceBuffer,
+    /// Span recording on/off (`urlid serve --telemetry off` for A/B
+    /// overhead runs; counters and latency are unaffected).
+    telemetry_enabled: AtomicBool,
+    /// Request-id source (assigned at parse completion, correlates the
+    /// span records of one request).
+    next_request_id: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -139,7 +86,7 @@ impl Default for Metrics {
 }
 
 impl Metrics {
-    /// Fresh metrics; uptime counts from now.
+    /// Fresh metrics; uptime counts from now; span recording on.
     pub fn new() -> Self {
         Self {
             start: Instant::now(),
@@ -155,13 +102,100 @@ impl Metrics {
             connections_busy: AtomicU64::new(0),
             connections_timed_out: AtomicU64::new(0),
             scoring_threads: AtomicU64::new(0),
-            latency: LatencyHistogram::default(),
+            latency: AtomicHistogram::new(),
+            slow: SlowLog::new(),
+            stages: std::array::from_fn(|_| AtomicHistogram::new()),
+            trace: TraceBuffer::new(TRACE_STRIPES, TRACE_RING_CAPACITY),
+            telemetry_enabled: AtomicBool::new(true),
+            next_request_id: AtomicU64::new(0),
         }
     }
 
     /// Seconds since the server started.
     pub fn uptime_secs(&self) -> f64 {
         self.start.elapsed().as_secs_f64()
+    }
+
+    /// Microseconds since the server started (span timestamps and the
+    /// slow-log rate limiter share this clock).
+    pub fn now_micros(&self) -> u64 {
+        urlid_telemetry::duration_micros(self.start.elapsed())
+    }
+
+    /// A fresh request id (assigned when a request finishes parsing).
+    pub fn next_request_id(&self) -> u64 {
+        self.next_request_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Whether span recording is on.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn span recording on or off (applied from `ServeConfig` at
+    /// spawn).
+    pub fn set_telemetry_enabled(&self, enabled: bool) {
+        self.telemetry_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Record one end-to-end request latency (always on).
+    pub fn record_latency(&self, micros: u64) {
+        self.latency.record(micros);
+    }
+
+    /// Record one stage span: the duration lands in the stage's
+    /// histogram and (best-effort, never blocking) in the trace ring.
+    /// No-op with telemetry off; allocation-free either way.
+    #[inline]
+    pub fn record_stage(
+        &self,
+        stripe: usize,
+        request_id: u64,
+        stage: Stage,
+        start_micros: u64,
+        duration_micros: u64,
+    ) {
+        if !self.telemetry_enabled() {
+            return;
+        }
+        self.stages[stage as usize].record(duration_micros);
+        self.trace.record(
+            stripe,
+            SpanRecord {
+                request_id,
+                stage,
+                start_micros,
+                duration_micros,
+            },
+        );
+    }
+
+    /// [`Metrics::record_stage`] for a span that just finished: the
+    /// start timestamp is derived as now minus the duration.
+    #[inline]
+    pub fn record_stage_end(
+        &self,
+        stripe: usize,
+        request_id: u64,
+        stage: Stage,
+        duration_micros: u64,
+    ) {
+        if !self.telemetry_enabled() {
+            return;
+        }
+        let start = self.now_micros().saturating_sub(duration_micros);
+        self.record_stage(stripe, request_id, stage, start, duration_micros);
+    }
+
+    /// One stage's histogram (exposition, tests).
+    pub fn stage_histogram(&self, stage: Stage) -> &AtomicHistogram {
+        &self.stages[stage as usize]
+    }
+
+    /// All buffered span records, oldest first (behind `GET
+    /// /admin/trace`).
+    pub fn trace_snapshot(&self) -> Vec<SpanRecord> {
+        self.trace.snapshot()
     }
 
     /// The request-counter section of the `/metrics` response.
@@ -216,27 +250,60 @@ impl Metrics {
         threads
     }
 
-    /// The latency section of the `/metrics` response.
+    /// The latency section of the `/metrics` response (same field names
+    /// as before the shared-histogram switch, plus `p999_ms`; `le_ms`
+    /// bucket bounds are now log-linear instead of powers of two).
     pub fn latency_value(&self) -> Value {
-        let mut latency = Value::object();
-        latency.insert("count", Value::Uint(self.latency.count()));
-        let quantile = |q| match self.latency.quantile_ms(q) {
-            Some(ms) => Value::Float(ms),
-            None => Value::Null,
-        };
-        latency.insert("p50_ms", quantile(0.50));
-        latency.insert("p90_ms", quantile(0.90));
-        latency.insert("p99_ms", quantile(0.99));
-        latency.insert(
-            "mean_ms",
-            match self.latency.mean_ms() {
-                Some(ms) => Value::Float(ms),
-                None => Value::Null,
-            },
-        );
-        latency.insert("histogram", self.latency.to_value());
-        latency
+        histogram_value(&self.latency.snapshot())
     }
+
+    /// The per-stage section of the `/metrics` response: one object per
+    /// pipeline stage, same shape as the latency section.
+    pub fn stages_value(&self) -> Value {
+        let mut stages = Value::object();
+        for stage in Stage::ALL {
+            stages.insert(
+                stage.name(),
+                histogram_value(&self.stages[stage as usize].snapshot()),
+            );
+        }
+        stages
+    }
+}
+
+/// Render a histogram snapshot as the JSON `/metrics` shape: `count`,
+/// `p50_ms`/`p90_ms`/`p99_ms`/`p999_ms`, `mean_ms`, and the non-empty
+/// buckets as `{"le_ms": .., "count": ..}` (`le_ms` is the bucket's
+/// inclusive upper bound in milliseconds). Quantiles are `null` before
+/// the first sample.
+pub(crate) fn histogram_value(hist: &Histogram) -> Value {
+    let mut out = Value::object();
+    out.insert("count", Value::Uint(hist.count()));
+    let quantile = |q| match hist.quantile(q) {
+        Some(micros) => Value::Float(micros as f64 / 1000.0),
+        None => Value::Null,
+    };
+    out.insert("p50_ms", quantile(0.50));
+    out.insert("p90_ms", quantile(0.90));
+    out.insert("p99_ms", quantile(0.99));
+    out.insert("p999_ms", quantile(0.999));
+    out.insert(
+        "mean_ms",
+        if hist.count() == 0 {
+            Value::Null
+        } else {
+            Value::Float(hist.mean() / 1000.0)
+        },
+    );
+    let mut buckets = Vec::new();
+    for (_, upper, count) in hist.nonzero_buckets() {
+        let mut entry = Value::object();
+        entry.insert("le_ms", Value::Float(upper as f64 / 1000.0));
+        entry.insert("count", Value::Uint(count));
+        buckets.push(entry);
+    }
+    out.insert("histogram", Value::Array(buckets));
+    out
 }
 
 #[cfg(test)]
@@ -244,37 +311,65 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_buckets_and_quantiles() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.quantile_ms(0.5), None);
-        assert_eq!(h.mean_ms(), None);
-        // 90 fast requests (~8 µs), 10 slow (~2048 µs).
+    fn latency_value_keeps_the_documented_shape() {
+        let m = Metrics::new();
+        assert_eq!(m.latency_value().get("p50_ms"), Some(&Value::Null));
+        // 90 fast requests (~7 µs), 10 slow (~1500 µs).
         for _ in 0..90 {
-            h.record(7);
+            m.record_latency(7);
         }
         for _ in 0..10 {
-            h.record(1500);
+            m.record_latency(1500);
         }
-        assert_eq!(h.count(), 100);
-        // p50 resolves to the fast bucket's upper bound, p99 to the slow.
-        assert!(h.quantile_ms(0.5).unwrap() <= 0.016);
-        assert!(h.quantile_ms(0.99).unwrap() >= 1.0);
-        let mean = h.mean_ms().unwrap();
-        assert!(mean > 0.1 && mean < 0.2, "mean {mean}");
-        // Histogram JSON has exactly the two non-empty buckets.
-        match h.to_value() {
-            Value::Array(buckets) => assert_eq!(buckets.len(), 2),
-            other => panic!("expected array, got {other:?}"),
+        let v = m.latency_value();
+        assert_eq!(v.get("count"), Some(&Value::Uint(100)));
+        let p50 = match v.get("p50_ms") {
+            Some(Value::Float(ms)) => *ms,
+            other => panic!("p50_ms: {other:?}"),
+        };
+        assert!(p50 <= 0.008, "p50 {p50}");
+        let p99 = match v.get("p99_ms") {
+            Some(Value::Float(ms)) => *ms,
+            other => panic!("p99_ms: {other:?}"),
+        };
+        assert!((1.0..=1.6).contains(&p99), "p99 {p99}");
+        assert!(v.get("p999_ms").is_some());
+        match v.get("histogram") {
+            Some(Value::Array(buckets)) => assert_eq!(buckets.len(), 2),
+            other => panic!("histogram: {other:?}"),
         }
     }
 
     #[test]
-    fn zero_and_huge_latencies_clamp_into_edge_buckets() {
-        let h = LatencyHistogram::default();
-        h.record(0);
-        h.record(u64::MAX);
-        assert_eq!(h.count(), 2);
-        assert!(h.quantile_ms(1.0).is_some());
+    fn stage_spans_land_in_histogram_and_trace() {
+        let m = Metrics::new();
+        let id = m.next_request_id();
+        m.record_stage(0, id, Stage::Parse, 10, 3);
+        m.record_stage(1, id, Stage::Score, 20, 45);
+        assert_eq!(m.stage_histogram(Stage::Parse).count(), 1);
+        assert_eq!(m.stage_histogram(Stage::Score).count(), 1);
+        assert_eq!(m.stage_histogram(Stage::Queue).count(), 0);
+        let spans = m.trace_snapshot();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.request_id == id));
+        let stages = m.stages_value();
+        let parse = stages.get("parse").expect("parse stage");
+        assert_eq!(parse.get("count"), Some(&Value::Uint(1)));
+        assert_eq!(
+            stages.get("queue").and_then(|s| s.get("count")),
+            Some(&Value::Uint(0))
+        );
+    }
+
+    #[test]
+    fn telemetry_toggle_stops_span_recording_only() {
+        let m = Metrics::new();
+        m.set_telemetry_enabled(false);
+        m.record_stage(0, 1, Stage::Extract, 0, 9);
+        m.record_latency(100);
+        assert_eq!(m.stage_histogram(Stage::Extract).count(), 0);
+        assert!(m.trace_snapshot().is_empty());
+        assert_eq!(m.latency.count(), 1, "latency histogram stays on");
     }
 
     #[test]
@@ -301,7 +396,7 @@ mod tests {
     fn metrics_values_have_the_documented_shape() {
         let m = Metrics::new();
         m.identify.fetch_add(3, Ordering::Relaxed);
-        m.latency.record(100);
+        m.record_latency(100);
         let requests = m.requests_value();
         assert_eq!(requests.get("identify"), Some(&Value::Uint(3)));
         assert_eq!(requests.get("errors"), Some(&Value::Uint(0)));
@@ -309,5 +404,13 @@ mod tests {
         assert_eq!(latency.get("count"), Some(&Value::Uint(1)));
         assert!(latency.get("p50_ms").is_some());
         assert!(m.uptime_secs() >= 0.0);
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_increasing() {
+        let m = Metrics::new();
+        let a = m.next_request_id();
+        let b = m.next_request_id();
+        assert!(b > a && a > 0);
     }
 }

@@ -20,13 +20,15 @@
 //! over-provision past the cores.
 
 use crate::http::{self, Request};
-use crate::server::{route, ServerState};
+use crate::server::{route, RequestTrace, ServerState};
 use crate::sys::Waker;
 use std::io;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+use urlid_telemetry::Stage;
 
 /// A parsed request bound for the scoring pool, tagged with the
 /// connection token the response must come back to.
@@ -35,6 +37,11 @@ pub(crate) struct Job {
     pub token: u64,
     /// The parsed request.
     pub request: Request,
+    /// Request id assigned at parse completion (span correlation).
+    pub request_id: u64,
+    /// When the reactor dispatched the job (queue-wait span start and
+    /// the end-to-end latency clock).
+    pub dispatched_at: Instant,
 }
 
 /// A finished response on its way back to the reactor.
@@ -47,6 +54,15 @@ pub(crate) struct Completion {
     pub response: Vec<u8>,
     /// Whether the connection should stay open afterwards.
     pub keep_alive: bool,
+    /// Request id (the write-stage span needs it on the reactor side).
+    pub request_id: u64,
+    /// Dispatch timestamp, echoed back so the reactor can record the
+    /// end-to-end latency without any side table.
+    pub dispatched_at: Instant,
+    /// Whether this request counts into the latency histogram (the
+    /// scoring endpoints do; `/healthz`-style bookkeeping does not —
+    /// same scope the histogram had before the stage-tracing refactor).
+    pub record_latency: bool,
 }
 
 /// Handles to the running workers (join on shutdown).
@@ -91,12 +107,56 @@ impl ScoringPool {
                                 Err(_) => return,
                             };
                             let Ok(job) = received else { return };
-                            let (status, body) = route(&state, &job.request, &mut scratch);
+                            let metrics = state.metrics();
+                            let picked_up = Instant::now();
+                            let queue_micros = urlid_telemetry::duration_micros(
+                                picked_up.saturating_duration_since(job.dispatched_at),
+                            );
+                            let mut trace = RequestTrace::new(job.request_id, 1 + i);
+                            metrics.record_stage_end(
+                                trace.stripe,
+                                trace.request_id,
+                                Stage::Queue,
+                                queue_micros,
+                            );
+                            let (status, content_type, body) =
+                                route(&state, &job.request, &mut scratch, &mut trace);
+                            let total_micros = queue_micros
+                                + urlid_telemetry::duration_micros(picked_up.elapsed());
+                            if metrics.slow.should_log(total_micros, metrics.now_micros()) {
+                                // Off the steady-state path by construction
+                                // (threshold + rate limit); key=value so the
+                                // line greps and splits mechanically.
+                                eprintln!(
+                                    "slow_request request_id={} method={} path={} status={} \
+                                     queue_us={} cache_us={} extract_us={} score_us={} total_us={}",
+                                    trace.request_id,
+                                    job.request.method,
+                                    job.request.path,
+                                    status,
+                                    queue_micros,
+                                    trace.cache_us,
+                                    trace.extract_us,
+                                    trace.score_us,
+                                    total_micros,
+                                );
+                            }
                             let keep_alive = job.request.keep_alive;
                             let completion = Completion {
                                 token: job.token,
-                                response: http::response_bytes(status, &body, keep_alive),
+                                response: http::response_bytes_with_type(
+                                    status,
+                                    content_type,
+                                    &body,
+                                    keep_alive,
+                                ),
                                 keep_alive,
+                                request_id: job.request_id,
+                                dispatched_at: job.dispatched_at,
+                                record_latency: matches!(
+                                    job.request.path.as_str(),
+                                    "/identify" | "/identify_batch"
+                                ),
                             };
                             if completions.send(completion).is_err() {
                                 return; // reactor gone

@@ -215,12 +215,14 @@ impl Reactor {
     fn apply(&mut self, idx: usize, step: Step) {
         match step {
             Step::Continue => self.sync_interest(idx),
-            Step::Dispatch(request) => {
+            Step::Dispatch(request, request_id) => {
                 let metrics = self.state.metrics();
                 metrics.connections_busy.fetch_add(1, Ordering::Relaxed);
                 let job = Job {
                     token: self.token_of(idx),
                     request,
+                    request_id,
+                    dispatched_at: Instant::now(),
                 };
                 if self.jobs.send(job).is_err() {
                     // Scoring pool gone — only possible mid-teardown.
@@ -256,8 +258,20 @@ impl Reactor {
             let step = self.slots[idx].conn.as_mut().expect("resolved").complete(
                 completion.response,
                 keep_alive,
+                completion.request_id,
                 now,
             );
+            // End-to-end: reactor dispatch → response flushed to the
+            // socket (the `complete` call above ran the write pass).
+            // `saturating` because the completion may land within the
+            // same loop iteration as its dispatch.
+            if completion.record_latency {
+                self.state
+                    .metrics()
+                    .record_latency(urlid_telemetry::duration_micros(
+                        Instant::now().saturating_duration_since(completion.dispatched_at),
+                    ));
+            }
             self.apply(idx, step);
         }
     }

@@ -45,6 +45,12 @@ use urlid::LanguageIdentifier;
 use urlid_classifiers::LanguageClassifierSet;
 use urlid_features::ExtractScratch;
 use urlid_lexicon::ALL_LANGUAGES;
+use urlid_telemetry::{duration_micros, PromWriter, Stage};
+
+/// Content type of every JSON response.
+const CONTENT_TYPE_JSON: &str = "application/json";
+/// Content type of the Prometheus text exposition (format 0.0.4).
+const CONTENT_TYPE_PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
 
 /// Server configuration (everything has serving-friendly defaults).
 #[derive(Debug, Clone)]
@@ -69,6 +75,15 @@ pub struct ServeConfig {
     /// How long a graceful shutdown waits for in-flight requests to
     /// finish and flush before force-closing what remains.
     pub drain_timeout: Duration,
+    /// Stage-span recording (per-stage histograms, the trace ring).
+    /// Counters and the end-to-end latency histogram stay on even when
+    /// this is off; turning it off exists for A/B overhead runs
+    /// (`urlid serve --telemetry off`).
+    pub telemetry: bool,
+    /// Requests slower than this (end-to-end, microseconds) emit one
+    /// rate-limited key=value line to stderr; `0` disables the slow
+    /// log entirely.
+    pub slow_request_micros: u64,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +95,37 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(5),
             max_body_bytes: MAX_BODY_BYTES,
             drain_timeout: Duration::from_secs(2),
+            telemetry: true,
+            slow_request_micros: 100_000,
+        }
+    }
+}
+
+/// Per-request trace context threaded through [`route`]: which trace
+/// stripe to record into, the request id, and the stage durations the
+/// handlers measured (the scoring-pool worker reads these back for the
+/// slow-request log line).
+pub(crate) struct RequestTrace {
+    /// Request id assigned at parse completion.
+    pub request_id: u64,
+    /// Trace-ring stripe of the recording thread (`1 + worker_index`).
+    pub stripe: usize,
+    /// Result-cache probe duration in microseconds.
+    pub cache_us: u64,
+    /// Feature-extraction duration in microseconds (cache miss only).
+    pub extract_us: u64,
+    /// Scoring duration in microseconds (cache miss only).
+    pub score_us: u64,
+}
+
+impl RequestTrace {
+    pub(crate) fn new(request_id: u64, stripe: usize) -> Self {
+        RequestTrace {
+            request_id,
+            stripe,
+            cache_us: 0,
+            extract_us: 0,
+            score_us: 0,
         }
     }
 }
@@ -233,31 +279,87 @@ impl ServerState {
 
     /// Score one normalised URL, through the cache. Cache misses score
     /// through the calling worker's reusable [`ExtractScratch`], so the
-    /// extract-and-score path allocates nothing in steady state.
-    fn scores_cached(&self, key: &str, scratch: &mut ExtractScratch) -> (CachedScores, bool) {
+    /// extract-and-score path allocates nothing in steady state — the
+    /// stage spans recorded along the way keep that property (atomic
+    /// histogram bumps plus a copy into a pre-allocated trace slot).
+    fn scores_cached(
+        &self,
+        key: &str,
+        scratch: &mut ExtractScratch,
+        trace: &mut RequestTrace,
+    ) -> (CachedScores, bool) {
         let (identifier, epoch) = self.model();
-        if let Some(scores) = self.cache.get(key, epoch) {
+        let cache_started = Instant::now();
+        let hit = self.cache.get(key, epoch);
+        trace.cache_us = duration_micros(cache_started.elapsed());
+        self.metrics
+            .record_stage_end(trace.stripe, trace.request_id, Stage::Cache, trace.cache_us);
+        if let Some(scores) = hit {
             return (scores, true);
         }
-        let scores = identifier.classifier_set().score_all_with(key, scratch);
+        // With telemetry off the plain entry point runs — the timed
+        // variant executes the exact same float operations (it shares
+        // the extraction/scoring helpers), the split just reads the
+        // clock between them.
+        let scores = if self.metrics.telemetry_enabled() {
+            let (scores, split) = identifier
+                .classifier_set()
+                .score_all_with_split(key, scratch);
+            trace.extract_us = split.extract_micros;
+            trace.score_us = split.score_micros;
+            self.metrics.record_stage_end(
+                trace.stripe,
+                trace.request_id,
+                Stage::Extract,
+                split.extract_micros,
+            );
+            self.metrics.record_stage_end(
+                trace.stripe,
+                trace.request_id,
+                Stage::Score,
+                split.score_micros,
+            );
+            scores
+        } else {
+            identifier.classifier_set().score_all_with(key, scratch)
+        };
         self.cache.insert(key, epoch, scores);
         (scores, false)
     }
 
     /// Score a batch of normalised URLs: cache lookups first, then one
-    /// parallel `score_batch` fan-out over the misses.
-    fn scores_cached_batch(&self, keys: &[String]) -> Vec<(CachedScores, bool)> {
+    /// parallel `score_batch` fan-out over the misses. The batch path
+    /// records the cache probe as one cache-stage span and the whole
+    /// fan-out as one score-stage span (extraction happens inside the
+    /// per-core workers and is not split out here).
+    fn scores_cached_batch(
+        &self,
+        keys: &[String],
+        trace: &mut RequestTrace,
+    ) -> Vec<(CachedScores, bool)> {
         let (identifier, epoch) = self.model();
+        let cache_started = Instant::now();
         let mut out: Vec<Option<(CachedScores, bool)>> = keys
             .iter()
             .map(|k| self.cache.get(k, epoch).map(|s| (s, true)))
             .collect();
         let miss_indices: Vec<usize> = (0..keys.len()).filter(|&i| out[i].is_none()).collect();
+        trace.cache_us = duration_micros(cache_started.elapsed());
+        self.metrics
+            .record_stage_end(trace.stripe, trace.request_id, Stage::Cache, trace.cache_us);
         if !miss_indices.is_empty() {
             let miss_urls: Vec<&str> = miss_indices.iter().map(|&i| keys[i].as_str()).collect();
             // The existing scoped-thread batch path: one extraction per
             // URL, fanned out over all cores.
+            let score_started = Instant::now();
             let scored = identifier.classifier_set().score_batch(&miss_urls);
+            trace.score_us = duration_micros(score_started.elapsed());
+            self.metrics.record_stage_end(
+                trace.stripe,
+                trace.request_id,
+                Stage::Score,
+                trace.score_us,
+            );
             for (&i, scores) in miss_indices.iter().zip(scored) {
                 self.cache.insert(&keys[i], epoch, scores);
                 out[i] = Some((scores, false));
@@ -364,8 +466,8 @@ fn handle_identify(
     state: &ServerState,
     req: &Request,
     scratch: &mut ExtractScratch,
+    trace: &mut RequestTrace,
 ) -> (u16, String) {
-    let started = Instant::now();
     let parsed = match parse_json(&req.body) {
         Ok(v) => v,
         Err(e) => return (400, error_body(&e)),
@@ -377,19 +479,18 @@ fn handle_identify(
     if key.is_empty() {
         return (400, error_body("empty url"));
     }
-    let (scores, cached) = state.scores_cached(&key, scratch);
+    let (scores, cached) = state.scores_cached(&key, scratch, trace);
     let body =
         serde_json::to_string(&result_value(&key, &scores, cached)).expect("response serialises");
     state.metrics.identify.fetch_add(1, Ordering::Relaxed);
-    state
-        .metrics
-        .latency
-        .record(started.elapsed().as_micros() as u64);
     (200, body)
 }
 
-fn handle_identify_batch(state: &ServerState, req: &Request) -> (u16, String) {
-    let started = Instant::now();
+fn handle_identify_batch(
+    state: &ServerState,
+    req: &Request,
+    trace: &mut RequestTrace,
+) -> (u16, String) {
     let parsed = match parse_json(&req.body) {
         Ok(v) => v,
         Err(e) => return (400, error_body(&e)),
@@ -410,7 +511,7 @@ fn handle_identify_batch(state: &ServerState, req: &Request) -> (u16, String) {
             _ => return (400, error_body("urls must all be strings")),
         }
     }
-    let results = state.scores_cached_batch(&keys);
+    let results = state.scores_cached_batch(&keys, trace);
     let mut hits = 0u64;
     let items: Vec<Value> = keys
         .iter()
@@ -430,10 +531,6 @@ fn handle_identify_batch(state: &ServerState, req: &Request) -> (u16, String) {
         .metrics
         .batch_urls
         .fetch_add(keys.len() as u64, Ordering::Relaxed);
-    state
-        .metrics
-        .latency
-        .record(started.elapsed().as_micros() as u64);
     (200, body)
 }
 
@@ -447,8 +544,22 @@ fn handle_healthz(state: &ServerState) -> (u16, String) {
     (200, serde_json::to_string(&o).expect("response serialises"))
 }
 
-fn handle_metrics(state: &ServerState) -> (u16, String) {
+/// Does this `Accept` header ask for the Prometheus text exposition?
+/// JSON stays the default: only an explicit `text/plain` (what
+/// Prometheus sends) or an OpenMetrics media type switches formats.
+fn wants_prometheus(accept: Option<&str>) -> bool {
+    let Some(accept) = accept else {
+        return false;
+    };
+    let accept = accept.to_ascii_lowercase();
+    accept.contains("text/plain") || accept.contains("application/openmetrics-text")
+}
+
+fn handle_metrics(state: &ServerState, req: &Request) -> (u16, &'static str, String) {
     state.metrics.metrics.fetch_add(1, Ordering::Relaxed);
+    if wants_prometheus(req.accept.as_deref()) {
+        return (200, CONTENT_TYPE_PROM, prometheus_text(state));
+    }
     let (identifier, epoch, path) = state.model_snapshot();
     let mut cache = Value::object();
     cache.insert("hits", Value::Uint(state.cache.hits()));
@@ -468,7 +579,180 @@ fn handle_metrics(state: &ServerState) -> (u16, String) {
     o.insert("threads", state.metrics.threads_value());
     o.insert("cache", cache);
     o.insert("latency", state.metrics.latency_value());
+    o.insert("stages", state.metrics.stages_value());
     o.insert("model", model);
+    (
+        200,
+        CONTENT_TYPE_JSON,
+        serde_json::to_string(&o).expect("response serialises"),
+    )
+}
+
+/// Render every serving metric as Prometheus text exposition 0.0.4.
+/// The body is rebuilt per scrape from the same atomics the JSON view
+/// reads; `urlid_telemetry::prometheus::lint` accepts it (enforced by
+/// a test in `tests/server_http.rs`).
+pub fn prometheus_text(state: &ServerState) -> String {
+    let m = &state.metrics;
+    let (identifier, epoch, path) = state.model_snapshot();
+    let load = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
+    let mut w = PromWriter::new();
+
+    w.gauge(
+        "urlid_uptime_seconds",
+        "Seconds since the server started.",
+        m.uptime_secs(),
+    );
+    w.family(
+        "urlid_requests_total",
+        "counter",
+        "Requests served, by endpoint.",
+    );
+    for (endpoint, counter) in [
+        ("identify", &m.identify),
+        ("identify_batch", &m.identify_batch),
+        ("healthz", &m.healthz),
+        ("metrics", &m.metrics),
+    ] {
+        w.sample(
+            "urlid_requests_total",
+            &[("endpoint", endpoint)],
+            load(counter) as f64,
+        );
+    }
+    w.counter(
+        "urlid_batch_urls_total",
+        "URLs scored through /identify_batch.",
+        load(&m.batch_urls),
+    );
+    w.counter(
+        "urlid_errors_total",
+        "Requests answered with a 4xx/5xx status (protocol rejects included).",
+        load(&m.errors),
+    );
+    w.counter(
+        "urlid_reloads_total",
+        "Successful model hot-reloads.",
+        load(&m.reloads),
+    );
+    w.counter(
+        "urlid_connections_accepted_total",
+        "Connections accepted since start.",
+        load(&m.connections_accepted),
+    );
+    w.counter(
+        "urlid_connections_timed_out_total",
+        "Connections evicted by the idle timeout.",
+        load(&m.connections_timed_out),
+    );
+    let open = load(&m.connections_open);
+    let busy = load(&m.connections_busy);
+    w.gauge(
+        "urlid_connections_open",
+        "Connections currently registered in the reactor.",
+        open as f64,
+    );
+    w.gauge(
+        "urlid_connections_idle",
+        "Open connections with no request in the scoring pool.",
+        open.saturating_sub(busy) as f64,
+    );
+    let scoring = load(&m.scoring_threads);
+    w.family("urlid_threads", "gauge", "Server threads, by role.");
+    w.sample("urlid_threads", &[("role", "reactor")], 1.0);
+    w.sample("urlid_threads", &[("role", "scoring")], scoring as f64);
+
+    w.counter(
+        "urlid_cache_hits_total",
+        "Result-cache hits.",
+        state.cache.hits(),
+    );
+    w.counter(
+        "urlid_cache_misses_total",
+        "Result-cache misses.",
+        state.cache.misses(),
+    );
+    w.gauge(
+        "urlid_cache_entries",
+        "Result-cache entries currently stored.",
+        state.cache.len() as f64,
+    );
+    w.gauge(
+        "urlid_cache_capacity",
+        "Result-cache capacity.",
+        state.cache.capacity() as f64,
+    );
+
+    let config = identifier.config();
+    w.family(
+        "urlid_model_info",
+        "gauge",
+        "Model identity as labels; the value is always 1.",
+    );
+    let epoch_str = epoch.to_string();
+    let path_str = path
+        .as_ref()
+        .map(|p| p.display().to_string())
+        .unwrap_or_default();
+    w.sample(
+        "urlid_model_info",
+        &[
+            ("algorithm", config.algorithm.abbrev()),
+            ("features", config.feature_set.short_label()),
+            ("weights", identifier.classifier_set().weight_lane()),
+            ("epoch", epoch_str.as_str()),
+            ("path", path_str.as_str()),
+        ],
+        1.0,
+    );
+
+    w.family(
+        "urlid_request_latency_seconds",
+        "histogram",
+        "End-to-end latency of /identify and /identify_batch (rejects included).",
+    );
+    w.histogram_series(
+        "urlid_request_latency_seconds",
+        &[],
+        &m.latency.snapshot(),
+        1e-6,
+    );
+    w.family(
+        "urlid_stage_duration_seconds",
+        "histogram",
+        "Per-stage request pipeline durations.",
+    );
+    for stage in Stage::ALL {
+        w.histogram_series(
+            "urlid_stage_duration_seconds",
+            &[("stage", stage.name())],
+            &m.stage_histogram(stage).snapshot(),
+            1e-6,
+        );
+    }
+    w.finish()
+}
+
+/// `GET /admin/trace`: the last buffered stage spans, oldest first,
+/// with request-id correlation — enough to reconstruct where any
+/// recent request spent its time.
+fn handle_trace(state: &ServerState) -> (u16, String) {
+    let spans = state.metrics.trace_snapshot();
+    let items: Vec<Value> = spans
+        .iter()
+        .map(|s| {
+            let mut o = Value::object();
+            o.insert("request_id", Value::Uint(s.request_id));
+            o.insert("stage", Value::Str(s.stage.name().to_owned()));
+            o.insert("start_us", Value::Uint(s.start_micros));
+            o.insert("duration_us", Value::Uint(s.duration_micros));
+            o
+        })
+        .collect();
+    let mut o = Value::object();
+    o.insert("count", Value::Uint(items.len() as u64));
+    o.insert("telemetry", Value::Bool(state.metrics.telemetry_enabled()));
+    o.insert("spans", Value::Array(items));
     (200, serde_json::to_string(&o).expect("response serialises"))
 }
 
@@ -498,27 +782,48 @@ fn handle_reload(state: &ServerState, req: &Request) -> (u16, String) {
 }
 
 /// Route one request to its handler (runs on a scoring-pool thread,
-/// which owns `scratch` — one reusable extraction buffer per worker).
+/// which owns `scratch` — one reusable extraction buffer per worker —
+/// and `trace` — the stage-span context for this request). Returns
+/// status, content type, and body.
 pub(crate) fn route(
     state: &ServerState,
     req: &Request,
     scratch: &mut ExtractScratch,
-) -> (u16, String) {
-    let response = match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/identify") => handle_identify(state, req, scratch),
-        ("POST", "/identify_batch") => handle_identify_batch(state, req),
-        ("GET", "/healthz") => handle_healthz(state),
-        ("GET", "/metrics") => handle_metrics(state),
-        ("POST", "/admin/reload") => handle_reload(state, req),
-        (_, "/identify" | "/identify_batch" | "/healthz" | "/metrics" | "/admin/reload") => {
-            (405, error_body("method not allowed"))
+    trace: &mut RequestTrace,
+) -> (u16, &'static str, String) {
+    let (status, content_type, body) = match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/identify") => {
+            let (status, body) = handle_identify(state, req, scratch, trace);
+            (status, CONTENT_TYPE_JSON, body)
         }
-        _ => (404, error_body("not found")),
+        ("POST", "/identify_batch") => {
+            let (status, body) = handle_identify_batch(state, req, trace);
+            (status, CONTENT_TYPE_JSON, body)
+        }
+        ("GET", "/healthz") => {
+            let (status, body) = handle_healthz(state);
+            (status, CONTENT_TYPE_JSON, body)
+        }
+        ("GET", "/metrics") => handle_metrics(state, req),
+        ("GET", "/admin/trace") => {
+            let (status, body) = handle_trace(state);
+            (status, CONTENT_TYPE_JSON, body)
+        }
+        ("POST", "/admin/reload") => {
+            let (status, body) = handle_reload(state, req);
+            (status, CONTENT_TYPE_JSON, body)
+        }
+        (
+            _,
+            "/identify" | "/identify_batch" | "/healthz" | "/metrics" | "/admin/trace"
+            | "/admin/reload",
+        ) => (405, CONTENT_TYPE_JSON, error_body("method not allowed")),
+        _ => (404, CONTENT_TYPE_JSON, error_body("not found")),
     };
-    if response.0 >= 400 {
+    if status >= 400 {
         state.metrics.errors.fetch_add(1, Ordering::Relaxed);
     }
-    response
+    (status, content_type, body)
 }
 
 // ---------------------------------------------------------------------
@@ -588,6 +893,13 @@ pub fn spawn(config: &ServeConfig, state: Arc<ServerState>) -> io::Result<Server
         .metrics()
         .scoring_threads
         .store(scoring_threads as u64, Ordering::Relaxed);
+    state.metrics().set_telemetry_enabled(config.telemetry);
+    // 250ms minimum gap between slow-log lines: a pathological burst
+    // costs at most four stderr lines per second.
+    state
+        .metrics()
+        .slow
+        .configure(config.slow_request_micros, 250_000);
 
     let (wake_pipe, waker) = WakePipe::new()?;
     let waker = Arc::new(waker);

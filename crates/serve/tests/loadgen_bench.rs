@@ -43,7 +43,8 @@ fn loadgen_completes_and_emits_bench_json() {
     assert!(report.throughput_rps > 0.0);
     assert!(report.latency.p50_ms > 0.0);
     assert!(report.latency.p50_ms <= report.latency.p99_ms);
-    assert!(report.latency.p99_ms <= report.latency.max_ms);
+    assert!(report.latency.p99_ms <= report.latency.p999_ms);
+    assert!(report.latency.p999_ms <= report.latency.max_ms);
     // The server's whole thread budget is the reactor plus a
     // CPU-count-sized scoring pool — the report certifies it.
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get()) as u64;
@@ -60,6 +61,7 @@ fn loadgen_completes_and_emits_bench_json() {
     let text = std::fs::read_to_string(&out).expect("BENCH_serve.json written");
     let parsed: Value = serde_json::from_str(&text).expect("valid JSON");
     assert_eq!(parsed.get("bench"), Some(&Value::Str("serve".into())));
+    assert_eq!(parsed.get("schema"), Some(&Value::Int(3)));
     for key in [
         "scenario",
         "unix_time",
@@ -75,7 +77,7 @@ fn loadgen_completes_and_emits_bench_json() {
         assert!(parsed.get(key).is_some(), "missing {key}");
     }
     let latency = parsed.get("latency").expect("latency section");
-    for key in ["p50_ms", "p90_ms", "p99_ms", "mean_ms", "max_ms"] {
+    for key in ["p50_ms", "p90_ms", "p99_ms", "p999_ms", "mean_ms", "max_ms"] {
         assert!(latency.get(key).is_some(), "missing latency.{key}");
     }
     let cache = parsed.get("cache").expect("cache section");

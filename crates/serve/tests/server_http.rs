@@ -285,3 +285,182 @@ fn metrics_reports_counters_cache_and_latency() {
     assert_eq!(uint_of(threads, "total"), 1 + cores);
     server.shutdown();
 }
+
+/// Raw request writer for tests that need extra headers (Accept) or
+/// deliberately broken request lines.
+fn raw_request(addr: SocketAddr, request: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("write");
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    response
+}
+
+#[test]
+fn metrics_negotiates_prometheus_text_on_accept() {
+    let server = start_server(1024);
+    let addr = server.addr();
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/identify",
+        Some("{\"url\": \"http://www.beispiel.de/\"}"),
+    );
+    assert_eq!(status, 200);
+
+    let response = raw_request(
+        addr,
+        "GET /metrics HTTP/1.1\r\nHost: urlid\r\nAccept: text/plain\r\nConnection: close\r\n\r\n",
+    );
+    assert!(response.starts_with("HTTP/1.1 200"), "{response:?}");
+    assert!(
+        response.contains("Content-Type: text/plain; version=0.0.4"),
+        "prometheus content type missing: {:?}",
+        &response[..response.len().min(200)]
+    );
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .expect("response has a body");
+    urlid_telemetry::prometheus::lint(body).expect("exposition body passes lint");
+    assert!(body.contains("# TYPE urlid_request_latency_seconds histogram"));
+    assert!(body.contains("# TYPE urlid_stage_duration_seconds histogram"));
+    for stage in ["parse", "queue", "cache", "extract", "score", "write"] {
+        assert!(
+            body.contains(&format!(
+                "urlid_stage_duration_seconds_count{{stage=\"{stage}\"}}"
+            )),
+            "missing stage series {stage}"
+        );
+    }
+    assert!(body.contains("urlid_requests_total{endpoint=\"identify\"} 1"));
+    assert!(body.contains("urlid_model_info{"));
+
+    // Without an Accept preference the default stays JSON.
+    let (status, metrics) = request(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert!(metrics.get("requests").is_some());
+    server.shutdown();
+}
+
+#[test]
+fn metrics_json_includes_per_stage_histograms() {
+    let server = start_server(1024);
+    let addr = server.addr();
+    for i in 0..4 {
+        let body = format!("{{\"url\": \"http://www.seite{i}.de/\"}}");
+        let (status, _) = request(addr, "POST", "/identify", Some(&body));
+        assert_eq!(status, 200);
+    }
+    let (_, metrics) = request(addr, "GET", "/metrics", None);
+    let stages = metrics.get("stages").expect("stages section");
+    for stage in ["parse", "queue", "cache", "extract", "score", "write"] {
+        let entry = stages
+            .get(stage)
+            .unwrap_or_else(|| panic!("missing stage {stage}"));
+        assert!(entry.get("p50_ms").is_some(), "{stage} has no p50_ms");
+        assert!(entry.get("histogram").is_some(), "{stage} has no buckets");
+    }
+    // All four requests flowed through parse, queue, cache, and write;
+    // every one was a cache miss, so extract/score saw them too.
+    assert!(uint_of(stages.get("parse").unwrap(), "count") >= 4);
+    assert!(uint_of(stages.get("queue").unwrap(), "count") >= 4);
+    assert!(uint_of(stages.get("extract").unwrap(), "count") >= 4);
+    server.shutdown();
+}
+
+#[test]
+fn admin_trace_returns_correlated_spans() {
+    let server = start_server(1024);
+    let addr = server.addr();
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/identify",
+        Some("{\"url\": \"http://www.wetter.de/\"}"),
+    );
+    assert_eq!(status, 200);
+    let (status, trace) = request(addr, "GET", "/admin/trace", None);
+    assert_eq!(status, 200);
+    assert_eq!(trace.get("telemetry"), Some(&Value::Bool(true)));
+    let Some(Value::Array(spans)) = trace.get("spans") else {
+        panic!("spans must be an array");
+    };
+    assert_eq!(uint_of(&trace, "count"), spans.len() as u64);
+    assert!(
+        !spans.is_empty(),
+        "at least the identify spans are buffered"
+    );
+    let known = ["parse", "queue", "cache", "extract", "score", "write"];
+    for span in spans {
+        assert!(known.contains(&as_str(span, "stage")), "unknown stage");
+        assert!(uint_of(span, "request_id") > 0);
+        uint_of(span, "start_us");
+        uint_of(span, "duration_us");
+    }
+    // The identify request's id shows up on several stages (correlation).
+    let first_id = uint_of(&spans[0], "request_id");
+    let same_id = spans
+        .iter()
+        .filter(|s| uint_of(s, "request_id") == first_id)
+        .count();
+    assert!(same_id >= 2, "spans of one request share its id");
+    // Wrong method on the trace endpoint is a 405, not a 404.
+    let (status, _) = request(addr, "POST", "/admin/trace", None);
+    assert_eq!(status, 405);
+    server.shutdown();
+}
+
+#[test]
+fn protocol_rejects_record_latency_and_parse_samples() {
+    let server = start_server(1024);
+    let addr = server.addr();
+    let response = raw_request(addr, "GARBAGE REQUEST LINE\r\n\r\n");
+    assert!(response.starts_with("HTTP/1.1 400"), "{response:?}");
+    let (_, metrics) = request(addr, "GET", "/metrics", None);
+    let latency = metrics.get("latency").expect("latency");
+    assert_eq!(
+        uint_of(latency, "count"),
+        1,
+        "the 400 reject must land in the latency histogram"
+    );
+    let stages = metrics.get("stages").expect("stages");
+    assert!(
+        uint_of(stages.get("parse").unwrap(), "count") >= 1,
+        "the reject's parser CPU must land in the parse-stage histogram"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn telemetry_off_keeps_counters_and_latency_only() {
+    let state = Arc::new(ServerState::new(trained_identifier(), None, 1024));
+    let config = ServeConfig {
+        telemetry: false,
+        ..ServeConfig::default()
+    };
+    let server = spawn(&config, state).expect("bind");
+    let addr = server.addr();
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/identify",
+        Some("{\"url\": \"http://www.beispiel.de/\"}"),
+    );
+    assert_eq!(status, 200);
+    let (_, trace) = request(addr, "GET", "/admin/trace", None);
+    assert_eq!(trace.get("telemetry"), Some(&Value::Bool(false)));
+    assert_eq!(uint_of(&trace, "count"), 0, "no spans with telemetry off");
+    let (_, metrics) = request(addr, "GET", "/metrics", None);
+    let stages = metrics.get("stages").expect("stages section still present");
+    assert_eq!(uint_of(stages.get("parse").unwrap(), "count"), 0);
+    let latency = metrics.get("latency").expect("latency");
+    assert_eq!(uint_of(latency, "count"), 1, "latency histogram stays on");
+    assert_eq!(
+        uint_of(metrics.get("requests").unwrap(), "identify"),
+        1,
+        "counters stay on"
+    );
+    server.shutdown();
+}

@@ -1,0 +1,87 @@
+//! Threshold-gated, rate-limited slow-request logging decisions.
+//!
+//! The hot path asks [`SlowLog::should_log`] with a request's total
+//! duration; the answer is `true` only when the duration crosses the
+//! configured threshold *and* the minimum gap since the last emitted
+//! line has elapsed (a compare-and-swap keeps concurrent workers from
+//! flooding stderr together). Formatting/printing stays with the
+//! caller — this type only makes the decision without locking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Decision state for the slow-request log.
+pub struct SlowLog {
+    threshold_micros: AtomicU64,
+    min_gap_micros: AtomicU64,
+    last_emit_micros: AtomicU64,
+}
+
+impl Default for SlowLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SlowLog {
+    /// Disabled (threshold 0) with a 250ms default gap.
+    pub fn new() -> Self {
+        SlowLog {
+            threshold_micros: AtomicU64::new(0),
+            min_gap_micros: AtomicU64::new(250_000),
+            last_emit_micros: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Set the slow threshold (0 disables) and the minimum gap between
+    /// emitted lines, both in microseconds.
+    pub fn configure(&self, threshold_micros: u64, min_gap_micros: u64) {
+        self.threshold_micros
+            .store(threshold_micros, Ordering::Relaxed);
+        self.min_gap_micros.store(min_gap_micros, Ordering::Relaxed);
+        self.last_emit_micros.store(u64::MAX, Ordering::Relaxed);
+    }
+
+    /// Current threshold in microseconds (0 = disabled).
+    pub fn threshold_micros(&self) -> u64 {
+        self.threshold_micros.load(Ordering::Relaxed)
+    }
+
+    /// Should a request of `total_micros` duration, observed at
+    /// `now_micros` (monotonic, e.g. since process start), be logged?
+    /// At most one caller wins per gap window.
+    pub fn should_log(&self, total_micros: u64, now_micros: u64) -> bool {
+        let threshold = self.threshold_micros.load(Ordering::Relaxed);
+        if threshold == 0 || total_micros < threshold {
+            return false;
+        }
+        let gap = self.min_gap_micros.load(Ordering::Relaxed);
+        let last = self.last_emit_micros.load(Ordering::Relaxed);
+        if last != u64::MAX && now_micros.saturating_sub(last) < gap {
+            return false;
+        }
+        self.last_emit_micros
+            .compare_exchange(last, now_micros, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default() {
+        let s = SlowLog::new();
+        assert!(!s.should_log(10_000_000, 0));
+    }
+
+    #[test]
+    fn threshold_and_rate_limit() {
+        let s = SlowLog::new();
+        s.configure(100_000, 250_000);
+        assert!(!s.should_log(99_999, 1_000));
+        assert!(s.should_log(100_000, 1_000), "first slow request logs");
+        assert!(!s.should_log(500_000, 2_000), "inside gap window");
+        assert!(s.should_log(500_000, 251_001), "gap elapsed");
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the shared log-linear histogram.
+
+use proptest::prelude::*;
+use urlid_telemetry::histogram::{bucket_index, bucket_lower, bucket_upper, SUB_BUCKETS};
+use urlid_telemetry::Histogram;
+
+fn build(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// Merging is commutative: a⊔b == b⊔a (integer bucket adds).
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(0u64..2_000_000, 0..60),
+        b in proptest::collection::vec(0u64..2_000_000, 0..60),
+    ) {
+        let (ha, hb) = (build(&a), build(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merging is associative: (a⊔b)⊔c == a⊔(b⊔c), and both equal the
+    /// histogram of the concatenated value streams.
+    #[test]
+    fn merge_is_associative_and_lossless(
+        a in proptest::collection::vec(0u64..5_000_000, 0..40),
+        b in proptest::collection::vec(0u64..5_000_000, 0..40),
+        c in proptest::collection::vec(0u64..5_000_000, 0..40),
+    ) {
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        let mut concat: Vec<u64> = a.clone();
+        concat.extend(&b);
+        concat.extend(&c);
+        prop_assert_eq!(&left, &build(&concat));
+    }
+
+    /// Quantiles are monotone in q.
+    #[test]
+    fn quantiles_are_monotone(
+        values in proptest::collection::vec(0u64..10_000_000, 1..80),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let h = build(&values);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(h.quantile(lo).unwrap() <= h.quantile(hi).unwrap());
+        // Extremes bracket the recorded range.
+        prop_assert!(h.quantile(1.0).unwrap() == h.max());
+        prop_assert!(h.quantile(0.0).unwrap() >= h.min());
+    }
+
+    /// Relative-error bound of the bucket scheme: every value lands in
+    /// a bucket whose width is at most max(1, value/32), so a reported
+    /// bucket upper bound over-estimates by at most 3.125% (exact for
+    /// values below 32).
+    #[test]
+    fn bucket_relative_error_bound(v in 0u64..=(1u64 << 40) - 1) {
+        let i = bucket_index(v);
+        let (lower, upper) = (bucket_lower(i), bucket_upper(i));
+        prop_assert!(lower <= v && v < upper, "{v} outside [{lower},{upper})");
+        let width = upper - lower;
+        if v < SUB_BUCKETS {
+            prop_assert_eq!(width, 1);
+        } else {
+            prop_assert!(width <= v / 32 + 1, "width {width} too wide for {v}");
+            // Reported quantile (upper-1) is within 3.125% above v.
+            prop_assert!((upper - 1 - v) as f64 <= v as f64 / 32.0);
+        }
+    }
+
+    /// A single-value histogram reports that value (clamped to max)
+    /// for every quantile, and mean/sum/count are exact.
+    #[test]
+    fn single_value_is_recovered(v in 0u64..1_000_000_000, q in 0.0f64..1.0) {
+        let h = build(&[v]);
+        prop_assert_eq!(h.quantile(q).unwrap(), v);
+        prop_assert_eq!(h.count(), 1);
+        prop_assert_eq!(h.sum(), v);
+        prop_assert_eq!(h.min(), v);
+        prop_assert_eq!(h.max(), v);
+    }
+}
