@@ -3,15 +3,22 @@
 //!
 //! ```text
 //! loadgen --addr 127.0.0.1:7878 [--requests 10000] [--concurrency 4]
-//!         [--idle 0] [--unique 2000] [--seed 7] [--out BENCH_serve.json]
-//!         [--name scenario] [--suite]
+//!         [--idle 0] [--unique 2000] [--seed 7] [--rate 0]
+//!         [--out BENCH_serve.json] [--name scenario] [--suite]
 //! ```
 //!
-//! `--suite` ignores `--requests`/`--concurrency`/`--idle`/`--name` and
-//! runs the standard scenario pair instead — `baseline_4conn` (the
-//! historical 4-connection hammer) and `idle_1024` (the same hammer
-//! with 1024 mostly-idle keep-alive connections held open) — writing
-//! one multi-scenario report.
+//! `--rate` switches to the open loop: requests are scheduled at that
+//! aggregate arrival rate (req/s) regardless of response pace, and
+//! admission-control `503`s are counted apart from errors.
+//!
+//! `--suite` ignores `--requests`/`--concurrency`/`--idle`/`--rate`/
+//! `--name` and runs the standard scenario set instead:
+//! `baseline_4conn` (the historical 4-connection hammer), `idle_1024`
+//! (the same hammer with 1024 mostly-idle keep-alive connections held
+//! open), `high_core` (a wide closed-loop hammer sized to the host's
+//! cores), and `saturation` (open loop at 1.5× the measured baseline
+//! throughput — overload by construction, certifying graceful
+//! shedding) — writing one multi-scenario report.
 
 use std::process::ExitCode;
 use urlid_serve::{run_loadgen, run_suite, LoadgenConfig};
@@ -21,7 +28,7 @@ loadgen — load generator for the urlid serving layer
 
 USAGE:
   loadgen --addr <host:port> [--requests <n>] [--concurrency <n>]
-          [--idle <n>] [--unique <n>] [--seed <u64>]
+          [--idle <n>] [--unique <n>] [--seed <u64>] [--rate <req/s>]
           [--out <report.json>] [--name <scenario>] [--suite]
 ";
 
@@ -73,6 +80,13 @@ fn parse_config(argv: &[String]) -> Result<Parsed, String> {
                     .map_err(|_| format!("bad --unique {value:?}"))?
             }
             "seed" => config.seed = value.parse().map_err(|_| format!("bad --seed {value:?}"))?,
+            "rate" => {
+                config.arrival_rps = value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| r.is_finite() && *r >= 0.0)
+                    .ok_or_else(|| format!("bad --rate {value:?}"))?
+            }
             "out" => config.out = Some(value.into()),
             other => return Err(format!("unknown flag --{other}\n\n{USAGE}")),
         }
@@ -81,7 +95,10 @@ fn parse_config(argv: &[String]) -> Result<Parsed, String> {
     Ok(Parsed { config, suite })
 }
 
-/// The standard scenario pair `--suite` runs (see the module docs).
+/// The standard scenario set `--suite` runs (see the module docs).
+/// `saturation` uses the self-scaling sentinels `run_suite` resolves:
+/// rate = 1.5× the measured `baseline_4conn` throughput, concurrency =
+/// 1.5× the server's admission budget, requests = 300× concurrency.
 fn suite_scenarios(base: &LoadgenConfig) -> Vec<LoadgenConfig> {
     let baseline = LoadgenConfig {
         name: "baseline_4conn".to_owned(),
@@ -89,6 +106,7 @@ fn suite_scenarios(base: &LoadgenConfig) -> Vec<LoadgenConfig> {
         concurrency: 4,
         idle_connections: 0,
         unique_urls: 2_000,
+        arrival_rps: 0.0,
         ..base.clone()
     };
     let idle = LoadgenConfig {
@@ -96,13 +114,39 @@ fn suite_scenarios(base: &LoadgenConfig) -> Vec<LoadgenConfig> {
         idle_connections: 1_024,
         ..baseline.clone()
     };
-    vec![baseline, idle]
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let high_core = LoadgenConfig {
+        name: "high_core".to_owned(),
+        concurrency: (2 * cores).clamp(8, 32),
+        ..baseline.clone()
+    };
+    let saturation = LoadgenConfig {
+        name: "saturation".to_owned(),
+        requests: 0,       // sentinel: 300 × resolved concurrency
+        concurrency: 0,    // sentinel: 1.5 × reactors × max_inflight
+        arrival_rps: -1.5, // sentinel: 1.5 × measured baseline rps
+        ..baseline.clone()
+    };
+    vec![baseline, idle, high_core, saturation]
 }
 
 fn report_line(report: &urlid_serve::BenchReport) {
+    let admission = if report.admission_rejects > 0 {
+        format!(", {} admission rejects", report.admission_rejects)
+    } else {
+        String::new()
+    };
+    let rate = if report.arrival_rps > 0.0 {
+        format!(", open loop @ {:.0} req/s", report.arrival_rps)
+    } else {
+        String::new()
+    };
     eprintln!(
         "[{}] {} requests in {:.2}s -> {:.0} req/s, p50 {:.3} ms, p99 {:.3} ms, \
-         p99.9 {:.3} ms, {} idle conns, {} server threads, cache hit rate {:.1}% ({} errors)",
+         p99.9 {:.3} ms, {} idle conns, {} reactors, {} server threads, \
+         cache hit rate {:.1}% ({} errors{admission}{rate})",
         report.scenario,
         report.requests,
         report.duration_secs,
@@ -111,6 +155,7 @@ fn report_line(report: &urlid_serve::BenchReport) {
         report.latency.p99_ms,
         report.latency.p999_ms,
         report.idle_connections,
+        report.reactors,
         report.server_threads,
         report.cache.hit_rate * 100.0,
         report.errors,
@@ -200,12 +245,32 @@ mod tests {
         assert!(p.suite);
         assert_eq!(p.config.addr, "1.2.3.4:99");
         let scenarios = suite_scenarios(&p.config);
-        assert_eq!(scenarios.len(), 2);
+        assert_eq!(scenarios.len(), 4);
         assert_eq!(scenarios[0].name, "baseline_4conn");
         assert_eq!(scenarios[0].idle_connections, 0);
+        assert_eq!(scenarios[0].arrival_rps, 0.0);
         assert_eq!(scenarios[1].name, "idle_1024");
         assert_eq!(scenarios[1].idle_connections, 1024);
         assert_eq!(scenarios[1].addr, "1.2.3.4:99");
+        assert_eq!(scenarios[2].name, "high_core");
+        assert!((8..=32).contains(&scenarios[2].concurrency));
+        assert_eq!(scenarios[2].idle_connections, 0);
+        // The saturation scenario ships as sentinels; run_suite resolves
+        // them against the measured baseline and the live topology.
+        assert_eq!(scenarios[3].name, "saturation");
+        assert_eq!(scenarios[3].requests, 0);
+        assert_eq!(scenarios[3].concurrency, 0);
+        assert_eq!(scenarios[3].arrival_rps, -1.5);
+    }
+
+    #[test]
+    fn rate_flag_switches_to_open_loop() {
+        let p = parse(&["--rate", "2500"]).unwrap();
+        assert_eq!(p.config.arrival_rps, 2500.0);
+        let p = parse(&[]).unwrap();
+        assert_eq!(p.config.arrival_rps, 0.0);
+        assert!(parse(&["--rate", "-3"]).is_err());
+        assert!(parse(&["--rate", "fast"]).is_err());
     }
 
     #[test]

@@ -47,10 +47,18 @@ USAGE:
   urlid identify --model <model.json> [<url> ...]      (reads stdin when no URLs given)
   urlid evaluate --model <model.json> --data <dataset.json>
   urlid serve    --model <model.json> [--addr <host:port>] [--threads <n>]
-                 [--cache-capacity <n>] [--weights f64|f32]
-                 [--telemetry on|off] [--slow-ms <n>]
+                 [--reactors <n>] [--pool shared|partitioned]
+                 [--max-inflight <n>] [--cache-capacity <n>]
+                 [--weights f64|f32] [--telemetry on|off] [--slow-ms <n>]
                  (--threads sizes the scoring pool; connections are
-                  multiplexed by one reactor thread regardless.
+                  multiplexed by --reactors event-loop threads, each
+                  owning its own SO_REUSEPORT listener and cache shard
+                  set; 0 = min(cores, 4), the default.
+                  --pool picks the scoring topology: shared (one
+                  work-conserving queue, default) or partitioned
+                  (dedicated workers per reactor).
+                  --max-inflight caps scoring-pool requests per reactor;
+                  the excess is answered 503 — 0 = unlimited, default 32.
                   --weights f32 serves the quantised f32 weight lane:
                   half the matrix bytes, identical decisions, scores
                   within the documented tolerance.
@@ -313,6 +321,26 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("bad --threads {threads:?}"))?;
     }
+    if let Some(reactors) = args.get("reactors") {
+        config.reactors = reactors
+            .parse()
+            .map_err(|_| format!("bad --reactors {reactors:?}"))?;
+    }
+    if config.reactors == 0 {
+        // Resolve here (not in spawn) so the cache shard sets below can
+        // be sized one-per-reactor.
+        config.reactors = urlid_serve::server::default_reactors();
+    }
+    config.pool = match args.get("pool").unwrap_or("shared") {
+        "shared" => urlid_serve::server::PoolTopology::Shared,
+        "partitioned" => urlid_serve::server::PoolTopology::Partitioned,
+        other => return Err(format!("unknown --pool {other:?} (shared|partitioned)")),
+    };
+    if let Some(max_inflight) = args.get("max-inflight") {
+        config.max_inflight = max_inflight
+            .parse()
+            .map_err(|_| format!("bad --max-inflight {max_inflight:?}"))?;
+    }
     config.telemetry = match args.get("telemetry").unwrap_or("on") {
         "on" => true,
         "off" => false,
@@ -334,21 +362,26 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         "f32" => true,
         other => return Err(format!("unknown --weights {other:?} (f64|f32)")),
     };
-    let state = Arc::new(ServerState::with_weights(
+    let state = Arc::new(ServerState::with_topology(
         identifier,
         Some(model_path.clone()),
         cache_capacity,
         urlid_serve::cache::ResultCache::DEFAULT_SHARDS,
+        config.reactors,
         f32_weights,
     ));
     let lane = if f32_weights { "f32" } else { "f64" };
     let handle = spawn(&config, state).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
     eprintln!(
-        "serving {} on http://{} ({lane} weights; cache capacity {cache_capacity}; POST /admin/reload to hot-swap)",
+        "serving {} on http://{} ({} reactors, {lane} weights; cache capacity {cache_capacity}; POST /admin/reload to hot-swap)",
         model_path.display(),
-        handle.addr()
+        handle.addr(),
+        config.reactors,
     );
-    handle.join();
+    let failed = handle.join();
+    if failed > 0 {
+        return Err(format!("{failed} reactor thread(s) died; exiting"));
+    }
     Ok(())
 }
 

@@ -187,8 +187,21 @@ impl LruShard {
 }
 
 /// The mutex-striped LRU result cache (see module docs).
+///
+/// The shard array is additionally partitioned into `sets` — one set
+/// per reactor under multi-reactor serving, so a reactor's scoring
+/// traffic only ever locks shards inside its own set and two reactors
+/// never contend on a cache lock. Set selection is by the caller
+/// ([`ResultCache::get_in`]); within a set the shard is picked by key
+/// hash as before. Epoch invalidation is orthogonal: the epoch tag
+/// lives on every entry in every set, so a hot-reload invalidates all
+/// sets at once.
 pub struct ResultCache {
+    /// `sets * shards_per_set` shards; set `s` owns the slice
+    /// `[s * shards_per_set, (s + 1) * shards_per_set)`.
     shards: Vec<Mutex<LruShard>>,
+    shards_per_set: usize,
+    sets: usize,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -201,25 +214,46 @@ impl ResultCache {
     /// A cache holding at most `capacity` entries split over
     /// `shard_count` shards (a capacity of zero disables caching).
     pub fn new(capacity: usize, shard_count: usize) -> Self {
-        let shard_count = shard_count.max(1);
+        Self::with_sets(capacity, shard_count, 1)
+    }
+
+    /// A cache with `sets` independent shard sets of `shards_per_set`
+    /// shards each, splitting `capacity` over all of them. Each set is
+    /// a private cache for one reactor; a URL cached in one set is a
+    /// miss in every other (the cost of lock-free isolation between
+    /// reactors — the kernel's connection balancing makes each set see
+    /// a similar mix, so per-set hit rates converge to the global one).
+    pub fn with_sets(capacity: usize, shards_per_set: usize, sets: usize) -> Self {
+        let sets = sets.max(1);
+        let shards_per_set = shards_per_set.max(1);
+        let total = sets * shards_per_set;
         let per_shard = if capacity == 0 {
             0
         } else {
-            capacity.div_ceil(shard_count)
+            capacity.div_ceil(total)
         };
         Self {
-            shards: (0..shard_count)
+            shards: (0..total)
                 .map(|_| Mutex::new(LruShard::new(per_shard)))
                 .collect(),
+            shards_per_set,
+            sets,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: &str) -> &Mutex<LruShard> {
+    /// Number of independent shard sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    fn shard_in(&self, set: usize, key: &str) -> &Mutex<LruShard> {
+        let set = set % self.sets;
         let mut hasher = DefaultHasher::new();
         key.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+        let shard = (hasher.finish() as usize) % self.shards_per_set;
+        &self.shards[set * self.shards_per_set + shard]
     }
 
     /// Lock a shard, recovering from poisoning. A panic elsewhere must
@@ -237,7 +271,13 @@ impl ResultCache {
     /// model `epoch`. Entries from older epochs count as misses (and are
     /// evicted on the way).
     pub fn get(&self, key: &str, epoch: u64) -> Option<CachedScores> {
-        let result = Self::lock_shard(self.shard(key)).get(key, epoch);
+        self.get_in(0, key, epoch)
+    }
+
+    /// [`ResultCache::get`] against one shard set (a reactor passes its
+    /// own set index; out-of-range indices wrap).
+    pub fn get_in(&self, set: usize, key: &str, epoch: u64) -> Option<CachedScores> {
+        let result = Self::lock_shard(self.shard_in(set, key)).get(key, epoch);
         match result {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -247,7 +287,12 @@ impl ResultCache {
 
     /// Store the scores of a normalised URL computed under `epoch`.
     pub fn insert(&self, key: &str, epoch: u64, scores: CachedScores) {
-        Self::lock_shard(self.shard(key)).insert(key, epoch, scores);
+        self.insert_in(0, key, epoch, scores);
+    }
+
+    /// [`ResultCache::insert`] against one shard set.
+    pub fn insert_in(&self, set: usize, key: &str, epoch: u64, scores: CachedScores) {
+        Self::lock_shard(self.shard_in(set, key)).insert(key, epoch, scores);
     }
 
     /// Drop every entry (used by hot-reload to free memory immediately;
@@ -396,6 +441,30 @@ mod tests {
         assert_eq!(cache.get("a", 0), None);
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.capacity(), 0);
+    }
+
+    #[test]
+    fn shard_sets_are_isolated_but_share_epoch_invalidation() {
+        let cache = ResultCache::with_sets(64, 4, 2);
+        assert_eq!(cache.sets(), 2);
+        cache.insert_in(0, "http://a.de/", 0, scores(1.0));
+        // The other set never sees set 0's entry…
+        assert_eq!(cache.get_in(1, "http://a.de/", 0), None);
+        // …and each set caches independently.
+        cache.insert_in(1, "http://a.de/", 0, scores(2.0));
+        assert_eq!(cache.get_in(0, "http://a.de/", 0), Some(scores(1.0)));
+        assert_eq!(cache.get_in(1, "http://a.de/", 0), Some(scores(2.0)));
+        // An epoch bump (hot reload) invalidates entries in every set.
+        assert_eq!(cache.get_in(0, "http://a.de/", 1), None);
+        assert_eq!(cache.get_in(1, "http://a.de/", 1), None);
+        assert_eq!(cache.len(), 0, "stale entries evicted from both sets");
+        // Out-of-range set indices wrap instead of panicking.
+        cache.insert_in(2, "http://b.de/", 1, scores(3.0));
+        assert_eq!(cache.get_in(0, "http://b.de/", 1), Some(scores(3.0)));
+        // clear() empties all sets.
+        cache.insert_in(1, "http://c.de/", 1, scores(4.0));
+        cache.clear();
+        assert!(cache.is_empty());
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! or wedge anything.
 
 use crate::http::{self, HttpError, ParserLimits, Request, RequestParser};
+use crate::metrics::{ReactorStats, TRACE_STRIPES};
 use crate::server::{error_body, ServerState};
 use crate::sys::Interest;
 use std::collections::VecDeque;
@@ -34,10 +35,6 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 use urlid_telemetry::Stage;
-
-/// Trace-ring stripe used by the reactor thread (parse and write spans;
-/// pool workers use `1 + worker_index`).
-const REACTOR_STRIPE: usize = 0;
 
 /// Upper bound on the iovecs of one vectored write (Linux caps a single
 /// `writev` at `IOV_MAX` = 1024; sixteen covers any realistic pipelining
@@ -140,6 +137,13 @@ pub(crate) struct Conn {
     /// Shared server state, for the error counter (protocol-level
     /// `400`/`413` rejections bypass the router but must still count).
     state: Arc<ServerState>,
+    /// The owning reactor's private stats: connection gauges plus the
+    /// parse/write stage histograms recorded on the reactor thread.
+    stats: Arc<ReactorStats>,
+    /// Index of the owning reactor — a connection is driven by exactly
+    /// one reactor for its whole life, so this never changes (the
+    /// `X-Urlid-Reactor` response header makes that observable).
+    reactor: usize,
     parser: RequestParser,
     /// Response segments not yet accepted by the kernel, flushed with
     /// vectored writes (one `writev` covers a whole pipelining burst).
@@ -170,6 +174,8 @@ impl Conn {
         stream: TcpStream,
         limits: ParserLimits,
         state: Arc<ServerState>,
+        stats: Arc<ReactorStats>,
+        reactor: usize,
         now: Instant,
     ) -> io::Result<Conn> {
         stream.set_nonblocking(true)?;
@@ -178,6 +184,8 @@ impl Conn {
         Ok(Conn {
             stream,
             state,
+            stats,
+            reactor,
             parser: RequestParser::new(limits),
             out: OutQueue::default(),
             phase: Phase::Idle,
@@ -195,6 +203,13 @@ impl Conn {
     /// The socket (the reactor needs its fd for poller registration).
     pub(crate) fn stream(&self) -> &TcpStream {
         &self.stream
+    }
+
+    /// Trace-ring stripe for this connection's reactor-thread spans
+    /// (pool workers use `1 + worker_index % 7`; a stripe collision
+    /// between a reactor and a worker costs a dropped span at worst).
+    fn stripe(&self) -> usize {
+        self.reactor % TRACE_STRIPES
     }
 
     /// Which readiness events this connection currently needs. Read
@@ -305,8 +320,9 @@ impl Conn {
         let write_started = Instant::now();
         let flushed = self.flush_output(now);
         let metrics = self.state.metrics();
-        metrics.record_stage_end(
-            REACTOR_STRIPE,
+        metrics.record_stage_into(
+            &self.stats.write,
+            self.stripe(),
             request_id,
             Stage::Write,
             urlid_telemetry::duration_micros(write_started.elapsed()),
@@ -373,7 +389,13 @@ impl Conn {
                 let metrics = self.state.metrics();
                 let request_id = metrics.next_request_id();
                 let parse_micros = std::mem::take(&mut self.parse_accum_micros);
-                metrics.record_stage_end(REACTOR_STRIPE, request_id, Stage::Parse, parse_micros);
+                metrics.record_stage_into(
+                    &self.stats.parse,
+                    self.stripe(),
+                    request_id,
+                    Stage::Parse,
+                    parse_micros,
+                );
                 // Dispatched: the end-to-end latency clock is the
                 // reactor's dispatch timestamp from here on.
                 self.request_started = None;
@@ -417,12 +439,52 @@ impl Conn {
         metrics.record_latency(total_micros);
         let parse_micros = std::mem::take(&mut self.parse_accum_micros);
         let request_id = metrics.next_request_id();
-        metrics.record_stage_end(REACTOR_STRIPE, request_id, Stage::Parse, parse_micros);
+        metrics.record_stage_into(
+            &self.stats.parse,
+            self.stripe(),
+            request_id,
+            Stage::Parse,
+            parse_micros,
+        );
         self.close_after_write = true;
         self.queue_bytes(http::response_bytes(status, &error_body(message), false));
         if self.flush_output(now).is_err() || self.out.is_empty() {
             return Step::Close;
         }
         Step::Continue
+    }
+
+    /// Admission control tripped: the owning reactor is at its
+    /// in-flight limit, so answer `503` right here on the reactor
+    /// thread — the scoring pool never sees the request, which is the
+    /// point: rejecting must stay cheap when the server is drowning.
+    /// Unlike protocol rejects the connection stays usable (the stream
+    /// is still synchronised), so keep-alive is honoured and the
+    /// client can retry on the same connection.
+    ///
+    /// The reject counts in the per-reactor `admission_rejects`
+    /// counter, not in `errors` and not in the latency histogram:
+    /// shedding load in microseconds is the mechanism working, and
+    /// folding those near-zero samples into the latency percentiles
+    /// would flatter them exactly when the server is overloaded. The
+    /// load generator measures overload latency from the client side.
+    pub(crate) fn reject_overload(&mut self, keep_alive: bool, now: Instant) -> Step {
+        debug_assert!(self.phase == Phase::InFlight, "overload without dispatch");
+        self.phase = Phase::Idle;
+        self.stats.admission_rejects.fetch_add(1, Ordering::Relaxed);
+        if !keep_alive {
+            self.close_after_write = true;
+        }
+        self.queue_bytes(http::response_bytes_from_reactor(
+            503,
+            "application/json",
+            &error_body("server overloaded, retry"),
+            keep_alive,
+            self.reactor as u64,
+        ));
+        if self.flush_output(now).is_err() {
+            return Step::Close;
+        }
+        self.advance(now)
     }
 }

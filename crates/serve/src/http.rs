@@ -334,6 +334,27 @@ pub fn response_bytes_with_type(
     .into_bytes()
 }
 
+/// [`response_bytes_with_type`] plus an `X-Urlid-Reactor` header naming
+/// the reactor that owns the connection. Every response of a
+/// multi-reactor server carries it, which makes connection affinity an
+/// externally observable invariant: all responses on one connection
+/// must name the same reactor (the integration tests pin this down).
+pub fn response_bytes_from_reactor(
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+    reactor: u64,
+) -> Vec<u8> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\nX-Urlid-Reactor: {reactor}\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    )
+    .into_bytes()
+}
+
 // ---------------------------------------------------------------------
 // Client side (load generator, integration tests)
 // ---------------------------------------------------------------------
@@ -357,6 +378,15 @@ pub fn write_request(
 
 /// Read one response; returns `(status, body)`.
 pub fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<(u16, String)> {
+    read_response_tagged(reader).map(|(status, _, body)| (status, body))
+}
+
+/// Read one response, also extracting the `X-Urlid-Reactor` header a
+/// multi-reactor server stamps on every response (`None` when absent —
+/// single-reactor servers and protocol rejects don't carry it).
+pub fn read_response_tagged(
+    reader: &mut BufReader<TcpStream>,
+) -> io::Result<(u16, Option<u64>, String)> {
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
         return Err(io::Error::new(
@@ -370,6 +400,7 @@ pub fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<(u16, Stri
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
     let mut content_length = 0usize;
+    let mut reactor = None;
     loop {
         line.clear();
         if reader.read_line(&mut line)? == 0 {
@@ -387,13 +418,15 @@ pub fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<(u16, Stri
                 content_length = value.trim().parse().map_err(|_| {
                     io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
                 })?;
+            } else if name.eq_ignore_ascii_case("x-urlid-reactor") {
+                reactor = value.trim().parse().ok();
             }
         }
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     String::from_utf8(body)
-        .map(|b| (status, b))
+        .map(|b| (status, reactor, b))
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))
 }
 

@@ -10,20 +10,26 @@
 //! philosophy as the rest of the workspace):
 //!
 //! * [`sys`] — hand-rolled readiness syscall wrappers: epoll on Linux,
-//!   `poll(2)` on other unix targets, plus the self-pipe waker (the one
-//!   module with `unsafe` in it);
+//!   `poll(2)` on other unix targets, the self-pipe waker, and the
+//!   `SO_REUSEPORT` listener binder behind the reactor sharding (the
+//!   one module with `unsafe` in it);
 //! * [`http`] — a minimal HTTP/1.1 codec whose server side is an
 //!   **incremental parser** (feed bytes → `NeedMore | Request | Error`)
 //!   that tolerates partial reads, pipelined requests and slow clients
 //!   without ever blocking a thread;
 //! * `conn` / `reactor` / `pool` (internal) — the **event-driven
 //!   connection engine**: per-connection state machines multiplexed by
-//!   one reactor thread, with fully parsed requests dispatched to a
-//!   scoring pool sized to the CPU count. Thousands of mostly-idle
-//!   keep-alive connections are served by `1 + cores` threads total;
+//!   `N` reactor threads (each owning its own `SO_REUSEPORT` listener,
+//!   connection slab, wake pipe, and cache shard set — connections
+//!   never migrate between reactors), with fully parsed requests
+//!   dispatched to a scoring pool sized to the CPU count and per-reactor
+//!   admission control shedding overload as `503`s. Thousands of
+//!   mostly-idle keep-alive connections are served by `reactors + cores`
+//!   threads total;
 //! * [`cache`] — a mutex-striped, capacity-bounded LRU **result cache**
-//!   keyed by normalised URL, so repeated URLs skip tokenisation and
-//!   feature extraction entirely (asserted by an integration test through
+//!   keyed by normalised URL — partitionable into per-reactor shard
+//!   sets — so repeated URLs skip tokenisation and feature extraction
+//!   entirely (asserted by an integration test through
 //!   [`urlid_features::CountingExtractor`]);
 //! * [`metrics`] — request counters, connection gauges (open / idle /
 //!   accepted / timed-out), the end-to-end latency histogram, and the
@@ -40,9 +46,12 @@
 //!   is epoch-tagged so stale entries never serve), and the
 //!   spawn/shutdown API over the engine;
 //! * [`loadgen`] — a keep-alive load generator replaying a
-//!   corpus-generated URL mix — including a many-idle-connections
-//!   scenario — and emitting a machine-readable, multi-scenario
-//!   `BENCH_serve.json` (throughput, p50/p99 latency, cache hit rate).
+//!   corpus-generated URL mix — closed-loop throughput scenarios, a
+//!   many-idle-connections scenario, and an **open-loop saturation
+//!   scenario** (fixed arrival rate above capacity, admission-control
+//!   `503`s counted apart from errors) — emitting a machine-readable,
+//!   multi-scenario `BENCH_serve.json` (throughput, p50/p99 latency,
+//!   cache hit rate, per-reactor breakdown).
 //!
 //! ## Endpoints
 //!
@@ -92,4 +101,4 @@ pub use loadgen::{
     run_loadgen, run_suite, BenchReport, BenchSuite, LoadgenConfig, SERVE_BENCH_SCHEMA,
 };
 pub use metrics::Metrics;
-pub use server::{spawn, ServeConfig, ServerHandle, ServerState};
+pub use server::{default_reactors, spawn, PoolTopology, ServeConfig, ServerHandle, ServerState};

@@ -23,6 +23,23 @@
 //! evicted or wedged fails the sweep, so `errors == 0` certifies all of
 //! them survived).
 //!
+//! Two driving modes:
+//!
+//! * **Closed loop** (`arrival_rps == 0`, the default): each worker
+//!   sends its next request when the previous response lands. Measures
+//!   peak throughput — the server sets the pace.
+//! * **Open loop** (`arrival_rps > 0`): requests are *scheduled* at a
+//!   fixed aggregate arrival rate regardless of how fast responses come
+//!   back, which is how real overload arrives. Latency is measured from
+//!   the scheduled send time, so server-side queueing (and client-side
+//!   socket backpressure) counts against the percentiles — the honest
+//!   latency-under-overload number.
+//!
+//! In both modes, admission-control responses (`503`/`413`) are tallied
+//! as `admission_rejects`, **not** errors — a server shedding load by
+//! design is behaving, not failing — and their latency still lands in
+//! the percentiles (the client waited for that answer).
+//!
 //! A single run produces a [`BenchReport`]; [`run_suite`] strings
 //! several scenarios into one multi-scenario [`BenchSuite`], written as
 //! `BENCH_serve.json` so the perf trajectory accumulates next to the
@@ -41,8 +58,10 @@ use urlid_telemetry::Histogram;
 
 /// Schema version stamped into [`BenchReport`] and [`BenchSuite`].
 /// Version 3 switched the latency summary to the shared log-linear
-/// histogram and added `p999_ms`.
-pub const SERVE_BENCH_SCHEMA: u32 = 3;
+/// histogram and added `p999_ms`. Version 4 added the multi-reactor
+/// columns (`reactors`, `per_reactor`), the open-loop fields
+/// (`arrival_rps`), and `admission_rejects`.
+pub const SERVE_BENCH_SCHEMA: u32 = 4;
 
 /// Load-generator configuration for one scenario.
 #[derive(Debug, Clone)]
@@ -62,6 +81,12 @@ pub struct LoadgenConfig {
     pub unique_urls: usize,
     /// Seed for the URL mix and the per-worker sampling.
     pub seed: u64,
+    /// Open-loop aggregate arrival rate in requests/second. `0.0`
+    /// (default) runs the classic closed loop. In [`run_suite`], a
+    /// *negative* value is a sentinel meaning "this multiple of the
+    /// measured baseline throughput" (so `-1.5` drives 1.5× capacity —
+    /// guaranteed overload without hardcoding this box's speed).
+    pub arrival_rps: f64,
     /// Where to write the JSON report (`None` skips the file).
     pub out: Option<PathBuf>,
 }
@@ -76,6 +101,7 @@ impl Default for LoadgenConfig {
             idle_connections: 0,
             unique_urls: 2_000,
             seed: 7,
+            arrival_rps: 0.0,
             out: Some(PathBuf::from("BENCH_serve.json")),
         }
     }
@@ -126,6 +152,21 @@ pub struct CacheSummary {
     pub hit_rate: f64,
 }
 
+/// One reactor's share of the run, read from `GET /metrics` afterwards
+/// — shows how evenly the kernel balanced accepts across the
+/// `SO_REUSEPORT` listeners.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReactorSample {
+    /// Reactor index.
+    pub reactor: u64,
+    /// Connections this reactor accepted.
+    pub accepted: u64,
+    /// Idle-timeout evictions on this reactor.
+    pub timed_out: u64,
+    /// Admission-control 503s answered by this reactor.
+    pub admission_rejects: u64,
+}
+
 /// One scenario's machine-readable benchmark report.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -148,15 +189,27 @@ pub struct BenchReport {
     pub idle_connections: u64,
     /// Unique-URL pool size.
     pub unique_urls: u64,
+    /// Open-loop arrival rate driven (resolved, requests/second); `0`
+    /// for closed-loop scenarios.
+    pub arrival_rps: f64,
     /// Wall-clock duration of the active hammer in seconds.
     pub duration_secs: f64,
-    /// Completed active requests per second.
+    /// Successfully completed (200) active requests per second.
     pub throughput_rps: f64,
-    /// Server thread budget (reactor + scoring pool) read from
+    /// Admission-control responses (`503`/`413`) received across the
+    /// run — deliberate load shedding, counted apart from `errors`.
+    pub admission_rejects: u64,
+    /// Server thread budget (reactors + scoring pool) read from
     /// `GET /metrics` after the run; 0 when the server predates the
     /// gauge. This is what certifies "1024 connections, bounded
     /// threads".
     pub server_threads: u64,
+    /// Reactor count read from `GET /metrics` after the run (0 when the
+    /// server predates the gauge).
+    pub reactors: u64,
+    /// Per-reactor accept/evict/reject breakdown read from
+    /// `GET /metrics` after the run (empty when unavailable).
+    pub per_reactor: Vec<ReactorSample>,
     /// Client-side latency percentiles over the active requests.
     pub latency: LatencySummary,
     /// Server-side cache statistics.
@@ -183,10 +236,21 @@ fn unix_now() -> u64 {
         .unwrap_or(0)
 }
 
-/// One active worker: a keep-alive connection sending `n` requests
-/// sampled from the shared pool. Returns (latency histogram in µs,
-/// error count); the per-worker histograms merge exactly.
-fn worker(addr: &str, urls: &[String], n: usize, seed: u64) -> io::Result<(Histogram, u64)> {
+/// What one worker (closed- or open-loop) hands back: the latency
+/// histogram in µs, the error count, and the admission-reject count.
+type WorkerResult = (Histogram, u64, u64);
+
+/// Is this status a deliberate load-shedding answer (per-reactor
+/// admission control's `503`, the body-cap `413`) rather than a
+/// failure?
+fn is_admission_status(status: u16) -> bool {
+    status == 503 || status == 413
+}
+
+/// One closed-loop worker: a keep-alive connection sending `n`
+/// requests back to back, sampled from the shared pool. The per-worker
+/// histograms merge exactly.
+fn worker(addr: &str, urls: &[String], n: usize, seed: u64) -> io::Result<WorkerResult> {
     let stream = TcpStream::connect(addr)?;
     let _ = stream.set_nodelay(true);
     let mut writer = stream.try_clone()?;
@@ -194,6 +258,7 @@ fn worker(addr: &str, urls: &[String], n: usize, seed: u64) -> io::Result<(Histo
     let mut rng = StdRng::seed_from_u64(seed);
     let mut latencies = Histogram::new();
     let mut errors = 0u64;
+    let mut admission = 0u64;
     for _ in 0..n {
         let url = &urls[rng.random_range(0..urls.len())];
         let started = Instant::now();
@@ -201,11 +266,88 @@ fn worker(addr: &str, urls: &[String], n: usize, seed: u64) -> io::Result<(Histo
         let elapsed = started.elapsed().as_micros() as u64;
         if status == 200 {
             latencies.record(elapsed);
+        } else if is_admission_status(status) {
+            admission += 1;
+            latencies.record(elapsed);
         } else {
             errors += 1;
         }
     }
-    Ok((latencies, errors))
+    Ok((latencies, errors, admission))
+}
+
+/// One open-loop worker: a keep-alive connection whose requests are
+/// *scheduled* — request `k` goes out at `start + offset + k*interval`
+/// no matter how the previous one fared. A writer thread paces the
+/// sends (socket backpressure is the only thing that can slow it, and
+/// then the delay rightly lands in the latency numbers); the calling
+/// thread reads responses and measures each from its scheduled send
+/// time, clamped to the actual send when the *client* fell behind.
+fn open_worker(
+    addr: &str,
+    urls: &[String],
+    n: usize,
+    seed: u64,
+    start: Instant,
+    offset: std::time::Duration,
+    interval_secs: f64,
+) -> io::Result<WorkerResult> {
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let (sent_tx, sent_rx) = std::sync::mpsc::channel::<Instant>();
+    let mut latencies = Histogram::new();
+    let mut errors = 0u64;
+    let mut admission = 0u64;
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for k in 0..n {
+                let due =
+                    start + offset + std::time::Duration::from_secs_f64(interval_secs * k as f64);
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+                let url = &urls[rng.random_range(0..urls.len())];
+                let mut body = Value::object();
+                body.insert("url", Value::Str(url.to_owned()));
+                let body = serde_json::to_string(&body).expect("request serialises");
+                // Timestamp first: the reader must know a request is in
+                // flight *before* a backpressured write blocks us.
+                if sent_tx.send(due.max(now)).is_err() {
+                    return; // reader bailed (read error)
+                }
+                if http::write_request(&mut writer, "POST", "/identify", Some(&body)).is_err() {
+                    return; // reader sees the broken stream and tallies
+                }
+            }
+            // sent_tx drops here; the reader drains and exits.
+        });
+        while let Ok(due) = sent_rx.recv() {
+            match http::read_response(&mut reader) {
+                Ok((status, _)) => {
+                    let micros = Instant::now().saturating_duration_since(due).as_micros() as u64;
+                    if status == 200 {
+                        latencies.record(micros);
+                    } else if is_admission_status(status) {
+                        admission += 1;
+                        latencies.record(micros);
+                    } else {
+                        errors += 1;
+                    }
+                }
+                Err(_) => {
+                    // The stream cannot be resynchronised; stop reading
+                    // (dropping the receiver stops the writer too).
+                    errors += 1;
+                    break;
+                }
+            }
+        }
+    });
+    Ok((latencies, errors, admission))
 }
 
 /// Send one `/identify` request on an open connection; returns the status.
@@ -267,8 +409,20 @@ fn sweep_idle_conns(conns: &mut [IdleConn], urls: &[String]) -> (u64, u64) {
     (ok, errors)
 }
 
-/// Server-side statistics read from `GET /metrics` after a run.
-fn fetch_server_stats(addr: &str) -> io::Result<(CacheSummary, u64)> {
+/// Server-side statistics read from `GET /metrics`.
+struct ServerSnapshot {
+    cache: CacheSummary,
+    /// `threads.total` (0 when the server predates the gauge).
+    threads: u64,
+    /// `reactors.count` (0 when the server predates the section).
+    reactors: u64,
+    /// `reactors.max_inflight` (0 = unlimited or unavailable).
+    max_inflight: u64,
+    /// `connections.per_reactor`, one sample per reactor.
+    per_reactor: Vec<ReactorSample>,
+}
+
+fn fetch_server_stats(addr: &str) -> io::Result<ServerSnapshot> {
     let stream = TcpStream::connect(addr)?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
@@ -303,7 +457,31 @@ fn fetch_server_stats(addr: &str) -> io::Result<(CacheSummary, u64)> {
         .get("threads")
         .and_then(|t| uint(t, "total"))
         .unwrap_or(0);
-    Ok((summary, threads))
+    let reactors_section = parsed.get("reactors");
+    let reactors = reactors_section.and_then(|r| uint(r, "count")).unwrap_or(0);
+    let max_inflight = reactors_section
+        .and_then(|r| uint(r, "max_inflight"))
+        .unwrap_or(0);
+    let mut per_reactor = Vec::new();
+    if let Some(Value::Array(entries)) =
+        parsed.get("connections").and_then(|c| c.get("per_reactor"))
+    {
+        for entry in entries {
+            per_reactor.push(ReactorSample {
+                reactor: uint(entry, "reactor").unwrap_or(per_reactor.len() as u64),
+                accepted: uint(entry, "accepted").unwrap_or(0),
+                timed_out: uint(entry, "timed_out").unwrap_or(0),
+                admission_rejects: uint(entry, "admission_rejects").unwrap_or(0),
+            });
+        }
+    }
+    Ok(ServerSnapshot {
+        cache: summary,
+        threads,
+        reactors,
+        max_inflight,
+        per_reactor,
+    })
 }
 
 /// Run one load-generator scenario against a server at `config.addr`;
@@ -319,15 +497,29 @@ pub fn run_loadgen(config: &LoadgenConfig) -> io::Result<BenchReport> {
     let mut completed = idle_conns.len() as u64;
 
     // Phase 2: the active hammer, with the idle population holding
-    // their connections open against the same reactor.
+    // their connections open against the same reactors. Closed loop
+    // unless an arrival rate was set; in the open loop each worker
+    // drives `arrival_rps / concurrency` and the workers' schedules are
+    // phase-staggered so the aggregate arrival process is smooth.
+    let open_loop = config.arrival_rps > 0.0;
     let started = Instant::now();
-    let results: Vec<io::Result<(Histogram, u64)>> = std::thread::scope(|scope| {
+    let results: Vec<io::Result<WorkerResult>> = std::thread::scope(|scope| {
         (0..concurrency)
             .map(|i| {
                 let urls = &urls;
                 let addr = config.addr.as_str();
                 let seed = config.seed.wrapping_add(1 + i as u64);
-                scope.spawn(move || worker(addr, urls, per_worker, seed))
+                if open_loop {
+                    let interval_secs = concurrency as f64 / config.arrival_rps;
+                    let offset = std::time::Duration::from_secs_f64(
+                        interval_secs * i as f64 / concurrency as f64,
+                    );
+                    scope.spawn(move || {
+                        open_worker(addr, urls, per_worker, seed, started, offset, interval_secs)
+                    })
+                } else {
+                    scope.spawn(move || worker(addr, urls, per_worker, seed))
+                }
             })
             .collect::<Vec<_>>()
             .into_iter()
@@ -346,14 +538,18 @@ pub fn run_loadgen(config: &LoadgenConfig) -> io::Result<BenchReport> {
     drop(idle_conns);
 
     let mut latencies = Histogram::new();
+    let mut admission_rejects = 0u64;
     for result in results {
-        let (worker_latencies, worker_errors) = result?;
+        let (worker_latencies, worker_errors, worker_admission) = result?;
         latencies.merge(&worker_latencies);
         errors += worker_errors;
+        admission_rejects += worker_admission;
     }
-    let active_completed = latencies.count();
-    completed += active_completed;
-    let (cache, server_threads) = fetch_server_stats(&config.addr)?;
+    // The histogram holds 200s *and* admission 503s (both are answered
+    // requests the client waited for); throughput counts only the 200s.
+    let active_ok = latencies.count().saturating_sub(admission_rejects);
+    completed += active_ok;
+    let snapshot = fetch_server_stats(&config.addr)?;
     let report = BenchReport {
         bench: "serve".to_owned(),
         schema: SERVE_BENCH_SCHEMA,
@@ -364,15 +560,19 @@ pub fn run_loadgen(config: &LoadgenConfig) -> io::Result<BenchReport> {
         concurrency: concurrency as u64,
         idle_connections: config.idle_connections as u64,
         unique_urls: urls.len() as u64,
+        arrival_rps: if open_loop { config.arrival_rps } else { 0.0 },
         duration_secs,
         throughput_rps: if duration_secs > 0.0 {
-            active_completed as f64 / duration_secs
+            active_ok as f64 / duration_secs
         } else {
             0.0
         },
-        server_threads,
+        admission_rejects,
+        server_threads: snapshot.threads,
+        reactors: snapshot.reactors,
+        per_reactor: snapshot.per_reactor,
         latency: LatencySummary::from_histogram(&latencies),
-        cache,
+        cache: snapshot.cache,
     };
     if let Some(out) = &config.out {
         let json = serde_json::to_string_pretty(&report)
@@ -382,15 +582,57 @@ pub fn run_loadgen(config: &LoadgenConfig) -> io::Result<BenchReport> {
     Ok(report)
 }
 
+/// Resolve the suite's self-scaling sentinels against measured reality:
+/// a negative `arrival_rps` becomes that multiple of the measured
+/// baseline throughput; `concurrency == 0` becomes 1.5× the server's
+/// total admission budget (`reactors × max_inflight`, clamped to
+/// [48, 192]) so the open-loop schedule can actually exceed what the
+/// server admits; `requests == 0` becomes `300 × concurrency`.
+fn resolve_sentinels(
+    config: &mut LoadgenConfig,
+    baseline_rps: Option<f64>,
+    reactors: u64,
+    max_inflight: u64,
+) {
+    if config.arrival_rps < 0.0 {
+        config.arrival_rps = -config.arrival_rps * baseline_rps.unwrap_or(50_000.0);
+    }
+    if config.concurrency == 0 {
+        let per_reactor = if max_inflight == 0 { 32 } else { max_inflight };
+        let budget = (reactors.max(1) * per_reactor) as usize;
+        config.concurrency = (budget * 3 / 2).clamp(48, 192);
+    }
+    if config.requests == 0 {
+        config.requests = 300 * config.concurrency;
+    }
+}
+
 /// Run several scenarios back to back against the same server and
 /// write one multi-scenario `BENCH_serve.json` to `out` (when set).
 /// Per-scenario `out` paths are ignored — the suite file is the report.
+/// Scenario sentinels (see `resolve_sentinels`) are resolved against
+/// the first scenario's measured throughput and the server's reported
+/// reactor topology, so the same suite definition saturates a laptop
+/// and a 32-core runner alike.
 pub fn run_suite(scenarios: &[LoadgenConfig], out: Option<&PathBuf>) -> io::Result<BenchSuite> {
-    let mut reports = Vec::with_capacity(scenarios.len());
+    let mut reports: Vec<BenchReport> = Vec::with_capacity(scenarios.len());
+    let mut baseline_rps: Option<f64> = None;
     for scenario in scenarios {
         let mut config = scenario.clone();
         config.out = None;
-        reports.push(run_loadgen(&config)?);
+        if config.arrival_rps < 0.0 || config.concurrency == 0 {
+            let (reactors, max_inflight) = fetch_server_stats(&config.addr)
+                .map(|s| (s.reactors, s.max_inflight))
+                .unwrap_or((0, 0));
+            resolve_sentinels(&mut config, baseline_rps, reactors, max_inflight);
+        } else {
+            resolve_sentinels(&mut config, baseline_rps, 0, 0);
+        }
+        let report = run_loadgen(&config)?;
+        if baseline_rps.is_none() && report.errors == 0 && report.throughput_rps > 0.0 {
+            baseline_rps = Some(report.throughput_rps);
+        }
+        reports.push(report);
     }
     let suite = BenchSuite {
         bench: "serve".to_owned(),
@@ -472,9 +714,18 @@ mod tests {
             concurrency: 4,
             idle_connections: 16,
             unique_urls: 50,
+            arrival_rps: 0.0,
             duration_secs: 0.5,
             throughput_rps: 200.0,
+            admission_rejects: 0,
             server_threads: 2,
+            reactors: 1,
+            per_reactor: vec![ReactorSample {
+                reactor: 0,
+                accepted: 20,
+                timed_out: 0,
+                admission_rejects: 0,
+            }],
             latency: LatencySummary {
                 p50_ms: 1.0,
                 p90_ms: 2.0,
@@ -517,8 +768,57 @@ mod tests {
         };
         let json = serde_json::to_string(&suite).unwrap();
         let restored: BenchSuite = serde_json::from_str(&json).unwrap();
-        assert_eq!(restored.schema, 3);
+        assert_eq!(restored.schema, 4);
         assert_eq!(restored.scenarios.len(), 2);
         assert_eq!(restored.scenarios[1].scenario, "idle_1024");
+        assert_eq!(restored.scenarios[0].per_reactor.len(), 1);
+        assert_eq!(restored.scenarios[0].per_reactor[0].accepted, 20);
+    }
+
+    #[test]
+    fn sentinels_resolve_against_baseline_and_topology() {
+        // Saturation sentinels: rate from measured baseline, concurrency
+        // from the server's admission budget, requests from concurrency.
+        let mut config = LoadgenConfig {
+            requests: 0,
+            concurrency: 0,
+            arrival_rps: -1.5,
+            ..LoadgenConfig::default()
+        };
+        resolve_sentinels(&mut config, Some(10_000.0), 2, 32);
+        assert_eq!(config.arrival_rps, 15_000.0);
+        assert_eq!(config.concurrency, 96); // 2 * 32 * 1.5
+        assert_eq!(config.requests, 300 * 96);
+
+        // No baseline measured yet: falls back to a fixed rate rather
+        // than refusing to run.
+        let mut config = LoadgenConfig {
+            arrival_rps: -2.0,
+            ..LoadgenConfig::default()
+        };
+        resolve_sentinels(&mut config, None, 0, 0);
+        assert_eq!(config.arrival_rps, 100_000.0);
+
+        // Concurrency clamps: unlimited admission (max_inflight 0) uses
+        // the 32/reactor default; a huge topology clamps to 192.
+        let mut config = LoadgenConfig {
+            concurrency: 0,
+            ..LoadgenConfig::default()
+        };
+        resolve_sentinels(&mut config, None, 1, 0);
+        assert_eq!(config.concurrency, 48); // 1 * 32 * 1.5 = 48
+        let mut config = LoadgenConfig {
+            concurrency: 0,
+            ..LoadgenConfig::default()
+        };
+        resolve_sentinels(&mut config, None, 64, 64);
+        assert_eq!(config.concurrency, 192);
+
+        // Explicit values pass through untouched.
+        let mut config = LoadgenConfig::default();
+        resolve_sentinels(&mut config, Some(5_000.0), 4, 32);
+        assert_eq!(config.requests, 10_000);
+        assert_eq!(config.concurrency, 4);
+        assert_eq!(config.arrival_rps, 0.0);
     }
 }

@@ -17,17 +17,57 @@
 
 use serde::Value;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 use std::time::Instant;
 use urlid_telemetry::{AtomicHistogram, Histogram, SlowLog, SpanRecord, Stage, TraceBuffer};
 
-/// Trace ring stripes. The reactor records into stripe 0; worker `i`
-/// records into `1 + (i % 7)` — steady-state recording is uncontended
-/// up to seven workers and merely try-lock-contended beyond.
-const TRACE_STRIPES: usize = 8;
+/// Trace ring stripes. Reactor `r` records into stripe `r %
+/// TRACE_STRIPES`; worker `i` records into `1 + (i % 7)` — recording
+/// is a try-lock, so stripe collisions cost dropped spans at worst,
+/// never blocking.
+pub(crate) const TRACE_STRIPES: usize = 8;
 
 /// Span records kept per stripe; `GET /admin/trace` returns at most
 /// `TRACE_STRIPES * TRACE_RING_CAPACITY` records.
 const TRACE_RING_CAPACITY: usize = 128;
+
+/// Per-reactor connection-engine state: gauges and the two
+/// reactor-thread stage histograms (parse/write). Each reactor owns
+/// one of these `Arc`s and updates it without ever touching a sibling's
+/// — the shared `Metrics` only *reads* them at exposition time, summing
+/// across reactors for the totals.
+pub struct ReactorStats {
+    /// Connections this reactor accepted over its lifetime (counter).
+    pub accepted: AtomicU64,
+    /// Connections currently registered in this reactor's slab (gauge).
+    pub open: AtomicU64,
+    /// Connections with a request currently dispatched to the scoring
+    /// pool (gauge); `open - busy` is the number of idle keep-alives.
+    pub busy: AtomicU64,
+    /// Connections this reactor evicted on idle timeout (counter).
+    pub timed_out: AtomicU64,
+    /// Requests answered 503 by this reactor's admission control
+    /// because its in-flight limit was reached (counter).
+    pub admission_rejects: AtomicU64,
+    /// Parse-stage durations measured on this reactor's thread.
+    pub parse: AtomicHistogram,
+    /// Write-stage durations measured on this reactor's thread.
+    pub write: AtomicHistogram,
+}
+
+impl ReactorStats {
+    fn new() -> Self {
+        Self {
+            accepted: AtomicU64::new(0),
+            open: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            admission_rejects: AtomicU64::new(0),
+            parse: AtomicHistogram::new(),
+            write: AtomicHistogram::new(),
+        }
+    }
+}
 
 /// All serving metrics: per-endpoint request counters, error count,
 /// reload count, connection-engine gauges, the end-to-end latency
@@ -48,17 +88,24 @@ pub struct Metrics {
     pub reloads: AtomicU64,
     /// Requests answered with a 4xx/5xx status.
     pub errors: AtomicU64,
-    /// Connections accepted over the server's lifetime (counter).
-    pub connections_accepted: AtomicU64,
-    /// Connections currently registered in the reactor (gauge).
-    pub connections_open: AtomicU64,
-    /// Connections with a request currently in the scoring pool
-    /// (gauge); `open - busy` is the number of idle keep-alives.
-    pub connections_busy: AtomicU64,
-    /// Connections evicted by the idle timeout (counter).
-    pub connections_timed_out: AtomicU64,
-    /// Scoring-pool size, recorded at spawn (the reactor adds one more
-    /// thread; together they are the server's whole thread budget).
+    /// One entry per reactor, registered at spawn. Written only at
+    /// spawn time; read (briefly, shared) at exposition time — the
+    /// request hot path goes through each reactor's own `Arc`, never
+    /// through this lock.
+    reactors: RwLock<Vec<Arc<ReactorStats>>>,
+    /// Reactors whose thread died on a panic (gauge; nonzero means the
+    /// server is draining toward a nonzero exit).
+    pub reactors_failed: AtomicU64,
+    /// Per-reactor in-flight dispatch limit, recorded at spawn (0 =
+    /// unlimited). Exposed so the load generator can size overload
+    /// scenarios against the real admission threshold.
+    pub max_inflight: AtomicU64,
+    /// Whether the listeners share one port via `SO_REUSEPORT` (true)
+    /// or fall back to accept-racing clones of a single listener.
+    pub reuseport: AtomicBool,
+    /// Scoring-pool size, recorded at spawn (the reactors add
+    /// `threads.reactor` more; together they are the server's whole
+    /// thread budget).
     pub scoring_threads: AtomicU64,
     /// End-to-end latency (reactor dispatch → response handed to the
     /// socket) of `/identify` and `/identify_batch` — protocol-level
@@ -97,10 +144,10 @@ impl Metrics {
             metrics: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
             errors: AtomicU64::new(0),
-            connections_accepted: AtomicU64::new(0),
-            connections_open: AtomicU64::new(0),
-            connections_busy: AtomicU64::new(0),
-            connections_timed_out: AtomicU64::new(0),
+            reactors: RwLock::new(Vec::new()),
+            reactors_failed: AtomicU64::new(0),
+            max_inflight: AtomicU64::new(0),
+            reuseport: AtomicBool::new(false),
             scoring_threads: AtomicU64::new(0),
             latency: AtomicHistogram::new(),
             slow: SlowLog::new(),
@@ -109,6 +156,70 @@ impl Metrics {
             telemetry_enabled: AtomicBool::new(true),
             next_request_id: AtomicU64::new(0),
         }
+    }
+
+    /// Register one reactor and return its private stats handle.
+    /// Called once per reactor at spawn; a re-`spawn` on the same
+    /// state should call [`Metrics::reset_reactors`] first.
+    pub fn register_reactor(&self) -> Arc<ReactorStats> {
+        let stats = Arc::new(ReactorStats::new());
+        self.reactor_registry_mut().push(Arc::clone(&stats));
+        stats
+    }
+
+    /// Drop all registered reactors (a fresh `spawn` on a reused
+    /// `ServerState` starts its gauges from zero).
+    pub fn reset_reactors(&self) {
+        self.reactor_registry_mut().clear();
+    }
+
+    /// A snapshot of every reactor's stats handle (exposition, tests).
+    pub fn reactor_stats(&self) -> Vec<Arc<ReactorStats>> {
+        self.reactors
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    fn reactor_registry_mut(&self) -> std::sync::RwLockWriteGuard<'_, Vec<Arc<ReactorStats>>> {
+        self.reactors.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Number of registered reactors.
+    pub fn reactor_count(&self) -> usize {
+        self.reactors
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    fn sum_reactors(&self, field: impl Fn(&ReactorStats) -> u64) -> u64 {
+        self.reactor_stats().iter().map(|r| field(r)).sum()
+    }
+
+    /// Connections accepted, summed across reactors.
+    pub fn connections_accepted_total(&self) -> u64 {
+        self.sum_reactors(|r| r.accepted.load(Ordering::Relaxed))
+    }
+
+    /// Connections currently open, summed across reactors.
+    pub fn connections_open_total(&self) -> u64 {
+        self.sum_reactors(|r| r.open.load(Ordering::Relaxed))
+    }
+
+    /// Connections with an in-flight request, summed across reactors.
+    pub fn connections_busy_total(&self) -> u64 {
+        self.sum_reactors(|r| r.busy.load(Ordering::Relaxed))
+    }
+
+    /// Idle-timeout evictions, summed across reactors.
+    pub fn connections_timed_out_total(&self) -> u64 {
+        self.sum_reactors(|r| r.timed_out.load(Ordering::Relaxed))
+    }
+
+    /// Admission-control 503s, summed across reactors.
+    pub fn admission_rejects_total(&self) -> u64 {
+        self.sum_reactors(|r| r.admission_rejects.load(Ordering::Relaxed))
     }
 
     /// Seconds since the server started.
@@ -187,9 +298,56 @@ impl Metrics {
         self.record_stage(stripe, request_id, stage, start, duration_micros);
     }
 
+    /// [`Metrics::record_stage`], but the duration lands in a
+    /// caller-owned histogram (a reactor's private parse/write
+    /// histogram) instead of the shared per-stage one; the trace-ring
+    /// write is unchanged. Exposition merges the private histograms
+    /// back into the stage totals.
+    #[inline]
+    pub fn record_stage_into(
+        &self,
+        hist: &AtomicHistogram,
+        stripe: usize,
+        request_id: u64,
+        stage: Stage,
+        duration_micros: u64,
+    ) {
+        if !self.telemetry_enabled() {
+            return;
+        }
+        hist.record(duration_micros);
+        let start = self.now_micros().saturating_sub(duration_micros);
+        self.trace.record(
+            stripe,
+            SpanRecord {
+                request_id,
+                stage,
+                start_micros: start,
+                duration_micros,
+            },
+        );
+    }
+
     /// One stage's histogram (exposition, tests).
     pub fn stage_histogram(&self, stage: Stage) -> &AtomicHistogram {
         &self.stages[stage as usize]
+    }
+
+    /// One stage's merged snapshot: the shared histogram plus, for the
+    /// reactor-thread stages (parse/write), every reactor's private
+    /// histogram. This is the exposition view.
+    pub fn stage_snapshot(&self, stage: Stage) -> Histogram {
+        let mut merged = self.stages[stage as usize].snapshot();
+        if matches!(stage, Stage::Parse | Stage::Write) {
+            for reactor in self.reactor_stats() {
+                let private = match stage {
+                    Stage::Parse => &reactor.parse,
+                    _ => &reactor.write,
+                };
+                merged.merge(&private.snapshot());
+            }
+        }
+        merged
     }
 
     /// All buffered span records, oldest first (behind `GET
@@ -220,33 +378,78 @@ impl Metrics {
     }
 
     /// The connection-engine section of the `/metrics` response:
-    /// gauges maintained by the reactor thread.
+    /// totals summed across reactors, plus a `per_reactor` breakdown
+    /// (each entry owned and written by exactly one reactor thread).
     pub fn connections_value(&self) -> Value {
-        let open = self.connections_open.load(Ordering::Relaxed);
-        let busy = self.connections_busy.load(Ordering::Relaxed);
+        let reactors = self.reactor_stats();
+        let mut open = 0u64;
+        let mut busy = 0u64;
+        let mut accepted = 0u64;
+        let mut timed_out = 0u64;
+        let mut per_reactor = Vec::with_capacity(reactors.len());
+        for (index, stats) in reactors.iter().enumerate() {
+            let r_open = stats.open.load(Ordering::Relaxed);
+            let r_busy = stats.busy.load(Ordering::Relaxed);
+            let r_accepted = stats.accepted.load(Ordering::Relaxed);
+            let r_timed_out = stats.timed_out.load(Ordering::Relaxed);
+            open += r_open;
+            busy += r_busy;
+            accepted += r_accepted;
+            timed_out += r_timed_out;
+            let mut entry = Value::object();
+            entry.insert("reactor", Value::Uint(index as u64));
+            entry.insert("open", Value::Uint(r_open));
+            entry.insert("idle", Value::Uint(r_open.saturating_sub(r_busy)));
+            entry.insert("accepted", Value::Uint(r_accepted));
+            entry.insert("timed_out", Value::Uint(r_timed_out));
+            entry.insert(
+                "admission_rejects",
+                Value::Uint(stats.admission_rejects.load(Ordering::Relaxed)),
+            );
+            per_reactor.push(entry);
+        }
         let mut connections = Value::object();
         connections.insert("open", Value::Uint(open));
         connections.insert("idle", Value::Uint(open.saturating_sub(busy)));
-        connections.insert(
-            "accepted",
-            Value::Uint(self.connections_accepted.load(Ordering::Relaxed)),
-        );
-        connections.insert(
-            "timed_out",
-            Value::Uint(self.connections_timed_out.load(Ordering::Relaxed)),
-        );
+        connections.insert("accepted", Value::Uint(accepted));
+        connections.insert("timed_out", Value::Uint(timed_out));
+        connections.insert("per_reactor", Value::Array(per_reactor));
         connections
     }
 
+    /// The reactor-topology section of the `/metrics` response.
+    pub fn reactors_value(&self) -> Value {
+        let mut reactors = Value::object();
+        reactors.insert("count", Value::Uint(self.reactor_count() as u64));
+        reactors.insert(
+            "failed",
+            Value::Uint(self.reactors_failed.load(Ordering::Relaxed)),
+        );
+        reactors.insert(
+            "max_inflight",
+            Value::Uint(self.max_inflight.load(Ordering::Relaxed)),
+        );
+        reactors.insert(
+            "admission_rejects",
+            Value::Uint(self.admission_rejects_total()),
+        );
+        reactors.insert(
+            "reuseport",
+            Value::Bool(self.reuseport.load(Ordering::Relaxed)),
+        );
+        reactors
+    }
+
     /// The thread-budget section of the `/metrics` response: the
-    /// reactor plus the scoring pool is every thread the server runs,
+    /// reactors plus the scoring pool is every thread the server runs,
     /// independent of how many connections are open.
     pub fn threads_value(&self) -> Value {
+        let reactor = self.reactor_count() as u64;
         let scoring = self.scoring_threads.load(Ordering::Relaxed);
         let mut threads = Value::object();
-        threads.insert("reactor", Value::Uint(1));
+        threads.insert("reactor", Value::Uint(reactor));
         threads.insert("scoring", Value::Uint(scoring));
-        threads.insert("total", Value::Uint(1 + scoring));
+        threads.insert("total", Value::Uint(reactor + scoring));
         threads
     }
 
@@ -262,10 +465,7 @@ impl Metrics {
     pub fn stages_value(&self) -> Value {
         let mut stages = Value::object();
         for stage in Stage::ALL {
-            stages.insert(
-                stage.name(),
-                histogram_value(&self.stages[stage as usize].snapshot()),
-            );
+            stages.insert(stage.name(), histogram_value(&self.stage_snapshot(stage)));
         }
         stages
     }
@@ -373,23 +573,78 @@ mod tests {
     }
 
     #[test]
-    fn connection_gauges_report_open_idle_accepted_timed_out() {
+    fn connection_gauges_sum_across_reactors() {
         let m = Metrics::new();
-        m.connections_accepted.fetch_add(10, Ordering::Relaxed);
-        m.connections_open.fetch_add(7, Ordering::Relaxed);
-        m.connections_busy.fetch_add(2, Ordering::Relaxed);
-        m.connections_timed_out.fetch_add(3, Ordering::Relaxed);
+        let a = m.register_reactor();
+        let b = m.register_reactor();
+        a.accepted.fetch_add(10, Ordering::Relaxed);
+        a.open.fetch_add(4, Ordering::Relaxed);
+        a.busy.fetch_add(1, Ordering::Relaxed);
+        a.timed_out.fetch_add(3, Ordering::Relaxed);
+        b.accepted.fetch_add(6, Ordering::Relaxed);
+        b.open.fetch_add(3, Ordering::Relaxed);
+        b.busy.fetch_add(1, Ordering::Relaxed);
+        b.admission_rejects.fetch_add(2, Ordering::Relaxed);
         let v = m.connections_value();
         assert_eq!(v.get("open"), Some(&Value::Uint(7)));
         assert_eq!(v.get("idle"), Some(&Value::Uint(5)));
-        assert_eq!(v.get("accepted"), Some(&Value::Uint(10)));
+        assert_eq!(v.get("accepted"), Some(&Value::Uint(16)));
         assert_eq!(v.get("timed_out"), Some(&Value::Uint(3)));
+        let Some(Value::Array(per_reactor)) = v.get("per_reactor") else {
+            panic!("per_reactor must be an array");
+        };
+        assert_eq!(per_reactor.len(), 2);
+        assert_eq!(per_reactor[0].get("reactor"), Some(&Value::Uint(0)));
+        assert_eq!(per_reactor[0].get("accepted"), Some(&Value::Uint(10)));
+        assert_eq!(per_reactor[1].get("idle"), Some(&Value::Uint(2)));
+        assert_eq!(
+            per_reactor[1].get("admission_rejects"),
+            Some(&Value::Uint(2))
+        );
+        assert_eq!(m.connections_accepted_total(), 16);
+        assert_eq!(m.admission_rejects_total(), 2);
 
         m.scoring_threads.store(4, Ordering::Relaxed);
         let t = m.threads_value();
-        assert_eq!(t.get("reactor"), Some(&Value::Uint(1)));
+        assert_eq!(t.get("reactor"), Some(&Value::Uint(2)));
         assert_eq!(t.get("scoring"), Some(&Value::Uint(4)));
-        assert_eq!(t.get("total"), Some(&Value::Uint(5)));
+        assert_eq!(t.get("total"), Some(&Value::Uint(6)));
+
+        let r = m.reactors_value();
+        assert_eq!(r.get("count"), Some(&Value::Uint(2)));
+        assert_eq!(r.get("failed"), Some(&Value::Uint(0)));
+        assert_eq!(r.get("admission_rejects"), Some(&Value::Uint(2)));
+
+        m.reset_reactors();
+        assert_eq!(m.reactor_count(), 0);
+        assert_eq!(m.connections_open_total(), 0);
+    }
+
+    #[test]
+    fn reactor_stage_histograms_merge_into_stage_snapshots() {
+        let m = Metrics::new();
+        let a = m.register_reactor();
+        let b = m.register_reactor();
+        let id = m.next_request_id();
+        // Worker-side stage through the shared path, reactor-side
+        // parse/write through each reactor's private histogram.
+        m.record_stage(1, id, Stage::Score, 0, 40);
+        m.record_stage_into(&a.parse, 0, id, Stage::Parse, 5);
+        m.record_stage_into(&b.parse, 1, id, Stage::Parse, 7);
+        m.record_stage_into(&a.write, 0, id, Stage::Write, 3);
+        assert_eq!(m.stage_snapshot(Stage::Parse).count(), 2);
+        assert_eq!(m.stage_snapshot(Stage::Write).count(), 1);
+        assert_eq!(m.stage_snapshot(Stage::Score).count(), 1);
+        // The shared per-stage histogram saw none of the private ones.
+        assert_eq!(m.stage_histogram(Stage::Parse).count(), 0);
+        // All four spans landed in the trace ring with the same id.
+        let spans = m.trace_snapshot();
+        assert_eq!(spans.len(), 4);
+        assert!(spans.iter().all(|s| s.request_id == id));
+        // Telemetry off silences the private path too.
+        m.set_telemetry_enabled(false);
+        m.record_stage_into(&a.parse, 0, id, Stage::Parse, 9);
+        assert_eq!(m.stage_snapshot(Stage::Parse).count(), 2);
     }
 
     #[test]

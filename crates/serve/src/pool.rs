@@ -1,26 +1,42 @@
 //! The scoring pool: a small fixed set of CPU-bound worker threads.
 //!
-//! The reactor hands over fully parsed requests ([`Job`]); a worker
+//! The reactors hand over fully parsed requests ([`Job`]); a worker
 //! routes the request through the handlers (scoring, cache, metrics,
 //! reload — all in `server.rs`), serialises the response, and pushes a
-//! [`Completion`] back for the reactor to write. (Keeping the socket
-//! writes on the reactor preserves write batching: the reactor drains a
-//! whole burst of completions in one scheduling quantum, where
-//! per-worker direct writes measured *slower* on few-core boxes — each
-//! write immediately woke its client and shredded the batch.)
+//! [`Completion`] back to the **originating reactor's** completion port
+//! for it to write. (Keeping the socket writes on the reactor preserves
+//! write batching: the reactor drains a whole burst of completions in
+//! one scheduling quantum, where per-worker direct writes measured
+//! *slower* on few-core boxes — each write immediately woke its client
+//! and shredded the batch.)
 //!
-//! The reactor is woken through its self-pipe, but the wake syscall is
+//! Two topologies, selected by `ServeConfig::pool`:
+//!
+//! * **Shared** (default): one job channel feeds every worker, any
+//!   worker serves any reactor. Work-conserving — a traffic imbalance
+//!   between reactors (the kernel balances *connections*, not
+//!   *requests*) never strands CPU behind an idle reactor's private
+//!   queue. The shared channel's mutex is the one cross-reactor lock in
+//!   the system, and it sits on the *pool* side of the dispatch
+//!   boundary, after the reactor has already handed the request off.
+//! * **Partitioned**: each reactor owns a private job channel and a
+//!   dedicated worker subset — zero cross-reactor contention anywhere,
+//!   at the price of fragmenting the pool (an overloaded reactor cannot
+//!   borrow a sibling's idle workers). Measured head-to-head in the
+//!   README's serving-architecture section.
+//!
+//! A reactor is woken through its self-pipe, but the wake syscall is
 //! **elided for all but the first completion of a burst**: workers
-//! send-then-increment a shared counter and only wake when it was zero,
-//! pairing with the reactor's swap(0)-then-drain — every completion the
-//! swap observed is already visible to the drain, and an increment
-//! landing after the swap sees zero and issues its own wake, so nothing
-//! strands. The pool is sized to the CPU count — its threads only ever
-//! run compute, never block on sockets, so there is no reason to
-//! over-provision past the cores.
+//! send-then-increment the reactor's pending counter and only wake when
+//! it was zero, pairing with the reactor's swap(0)-then-drain — every
+//! completion the swap observed is already visible to the drain, and an
+//! increment landing after the swap sees zero and issues its own wake,
+//! so nothing strands. The pool is sized to the CPU count — its threads
+//! only ever run compute, never block on sockets, so there is no reason
+//! to over-provision past the cores.
 
 use crate::http::{self, Request};
-use crate::server::{route, RequestTrace, ServerState};
+use crate::server::{route, PoolTopology, RequestTrace, ServerState};
 use crate::sys::Waker;
 use std::io;
 use std::sync::atomic::{AtomicI64, Ordering};
@@ -35,6 +51,13 @@ use urlid_telemetry::Stage;
 pub(crate) struct Job {
     /// Reactor connection token (slot index + generation).
     pub token: u64,
+    /// Index of the reactor that dispatched the job — selects the
+    /// completion port the response goes back through, the result-cache
+    /// shard set, and the `X-Urlid-Reactor` header value.
+    pub reactor: usize,
+    /// The reactor's result-cache shard set (`reactor % cache.sets()`,
+    /// precomputed on the reactor).
+    pub cache_set: usize,
     /// The parsed request.
     pub request: Request,
     /// Request id assigned at parse completion (span correlation).
@@ -44,7 +67,7 @@ pub(crate) struct Job {
     pub dispatched_at: Instant,
 }
 
-/// A finished response on its way back to the reactor.
+/// A finished response on its way back to a reactor.
 pub(crate) struct Completion {
     /// The token of the connection the request came from. May be stale
     /// by the time the reactor sees it (the connection died while the
@@ -65,121 +88,178 @@ pub(crate) struct Completion {
     pub record_latency: bool,
 }
 
+/// One reactor's side of the completion hand-back: the channel the
+/// response travels on plus the wake-elision pair for that reactor's
+/// self-pipe.
+pub(crate) struct CompletionPort {
+    /// Completion channel into the reactor.
+    pub completions: Sender<Completion>,
+    /// The reactor's pending-completion counter (wake elision).
+    pub pending: Arc<AtomicI64>,
+    /// The reactor's self-pipe write end.
+    pub waker: Arc<Waker>,
+}
+
 /// Handles to the running workers (join on shutdown).
 pub(crate) struct ScoringPool {
     workers: Vec<JoinHandle<()>>,
 }
 
 impl ScoringPool {
-    /// Spawn `threads` workers. Returns the pool and the job sender;
-    /// dropping the sender (the reactor exiting) drains and stops the
-    /// workers.
+    /// Spawn the pool for `ports.len()` reactors. Returns the pool and
+    /// one job sender per reactor — in the shared topology they are
+    /// clones of one channel, in the partitioned topology each is
+    /// private. Workers exit when every sender they serve is dropped
+    /// (the owning reactors exiting).
     pub(crate) fn spawn(
+        topology: PoolTopology,
         threads: usize,
-        state: Arc<ServerState>,
-        completions: Sender<Completion>,
-        pending: Arc<AtomicI64>,
-        waker: Arc<Waker>,
-    ) -> io::Result<(ScoringPool, Sender<Job>)> {
-        let (job_tx, job_rx) = std::sync::mpsc::channel::<Job>();
-        let job_rx: Arc<Mutex<Receiver<Job>>> = Arc::new(Mutex::new(job_rx));
-        let mut workers = Vec::with_capacity(threads);
-        for i in 0..threads {
-            let job_rx = Arc::clone(&job_rx);
-            let state = Arc::clone(&state);
-            let completions = completions.clone();
-            let pending = Arc::clone(&pending);
-            let waker = Arc::clone(&waker);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("urlid-serve-score-{i}"))
-                    .spawn(move || {
-                        // Each worker owns one extraction scratch for
-                        // its whole lifetime: after warm-up, scoring a
-                        // cache-missed URL allocates nothing.
-                        let mut scratch = urlid_features::ExtractScratch::new();
-                        loop {
-                            // A poisoned lock or closed channel both mean
-                            // the server is coming down — exit quietly, no
-                            // panic cascade.
-                            let received = match job_rx.lock() {
-                                Ok(rx) => rx.recv(),
-                                Err(_) => return,
-                            };
-                            let Ok(job) = received else { return };
-                            let metrics = state.metrics();
-                            let picked_up = Instant::now();
-                            let queue_micros = urlid_telemetry::duration_micros(
-                                picked_up.saturating_duration_since(job.dispatched_at),
-                            );
-                            let mut trace = RequestTrace::new(job.request_id, 1 + i);
-                            metrics.record_stage_end(
-                                trace.stripe,
-                                trace.request_id,
-                                Stage::Queue,
-                                queue_micros,
-                            );
-                            let (status, content_type, body) =
-                                route(&state, &job.request, &mut scratch, &mut trace);
-                            let total_micros = queue_micros
-                                + urlid_telemetry::duration_micros(picked_up.elapsed());
-                            if metrics.slow.should_log(total_micros, metrics.now_micros()) {
-                                // Off the steady-state path by construction
-                                // (threshold + rate limit); key=value so the
-                                // line greps and splits mechanically.
-                                eprintln!(
-                                    "slow_request request_id={} method={} path={} status={} \
-                                     queue_us={} cache_us={} extract_us={} score_us={} total_us={}",
-                                    trace.request_id,
-                                    job.request.method,
-                                    job.request.path,
-                                    status,
-                                    queue_micros,
-                                    trace.cache_us,
-                                    trace.extract_us,
-                                    trace.score_us,
-                                    total_micros,
-                                );
-                            }
-                            let keep_alive = job.request.keep_alive;
-                            let completion = Completion {
-                                token: job.token,
-                                response: http::response_bytes_with_type(
-                                    status,
-                                    content_type,
-                                    &body,
-                                    keep_alive,
-                                ),
-                                keep_alive,
-                                request_id: job.request_id,
-                                dispatched_at: job.dispatched_at,
-                                record_latency: matches!(
-                                    job.request.path.as_str(),
-                                    "/identify" | "/identify_batch"
-                                ),
-                            };
-                            if completions.send(completion).is_err() {
-                                return; // reactor gone
-                            }
-                            // Send-then-increment pairs with the reactor's
-                            // swap(0)-then-drain (see module docs): only
-                            // the first completion of a burst pays the
-                            // wake syscall.
-                            if pending.fetch_add(1, Ordering::AcqRel) == 0 {
-                                waker.wake();
-                            }
-                        }
-                    })?,
-            );
+        state: &Arc<ServerState>,
+        ports: Vec<CompletionPort>,
+    ) -> io::Result<(ScoringPool, Vec<Sender<Job>>)> {
+        let reactors = ports.len().max(1);
+        let ports = Arc::new(ports);
+        let mut workers = Vec::with_capacity(threads.max(reactors));
+        let mut senders = Vec::with_capacity(reactors);
+        match topology {
+            PoolTopology::Shared => {
+                let (job_tx, job_rx) = std::sync::mpsc::channel::<Job>();
+                let job_rx: Arc<Mutex<Receiver<Job>>> = Arc::new(Mutex::new(job_rx));
+                for i in 0..threads.max(1) {
+                    workers.push(spawn_worker(i, &job_rx, state, &ports)?);
+                }
+                senders.resize_with(reactors, || job_tx.clone());
+            }
+            PoolTopology::Partitioned => {
+                // Split the budget as evenly as it goes, never starving
+                // a reactor of its last worker.
+                let base = threads / reactors;
+                let extra = threads % reactors;
+                let mut next_worker = 0usize;
+                for r in 0..reactors {
+                    let count = (base + usize::from(r < extra)).max(1);
+                    let (job_tx, job_rx) = std::sync::mpsc::channel::<Job>();
+                    let job_rx: Arc<Mutex<Receiver<Job>>> = Arc::new(Mutex::new(job_rx));
+                    for _ in 0..count {
+                        workers.push(spawn_worker(next_worker, &job_rx, state, &ports)?);
+                        next_worker += 1;
+                    }
+                    senders.push(job_tx);
+                }
+            }
         }
-        Ok((ScoringPool { workers }, job_tx))
+        Ok((ScoringPool { workers }, senders))
     }
 
-    /// Wait for every worker to finish (call after the reactor exited,
-    /// which drops the job sender and lets the workers drain out).
+    /// How many worker threads are actually running (the partitioned
+    /// split can round the requested budget up to one per reactor).
+    pub(crate) fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Wait for every worker to finish (call after the reactors exited,
+    /// which drops the job senders and lets the workers drain out).
     pub(crate) fn join(&mut self) {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
     }
+}
+
+/// One worker thread: pull jobs, route, serialise, hand the completion
+/// back to the dispatching reactor's port.
+fn spawn_worker(
+    index: usize,
+    job_rx: &Arc<Mutex<Receiver<Job>>>,
+    state: &Arc<ServerState>,
+    ports: &Arc<Vec<CompletionPort>>,
+) -> io::Result<JoinHandle<()>> {
+    let job_rx = Arc::clone(job_rx);
+    let state = Arc::clone(state);
+    let ports = Arc::clone(ports);
+    std::thread::Builder::new()
+        .name(format!("urlid-serve-score-{index}"))
+        .spawn(move || {
+            // Each worker owns one extraction scratch for its whole
+            // lifetime: after warm-up, scoring a cache-missed URL
+            // allocates nothing.
+            let mut scratch = urlid_features::ExtractScratch::new();
+            loop {
+                // A poisoned lock or closed channel both mean the
+                // server is coming down — exit quietly, no panic
+                // cascade.
+                let received = match job_rx.lock() {
+                    Ok(rx) => rx.recv(),
+                    Err(_) => return,
+                };
+                let Ok(job) = received else { return };
+                let metrics = state.metrics();
+                let picked_up = Instant::now();
+                let queue_micros = urlid_telemetry::duration_micros(
+                    picked_up.saturating_duration_since(job.dispatched_at),
+                );
+                let mut trace = RequestTrace::new(job.request_id, 1 + (index % 7));
+                trace.cache_set = job.cache_set;
+                metrics.record_stage_end(
+                    trace.stripe,
+                    trace.request_id,
+                    Stage::Queue,
+                    queue_micros,
+                );
+                let (status, content_type, body) =
+                    route(&state, &job.request, &mut scratch, &mut trace);
+                let total_micros =
+                    queue_micros + urlid_telemetry::duration_micros(picked_up.elapsed());
+                if metrics.slow.should_log(total_micros, metrics.now_micros()) {
+                    // Off the steady-state path by construction
+                    // (threshold + rate limit); key=value so the
+                    // line greps and splits mechanically.
+                    eprintln!(
+                        "slow_request request_id={} method={} path={} status={} \
+                         queue_us={} cache_us={} extract_us={} score_us={} total_us={}",
+                        trace.request_id,
+                        job.request.method,
+                        job.request.path,
+                        status,
+                        queue_micros,
+                        trace.cache_us,
+                        trace.extract_us,
+                        trace.score_us,
+                        total_micros,
+                    );
+                }
+                let keep_alive = job.request.keep_alive;
+                let completion = Completion {
+                    token: job.token,
+                    response: http::response_bytes_from_reactor(
+                        status,
+                        content_type,
+                        &body,
+                        keep_alive,
+                        job.reactor as u64,
+                    ),
+                    keep_alive,
+                    request_id: job.request_id,
+                    dispatched_at: job.dispatched_at,
+                    record_latency: matches!(
+                        job.request.path.as_str(),
+                        "/identify" | "/identify_batch"
+                    ),
+                };
+                let Some(port) = ports.get(job.reactor) else {
+                    continue; // a mis-tagged job has nowhere to go
+                };
+                if port.completions.send(completion).is_err() {
+                    // That reactor is gone; its sibling ports may still
+                    // be alive, so keep serving.
+                    continue;
+                }
+                // Send-then-increment pairs with the reactor's
+                // swap(0)-then-drain (see module docs): only the first
+                // completion of a burst pays the wake syscall.
+                if port.pending.fetch_add(1, Ordering::AcqRel) == 0 {
+                    port.waker.wake();
+                }
+            }
+        })
 }

@@ -1,15 +1,26 @@
-//! The reactor: one thread multiplexing every connection.
+//! The reactor: one thread multiplexing its share of the connections.
 //!
-//! A single event loop owns the listening socket, the wake pipe, and a
-//! slab of [`Conn`] state machines, all registered in one [`Poller`]
-//! (epoll on Linux, `poll(2)` elsewhere — see [`crate::sys`]). The loop
-//! blocks in `wait` until something is ready, drives exactly the
-//! connections the kernel names, hands fully parsed requests to the
-//! scoring pool, and writes finished responses back. An idle keep-alive
-//! connection therefore costs one slab slot and one kernel registration
-//! — not a thread — which is the whole point of the refactor: thousands
-//! of mostly-idle crawl-frontier clients are served by `1 + cores`
-//! threads total.
+//! Each of the server's `N` reactors is a single event loop owning its
+//! own listening socket (an `SO_REUSEPORT` sibling — see
+//! `server::bind_listeners`), its own wake pipe, and its own slab of
+//! [`Conn`] state machines, all registered in one [`Poller`] (epoll on
+//! Linux, `poll(2)` elsewhere — see [`crate::sys`]). The loop blocks in
+//! `wait` until something is ready, drives exactly the connections the
+//! kernel names, hands fully parsed requests to the scoring pool, and
+//! writes finished responses back. An idle keep-alive connection
+//! therefore costs one slab slot and one kernel registration — not a
+//! thread: thousands of mostly-idle crawl-frontier clients are served
+//! by `reactors + cores` threads total. A connection adopted by one
+//! reactor lives and dies on that reactor — no slab slot, poller
+//! registration, or gauge is ever touched from a sibling's thread.
+//!
+//! ## Admission control
+//!
+//! Each reactor caps how many of its requests may sit in the scoring
+//! pool at once (`ServeConfig::max_inflight`). A dispatch over the cap
+//! is answered `503` right here on the reactor thread — the request
+//! never crosses into the pool, so overload sheds work at the cheapest
+//! possible point instead of queueing it into ever-worse latency.
 //!
 //! ## Tokens and generations
 //!
@@ -29,6 +40,7 @@
 
 use crate::conn::{Conn, Step};
 use crate::http::ParserLimits;
+use crate::metrics::ReactorStats;
 use crate::pool::{Completion, Job};
 use crate::server::{ServeConfig, ServerState};
 use crate::sys::{Event, Interest, Poller, WakePipe};
@@ -56,6 +68,10 @@ struct Slot {
 /// The event loop (see module docs). Constructed by `server::spawn`,
 /// consumed by [`Reactor::run`] on the reactor thread.
 pub(crate) struct Reactor {
+    /// This reactor's index in the server's reactor set (the
+    /// `X-Urlid-Reactor` value, the completion-port index, and the
+    /// trace-stripe selector).
+    index: usize,
     poller: Poller,
     listener: TcpListener,
     wake: WakePipe,
@@ -67,11 +83,25 @@ pub(crate) struct Reactor {
     /// Completion backlog estimate shared with the workers (they elide
     /// the wake syscall when it says the reactor will look anyway).
     pending: Arc<AtomicI64>,
+    /// This reactor's private gauge/histogram plane (exposition sums
+    /// across reactors; nothing here is written by a sibling).
+    stats: Arc<ReactorStats>,
     state: Arc<ServerState>,
     shutdown: Arc<AtomicBool>,
     limits: ParserLimits,
     idle_timeout: Duration,
     drain_timeout: Duration,
+    /// Requests currently dispatched to the scoring pool from this
+    /// reactor (plain field — only this thread touches it).
+    inflight: usize,
+    /// Admission-control cap on `inflight` (`usize::MAX` = unlimited).
+    max_inflight: usize,
+    /// The result-cache shard set this reactor's requests probe
+    /// (`index % cache.sets()`, precomputed).
+    cache_set: usize,
+    /// Test hook: panic once `accepted` exceeds this (see
+    /// `ServeConfig::fail_after_accepts`).
+    fail_after_accepts: Option<u64>,
     draining: bool,
     drain_deadline: Instant,
     next_evict: Instant,
@@ -83,15 +113,17 @@ pub(crate) struct Reactor {
 impl Reactor {
     /// Wire up a reactor over an already-bound, non-blocking listener.
     /// (One argument per collaborating half — channels, wake pipe,
-    /// shared state — bundling them into a struct would just move the
-    /// same eight names one level down.)
+    /// stats, shared state — bundling them into a struct would just
+    /// move the same names one level down.)
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
+        index: usize,
         listener: TcpListener,
         wake: WakePipe,
         jobs: Sender<Job>,
         completions: Receiver<Completion>,
         pending: Arc<AtomicI64>,
+        stats: Arc<ReactorStats>,
         state: Arc<ServerState>,
         shutdown: Arc<AtomicBool>,
         config: &ServeConfig,
@@ -100,7 +132,9 @@ impl Reactor {
         poller.add(listener.as_raw_fd(), LISTENER, Interest::READ)?;
         poller.add(wake.fd(), WAKE, Interest::READ)?;
         let now = Instant::now();
+        let cache_set = index % state.cache().sets();
         Ok(Reactor {
+            index,
             poller,
             listener,
             wake,
@@ -110,6 +144,7 @@ impl Reactor {
             jobs,
             completions,
             pending,
+            stats,
             state,
             shutdown,
             limits: ParserLimits {
@@ -118,6 +153,14 @@ impl Reactor {
             },
             idle_timeout: config.idle_timeout,
             drain_timeout: config.drain_timeout,
+            inflight: 0,
+            max_inflight: if config.max_inflight == 0 {
+                usize::MAX
+            } else {
+                config.max_inflight
+            },
+            cache_set,
+            fail_after_accepts: config.fail_after_accepts,
             draining: false,
             drain_deadline: now,
             next_evict: now,
@@ -196,7 +239,7 @@ impl Reactor {
                 .as_mut()
                 .expect("resolved")
                 .on_readable(now);
-            self.apply(idx, step);
+            self.apply(idx, step, now);
         }
         if writable {
             let Some(slot) = self.slots.get_mut(idx) else {
@@ -206,33 +249,54 @@ impl Reactor {
                 return;
             };
             let step = conn.on_writable(now);
-            self.apply(idx, step);
+            self.apply(idx, step, now);
         }
     }
 
-    /// Apply a state-machine step: register a dispatch, sync interest,
-    /// or tear the connection down.
-    fn apply(&mut self, idx: usize, step: Step) {
-        match step {
-            Step::Continue => self.sync_interest(idx),
-            Step::Dispatch(request, request_id) => {
-                let metrics = self.state.metrics();
-                metrics.connections_busy.fetch_add(1, Ordering::Relaxed);
-                let job = Job {
-                    token: self.token_of(idx),
-                    request,
-                    request_id,
-                    dispatched_at: Instant::now(),
-                };
-                if self.jobs.send(job).is_err() {
-                    // Scoring pool gone — only possible mid-teardown.
-                    metrics.connections_busy.fetch_sub(1, Ordering::Relaxed);
-                    self.close_conn(idx);
-                } else {
-                    self.sync_interest(idx);
+    /// Apply a state-machine step: register a dispatch (or shed it on
+    /// the admission cap), sync interest, or tear the connection down.
+    /// A loop because shedding answers the request inline and may
+    /// surface the *next* pipelined request as a fresh dispatch.
+    fn apply(&mut self, idx: usize, step: Step, now: Instant) {
+        let mut step = step;
+        loop {
+            match step {
+                Step::Continue => return self.sync_interest(idx),
+                Step::Dispatch(request, request_id) => {
+                    if self.inflight >= self.max_inflight {
+                        // Over the cap: answer 503 on this thread and
+                        // drop the parsed request without ever queueing
+                        // it — the whole point of admission control.
+                        let keep_alive = request.keep_alive;
+                        drop(request);
+                        step = self.slots[idx]
+                            .conn
+                            .as_mut()
+                            .expect("resolved")
+                            .reject_overload(keep_alive, now);
+                        let _ = request_id;
+                        continue;
+                    }
+                    self.stats.busy.fetch_add(1, Ordering::Relaxed);
+                    self.inflight += 1;
+                    let job = Job {
+                        token: self.token_of(idx),
+                        reactor: self.index,
+                        cache_set: self.cache_set,
+                        request,
+                        request_id,
+                        dispatched_at: Instant::now(),
+                    };
+                    if self.jobs.send(job).is_err() {
+                        // Scoring pool gone — only possible mid-teardown.
+                        self.stats.busy.fetch_sub(1, Ordering::Relaxed);
+                        self.inflight -= 1;
+                        return self.close_conn(idx);
+                    }
+                    return self.sync_interest(idx);
                 }
+                Step::Close => return self.close_conn(idx),
             }
-            Step::Close => self.close_conn(idx),
         }
     }
 
@@ -247,10 +311,8 @@ impl Reactor {
         // own wake — no completion can get stranded until the tick.
         self.pending.swap(0, Ordering::AcqRel);
         while let Ok(completion) = self.completions.try_recv() {
-            self.state
-                .metrics()
-                .connections_busy
-                .fetch_sub(1, Ordering::Relaxed);
+            self.stats.busy.fetch_sub(1, Ordering::Relaxed);
+            self.inflight = self.inflight.saturating_sub(1);
             let Some(idx) = self.resolve(completion.token) else {
                 continue;
             };
@@ -272,7 +334,7 @@ impl Reactor {
                         Instant::now().saturating_duration_since(completion.dispatched_at),
                     ));
             }
-            self.apply(idx, step);
+            self.apply(idx, step, now);
         }
     }
 
@@ -326,7 +388,15 @@ impl Reactor {
 
     /// Register a freshly accepted stream as a connection.
     fn adopt(&mut self, stream: std::net::TcpStream, now: Instant) {
-        let Ok(conn) = Conn::new(stream, self.limits, Arc::clone(&self.state), now) else {
+        let conn = Conn::new(
+            stream,
+            self.limits,
+            Arc::clone(&self.state),
+            Arc::clone(&self.stats),
+            self.index,
+            now,
+        );
+        let Ok(conn) = conn else {
             return;
         };
         let idx = match self.free.pop() {
@@ -351,9 +421,16 @@ impl Reactor {
             return;
         }
         self.open += 1;
-        let metrics = self.state.metrics();
-        metrics.connections_accepted.fetch_add(1, Ordering::Relaxed);
-        metrics.connections_open.fetch_add(1, Ordering::Relaxed);
+        let accepted = self.stats.accepted.fetch_add(1, Ordering::Relaxed) + 1;
+        self.stats.open.fetch_add(1, Ordering::Relaxed);
+        if let Some(limit) = self.fail_after_accepts {
+            if accepted > limit {
+                // Test hook: die *after* the accept so the sibling
+                // reactors must absorb the fallout (see
+                // `ServeConfig::fail_after_accepts`).
+                panic!("injected reactor failure after {accepted} accepts");
+            }
+        }
     }
 
     /// Update the poller when a connection's interest set changed.
@@ -383,10 +460,7 @@ impl Reactor {
         slot.gen = slot.gen.wrapping_add(1);
         self.free.push(idx as u32);
         self.open -= 1;
-        self.state
-            .metrics()
-            .connections_open
-            .fetch_sub(1, Ordering::Relaxed);
+        self.stats.open.fetch_sub(1, Ordering::Relaxed);
         drop(conn);
     }
 
@@ -403,10 +477,7 @@ impl Reactor {
                 continue;
             }
             if now.duration_since(conn.last_activity()) > self.idle_timeout {
-                self.state
-                    .metrics()
-                    .connections_timed_out
-                    .fetch_add(1, Ordering::Relaxed);
+                self.stats.timed_out.fetch_add(1, Ordering::Relaxed);
                 self.close_conn(idx);
             }
         }

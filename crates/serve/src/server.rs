@@ -2,18 +2,29 @@
 //!
 //! ## Threading model
 //!
-//! One **reactor thread** (the internal `reactor` module) owns every
-//! socket: it accepts connections, feeds bytes into per-connection
-//! incremental parsers, and writes responses — all over non-blocking
-//! I/O behind a readiness poller (epoll on Linux, `poll(2)` elsewhere;
-//! see [`crate::sys`]). Fully parsed requests are dispatched to a small
-//! **scoring pool** (the internal `pool` module) sized to the CPU
-//! count, whose
-//! threads only ever run compute. Total thread budget: `1 + cores`,
+//! `N` **reactor threads** (the internal `reactor` module) share the
+//! accept load: each owns its own `SO_REUSEPORT` listener (the kernel
+//! load-balances incoming connections across them; where `REUSEPORT`
+//! is unavailable they accept-race clones of one listener), its own
+//! connection slab, its own wake pipe, and its own result-cache shard
+//! set. A connection is adopted by exactly one reactor and never
+//! migrates — no hot-path state crosses reactor boundaries. Each
+//! reactor feeds bytes into per-connection incremental parsers and
+//! writes responses over non-blocking I/O behind a readiness poller
+//! (epoll on Linux, `poll(2)` elsewhere; see [`crate::sys`]). Fully
+//! parsed requests are dispatched to a small **scoring pool** (the
+//! internal `pool` module) sized to the CPU count, whose threads only
+//! ever run compute. Total thread budget: `reactors + cores`,
 //! independent of the number of open connections — thousands of
 //! mostly-idle keep-alive clients cost slab slots, not threads. (The
 //! previous engine parked one blocking worker thread per keep-alive
 //! connection, capping concurrent connections at the pool size.)
+//!
+//! Each reactor also runs **admission control**: at most
+//! [`ServeConfig::max_inflight`] requests per reactor may sit in the
+//! scoring pool at once; the excess is answered `503` directly on the
+//! reactor thread without ever crossing into the pool, so overload
+//! sheds load instead of queueing it.
 //!
 //! ## Hot reload
 //!
@@ -29,7 +40,7 @@
 use crate::cache::{normalize_url, CachedScores, ResultCache};
 use crate::http::{Request, MAX_BODY_BYTES};
 use crate::metrics::Metrics;
-use crate::pool::ScoringPool;
+use crate::pool::{CompletionPort, ScoringPool};
 use crate::reactor::Reactor;
 use crate::sys::{WakePipe, Waker};
 use serde::Value;
@@ -52,16 +63,57 @@ const CONTENT_TYPE_JSON: &str = "application/json";
 /// Content type of the Prometheus text exposition (format 0.0.4).
 const CONTENT_TYPE_PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
 
+/// How scoring-pool workers are wired to the reactors.
+///
+/// Both topologies were measured head-to-head (see the README's
+/// serving-architecture section): on few-core boxes they are within
+/// noise of each other, and `Shared` is work-conserving under a traffic
+/// imbalance, so it is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PoolTopology {
+    /// One job channel feeds every worker; any worker serves any
+    /// reactor. The channel's internal mutex is the one cross-reactor
+    /// lock in the system, and it sits on the pool side of the dispatch
+    /// boundary — never on a reactor's accept/parse/write path.
+    #[default]
+    Shared,
+    /// Each reactor owns a private job channel and a dedicated worker
+    /// subset (at least one worker each). Zero cross-reactor contention
+    /// anywhere, but an overloaded reactor cannot borrow a sibling's
+    /// idle workers.
+    Partitioned,
+}
+
+/// Default reactor count: one per core, capped at four. Past four
+/// reactors the accept/parse/write load is spread thinner than the
+/// scoring work that actually saturates the cores.
+pub fn default_reactors() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4)
+}
+
 /// Server configuration (everything has serving-friendly defaults).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address; port 0 picks a free port (tests, loadgen).
     pub addr: String,
+    /// Reactor threads, each owning its own `SO_REUSEPORT` listener and
+    /// connection slab; 0 means [`default_reactors`] (`min(cores, 4)`).
+    pub reactors: usize,
     /// Scoring-pool threads; 0 means one per available core. These
     /// threads are pure compute — connections no longer pin threads, so
     /// there is nothing to over-provision.
     pub scoring_threads: usize,
-    /// Number of cache shards (mutex stripes).
+    /// Per-reactor admission-control limit: at most this many requests
+    /// from one reactor may be in the scoring pool at once; the excess
+    /// is answered `503` on the reactor thread. `0` disables the limit.
+    pub max_inflight: usize,
+    /// Scoring-pool topology (see [`PoolTopology`]).
+    pub pool: PoolTopology,
+    /// Number of cache shards (mutex stripes) *per shard set*; each
+    /// reactor maps onto one set of the state's [`ResultCache`].
     pub cache_shards: usize,
     /// A connection with no bytes moving for this long is evicted by
     /// the reactor — mid-request (slowloris) and between requests
@@ -84,19 +136,28 @@ pub struct ServeConfig {
     /// rate-limited key=value line to stderr; `0` disables the slow
     /// log entirely.
     pub slow_request_micros: u64,
+    /// Test hook: a reactor panics once it has accepted more than this
+    /// many connections (`Some(0)` panics on the first accept). Used by
+    /// the panic-hardening integration test to prove a dying reactor
+    /// does not strand its siblings; `None` in any real configuration.
+    pub fail_after_accepts: Option<u64>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:0".to_owned(),
+            reactors: 0,
             scoring_threads: 0,
+            max_inflight: 32,
+            pool: PoolTopology::Shared,
             cache_shards: ResultCache::DEFAULT_SHARDS,
             idle_timeout: Duration::from_secs(5),
             max_body_bytes: MAX_BODY_BYTES,
             drain_timeout: Duration::from_secs(2),
             telemetry: true,
             slow_request_micros: 100_000,
+            fail_after_accepts: None,
         }
     }
 }
@@ -110,6 +171,9 @@ pub(crate) struct RequestTrace {
     pub request_id: u64,
     /// Trace-ring stripe of the recording thread (`1 + worker_index`).
     pub stripe: usize,
+    /// Result-cache shard set of the dispatching reactor (set `0` for
+    /// anything that scores outside a reactor context).
+    pub cache_set: usize,
     /// Result-cache probe duration in microseconds.
     pub cache_us: u64,
     /// Feature-extraction duration in microseconds (cache miss only).
@@ -123,6 +187,7 @@ impl RequestTrace {
         RequestTrace {
             request_id,
             stripe,
+            cache_set: 0,
             cache_us: 0,
             extract_us: 0,
             score_us: 0,
@@ -194,10 +259,33 @@ impl ServerState {
     /// the README's compiled-plane section), and every model swapped in
     /// by `POST /admin/reload` gets the same treatment.
     pub fn with_weights(
+        identifier: LanguageIdentifier,
+        model_path: Option<PathBuf>,
+        cache_capacity: usize,
+        cache_shards: usize,
+        f32_weights: bool,
+    ) -> Self {
+        Self::with_topology(
+            identifier,
+            model_path,
+            cache_capacity,
+            cache_shards,
+            1,
+            f32_weights,
+        )
+    }
+
+    /// [`ServerState::with_weights`] plus an explicit cache shard-set
+    /// count. Size `cache_sets` to the reactor count you will serve
+    /// with: reactor `r` probes only set `r % cache_sets`, so with one
+    /// set per reactor no cache stripe is ever contended across
+    /// reactors. The capacity is split evenly across the sets.
+    pub fn with_topology(
         mut identifier: LanguageIdentifier,
         model_path: Option<PathBuf>,
         cache_capacity: usize,
         cache_shards: usize,
+        cache_sets: usize,
         f32_weights: bool,
     ) -> Self {
         if f32_weights {
@@ -209,7 +297,7 @@ impl ServerState {
                 epoch: 0,
                 path: model_path,
             }),
-            cache: ResultCache::new(cache_capacity, cache_shards),
+            cache: ResultCache::with_sets(cache_capacity, cache_shards, cache_sets),
             metrics: Metrics::new(),
             f32_weights,
         }
@@ -290,7 +378,7 @@ impl ServerState {
     ) -> (CachedScores, bool) {
         let (identifier, epoch) = self.model();
         let cache_started = Instant::now();
-        let hit = self.cache.get(key, epoch);
+        let hit = self.cache.get_in(trace.cache_set, key, epoch);
         trace.cache_us = duration_micros(cache_started.elapsed());
         self.metrics
             .record_stage_end(trace.stripe, trace.request_id, Stage::Cache, trace.cache_us);
@@ -323,7 +411,7 @@ impl ServerState {
         } else {
             identifier.classifier_set().score_all_with(key, scratch)
         };
-        self.cache.insert(key, epoch, scores);
+        self.cache.insert_in(trace.cache_set, key, epoch, scores);
         (scores, false)
     }
 
@@ -341,7 +429,11 @@ impl ServerState {
         let cache_started = Instant::now();
         let mut out: Vec<Option<(CachedScores, bool)>> = keys
             .iter()
-            .map(|k| self.cache.get(k, epoch).map(|s| (s, true)))
+            .map(|k| {
+                self.cache
+                    .get_in(trace.cache_set, k, epoch)
+                    .map(|s| (s, true))
+            })
             .collect();
         let miss_indices: Vec<usize> = (0..keys.len()).filter(|&i| out[i].is_none()).collect();
         trace.cache_us = duration_micros(cache_started.elapsed());
@@ -361,7 +453,8 @@ impl ServerState {
                 trace.score_us,
             );
             for (&i, scores) in miss_indices.iter().zip(scored) {
-                self.cache.insert(&keys[i], epoch, scores);
+                self.cache
+                    .insert_in(trace.cache_set, &keys[i], epoch, scores);
                 out[i] = Some((scores, false));
             }
         }
@@ -577,6 +670,7 @@ fn handle_metrics(state: &ServerState, req: &Request) -> (u16, &'static str, Str
     o.insert("requests", state.metrics.requests_value());
     o.insert("connections", state.metrics.connections_value());
     o.insert("threads", state.metrics.threads_value());
+    o.insert("reactors", state.metrics.reactors_value());
     o.insert("cache", cache);
     o.insert("latency", state.metrics.latency_value());
     o.insert("stages", state.metrics.stages_value());
@@ -637,19 +731,19 @@ pub fn prometheus_text(state: &ServerState) -> String {
     );
     w.counter(
         "urlid_connections_accepted_total",
-        "Connections accepted since start.",
-        load(&m.connections_accepted),
+        "Connections accepted since start, summed across reactors.",
+        m.connections_accepted_total(),
     );
     w.counter(
         "urlid_connections_timed_out_total",
-        "Connections evicted by the idle timeout.",
-        load(&m.connections_timed_out),
+        "Connections evicted by the idle timeout, summed across reactors.",
+        m.connections_timed_out_total(),
     );
-    let open = load(&m.connections_open);
-    let busy = load(&m.connections_busy);
+    let open = m.connections_open_total();
+    let busy = m.connections_busy_total();
     w.gauge(
         "urlid_connections_open",
-        "Connections currently registered in the reactor.",
+        "Connections currently registered across all reactors.",
         open as f64,
     );
     w.gauge(
@@ -657,9 +751,63 @@ pub fn prometheus_text(state: &ServerState) -> String {
         "Open connections with no request in the scoring pool.",
         open.saturating_sub(busy) as f64,
     );
+    w.counter(
+        "urlid_admission_rejects_total",
+        "Requests answered 503 by per-reactor admission control.",
+        m.admission_rejects_total(),
+    );
+    w.gauge(
+        "urlid_reactors_failed",
+        "Reactor threads that died on a panic (nonzero means draining toward a nonzero exit).",
+        load(&m.reactors_failed) as f64,
+    );
+    let reactor_stats = m.reactor_stats();
+    w.family(
+        "urlid_reactor_connections_open",
+        "gauge",
+        "Connections currently registered, by reactor.",
+    );
+    for (i, r) in reactor_stats.iter().enumerate() {
+        let label = i.to_string();
+        w.sample(
+            "urlid_reactor_connections_open",
+            &[("reactor", label.as_str())],
+            r.open.load(Ordering::Relaxed) as f64,
+        );
+    }
+    w.family(
+        "urlid_reactor_connections_accepted_total",
+        "counter",
+        "Connections accepted since start, by reactor.",
+    );
+    for (i, r) in reactor_stats.iter().enumerate() {
+        let label = i.to_string();
+        w.sample(
+            "urlid_reactor_connections_accepted_total",
+            &[("reactor", label.as_str())],
+            r.accepted.load(Ordering::Relaxed) as f64,
+        );
+    }
+    w.family(
+        "urlid_reactor_connections_timed_out_total",
+        "counter",
+        "Idle-timeout evictions, by reactor.",
+    );
+    for (i, r) in reactor_stats.iter().enumerate() {
+        let label = i.to_string();
+        w.sample(
+            "urlid_reactor_connections_timed_out_total",
+            &[("reactor", label.as_str())],
+            r.timed_out.load(Ordering::Relaxed) as f64,
+        );
+    }
     let scoring = load(&m.scoring_threads);
     w.family("urlid_threads", "gauge", "Server threads, by role.");
-    w.sample("urlid_threads", &[("role", "reactor")], 1.0);
+    w.sample(
+        "urlid_threads",
+        &[("role", "reactor")],
+        m.reactor_count() as f64,
+    );
     w.sample("urlid_threads", &[("role", "scoring")], scoring as f64);
 
     w.counter(
@@ -726,7 +874,7 @@ pub fn prometheus_text(state: &ServerState) -> String {
         w.histogram_series(
             "urlid_stage_duration_seconds",
             &[("stage", stage.name())],
-            &m.stage_histogram(stage).snapshot(),
+            &m.stage_snapshot(stage),
             1e-6,
         );
     }
@@ -836,13 +984,14 @@ pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServerState>,
     shutdown: Arc<AtomicBool>,
-    waker: Arc<Waker>,
-    reactor: Option<JoinHandle<()>>,
+    wakers: Vec<Arc<Waker>>,
+    reactors: Vec<JoinHandle<()>>,
     pool: ScoringPool,
 }
 
 impl ServerHandle {
-    /// The bound address (resolves port 0 to the real port).
+    /// The bound address (resolves port 0 to the real port; with
+    /// `SO_REUSEPORT` every reactor's listener shares this address).
     pub fn addr(&self) -> SocketAddr {
         self.addr
     }
@@ -852,36 +1001,92 @@ impl ServerHandle {
         &self.state
     }
 
-    /// Serve until the process exits (the CLI path).
-    pub fn join(mut self) {
-        if let Some(reactor) = self.reactor.take() {
+    /// Serve until every reactor exits (the CLI path). Returns the
+    /// number of reactors that died on a panic — `0` is a clean exit;
+    /// anything else means the server drained early because a reactor
+    /// failed, and the process should exit nonzero.
+    pub fn join(mut self) -> usize {
+        for reactor in self.reactors.drain(..) {
             let _ = reactor.join();
         }
         self.pool.join();
+        self.state.metrics().reactors_failed.load(Ordering::Relaxed) as usize
     }
 
     /// Graceful shutdown: stop accepting, drain in-flight requests
     /// (bounded by the configured drain timeout), stop the pool, and
-    /// return. The reactor is woken through the self-pipe — no
+    /// return. Every reactor is woken through its self-pipe — no
     /// throwaway connection involved.
-    pub fn shutdown(mut self) {
+    pub fn shutdown(self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        self.waker.wake();
-        if let Some(reactor) = self.reactor.take() {
-            let _ = reactor.join();
+        for waker in &self.wakers {
+            waker.wake();
         }
-        // The reactor exiting dropped the job sender; the workers have
-        // drained their queue and are on their way out.
-        self.pool.join();
+        // The reactors exiting drop the job senders; the workers drain
+        // their queues and exit.
+        let _ = self.join();
     }
 }
 
-/// Start the server: bind, spawn the reactor thread and the scoring
-/// pool, and return immediately with a [`ServerHandle`].
+/// Bind one listener per reactor. With more than one reactor the
+/// listeners share the port through `SO_REUSEPORT` so the kernel
+/// load-balances accepts; where that fails (non-Linux, old kernels),
+/// fall back to accept-racing `try_clone`s of a single listener — the
+/// losers of each race see `WouldBlock` and move on. Returns the
+/// listeners and whether the reuseport path was taken.
+fn bind_listeners(addr: &str, reactors: usize) -> io::Result<(Vec<TcpListener>, bool)> {
+    if reactors <= 1 {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        return Ok((vec![listener], false));
+    }
+    let reuseport = (|| -> io::Result<Vec<TcpListener>> {
+        use std::net::ToSocketAddrs;
+        let resolved = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
+        let first = crate::sys::bind_reuseport(resolved)?;
+        // Port 0 resolves on the first bind; the siblings must join the
+        // *resolved* port or each would get its own ephemeral one.
+        let actual = first.local_addr()?;
+        let mut listeners = vec![first];
+        for _ in 1..reactors {
+            listeners.push(crate::sys::bind_reuseport(actual)?);
+        }
+        Ok(listeners)
+    })();
+    match reuseport {
+        Ok(listeners) => Ok((listeners, true)),
+        Err(_) => {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            let mut listeners = Vec::with_capacity(reactors);
+            for _ in 1..reactors {
+                listeners.push(listener.try_clone()?);
+            }
+            listeners.push(listener);
+            Ok((listeners, false))
+        }
+    }
+}
+
+/// Start the server: bind the per-reactor listeners, spawn the reactor
+/// threads and the scoring pool, and return immediately with a
+/// [`ServerHandle`].
+///
+/// A reactor that panics does not strand its siblings: the panic is
+/// caught at the thread boundary, `reactors_failed` is bumped, and the
+/// shared shutdown flag is raised so every surviving reactor drains
+/// gracefully. [`ServerHandle::join`] reports the failure count.
 pub fn spawn(config: &ServeConfig, state: Arc<ServerState>) -> io::Result<ServerHandle> {
-    let listener = TcpListener::bind(&config.addr)?;
-    listener.set_nonblocking(true)?;
-    let addr = listener.local_addr()?;
+    let reactors = if config.reactors == 0 {
+        default_reactors()
+    } else {
+        config.reactors
+    };
+    let (listeners, reuseport) = bind_listeners(&config.addr, reactors)?;
+    let addr = listeners[0].local_addr()?;
     let scoring_threads = if config.scoring_threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -889,59 +1094,123 @@ pub fn spawn(config: &ServeConfig, state: Arc<ServerState>) -> io::Result<Server
     } else {
         config.scoring_threads
     };
-    state
-        .metrics()
-        .scoring_threads
-        .store(scoring_threads as u64, Ordering::Relaxed);
-    state.metrics().set_telemetry_enabled(config.telemetry);
+    let metrics = state.metrics();
+    metrics.set_telemetry_enabled(config.telemetry);
+    metrics.reuseport.store(reuseport, Ordering::Relaxed);
+    metrics
+        .max_inflight
+        .store(config.max_inflight as u64, Ordering::Relaxed);
     // 250ms minimum gap between slow-log lines: a pathological burst
     // costs at most four stderr lines per second.
-    state
-        .metrics()
-        .slow
-        .configure(config.slow_request_micros, 250_000);
+    metrics.slow.configure(config.slow_request_micros, 250_000);
+    metrics.reset_reactors();
 
-    let (wake_pipe, waker) = WakePipe::new()?;
-    let waker = Arc::new(waker);
-    let (completion_tx, completion_rx) = mpsc::channel();
-    let pending = Arc::new(std::sync::atomic::AtomicI64::new(0));
-    let (mut pool, job_tx) = ScoringPool::spawn(
-        scoring_threads,
-        Arc::clone(&state),
-        completion_tx,
-        Arc::clone(&pending),
-        Arc::clone(&waker),
-    )?;
+    // Per-reactor plumbing: wake pipe, completion channel, pending
+    // counter, stats handle. The ports vector hands the pool one
+    // completion route per reactor.
+    let mut plumbing = Vec::with_capacity(reactors);
+    let mut wakers = Vec::with_capacity(reactors);
+    let mut ports = Vec::with_capacity(reactors);
+    for _ in 0..reactors {
+        let (wake_pipe, waker) = WakePipe::new()?;
+        let waker = Arc::new(waker);
+        let (completion_tx, completion_rx) = mpsc::channel();
+        let pending = Arc::new(std::sync::atomic::AtomicI64::new(0));
+        ports.push(CompletionPort {
+            completions: completion_tx,
+            pending: Arc::clone(&pending),
+            waker: Arc::clone(&waker),
+        });
+        plumbing.push((wake_pipe, completion_rx, pending));
+        wakers.push(waker);
+    }
+    let (mut pool, job_txs) = ScoringPool::spawn(config.pool, scoring_threads, &state, ports)?;
+    metrics
+        .scoring_threads
+        .store(pool.threads() as u64, Ordering::Relaxed);
 
     let shutdown = Arc::new(AtomicBool::new(false));
-    let reactor = Reactor::new(
-        listener,
-        wake_pipe,
-        job_tx,
-        completion_rx,
-        pending,
-        Arc::clone(&state),
-        Arc::clone(&shutdown),
-        config,
-    )?;
-    let reactor_thread = std::thread::Builder::new()
-        .name("urlid-serve-reactor".to_owned())
-        .spawn(move || reactor.run());
-    let reactor_thread = match reactor_thread {
-        Ok(handle) => handle,
-        Err(e) => {
-            // Reactor never started: release the workers before failing.
-            pool.join();
-            return Err(e);
+    // Built before any reactor thread starts so a panicking reactor can
+    // wake every sibling, including ones spawned after it.
+    let all_wakers: Arc<Vec<Arc<Waker>>> = Arc::new(wakers.clone());
+
+    let mut built = Vec::with_capacity(reactors);
+    for (index, (listener, (wake_pipe, completion_rx, pending))) in
+        listeners.into_iter().zip(plumbing).enumerate()
+    {
+        let stats = metrics.register_reactor();
+        let reactor = Reactor::new(
+            index,
+            listener,
+            wake_pipe,
+            job_txs[index].clone(),
+            completion_rx,
+            pending,
+            stats,
+            Arc::clone(&state),
+            Arc::clone(&shutdown),
+            config,
+        );
+        match reactor {
+            Ok(reactor) => built.push(reactor),
+            Err(e) => {
+                // No reactor thread is running yet: dropping the job
+                // senders is enough to let the workers drain out.
+                drop(built);
+                drop(job_txs);
+                pool.join();
+                return Err(e);
+            }
         }
-    };
+    }
+
+    let mut reactor_threads = Vec::with_capacity(reactors);
+    for (index, reactor) in built.into_iter().enumerate() {
+        let thread_state = Arc::clone(&state);
+        let thread_shutdown = Arc::clone(&shutdown);
+        let thread_wakers = Arc::clone(&all_wakers);
+        let thread = std::thread::Builder::new()
+            .name(format!("urlid-serve-reactor-{index}"))
+            .spawn(move || {
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| reactor.run()));
+                if result.is_err() {
+                    // This reactor is gone; mark it and drain the
+                    // siblings instead of stranding their connections
+                    // behind a half-dead server.
+                    thread_state
+                        .metrics()
+                        .reactors_failed
+                        .fetch_add(1, Ordering::Relaxed);
+                    thread_shutdown.store(true, Ordering::Release);
+                    for waker in thread_wakers.iter() {
+                        waker.wake();
+                    }
+                }
+            });
+        match thread {
+            Ok(handle) => reactor_threads.push(handle),
+            Err(e) => {
+                // This reactor never started: drain what did start.
+                shutdown.store(true, Ordering::Relaxed);
+                for waker in all_wakers.iter() {
+                    waker.wake();
+                }
+                for handle in reactor_threads {
+                    let _ = handle.join();
+                }
+                pool.join();
+                return Err(e);
+            }
+        }
+    }
 
     Ok(ServerHandle {
         addr,
         state,
         shutdown,
-        waker,
-        reactor: Some(reactor_thread),
+        wakers,
+        reactors: reactor_threads,
         pool,
     })
 }

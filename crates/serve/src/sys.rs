@@ -363,6 +363,147 @@ mod backend {
 pub use backend::Poller;
 
 // ---------------------------------------------------------------------
+// SO_REUSEPORT listener creation
+// ---------------------------------------------------------------------
+
+/// Create a non-blocking TCP listener with `SO_REUSEPORT` set *before*
+/// `bind`, so several listeners can share one port and the kernel
+/// load-balances incoming connections across them by 4-tuple hash.
+///
+/// `std`'s `TcpListener::bind` offers no hook between `socket()` and
+/// `bind()`, so the whole sequence is hand-rolled here. Binding to
+/// port 0 works: the first listener gets an ephemeral port and the
+/// caller re-binds siblings to the resolved address.
+#[cfg(target_os = "linux")]
+pub fn bind_reuseport(addr: std::net::SocketAddr) -> io::Result<std::net::TcpListener> {
+    use std::os::fd::FromRawFd;
+
+    extern "C" {
+        fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            name: c_int,
+            value: *const c_void,
+            len: u32,
+        ) -> c_int;
+        fn bind(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+        fn listen(fd: c_int, backlog: c_int) -> c_int;
+    }
+
+    const AF_INET: c_int = 2;
+    const AF_INET6: c_int = 10;
+    const SOCK_STREAM: c_int = 1;
+    const SOCK_CLOEXEC: c_int = 0o2000000;
+    const SOL_SOCKET: c_int = 1;
+    const SO_REUSEADDR: c_int = 2;
+    const SO_REUSEPORT: c_int = 15;
+    const BACKLOG: c_int = 1024;
+
+    // The kernel's sockaddr layouts, byte for byte.
+    #[repr(C)]
+    struct SockAddrIn {
+        family: u16,
+        port: u16, // network byte order
+        addr: u32, // network byte order
+        zero: [u8; 8],
+    }
+    #[repr(C)]
+    struct SockAddrIn6 {
+        family: u16,
+        port: u16, // network byte order
+        flowinfo: u32,
+        addr: [u8; 16],
+        scope_id: u32,
+    }
+
+    let domain = match addr {
+        std::net::SocketAddr::V4(_) => AF_INET,
+        std::net::SocketAddr::V6(_) => AF_INET6,
+    };
+    let fd = unsafe { socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0) };
+    if fd < 0 {
+        return Err(last_os_error());
+    }
+    let fail = |fd: RawFd| -> io::Error {
+        let err = last_os_error();
+        close_fd(fd);
+        err
+    };
+    for opt in [SO_REUSEADDR, SO_REUSEPORT] {
+        let one: c_int = 1;
+        let rc = unsafe {
+            setsockopt(
+                fd,
+                SOL_SOCKET,
+                opt,
+                (&one as *const c_int).cast::<c_void>(),
+                std::mem::size_of::<c_int>() as u32,
+            )
+        };
+        if rc < 0 {
+            return Err(fail(fd));
+        }
+    }
+    let rc = match addr {
+        std::net::SocketAddr::V4(v4) => {
+            let raw = SockAddrIn {
+                family: AF_INET as u16,
+                port: v4.port().to_be(),
+                addr: u32::from_be_bytes(v4.ip().octets()).to_be(),
+                zero: [0; 8],
+            };
+            unsafe {
+                bind(
+                    fd,
+                    (&raw as *const SockAddrIn).cast::<c_void>(),
+                    std::mem::size_of::<SockAddrIn>() as u32,
+                )
+            }
+        }
+        std::net::SocketAddr::V6(v6) => {
+            let raw = SockAddrIn6 {
+                family: AF_INET6 as u16,
+                port: v6.port().to_be(),
+                flowinfo: 0,
+                addr: v6.ip().octets(),
+                scope_id: v6.scope_id(),
+            };
+            unsafe {
+                bind(
+                    fd,
+                    (&raw as *const SockAddrIn6).cast::<c_void>(),
+                    std::mem::size_of::<SockAddrIn6>() as u32,
+                )
+            }
+        }
+    };
+    if rc < 0 {
+        return Err(fail(fd));
+    }
+    if unsafe { listen(fd, BACKLOG) } < 0 {
+        return Err(fail(fd));
+    }
+    if let Err(e) = set_nonblocking(fd) {
+        close_fd(fd);
+        return Err(e);
+    }
+    Ok(unsafe { std::net::TcpListener::from_raw_fd(fd) })
+}
+
+/// Non-Linux stub: `SO_REUSEPORT` load-balancing semantics are
+/// Linux-specific (the BSDs hand the port to the last binder or need
+/// `SO_REUSEPORT_LB`), so the server falls back to one shared listener
+/// cloned across reactors.
+#[cfg(not(target_os = "linux"))]
+pub fn bind_reuseport(_addr: std::net::SocketAddr) -> io::Result<std::net::TcpListener> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "SO_REUSEPORT sharding is only wired up on linux",
+    ))
+}
+
+// ---------------------------------------------------------------------
 // Self-pipe waker
 // ---------------------------------------------------------------------
 
@@ -536,6 +677,41 @@ mod tests {
             .wait(&mut events, Some(Duration::from_millis(10)))
             .unwrap();
         assert!(events.is_empty(), "removed fd no longer reports");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn reuseport_listeners_share_a_port_and_both_accept() {
+        use std::io::Read as _;
+        let first = bind_reuseport("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = first.local_addr().unwrap();
+        let second = bind_reuseport(addr).unwrap();
+        assert_eq!(second.local_addr().unwrap(), addr);
+
+        // Enough connections that the kernel's 4-tuple hash is
+        // overwhelmingly likely to spread them over both listeners;
+        // the invariant under test is only that every connection is
+        // accepted by exactly one of them.
+        let mut clients = Vec::new();
+        for i in 0..32 {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(&[i as u8]).unwrap();
+            clients.push(c);
+        }
+        let mut accepted = 0;
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while accepted < 32 && std::time::Instant::now() < deadline {
+            for listener in [&first, &second] {
+                while let Ok((mut conn, _)) = listener.accept() {
+                    let mut byte = [0u8; 1];
+                    conn.set_read_timeout(Some(Duration::from_secs(1))).unwrap();
+                    conn.read_exact(&mut byte).unwrap();
+                    accepted += 1;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(accepted, 32, "every connection lands on some listener");
     }
 
     #[test]

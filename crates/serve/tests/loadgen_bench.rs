@@ -31,6 +31,7 @@ fn loadgen_completes_and_emits_bench_json() {
         idle_connections: 0,
         unique_urls: 50,
         seed: 11,
+        arrival_rps: 0.0,
         out: Some(out.clone()),
     };
     let report = run_loadgen(&config).expect("loadgen run");
@@ -45,10 +46,12 @@ fn loadgen_completes_and_emits_bench_json() {
     assert!(report.latency.p50_ms <= report.latency.p99_ms);
     assert!(report.latency.p99_ms <= report.latency.p999_ms);
     assert!(report.latency.p999_ms <= report.latency.max_ms);
-    // The server's whole thread budget is the reactor plus a
+    // The server's whole thread budget is the reactor set plus a
     // CPU-count-sized scoring pool — the report certifies it.
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get()) as u64;
-    assert_eq!(report.server_threads, 1 + cores);
+    let reactors = urlid_serve::default_reactors() as u64;
+    assert_eq!(report.reactors, reactors);
+    assert_eq!(report.server_threads, reactors + cores);
     // 600 requests over 50 unique URLs: the cache must be doing real work.
     assert!(
         report.cache.hit_rate > 0.5,
@@ -61,7 +64,7 @@ fn loadgen_completes_and_emits_bench_json() {
     let text = std::fs::read_to_string(&out).expect("BENCH_serve.json written");
     let parsed: Value = serde_json::from_str(&text).expect("valid JSON");
     assert_eq!(parsed.get("bench"), Some(&Value::Str("serve".into())));
-    assert_eq!(parsed.get("schema"), Some(&Value::Int(3)));
+    assert_eq!(parsed.get("schema"), Some(&Value::Int(4)));
     for key in [
         "scenario",
         "unix_time",
@@ -72,7 +75,10 @@ fn loadgen_completes_and_emits_bench_json() {
         "unique_urls",
         "duration_secs",
         "throughput_rps",
+        "admission_rejects",
         "server_threads",
+        "reactors",
+        "per_reactor",
     ] {
         assert!(parsed.get(key).is_some(), "missing {key}");
     }

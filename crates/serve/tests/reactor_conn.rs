@@ -1,7 +1,9 @@
 //! Connection-engine behaviors only a real socket can prove: slow
 //! clients that must not hold threads, pipelining, idle eviction,
 //! many-idle-connection multiplexing, oversized-body rejection before
-//! allocation, and graceful shutdown draining in-flight work.
+//! allocation, graceful shutdown draining in-flight work, and the
+//! multi-reactor guarantees (connection affinity, reload visibility
+//! across cache shard sets, sibling survival of a reactor panic).
 
 use serde::Value;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -11,6 +13,7 @@ use std::time::Duration;
 use urlid::prelude::*;
 use urlid_serve::http;
 use urlid_serve::server::{spawn, ServeConfig, ServerHandle, ServerState};
+use urlid_serve::ResultCache;
 
 fn trained_identifier() -> LanguageIdentifier {
     let mut generator = UrlGenerator::new(5);
@@ -30,6 +33,23 @@ fn identify(addr: SocketAddr, url: &str) -> (u16, String) {
     let body = format!("{{\"url\": \"{url}\"}}");
     http::write_request(&mut writer, "POST", "/identify", Some(&body)).expect("write");
     http::read_response(&mut reader).expect("read")
+}
+
+fn request_json(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, Value) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    http::write_request(&mut writer, method, path, body).expect("write");
+    let (status, body) = http::read_response(&mut reader).expect("read");
+    (status, serde_json::from_str(&body).expect("JSON response"))
+}
+
+fn uint_of(value: &Value, key: &str) -> u64 {
+    match value.get(key) {
+        Some(Value::Uint(n)) => *n,
+        Some(Value::Int(n)) if *n >= 0 => *n as u64,
+        other => panic!("expected unsigned {key}, got {other:?}"),
+    }
 }
 
 /// A slowloris client delivers its request one byte at a time with
@@ -209,11 +229,7 @@ fn idle_connections_are_evicted_after_the_timeout() {
             ),
         }
     }
-    let timed_out = server
-        .state()
-        .metrics()
-        .connections_timed_out
-        .load(std::sync::atomic::Ordering::Relaxed);
+    let timed_out = server.state().metrics().connections_timed_out_total();
     assert!(timed_out >= 2, "timed_out gauge saw {timed_out}");
     server.shutdown();
 }
@@ -249,11 +265,7 @@ fn hundreds_of_idle_connections_do_not_block_active_traffic() {
     }
 
     // The gauges see the idle population.
-    let open = server
-        .state()
-        .metrics()
-        .connections_open
-        .load(std::sync::atomic::Ordering::Relaxed);
+    let open = server.state().metrics().connections_open_total();
     assert!(open >= 256, "open gauge saw {open}");
 
     // Every idle connection still serves.
@@ -419,4 +431,237 @@ fn shutdown_drains_in_flight_requests_and_closes_idle_connections() {
             assert!(served.is_err(), "server answered after shutdown");
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Multi-reactor guarantees
+// ---------------------------------------------------------------------
+
+/// Connections never migrate between reactors: every response on one
+/// keep-alive connection carries the same `X-Urlid-Reactor` tag, and
+/// the per-reactor accept counters account for every connection the
+/// totals saw.
+#[test]
+fn connections_stay_pinned_to_their_accepting_reactor() {
+    let config = ServeConfig {
+        reactors: 2,
+        ..ServeConfig::default()
+    };
+    let server = start_server(&config);
+    let addr = server.addr();
+
+    for c in 0..12 {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        let mut home: Option<u64> = None;
+        for i in 0..10 {
+            let body = format!("{{\"url\": \"http://www.seite{}.de/pfad/{c}\"}}", i % 5);
+            http::write_request(&mut writer, "POST", "/identify", Some(&body)).expect("write");
+            let (status, reactor, _) =
+                http::read_response_tagged(&mut reader).expect("tagged response");
+            assert_eq!(status, 200, "conn {c} request {i}");
+            let reactor = reactor.expect("X-Urlid-Reactor header present");
+            assert!(reactor < 2, "conn {c}: reactor tag {reactor} out of range");
+            match home {
+                None => home = Some(reactor),
+                Some(first) => assert_eq!(
+                    reactor, first,
+                    "conn {c} migrated from reactor {first} to {reactor} at request {i}"
+                ),
+            }
+        }
+    }
+
+    // The per-reactor accept counters cover every accepted connection.
+    let (status, metrics) = request_json(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let connections = metrics.get("connections").expect("connections section");
+    let Some(Value::Array(per_reactor)) = connections.get("per_reactor") else {
+        panic!("connections.per_reactor must be an array");
+    };
+    assert_eq!(per_reactor.len(), 2);
+    let summed: u64 = per_reactor.iter().map(|r| uint_of(r, "accepted")).sum();
+    assert_eq!(summed, uint_of(connections, "accepted"));
+    server.shutdown();
+}
+
+fn train_and_save(algorithm: Algorithm, dir: &std::path::Path) -> std::path::PathBuf {
+    let mut generator = UrlGenerator::new(17);
+    let train = odp_dataset(&mut generator, CorpusScale::tiny()).train;
+    let config = TrainingConfig::new(FeatureSetKind::Words, algorithm).with_maxent_iterations(8);
+    let bundle = ModelBundle::train(&train, &config).expect("trainable config");
+    let path = dir.join(format!("reactor-{algorithm:?}.json"));
+    bundle.save(&path).expect("save bundle");
+    path
+}
+
+/// `/admin/reload` under concurrent hammering across two reactors with
+/// two cache shard sets serves zero stale-epoch hits: every in-flight
+/// request succeeds, and after the final swap every URL scores exactly
+/// like a fresh server holding the final model — a single surviving
+/// old-epoch entry in either shard set would show up as a score
+/// mismatch (NB and RE score scales differ by construction).
+#[test]
+fn reload_invalidates_every_cache_shard_set_across_reactors() {
+    let dir = std::env::temp_dir().join("urlid-reactor-reload-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let nb_path = train_and_save(Algorithm::NaiveBayes, &dir);
+    let re_path = train_and_save(Algorithm::RelativeEntropy, &dir);
+
+    let bundle = ModelBundle::load(&nb_path).unwrap();
+    let state = Arc::new(ServerState::with_topology(
+        bundle.into_identifier(),
+        Some(nb_path.clone()),
+        4096,
+        ResultCache::DEFAULT_SHARDS,
+        2,
+        false,
+    ));
+    let config = ServeConfig {
+        reactors: 2,
+        ..ServeConfig::default()
+    };
+    let server = spawn(&config, state).expect("bind");
+    let addr = server.addr();
+
+    const HAMMERS: usize = 4;
+    const REQUESTS_PER_HAMMER: usize = 120;
+    const UNIQUE_URLS: usize = 23;
+    std::thread::scope(|scope| {
+        let hammers: Vec<_> = (0..HAMMERS)
+            .map(|h| {
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    let mut writer = stream.try_clone().expect("clone");
+                    let mut reader = BufReader::new(stream);
+                    for i in 0..REQUESTS_PER_HAMMER {
+                        let body = format!(
+                            "{{\"url\": \"http://www.seite{}.de/wetter\"}}",
+                            i % UNIQUE_URLS
+                        );
+                        http::write_request(&mut writer, "POST", "/identify", Some(&body))
+                            .expect("write");
+                        let (status, _) = http::read_response(&mut reader).expect("read");
+                        assert_eq!(status, 200, "hammer {h} request {i} failed during reload");
+                    }
+                })
+            })
+            .collect();
+
+        for (round, path) in [&re_path, &nb_path, &re_path].iter().enumerate() {
+            std::thread::sleep(Duration::from_millis(20));
+            let body = format!("{{\"path\": \"{}\"}}", path.display());
+            let (status, response) = request_json(addr, "POST", "/admin/reload", Some(&body));
+            assert_eq!(status, 200, "reload {round}");
+            assert_eq!(response.get("reloaded"), Some(&Value::Bool(true)));
+        }
+
+        for hammer in hammers {
+            hammer.join().expect("hammer");
+        }
+    });
+
+    // Reference: a fresh server holding only the final (RE) model.
+    let reference_state = Arc::new(ServerState::new(
+        ModelBundle::load(&re_path).unwrap().into_identifier(),
+        None,
+        4096,
+    ));
+    let reference = spawn(&ServeConfig::default(), reference_state).expect("bind reference");
+    for i in 0..UNIQUE_URLS {
+        let body = format!("{{\"url\": \"http://www.seite{i}.de/wetter\"}}");
+        let (status, swapped) = request_json(addr, "POST", "/identify", Some(&body));
+        assert_eq!(status, 200);
+        let (status, fresh) = request_json(reference.addr(), "POST", "/identify", Some(&body));
+        assert_eq!(status, 200);
+        assert_eq!(
+            swapped.get("scores"),
+            fresh.get("scores"),
+            "url {i}: stale-epoch scores survived the reload in some shard set"
+        );
+    }
+    reference.shutdown();
+    server.shutdown();
+}
+
+/// 1024 idle keep-alive connections split across two reactors are all
+/// evicted on idle-timeout — every reactor runs its own eviction sweep
+/// over its own slab.
+#[test]
+fn thousand_idle_keepalives_across_reactors_evict_on_timeout() {
+    let config = ServeConfig {
+        reactors: 2,
+        idle_timeout: Duration::from_millis(300),
+        ..ServeConfig::default()
+    };
+    let server = start_server(&config);
+    let addr = server.addr();
+
+    // Open 1024 keep-alive connections; prove every 16th one serves so
+    // the population is genuinely established, not just SYN-accepted.
+    let mut idle = Vec::new();
+    for i in 0..1024 {
+        let stream = TcpStream::connect(addr).expect("connect");
+        if i % 16 == 0 {
+            let mut writer = stream.try_clone().expect("clone");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let body = format!("{{\"url\": \"http://www.seite{}.de/\"}}", i % 13);
+            http::write_request(&mut writer, "POST", "/identify", Some(&body)).expect("write");
+            let (status, _) = http::read_response(&mut reader).expect("read");
+            assert_eq!(status, 200, "idle open {i}");
+        }
+        idle.push(stream);
+    }
+
+    std::thread::sleep(Duration::from_millis(1500));
+    let timed_out = server.state().metrics().connections_timed_out_total();
+    assert!(timed_out >= 1024, "timed_out total saw {timed_out}/1024");
+    let open = server.state().metrics().connections_open_total();
+    assert_eq!(open, 0, "open gauge still shows {open} after eviction");
+    drop(idle);
+    server.shutdown();
+}
+
+/// A panicking reactor must not strand its siblings: the panic is
+/// caught at the thread boundary, the whole server drains, `join`
+/// reports exactly one failed reactor, and the `reactors_failed`
+/// gauge agrees.
+#[test]
+fn reactor_panic_is_contained_and_drains_the_siblings() {
+    let config = ServeConfig {
+        reactors: 2,
+        fail_after_accepts: Some(0),
+        drain_timeout: Duration::from_millis(200),
+        ..ServeConfig::default()
+    };
+    let server = start_server(&config);
+    let addr = server.addr();
+    let state = Arc::clone(server.state());
+
+    // The first accept on whichever reactor the kernel picks trips the
+    // injected panic; the connection dies without a response.
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let served = http::write_request(
+        &mut writer,
+        "POST",
+        "/identify",
+        Some("{\"url\": \"http://www.absturz.de/\"}"),
+    )
+    .and_then(|()| http::read_response(&mut reader));
+    assert!(served.is_err(), "request served by a panicking reactor");
+
+    // join() must come back (the sibling drains and exits) and report
+    // the single failed reactor; the gauge saw it too.
+    let failed = server.join();
+    assert_eq!(failed, 1, "exactly one reactor died");
+    assert_eq!(
+        state
+            .metrics()
+            .reactors_failed
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
 }

@@ -277,12 +277,13 @@ fn metrics_reports_counters_cache_and_latency() {
     assert!(uint_of(connections, "open") >= 1);
     assert_eq!(uint_of(connections, "accepted"), 4);
     assert_eq!(uint_of(connections, "timed_out"), 0);
-    // Thread budget: one reactor plus a CPU-count scoring pool.
+    // Thread budget: the reactor set plus a CPU-count scoring pool.
     let threads = metrics.get("threads").expect("threads");
-    assert_eq!(uint_of(threads, "reactor"), 1);
+    let reactors = urlid_serve::default_reactors() as u64;
+    assert_eq!(uint_of(threads, "reactor"), reactors);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get()) as u64;
     assert_eq!(uint_of(threads, "scoring"), cores);
-    assert_eq!(uint_of(threads, "total"), 1 + cores);
+    assert_eq!(uint_of(threads, "total"), reactors + cores);
     server.shutdown();
 }
 
@@ -341,6 +342,109 @@ fn metrics_negotiates_prometheus_text_on_accept() {
     let (status, metrics) = request(addr, "GET", "/metrics", None);
     assert_eq!(status, 200);
     assert!(metrics.get("requests").is_some());
+    server.shutdown();
+}
+
+/// All sample values of one Prometheus family in an exposition body
+/// (bare `family 3` and labelled `family{reactor="0"} 2` alike).
+fn prom_values(body: &str, family: &str) -> Vec<f64> {
+    body.lines()
+        .filter(|line| !line.starts_with('#'))
+        .filter_map(|line| {
+            let (name, value) = line.rsplit_once(' ')?;
+            let matches = name == family
+                || name
+                    .strip_prefix(family)
+                    .is_some_and(|rest| rest.starts_with('{'));
+            if matches {
+                value.parse().ok()
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// The connection-accounting satellite: with the gauges split across
+/// reactors, the JSON and Prometheus expositions must agree on every
+/// total, and the per-reactor Prometheus families must sum to exactly
+/// those totals. Both expositions ride one keep-alive connection so
+/// the connection population cannot drift between the two snapshots.
+#[test]
+fn metrics_json_and_prometheus_agree_on_connection_totals() {
+    use std::io::Write;
+    let state = Arc::new(ServerState::new(trained_identifier(), None, 1024));
+    let config = ServeConfig {
+        reactors: 2,
+        ..ServeConfig::default()
+    };
+    let server = spawn(&config, state).expect("bind");
+    let addr = server.addr();
+
+    // A little traffic on short-lived connections so accepted > open.
+    for i in 0..5 {
+        let (status, _) = request(
+            addr,
+            "POST",
+            "/identify",
+            Some(&format!("{{\"url\": \"http://www.seite{i}.de/\"}}")),
+        );
+        assert_eq!(status, 200);
+    }
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = std::io::BufReader::new(stream);
+    http::write_request(&mut writer, "GET", "/metrics", None).expect("write JSON request");
+    let (status, json_body) = http::read_response(&mut reader).expect("JSON exposition");
+    assert_eq!(status, 200);
+    let metrics: Value = serde_json::from_str(&json_body).expect("JSON");
+    writer
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: urlid\r\nAccept: text/plain\r\n\r\n")
+        .expect("write Prometheus request");
+    let (status, text) = http::read_response(&mut reader).expect("Prometheus exposition");
+    assert_eq!(status, 200);
+
+    let connections = metrics.get("connections").expect("connections");
+    let reactors_section = metrics.get("reactors").expect("reactors");
+    for (json_key, family) in [
+        ("open", "urlid_connections_open"),
+        ("idle", "urlid_connections_idle"),
+        ("accepted", "urlid_connections_accepted_total"),
+        ("timed_out", "urlid_connections_timed_out_total"),
+    ] {
+        let samples = prom_values(&text, family);
+        assert_eq!(samples.len(), 1, "{family} must be a single sample");
+        assert_eq!(
+            samples[0] as u64,
+            uint_of(connections, json_key),
+            "{family} disagrees with connections.{json_key}"
+        );
+    }
+    assert_eq!(
+        prom_values(&text, "urlid_admission_rejects_total")[0] as u64,
+        uint_of(reactors_section, "admission_rejects"),
+    );
+
+    // The per-reactor families carry one sample per reactor and sum to
+    // exactly the totals — no connection double- or under-counted.
+    for (json_key, family) in [
+        ("open", "urlid_reactor_connections_open"),
+        ("accepted", "urlid_reactor_connections_accepted_total"),
+        ("timed_out", "urlid_reactor_connections_timed_out_total"),
+    ] {
+        let samples = prom_values(&text, family);
+        assert_eq!(
+            samples.len(),
+            2,
+            "{family} must have one sample per reactor"
+        );
+        assert_eq!(
+            samples.iter().sum::<f64>() as u64,
+            uint_of(connections, json_key),
+            "per-reactor {family} does not sum to connections.{json_key}"
+        );
+    }
     server.shutdown();
 }
 
