@@ -42,7 +42,9 @@
 use crate::lanes::{self, LaneWeight};
 use crate::markov::{markov_encode, markov_transition_index, MARKOV_TRANSITIONS};
 use crate::set::LanguageScorer;
+use serde::{Deserialize, Serialize};
 use urlid_features::{CompiledTransform, ExtractScratch, FeatureExtractor, SparseVector};
+use urlid_mapped::Lane;
 use urlid_tokenize::Tokenizer;
 
 /// Lowering a trained model into the compiled plane's dense form.
@@ -167,7 +169,9 @@ struct MarkovPlane {
     /// Lanes per transition row (2 × number of fused languages).
     stride: usize,
     /// `MARKOV_TRANSITIONS` rows × `stride`: `[lp_lang, ln_lang, ...]`.
-    matrix: Vec<f64>,
+    /// A [`Lane`] so a `.urlm`-loaded plane reads the tables straight
+    /// out of the mapped file.
+    matrix: Lane<f64>,
     /// Lane offset per language (`None` = not a fused Markov language).
     lanes: [Option<usize>; 5],
 }
@@ -200,22 +204,31 @@ enum FastPath {
 }
 
 /// The compiled runtime representation of a trained
-/// [`crate::LanguageClassifierSet`]. Built once by
-/// [`crate::LanguageClassifierSet::compile`]; the set routes its scoring
-/// entry points through it.
+/// [`crate::LanguageClassifierSet`]. Built by
+/// [`crate::LanguageClassifierSet::compile`] from a trained set, or
+/// reconstructed without recompilation from the mapped sections of a
+/// `.urlm` model file via [`CompiledPlane::from_bytes`]; the set routes
+/// its scoring entry points through it.
 #[derive(Debug, Clone)]
-pub(crate) struct CompiledPlane {
+pub struct CompiledPlane {
     /// The arena-interned extraction, when the shared extractor lowers.
     transform: Option<CompiledTransform>,
     /// Feature-space dimensionality (rows of the fused matrix).
     dim: usize,
     /// Lanes per feature row.
     stride: usize,
-    /// `dim × stride` language-major matrix (the exact lane).
-    matrix: Vec<f64>,
-    /// The opt-in quantised weight lane (see
-    /// [`CompiledPlane::quantize_f32`]). `None` = exact `f64` scoring.
-    matrix_f32: Option<Vec<f32>>,
+    /// `dim × stride` language-major matrix (the exact lane). A
+    /// [`Lane`] so a `.urlm`-loaded plane scores straight out of the
+    /// mapped file; compiled-in-process planes own their `Vec`.
+    matrix: Lane<f64>,
+    /// The quantised weight lane (see [`CompiledPlane::quantize_f32`]).
+    /// Present but inactive on a freshly mapped model — `use_f32`
+    /// decides which lane scores.
+    matrix_f32: Option<Lane<f32>>,
+    /// Is the quantised lane the active one? Distinct from the lane's
+    /// *presence*: a `.urlm` file always carries both lanes, and the
+    /// serving layer flips this switch without recompiling.
+    use_f32: bool,
     /// Per-language participation in the fused vector pass.
     plans: [VectorPlan; 5],
     /// Detected uniform-algorithm kernel for the vector pass.
@@ -388,7 +401,7 @@ impl CompiledPlane {
             MarkovPlane {
                 tokenizer,
                 stride,
-                matrix,
+                matrix: Lane::from_vec(matrix),
                 lanes,
             }
         });
@@ -398,8 +411,9 @@ impl CompiledPlane {
             transform,
             dim,
             stride,
-            matrix,
+            matrix: Lane::from_vec(matrix),
             matrix_f32: None,
+            use_f32: false,
             plans,
             fast,
             markov,
@@ -407,8 +421,26 @@ impl CompiledPlane {
     }
 
     /// The compiled extraction, when the shared extractor lowered.
-    pub(crate) fn transform(&self) -> Option<&CompiledTransform> {
+    pub fn transform(&self) -> Option<&CompiledTransform> {
         self.transform.as_ref()
+    }
+
+    /// Feature-space dimensionality (rows of the fused matrix).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Lanes per feature row of the fused matrix.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Does any of the plane's lanes read out of a mapped model file
+    /// (as opposed to process-owned memory)?
+    pub fn is_mapped(&self) -> bool {
+        self.matrix.is_mapped()
+            || self.matrix_f32.as_ref().is_some_and(|l| l.is_mapped())
+            || self.markov.as_ref().is_some_and(|m| m.matrix.is_mapped())
     }
 
     /// Switch the plane onto a quantised `f32` weight lane: the vector
@@ -422,12 +454,37 @@ impl CompiledPlane {
     /// zero; the Markov plane keeps its `f64` tables (its rows are
     /// shared log tables, not per-feature lanes).
     pub(crate) fn quantize_f32(&mut self) {
-        self.matrix_f32 = Some(self.matrix.iter().map(|&w| quantize_weight(w)).collect());
+        if self.matrix_f32.is_none() {
+            self.matrix_f32 = Some(Lane::from_vec(
+                self.matrix.iter().map(|&w| quantize_weight(w)).collect(),
+            ));
+        }
+        self.use_f32 = true;
     }
 
     /// Is the quantised lane active?
-    pub(crate) fn is_f32(&self) -> bool {
+    pub fn is_f32(&self) -> bool {
+        self.use_f32
+    }
+
+    /// Does the plane carry a quantised lane at all (active or not)?
+    pub fn has_f32_lane(&self) -> bool {
         self.matrix_f32.is_some()
+    }
+
+    /// Switch between the exact `f64` lane and the quantised `f32` lane
+    /// **without recompiling** — both lanes of a `.urlm`-loaded plane
+    /// are mapped views, so this is a flag flip. Asking for `f32` when
+    /// no quantised lane exists quantises one from the exact lane
+    /// (deterministic, so the result is bit-identical to the lane a
+    /// pack would have written). Returns whether `f32` is now active.
+    pub fn prefer_f32(&mut self, on: bool) -> bool {
+        if on {
+            self.quantize_f32();
+        } else {
+            self.use_f32 = false;
+        }
+        self.use_f32
     }
 
     /// The fused vector pass: one walk over the sparse vector fills every
@@ -440,9 +497,9 @@ impl CompiledPlane {
         ranked: &mut Vec<(u32, f64)>,
         out: &mut [Option<f64>; 5],
     ) {
-        match &self.matrix_f32 {
-            Some(matrix) => self.score_vectors_with(matrix.as_slice(), vector, ranked, out),
-            None => self.score_vectors_with(self.matrix.as_slice(), vector, ranked, out),
+        match (self.use_f32, &self.matrix_f32) {
+            (true, Some(matrix)) => self.score_vectors_with(matrix.as_slice(), vector, ranked, out),
+            _ => self.score_vectors_with(self.matrix.as_slice(), vector, ranked, out),
         }
     }
 
@@ -855,6 +912,331 @@ fn quantize_weight(w: f64) -> f32 {
     }
 }
 
+// ---------------------------------------------------------------------
+// `.urlm` (de)serialisation: the plane's dense matrices become raw
+// sections of the binary model format, and everything else — the lane
+// scalars below — becomes the JSON `PlaneMeta` in the format's META
+// section. Lane *offsets* are deliberately not persisted: they are a
+// pure function of the per-language plan kinds (assigned sequentially
+// in language order, exactly as `build` assigns them), so the loader
+// re-derives them instead of trusting the file.
+// ---------------------------------------------------------------------
+
+/// One language's participation in the fused vector pass, as persisted
+/// in a `.urlm` model's META section (the scalar half of
+/// [`CompiledPlane`]'s `VectorPlan`; offsets are re-derived at load).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub enum PlanMeta {
+    /// Not lowered: the language scores through its boxed scorer.
+    #[default]
+    None,
+    /// Naive Bayes lane.
+    NaiveBayes {
+        /// The log prior ratio the accumulator starts from.
+        bias: f64,
+        /// Log ratio of features beyond the lane length.
+        default: f64,
+    },
+    /// MaxEnt lane.
+    MaxEnt {
+        /// Slack-feature weight difference.
+        slack_diff: f64,
+        /// The GIS constant C.
+        c: f64,
+    },
+    /// Relative-entropy lane pair.
+    RelativeEntropy {
+        /// Clamped default for features beyond the lane length.
+        default_pos: f64,
+        /// Clamped default for features beyond the lane length.
+        default_neg: f64,
+    },
+    /// Rank-order lane pair.
+    RankOrder {
+        /// Penalty for features missing from a profile.
+        max_penalty: usize,
+    },
+}
+
+/// The persisted form of the fused Markov plane's scalars (the dense
+/// transition matrix is a raw section).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarkovMeta {
+    /// The tokenizer the fused Markov languages score through.
+    pub tokenizer: Tokenizer,
+    /// Lanes per transition row (2 × number of fused languages).
+    pub stride: usize,
+    /// Lane offset per language (`None` = not a fused Markov language).
+    pub lanes: [Option<usize>; 5],
+}
+
+/// Everything a [`CompiledPlane`] is made of *except* its dense
+/// matrices: the JSON half of the `.urlm` format's plane encoding.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PlaneMeta {
+    /// Feature-space dimensionality (rows of the fused matrix).
+    pub dim: usize,
+    /// Lanes per feature row (validated against the re-derived plans).
+    pub stride: usize,
+    /// Per-language plan scalars in canonical language order.
+    pub plans: [PlanMeta; 5],
+    /// The fused Markov plane's scalars, when one exists.
+    pub markov: Option<MarkovMeta>,
+}
+
+/// The raw section payloads of a serialised plane, plus their META
+/// scalars — what [`CompiledPlane::serialize_into`] produces and the
+/// `.urlm` writer turns into checksummed, page-aligned sections.
+#[derive(Debug, Clone, Default)]
+pub struct PlanePayload {
+    /// The JSON half (scalars); see [`PlaneMeta`].
+    pub meta: PlaneMeta,
+    /// The exact `f64` weight matrix, native-endian bytes.
+    pub matrix: Vec<u8>,
+    /// The quantised `f32` lane, native-endian bytes. Always produced:
+    /// quantisation is deterministic, so packing it eagerly lets the
+    /// serving layer flip lanes without ever recompiling.
+    pub matrix_f32: Vec<u8>,
+    /// The fused Markov transition tables (`f64`), empty when the plane
+    /// has no Markov half.
+    pub markov: Vec<u8>,
+}
+
+/// Validated slices of a mapped (or heap-fallback) `.urlm` file that
+/// [`CompiledPlane::from_bytes`] reconstructs a plane from — the safe
+/// view layer between raw file bytes and typed matrices.
+#[derive(Debug, Clone, Default)]
+pub struct PlaneViews {
+    /// The exact `f64` weight matrix.
+    pub matrix: Lane<f64>,
+    /// The quantised `f32` lane, if the file carries one.
+    pub matrix_f32: Option<Lane<f32>>,
+    /// The fused Markov transition tables, if the META says one exists.
+    pub markov: Option<Lane<f64>>,
+}
+
+fn f64_section_bytes(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_ne_bytes());
+    }
+    out
+}
+
+fn f32_section_bytes(values: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_ne_bytes());
+    }
+    out
+}
+
+/// Re-derive the runtime plans (with lane offsets) from persisted plan
+/// scalars — the same sequential assignment `build` performs.
+fn plans_from_meta(meta: &[PlanMeta; 5]) -> ([VectorPlan; 5], usize) {
+    let mut plans = [
+        VectorPlan::None,
+        VectorPlan::None,
+        VectorPlan::None,
+        VectorPlan::None,
+        VectorPlan::None,
+    ];
+    let mut offset = 0usize;
+    for (i, m) in meta.iter().enumerate() {
+        let plan = match *m {
+            PlanMeta::None => VectorPlan::None,
+            PlanMeta::NaiveBayes { bias, default } => VectorPlan::NaiveBayes {
+                offset,
+                bias,
+                default,
+            },
+            PlanMeta::MaxEnt { slack_diff, c } => VectorPlan::MaxEnt {
+                offset,
+                slack_diff,
+                c,
+            },
+            PlanMeta::RelativeEntropy {
+                default_pos,
+                default_neg,
+            } => VectorPlan::RelativeEntropy {
+                offset,
+                default_pos,
+                default_neg,
+            },
+            PlanMeta::RankOrder { max_penalty } => VectorPlan::RankOrder {
+                offset,
+                max_penalty,
+            },
+        };
+        offset += plan.lanes();
+        plans[i] = plan;
+    }
+    (plans, offset)
+}
+
+impl CompiledPlane {
+    /// Serialise the plane for packing into a `.urlm` file: scalars
+    /// into `out.meta`, dense matrices into raw native-endian byte
+    /// sections. The quantised `f32` lane is always emitted (computed
+    /// on the fly when the plane has not been quantised), so the packed
+    /// model can serve either lane without recompiling.
+    pub fn serialize_into(&self, out: &mut PlanePayload) {
+        let mut plans = [
+            PlanMeta::None,
+            PlanMeta::None,
+            PlanMeta::None,
+            PlanMeta::None,
+            PlanMeta::None,
+        ];
+        for (i, plan) in self.plans.iter().enumerate() {
+            plans[i] = match *plan {
+                VectorPlan::None => PlanMeta::None,
+                VectorPlan::NaiveBayes { bias, default, .. } => {
+                    PlanMeta::NaiveBayes { bias, default }
+                }
+                VectorPlan::MaxEnt { slack_diff, c, .. } => PlanMeta::MaxEnt { slack_diff, c },
+                VectorPlan::RelativeEntropy {
+                    default_pos,
+                    default_neg,
+                    ..
+                } => PlanMeta::RelativeEntropy {
+                    default_pos,
+                    default_neg,
+                },
+                VectorPlan::RankOrder { max_penalty, .. } => PlanMeta::RankOrder { max_penalty },
+            };
+        }
+        out.meta = PlaneMeta {
+            dim: self.dim,
+            stride: self.stride,
+            plans,
+            markov: self.markov.as_ref().map(|m| MarkovMeta {
+                tokenizer: m.tokenizer.clone(),
+                stride: m.stride,
+                lanes: m.lanes,
+            }),
+        };
+        out.matrix = f64_section_bytes(&self.matrix);
+        out.matrix_f32 = match &self.matrix_f32 {
+            Some(lane) => f32_section_bytes(lane),
+            None => {
+                let quantised: Vec<f32> = self.matrix.iter().map(|&w| quantize_weight(w)).collect();
+                f32_section_bytes(&quantised)
+            }
+        };
+        out.markov = match &self.markov {
+            Some(m) => f64_section_bytes(&m.matrix),
+            None => Vec::new(),
+        };
+    }
+
+    /// Reconstruct a plane from the validated views of a `.urlm` file —
+    /// the mmap-and-serve load path. No recompilation happens: the
+    /// matrices are used as stored (typically views into the mapped
+    /// file), lane offsets and the fast-path kernel are re-derived from
+    /// the plan kinds, and every cross-section size relation is checked
+    /// so a structurally corrupt file fails closed here rather than
+    /// panicking in the score hot path.
+    pub fn from_bytes(
+        transform: Option<CompiledTransform>,
+        meta: PlaneMeta,
+        views: PlaneViews,
+    ) -> Result<CompiledPlane, String> {
+        if let Some(t) = &transform {
+            if t.dim() != meta.dim {
+                return Err(format!(
+                    "transform dimensionality {} does not match plane dim {}",
+                    t.dim(),
+                    meta.dim
+                ));
+            }
+        }
+        let (plans, stride) = plans_from_meta(&meta.plans);
+        if stride != meta.stride {
+            return Err(format!(
+                "declared stride {} does not match the {} lanes of the plans",
+                meta.stride, stride
+            ));
+        }
+        let expected = meta
+            .dim
+            .checked_mul(stride)
+            .ok_or_else(|| "matrix size overflows".to_string())?;
+        if views.matrix.len() != expected {
+            return Err(format!(
+                "matrix section holds {} weights, expected dim {} × stride {} = {}",
+                views.matrix.len(),
+                meta.dim,
+                stride,
+                expected
+            ));
+        }
+        if let Some(f32_lane) = &views.matrix_f32 {
+            if f32_lane.len() != views.matrix.len() {
+                return Err(format!(
+                    "f32 lane holds {} weights but the f64 matrix holds {}",
+                    f32_lane.len(),
+                    views.matrix.len()
+                ));
+            }
+        }
+        let markov = match (meta.markov, views.markov) {
+            (None, None) => None,
+            (None, Some(_)) => {
+                return Err("markov section present but META declares none".to_string())
+            }
+            (Some(_), None) => {
+                return Err("META declares a markov plane but the section is missing".to_string())
+            }
+            (Some(mm), Some(matrix)) => {
+                // Lane offsets are assigned sequentially (0, 2, 4, …) in
+                // language order by `build`; require exactly that.
+                let mut next = 0usize;
+                for lane in mm.lanes.iter().flatten() {
+                    if *lane != next {
+                        return Err(format!(
+                            "markov lane offset {lane} out of sequential order (expected {next})"
+                        ));
+                    }
+                    next += 2;
+                }
+                if next != mm.stride {
+                    return Err(format!(
+                        "markov stride {} does not match the {} lanes declared",
+                        mm.stride, next
+                    ));
+                }
+                if matrix.len() != MARKOV_TRANSITIONS * mm.stride {
+                    return Err(format!(
+                        "markov section holds {} entries, expected {} × {}",
+                        matrix.len(),
+                        MARKOV_TRANSITIONS,
+                        mm.stride
+                    ));
+                }
+                Some(MarkovPlane {
+                    tokenizer: mm.tokenizer,
+                    stride: mm.stride,
+                    matrix,
+                    lanes: mm.lanes,
+                })
+            }
+        };
+        let fast = detect_fast_path(&plans, stride);
+        Ok(CompiledPlane {
+            transform,
+            dim: meta.dim,
+            stride,
+            matrix: views.matrix,
+            matrix_f32: views.matrix_f32,
+            use_f32: false,
+            plans,
+            fast,
+            markov,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::markov::{MarkovClassifier, MarkovConfig};
@@ -1092,5 +1474,162 @@ mod tests {
         assert!(set.is_compiled());
         assert_eq!(set.score_all("http://a.de/"), [None; 5]);
         assert_eq!(set.classify_all("http://a.de/"), [false; 5]);
+    }
+
+    use super::{PlanePayload, PlaneViews};
+    use std::sync::Arc as StdArc;
+    use urlid_mapped::{Lane, Mapping};
+
+    /// Serialise `set`'s plane and rebuild it through mapped views —
+    /// the in-memory equivalent of a `.urlm` pack/load cycle.
+    fn round_trip_plane(set: &LanguageClassifierSet) -> super::CompiledPlane {
+        let plane = set.plane().expect("set is compiled");
+        let mut payload = PlanePayload::default();
+        plane.serialize_into(&mut payload);
+        // META scalars go through JSON exactly as the `.urlm` format
+        // stores them.
+        let meta: super::PlaneMeta =
+            serde_json::from_str(&serde_json::to_string(&payload.meta).unwrap()).unwrap();
+        let matrix_map = StdArc::new(Mapping::from_bytes(&payload.matrix));
+        let f32_map = StdArc::new(Mapping::from_bytes(&payload.matrix_f32));
+        let markov_map = StdArc::new(Mapping::from_bytes(&payload.markov));
+        let views = PlaneViews {
+            matrix: Lane::view(&matrix_map, 0, payload.matrix.len()).unwrap(),
+            matrix_f32: Some(Lane::view(&f32_map, 0, payload.matrix_f32.len()).unwrap()),
+            markov: meta
+                .markov
+                .is_some()
+                .then(|| Lane::view(&markov_map, 0, payload.markov.len()).unwrap()),
+        };
+        super::CompiledPlane::from_bytes(plane.transform().cloned(), meta, views)
+            .expect("round trip must validate")
+    }
+
+    #[test]
+    fn serialized_plane_round_trips_bit_identically() {
+        let (extractor, per_lang) = fitted();
+        let dim = extractor.dim();
+        let mut set = LanguageClassifierSet::build_vector(extractor, |lang| {
+            let (pos, neg) = &per_lang[lang.index()];
+            Box::new(NaiveBayes::train(pos, neg, NaiveBayesConfig::for_dim(dim)))
+        });
+        set.compile();
+        let before: Vec<_> = probe_urls().iter().map(|u| set.score_all(u)).collect();
+        let rebuilt = round_trip_plane(&set);
+        assert!(!rebuilt.is_f32(), "mapped planes start on the exact lane");
+        set.install_plane(rebuilt);
+        let after: Vec<_> = probe_urls().iter().map(|u| set.score_all(u)).collect();
+        assert_eq!(before, after, "f64 scores must survive the round trip");
+
+        // The always-packed f32 lane is bit-identical to quantising the
+        // original plane, because quantisation is deterministic.
+        set.set_weight_lane(true);
+        let mapped_f32: Vec<_> = probe_urls().iter().map(|u| set.score_all(u)).collect();
+        set.clear_compiled();
+        set.compile_f32();
+        let compiled_f32: Vec<_> = probe_urls().iter().map(|u| set.score_all(u)).collect();
+        assert_eq!(mapped_f32, compiled_f32);
+
+        // And flipping back restores the exact lane without recompiling.
+        set.set_weight_lane(false);
+        let back: Vec<_> = probe_urls().iter().map(|u| set.score_all(u)).collect();
+        assert_eq!(before, back);
+    }
+
+    #[test]
+    fn markov_plane_round_trips_through_the_binary_payload() {
+        let data = training();
+        let mut set = LanguageClassifierSet::build(|lang| {
+            let pos: Vec<String> = data
+                .iter()
+                .filter(|u| u.language == lang)
+                .map(|u| u.url.clone())
+                .collect();
+            let neg: Vec<String> = data
+                .iter()
+                .filter(|u| u.language != lang)
+                .map(|u| u.url.clone())
+                .collect();
+            Box::new(MarkovClassifier::train(&pos, &neg, MarkovConfig::default()))
+        });
+        set.compile();
+        let before: Vec<_> = probe_urls().iter().map(|u| set.score_all(u)).collect();
+        let rebuilt = round_trip_plane(&set);
+        set.install_plane(rebuilt);
+        let after: Vec<_> = probe_urls().iter().map(|u| set.score_all(u)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn from_bytes_rejects_structural_corruption() {
+        let (extractor, per_lang) = fitted();
+        let dim = extractor.dim();
+        let mut set = LanguageClassifierSet::build_vector(extractor, |lang| {
+            let (pos, neg) = &per_lang[lang.index()];
+            Box::new(NaiveBayes::train(pos, neg, NaiveBayesConfig::for_dim(dim)))
+        });
+        set.compile();
+        let plane = set.plane().unwrap();
+        let mut payload = PlanePayload::default();
+        plane.serialize_into(&mut payload);
+        let views = |matrix: &[u8], f32_bytes: &[u8]| {
+            let m = StdArc::new(Mapping::from_bytes(matrix));
+            let f = StdArc::new(Mapping::from_bytes(f32_bytes));
+            PlaneViews {
+                matrix: Lane::view(&m, 0, matrix.len()).unwrap(),
+                matrix_f32: Some(Lane::view(&f, 0, f32_bytes.len()).unwrap()),
+                markov: None,
+            }
+        };
+
+        // Truncated matrix section.
+        let err = super::CompiledPlane::from_bytes(
+            plane.transform().cloned(),
+            payload.meta.clone(),
+            views(
+                &payload.matrix[..payload.matrix.len() - 8],
+                &payload.matrix_f32,
+            ),
+        )
+        .unwrap_err();
+        assert!(err.contains("matrix section"), "{err}");
+
+        // Declared stride disagreeing with the plans.
+        let mut meta = payload.meta.clone();
+        meta.stride += 1;
+        let err = super::CompiledPlane::from_bytes(
+            plane.transform().cloned(),
+            meta,
+            views(&payload.matrix, &payload.matrix_f32),
+        )
+        .unwrap_err();
+        assert!(err.contains("stride"), "{err}");
+
+        // f32 lane shorter than the f64 matrix.
+        let err = super::CompiledPlane::from_bytes(
+            plane.transform().cloned(),
+            payload.meta.clone(),
+            views(
+                &payload.matrix,
+                &payload.matrix_f32[..payload.matrix_f32.len() - 4],
+            ),
+        )
+        .unwrap_err();
+        assert!(err.contains("f32 lane"), "{err}");
+
+        // META claiming a markov plane with no section behind it.
+        let mut meta = payload.meta.clone();
+        meta.markov = Some(super::MarkovMeta {
+            tokenizer: urlid_tokenize::Tokenizer::default(),
+            stride: 2,
+            lanes: [Some(0), None, None, None, None],
+        });
+        let err = super::CompiledPlane::from_bytes(
+            plane.transform().cloned(),
+            meta,
+            views(&payload.matrix, &payload.matrix_f32),
+        )
+        .unwrap_err();
+        assert!(err.contains("markov"), "{err}");
     }
 }

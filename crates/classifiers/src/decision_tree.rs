@@ -17,6 +17,7 @@
 //! spirit of Figure 1 (the pruned German tree), including the per-leaf
 //! success ratio `s`.
 
+use crate::codec::{ByteReader, ByteWriter, CodecError};
 use crate::model::VectorClassifier;
 use serde::{Deserialize, Serialize};
 use urlid_features::SparseVector;
@@ -307,6 +308,105 @@ impl VectorClassifier for DecisionTree {
                 }
             }
         }
+    }
+}
+
+impl DecisionTree {
+    /// Append the trained tree to the `.urlm` `MODELS` codec stream
+    /// (see [`crate::codec`]).
+    pub fn write_binary(&self, w: &mut ByteWriter) {
+        w.write_usize(self.config.max_depth);
+        w.write_usize(self.config.min_samples_split);
+        w.write_usize(self.config.min_samples_leaf);
+        w.write_usize(self.config.dim);
+        w.write_usize(self.root);
+        w.write_usize(self.nodes.len());
+        for node in &self.nodes {
+            match node {
+                Node::Leaf {
+                    positive,
+                    n_pos,
+                    n_neg,
+                } => {
+                    w.write_u8(0);
+                    w.write_bool(*positive);
+                    w.write_usize(*n_pos);
+                    w.write_usize(*n_neg);
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    low,
+                    high,
+                } => {
+                    w.write_u8(1);
+                    w.write_usize(*feature);
+                    w.write_f64(*threshold);
+                    w.write_usize(*low);
+                    w.write_usize(*high);
+                }
+            }
+        }
+    }
+
+    /// Decode a tree previously written by
+    /// [`DecisionTree::write_binary`], validating the arena so a
+    /// corrupted file cannot make traversal panic or loop: the trainer
+    /// builds post-order (children pushed before their parent), so
+    /// every split's child indices must be strictly below its own —
+    /// which also guarantees traversal from any node terminates.
+    pub fn read_binary(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let config = DecisionTreeConfig {
+            max_depth: r.read_usize("dt.max_depth")?,
+            min_samples_split: r.read_usize("dt.min_samples_split")?,
+            min_samples_leaf: r.read_usize("dt.min_samples_leaf")?,
+            dim: r.read_usize("dt.dim")?,
+        };
+        let root = r.read_usize("dt.root")?;
+        let len = r.read_len("dt.nodes")?;
+        let mut nodes = Vec::with_capacity(len);
+        for idx in 0..len {
+            let node = match r.read_u8("dt.node.tag")? {
+                0 => Node::Leaf {
+                    positive: r.read_bool("dt.node.positive")?,
+                    n_pos: r.read_usize("dt.node.n_pos")?,
+                    n_neg: r.read_usize("dt.node.n_neg")?,
+                },
+                1 => {
+                    let feature = r.read_usize("dt.node.feature")?;
+                    let threshold = r.read_f64("dt.node.threshold")?;
+                    let low = r.read_usize("dt.node.low")?;
+                    let high = r.read_usize("dt.node.high")?;
+                    if low >= idx || high >= idx {
+                        return Err(CodecError::Invalid {
+                            what: "dt split child out of post-order",
+                        });
+                    }
+                    Node::Split {
+                        feature,
+                        threshold,
+                        low,
+                        high,
+                    }
+                }
+                _ => {
+                    return Err(CodecError::Invalid {
+                        what: "dt.node.tag",
+                    })
+                }
+            };
+            nodes.push(node);
+        }
+        if nodes.is_empty() || root >= nodes.len() {
+            return Err(CodecError::Invalid {
+                what: "dt root out of range",
+            });
+        }
+        Ok(Self {
+            nodes,
+            root,
+            config,
+        })
     }
 }
 

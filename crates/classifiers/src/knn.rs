@@ -8,6 +8,7 @@
 //! preliminary finding (see the `ablation` benches): a cosine-similarity
 //! k-NN over URL feature vectors, with majority voting.
 
+use crate::codec::{ByteReader, ByteWriter, CodecError};
 use crate::model::VectorClassifier;
 use serde::{Deserialize, Serialize};
 use urlid_features::SparseVector;
@@ -115,6 +116,52 @@ impl VectorClassifier for KNearestNeighbors {
         let pos_votes = sims[..k].iter().filter(|(_, l)| *l).count() as f64;
         // Majority vote mapped to [-1, 1]; ties are negative (conservative).
         2.0 * pos_votes / k as f64 - 1.0 - f64::EPSILON
+    }
+}
+
+impl KNearestNeighbors {
+    /// Append the stored examples to the `.urlm` `MODELS` codec stream
+    /// (see [`crate::codec`]). Each sparse vector is written as its
+    /// sorted `(index, value)` pairs, bit-exactly.
+    pub fn write_binary(&self, w: &mut ByteWriter) {
+        w.write_usize(self.config.k);
+        w.write_usize(self.examples.len());
+        for (vector, label) in &self.examples {
+            w.write_bool(*label);
+            w.write_usize(vector.nnz());
+            for (index, value) in vector.iter() {
+                w.write_u32(index);
+                w.write_f64(value);
+            }
+        }
+    }
+
+    /// Decode a model previously written by
+    /// [`KNearestNeighbors::write_binary`].
+    pub fn read_binary(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let k = r.read_usize("knn.k")?;
+        if k == 0 {
+            return Err(CodecError::Invalid { what: "knn.k" });
+        }
+        let n = r.read_len("knn.examples")?;
+        let mut examples = Vec::with_capacity(n);
+        for _ in 0..n {
+            let label = r.read_bool("knn.label")?;
+            let nnz = r.read_len("knn.nnz")?;
+            let mut pairs = Vec::with_capacity(nnz);
+            for _ in 0..nnz {
+                pairs.push((r.read_u32("knn.index")?, r.read_f64("knn.value")?));
+            }
+            // `from_pairs` re-sorts and merges; for bytes we wrote
+            // ourselves this is the identity, and for hostile bytes it
+            // restores the sorted-unique invariant instead of trusting
+            // the file.
+            examples.push((SparseVector::from_pairs(pairs), label));
+        }
+        Ok(Self {
+            examples,
+            config: KnnConfig { k },
+        })
     }
 }
 

@@ -32,6 +32,7 @@
 #![cfg_attr(feature = "simd", feature(portable_simd))]
 
 pub mod cctld;
+pub mod codec;
 pub mod combine;
 pub mod compile;
 pub mod decision_tree;
@@ -47,10 +48,14 @@ pub mod set;
 pub mod stats;
 
 pub use cctld::CcTldClassifier;
+pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use combine::{
     CombinationStrategy, CombinedClassifier, CombinedHybridClassifier, CombinedVectorClassifier,
 };
-pub use compile::{CompileScorer, Lowering};
+pub use compile::{
+    CompileScorer, CompiledPlane, Lowering, MarkovMeta, PlanMeta, PlaneMeta, PlanePayload,
+    PlaneViews,
+};
 pub use decision_tree::{DecisionTree, DecisionTreeConfig};
 pub use knn::{KNearestNeighbors, KnnConfig};
 pub use markov::{MarkovClassifier, MarkovConfig};

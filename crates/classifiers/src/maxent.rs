@@ -24,6 +24,7 @@
 //! with `C` the maximum feature sum observed in training, and the GIS
 //! update `λ_{y,j} += (1/C) · ln(E_emp[f_j·1_y] / E_model[f_j·1_y])`.
 
+use crate::codec::{ByteReader, ByteWriter, CodecError};
 use crate::compile::{CompileScorer, Lowering};
 use crate::lanes;
 use crate::model::VectorClassifier;
@@ -330,6 +331,33 @@ impl CompileScorer for MaxEnt {
             slack_diff: self.slack_diff,
             c: self.c,
         }
+    }
+}
+
+impl MaxEnt {
+    /// Append the trained model to the `.urlm` `MODELS` codec stream
+    /// (see [`crate::codec`]). Floats are written bit-exactly.
+    pub fn write_binary(&self, w: &mut ByteWriter) {
+        w.write_usize(self.config.iterations);
+        w.write_usize(self.config.dim);
+        w.write_f64(self.config.smoothing);
+        w.write_f64(self.slack_diff);
+        w.write_f64(self.c);
+        w.write_f64_slice(&self.weight_diff);
+    }
+
+    /// Decode a model previously written by [`MaxEnt::write_binary`].
+    pub fn read_binary(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            config: MaxEntConfig {
+                iterations: r.read_usize("me.iterations")?,
+                dim: r.read_usize("me.dim")?,
+                smoothing: r.read_f64("me.smoothing")?,
+            },
+            slack_diff: r.read_f64("me.slack_diff")?,
+            c: r.read_f64("me.c")?,
+            weight_diff: r.read_f64_vec("me.weight_diff")?,
+        })
     }
 }
 

@@ -19,6 +19,7 @@
 //! balanced positive/negative sets, the prior term is usually zero, but it
 //! is kept for correctness when the sets are not balanced.
 
+use crate::codec::{ByteReader, ByteWriter, CodecError};
 use crate::compile::{CompileScorer, Lowering};
 use crate::model::VectorClassifier;
 use crate::stats::{PartialCounts, StatsTrainer};
@@ -179,6 +180,32 @@ impl CompileScorer for NaiveBayes {
             bias: self.log_prior_ratio,
             default: self.default_log_ratio,
         }
+    }
+}
+
+impl NaiveBayes {
+    /// Append the trained model to the `.urlm` `MODELS` codec stream
+    /// (see [`crate::codec`]). Floats are written bit-exactly.
+    pub fn write_binary(&self, w: &mut ByteWriter) {
+        w.write_f64(self.config.alpha);
+        w.write_usize(self.config.dim);
+        w.write_f64(self.log_prior_ratio);
+        w.write_f64(self.default_log_ratio);
+        w.write_f64_slice(&self.log_ratio);
+    }
+
+    /// Decode a model previously written by
+    /// [`NaiveBayes::write_binary`].
+    pub fn read_binary(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            config: NaiveBayesConfig {
+                alpha: r.read_f64("nb.alpha")?,
+                dim: r.read_usize("nb.dim")?,
+            },
+            log_prior_ratio: r.read_f64("nb.log_prior_ratio")?,
+            default_log_ratio: r.read_f64("nb.default_log_ratio")?,
+            log_ratio: r.read_f64_vec("nb.log_ratio")?,
+        })
     }
 }
 

@@ -19,6 +19,7 @@
 //! algorithms, which makes it the preferred "helper" in the
 //! recall-boosting combinations of Section 3.3.
 
+use crate::codec::{ByteReader, ByteWriter, CodecError};
 use crate::compile::{CompileScorer, Lowering};
 use crate::model::VectorClassifier;
 use crate::stats::{PartialDistributions, StatsTrainer};
@@ -199,6 +200,34 @@ impl CompileScorer for RelativeEntropy {
             default_pos,
             default_neg,
         }
+    }
+}
+
+impl RelativeEntropy {
+    /// Append the trained model to the `.urlm` `MODELS` codec stream
+    /// (see [`crate::codec`]). Floats are written bit-exactly.
+    pub fn write_binary(&self, w: &mut ByteWriter) {
+        w.write_f64(self.config.epsilon);
+        w.write_usize(self.config.dim);
+        w.write_f64(self.default_pos);
+        w.write_f64(self.default_neg);
+        w.write_f64_slice(&self.pos);
+        w.write_f64_slice(&self.neg);
+    }
+
+    /// Decode a model previously written by
+    /// [`RelativeEntropy::write_binary`].
+    pub fn read_binary(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            config: RelativeEntropyConfig {
+                epsilon: r.read_f64("re.epsilon")?,
+                dim: r.read_usize("re.dim")?,
+            },
+            default_pos: r.read_f64("re.default_pos")?,
+            default_neg: r.read_f64("re.default_neg")?,
+            pos: r.read_f64_vec("re.pos")?,
+            neg: r.read_f64_vec("re.neg")?,
+        })
     }
 }
 

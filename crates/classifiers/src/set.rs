@@ -189,6 +189,38 @@ impl LanguageClassifierSet {
         }
     }
 
+    /// Install an externally built plane — the `.urlm` binary-load
+    /// path, whose plane is reconstructed from mapped file sections by
+    /// [`CompiledPlane::from_bytes`] instead of being compiled from the
+    /// scorers. The caller is responsible for the plane actually
+    /// describing this set's scorers (the persistence layer packs and
+    /// loads the two together and cross-validates the dimensions).
+    pub fn install_plane(&mut self, plane: CompiledPlane) {
+        self.compiled = Some(plane);
+    }
+
+    /// The active compiled plane, if any (the persistence layer reads
+    /// it to pack a `.urlm` file).
+    pub fn plane(&self) -> Option<&CompiledPlane> {
+        self.compiled.as_ref()
+    }
+
+    /// Switch the compiled plane between the exact `f64` lane and the
+    /// quantised `f32` lane **without recompiling** (compiling first if
+    /// the set never was). Unlike
+    /// [`LanguageClassifierSet::compile_f32`], a plane that already
+    /// carries both lanes — every `.urlm`-loaded plane does — only
+    /// flips a flag, which is what keeps binary reloads near-instant.
+    /// Returns the resulting lane name (`"f64"` / `"f32"`).
+    pub fn set_weight_lane(&mut self, f32_lane: bool) -> &'static str {
+        if self.compiled.is_none() {
+            self.compile();
+        }
+        let plane = self.compiled.as_mut().expect("compiled above");
+        plane.prefer_f32(f32_lane);
+        self.weight_lane()
+    }
+
     /// Drop the compiled plane, reverting every entry point to the
     /// interpreted path (used by benchmarks to measure the baseline).
     pub fn clear_compiled(&mut self) {

@@ -1,17 +1,32 @@
-//! Model persistence.
+//! Model persistence: the JSON interchange format and the `.urlm`
+//! zero-copy binary format behind one format-aware API.
 //!
 //! The paper's crawler scenario trains once on hundreds of thousands of
 //! labelled URLs and then classifies billions of frontier URLs; retraining
 //! at every crawler start-up would be wasteful. [`ModelBundle`] is the
 //! serialisable form of a trained identifier: the fitted feature extractor
-//! plus the five per-language models and the training configuration. It
-//! can be saved to / loaded from JSON and converted into a ready-to-use
-//! [`LanguageIdentifier`].
+//! plus the five per-language models and the training configuration.
+//!
+//! Two on-disk representations exist:
+//!
+//! * **JSON** — the interchange and oracle format: the training-time
+//!   structs, portable across endianness, diffable, and the input to
+//!   every differential test. Loading parses and then recompiles the
+//!   dense scoring plane.
+//! * **`.urlm` binary** ([`crate::format`]) — the serving format: the
+//!   compiled plane's runtime arrays laid out page-aligned so loading
+//!   is mmap + validate + cast. [`ModelBundle::pack`] writes it;
+//!   [`ModelSource`] loads either format behind magic-byte sniffing.
+//!
+//! The two paths are provably equivalent: the `binary_differential`
+//! suite asserts bit-identical scores for every recipe in both weight
+//! lanes.
 //!
 //! Only single-configuration models are persistable (the ccTLD baselines
 //! need no persistence, and the Section 5.6 combinations can be rebuilt
 //! from two bundles).
 
+use crate::format::{looks_binary, SectionId, UrlmFile, UrlmWriter};
 use crate::identifier::LanguageIdentifier;
 use crate::trainer::{
     train_pipeline, train_pipeline_traced, AnyExtractor, AnyModel, TrainOptions, TrainTrace,
@@ -19,13 +34,23 @@ use crate::trainer::{
 };
 use serde::{Deserialize, Serialize};
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use urlid_classifiers::{Algorithm, LanguageClassifierSet, VectorClassifier};
-use urlid_features::{Dataset, FeatureExtractor};
-use urlid_lexicon::Language;
+use urlid_classifiers::{
+    Algorithm, ByteReader, ByteWriter, CodecError, LanguageClassifierSet, PlaneMeta, PlanePayload,
+    PlaneViews, VectorClassifier,
+};
+use urlid_features::{
+    CompiledTransform, CustomFeatureExtractor, Dataset, FeatureExtractor, InternedVocabulary,
+    RestoredExtractor, TransformMeta,
+};
+use urlid_lexicon::{Language, ALL_LANGUAGES};
 
-/// Errors that can occur when saving or loading a model bundle.
+/// Errors that can occur when saving or loading a model, covering both
+/// formats: I/O and JSON problems, and the `.urlm` container's
+/// corruption taxonomy — every way a binary file can fail validation is
+/// a distinct variant, so callers (and tests) can tell a truncated
+/// download from a bit-flipped sector from a version skew.
 #[derive(Debug)]
 pub enum PersistenceError {
     /// Filesystem error.
@@ -34,6 +59,21 @@ pub enum PersistenceError {
     Serde(serde_json::Error),
     /// The configuration is not persistable (ccTLD baselines).
     NotPersistable(Algorithm),
+    /// The file does not start with the `.urlm` magic.
+    BadMagic,
+    /// The file's format version is not supported by this build.
+    UnsupportedVersion(u32),
+    /// The file was written on a machine of the other endianness.
+    Endianness,
+    /// The file ends before a declared structure does.
+    Truncated(String),
+    /// A section's checksum does not match its bytes.
+    ChecksumMismatch(String),
+    /// A section offset violates the format's alignment guarantees.
+    Misaligned(String),
+    /// Structurally invalid content in an otherwise well-formed
+    /// container (bad cross-references, impossible cardinalities, …).
+    Corrupt(String),
 }
 
 impl std::fmt::Display for PersistenceError {
@@ -44,6 +84,22 @@ impl std::fmt::Display for PersistenceError {
             PersistenceError::NotPersistable(a) => {
                 write!(f, "{a} needs no trained model and cannot be persisted")
             }
+            PersistenceError::BadMagic => write!(f, "not a .urlm model file (bad magic)"),
+            PersistenceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported .urlm format version {v}")
+            }
+            PersistenceError::Endianness => {
+                write!(
+                    f,
+                    ".urlm file was written on a machine of the other endianness"
+                )
+            }
+            PersistenceError::Truncated(what) => write!(f, "truncated .urlm file: {what}"),
+            PersistenceError::ChecksumMismatch(what) => {
+                write!(f, ".urlm checksum mismatch: {what}")
+            }
+            PersistenceError::Misaligned(what) => write!(f, ".urlm misalignment: {what}"),
+            PersistenceError::Corrupt(what) => write!(f, "corrupt model: {what}"),
         }
     }
 }
@@ -59,6 +115,12 @@ impl From<io::Error> for PersistenceError {
 impl From<serde_json::Error> for PersistenceError {
     fn from(e: serde_json::Error) -> Self {
         PersistenceError::Serde(e)
+    }
+}
+
+impl From<CodecError> for PersistenceError {
+    fn from(e: CodecError) -> Self {
+        PersistenceError::Corrupt(e.to_string())
     }
 }
 
@@ -164,16 +226,442 @@ impl ModelBundle {
         Ok(serde_json::from_str(json)?)
     }
 
-    /// Save to a file.
+    /// Save to a file (JSON).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ModelBundle::save_json` (or `ModelBundle::pack` for the binary format)"
+    )]
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistenceError> {
+        self.save_json(path)
+    }
+
+    /// Load from a file (JSON only; a `.urlm` file has no bundle form —
+    /// load it through [`ModelSource`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ModelSource::detect(path)?.load_identifier()`"
+    )]
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistenceError> {
+        Self::load_json(path)
+    }
+
+    /// Save to a file in the JSON interchange format.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> Result<(), PersistenceError> {
         std::fs::write(path, self.to_json()?)?;
         Ok(())
     }
 
-    /// Load from a file.
-    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistenceError> {
-        Self::from_json(&std::fs::read_to_string(path)?)
+    /// Load a bundle from a JSON file. Rejects `.urlm` bytes with
+    /// [`PersistenceError::BadMagic`]-adjacent clarity instead of a
+    /// JSON parse error.
+    pub fn load_json(path: impl AsRef<Path>) -> Result<Self, PersistenceError> {
+        let bytes = std::fs::read(path)?;
+        if looks_binary(&bytes) {
+            return Err(PersistenceError::Corrupt(
+                "file is a .urlm binary model; a ModelBundle only exists for JSON models — \
+                 load it through ModelSource instead"
+                    .into(),
+            ));
+        }
+        let text = String::from_utf8(bytes)
+            .map_err(|e| PersistenceError::Corrupt(format!("model JSON is not UTF-8: {e}")))?;
+        Self::from_json(&text)
     }
+
+    /// Pack the bundle into the `.urlm` zero-copy binary format at
+    /// `path` (written atomically: temporary file + rename).
+    ///
+    /// The file's dense sections are the *compiled* representation —
+    /// the same interned vocabulary and weight matrices
+    /// [`ModelBundle::into_identifier`] builds — so a binary load skips
+    /// both JSON parsing and plane compilation. The training-time
+    /// models are carried along in a compact tagged codec (the MODELS
+    /// section), keeping the interpreted oracle scoring path available
+    /// on binary-loaded sets.
+    pub fn pack(&self, path: impl AsRef<Path>) -> Result<PackReport, PersistenceError> {
+        // Serialise the training-time models first, from the bundle
+        // itself (into_identifier consumes a clone).
+        let mut models = ByteWriter::new();
+        models.write_u32(self.models.len() as u32);
+        for model in &self.models {
+            model.write_binary(&mut models);
+        }
+
+        // Compile the plane exactly as the load path would.
+        let identifier = self.clone().into_identifier();
+        let set = identifier.classifier_set();
+        let plane = set.plane().ok_or_else(|| {
+            PersistenceError::Corrupt("trained set did not produce a compiled plane".into())
+        })?;
+        let mut payload = PlanePayload::default();
+        plane.serialize_into(&mut payload);
+
+        let extractor = match plane.transform() {
+            Some(t) => ExtractorMeta::Compiled(TransformMeta::of(t)),
+            None => match &self.extractor {
+                AnyExtractor::Custom(c) => ExtractorMeta::Custom(c.clone()),
+                _ => {
+                    return Err(PersistenceError::Corrupt(
+                        "word/trigram extractor failed to compile its transform".into(),
+                    ))
+                }
+            },
+        };
+        let vocab_len = plane.transform().map(|t| t.dim()).unwrap_or(0);
+        let meta = MetaDoc {
+            config: self.config,
+            extractor,
+            plane: payload.meta.clone(),
+            vocab_len,
+        };
+
+        let mut writer = UrlmWriter::new();
+        writer.push(SectionId::Meta, serde_json::to_string(&meta)?.into_bytes());
+        if let Some(
+            CompiledTransform::Words { vocab, .. } | CompiledTransform::Trigrams { vocab, .. },
+        ) = plane.transform()
+        {
+            let parts = vocab.parts();
+            writer.push(SectionId::Arena, parts.arena.to_vec());
+            writer.push(SectionId::Bounds, u32_bytes(parts.bounds));
+            writer.push(SectionId::Hashes, u64_bytes(parts.hashes));
+            writer.push(SectionId::Table, u32_bytes(parts.table));
+        }
+        writer.push(SectionId::Matrix, payload.matrix);
+        writer.push(SectionId::MatrixF32, payload.matrix_f32);
+        if !payload.markov.is_empty() {
+            writer.push(SectionId::Markov, payload.markov);
+        }
+        writer.push(SectionId::Models, models.into_bytes());
+
+        let bytes = writer.write_to(path)?;
+        Ok(PackReport {
+            bytes,
+            vocab_len,
+            dim: meta.plane.dim,
+            stride: meta.plane.stride,
+        })
+    }
+}
+
+/// Native-endian byte image of a `u32` section body. (Mapped lanes
+/// reinterpret file bytes natively; the endian tag in the header keeps
+/// foreign-endian files out.)
+fn u32_bytes(values: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_ne_bytes());
+    }
+    out
+}
+
+/// Native-endian byte image of a `u64` section body.
+fn u64_bytes(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_ne_bytes());
+    }
+    out
+}
+
+/// What [`ModelBundle::pack`] wrote, for logs and the `urlid pack` CLI.
+#[derive(Debug, Clone, Copy)]
+pub struct PackReport {
+    /// Total file size in bytes.
+    pub bytes: u64,
+    /// Vocabulary cardinality (0 for custom-feature models).
+    pub vocab_len: usize,
+    /// Feature-space dimensionality of the weight matrix.
+    pub dim: usize,
+    /// Weight-matrix stride (scoring lanes per feature).
+    pub stride: usize,
+}
+
+/// The META section document: everything about a packed model that is
+/// *not* a dense array — training config, the extractor's serialisable
+/// half, the plane's scalar metadata, and the cardinalities `urlid
+/// inspect` reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct MetaDoc {
+    config: TrainingConfig,
+    extractor: ExtractorMeta,
+    plane: PlaneMeta,
+    vocab_len: usize,
+}
+
+/// The serialisable half of the extractor. Word/trigram extractors
+/// persist only their [`TransformMeta`] — the vocabulary itself lives
+/// in the mapped sections; the custom extractor is a few dozen scalars
+/// and travels whole.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum ExtractorMeta {
+    Compiled(TransformMeta),
+    Custom(CustomFeatureExtractor),
+}
+
+/// On-disk model representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelFormat {
+    /// The JSON interchange format (training-time structs).
+    Json,
+    /// The `.urlm` zero-copy binary format (compiled runtime structs).
+    Binary,
+}
+
+impl ModelFormat {
+    /// Lower-case name, as reported by `/healthz` and `/admin/reload`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ModelFormat::Json => "json",
+            ModelFormat::Binary => "binary",
+        }
+    }
+}
+
+impl std::fmt::Display for ModelFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for ModelFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "json" => Ok(ModelFormat::Json),
+            "binary" | "urlm" => Ok(ModelFormat::Binary),
+            other => Err(format!(
+                "unknown model format {other:?} (expected \"auto\", \"json\" or \"binary\")"
+            )),
+        }
+    }
+}
+
+/// A model file plus the format it is in — the one way every load path
+/// (CLI boot, `/admin/reload`, tools) resolves "some path the operator
+/// gave us" into a servable identifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSource {
+    path: PathBuf,
+    format: ModelFormat,
+}
+
+impl ModelSource {
+    /// A JSON model at `path`.
+    pub fn json(path: impl Into<PathBuf>) -> Self {
+        Self {
+            path: path.into(),
+            format: ModelFormat::Json,
+        }
+    }
+
+    /// A `.urlm` binary model at `path`.
+    pub fn binary(path: impl Into<PathBuf>) -> Self {
+        Self {
+            path: path.into(),
+            format: ModelFormat::Binary,
+        }
+    }
+
+    /// Detect the format of the file at `path`.
+    ///
+    /// The first 8 bytes decide: the `.urlm` magic means binary,
+    /// anything else means JSON. The extension is only a cross-check —
+    /// a `.urlm` file *without* the magic is reported as corrupt rather
+    /// than silently fed to the JSON parser.
+    pub fn detect(path: impl Into<PathBuf>) -> Result<Self, PersistenceError> {
+        let path = path.into();
+        let mut prefix = [0u8; 8];
+        let sniffed = {
+            use std::io::Read as _;
+            let mut file = std::fs::File::open(&path)?;
+            let n = file.read(&mut prefix)?;
+            looks_binary(&prefix[..n])
+        };
+        let hinted = path.extension().is_some_and(|e| e == "urlm");
+        if hinted && !sniffed {
+            return Err(PersistenceError::BadMagic);
+        }
+        Ok(Self {
+            path,
+            format: if sniffed {
+                ModelFormat::Binary
+            } else {
+                ModelFormat::Json
+            },
+        })
+    }
+
+    /// Resolve a path plus a CLI/API format argument
+    /// (`"auto" | "json" | "binary"`).
+    pub fn resolve(path: impl Into<PathBuf>, format: &str) -> Result<Self, PersistenceError> {
+        match format {
+            "auto" | "" => Self::detect(path),
+            other => {
+                let format: ModelFormat = other.parse().map_err(PersistenceError::Corrupt)?;
+                Ok(Self {
+                    path: path.into(),
+                    format,
+                })
+            }
+        }
+    }
+
+    /// The file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The resolved format.
+    pub fn format(&self) -> ModelFormat {
+        self.format
+    }
+
+    /// Load a ready-to-serve identifier.
+    ///
+    /// JSON loads deserialise the bundle and recompile the plane;
+    /// binary loads map the file and serve straight out of its
+    /// sections. Either way the returned identifier scores
+    /// bit-identically (the `binary_differential` suite's contract).
+    pub fn load_identifier(&self) -> Result<LanguageIdentifier, PersistenceError> {
+        match self.format {
+            ModelFormat::Json => Ok(ModelBundle::load_json(&self.path)?.into_identifier()),
+            ModelFormat::Binary => load_binary(&self.path),
+        }
+    }
+}
+
+/// Parse the META section's JSON document.
+fn meta_from_bytes(bytes: &[u8]) -> Result<MetaDoc, PersistenceError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| PersistenceError::Corrupt(format!("META section is not UTF-8: {e}")))?;
+    Ok(serde_json::from_str(text)?)
+}
+
+/// Load a `.urlm` file into a serving identifier: map, validate,
+/// rebuild the vocabulary and plane over zero-copy views, decode the
+/// five training-time models.
+fn load_binary(path: &Path) -> Result<LanguageIdentifier, PersistenceError> {
+    let file = UrlmFile::open(path)?;
+    let meta_bytes = file
+        .section_bytes(SectionId::Meta)
+        .ok_or_else(|| PersistenceError::Corrupt("META section is missing".into()))?;
+    let meta = meta_from_bytes(meta_bytes)?;
+
+    // Extractor + compiled transform (None for the custom features).
+    let (extractor, transform): (Arc<dyn FeatureExtractor>, Option<CompiledTransform>) =
+        match meta.extractor {
+            ExtractorMeta::Compiled(tm) => {
+                let vocab = InternedVocabulary::from_lanes(
+                    file.lane(SectionId::Arena)?,
+                    file.lane(SectionId::Bounds)?,
+                    file.lane(SectionId::Hashes)?,
+                    file.lane(SectionId::Table)?,
+                )
+                .map_err(PersistenceError::Corrupt)?;
+                if vocab.len() != meta.vocab_len {
+                    return Err(PersistenceError::Corrupt(format!(
+                        "vocabulary has {} features but META declares {}",
+                        vocab.len(),
+                        meta.vocab_len
+                    )));
+                }
+                let transform = tm.into_transform(vocab);
+                (
+                    Arc::new(RestoredExtractor::new(transform.clone())),
+                    Some(transform),
+                )
+            }
+            ExtractorMeta::Custom(custom) => (Arc::new(custom), None),
+        };
+
+    // The scoring plane, over zero-copy views of the mapped sections.
+    let views = PlaneViews {
+        matrix: file.lane(SectionId::Matrix)?,
+        matrix_f32: Some(file.lane(SectionId::MatrixF32)?),
+        markov: file.lane_opt(SectionId::Markov)?,
+    };
+    let plane = urlid_classifiers::CompiledPlane::from_bytes(transform, meta.plane, views)
+        .map_err(PersistenceError::Corrupt)?;
+
+    // The training-time models (the interpreted oracle path).
+    let model_bytes = file
+        .section_bytes(SectionId::Models)
+        .ok_or_else(|| PersistenceError::Corrupt("MODELS section is missing".into()))?;
+    let mut r = ByteReader::new(model_bytes);
+    let count = r.read_u32("model count")? as usize;
+    if count != ALL_LANGUAGES.len() {
+        return Err(PersistenceError::Corrupt(format!(
+            "MODELS section has {count} models, want {}",
+            ALL_LANGUAGES.len()
+        )));
+    }
+    let mut set = LanguageClassifierSet::with_extractor(extractor);
+    for lang in ALL_LANGUAGES {
+        let model = AnyModel::read_binary(&mut r)?;
+        set.insert_model(lang, Box::new(model) as Box<dyn VectorClassifier>);
+    }
+    if !r.is_exhausted() {
+        return Err(PersistenceError::Corrupt(format!(
+            "MODELS section has {} trailing bytes",
+            r.remaining()
+        )));
+    }
+    set.install_plane(plane);
+    Ok(LanguageIdentifier::from_classifier_set(set, meta.config))
+}
+
+/// Render a human-readable dump of a `.urlm` file: header, section
+/// table with checksums, and the model cardinalities — the body of
+/// `urlid inspect`.
+pub fn inspect_model(path: impl AsRef<Path>) -> Result<String, PersistenceError> {
+    use std::fmt::Write as _;
+    let path = path.as_ref();
+    let file = UrlmFile::open(path)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{}: urlm v{}", path.display(), file.version());
+    let _ = writeln!(
+        out,
+        "  {} bytes, page {} bytes, {} sections, backend {}",
+        file.file_len(),
+        file.page(),
+        file.sections().len(),
+        file.backend()
+    );
+    let _ = writeln!(
+        out,
+        "  {:<10} {:>10} {:>12}  xxh64",
+        "section", "offset", "bytes"
+    );
+    for s in file.sections() {
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>10} {:>12}  {:016x}",
+            SectionId::name(s.id),
+            s.offset,
+            s.len,
+            s.checksum
+        );
+    }
+    if let Some(meta_bytes) = file.section_bytes(SectionId::Meta) {
+        let meta = meta_from_bytes(meta_bytes)?;
+        let _ = writeln!(
+            out,
+            "  model: {:?} features × {:?}, dim {} (vocabulary {}), stride {}, markov {}",
+            meta.config.feature_set,
+            meta.config.algorithm,
+            meta.plane.dim,
+            meta.vocab_len,
+            meta.plane.stride,
+            if meta.plane.markov.is_some() {
+                "yes"
+            } else {
+                "no"
+            },
+        );
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -231,6 +719,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the shims must keep working until removal
     fn save_and_load_files() {
         let training = tiny_training();
         let bundle = ModelBundle::train(
@@ -267,5 +756,99 @@ mod tests {
     fn corrupt_json_is_rejected() {
         assert!(ModelBundle::from_json("{not json").is_err());
         assert!(ModelBundle::from_json("{\"config\": 3}").is_err());
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("urlid-persistence-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn packed_model_serves_identically_to_json() {
+        let training = tiny_training();
+        let config = TrainingConfig::paper_best();
+        let bundle = ModelBundle::train(&training, &config).unwrap();
+        let json_path = temp_path("parity.json");
+        let urlm_path = temp_path("parity.urlm");
+        bundle.save_json(&json_path).unwrap();
+        let report = bundle.pack(&urlm_path).unwrap();
+        assert!(report.bytes > 0);
+        assert!(report.vocab_len > 0);
+        assert_eq!(report.dim, report.vocab_len);
+
+        // Sniffing resolves each file to its format.
+        let json_src = ModelSource::detect(&json_path).unwrap();
+        let urlm_src = ModelSource::detect(&urlm_path).unwrap();
+        assert_eq!(json_src.format(), ModelFormat::Json);
+        assert_eq!(urlm_src.format(), ModelFormat::Binary);
+
+        let from_json = json_src.load_identifier().unwrap();
+        let from_urlm = urlm_src.load_identifier().unwrap();
+        assert!(from_urlm.classifier_set().plane().unwrap().is_mapped());
+        let mut g = UrlGenerator::new(31);
+        let profile = urlid_corpus::DatasetProfile::web_crawl();
+        for lang in ALL_LANGUAGES {
+            for url in g.generate_many(lang, &profile, 10) {
+                assert_eq!(
+                    from_json.classifier_set().score_all(&url),
+                    from_urlm.classifier_set().score_all(&url),
+                    "{url}"
+                );
+                // The interpreted oracle survives the binary round trip
+                // too (the MODELS section).
+                assert_eq!(
+                    from_json.classifier_set().score_all_interpreted(&url),
+                    from_urlm.classifier_set().score_all_interpreted(&url),
+                    "{url} (interpreted)"
+                );
+            }
+        }
+        std::fs::remove_file(&json_path).ok();
+        std::fs::remove_file(&urlm_path).ok();
+    }
+
+    #[test]
+    fn model_source_resolution_rules() {
+        // Explicit formats never sniff.
+        let src = ModelSource::resolve("whatever.bin", "binary").unwrap();
+        assert_eq!(src.format(), ModelFormat::Binary);
+        let src = ModelSource::resolve("whatever.txt", "json").unwrap();
+        assert_eq!(src.format(), ModelFormat::Json);
+        assert!(ModelSource::resolve("x", "protobuf").is_err());
+        // A .urlm extension without the magic is rejected, not fed to
+        // the JSON parser.
+        let path = temp_path("fake.urlm");
+        std::fs::write(&path, b"{\"this\": \"is json\"}").unwrap();
+        assert!(matches!(
+            ModelSource::detect(&path),
+            Err(PersistenceError::BadMagic)
+        ));
+        std::fs::remove_file(&path).ok();
+        // Loading a .urlm through the bundle API is a typed error.
+        let path = temp_path("real.urlm");
+        let bundle = ModelBundle::train(&tiny_training(), &TrainingConfig::paper_best()).unwrap();
+        bundle.pack(&path).unwrap();
+        assert!(matches!(
+            ModelBundle::load_json(&path),
+            Err(PersistenceError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn inspect_reports_sections_and_cardinalities() {
+        let path = temp_path("inspect.urlm");
+        let bundle = ModelBundle::train(&tiny_training(), &TrainingConfig::paper_best()).unwrap();
+        bundle.pack(&path).unwrap();
+        let report = inspect_model(&path).unwrap();
+        for section in [
+            "META", "ARENA", "BOUNDS", "HASHES", "TABLE", "MATRIX", "MATRIX32", "MODELS",
+        ] {
+            assert!(report.contains(section), "missing {section} in:\n{report}");
+        }
+        assert!(report.contains("urlm v1"), "{report}");
+        assert!(report.contains("NaiveBayes"), "{report}");
+        std::fs::remove_file(&path).ok();
     }
 }

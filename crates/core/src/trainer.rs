@@ -454,6 +454,49 @@ pub(crate) enum AnyModel {
     Knn(KNearestNeighbors),
 }
 
+impl AnyModel {
+    /// Binary codec tag of the variant (stable across releases; new
+    /// algorithms append, never renumber).
+    fn tag(&self) -> u8 {
+        match self {
+            AnyModel::NaiveBayes(_) => 1,
+            AnyModel::RelativeEntropy(_) => 2,
+            AnyModel::MaxEnt(_) => 3,
+            AnyModel::DecisionTree(_) => 4,
+            AnyModel::Knn(_) => 5,
+        }
+    }
+
+    /// Append the tagged binary encoding (the `.urlm` MODELS section
+    /// stores five of these, in canonical language order).
+    pub(crate) fn write_binary(&self, w: &mut urlid_classifiers::ByteWriter) {
+        w.write_u8(self.tag());
+        match self {
+            AnyModel::NaiveBayes(m) => m.write_binary(w),
+            AnyModel::RelativeEntropy(m) => m.write_binary(w),
+            AnyModel::MaxEnt(m) => m.write_binary(w),
+            AnyModel::DecisionTree(m) => m.write_binary(w),
+            AnyModel::Knn(m) => m.write_binary(w),
+        }
+    }
+
+    /// Decode one tagged model.
+    pub(crate) fn read_binary(
+        r: &mut urlid_classifiers::ByteReader<'_>,
+    ) -> Result<Self, urlid_classifiers::CodecError> {
+        match r.read_u8("model tag")? {
+            1 => Ok(AnyModel::NaiveBayes(NaiveBayes::read_binary(r)?)),
+            2 => Ok(AnyModel::RelativeEntropy(RelativeEntropy::read_binary(r)?)),
+            3 => Ok(AnyModel::MaxEnt(MaxEnt::read_binary(r)?)),
+            4 => Ok(AnyModel::DecisionTree(DecisionTree::read_binary(r)?)),
+            5 => Ok(AnyModel::Knn(KNearestNeighbors::read_binary(r)?)),
+            _ => Err(urlid_classifiers::CodecError::Invalid {
+                what: "unknown model tag",
+            }),
+        }
+    }
+}
+
 impl VectorClassifier for AnyModel {
     fn score(&self, features: &SparseVector) -> f64 {
         match self {

@@ -18,8 +18,15 @@
 //! Interning never changes an index: `interned.get(name.as_bytes()) ==
 //! vocabulary.get(name)` for every string, which is what makes the
 //! compiled plane bit-identical to the interpreted one.
+//!
+//! All four arrays live in [`Lane`]s, so an interned vocabulary can
+//! either own its storage (built by [`InternedVocabulary::from_vocabulary`]
+//! at compile time) or borrow it zero-copy from a `.urlm` mapping
+//! (rebuilt by [`InternedVocabulary::from_lanes`] at load time — the
+//! on-disk sections *are* these arrays, byte for byte).
 
 use crate::vocabulary::Vocabulary;
+use urlid_mapped::Lane;
 
 /// FNV-1a 64-bit: tiny, allocation-free, and fast for the short keys
 /// (tokens, trigrams) vocabularies hold.
@@ -38,18 +45,33 @@ fn hash_bytes(bytes: &[u8]) -> u64 {
 #[derive(Debug, Clone, Default)]
 pub struct InternedVocabulary {
     /// All feature strings, concatenated.
-    arena: Vec<u8>,
+    arena: Lane<u8>,
     /// `len + 1` offsets into the arena; feature `i` is
     /// `arena[bounds[i]..bounds[i + 1]]`.
-    bounds: Vec<u32>,
+    bounds: Lane<u32>,
     /// Precomputed hash of every feature, indexed by feature id.
-    hashes: Vec<u64>,
+    hashes: Lane<u64>,
     /// Open-addressing slots holding `feature_id + 1` (0 = empty). The
     /// length is a power of two at most half full, so linear probing
     /// terminates.
-    table: Vec<u32>,
+    table: Lane<u32>,
     /// `table.len() - 1`, for masking.
     mask: usize,
+}
+
+/// Borrowed views of the four interned arrays, in the exact layout the
+/// `.urlm` sections persist. Handed to the format writer by
+/// [`InternedVocabulary::parts`].
+#[derive(Debug, Clone, Copy)]
+pub struct InternParts<'a> {
+    /// Concatenated feature bytes.
+    pub arena: &'a [u8],
+    /// `len + 1` arena offsets.
+    pub bounds: &'a [u32],
+    /// Precomputed per-feature FNV-1a hashes.
+    pub hashes: &'a [u64],
+    /// Open-addressing slots (`feature_id + 1`, 0 = empty).
+    pub table: &'a [u32],
 }
 
 impl InternedVocabulary {
@@ -85,12 +107,97 @@ impl InternedVocabulary {
             table[slot] = i as u32 + 1;
         }
         Self {
+            arena: Lane::from_vec(arena),
+            bounds: Lane::from_vec(bounds),
+            hashes: Lane::from_vec(hashes),
+            table: Lane::from_vec(table),
+            mask,
+        }
+    }
+
+    /// Borrowed views of the four arrays, for the `.urlm` writer.
+    pub fn parts(&self) -> InternParts<'_> {
+        InternParts {
+            arena: &self.arena,
+            bounds: &self.bounds,
+            hashes: &self.hashes,
+            table: &self.table,
+        }
+    }
+
+    /// Rebuild an interned vocabulary over (usually mapped) lanes —
+    /// the zero-copy load path of the `.urlm` format.
+    ///
+    /// The caller has already verified section checksums; this
+    /// validates every *structural* invariant later accesses rely on
+    /// (bounds monotone and inside the arena, table a power of two
+    /// with in-range entries and at least one empty slot so probing
+    /// terminates), so a corrupt-but-checksum-valid file fails closed
+    /// here instead of panicking on the hot path.
+    pub fn from_lanes(
+        arena: Lane<u8>,
+        bounds: Lane<u32>,
+        hashes: Lane<u64>,
+        table: Lane<u32>,
+    ) -> Result<Self, String> {
+        if hashes.is_empty() {
+            if !arena.is_empty() || bounds.len() > 1 || !table.is_empty() {
+                return Err("empty vocabulary with non-empty companion sections".into());
+            }
+            return Ok(Self::default());
+        }
+        let len = hashes.len();
+        if bounds.len() != len + 1 {
+            return Err(format!(
+                "bounds has {} entries for {} features (want {})",
+                bounds.len(),
+                len,
+                len + 1
+            ));
+        }
+        if bounds[0] != 0 {
+            return Err(format!("bounds[0] is {}, want 0", bounds[0]));
+        }
+        for w in bounds.as_slice().windows(2) {
+            if w[1] < w[0] {
+                return Err(format!("bounds not monotone: {} then {}", w[0], w[1]));
+            }
+        }
+        if bounds[len] as usize != arena.len() {
+            return Err(format!(
+                "last bound {} does not close the {}-byte arena",
+                bounds[len],
+                arena.len()
+            ));
+        }
+        let expected_capacity = (len * 2).next_power_of_two().max(8);
+        if table.len() != expected_capacity {
+            return Err(format!(
+                "table capacity {} for {} features (want {})",
+                table.len(),
+                len,
+                expected_capacity
+            ));
+        }
+        let mut empties = 0usize;
+        for &entry in table.iter() {
+            if entry == 0 {
+                empties += 1;
+            } else if entry as usize > len {
+                return Err(format!("table entry {entry} exceeds {len} features"));
+            }
+        }
+        if empties == 0 {
+            return Err("lookup table has no empty slot; probing would not terminate".into());
+        }
+        let mask = table.len() - 1;
+        Ok(Self {
             arena,
             bounds,
             hashes,
             table,
             mask,
-        }
+        })
     }
 
     /// Number of interned features.
@@ -216,6 +323,104 @@ mod tests {
         for miss in ["tok2000", "tok", "x"] {
             assert_eq!(interned.get(miss.as_bytes()), None);
         }
+    }
+
+    #[test]
+    fn from_lanes_round_trips_parts_and_preserves_lookups() {
+        let names: Vec<String> = (0..300).map(|i| format!("feat{i:03}")).collect();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let v = vocab_of(&refs);
+        let interned = InternedVocabulary::from_vocabulary(&v);
+        let parts = interned.parts();
+        let rebuilt = InternedVocabulary::from_lanes(
+            Lane::from_vec(parts.arena.to_vec()),
+            Lane::from_vec(parts.bounds.to_vec()),
+            Lane::from_vec(parts.hashes.to_vec()),
+            Lane::from_vec(parts.table.to_vec()),
+        )
+        .unwrap();
+        for name in &refs {
+            assert_eq!(rebuilt.get(name.as_bytes()), interned.get(name.as_bytes()));
+        }
+        assert_eq!(rebuilt.name(5), interned.name(5));
+        // Empty round trip.
+        let empty = InternedVocabulary::from_lanes(
+            Lane::default(),
+            Lane::default(),
+            Lane::default(),
+            Lane::default(),
+        )
+        .unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn from_lanes_rejects_structural_corruption() {
+        let v = vocab_of(&["alpha", "beta", "gamma"]);
+        let interned = InternedVocabulary::from_vocabulary(&v);
+        let p = interned.parts();
+        let lanes = |arena: Vec<u8>, bounds: Vec<u32>, hashes: Vec<u64>, table: Vec<u32>| {
+            InternedVocabulary::from_lanes(
+                Lane::from_vec(arena),
+                Lane::from_vec(bounds),
+                Lane::from_vec(hashes),
+                Lane::from_vec(table),
+            )
+        };
+        // Truncated bounds.
+        assert!(lanes(
+            p.arena.to_vec(),
+            p.bounds[..p.bounds.len() - 1].to_vec(),
+            p.hashes.to_vec(),
+            p.table.to_vec()
+        )
+        .is_err());
+        // Non-monotone bounds.
+        let mut bad_bounds = p.bounds.to_vec();
+        bad_bounds[1] = u32::MAX;
+        assert!(lanes(
+            p.arena.to_vec(),
+            bad_bounds,
+            p.hashes.to_vec(),
+            p.table.to_vec()
+        )
+        .is_err());
+        // Last bound does not close the arena.
+        let mut open_bounds = p.bounds.to_vec();
+        *open_bounds.last_mut().unwrap() -= 1;
+        assert!(lanes(
+            p.arena.to_vec(),
+            open_bounds,
+            p.hashes.to_vec(),
+            p.table.to_vec()
+        )
+        .is_err());
+        // Out-of-range table entry.
+        let mut bad_table = p.table.to_vec();
+        bad_table[0] = 99;
+        assert!(lanes(
+            p.arena.to_vec(),
+            p.bounds.to_vec(),
+            p.hashes.to_vec(),
+            bad_table
+        )
+        .is_err());
+        // Wrong table capacity.
+        assert!(lanes(
+            p.arena.to_vec(),
+            p.bounds.to_vec(),
+            p.hashes.to_vec(),
+            vec![0u32; 4]
+        )
+        .is_err());
+        // A table with no empty slot would loop forever on a miss.
+        assert!(lanes(
+            p.arena.to_vec(),
+            p.bounds.to_vec(),
+            p.hashes.to_vec(),
+            vec![1u32; p.table.len()]
+        )
+        .is_err());
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod dataset;
 pub mod extractor;
 pub mod intern;
 pub mod parallel;
+pub mod restored;
 pub mod scratch;
 pub mod trigrams;
 pub mod vector;
@@ -44,7 +45,8 @@ pub use counting::CountingExtractor;
 pub use custom::{CustomFeatureExtractor, CustomFeatureSet};
 pub use dataset::{shard_slices, Dataset, LabeledUrl, TrainTestSplit};
 pub use extractor::{FeatureExtractor, FeatureSetKind, ShardedFit};
-pub use intern::InternedVocabulary;
+pub use intern::{InternParts, InternedVocabulary};
+pub use restored::{RestoredExtractor, TransformMeta};
 pub use scratch::ExtractScratch;
 pub use trigrams::TrigramFeatureExtractor;
 pub use vector::SparseVector;

@@ -6,8 +6,16 @@
 //! urlid identify --model model.json <url> [<url> ...]        print the language of each URL
 //! urlid identify --model model.json                          ... or read URLs from stdin, one per line
 //! urlid evaluate --model model.json --data corpus/odp-test.json   paper metrics on a labelled test set
-//! urlid serve --model model.json --addr 127.0.0.1:7878       HTTP serving layer (see urlid-serve docs)
+//! urlid pack --model model.json --out model.urlm             convert to the zero-copy binary format
+//! urlid inspect model.urlm                                   dump the .urlm header and section table
+//! urlid loadtime --model model.urlm                          measure model cold-load latency
+//! urlid serve --model model.urlm --addr 127.0.0.1:7878       HTTP serving layer (see urlid-serve docs)
 //! ```
+//!
+//! Every model-taking subcommand accepts either format: JSON is the
+//! interchange/oracle representation, `.urlm` the page-aligned binary
+//! that loads by `mmap` + validate + cast. Formats are sniffed by
+//! magic bytes (`--format` forces one where ambiguity matters).
 //!
 //! The argument parser is hand-rolled (no extra dependencies); every
 //! subcommand prints usage on `--help`. The binary lives in the
@@ -36,17 +44,30 @@ USAGE:
   urlid generate --out <dir> [--seed <u64>] [--scale <f64>] [--jobs <n>]
                  (--jobs 0 = one worker per core; the generated corpus is
                   bit-identical at any --jobs value)
-  urlid train    --data <dataset.json> --out <model.json>
+  urlid train    --data <dataset.json> --out <model.json|model.urlm>
                  [--features words|trigrams|custom] [--algorithm nb|re|me|dt|knn]
                  [--seed <u64>] [--jobs <n>] [--shards <n>] [--verbose]
                  (--jobs 0 = one worker per core; for a fixed --shards the
                   trained model is bit-identical at any --jobs value.
                   --verbose prints the training trace to stderr: per-shard
                   fit/vectorize timings, per-language model timings, and
-                  GIS convergence deltas for maxent — same model bytes)
-  urlid identify --model <model.json> [<url> ...]      (reads stdin when no URLs given)
-  urlid evaluate --model <model.json> --data <dataset.json>
-  urlid serve    --model <model.json> [--addr <host:port>] [--threads <n>]
+                  GIS convergence deltas for maxent — same model bytes.
+                  an --out ending in .urlm writes the binary format
+                  directly; anything else writes JSON)
+  urlid identify --model <model> [<url> ...]           (reads stdin when no URLs given)
+  urlid evaluate --model <model> --data <dataset.json>
+  urlid pack     --model <model.json> --out <model.urlm>
+                 (convert a JSON model to the page-aligned, checksummed,
+                  mmap-servable .urlm binary format)
+  urlid inspect  <model.urlm>
+                 (print header, section table with offsets/checksums,
+                  and model cardinalities)
+  urlid loadtime --model <model> [--format auto|json|binary] [--repeat <n>]
+                 (cold-load the model n times — default 3 — and print the
+                  best wall-clock milliseconds to stdout; used by CI to
+                  gate binary loads beating JSON cold starts)
+  urlid serve    --model <model> [--format auto|json|binary]
+                 [--addr <host:port>] [--threads <n>]
                  [--reactors <n>] [--pool shared|partitioned]
                  [--max-inflight <n>] [--cache-capacity <n>]
                  [--weights f64|f32] [--telemetry on|off] [--slow-ms <n>]
@@ -257,9 +278,16 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     } else {
         ModelBundle::train_with(&data, &config, opts).map_err(|e| e.to_string())?
     };
-    bundle.save(out).map_err(|e| e.to_string())?;
+    let out_path = std::path::Path::new(out);
+    let format = if out_path.extension().is_some_and(|e| e == "urlm") {
+        bundle.pack(out_path).map_err(|e| e.to_string())?;
+        ModelFormat::Binary
+    } else {
+        bundle.save_json(out_path).map_err(|e| e.to_string())?;
+        ModelFormat::Json
+    };
     eprintln!(
-        "trained {} + {} on {} URLs ({} jobs over {} shards) -> {out}",
+        "trained {} + {} on {} URLs ({} jobs over {} shards) -> {out} ({format})",
         config.feature_set,
         config.algorithm,
         data.len(),
@@ -269,9 +297,22 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolve `--model` (+ optional `--format`) into a ready identifier,
+/// reporting the detected format and the load wall-clock.
+fn load_model(args: &Args) -> Result<(LanguageIdentifier, ModelFormat, f64), String> {
+    let path = args.require("model")?;
+    let source = ModelSource::resolve(path, args.get("format").unwrap_or("auto"))
+        .map_err(|e| format!("cannot load {path}: {e}"))?;
+    let started = std::time::Instant::now();
+    let identifier = source
+        .load_identifier()
+        .map_err(|e| format!("cannot load {path}: {e}"))?;
+    let load_ms = started.elapsed().as_secs_f64() * 1e3;
+    Ok((identifier, source.format(), load_ms))
+}
+
 fn cmd_identify(args: &Args) -> Result<(), String> {
-    let bundle = ModelBundle::load(args.require("model")?).map_err(|e| e.to_string())?;
-    let identifier = bundle.into_identifier();
+    let (identifier, _, _) = load_model(args)?;
     let classify = |url: &str| {
         let lang = identifier
             .identify(url)
@@ -296,9 +337,8 @@ fn cmd_identify(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_evaluate(args: &Args) -> Result<(), String> {
-    let bundle = ModelBundle::load(args.require("model")?).map_err(|e| e.to_string())?;
+    let (identifier, _, _) = load_model(args)?;
     let test = load_dataset(args.require("data")?)?;
-    let identifier = bundle.into_identifier();
     let result = identifier.evaluate(&test);
     print!(
         "{}",
@@ -308,10 +348,66 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_pack(args: &Args) -> Result<(), String> {
+    let model = args.require("model")?;
+    let out = args.require("out")?;
+    let bundle = ModelBundle::load_json(model).map_err(|e| format!("cannot load {model}: {e}"))?;
+    let started = std::time::Instant::now();
+    let report = bundle
+        .pack(out)
+        .map_err(|e| format!("cannot pack {out}: {e}"))?;
+    eprintln!(
+        "packed {model} -> {out}: {} bytes, {} vocabulary entries, dim {}, stride {} ({:.1} ms)",
+        report.bytes,
+        report.vocab_len,
+        report.dim,
+        report.stride,
+        started.elapsed().as_secs_f64() * 1e3,
+    );
+    Ok(())
+}
+
+fn cmd_inspect(args: &Args) -> Result<(), String> {
+    let path = match args.positional.first().map(|s| s.as_str()) {
+        Some(p) => p,
+        None => args.require("model")?,
+    };
+    let report = urlid::inspect_model(path).map_err(|e| format!("cannot inspect {path}: {e}"))?;
+    print!("{report}");
+    Ok(())
+}
+
+fn cmd_loadtime(args: &Args) -> Result<(), String> {
+    let repeat: usize = args
+        .get("repeat")
+        .unwrap_or("3")
+        .parse()
+        .map_err(|_| "bad --repeat")?;
+    if repeat == 0 {
+        return Err("--repeat must be at least 1".to_owned());
+    }
+    let mut best_ms = f64::INFINITY;
+    let mut format = ModelFormat::Json;
+    for _ in 0..repeat {
+        let (identifier, fmt, ms) = load_model(args)?;
+        // Keep the load honest: touch the model so the whole build
+        // cannot be optimised out.
+        let _ = identifier.config().algorithm;
+        format = fmt;
+        best_ms = best_ms.min(ms);
+    }
+    eprintln!(
+        "{}: best of {repeat} cold loads as {format}",
+        args.require("model")?,
+    );
+    // Stdout carries only the number, so scripts can capture it.
+    println!("{best_ms:.3}");
+    Ok(())
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let model_path = std::path::PathBuf::from(args.require("model")?);
-    let bundle = ModelBundle::load(&model_path).map_err(|e| e.to_string())?;
-    let identifier = bundle.into_identifier();
+    let (identifier, model_format, load_ms) = load_model(args)?;
     let mut config = ServeConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_owned(),
         ..ServeConfig::default()
@@ -370,10 +466,11 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         config.reactors,
         f32_weights,
     ));
+    state.set_load_info(model_format, load_ms);
     let lane = if f32_weights { "f32" } else { "f64" };
     let handle = spawn(&config, state).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
     eprintln!(
-        "serving {} on http://{} ({} reactors, {lane} weights; cache capacity {cache_capacity}; POST /admin/reload to hot-swap)",
+        "serving {} on http://{} ({model_format} model, loaded in {load_ms:.1} ms; {} reactors, {lane} weights; cache capacity {cache_capacity}; POST /admin/reload to hot-swap)",
         model_path.display(),
         handle.addr(),
         config.reactors,
@@ -396,6 +493,9 @@ fn run() -> Result<(), String> {
         "train" => cmd_train(&args),
         "identify" => cmd_identify(&args),
         "evaluate" => cmd_evaluate(&args),
+        "pack" => cmd_pack(&args),
+        "inspect" => cmd_inspect(&args),
+        "loadtime" => cmd_loadtime(&args),
         "serve" => cmd_serve(&args),
         "--help" | "help" => Err(USAGE.to_owned()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
@@ -518,7 +618,9 @@ mod tests {
 
     #[test]
     fn usage_mentions_every_subcommand() {
-        for cmd in ["generate", "train", "identify", "evaluate", "serve"] {
+        for cmd in [
+            "generate", "train", "identify", "evaluate", "pack", "inspect", "loadtime", "serve",
+        ] {
             assert!(USAGE.contains(cmd), "{cmd} missing from usage");
         }
     }

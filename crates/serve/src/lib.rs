@@ -62,7 +62,7 @@
 //! | `/healthz`            | GET    | —                           | status, model config, uptime                 |
 //! | `/metrics`            | GET    | —                           | counters, cache, latency + per-stage histograms; JSON by default, Prometheus text 0.0.4 on `Accept: text/plain` |
 //! | `/admin/trace`        | GET    | —                           | last buffered stage spans with request ids   |
-//! | `/admin/reload`       | POST   | `{"path": "..."}` (opt.)    | swaps the model, bumps the cache epoch       |
+//! | `/admin/reload`       | POST   | `{"path": "...", "format": "auto\|json\|binary"}` (opt.) | swaps the model, bumps the cache epoch; reports `format`, `weights`, `load_ms` |
 //!
 //! ## Quickstart
 //!
@@ -70,10 +70,13 @@
 //! use urlid_serve::server::{spawn, ServeConfig, ServerState};
 //! use std::sync::Arc;
 //!
-//! let bundle = urlid::ModelBundle::load("model.json").unwrap();
+//! // `ModelSource` sniffs the format: JSON interchange or the
+//! // zero-copy `.urlm` binary (which mmap-loads in milliseconds).
+//! let source = urlid::ModelSource::detect("model.urlm").unwrap();
+//! let identifier = source.load_identifier().unwrap();
 //! let state = Arc::new(ServerState::new(
-//!     bundle.into_identifier(),
-//!     Some("model.json".into()),
+//!     identifier,
+//!     Some("model.urlm".into()),
 //!     65_536,
 //! ));
 //! let handle = spawn(&ServeConfig::default(), state).unwrap();

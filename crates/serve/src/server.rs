@@ -31,7 +31,8 @@
 //! The model lives in a private `ModelSlot` behind an `RwLock`: request
 //! handlers take a read lock just long enough to clone the
 //! `Arc<LanguageIdentifier>` and the epoch, then score without any lock
-//! held. `POST /admin/reload` loads the new bundle *before* taking the
+//! held. `POST /admin/reload` loads the new model — JSON or the
+//! zero-copy `.urlm` binary format, sniffed by magic — *before* taking the
 //! write lock, so the lock is held only for the pointer swap — in-flight
 //! requests finish on the model they started with and no request is ever
 //! dropped. The epoch bump atomically invalidates the result cache (see
@@ -52,7 +53,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use urlid::LanguageIdentifier;
+use urlid::{LanguageIdentifier, ModelFormat, ModelSource};
 use urlid_classifiers::LanguageClassifierSet;
 use urlid_features::ExtractScratch;
 use urlid_lexicon::ALL_LANGUAGES;
@@ -195,11 +196,41 @@ impl RequestTrace {
     }
 }
 
-/// The hot-swappable model: identifier + epoch + the path it came from.
+/// The hot-swappable model: identifier + epoch + provenance (the path
+/// it came from, the persistence format it was decoded from, and how
+/// long the load took).
 struct ModelSlot {
     identifier: Arc<LanguageIdentifier>,
     epoch: u64,
     path: Option<PathBuf>,
+    /// `None` for models built in memory (tests, library embedders).
+    format: Option<ModelFormat>,
+    /// Wall-clock milliseconds the load of this model took; `None` for
+    /// in-memory models that were never loaded from disk.
+    load_ms: Option<f64>,
+}
+
+/// A consistent read of the model slot: everything `/healthz`,
+/// `/metrics` and reload responses report about the serving model,
+/// captured under a single lock hold.
+struct ModelStatus {
+    identifier: Arc<LanguageIdentifier>,
+    epoch: u64,
+    path: Option<PathBuf>,
+    format: Option<ModelFormat>,
+    load_ms: Option<f64>,
+}
+
+/// What a successful reload swapped in (returned to the `/admin/reload`
+/// handler so the response can report it without re-reading the slot).
+pub struct ReloadReport {
+    /// The post-swap cache epoch.
+    pub epoch: u64,
+    /// The persistence format the new model was decoded from.
+    pub format: ModelFormat,
+    /// Wall-clock milliseconds spent loading (file → ready identifier,
+    /// weight-lane selection included; the pointer swap is not).
+    pub load_ms: f64,
 }
 
 /// Everything the request handlers share: the model slot, the result
@@ -289,13 +320,18 @@ impl ServerState {
         f32_weights: bool,
     ) -> Self {
         if f32_weights {
-            identifier.classifier_set_mut().compile_f32();
+            // `set_weight_lane`, not `compile_f32`: flipping the lane
+            // preference keeps an `mmap`-backed plane mapped, where a
+            // recompile would silently rebuild it on the heap.
+            identifier.classifier_set_mut().set_weight_lane(true);
         }
         Self {
             slot: RwLock::new(ModelSlot {
                 identifier: Arc::new(identifier),
                 epoch: 0,
                 path: model_path,
+                format: None,
+                load_ms: None,
             }),
             cache: ResultCache::with_sets(cache_capacity, cache_shards, cache_sets),
             metrics: Metrics::new(),
@@ -309,12 +345,32 @@ impl ServerState {
         (Arc::clone(&slot.identifier), slot.epoch)
     }
 
-    /// Model, epoch *and* source path under a single lock hold, so a
-    /// concurrent reload can never produce a torn epoch/path pairing in
-    /// `/healthz`, `/metrics` or reload responses.
-    fn model_snapshot(&self) -> (Arc<LanguageIdentifier>, u64, Option<PathBuf>) {
+    /// Model, epoch *and* provenance under a single lock hold, so a
+    /// concurrent reload can never produce a torn epoch/path/format
+    /// pairing in `/healthz`, `/metrics` or reload responses.
+    fn model_snapshot(&self) -> ModelStatus {
         let slot = self.read_slot();
-        (Arc::clone(&slot.identifier), slot.epoch, slot.path.clone())
+        ModelStatus {
+            identifier: Arc::clone(&slot.identifier),
+            epoch: slot.epoch,
+            path: slot.path.clone(),
+            format: slot.format,
+            load_ms: slot.load_ms,
+        }
+    }
+
+    /// Record how the initially installed model was loaded (format and
+    /// load latency), so `/healthz` and `/metrics` report provenance
+    /// from the first request on. The CLI calls this right after
+    /// constructing the state; states built from in-memory models skip
+    /// it and report `null`.
+    pub fn set_load_info(&self, format: ModelFormat, load_ms: f64) {
+        let mut slot = self
+            .slot
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        slot.format = Some(format);
+        slot.load_ms = Some(load_ms);
     }
 
     /// The result cache (exposed for metrics and tests).
@@ -328,9 +384,18 @@ impl ServerState {
     }
 
     /// Swap in a model loaded from `path` (or from the slot's stored
-    /// path when `None`). Returns the new epoch. The old model keeps
-    /// serving until the swap; on any error it keeps serving, period.
+    /// path when `None`), auto-detecting the persistence format.
+    /// Returns the new epoch. The old model keeps serving until the
+    /// swap; on any error it keeps serving, period.
     pub fn reload(&self, path: Option<PathBuf>) -> Result<u64, String> {
+        self.reload_from(path, "auto").map(|report| report.epoch)
+    }
+
+    /// [`ServerState::reload`] with an explicit format request:
+    /// `"auto"` (or `""`) sniffs the `.urlm` magic, `"json"` and
+    /// `"binary"` force a format. The identifier is built *outside* the
+    /// write lock, so the lock is held only for the pointer swap.
+    pub fn reload_from(&self, path: Option<PathBuf>, format: &str) -> Result<ReloadReport, String> {
         let path = match path.or_else(|| self.read_slot().path.clone()) {
             Some(p) => p,
             None => {
@@ -340,13 +405,19 @@ impl ServerState {
                 )
             }
         };
-        // Load and build the identifier *outside* the write lock.
-        let bundle = urlid::ModelBundle::load(&path)
+        let source = ModelSource::resolve(&path, format)
             .map_err(|e| format!("cannot reload {}: {e}", path.display()))?;
-        let mut identifier = bundle.into_identifier();
+        let started = Instant::now();
+        let mut identifier = source
+            .load_identifier()
+            .map_err(|e| format!("cannot reload {}: {e}", path.display()))?;
         if self.f32_weights {
-            identifier.classifier_set_mut().compile_f32();
+            // Lane flip, not recompile: a binary-loaded plane keeps its
+            // mmap-backed lanes (`.urlm` always carries the f32 lane).
+            identifier.classifier_set_mut().set_weight_lane(true);
         }
+        let load_ms = started.elapsed().as_secs_f64() * 1e3;
+        let format = source.format();
         let identifier = Arc::new(identifier);
         let epoch = {
             let mut slot = self
@@ -356,13 +427,19 @@ impl ServerState {
             slot.identifier = identifier;
             slot.epoch += 1;
             slot.path = Some(path);
+            slot.format = Some(format);
+            slot.load_ms = Some(load_ms);
             slot.epoch
         };
         // The epoch bump already invalidates stale entries; clearing just
         // releases their memory promptly.
         self.cache.clear();
         self.metrics.reloads.fetch_add(1, Ordering::Relaxed);
-        Ok(epoch)
+        Ok(ReloadReport {
+            epoch,
+            format,
+            load_ms,
+        })
     }
 
     /// Score one normalised URL, through the cache. Cache misses score
@@ -513,7 +590,8 @@ fn result_value(key: &str, scores: &CachedScores, cached: bool) -> Value {
     o
 }
 
-fn model_value(identifier: &LanguageIdentifier, epoch: u64, path: Option<&PathBuf>) -> Value {
+fn model_value(status: &ModelStatus) -> Value {
+    let identifier = &status.identifier;
     let config = identifier.config();
     let mut o = Value::object();
     o.insert(
@@ -530,16 +608,43 @@ fn model_value(identifier: &LanguageIdentifier, epoch: u64, path: Option<&PathBu
         "features",
         Value::Str(config.feature_set.short_label().to_owned()),
     );
-    o.insert("epoch", Value::Uint(epoch));
+    o.insert("epoch", Value::Uint(status.epoch));
     // Which weight lane the compiled plane serves: exact "f64" or the
     // opt-in quantised "f32" (`urlid serve --weights f32`).
     o.insert(
         "weights",
         Value::Str(identifier.classifier_set().weight_lane().to_owned()),
     );
+    // Persistence provenance: which on-disk format the model was
+    // decoded from ("json" | "binary"), how long that load took, and
+    // whether the compiled plane still serves straight out of the
+    // mapped file. All `null`/`false` for in-memory models.
+    o.insert(
+        "format",
+        match status.format {
+            Some(f) => Value::Str(f.as_str().to_owned()),
+            None => Value::Null,
+        },
+    );
+    o.insert(
+        "load_ms",
+        match status.load_ms {
+            Some(ms) => Value::Float(ms),
+            None => Value::Null,
+        },
+    );
+    o.insert(
+        "mapped",
+        Value::Bool(
+            identifier
+                .classifier_set()
+                .plane()
+                .is_some_and(|p| p.is_mapped()),
+        ),
+    );
     o.insert(
         "path",
-        match path {
+        match &status.path {
             Some(p) => Value::Str(p.display().to_string()),
             None => Value::Null,
         },
@@ -629,11 +734,11 @@ fn handle_identify_batch(
 
 fn handle_healthz(state: &ServerState) -> (u16, String) {
     state.metrics.healthz.fetch_add(1, Ordering::Relaxed);
-    let (identifier, epoch, path) = state.model_snapshot();
+    let status = state.model_snapshot();
     let mut o = Value::object();
     o.insert("status", Value::Str("ok".to_owned()));
     o.insert("uptime_secs", Value::Float(state.metrics.uptime_secs()));
-    o.insert("model", model_value(&identifier, epoch, path.as_ref()));
+    o.insert("model", model_value(&status));
     (200, serde_json::to_string(&o).expect("response serialises"))
 }
 
@@ -653,14 +758,14 @@ fn handle_metrics(state: &ServerState, req: &Request) -> (u16, &'static str, Str
     if wants_prometheus(req.accept.as_deref()) {
         return (200, CONTENT_TYPE_PROM, prometheus_text(state));
     }
-    let (identifier, epoch, path) = state.model_snapshot();
+    let status = state.model_snapshot();
     let mut cache = Value::object();
     cache.insert("hits", Value::Uint(state.cache.hits()));
     cache.insert("misses", Value::Uint(state.cache.misses()));
     cache.insert("hit_rate", Value::Float(state.cache.hit_rate()));
     cache.insert("entries", Value::Uint(state.cache.len() as u64));
     cache.insert("capacity", Value::Uint(state.cache.capacity() as u64));
-    let mut model = model_value(&identifier, epoch, path.as_ref());
+    let mut model = model_value(&status);
     model.insert(
         "reloads",
         Value::Uint(state.metrics.reloads.load(Ordering::Relaxed)),
@@ -688,7 +793,8 @@ fn handle_metrics(state: &ServerState, req: &Request) -> (u16, &'static str, Str
 /// a test in `tests/server_http.rs`).
 pub fn prometheus_text(state: &ServerState) -> String {
     let m = &state.metrics;
-    let (identifier, epoch, path) = state.model_snapshot();
+    let status = state.model_snapshot();
+    let identifier = &status.identifier;
     let load = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
     let mut w = PromWriter::new();
 
@@ -837,8 +943,9 @@ pub fn prometheus_text(state: &ServerState) -> String {
         "gauge",
         "Model identity as labels; the value is always 1.",
     );
-    let epoch_str = epoch.to_string();
-    let path_str = path
+    let epoch_str = status.epoch.to_string();
+    let path_str = status
+        .path
         .as_ref()
         .map(|p| p.display().to_string())
         .unwrap_or_default();
@@ -848,11 +955,22 @@ pub fn prometheus_text(state: &ServerState) -> String {
             ("algorithm", config.algorithm.abbrev()),
             ("features", config.feature_set.short_label()),
             ("weights", identifier.classifier_set().weight_lane()),
+            (
+                "format",
+                status.format.map(|f| f.as_str()).unwrap_or("none"),
+            ),
             ("epoch", epoch_str.as_str()),
             ("path", path_str.as_str()),
         ],
         1.0,
     );
+    if let Some(load_ms) = status.load_ms {
+        w.gauge(
+            "urlid_model_load_seconds",
+            "Wall-clock load time of the serving model (file to ready identifier).",
+            load_ms / 1e3,
+        );
+    }
 
     w.family(
         "urlid_request_latency_seconds",
@@ -905,24 +1023,47 @@ fn handle_trace(state: &ServerState) -> (u16, String) {
 }
 
 fn handle_reload(state: &ServerState, req: &Request) -> (u16, String) {
-    let path = if req.body.trim().is_empty() {
-        None
+    // Body grammar: `{}` / empty reloads the stored path with format
+    // auto-detection; `{"path": "..."}` names a file; `{"format":
+    // "auto|json|binary"}` overrides the magic sniffing. Empty bodies
+    // stay accepted for backward compatibility.
+    let (path, format) = if req.body.trim().is_empty() {
+        (None, "auto".to_owned())
     } else {
         match parse_json(&req.body) {
-            Ok(v) => match v.get("path") {
-                Some(Value::Str(p)) => Some(PathBuf::from(p)),
-                Some(_) => return (400, error_body("path must be a string")),
-                None => None,
-            },
+            Ok(v) => {
+                let path = match v.get("path") {
+                    Some(Value::Str(p)) => Some(PathBuf::from(p)),
+                    Some(_) => return (400, error_body("path must be a string")),
+                    None => None,
+                };
+                let format = match v.get("format") {
+                    Some(Value::Str(f)) => f.clone(),
+                    Some(_) => {
+                        return (
+                            400,
+                            error_body("format must be \"auto\", \"json\" or \"binary\""),
+                        )
+                    }
+                    None => "auto".to_owned(),
+                };
+                (path, format)
+            }
             Err(e) => return (400, error_body(&e)),
         }
     };
-    match state.reload(path) {
-        Ok(_) => {
-            let (identifier, epoch, path) = state.model_snapshot();
+    match state.reload_from(path, &format) {
+        Ok(report) => {
+            let status = state.model_snapshot();
             let mut o = Value::object();
             o.insert("reloaded", Value::Bool(true));
-            o.insert("model", model_value(&identifier, epoch, path.as_ref()));
+            o.insert("format", Value::Str(report.format.as_str().to_owned()));
+            o.insert(
+                "weights",
+                Value::Str(status.identifier.classifier_set().weight_lane().to_owned()),
+            );
+            o.insert("load_ms", Value::Float(report.load_ms));
+            o.insert("model", model_value(&status));
             (200, serde_json::to_string(&o).expect("response serialises"))
         }
         Err(message) => (500, error_body(&message)),

@@ -22,6 +22,13 @@
 
 #![allow(unsafe_code)]
 
+// The other low-level surface the serving layer leans on: the
+// memory-mapping primitives behind zero-copy `.urlm` model loading.
+// Re-exported here so embedders can reason about the mapping backend
+// (`Mapping::backend()`, `Lane::is_mapped()`) without adding a direct
+// `urlid-mapped` dependency.
+pub use urlid_mapped::{Lane, Mapping, Pod, ViewError};
+
 use std::io;
 use std::os::fd::RawFd;
 use std::os::raw::{c_int, c_void};

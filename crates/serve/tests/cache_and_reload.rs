@@ -134,7 +134,7 @@ fn train_and_save(algorithm: Algorithm, dir: &std::path::Path) -> std::path::Pat
     let config = TrainingConfig::new(FeatureSetKind::Words, algorithm).with_maxent_iterations(8);
     let bundle = ModelBundle::train(&train, &config).expect("trainable config");
     let path = dir.join(format!("{algorithm:?}.json"));
-    bundle.save(&path).expect("save bundle");
+    bundle.save_json(&path).expect("save bundle");
     path
 }
 
@@ -145,7 +145,7 @@ fn reload_swaps_models_without_failing_in_flight_requests() {
     let nb_path = train_and_save(Algorithm::NaiveBayes, &dir);
     let re_path = train_and_save(Algorithm::RelativeEntropy, &dir);
 
-    let bundle = ModelBundle::load(&nb_path).unwrap();
+    let bundle = ModelBundle::load_json(&nb_path).unwrap();
     let state = Arc::new(ServerState::new(
         bundle.into_identifier(),
         Some(nb_path.clone()),
@@ -214,7 +214,7 @@ fn reload_invalidates_cached_results_via_epoch() {
     let nb_path = train_and_save(Algorithm::NaiveBayes, &dir);
     let re_path = train_and_save(Algorithm::RelativeEntropy, &dir);
 
-    let bundle = ModelBundle::load(&nb_path).unwrap();
+    let bundle = ModelBundle::load_json(&nb_path).unwrap();
     let state = Arc::new(ServerState::new(
         bundle.into_identifier(),
         Some(nb_path.clone()),
@@ -245,11 +245,81 @@ fn reload_invalidates_cached_results_via_epoch() {
 }
 
 #[test]
+fn binary_reload_reports_format_and_survives_corruption() {
+    let dir = std::env::temp_dir().join("urlid-serve-binary-reload-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let nb_json = train_and_save(Algorithm::NaiveBayes, &dir);
+    let nb_urlm = dir.join("NaiveBayes.urlm");
+    let bundle = ModelBundle::load_json(&nb_json).unwrap();
+    bundle.pack(&nb_urlm).expect("pack binary model");
+
+    let state = Arc::new(ServerState::new(
+        bundle.into_identifier(),
+        Some(nb_json.clone()),
+        1024,
+    ));
+    let server = spawn(&ServeConfig::default(), state).expect("bind");
+    let addr = server.addr();
+    let body = "{\"url\": \"http://www.wetterbericht.de/heute\"}";
+    let (_, before) = request(addr, "POST", "/identify", Some(body));
+
+    // Empty body stays accepted: reloads the stored (JSON) path.
+    let (status, response) = request(addr, "POST", "/admin/reload", None);
+    assert_eq!(status, 200, "empty-body reload");
+    assert_eq!(response.get("format"), Some(&Value::Str("json".into())));
+
+    // Binary reload: format is sniffed from the magic, the response
+    // reports format/weights/load_ms, and the plane serves mapped.
+    let reload_body = format!("{{\"path\": \"{}\"}}", nb_urlm.display());
+    let (status, response) = request(addr, "POST", "/admin/reload", Some(&reload_body));
+    assert_eq!(status, 200, "binary reload");
+    assert_eq!(response.get("format"), Some(&Value::Str("binary".into())));
+    assert_eq!(response.get("weights"), Some(&Value::Str("f64".into())));
+    assert!(
+        matches!(response.get("load_ms"), Some(Value::Float(ms)) if *ms >= 0.0),
+        "load_ms missing: {response:?}"
+    );
+    let model = response.get("model").expect("model");
+    assert_eq!(model.get("format"), Some(&Value::Str("binary".into())));
+    assert_eq!(model.get("mapped"), Some(&Value::Bool(true)));
+
+    // Same model bytes, same scores — bit-identical across formats.
+    let (_, after) = request(addr, "POST", "/identify", Some(body));
+    assert_eq!(after.get("scores"), before.get("scores"));
+
+    // An explicit format mismatch is a clean 500, not a swap.
+    let bad_body = format!(
+        "{{\"path\": \"{}\", \"format\": \"binary\"}}",
+        nb_json.display()
+    );
+    let (status, _) = request(addr, "POST", "/admin/reload", Some(&bad_body));
+    assert_eq!(status, 500, "JSON bytes under format=binary must fail");
+
+    // Corrupt the packed file (flip one payload byte): the reload
+    // fails with a checksum error and the old model keeps serving.
+    let mut bytes = std::fs::read(&nb_urlm).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&nb_urlm, &bytes).unwrap();
+    let (status, response) = request(addr, "POST", "/admin/reload", Some(&reload_body));
+    assert_eq!(status, 500, "corrupt reload must fail");
+    assert!(matches!(response.get("error"), Some(Value::Str(_))));
+    let (status, still) = request(addr, "POST", "/identify", Some(body));
+    assert_eq!(status, 200);
+    assert_eq!(still.get("scores"), before.get("scores"));
+    let (_, health) = request(addr, "GET", "/healthz", None);
+    let model = health.get("model").expect("model");
+    assert_eq!(uint_of(model, "epoch"), 2, "failed reloads bump nothing");
+    assert_eq!(model.get("format"), Some(&Value::Str("binary".into())));
+    server.shutdown();
+}
+
+#[test]
 fn reload_failure_keeps_the_old_model_serving() {
     let dir = std::env::temp_dir().join("urlid-serve-badreload-test");
     std::fs::create_dir_all(&dir).unwrap();
     let nb_path = train_and_save(Algorithm::NaiveBayes, &dir);
-    let bundle = ModelBundle::load(&nb_path).unwrap();
+    let bundle = ModelBundle::load_json(&nb_path).unwrap();
     let state = Arc::new(ServerState::new(
         bundle.into_identifier(),
         Some(nb_path),

@@ -492,7 +492,7 @@ fn train_and_save(algorithm: Algorithm, dir: &std::path::Path) -> std::path::Pat
     let config = TrainingConfig::new(FeatureSetKind::Words, algorithm).with_maxent_iterations(8);
     let bundle = ModelBundle::train(&train, &config).expect("trainable config");
     let path = dir.join(format!("reactor-{algorithm:?}.json"));
-    bundle.save(&path).expect("save bundle");
+    bundle.save_json(&path).expect("save bundle");
     path
 }
 
@@ -509,7 +509,7 @@ fn reload_invalidates_every_cache_shard_set_across_reactors() {
     let nb_path = train_and_save(Algorithm::NaiveBayes, &dir);
     let re_path = train_and_save(Algorithm::RelativeEntropy, &dir);
 
-    let bundle = ModelBundle::load(&nb_path).unwrap();
+    let bundle = ModelBundle::load_json(&nb_path).unwrap();
     let state = Arc::new(ServerState::with_topology(
         bundle.into_identifier(),
         Some(nb_path.clone()),
@@ -564,7 +564,7 @@ fn reload_invalidates_every_cache_shard_set_across_reactors() {
 
     // Reference: a fresh server holding only the final (RE) model.
     let reference_state = Arc::new(ServerState::new(
-        ModelBundle::load(&re_path).unwrap().into_identifier(),
+        ModelBundle::load_json(&re_path).unwrap().into_identifier(),
         None,
         4096,
     ));

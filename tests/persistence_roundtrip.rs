@@ -6,6 +6,10 @@
 //! identical decisions on every URL, for every persistable training
 //! configuration (all five algorithms × all three feature sets).
 
+// This suite pins the behaviour of the deprecated `save`/`load` shims:
+// they must keep working (as JSON) until their removal.
+#![allow(deprecated)]
+
 use urlid::prelude::*;
 
 /// The fixed URL sample: generated URLs of every language plus odd-host
