@@ -19,6 +19,10 @@
 //! cores), and `saturation` (open loop at 1.5× the measured baseline
 //! throughput — overload by construction, certifying graceful
 //! shedding) — writing one multi-scenario report.
+//!
+//! `--scenarios a,b` restricts `--suite` to a named subset (e.g. the
+//! CI io_uring-vs-epoll comparison runs just
+//! `baseline_4conn,idle_1024` against each engine).
 
 use std::process::ExitCode;
 use urlid_serve::{run_loadgen, run_suite, LoadgenConfig};
@@ -30,17 +34,21 @@ USAGE:
   loadgen --addr <host:port> [--requests <n>] [--concurrency <n>]
           [--idle <n>] [--unique <n>] [--seed <u64>] [--rate <req/s>]
           [--out <report.json>] [--name <scenario>] [--suite]
+          [--scenarios <a,b,...>]
 ";
 
 #[derive(Debug)]
 struct Parsed {
     config: LoadgenConfig,
     suite: bool,
+    /// `--scenarios`: restrict `--suite` to this named subset.
+    scenarios: Option<Vec<String>>,
 }
 
 fn parse_config(argv: &[String]) -> Result<Parsed, String> {
     let mut config = LoadgenConfig::default();
     let mut suite = false;
+    let mut scenarios = None;
     let mut i = 0;
     while i < argv.len() {
         let key = argv[i]
@@ -88,11 +96,30 @@ fn parse_config(argv: &[String]) -> Result<Parsed, String> {
                     .ok_or_else(|| format!("bad --rate {value:?}"))?
             }
             "out" => config.out = Some(value.into()),
+            "scenarios" => {
+                let names: Vec<String> = value
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                if names.is_empty() {
+                    return Err(format!("bad --scenarios {value:?} (no names)"));
+                }
+                scenarios = Some(names);
+            }
             other => return Err(format!("unknown flag --{other}\n\n{USAGE}")),
         }
         i += 2;
     }
-    Ok(Parsed { config, suite })
+    if scenarios.is_some() && !suite {
+        return Err("--scenarios only applies with --suite".to_owned());
+    }
+    Ok(Parsed {
+        config,
+        suite,
+        scenarios,
+    })
 }
 
 /// The standard scenario set `--suite` runs (see the module docs).
@@ -132,6 +159,30 @@ fn suite_scenarios(base: &LoadgenConfig) -> Vec<LoadgenConfig> {
     vec![baseline, idle, high_core, saturation]
 }
 
+/// Resolve `--suite` plus an optional `--scenarios` subset into the
+/// run list, preserving suite order (the baseline runs first so the
+/// saturation sentinels have a measured rate to scale from).
+fn selected_scenarios(
+    config: &LoadgenConfig,
+    filter: Option<&[String]>,
+) -> Result<Vec<LoadgenConfig>, String> {
+    let all = suite_scenarios(config);
+    let Some(filter) = filter else { return Ok(all) };
+    for name in filter {
+        if !all.iter().any(|s| &s.name == name) {
+            let known: Vec<&str> = all.iter().map(|s| s.name.as_str()).collect();
+            return Err(format!(
+                "unknown scenario {name:?} (known: {})",
+                known.join(", ")
+            ));
+        }
+    }
+    Ok(all
+        .into_iter()
+        .filter(|s| filter.iter().any(|name| name == &s.name))
+        .collect())
+}
+
 fn report_line(report: &urlid_serve::BenchReport) {
     let admission = if report.admission_rejects > 0 {
         format!(", {} admission rejects", report.admission_rejects)
@@ -143,9 +194,14 @@ fn report_line(report: &urlid_serve::BenchReport) {
     } else {
         String::new()
     };
+    let io = if report.io_backend.is_empty() {
+        String::new()
+    } else {
+        format!(" on {} I/O", report.io_backend)
+    };
     eprintln!(
         "[{}] {} requests in {:.2}s -> {:.0} req/s, p50 {:.3} ms, p99 {:.3} ms, \
-         p99.9 {:.3} ms, {} idle conns, {} reactors, {} server threads, \
+         p99.9 {:.3} ms, {} idle conns, {} reactors{io}, {} server threads, \
          cache hit rate {:.1}% ({} errors{admission}{rate})",
         report.scenario,
         report.requests,
@@ -173,7 +229,14 @@ fn main() -> ExitCode {
     };
     if parsed.suite {
         let out = parsed.config.out.clone();
-        match run_suite(&suite_scenarios(&parsed.config), out.as_ref()) {
+        let scenarios = match selected_scenarios(&parsed.config, parsed.scenarios.as_deref()) {
+            Ok(scenarios) => scenarios,
+            Err(message) => {
+                eprintln!("{message}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match run_suite(&scenarios, out.as_ref()) {
             Ok(suite) => {
                 for report in &suite.scenarios {
                     report_line(report);
@@ -261,6 +324,31 @@ mod tests {
         assert_eq!(scenarios[3].requests, 0);
         assert_eq!(scenarios[3].concurrency, 0);
         assert_eq!(scenarios[3].arrival_rps, -1.5);
+    }
+
+    #[test]
+    fn scenarios_flag_selects_a_suite_subset() {
+        let p = parse(&["--suite", "--scenarios", "baseline_4conn,idle_1024"]).unwrap();
+        let selected = selected_scenarios(&p.config, p.scenarios.as_deref()).unwrap();
+        assert_eq!(selected.len(), 2);
+        assert_eq!(selected[0].name, "baseline_4conn");
+        assert_eq!(selected[1].name, "idle_1024");
+
+        // Order comes from the suite, not the flag.
+        let p = parse(&["--suite", "--scenarios", "idle_1024, baseline_4conn"]).unwrap();
+        let selected = selected_scenarios(&p.config, p.scenarios.as_deref()).unwrap();
+        assert_eq!(selected[0].name, "baseline_4conn");
+
+        // Unknown names are an error naming the known set; the flag
+        // without --suite is refused; an empty list is refused.
+        let p = parse(&["--suite", "--scenarios", "warp_speed"]).unwrap();
+        let err = selected_scenarios(&p.config, p.scenarios.as_deref()).unwrap_err();
+        assert!(
+            err.contains("warp_speed") && err.contains("baseline_4conn"),
+            "{err}"
+        );
+        assert!(parse(&["--scenarios", "baseline_4conn"]).is_err());
+        assert!(parse(&["--suite", "--scenarios", ","]).is_err());
     }
 
     #[test]

@@ -69,6 +69,7 @@ USAGE:
   urlid serve    --model <model> [--format auto|json|binary]
                  [--addr <host:port>] [--threads <n>]
                  [--reactors <n>] [--pool shared|partitioned]
+                 [--io auto|uring|epoll]
                  [--max-inflight <n>] [--cache-capacity <n>]
                  [--weights f64|f32] [--telemetry on|off] [--slow-ms <n>]
                  (--threads sizes the scoring pool; connections are
@@ -78,6 +79,12 @@ USAGE:
                   --pool picks the scoring topology: shared (one
                   work-conserving queue, default) or partitioned
                   (dedicated workers per reactor).
+                  --io picks the reactor I/O engine: auto (default)
+                  probes io_uring and falls back to epoll when the
+                  kernel or a sandbox denies it (URLID_NO_URING forces
+                  the fallback); uring requires the rings; epoll forces
+                  the readiness poller. /metrics reports the choice as
+                  reactors.io_backend.
                   --max-inflight caps scoring-pool requests per reactor;
                   the excess is answered 503 — 0 = unlimited, default 32.
                   --weights f32 serves the quantised f32 weight lane:
@@ -432,6 +439,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         "partitioned" => urlid_serve::server::PoolTopology::Partitioned,
         other => return Err(format!("unknown --pool {other:?} (shared|partitioned)")),
     };
+    config.io = urlid_serve::server::IoBackend::parse(args.get("io").unwrap_or("auto"))?;
     if let Some(max_inflight) = args.get("max-inflight") {
         config.max_inflight = max_inflight
             .parse()
@@ -470,10 +478,11 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let lane = if f32_weights { "f32" } else { "f64" };
     let handle = spawn(&config, state).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
     eprintln!(
-        "serving {} on http://{} ({model_format} model, loaded in {load_ms:.1} ms; {} reactors, {lane} weights; cache capacity {cache_capacity}; POST /admin/reload to hot-swap)",
+        "serving {} on http://{} ({model_format} model, loaded in {load_ms:.1} ms; {} reactors on {} I/O, {lane} weights; cache capacity {cache_capacity}; POST /admin/reload to hot-swap)",
         model_path.display(),
         handle.addr(),
         config.reactors,
+        handle.state().metrics().io_backend(),
     );
     let failed = handle.join();
     if failed > 0 {

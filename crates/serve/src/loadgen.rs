@@ -60,8 +60,12 @@ use urlid_telemetry::Histogram;
 /// Version 3 switched the latency summary to the shared log-linear
 /// histogram and added `p999_ms`. Version 4 added the multi-reactor
 /// columns (`reactors`, `per_reactor`), the open-loop fields
-/// (`arrival_rps`), and `admission_rejects`.
-pub const SERVE_BENCH_SCHEMA: u32 = 4;
+/// (`arrival_rps`), and `admission_rejects`. Version 5 added the
+/// per-scenario `io_backend` (which reactor I/O engine — `uring`,
+/// `epoll` or `poll` — the server ran, read from `/metrics`), so an
+/// io_uring number is never compared against an epoll baseline without
+/// the label saying so.
+pub const SERVE_BENCH_SCHEMA: u32 = 5;
 
 /// Load-generator configuration for one scenario.
 #[derive(Debug, Clone)]
@@ -207,6 +211,12 @@ pub struct BenchReport {
     /// Reactor count read from `GET /metrics` after the run (0 when the
     /// server predates the gauge).
     pub reactors: u64,
+    /// Reactor I/O engine the server ran (`uring`, `epoll` or `poll`),
+    /// read from `GET /metrics` after the run; empty when the server
+    /// predates the field. Keeps uring and epoll numbers from being
+    /// compared unlabelled.
+    #[serde(default)]
+    pub io_backend: String,
     /// Per-reactor accept/evict/reject breakdown read from
     /// `GET /metrics` after the run (empty when unavailable).
     pub per_reactor: Vec<ReactorSample>,
@@ -247,14 +257,22 @@ fn is_admission_status(status: u16) -> bool {
     status == 503 || status == 413
 }
 
+/// Open one keep-alive connection to the server: `TCP_NODELAY` set
+/// (every use here is a request/response round trip, so Nagle only
+/// adds latency), returned as the cloned writer handle plus a buffered
+/// reader over the same socket.
+fn connect_keepalive(addr: &str) -> io::Result<(TcpStream, BufReader<TcpStream>)> {
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    let writer = stream.try_clone()?;
+    Ok((writer, BufReader::new(stream)))
+}
+
 /// One closed-loop worker: a keep-alive connection sending `n`
 /// requests back to back, sampled from the shared pool. The per-worker
 /// histograms merge exactly.
 fn worker(addr: &str, urls: &[String], n: usize, seed: u64) -> io::Result<WorkerResult> {
-    let stream = TcpStream::connect(addr)?;
-    let _ = stream.set_nodelay(true);
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
+    let (mut writer, mut reader) = connect_keepalive(addr)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut latencies = Histogram::new();
     let mut errors = 0u64;
@@ -292,10 +310,7 @@ fn open_worker(
     offset: std::time::Duration,
     interval_secs: f64,
 ) -> io::Result<WorkerResult> {
-    let stream = TcpStream::connect(addr)?;
-    let _ = stream.set_nodelay(true);
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
+    let (mut writer, mut reader) = connect_keepalive(addr)?;
     let (sent_tx, sent_rx) = std::sync::mpsc::channel::<Instant>();
     let mut latencies = Histogram::new();
     let mut errors = 0u64;
@@ -377,10 +392,7 @@ fn open_idle_conns(addr: &str, count: usize, urls: &[String]) -> (Vec<IdleConn>,
     let mut errors = 0u64;
     for i in 0..count {
         let attempt = (|| -> io::Result<IdleConn> {
-            let stream = TcpStream::connect(addr)?;
-            let _ = stream.set_nodelay(true);
-            let mut writer = stream.try_clone()?;
-            let mut reader = BufReader::new(stream);
+            let (mut writer, mut reader) = connect_keepalive(addr)?;
             let status = identify_once(&mut writer, &mut reader, &urls[i % urls.len()])?;
             if status != 200 {
                 return Err(io::Error::other(format!("idle open got {status}")));
@@ -418,6 +430,8 @@ struct ServerSnapshot {
     reactors: u64,
     /// `reactors.max_inflight` (0 = unlimited or unavailable).
     max_inflight: u64,
+    /// `reactors.io_backend` (empty when the server predates it).
+    io_backend: String,
     /// `connections.per_reactor`, one sample per reactor.
     per_reactor: Vec<ReactorSample>,
 }
@@ -462,6 +476,10 @@ fn fetch_server_stats(addr: &str) -> io::Result<ServerSnapshot> {
     let max_inflight = reactors_section
         .and_then(|r| uint(r, "max_inflight"))
         .unwrap_or(0);
+    let io_backend = match reactors_section.and_then(|r| r.get("io_backend")) {
+        Some(Value::Str(s)) => s.clone(),
+        _ => String::new(),
+    };
     let mut per_reactor = Vec::new();
     if let Some(Value::Array(entries)) =
         parsed.get("connections").and_then(|c| c.get("per_reactor"))
@@ -480,6 +498,7 @@ fn fetch_server_stats(addr: &str) -> io::Result<ServerSnapshot> {
         threads,
         reactors,
         max_inflight,
+        io_backend,
         per_reactor,
     })
 }
@@ -570,6 +589,7 @@ pub fn run_loadgen(config: &LoadgenConfig) -> io::Result<BenchReport> {
         admission_rejects,
         server_threads: snapshot.threads,
         reactors: snapshot.reactors,
+        io_backend: snapshot.io_backend,
         per_reactor: snapshot.per_reactor,
         latency: LatencySummary::from_histogram(&latencies),
         cache: snapshot.cache,
@@ -720,6 +740,7 @@ mod tests {
             admission_rejects: 0,
             server_threads: 2,
             reactors: 1,
+            io_backend: "epoll".into(),
             per_reactor: vec![ReactorSample {
                 reactor: 0,
                 accepted: 20,
@@ -754,8 +775,24 @@ mod tests {
         assert_eq!(restored.server_threads, 2);
         assert_eq!(restored.schema, SERVE_BENCH_SCHEMA);
         assert_eq!(restored.latency.p999_ms, 3.5);
+        assert_eq!(restored.io_backend, "epoll");
         assert!(json.contains("\"throughput_rps\""));
         assert!(json.contains("\"p999_ms\""));
+        assert!(json.contains("\"io_backend\""));
+    }
+
+    #[test]
+    fn schema_4_reports_without_io_backend_still_parse() {
+        // Committed BENCH_serve.json files from before schema 5 lack
+        // the field; comparisons against them must not choke.
+        let json = serde_json::to_string(&sample_report("baseline_4conn")).unwrap();
+        let mut value: Value = serde_json::from_str(&json).unwrap();
+        if let Value::Object(entries) = &mut value {
+            entries.retain(|(key, _)| key != "io_backend");
+        }
+        let stripped = serde_json::to_string(&value).unwrap();
+        let restored: BenchReport = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(restored.io_backend, "");
     }
 
     #[test]
@@ -768,7 +805,7 @@ mod tests {
         };
         let json = serde_json::to_string(&suite).unwrap();
         let restored: BenchSuite = serde_json::from_str(&json).unwrap();
-        assert_eq!(restored.schema, 4);
+        assert_eq!(restored.schema, 5);
         assert_eq!(restored.scenarios.len(), 2);
         assert_eq!(restored.scenarios[1].scenario, "idle_1024");
         assert_eq!(restored.scenarios[0].per_reactor.len(), 1);

@@ -3,8 +3,9 @@
 //! Each of the server's `N` reactors is a single event loop owning its
 //! own listening socket (an `SO_REUSEPORT` sibling — see
 //! `server::bind_listeners`), its own wake pipe, and its own slab of
-//! [`Conn`] state machines, all registered in one [`Poller`] (epoll on
-//! Linux, `poll(2)` elsewhere — see [`crate::sys`]). The loop blocks in
+//! [`Conn`] state machines, all registered in one I/O engine behind the
+//! [`Backend`] trait (io_uring or epoll on Linux, `poll(2)` elsewhere —
+//! see [`crate::sys`]). The loop blocks in
 //! `wait` until something is ready, drives exactly the connections the
 //! kernel names, hands fully parsed requests to the scoring pool, and
 //! writes finished responses back. An idle keep-alive connection
@@ -43,18 +44,13 @@ use crate::http::ParserLimits;
 use crate::metrics::ReactorStats;
 use crate::pool::{Completion, Job};
 use crate::server::{ServeConfig, ServerState};
-use crate::sys::{Event, Interest, Poller, WakePipe};
+use crate::sys::{Backend, Event, Interest, WakePipe, LISTENER, WAKE};
 use std::net::TcpListener;
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// Token of the listening socket.
-const LISTENER: u64 = u64::MAX;
-/// Token of the wake pipe's read end.
-const WAKE: u64 = u64::MAX - 1;
 
 /// One slab slot: the connection (when occupied), its registration
 /// generation, and the interest set currently registered in the poller
@@ -72,7 +68,10 @@ pub(crate) struct Reactor {
     /// `X-Urlid-Reactor` value, the completion-port index, and the
     /// trace-stripe selector).
     index: usize,
-    poller: Poller,
+    /// The I/O engine this reactor multiplexes through — chosen once at
+    /// spawn (`--io`): the uring completion engine or a readiness
+    /// poller (epoll / `poll(2)`).
+    backend: Box<dyn Backend>,
     listener: TcpListener,
     wake: WakePipe,
     slots: Vec<Slot>,
@@ -118,6 +117,7 @@ impl Reactor {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         index: usize,
+        mut backend: Box<dyn Backend>,
         listener: TcpListener,
         wake: WakePipe,
         jobs: Sender<Job>,
@@ -128,14 +128,13 @@ impl Reactor {
         shutdown: Arc<AtomicBool>,
         config: &ServeConfig,
     ) -> std::io::Result<Reactor> {
-        let mut poller = Poller::new()?;
-        poller.add(listener.as_raw_fd(), LISTENER, Interest::READ)?;
-        poller.add(wake.fd(), WAKE, Interest::READ)?;
+        backend.add(listener.as_raw_fd(), LISTENER, Interest::READ)?;
+        backend.add(wake.fd(), WAKE, Interest::READ)?;
         let now = Instant::now();
         let cache_set = index % state.cache().sets();
         Ok(Reactor {
             index,
-            poller,
+            backend,
             listener,
             wake,
             slots: Vec::new(),
@@ -181,9 +180,9 @@ impl Reactor {
         loop {
             events.clear();
             let timeout = self.evict_period();
-            if self.poller.wait(&mut events, Some(timeout)).is_err() {
-                // A broken poller cannot multiplex anything; treat it
-                // like an immediate shutdown.
+            if self.backend.wait(&mut events, Some(timeout)).is_err() {
+                // A broken I/O engine cannot multiplex anything; treat
+                // it like an immediate shutdown.
                 self.shutdown.store(true, Ordering::Relaxed);
             }
             let now = Instant::now();
@@ -238,17 +237,18 @@ impl Reactor {
                 .conn
                 .as_mut()
                 .expect("resolved")
-                .on_readable(now);
+                .on_readable(&mut *self.backend, now);
             self.apply(idx, step, now);
         }
         if writable {
+            let backend = &mut *self.backend;
             let Some(slot) = self.slots.get_mut(idx) else {
                 return;
             };
             let Some(conn) = slot.conn.as_mut() else {
                 return;
             };
-            let step = conn.on_writable(now);
+            let step = conn.on_writable(backend, now);
             self.apply(idx, step, now);
         }
     }
@@ -273,7 +273,7 @@ impl Reactor {
                             .conn
                             .as_mut()
                             .expect("resolved")
-                            .reject_overload(keep_alive, now);
+                            .reject_overload(&mut *self.backend, keep_alive, now);
                         let _ = request_id;
                         continue;
                     }
@@ -318,6 +318,7 @@ impl Reactor {
             };
             let keep_alive = completion.keep_alive && !self.draining;
             let step = self.slots[idx].conn.as_mut().expect("resolved").complete(
+                &mut *self.backend,
                 completion.response,
                 keep_alive,
                 completion.request_id,
@@ -338,11 +339,12 @@ impl Reactor {
         }
     }
 
-    /// Accept every connection the backlog holds.
+    /// Accept every connection the backlog (or the uring engine's
+    /// accepted-fd queue) holds.
     fn accept_ready(&mut self, now: Instant) {
         loop {
-            match self.listener.accept() {
-                Ok((stream, _)) => {
+            match self.backend.accept(&self.listener) {
+                Ok(stream) => {
                     if self.draining {
                         continue; // dropped: shutting down
                     }
@@ -357,7 +359,7 @@ impl Reactor {
                 // listener and let the tick re-arm it once the pause
                 // elapses (fd pressure eases when connections close).
                 Err(_) => {
-                    let _ = self.poller.remove(self.listener.as_raw_fd());
+                    let _ = self.backend.remove(self.listener.as_raw_fd(), LISTENER);
                     self.accept_paused_until = Some(now + Duration::from_millis(100));
                     return;
                 }
@@ -378,7 +380,7 @@ impl Reactor {
         }
         if now >= resume_at
             && self
-                .poller
+                .backend
                 .add(self.listener.as_raw_fd(), LISTENER, Interest::READ)
                 .is_ok()
         {
@@ -386,19 +388,10 @@ impl Reactor {
         }
     }
 
-    /// Register a freshly accepted stream as a connection.
+    /// Register a freshly accepted stream as a connection. The slot —
+    /// and with it the generation-tagged token — is claimed first, so
+    /// the connection knows the identity it is registered under.
     fn adopt(&mut self, stream: std::net::TcpStream, now: Instant) {
-        let conn = Conn::new(
-            stream,
-            self.limits,
-            Arc::clone(&self.state),
-            Arc::clone(&self.stats),
-            self.index,
-            now,
-        );
-        let Ok(conn) = conn else {
-            return;
-        };
         let idx = match self.free.pop() {
             Some(idx) => idx as usize,
             None => {
@@ -410,12 +403,25 @@ impl Reactor {
                 self.slots.len() - 1
             }
         };
+        let token = self.token_of(idx);
+        let conn = Conn::new(
+            stream,
+            token,
+            self.limits,
+            Arc::clone(&self.state),
+            Arc::clone(&self.stats),
+            self.index,
+            now,
+        );
+        let Ok(conn) = conn else {
+            self.free.push(idx as u32);
+            return;
+        };
         let interest = conn.interest();
         let fd = conn.stream().as_raw_fd();
         self.slots[idx].conn = Some(conn);
         self.slots[idx].interest = interest;
-        let token = self.token_of(idx);
-        if self.poller.add(fd, token, interest).is_err() {
+        if self.backend.add(fd, token, interest).is_err() {
             self.slots[idx].conn = None;
             self.free.push(idx as u32);
             return;
@@ -443,7 +449,7 @@ impl Reactor {
         let desired = conn.interest();
         if desired != slot.interest {
             let fd = conn.stream().as_raw_fd();
-            if self.poller.modify(fd, token, desired).is_ok() {
+            if self.backend.modify(fd, token, desired).is_ok() {
                 self.slots[idx].interest = desired;
             }
         }
@@ -452,11 +458,15 @@ impl Reactor {
     /// Deregister and drop a connection; the slot's generation bump
     /// invalidates any in-flight completion for it.
     fn close_conn(&mut self, idx: usize) {
-        let slot = &mut self.slots[idx];
-        let Some(conn) = slot.conn.take() else {
+        let token = self.token_of(idx);
+        let Some(conn) = self.slots[idx].conn.take() else {
             return;
         };
-        let _ = self.poller.remove(conn.stream().as_raw_fd());
+        // Deregister *before* the fd closes with `conn` below — the
+        // uring engine flushes and cancels this connection's in-kernel
+        // operations here.
+        let _ = self.backend.remove(conn.stream().as_raw_fd(), token);
+        let slot = &mut self.slots[idx];
         slot.gen = slot.gen.wrapping_add(1);
         self.free.push(idx as u32);
         self.open -= 1;
@@ -488,7 +498,7 @@ impl Reactor {
     fn start_drain(&mut self, now: Instant) {
         self.draining = true;
         self.drain_deadline = now + self.drain_timeout;
-        let _ = self.poller.remove(self.listener.as_raw_fd());
+        let _ = self.backend.remove(self.listener.as_raw_fd(), LISTENER);
         for idx in 0..self.slots.len() {
             let Some(conn) = self.slots[idx].conn.as_mut() else {
                 continue;

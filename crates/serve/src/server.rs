@@ -10,8 +10,9 @@
 //! set. A connection is adopted by exactly one reactor and never
 //! migrates — no hot-path state crosses reactor boundaries. Each
 //! reactor feeds bytes into per-connection incremental parsers and
-//! writes responses over non-blocking I/O behind a readiness poller
-//! (epoll on Linux, `poll(2)` elsewhere; see [`crate::sys`]). Fully
+//! writes responses over non-blocking I/O behind a pluggable engine
+//! (`--io`: batched io_uring or an epoll/`poll(2)` readiness poller;
+//! see [`crate::sys`] and [`IoBackend`]). Fully
 //! parsed requests are dispatched to a small **scoring pool** (the
 //! internal `pool` module) sized to the CPU count, whose threads only
 //! ever run compute. Total thread budget: `reactors + cores`,
@@ -85,6 +86,39 @@ pub enum PoolTopology {
     Partitioned,
 }
 
+/// Which I/O engine the reactors multiplex through (`urlid serve
+/// --io`). The engines sit behind one trait ([`crate::sys::Backend`])
+/// and are behaviourally identical; they differ in syscall cost — see
+/// the README's "I/O backends" subsection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoBackend {
+    /// Probe io_uring at startup and use it when the kernel allows;
+    /// otherwise fall back to the readiness poller (epoll on Linux,
+    /// `poll(2)` elsewhere) and log why. `URLID_NO_URING` in the
+    /// environment forces the fallback, like `URLID_NO_MMAP` does for
+    /// the model mapping.
+    #[default]
+    Auto,
+    /// Require io_uring; refuse to start when the probe fails.
+    Uring,
+    /// The readiness poller, unconditionally.
+    Epoll,
+}
+
+impl IoBackend {
+    /// Parse a `--io` argument (`auto` | `uring` | `epoll`).
+    pub fn parse(s: &str) -> Result<IoBackend, String> {
+        match s {
+            "auto" => Ok(IoBackend::Auto),
+            "uring" => Ok(IoBackend::Uring),
+            "epoll" => Ok(IoBackend::Epoll),
+            other => Err(format!(
+                "invalid io backend {other:?} (expected auto, uring or epoll)"
+            )),
+        }
+    }
+}
+
 /// Default reactor count: one per core, capped at four. Past four
 /// reactors the accept/parse/write load is spread thinner than the
 /// scoring work that actually saturates the cores.
@@ -113,6 +147,8 @@ pub struct ServeConfig {
     pub max_inflight: usize,
     /// Scoring-pool topology (see [`PoolTopology`]).
     pub pool: PoolTopology,
+    /// Which I/O engine the reactors use (see [`IoBackend`]).
+    pub io: IoBackend,
     /// Number of cache shards (mutex stripes) *per shard set*; each
     /// reactor maps onto one set of the state's [`ResultCache`].
     pub cache_shards: usize,
@@ -152,6 +188,7 @@ impl Default for ServeConfig {
             scoring_threads: 0,
             max_inflight: 32,
             pool: PoolTopology::Shared,
+            io: IoBackend::Auto,
             cache_shards: ResultCache::DEFAULT_SHARDS,
             idle_timeout: Duration::from_secs(5),
             max_body_bytes: MAX_BODY_BYTES,
@@ -738,6 +775,10 @@ fn handle_healthz(state: &ServerState) -> (u16, String) {
     let mut o = Value::object();
     o.insert("status", Value::Str("ok".to_owned()));
     o.insert("uptime_secs", Value::Float(state.metrics.uptime_secs()));
+    o.insert(
+        "io_backend",
+        Value::Str(state.metrics.io_backend().to_owned()),
+    );
     o.insert("model", model_value(&status));
     (200, serde_json::to_string(&o).expect("response serialises"))
 }
@@ -868,6 +909,10 @@ pub fn prometheus_text(state: &ServerState) -> String {
         load(&m.reactors_failed) as f64,
     );
     let reactor_stats = m.reactor_stats();
+    // Per-reactor families carry the I/O engine as a label: every
+    // reactor runs the engine resolved at spawn, and the label is what
+    // lets a dashboard split a fleet mid-rollout by backend.
+    let io = m.io_backend();
     w.family(
         "urlid_reactor_connections_open",
         "gauge",
@@ -877,7 +922,7 @@ pub fn prometheus_text(state: &ServerState) -> String {
         let label = i.to_string();
         w.sample(
             "urlid_reactor_connections_open",
-            &[("reactor", label.as_str())],
+            &[("reactor", label.as_str()), ("io", io)],
             r.open.load(Ordering::Relaxed) as f64,
         );
     }
@@ -890,7 +935,7 @@ pub fn prometheus_text(state: &ServerState) -> String {
         let label = i.to_string();
         w.sample(
             "urlid_reactor_connections_accepted_total",
-            &[("reactor", label.as_str())],
+            &[("reactor", label.as_str()), ("io", io)],
             r.accepted.load(Ordering::Relaxed) as f64,
         );
     }
@@ -903,7 +948,7 @@ pub fn prometheus_text(state: &ServerState) -> String {
         let label = i.to_string();
         w.sample(
             "urlid_reactor_connections_timed_out_total",
-            &[("reactor", label.as_str())],
+            &[("reactor", label.as_str()), ("io", io)],
             r.timed_out.load(Ordering::Relaxed) as f64,
         );
     }
@@ -1212,6 +1257,48 @@ fn bind_listeners(addr: &str, reactors: usize) -> io::Result<(Vec<TcpListener>, 
     }
 }
 
+/// Resolve the configured [`IoBackend`] to the engine name that will
+/// actually serve. `Auto` probes io_uring once and falls back to the
+/// readiness poller with a logged reason; `Uring` turns a failed probe
+/// into a startup error instead of serving on a backend the operator
+/// did not ask for.
+fn resolve_io(requested: IoBackend) -> io::Result<&'static str> {
+    match requested {
+        IoBackend::Epoll => Ok(crate::sys::Poller::NAME),
+        IoBackend::Uring => crate::sys::uring::probe()
+            .map(|()| "uring")
+            .map_err(|reason| {
+                io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    format!("--io uring unavailable: {reason}"),
+                )
+            }),
+        IoBackend::Auto => match crate::sys::uring::probe() {
+            Ok(()) => Ok("uring"),
+            Err(reason) => {
+                eprintln!(
+                    "urlid-serve: io_uring unavailable ({reason}); falling back to {}",
+                    crate::sys::Poller::NAME
+                );
+                Ok(crate::sys::Poller::NAME)
+            }
+        },
+    }
+}
+
+/// Construct one reactor's I/O engine of the resolved kind. 256 SQ
+/// entries per uring: the submission queue only bounds one batch (not
+/// in-flight operations), and a batch bigger than that re-enters once
+/// more per 256 SQEs — already far past the per-iteration event count.
+fn make_backend(resolved: &'static str) -> io::Result<Box<dyn crate::sys::Backend>> {
+    #[cfg(target_os = "linux")]
+    if resolved == "uring" {
+        return Ok(Box::new(crate::sys::uring::UringEngine::new(256)?));
+    }
+    let _ = resolved;
+    Ok(Box::new(crate::sys::Poller::new()?))
+}
+
 /// Start the server: bind the per-reactor listeners, spawn the reactor
 /// threads and the scoring pool, and return immediately with a
 /// [`ServerHandle`].
@@ -1235,8 +1322,13 @@ pub fn spawn(config: &ServeConfig, state: Arc<ServerState>) -> io::Result<Server
     } else {
         config.scoring_threads
     };
+    // Resolve the I/O engine once, before any thread spawns: a forced
+    // `--io uring` on a denied kernel must fail the boot, and `auto`
+    // must log its fallback exactly once.
+    let io_backend = resolve_io(config.io)?;
     let metrics = state.metrics();
     metrics.set_telemetry_enabled(config.telemetry);
+    metrics.set_io_backend(io_backend);
     metrics.reuseport.store(reuseport, Ordering::Relaxed);
     metrics
         .max_inflight
@@ -1280,8 +1372,18 @@ pub fn spawn(config: &ServeConfig, state: Arc<ServerState>) -> io::Result<Server
         listeners.into_iter().zip(plumbing).enumerate()
     {
         let stats = metrics.register_reactor();
+        let backend = match make_backend(io_backend) {
+            Ok(backend) => backend,
+            Err(e) => {
+                drop(built);
+                drop(job_txs);
+                pool.join();
+                return Err(e);
+            }
+        };
         let reactor = Reactor::new(
             index,
+            backend,
             listener,
             wake_pipe,
             job_txs[index].clone(),

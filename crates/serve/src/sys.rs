@@ -1,23 +1,29 @@
-//! Raw readiness-multiplexing syscall wrappers — the only `unsafe` in
-//! the crate.
+//! Raw network-I/O syscall wrappers — the only `unsafe` in the crate.
 //!
 //! The build container has no crates.io access (no `mio`, no `libc`
 //! crate), so the handful of C symbols the reactor needs are declared
 //! by hand; `std` already links libc on every unix target, so the
-//! symbols resolve at link time. Two backends sit behind the same
-//! [`Poller`] API:
+//! symbols resolve at link time. Three engines sit behind the same
+//! [`Backend`] trait:
 //!
 //! * **Linux**: `epoll` (`epoll_create1` / `epoll_ctl` / `epoll_wait`),
 //!   level-triggered — O(ready) wakeups regardless of how many idle
-//!   connections are registered;
+//!   connections are registered; data-plane reads and writes are plain
+//!   syscalls on the ready socket;
+//! * **Linux, kernel ≥ 5.11**: [`uring`] — `io_uring` submission/
+//!   completion rings (hand-rolled `io_uring_setup`/`io_uring_enter`,
+//!   mmap'd rings). The data plane itself rides the ring: multishot
+//!   `accept`, re-armed `recv` SQEs and staged `send` SQEs are batched
+//!   into **one** `io_uring_enter` per event-loop iteration instead of
+//!   one syscall per connection event;
 //! * **other unix**: POSIX `poll(2)` over the registered set — O(n) per
 //!   wakeup but dependency-free, keeping the crate building everywhere.
 //!
 //! Cross-thread wakeups use a self-pipe ([`WakePipe`] / [`Waker`]): the
-//! read end is registered in the poller like any other fd, and any
-//! thread can make `epoll_wait` return by writing one byte — this
-//! replaces the old "connect a throwaway `TcpStream` to unblock the
-//! acceptor" shutdown hack, and is how scoring-pool workers hand
+//! read end is registered in the backend like any other fd, and any
+//! thread can make the blocked reactor return by writing one byte —
+//! this replaces the old "connect a throwaway `TcpStream` to unblock
+//! the acceptor" shutdown hack, and is how scoring-pool workers hand
 //! finished responses back to the reactor.
 
 #![allow(unsafe_code)]
@@ -68,6 +74,144 @@ pub struct Event {
     pub readable: bool,
     /// The fd can accept more bytes.
     pub writable: bool,
+}
+
+/// Reserved registration token of a reactor's listening socket.
+pub const LISTENER: u64 = u64::MAX;
+/// Reserved registration token of a reactor's wake-pipe read end.
+pub const WAKE: u64 = u64::MAX - 1;
+
+/// One I/O engine a reactor can drive its connections through.
+///
+/// The readiness engines ([`Poller`]: epoll on Linux, `poll(2)`
+/// elsewhere) report which fds are ready and let the caller do the
+/// actual `read`/`writev` syscalls; the completion engine
+/// ([`uring::UringEngine`]) performs the I/O inside the kernel's
+/// submission/completion rings and stages the results, so `read` and
+/// `write_vectored` are userspace copies against engine-owned buffers.
+/// Either way the reactor sees the same level-triggered-flavoured
+/// surface: [`Event`]s keyed by token, `WouldBlock` when an operation
+/// cannot progress yet, and a later event when it can.
+pub trait Backend: Send {
+    /// Which engine this is: `"epoll"`, `"uring"` or `"poll"` (the
+    /// `/metrics` `reactors.io_backend` value and Prometheus `io`
+    /// label).
+    fn name(&self) -> &'static str;
+
+    /// Register `fd` under `token`. The reserved [`LISTENER`] and
+    /// [`WAKE`] tokens identify the two special fds (the uring engine
+    /// arms a multishot accept / a poll on them instead of a recv).
+    fn add(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()>;
+
+    /// Change the interest set of a registered fd. Completion engines
+    /// may ignore this — their reads re-arm on consumption and their
+    /// writes complete on their own schedule.
+    fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()>;
+
+    /// Deregister a fd. The caller closes the fd *after* this returns;
+    /// the uring engine uses the window to cancel pending operations
+    /// and, when staged output is still in flight, to duplicate the fd
+    /// so the tail of the response still drains.
+    fn remove(&mut self, fd: RawFd, token: u64) -> io::Result<()>;
+
+    /// Block until at least one event (or `timeout`); append ready
+    /// events to `events`. For the uring engine this is also the one
+    /// `io_uring_enter` that submits every SQE staged since the last
+    /// call — the whole point of the batched design.
+    fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()>;
+
+    /// Accept one pending connection on the registered listener
+    /// (`WouldBlock` when the backlog — kernel or completion-queue —
+    /// is empty).
+    fn accept(&mut self, listener: &std::net::TcpListener) -> io::Result<std::net::TcpStream>;
+
+    /// Read into `buf` for the connection registered under `token`.
+    /// Readiness engines issue the syscall on `stream`; the uring
+    /// engine copies from the staged recv completion and re-arms the
+    /// next recv SQE once the staging drains.
+    fn read(
+        &mut self,
+        token: u64,
+        stream: &std::net::TcpStream,
+        buf: &mut [u8],
+    ) -> io::Result<usize>;
+
+    /// Vectored write for the connection registered under `token`.
+    /// Readiness engines issue `writev` on `stream`; the uring engine
+    /// gathers the slices into its per-connection staging buffer and
+    /// submits a send SQE (`WouldBlock` while one is already in
+    /// flight).
+    fn write_vectored(
+        &mut self,
+        token: u64,
+        stream: &std::net::TcpStream,
+        bufs: &[io::IoSlice<'_>],
+    ) -> io::Result<usize>;
+}
+
+impl Backend for Poller {
+    fn name(&self) -> &'static str {
+        Poller::NAME
+    }
+
+    fn add(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        Poller::add(self, fd, token, interest)
+    }
+
+    fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        Poller::modify(self, fd, token, interest)
+    }
+
+    fn remove(&mut self, fd: RawFd, _token: u64) -> io::Result<()> {
+        Poller::remove(self, fd)
+    }
+
+    fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        Poller::wait(self, events, timeout)
+    }
+
+    fn accept(&mut self, listener: &std::net::TcpListener) -> io::Result<std::net::TcpStream> {
+        listener.accept().map(|(stream, _)| stream)
+    }
+
+    fn read(
+        &mut self,
+        _token: u64,
+        stream: &std::net::TcpStream,
+        buf: &mut [u8],
+    ) -> io::Result<usize> {
+        use std::io::Read as _;
+        (&mut &*stream).read(buf)
+    }
+
+    fn write_vectored(
+        &mut self,
+        _token: u64,
+        stream: &std::net::TcpStream,
+        bufs: &[io::IoSlice<'_>],
+    ) -> io::Result<usize> {
+        use std::io::Write as _;
+        (&mut &*stream).write_vectored(bufs)
+    }
+}
+
+#[cfg(target_os = "linux")]
+pub mod uring;
+
+/// Non-Linux stub: io_uring is a Linux interface; `probe` always
+/// reports why so `--io auto` can fall back with a reason.
+#[cfg(not(target_os = "linux"))]
+pub mod uring {
+    /// Whether the running kernel can drive the uring engine (never,
+    /// off Linux).
+    pub fn supported() -> bool {
+        false
+    }
+
+    /// Why the uring engine is unavailable here.
+    pub fn probe() -> Result<(), String> {
+        Err("io_uring is linux-only".to_string())
+    }
 }
 
 fn last_os_error() -> io::Error {
@@ -139,6 +283,9 @@ mod backend {
     }
 
     impl Poller {
+        /// Engine name for `/metrics` (`reactors.io_backend`).
+        pub const NAME: &'static str = "epoll";
+
         /// A fresh epoll instance (close-on-exec).
         pub fn new() -> io::Result<Poller> {
             let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
@@ -275,6 +422,9 @@ mod backend {
     }
 
     impl Poller {
+        /// Engine name for `/metrics` (`reactors.io_backend`).
+        pub const NAME: &'static str = "poll";
+
         /// An empty registered set.
         pub fn new() -> io::Result<Poller> {
             Ok(Poller {
@@ -557,10 +707,28 @@ impl Waker {
     /// Make the reactor's next (or current) `wait` return.
     pub fn wake(&self) {
         let byte = 1u8;
-        // EAGAIN (pipe full) and EPIPE (reactor gone) both mean there
-        // is nothing useful left to do — deliberately ignored.
-        unsafe {
-            write(self.fd, (&byte as *const u8).cast::<c_void>(), 1);
+        loop {
+            let n = unsafe { write(self.fd, (&byte as *const u8).cast::<c_void>(), 1) };
+            if n == 1 {
+                return;
+            }
+            let err = last_os_error();
+            match err.kind() {
+                // A signal landed between the call and the write:
+                // nothing was delivered, so the wakeup would be lost —
+                // retry.
+                io::ErrorKind::Interrupted => continue,
+                // EAGAIN: the pipe is full, which means a wakeup is
+                // already pending — exactly as good as another one.
+                io::ErrorKind::WouldBlock => return,
+                // EPIPE: the reactor closed its read end (shutdown
+                // teardown); there is nobody left to wake.
+                io::ErrorKind::BrokenPipe => return,
+                _ => {
+                    debug_assert!(false, "wake pipe write failed: {err}");
+                    return;
+                }
+            }
         }
     }
 }
@@ -609,8 +777,25 @@ impl WakePipe {
         let mut buf = [0u8; 64];
         loop {
             let n = unsafe { read(self.fd, buf.as_mut_ptr().cast::<c_void>(), buf.len()) };
-            if n <= 0 {
+            if n > 0 {
+                continue;
+            }
+            if n == 0 {
+                // Every write end is closed; nothing can arrive again.
                 return;
+            }
+            let err = last_os_error();
+            match err.kind() {
+                // A signal interrupted the read mid-drain: bytes may
+                // remain, and leaving them makes the next `wait` spin —
+                // retry.
+                io::ErrorKind::Interrupted => continue,
+                // EAGAIN: the pipe is empty — drained.
+                io::ErrorKind::WouldBlock => return,
+                _ => {
+                    debug_assert!(false, "wake pipe drain failed: {err}");
+                    return;
+                }
             }
         }
     }

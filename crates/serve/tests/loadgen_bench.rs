@@ -64,7 +64,7 @@ fn loadgen_completes_and_emits_bench_json() {
     let text = std::fs::read_to_string(&out).expect("BENCH_serve.json written");
     let parsed: Value = serde_json::from_str(&text).expect("valid JSON");
     assert_eq!(parsed.get("bench"), Some(&Value::Str("serve".into())));
-    assert_eq!(parsed.get("schema"), Some(&Value::Int(4)));
+    assert_eq!(parsed.get("schema"), Some(&Value::Int(5)));
     for key in [
         "scenario",
         "unix_time",
@@ -78,6 +78,7 @@ fn loadgen_completes_and_emits_bench_json() {
         "admission_rejects",
         "server_threads",
         "reactors",
+        "io_backend",
         "per_reactor",
     ] {
         assert!(parsed.get(key).is_some(), "missing {key}");
@@ -89,6 +90,15 @@ fn loadgen_completes_and_emits_bench_json() {
     let cache = parsed.get("cache").expect("cache section");
     for key in ["hits", "misses", "hit_rate"] {
         assert!(cache.get(key).is_some(), "missing cache.{key}");
+    }
+    // The report names the reactor I/O engine the server actually ran
+    // (the default config auto-probes, so either engine is legitimate).
+    match parsed.get("io_backend") {
+        Some(Value::Str(io)) => assert!(
+            matches!(io.as_str(), "uring" | "epoll" | "poll"),
+            "unexpected io_backend {io:?}"
+        ),
+        other => panic!("io_backend must be a string, got {other:?}"),
     }
     std::fs::remove_file(&out).ok();
 }

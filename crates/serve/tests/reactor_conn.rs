@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use urlid::prelude::*;
 use urlid_serve::http;
-use urlid_serve::server::{spawn, ServeConfig, ServerHandle, ServerState};
+use urlid_serve::server::{spawn, IoBackend, ServeConfig, ServerHandle, ServerState};
 use urlid_serve::ResultCache;
 
 fn trained_identifier() -> LanguageIdentifier {
@@ -24,6 +24,27 @@ fn trained_identifier() -> LanguageIdentifier {
 fn start_server(config: &ServeConfig) -> ServerHandle {
     let state = Arc::new(ServerState::new(trained_identifier(), None, 4096));
     spawn(config, state).expect("bind on 127.0.0.1:0")
+}
+
+/// Run a test body once per I/O engine: the epoll leg always, the
+/// uring leg when this kernel/sandbox allows it (skipped with a logged
+/// reason otherwise, so the suite stays green everywhere). Every
+/// behaviour in this file must hold identically on both engines —
+/// that equivalence is what lets `--io auto` pick either.
+fn for_each_io(test: impl Fn(IoBackend)) {
+    test(IoBackend::Epoll);
+    match urlid_serve::sys::uring::probe() {
+        Ok(()) => test(IoBackend::Uring),
+        Err(reason) => eprintln!("skipping the --io uring leg: {reason}"),
+    }
+}
+
+/// A default config pinned to one I/O engine.
+fn io_config(io: IoBackend) -> ServeConfig {
+    ServeConfig {
+        io,
+        ..ServeConfig::default()
+    }
 }
 
 fn identify(addr: SocketAddr, url: &str) -> (u16, String) {
@@ -58,7 +79,11 @@ fn uint_of(value: &Value, key: &str) -> u64 {
 /// — all while other clients keep being served.
 #[test]
 fn slowloris_byte_at_a_time_request_is_served_without_holding_a_thread() {
-    let server = start_server(&ServeConfig::default());
+    for_each_io(slowloris_byte_at_a_time_request_is_served_on);
+}
+
+fn slowloris_byte_at_a_time_request_is_served_on(io: IoBackend) {
+    let server = start_server(&io_config(io));
     let addr = server.addr();
 
     let slow = std::thread::spawn(move || {
@@ -95,7 +120,11 @@ fn slowloris_byte_at_a_time_request_is_served_without_holding_a_thread() {
 /// split) parses into one request.
 #[test]
 fn split_content_length_body_is_reassembled() {
-    let server = start_server(&ServeConfig::default());
+    for_each_io(split_content_length_body_is_reassembled_on);
+}
+
+fn split_content_length_body_is_reassembled_on(io: IoBackend) {
+    let server = start_server(&io_config(io));
     let mut stream = TcpStream::connect(server.addr()).expect("connect");
     let body = "{\"url\": \"http://www.beispiel.de/geteilt\"}";
     let head = format!(
@@ -121,7 +150,11 @@ fn split_content_length_body_is_reassembled() {
 /// come back as three ordered responses on the same connection.
 #[test]
 fn pipelined_requests_on_one_connection_answer_in_order() {
-    let server = start_server(&ServeConfig::default());
+    for_each_io(pipelined_requests_answer_in_order_on);
+}
+
+fn pipelined_requests_answer_in_order_on(io: IoBackend) {
+    let server = start_server(&io_config(io));
     let mut stream = TcpStream::connect(server.addr()).expect("connect");
     let mut wire = String::new();
     let urls = [
@@ -162,7 +195,11 @@ fn pipelined_requests_on_one_connection_answer_in_order() {
 /// `writev` batching path.
 #[test]
 fn large_pipelined_burst_drains_through_vectored_writes() {
-    let server = start_server(&ServeConfig::default());
+    for_each_io(large_pipelined_burst_drains_on);
+}
+
+fn large_pipelined_burst_drains_on(io: IoBackend) {
+    let server = start_server(&io_config(io));
     let mut stream = TcpStream::connect(server.addr()).expect("connect");
     let count = 64;
     let mut wire = String::new();
@@ -196,8 +233,13 @@ fn large_pipelined_burst_drains_through_vectored_writes() {
 /// counted); mid-header slowloris drips that stall count the same way.
 #[test]
 fn idle_connections_are_evicted_after_the_timeout() {
+    for_each_io(idle_connections_are_evicted_on);
+}
+
+fn idle_connections_are_evicted_on(io: IoBackend) {
     let config = ServeConfig {
         idle_timeout: Duration::from_millis(200),
+        io,
         ..ServeConfig::default()
     };
     let server = start_server(&config);
@@ -240,7 +282,11 @@ fn idle_connections_are_evicted_after_the_timeout() {
 /// afterwards.
 #[test]
 fn hundreds_of_idle_connections_do_not_block_active_traffic() {
-    let server = start_server(&ServeConfig::default());
+    for_each_io(hundreds_of_idle_connections_do_not_block_on);
+}
+
+fn hundreds_of_idle_connections_do_not_block_on(io: IoBackend) {
+    let server = start_server(&io_config(io));
     let addr = server.addr();
 
     // Open 256 keep-alive connections, prove each one once.
@@ -282,8 +328,13 @@ fn hundreds_of_idle_connections_do_not_block_active_traffic() {
 /// before any body is accepted — the client has only sent headers.
 #[test]
 fn oversized_content_length_is_rejected_before_the_body_is_sent() {
+    for_each_io(oversized_content_length_is_rejected_on);
+}
+
+fn oversized_content_length_is_rejected_on(io: IoBackend) {
     let config = ServeConfig {
         max_body_bytes: 1024,
+        io,
         ..ServeConfig::default()
     };
     let server = start_server(&config);
@@ -311,7 +362,11 @@ fn oversized_content_length_is_rejected_before_the_body_is_sent() {
 /// wedge the reactor while the request sits in the scoring pool.
 #[test]
 fn half_closed_client_still_receives_its_response() {
-    let server = start_server(&ServeConfig::default());
+    for_each_io(half_closed_client_still_receives_on);
+}
+
+fn half_closed_client_still_receives_on(io: IoBackend) {
+    let server = start_server(&io_config(io));
     let stream = TcpStream::connect(server.addr()).expect("connect");
     let mut writer = stream.try_clone().expect("clone");
     let mut reader = BufReader::new(stream.try_clone().expect("clone"));
@@ -339,7 +394,11 @@ fn half_closed_client_still_receives_its_response() {
 /// dropped — never a panic, never a wedged slot.
 #[test]
 fn malformed_request_line_gets_400_and_close() {
-    let server = start_server(&ServeConfig::default());
+    for_each_io(malformed_request_line_gets_400_on);
+}
+
+fn malformed_request_line_gets_400_on(io: IoBackend) {
+    let server = start_server(&io_config(io));
     let mut stream = TcpStream::connect(server.addr()).expect("connect");
     stream.write_all(b"BANANA\r\n\r\n").expect("garbage");
     let mut reader = BufReader::new(stream.try_clone().expect("clone"));
@@ -360,7 +419,11 @@ fn malformed_request_line_gets_400_and_close() {
 /// closed; the listener stops accepting.
 #[test]
 fn shutdown_drains_in_flight_requests_and_closes_idle_connections() {
-    let server = start_server(&ServeConfig::default());
+    for_each_io(shutdown_drains_in_flight_requests_on);
+}
+
+fn shutdown_drains_in_flight_requests_on(io: IoBackend) {
+    let server = start_server(&io_config(io));
     let addr = server.addr();
 
     // An idle bystander connection (proven once).
@@ -443,8 +506,13 @@ fn shutdown_drains_in_flight_requests_and_closes_idle_connections() {
 /// totals saw.
 #[test]
 fn connections_stay_pinned_to_their_accepting_reactor() {
+    for_each_io(connections_stay_pinned_on);
+}
+
+fn connections_stay_pinned_on(io: IoBackend) {
     let config = ServeConfig {
         reactors: 2,
+        io,
         ..ServeConfig::default()
     };
     let server = start_server(&config);
@@ -504,6 +572,10 @@ fn train_and_save(algorithm: Algorithm, dir: &std::path::Path) -> std::path::Pat
 /// mismatch (NB and RE score scales differ by construction).
 #[test]
 fn reload_invalidates_every_cache_shard_set_across_reactors() {
+    for_each_io(reload_invalidates_every_cache_shard_set_on);
+}
+
+fn reload_invalidates_every_cache_shard_set_on(io: IoBackend) {
     let dir = std::env::temp_dir().join("urlid-reactor-reload-test");
     std::fs::create_dir_all(&dir).unwrap();
     let nb_path = train_and_save(Algorithm::NaiveBayes, &dir);
@@ -520,6 +592,7 @@ fn reload_invalidates_every_cache_shard_set_across_reactors() {
     ));
     let config = ServeConfig {
         reactors: 2,
+        io,
         ..ServeConfig::default()
     };
     let server = spawn(&config, state).expect("bind");
@@ -568,7 +641,7 @@ fn reload_invalidates_every_cache_shard_set_across_reactors() {
         None,
         4096,
     ));
-    let reference = spawn(&ServeConfig::default(), reference_state).expect("bind reference");
+    let reference = spawn(&io_config(io), reference_state).expect("bind reference");
     for i in 0..UNIQUE_URLS {
         let body = format!("{{\"url\": \"http://www.seite{i}.de/wetter\"}}");
         let (status, swapped) = request_json(addr, "POST", "/identify", Some(&body));
@@ -590,9 +663,14 @@ fn reload_invalidates_every_cache_shard_set_across_reactors() {
 /// over its own slab.
 #[test]
 fn thousand_idle_keepalives_across_reactors_evict_on_timeout() {
+    for_each_io(thousand_idle_keepalives_evict_on);
+}
+
+fn thousand_idle_keepalives_evict_on(io: IoBackend) {
     let config = ServeConfig {
         reactors: 2,
         idle_timeout: Duration::from_millis(300),
+        io,
         ..ServeConfig::default()
     };
     let server = start_server(&config);
@@ -629,10 +707,15 @@ fn thousand_idle_keepalives_across_reactors_evict_on_timeout() {
 /// gauge agrees.
 #[test]
 fn reactor_panic_is_contained_and_drains_the_siblings() {
+    for_each_io(reactor_panic_is_contained_on);
+}
+
+fn reactor_panic_is_contained_on(io: IoBackend) {
     let config = ServeConfig {
         reactors: 2,
         fail_after_accepts: Some(0),
         drain_timeout: Duration::from_millis(200),
+        io,
         ..ServeConfig::default()
     };
     let server = start_server(&config);

@@ -117,6 +117,18 @@ pub fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, DeError> {
     T::from_value(v).map_err(|e| DeError(format!("field `{name}`: {e}")))
 }
 
+/// Helper used by the derive macro for `#[serde(default)]` fields:
+/// `Ok(None)` when the key is absent (the caller restores the default),
+/// an error only when the key is present but malformed.
+pub fn opt_field<T: Deserialize>(value: &Value, name: &str) -> Result<Option<T>, DeError> {
+    match value.get(name) {
+        Some(v) => T::from_value(v)
+            .map(Some)
+            .map_err(|e| DeError(format!("field `{name}`: {e}"))),
+        None => Ok(None),
+    }
+}
+
 // ---------------------------------------------------------------------
 // Primitive impls
 // ---------------------------------------------------------------------

@@ -9,6 +9,10 @@
 //! * enums with unit, newtype, tuple and struct variants;
 //! * `#[serde(skip, default)]` and `#[serde(skip, default = "path")]`
 //!   on named struct fields;
+//! * `#[serde(default)]` (without `skip`) on named struct fields: the
+//!   field serialises normally but deserialisation tolerates a missing
+//!   key, restoring the default — for fields added to a persisted
+//!   schema after files without them were already committed;
 //! * no generic parameters (the workspace derives only on concrete types).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
@@ -39,8 +43,11 @@ struct Field {
     name: String,
     /// `#[serde(skip)]`: not serialised, restored from a default.
     skip: bool,
-    /// Path expression for the default of a skipped field (from
-    /// `default = "path"`); `None` means `Default::default()`.
+    /// `#[serde(default)]` without `skip`: serialised normally, but a
+    /// missing key deserialises to the default instead of erroring.
+    has_default: bool,
+    /// Path expression for the default of a skipped/defaulted field
+    /// (from `default = "path"`); `None` means `Default::default()`.
     default_path: Option<String>,
 }
 
@@ -67,6 +74,7 @@ enum Item {
 
 struct SerdeAttr {
     skip: bool,
+    has_default: bool,
     default_path: Option<String>,
 }
 
@@ -83,6 +91,7 @@ fn parse_attr_group(group: &proc_macro::Group) -> Option<SerdeAttr> {
     };
     let mut attr = SerdeAttr {
         skip: false,
+        has_default: false,
         default_path: None,
     };
     let mut inner = args.stream().into_iter().peekable();
@@ -90,6 +99,7 @@ fn parse_attr_group(group: &proc_macro::Group) -> Option<SerdeAttr> {
         match tt {
             TokenTree::Ident(id) if id.to_string() == "skip" => attr.skip = true,
             TokenTree::Ident(id) if id.to_string() == "default" => {
+                attr.has_default = true;
                 if matches!(inner.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
                     inner.next();
                     if let Some(TokenTree::Literal(lit)) = inner.next() {
@@ -111,6 +121,7 @@ fn parse_attr_group(group: &proc_macro::Group) -> Option<SerdeAttr> {
 fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> (usize, SerdeAttr) {
     let mut attr = SerdeAttr {
         skip: false,
+        has_default: false,
         default_path: None,
     };
     loop {
@@ -119,6 +130,7 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> (usize, SerdeAttr) 
                 if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
                     if let Some(found) = parse_attr_group(g) {
                         attr.skip |= found.skip;
+                        attr.has_default |= found.has_default;
                         if found.default_path.is_some() {
                             attr.default_path = found.default_path;
                         }
@@ -173,6 +185,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             Field {
                 name: name.to_string(),
                 skip: attr.skip,
+                has_default: attr.has_default,
                 default_path: attr.default_path,
             }
         })
@@ -341,6 +354,14 @@ fn named_field_initializers(fields: &[Field], source: &str) -> String {
         .map(|f| {
             if f.skip {
                 format!("{}: {},\n", f.name, default_expr(f))
+            } else if f.has_default {
+                format!(
+                    "{0}: match ::serde::opt_field({source}, \"{0}\")? {{\n\
+                     ::std::option::Option::Some(v) => v,\n\
+                     ::std::option::Option::None => {1},\n}},\n",
+                    f.name,
+                    default_expr(f)
+                )
             } else {
                 format!("{0}: ::serde::field({source}, \"{0}\")?,\n", f.name)
             }
